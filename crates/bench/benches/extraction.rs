@@ -1,0 +1,61 @@
+//! Performance of the static-analysis pipeline: compilation, taint
+//! analysis, per-scenario extraction, and the full Table 5 evaluation
+//! (the paper reports no timings, so these establish the overhead
+//! baseline the authors list as a future metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use confdep::{extract_scenario, models, Evaluation, ExtractOptions};
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("cir_compile_mke2fs", |b| {
+        b.iter(|| cir::compile(black_box(models::MKE2FS)).unwrap())
+    });
+    c.bench_function("cir_compile_all_models", |b| {
+        b.iter(|| {
+            for (_, src) in models::all() {
+                black_box(cir::compile(src).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let program = cir::compile(models::MKE2FS).unwrap();
+    c.bench_function("taint_intra_mke2fs", |b| {
+        b.iter(|| taint::analyze(black_box(&program), taint::AnalysisOptions::default()))
+    });
+    c.bench_function("taint_inter_mke2fs", |b| {
+        b.iter(|| {
+            taint::analyze(
+                black_box(&program),
+                taint::AnalysisOptions { interprocedural: true },
+            )
+        })
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    c.bench_function("extract_scenario_s3", |b| {
+        let sources = [
+            ("mke2fs", models::MKE2FS),
+            ("mount", models::MOUNT),
+            ("ext4", models::EXT4),
+            ("resize2fs", models::RESIZE2FS),
+        ];
+        b.iter(|| extract_scenario(black_box(&sources), ExtractOptions::default()).unwrap())
+    });
+    c.bench_function("table5_full_evaluation", |b| {
+        b.iter(|| Evaluation::run(ExtractOptions::default()).unwrap())
+    });
+    c.bench_function("table5_interprocedural", |b| {
+        b.iter(|| {
+            Evaluation::run(ExtractOptions { interprocedural: true, ..Default::default() })
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_taint, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Performance of the file-system substrate and the utilities: format,
+//! mount, file I/O, fsck, resize, and defragmentation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use blockdev::MemDevice;
+use e2fstools::{E2fsck, E4defrag, FsckMode, Mke2fs, Resize2fs};
+use ext4sim::{Ext4Fs, MkfsParams, MountOptions, ROOT_INODE};
+
+fn fresh_image() -> MemDevice {
+    let m = Mke2fs::from_args(&["-b", "1024", "/dev/bench", "12288"]).unwrap();
+    m.run(MemDevice::new(1024, 16384)).unwrap().0
+}
+
+fn bench_format(c: &mut Criterion) {
+    c.bench_function("mke2fs_12k_blocks", |b| {
+        b.iter_batched(
+            || MemDevice::new(1024, 16384),
+            |dev| {
+                let m = Mke2fs::from_args(&["-b", "1024", "/dev/bench", "12288"]).unwrap();
+                black_box(m.run(dev).unwrap());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mke2fs_4k_64k_blocks", |b| {
+        b.iter_batched(
+            || MemDevice::new(4096, 65536),
+            |dev| {
+                let m = Mke2fs::from_args(&["-b", "4096", "/dev/bench"]).unwrap();
+                black_box(m.run(dev).unwrap());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mount(c: &mut Criterion) {
+    c.bench_function("mount_rw", |b| {
+        b.iter_batched(
+            fresh_image,
+            |dev| black_box(Ext4Fs::mount(dev, &MountOptions::default()).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_file_io(c: &mut Criterion) {
+    c.bench_function("write_1mb_file", |b| {
+        let payload = vec![0xA5u8; 1 << 20];
+        b.iter_batched(
+            || {
+                let dev = MemDevice::new(1024, 65536);
+                Ext4Fs::format(dev, &MkfsParams { block_size: Some(1024), ..Default::default() })
+                    .unwrap()
+            },
+            |mut fs| {
+                let f = fs.create_file(ROOT_INODE, "big").unwrap();
+                fs.write_file(f, 0, &payload).unwrap();
+                black_box(fs)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("read_1mb_file", |b| {
+        let payload = vec![0xA5u8; 1 << 20];
+        let dev = MemDevice::new(1024, 65536);
+        let mut fs =
+            Ext4Fs::format(dev, &MkfsParams { block_size: Some(1024), ..Default::default() })
+                .unwrap();
+        let f = fs.create_file(ROOT_INODE, "big").unwrap();
+        fs.write_file(f, 0, &payload).unwrap();
+        b.iter(|| black_box(fs.read_file_to_vec(f).unwrap()))
+    });
+    c.bench_function("create_100_files", |b| {
+        b.iter_batched(
+            || {
+                let dev = MemDevice::new(1024, 16384);
+                Ext4Fs::format(dev, &MkfsParams { block_size: Some(1024), ..Default::default() })
+                    .unwrap()
+            },
+            |mut fs| {
+                for i in 0..100 {
+                    let name = format!("file-{i:03}");
+                    fs.create_file(ROOT_INODE, &name).unwrap();
+                }
+                black_box(fs)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_utilities(c: &mut Criterion) {
+    c.bench_function("e2fsck_clean_forced", |b| {
+        b.iter_batched(
+            fresh_image,
+            |dev| black_box(E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("resize2fs_grow_12k_to_16k", |b| {
+        b.iter_batched(
+            fresh_image,
+            |dev| black_box(Resize2fs::to_size(16384).run(dev).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("e4defrag_fragmented_fs", |b| {
+        b.iter_batched(
+            || {
+                let dev = fresh_image();
+                let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+                let a = fs.create_file(ROOT_INODE, "a").unwrap();
+                let bfile = fs.create_file(ROOT_INODE, "b").unwrap();
+                for i in 0..8u64 {
+                    fs.write_file(a, i * 1024, &[1u8; 1024]).unwrap();
+                    fs.write_file(bfile, i * 1024, &[2u8; 1024]).unwrap();
+                }
+                fs
+            },
+            |mut fs| black_box(E4defrag::new().run(&mut fs).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_format, bench_mount, bench_file_io, bench_utilities);
+criterion_main!(benches);

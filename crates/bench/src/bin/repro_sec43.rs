@@ -1,0 +1,37 @@
+//! Regenerates the §4.3 application results: ConDocCk's 12 inaccurate
+//! documentation issues and ConHandleCk's single bad-handling case.
+
+use contools::{run_condocck, run_conhandleck, Handling};
+
+fn main() {
+    println!("== §4.3: Using the extracted dependencies ==");
+    println!();
+
+    let issues = run_condocck().expect("models compile");
+    println!("ConDocCk: {} inaccurate documentation issues (paper: 12)", issues.len());
+    for (i, issue) in issues.iter().enumerate() {
+        println!("  {:2}. [{}] {}", i + 1, issue.manual, issue.dependency);
+    }
+    println!();
+
+    let outcomes = run_conhandleck();
+    let bad: Vec<_> = outcomes.iter().filter(|o| o.handling.is_bad()).collect();
+    println!(
+        "ConHandleCk: {} violation cases injected, {} handled gracefully, {} bad handling (paper: 1)",
+        outcomes.len(),
+        outcomes.iter().filter(|o| matches!(o.handling, Handling::Graceful { .. })).count(),
+        bad.len()
+    );
+    for o in &outcomes {
+        let verdict = match &o.handling {
+            Handling::Graceful { error } => format!("graceful: {error}"),
+            Handling::Accepted => "accepted (benign)".to_string(),
+            Handling::BadHandling { corruption } => {
+                format!("BAD HANDLING — corruption: {}", corruption.join(", "))
+            }
+        };
+        println!("  case {:2} [{}]\n          -> {verdict}", o.case.id, o.case.description);
+    }
+    println!();
+    println!("paper: 12 documentation issues; 1 bad handling (resize2fs corrupts the file system)");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table 4: the taxonomy of critical configuration
+//! dependencies observed in the corpus.
+
+use study::{observed_sub_categories, taxonomy_table, total_critical_deps};
+
+fn main() {
+    let rows: Vec<Vec<String>> = taxonomy_table()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.kind.category().to_string(),
+                r.kind.sub_category().to_string(),
+                r.description.clone(),
+                if r.observed { "Y".to_string() } else { "N".to_string() },
+                if r.observed { r.count.to_string() } else { "-".to_string() },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        bench::render_table(
+            "Table 4: A Taxonomy of Critical Configuration Dependencies",
+            &["Category", "Sub-category", "Description", "Exist?", "Count"],
+            &rows,
+        )
+    );
+    println!();
+    println!(
+        "total: {} critical dependencies; {}/7 sub-categories observed",
+        total_critical_deps(),
+        observed_sub_categories()
+    );
+    println!("paper: 132 total; 5/7 observed (33/30/4/-/1/-/64)");
+}

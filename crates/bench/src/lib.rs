@@ -1,0 +1,105 @@
+//! Benchmark and table-regeneration harness.
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `repro_table1` | Table 1 — configuration methods of 8 file systems |
+//! | `repro_table2` | Table 2 — configuration coverage of test suites |
+//! | `repro_table3` | Table 3 — bug distribution over usage scenarios |
+//! | `repro_table4` | Table 4 — the dependency taxonomy (132 critical deps) |
+//! | `repro_table5` | Table 5 — extraction results with false positives |
+//! | `repro_fig1`   | Figure 1 — the sparse_super2 resize corruption |
+//! | `repro_fig2`   | Figure 2 — the four configuration stages |
+//! | `repro_sec43`  | §4.3 — ConDocCk (12 issues) + ConHandleCk (1 bad case) |
+//! | `ablation`     | bridge / inter-procedural / ConBugCk ablations |
+//!
+//! Criterion performance benches live under `benches/`.
+
+/// Renders an ASCII table: a header row plus data rows, columns padded.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a percentage like the paper ("97.0%").
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats "count (pct%)" cells.
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        "-".to_string()
+    } else {
+        format!("{} ({:.1}%)", count, 100.0 * count as f64 / total as f64)
+    }
+}
+
+/// Formats "count (FP pct%)" cells for Table 5; "-" when nothing was
+/// extracted.
+pub fn fp_cell(extracted: usize, fp: usize) -> String {
+    if extracted == 0 {
+        "0 / -".to_string()
+    } else if fp == 0 {
+        format!("{extracted} / 0")
+    } else {
+        format!("{extracted} / {fp} ({:.1}%)", 100.0 * fp as f64 / extracted as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["x".into(), "y".into()], vec!["wide-cell".into(), "z".into()]],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("long-header"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(97.0), "97.0%");
+        assert_eq!(count_pct(65, 67), "65 (97.0%)");
+        assert_eq!(count_pct(0, 0), "-");
+    }
+
+    #[test]
+    fn fp_cells() {
+        assert_eq!(fp_cell(0, 0), "0 / -");
+        assert_eq!(fp_cell(24, 0), "24 / 0");
+        assert_eq!(fp_cell(32, 3), "32 / 3 (9.4%)");
+    }
+}

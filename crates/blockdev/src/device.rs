@@ -1,0 +1,130 @@
+use crate::DeviceError;
+
+/// A fixed-block-size random-access storage device.
+///
+/// All file-system images in this workspace are laid out on top of this
+/// trait, mirroring how the real Ext4 utilities operate on block devices.
+/// Implementations must be deterministic: the bytes read back from a block
+/// are exactly the bytes last written to it (unless a fault-injecting
+/// wrapper deliberately breaks that contract).
+pub trait BlockDevice {
+    /// Size of one block in bytes.
+    fn block_size(&self) -> u32;
+
+    /// Total number of addressable blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Reads block `block` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] if `block >= num_blocks()` and
+    /// [`DeviceError::BadBufferSize`] if `buf.len() != block_size()`.
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError>;
+
+    /// Writes `buf` to block `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] if `block >= num_blocks()`,
+    /// [`DeviceError::BadBufferSize`] if `buf.len() != block_size()`, and
+    /// [`DeviceError::ReadOnly`] if the device rejects writes.
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError>;
+
+    /// Flushes any buffered state to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage cannot be synced.
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        Ok(())
+    }
+
+    /// Total capacity in bytes.
+    fn size_bytes(&self) -> u64 {
+        self.num_blocks() * u64::from(self.block_size())
+    }
+
+    /// Convenience: reads a whole block into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`BlockDevice::read_block`].
+    fn read_block_vec(&self, block: u64) -> Result<Vec<u8>, DeviceError> {
+        let mut buf = vec![0u8; self.block_size() as usize];
+        self.read_block(block, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Validates `block`/`buf` against the device geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors documented on [`BlockDevice::read_block`].
+    fn check_access(&self, block: u64, buf_len: usize) -> Result<(), DeviceError> {
+        if block >= self.num_blocks() {
+            return Err(DeviceError::OutOfRange { block, num_blocks: self.num_blocks() });
+        }
+        if buf_len != self.block_size() as usize {
+            return Err(DeviceError::BadBufferSize { got: buf_len, expected: self.block_size() });
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
+    fn block_size(&self) -> u32 {
+        (**self).block_size()
+    }
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        (**self).read_block(block, buf)
+    }
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_block(block, buf)
+    }
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn size_bytes_is_product() {
+        let dev = MemDevice::new(1024, 16);
+        assert_eq!(dev.size_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn read_block_vec_round_trip() {
+        let mut dev = MemDevice::new(512, 4);
+        dev.write_block(2, &[7u8; 512]).unwrap();
+        assert_eq!(dev.read_block_vec(2).unwrap(), vec![7u8; 512]);
+    }
+
+    #[test]
+    fn boxed_device_delegates() {
+        let mut dev: Box<dyn BlockDevice> = Box::new(MemDevice::new(512, 4));
+        dev.write_block(1, &[3u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+        assert_eq!(dev.block_size(), 512);
+        assert_eq!(dev.num_blocks(), 4);
+        dev.flush().unwrap();
+    }
+
+    #[test]
+    fn check_access_rejects_bad_geometry() {
+        let dev = MemDevice::new(512, 4);
+        assert!(matches!(dev.check_access(4, 512), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(dev.check_access(0, 100), Err(DeviceError::BadBufferSize { .. })));
+        assert!(dev.check_access(3, 512).is_ok());
+    }
+}

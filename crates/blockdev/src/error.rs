@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by block-device operations.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// A block index was at or past the end of the device.
+    OutOfRange {
+        /// The offending block index.
+        block: u64,
+        /// Total number of blocks on the device.
+        num_blocks: u64,
+    },
+    /// A buffer did not match the device block size.
+    BadBufferSize {
+        /// The buffer length supplied by the caller.
+        got: usize,
+        /// The device block size.
+        expected: u32,
+    },
+    /// An injected or real I/O error.
+    Io(String),
+    /// The device (or wrapper) rejected the operation because it is
+    /// read-only.
+    ReadOnly,
+    /// Underlying OS-level I/O failure (file-backed devices).
+    Os(io::Error),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { block, num_blocks } => {
+                write!(f, "block {block} out of range (device has {num_blocks} blocks)")
+            }
+            DeviceError::BadBufferSize { got, expected } => {
+                write!(f, "buffer length {got} does not match block size {expected}")
+            }
+            DeviceError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DeviceError::ReadOnly => write!(f, "device is read-only"),
+            DeviceError::Os(e) => write!(f, "os error: {e}"),
+        }
+    }
+}
+
+impl Error for DeviceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeviceError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DeviceError {
+    fn from(e: io::Error) -> Self {
+        DeviceError::Os(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_range() {
+        let e = DeviceError::OutOfRange { block: 9, num_blocks: 8 };
+        assert_eq!(e.to_string(), "block 9 out of range (device has 8 blocks)");
+    }
+
+    #[test]
+    fn display_bad_buffer() {
+        let e = DeviceError::BadBufferSize { got: 512, expected: 4096 };
+        assert!(e.to_string().contains("512"));
+        assert!(e.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn from_io_error_keeps_source() {
+        let e: DeviceError = io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,227 @@
+use std::collections::BTreeMap;
+
+use crate::{BlockDevice, DeviceError};
+
+/// A fault to inject at a particular point of the I/O stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fail the n-th write (0-based, counted across the device lifetime).
+    FailWrite(u64),
+    /// Fail the n-th read.
+    FailRead(u64),
+    /// On the n-th write, persist only the first `bytes` bytes of the block
+    /// (a torn write), then report success.
+    TornWrite {
+        /// Which write (0-based) to tear.
+        nth: u64,
+        /// How many bytes actually reach the medium.
+        bytes: usize,
+    },
+    /// All reads of `block` return data with byte `offset` flipped to
+    /// `value` (silent corruption).
+    CorruptRead {
+        /// The block whose reads are corrupted.
+        block: u64,
+        /// Byte offset within the block.
+        offset: usize,
+        /// Value the byte is replaced with.
+        value: u8,
+    },
+    /// Every write at or after the n-th write fails (models a device that
+    /// was yanked mid-workload).
+    DeviceGone(u64),
+}
+
+/// A schedule of [`InjectedFault`]s.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<InjectedFault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, fault: InjectedFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Returns the scheduled faults.
+    pub fn faults(&self) -> &[InjectedFault] {
+        &self.faults
+    }
+}
+
+/// Wraps another [`BlockDevice`] and injects faults per a [`FaultPlan`].
+///
+/// Used by the robustness portions of the test suite — e.g., checking that
+/// `e2fsck` detects metadata damage left behind by a torn superblock write.
+#[derive(Debug)]
+pub struct FaultyDevice<D> {
+    inner: D,
+    plan: FaultPlan,
+    reads: std::cell::Cell<u64>,
+    writes: u64,
+    corrupt_reads: BTreeMap<u64, (usize, u8)>,
+}
+
+impl<D: BlockDevice> FaultyDevice<D> {
+    /// Wraps `inner` with the fault schedule `plan`.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        let mut corrupt_reads = BTreeMap::new();
+        for f in plan.faults() {
+            if let InjectedFault::CorruptRead { block, offset, value } = *f {
+                corrupt_reads.insert(block, (offset, value));
+            }
+        }
+        FaultyDevice { inner, plan, reads: std::cell::Cell::new(0), writes: 0, corrupt_reads }
+    }
+
+    /// Unwraps the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Number of reads observed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Number of writes observed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn write_fault(&self, nth: u64) -> Option<&InjectedFault> {
+        self.plan.faults().iter().find(|f| match f {
+            InjectedFault::FailWrite(n) | InjectedFault::TornWrite { nth: n, .. } => *n == nth,
+            InjectedFault::DeviceGone(n) => nth >= *n,
+            _ => false,
+        })
+    }
+
+    fn read_fault(&self, nth: u64) -> bool {
+        self.plan.faults().iter().any(|f| matches!(f, InjectedFault::FailRead(n) if *n == nth))
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        let nth = self.reads.get();
+        self.reads.set(nth + 1);
+        if self.read_fault(nth) {
+            return Err(DeviceError::Io(format!("injected read failure at read #{nth}")));
+        }
+        self.inner.read_block(block, buf)?;
+        if let Some(&(offset, value)) = self.corrupt_reads.get(&block) {
+            buf[offset % buf.len().max(1)] = value;
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        let nth = self.writes;
+        self.writes += 1;
+        match self.write_fault(nth) {
+            Some(InjectedFault::FailWrite(_)) => {
+                Err(DeviceError::Io(format!("injected write failure at write #{nth}")))
+            }
+            Some(InjectedFault::DeviceGone(_)) => {
+                Err(DeviceError::Io("injected device-gone failure".to_string()))
+            }
+            Some(InjectedFault::TornWrite { bytes, .. }) => {
+                let bytes = (*bytes).min(buf.len());
+                let mut old = vec![0u8; buf.len()];
+                self.inner.read_block(block, &mut old)?;
+                let mut torn = old;
+                torn[..bytes].copy_from_slice(&buf[..bytes]);
+                self.inner.write_block(block, &torn)
+            }
+            _ => self.inner.write_block(block, buf),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn no_faults_passthrough() {
+        let plan = FaultPlan::new();
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        dev.write_block(0, &[1u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn fail_write_fires_once() {
+        let plan = FaultPlan::new().with(InjectedFault::FailWrite(1));
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        assert!(dev.write_block(0, &[1u8; 512]).is_ok());
+        assert!(dev.write_block(1, &[1u8; 512]).is_err());
+        assert!(dev.write_block(2, &[1u8; 512]).is_ok());
+        assert_eq!(dev.writes(), 3);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let plan = FaultPlan::new().with(InjectedFault::TornWrite { nth: 1, bytes: 4 });
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        dev.write_block(0, &[0xAAu8; 512]).unwrap();
+        dev.write_block(0, &[0xBBu8; 512]).unwrap(); // torn
+        let mut buf = [0u8; 512];
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[0xBB; 4]);
+        assert_eq!(buf[4], 0xAA);
+    }
+
+    #[test]
+    fn device_gone_kills_all_later_writes() {
+        let plan = FaultPlan::new().with(InjectedFault::DeviceGone(2));
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 8), plan);
+        assert!(dev.write_block(0, &[0u8; 512]).is_ok());
+        assert!(dev.write_block(1, &[0u8; 512]).is_ok());
+        assert!(dev.write_block(2, &[0u8; 512]).is_err());
+        assert!(dev.write_block(3, &[0u8; 512]).is_err());
+    }
+
+    #[test]
+    fn corrupt_read_flips_byte() {
+        let plan = FaultPlan::new().with(InjectedFault::CorruptRead { block: 1, offset: 3, value: 0x77 });
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        dev.write_block(1, &[0u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf[3], 0x77);
+        assert_eq!(buf[2], 0);
+    }
+
+    #[test]
+    fn into_inner_returns_device() {
+        let dev = FaultyDevice::new(MemDevice::new(512, 4), FaultPlan::new());
+        let inner = dev.into_inner();
+        assert_eq!(inner.num_blocks(), 4);
+    }
+}

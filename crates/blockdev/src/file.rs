@@ -1,0 +1,143 @@
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::{BlockDevice, DeviceError};
+
+/// A block device backed by a regular file, so that file-system images can
+/// be persisted across process runs (like a loopback device).
+#[derive(Debug)]
+pub struct FileDevice {
+    file: File,
+    block_size: u32,
+    num_blocks: u64,
+}
+
+impl FileDevice {
+    /// Creates (or truncates) an image file of `num_blocks * block_size`
+    /// bytes at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Os`] if the file cannot be created or sized.
+    pub fn create<P: AsRef<Path>>(path: P, block_size: u32, num_blocks: u64) -> Result<Self, DeviceError> {
+        assert!(block_size > 0, "block size must be non-zero");
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.set_len(num_blocks * u64::from(block_size))?;
+        Ok(FileDevice { file, block_size, num_blocks })
+    }
+
+    /// Opens an existing image file; its length must be a multiple of
+    /// `block_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Os`] on open failure and [`DeviceError::Io`]
+    /// if the file length is not block-aligned.
+    pub fn open<P: AsRef<Path>>(path: P, block_size: u32) -> Result<Self, DeviceError> {
+        assert!(block_size > 0, "block size must be non-zero");
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % u64::from(block_size) != 0 {
+            return Err(DeviceError::Io(format!(
+                "image length {len} is not a multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileDevice { file, block_size, num_blocks: len / u64::from(block_size) })
+    }
+
+    /// Grows or shrinks the backing file to `num_blocks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Os`] if the file cannot be resized.
+    pub fn resize(&mut self, num_blocks: u64) -> Result<(), DeviceError> {
+        self.file.set_len(num_blocks * u64::from(self.block_size))?;
+        self.num_blocks = num_blocks;
+        Ok(())
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(block * u64::from(self.block_size)))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        self.file.seek(SeekFrom::Start(block * u64::from(self.block_size)))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("blockdev-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn create_write_read() {
+        let path = tmp_path("rw.img");
+        {
+            let mut dev = FileDevice::create(&path, 512, 8).unwrap();
+            dev.write_block(5, &[0xAB; 512]).unwrap();
+            dev.flush().unwrap();
+        }
+        let dev = FileDevice::open(&path, 512).unwrap();
+        assert_eq!(dev.num_blocks(), 8);
+        let mut buf = [0u8; 512];
+        dev.read_block(5, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xAB));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_unaligned() {
+        let path = tmp_path("unaligned.img");
+        std::fs::write(&path, vec![0u8; 1000]).unwrap();
+        assert!(matches!(FileDevice::open(&path, 512), Err(DeviceError::Io(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resize_extends_file() {
+        let path = tmp_path("resize.img");
+        let mut dev = FileDevice::create(&path, 512, 2).unwrap();
+        dev.resize(10).unwrap();
+        assert_eq!(dev.num_blocks(), 10);
+        dev.write_block(9, &[1u8; 512]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let path = tmp_path("range.img");
+        let dev = FileDevice::create(&path, 512, 2).unwrap();
+        let mut buf = [0u8; 512];
+        assert!(dev.read_block(2, &mut buf).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

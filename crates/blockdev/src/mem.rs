@@ -1,0 +1,161 @@
+use crate::{BlockDevice, DeviceError};
+
+/// An in-memory block device.
+///
+/// Storage is allocated lazily per block, so creating a large sparse device
+/// is cheap — only blocks that have been written consume memory. This is the
+/// default substrate for tests, examples, and benchmarks.
+#[derive(Debug, Clone)]
+pub struct MemDevice {
+    block_size: u32,
+    blocks: Vec<Option<Box<[u8]>>>,
+}
+
+impl MemDevice {
+    /// Creates a zero-filled device with `num_blocks` blocks of
+    /// `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: u32, num_blocks: u64) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        MemDevice { block_size, blocks: vec![None; num_blocks as usize] }
+    }
+
+    /// Grows (or shrinks) the device to `num_blocks`, zero-filling any new
+    /// space. Used by resize experiments to model growing a partition.
+    pub fn resize(&mut self, num_blocks: u64) {
+        self.blocks.resize(num_blocks as usize, None);
+    }
+
+    /// Number of blocks that have actually been written (and so consume
+    /// memory).
+    pub fn populated_blocks(&self) -> u64 {
+        self.blocks.iter().filter(|b| b.is_some()).count() as u64
+    }
+
+    /// Directly corrupts a byte of a block, bypassing the write path.
+    /// Used by fault-injection tests to model silent media corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for a bad block index.
+    pub fn corrupt_byte(&mut self, block: u64, offset: usize, value: u8) -> Result<(), DeviceError> {
+        let n = self.num_blocks();
+        let slot = self
+            .blocks
+            .get_mut(block as usize)
+            .ok_or(DeviceError::OutOfRange { block, num_blocks: n })?;
+        let data = slot.get_or_insert_with(|| vec![0u8; self.block_size as usize].into_boxed_slice());
+        data[offset % self.block_size as usize] = value;
+        Ok(())
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        match &self.blocks[block as usize] {
+            Some(data) => buf.copy_from_slice(data),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        self.blocks[block as usize] = Some(buf.to_vec().into_boxed_slice());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_reads_zero() {
+        let dev = MemDevice::new(512, 8);
+        let mut buf = [1u8; 512];
+        dev.read_block(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut dev = MemDevice::new(512, 8);
+        dev.write_block(3, &[9u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn out_of_range_read() {
+        let dev = MemDevice::new(512, 8);
+        let mut buf = [0u8; 512];
+        assert!(matches!(dev.read_block(8, &mut buf), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn wrong_buffer_size() {
+        let mut dev = MemDevice::new(512, 8);
+        assert!(matches!(dev.write_block(0, &[0u8; 100]), Err(DeviceError::BadBufferSize { .. })));
+    }
+
+    #[test]
+    fn resize_grows_with_zeroes() {
+        let mut dev = MemDevice::new(512, 2);
+        dev.write_block(1, &[5u8; 512]).unwrap();
+        dev.resize(4);
+        assert_eq!(dev.num_blocks(), 4);
+        let mut buf = [1u8; 512];
+        dev.read_block(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        dev.read_block(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn resize_shrink_discards() {
+        let mut dev = MemDevice::new(512, 4);
+        dev.write_block(3, &[5u8; 512]).unwrap();
+        dev.resize(2);
+        assert_eq!(dev.num_blocks(), 2);
+        let mut buf = [0u8; 512];
+        assert!(dev.read_block(3, &mut buf).is_err());
+    }
+
+    #[test]
+    fn lazy_allocation() {
+        let mut dev = MemDevice::new(4096, 1_000_000);
+        assert_eq!(dev.populated_blocks(), 0);
+        dev.write_block(999_999, &[1u8; 4096]).unwrap();
+        assert_eq!(dev.populated_blocks(), 1);
+    }
+
+    #[test]
+    fn corrupt_byte_flips_data() {
+        let mut dev = MemDevice::new(512, 2);
+        dev.write_block(0, &[0u8; 512]).unwrap();
+        dev.corrupt_byte(0, 10, 0xFF).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[10], 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be non-zero")]
+    fn zero_block_size_panics() {
+        let _ = MemDevice::new(0, 8);
+    }
+}

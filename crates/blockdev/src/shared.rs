@@ -1,0 +1,152 @@
+//! A thread-safe shared device handle.
+//!
+//! Real block devices are shared: several readers (and a writer) may
+//! touch the same disk — e.g., an online utility inspecting an image
+//! while a monitoring thread samples statistics. [`SharedDevice`] wraps
+//! any [`BlockDevice`] in an `Arc<RwLock<_>>` (parking_lot, so read
+//! access is cheap and never poisoned) and is itself a `BlockDevice`.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{BlockDevice, DeviceError};
+
+/// A cloneable, thread-safe handle to a shared block device.
+#[derive(Debug)]
+pub struct SharedDevice<D> {
+    inner: Arc<RwLock<D>>,
+}
+
+impl<D> Clone for SharedDevice<D> {
+    fn clone(&self) -> Self {
+        SharedDevice { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<D: BlockDevice> SharedDevice<D> {
+    /// Wraps `dev` for shared use.
+    pub fn new(dev: D) -> Self {
+        SharedDevice { inner: Arc::new(RwLock::new(dev)) }
+    }
+
+    /// Recovers the inner device if this is the last handle; otherwise
+    /// returns `self` back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` while other handles are alive.
+    pub fn try_into_inner(self) -> Result<D, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(inner) => Err(SharedDevice { inner }),
+        }
+    }
+
+    /// Runs a closure with shared (read) access to the device.
+    pub fn with_read<R>(&self, f: impl FnOnce(&D) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SharedDevice<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.read().block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.read().num_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.inner.read().read_block(block, buf)
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.inner.write().write_block(block, buf)
+    }
+
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        self.inner.write().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn shared_handles_see_the_same_bytes() {
+        let mut a = SharedDevice::new(MemDevice::new(512, 8));
+        let b = a.clone();
+        a.write_block(3, &[9u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        b.read_block(3, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+        assert_eq!(b.block_size(), 512);
+        assert_eq!(b.num_blocks(), 8);
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_block_each_other() {
+        let mut dev = SharedDevice::new(MemDevice::new(512, 64));
+        for i in 0..64u64 {
+            dev.write_block(i, &[i as u8; 512]).unwrap();
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let d = dev.clone();
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 512];
+                    for i in 0..64u64 {
+                        d.read_block(i, &mut buf).unwrap();
+                        assert_eq!(buf[0], i as u8, "thread {t}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_are_serialized() {
+        let dev = SharedDevice::new(MemDevice::new(512, 64));
+        let handles: Vec<_> = (0..4u8)
+            .map(|t| {
+                let mut d = dev.clone();
+                std::thread::spawn(move || {
+                    for i in 0..16u64 {
+                        d.write_block(u64::from(t) * 16 + i, &[t; 512]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u8 {
+            let mut buf = [0u8; 512];
+            dev.read_block(u64::from(t) * 16, &mut buf).unwrap();
+            assert_eq!(buf[0], t);
+        }
+    }
+
+    #[test]
+    fn into_inner_round_trip() {
+        let dev = SharedDevice::new(MemDevice::new(512, 8));
+        let clone = dev.clone();
+        assert!(clone.try_into_inner().is_err(), "two handles alive");
+        let inner = dev.try_into_inner().expect("last handle");
+        assert_eq!(inner.num_blocks(), 8);
+    }
+
+    #[test]
+    fn with_read_exposes_the_device() {
+        let dev = SharedDevice::new(MemDevice::new(512, 8));
+        let n = dev.with_read(|d| d.num_blocks());
+        assert_eq!(n, 8);
+    }
+}

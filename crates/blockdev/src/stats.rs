@@ -1,0 +1,154 @@
+use std::cell::Cell;
+
+use crate::{BlockDevice, DeviceError};
+
+/// Cumulative I/O counters collected by [`StatsDevice`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of block reads issued.
+    pub reads: u64,
+    /// Number of block writes issued.
+    pub writes: u64,
+    /// Number of flushes issued.
+    pub flushes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// Total I/O operations (reads + writes).
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Wraps a [`BlockDevice`] and counts every operation.
+///
+/// The benchmark harness uses this to report I/O amplification of the
+/// utilities (e.g., blocks touched by `resize2fs` as a function of the size
+/// delta).
+#[derive(Debug)]
+pub struct StatsDevice<D> {
+    inner: D,
+    reads: Cell<u64>,
+    bytes_read: Cell<u64>,
+    writes: u64,
+    bytes_written: u64,
+    flushes: u64,
+}
+
+impl<D: BlockDevice> StatsDevice<D> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: D) -> Self {
+        StatsDevice {
+            inner,
+            reads: Cell::new(0),
+            bytes_read: Cell::new(0),
+            writes: 0,
+            bytes_written: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.get(),
+            writes: self.writes,
+            flushes: self.flushes,
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written,
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.reads.set(0);
+        self.bytes_read.set(0);
+        self.writes = 0;
+        self.bytes_written = 0;
+        self.flushes = 0;
+    }
+
+    /// Unwraps the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Shared access to the inner device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for StatsDevice<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.inner.read_block(block, buf)?;
+        self.reads.set(self.reads.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + buf.len() as u64);
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.inner.write_block(block, buf)?;
+        self.writes += 1;
+        self.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        self.inner.flush()?;
+        self.flushes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn counters_track_operations() {
+        let mut dev = StatsDevice::new(MemDevice::new(512, 8));
+        dev.write_block(0, &[0u8; 512]).unwrap();
+        dev.write_block(1, &[0u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(0, &mut buf).unwrap();
+        dev.flush().unwrap();
+        let s = dev.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.bytes_read, 512);
+        assert_eq!(s.bytes_written, 1024);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn failed_ops_not_counted() {
+        let mut dev = StatsDevice::new(MemDevice::new(512, 8));
+        let mut buf = [0u8; 512];
+        assert!(dev.read_block(99, &mut buf).is_err());
+        assert!(dev.write_block(99, &[0u8; 512]).is_err());
+        assert_eq!(dev.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut dev = StatsDevice::new(MemDevice::new(512, 8));
+        dev.write_block(0, &[0u8; 512]).unwrap();
+        dev.reset();
+        assert_eq!(dev.stats(), IoStats::default());
+    }
+}

@@ -1,0 +1,206 @@
+//! The abstract syntax tree produced by the parser.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// unary `-`
+    Neg,
+}
+
+/// Literals.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Boolean (`true`/`false` identifiers).
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Literal),
+    /// A variable or parameter reference.
+    Var(String),
+    /// `structname.field` — metadata access.
+    Field {
+        /// Metadata struct name.
+        strct: String,
+        /// Field name.
+        field: String,
+    },
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A call `name(args...)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let x = e;` or `x = e;` (CIR treats them alike; first assignment
+    /// declares).
+    Assign {
+        /// Destination variable.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `strct.field = e;` — a metadata write.
+    FieldAssign {
+        /// Metadata struct name.
+        strct: String,
+        /// Field.
+        field: String,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) { ... } else { ... }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `fail("msg");` — an error/abort path.
+    Fail {
+        /// Message.
+        msg: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `return;`
+    Return {
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `component name;`
+    Component(String),
+    /// `metadata name { field, field, ... }`
+    Metadata {
+        /// Struct name.
+        name: String,
+        /// Field names.
+        fields: Vec<String>,
+    },
+    /// `param <ty> name = source("key");`
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Declared type (`int`, `bool`, `str`, `size`, `enum`).
+        ty: String,
+        /// Source kind (`option`, `feature`, `operand`).
+        source: String,
+        /// Source key (the CLI spelling).
+        key: String,
+    },
+    /// `fn name() { ... }`
+    Function {
+        /// Function name.
+        name: String,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All items in source order.
+    pub items: Vec<Item>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_predicate() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+    }
+}

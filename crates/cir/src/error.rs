@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from compiling CIR source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CirError {
+    /// A character the lexer does not understand.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// A semantic error during lowering (unknown name, bad metadata
+    /// field, duplicate declaration, ...).
+    Lower(String),
+}
+
+impl fmt::Display for CirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CirError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            CirError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            CirError::Lower(msg) => write!(f, "lowering error: {msg}"),
+        }
+    }
+}
+
+impl Error for CirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = CirError::Parse { line: 7, msg: "expected ';'".to_string() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CirError>();
+    }
+}

@@ -1,0 +1,439 @@
+//! The three-address IR with explicit control flow, mirroring the level
+//! at which the paper's LLVM-based analysis operates.
+
+use std::fmt;
+
+use crate::ast::{BinOp, UnOp};
+
+/// A variable (or compiler temporary) identified by index into
+/// [`Program::vars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct VarId(pub u32);
+
+/// A basic-block id within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct BlockId(pub u32);
+
+/// Declared parameter types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ParamTy {
+    /// Integer.
+    Int,
+    /// Boolean / feature flag.
+    Bool,
+    /// Free string.
+    Str,
+    /// A size (integer with unit semantics).
+    Size,
+    /// Enumerated string.
+    Enum,
+}
+
+impl ParamTy {
+    /// Parses the surface spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "int" => Some(ParamTy::Int),
+            "bool" => Some(ParamTy::Bool),
+            "str" => Some(ParamTy::Str),
+            "size" => Some(ParamTy::Size),
+            "enum" => Some(ParamTy::Enum),
+            _ => None,
+        }
+    }
+
+    /// The spelling used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParamTy::Int => "int",
+            ParamTy::Bool => "bool",
+            ParamTy::Str => "str",
+            ParamTy::Size => "size",
+            ParamTy::Enum => "enum",
+        }
+    }
+}
+
+/// Where a parameter's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ParamSource {
+    /// A command-line option (`-b`, `-o data=`).
+    Option,
+    /// A feature toggle (`-O name`).
+    Feature,
+    /// A positional operand (the `size` of `resize2fs`).
+    Operand,
+}
+
+impl ParamSource {
+    /// Parses the surface spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "option" => Some(ParamSource::Option),
+            "feature" => Some(ParamSource::Feature),
+            "operand" => Some(ParamSource::Operand),
+            _ => None,
+        }
+    }
+}
+
+/// A configuration parameter declaration.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParamDecl {
+    /// Name (also the IR variable name).
+    pub name: String,
+    /// Declared type.
+    pub ty: ParamTy,
+    /// Source kind.
+    pub source: ParamSource,
+    /// CLI spelling / key.
+    pub key: String,
+    /// The variable carrying the parameter's value.
+    pub var: VarId,
+}
+
+/// A shared metadata structure (the cross-component bridge).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MetadataStruct {
+    /// Struct name (`sb`, `gd`, ...).
+    pub name: String,
+    /// Field names.
+    pub fields: Vec<String>,
+}
+
+/// An operand: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Operand {
+    /// A variable.
+    Var(VarId),
+    /// Integer constant.
+    ConstInt(i64),
+    /// Boolean constant.
+    ConstBool(bool),
+    /// String constant.
+    ConstStr(String),
+}
+
+impl Operand {
+    /// The variable, if this operand is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The integer constant, if this operand is one.
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Operand::ConstInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Right-hand sides of assignments.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Rvalue {
+    /// A plain copy.
+    Use(Operand),
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// A unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Operand,
+    },
+    /// A call (uninterpreted: taint flows args → result).
+    Call {
+        /// Callee.
+        name: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// A read of a shared metadata field.
+    MetaRead {
+        /// Struct name.
+        strct: String,
+        /// Field name.
+        field: String,
+    },
+}
+
+impl Rvalue {
+    /// All operands mentioned.
+    pub fn operands(&self) -> Vec<&Operand> {
+        match self {
+            Rvalue::Use(o) | Rvalue::Un { operand: o, .. } => vec![o],
+            Rvalue::Bin { lhs, rhs, .. } => vec![lhs, rhs],
+            Rvalue::Call { args, .. } => args.iter().collect(),
+            Rvalue::MetaRead { .. } => Vec::new(),
+        }
+    }
+}
+
+/// Instructions.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Instr {
+    /// `dst = rvalue`.
+    Assign {
+        /// Destination variable.
+        dst: VarId,
+        /// Value.
+        value: Rvalue,
+        /// Source line.
+        line: u32,
+    },
+    /// `strct.field = src` — a shared-metadata write.
+    MetaWrite {
+        /// Struct name.
+        strct: String,
+        /// Field name.
+        field: String,
+        /// Source operand.
+        src: Operand,
+        /// Source line.
+        line: u32,
+    },
+    /// A call evaluated for effect.
+    CallStmt {
+        /// Callee.
+        name: String,
+        /// Arguments.
+        args: Vec<Operand>,
+        /// Source line.
+        line: u32,
+    },
+    /// `fail("msg")` — an error path.
+    Fail {
+        /// Message.
+        msg: String,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Conditional branch.
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Successor when true.
+        then_bb: BlockId,
+        /// Successor when false.
+        else_bb: BlockId,
+        /// Source line.
+        line: u32,
+    },
+    /// Function return.
+    Return,
+    /// Unreachable after `fail`.
+    Abort,
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return | Terminator::Abort => Vec::new(),
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BasicBlock {
+    /// Block id.
+    pub id: BlockId,
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// Terminator.
+    pub term: Terminator,
+}
+
+/// A function: a CFG of basic blocks.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id (ill-formed IR).
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// True if `from` can reach a block whose first instruction sequence
+    /// contains a `fail`.
+    pub fn reaches_fail(&self, from: BlockId) -> bool {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if seen[b.0 as usize] {
+                continue;
+            }
+            seen[b.0 as usize] = true;
+            let blk = self.block(b);
+            if blk.instrs.iter().any(|i| matches!(i, Instr::Fail { .. })) {
+                return true;
+            }
+            stack.extend(blk.term.successors());
+        }
+        false
+    }
+
+    /// True if *every* path from `from` hits a `fail` before returning.
+    pub fn always_fails(&self, from: BlockId) -> bool {
+        fn go(f: &Function, b: BlockId, seen: &mut Vec<bool>) -> bool {
+            if seen[b.0 as usize] {
+                return true; // a loop: treat conservatively as failing
+            }
+            seen[b.0 as usize] = true;
+            let blk = f.block(b);
+            if blk.instrs.iter().any(|i| matches!(i, Instr::Fail { .. })) {
+                seen[b.0 as usize] = false;
+                return true;
+            }
+            let succ = blk.term.successors();
+            let result = if succ.is_empty() {
+                false // returned without failing
+            } else {
+                succ.into_iter().all(|s| go(f, s, seen))
+            };
+            seen[b.0 as usize] = false;
+            result
+        }
+        let mut seen = vec![false; self.blocks.len()];
+        go(self, from, &mut seen)
+    }
+}
+
+/// A compiled CIR program: one component's configuration-handling model.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Program {
+    /// Component name.
+    pub component: String,
+    /// Shared metadata structs.
+    pub metadata: Vec<MetadataStruct>,
+    /// Configuration parameters.
+    pub params: Vec<ParamDecl>,
+    /// Functions.
+    pub functions: Vec<Function>,
+    /// Variable name table ([`VarId`] indexes it).
+    pub vars: Vec<String>,
+}
+
+impl Program {
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0 as usize]
+    }
+
+    /// The parameter declared with this name, if any.
+    pub fn param(&self, name: &str) -> Option<&ParamDecl> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// The parameter bound to this variable, if any.
+    pub fn param_of_var(&self, v: VarId) -> Option<&ParamDecl> {
+        self.params.iter().find(|p| p.var == v)
+    }
+
+    /// The function with this name, if any.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "component {};", self.component)?;
+        for p in &self.params {
+            writeln!(f, "param {} {} = {:?}({});", p.ty.as_str(), p.name, p.source, p.key)?;
+        }
+        for func in &self.functions {
+            writeln!(f, "fn {}() {{ {} blocks }}", func.name, func.blocks.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_ty_parse_round_trip() {
+        for s in ["int", "bool", "str", "size", "enum"] {
+            assert_eq!(ParamTy::parse(s).unwrap().as_str(), s);
+        }
+        assert!(ParamTy::parse("float").is_none());
+    }
+
+    #[test]
+    fn param_source_parse() {
+        assert_eq!(ParamSource::parse("option"), Some(ParamSource::Option));
+        assert_eq!(ParamSource::parse("feature"), Some(ParamSource::Feature));
+        assert_eq!(ParamSource::parse("operand"), Some(ParamSource::Operand));
+        assert_eq!(ParamSource::parse("env"), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Goto(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(Terminator::Return.successors(), Vec::<BlockId>::new());
+        let b = Terminator::Branch {
+            cond: Operand::ConstBool(true),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+            line: 0,
+        };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        assert_eq!(Operand::Var(VarId(4)).as_var(), Some(VarId(4)));
+        assert_eq!(Operand::ConstInt(9).as_var(), None);
+        assert_eq!(Operand::ConstInt(9).as_const_int(), Some(9));
+    }
+
+    #[test]
+    fn rvalue_operands() {
+        let v = Operand::Var(VarId(0));
+        let c = Operand::ConstInt(1);
+        assert_eq!(Rvalue::Use(v.clone()).operands().len(), 1);
+        assert_eq!(
+            Rvalue::Bin { op: crate::BinOp::Add, lhs: v.clone(), rhs: c.clone() }.operands().len(),
+            2
+        );
+        assert_eq!(Rvalue::Call { name: "f".into(), args: vec![v, c] }.operands().len(), 2);
+        assert!(Rvalue::MetaRead { strct: "sb".into(), field: "x".into() }.operands().is_empty());
+    }
+}

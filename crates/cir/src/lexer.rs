@@ -1,0 +1,279 @@
+//! The CIR lexer.
+
+use crate::CirError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenises CIR source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`CirError::Lex`] for unknown characters and unterminated
+/// strings.
+pub fn lex(src: &str) -> Result<Vec<Token>, CirError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => { out.push(Token { kind: TokenKind::LParen, line }); i += 1; }
+            ')' => { out.push(Token { kind: TokenKind::RParen, line }); i += 1; }
+            '{' => { out.push(Token { kind: TokenKind::LBrace, line }); i += 1; }
+            '}' => { out.push(Token { kind: TokenKind::RBrace, line }); i += 1; }
+            ';' => { out.push(Token { kind: TokenKind::Semi, line }); i += 1; }
+            ',' => { out.push(Token { kind: TokenKind::Comma, line }); i += 1; }
+            '.' => { out.push(Token { kind: TokenKind::Dot, line }); i += 1; }
+            '+' => { out.push(Token { kind: TokenKind::Plus, line }); i += 1; }
+            '-' => { out.push(Token { kind: TokenKind::Minus, line }); i += 1; }
+            '*' => { out.push(Token { kind: TokenKind::Star, line }); i += 1; }
+            '/' => { out.push(Token { kind: TokenKind::Slash, line }); i += 1; }
+            '%' => { out.push(Token { kind: TokenKind::Percent, line }); i += 1; }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token { kind: TokenKind::Eq, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token { kind: TokenKind::Ne, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, line });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token { kind: TokenKind::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token { kind: TokenKind::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, line });
+                    i += 1;
+                }
+            }
+            '&' if bytes.get(i + 1) == Some(&'&') => {
+                out.push(Token { kind: TokenKind::AndAnd, line });
+                i += 2;
+            }
+            '|' if bytes.get(i + 1) == Some(&'|') => {
+                out.push(Token { kind: TokenKind::OrOr, line });
+                i += 2;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '"' {
+                    if bytes[j] == '\n' {
+                        return Err(CirError::Lex { line, msg: "unterminated string".to_string() });
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(CirError::Lex { line, msg: "unterminated string".to_string() });
+                }
+                let s: String = bytes[start..j].iter().collect();
+                out.push(Token { kind: TokenKind::Str(s), line });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: String = bytes[i..j].iter().collect();
+                let v: i64 = n.parse().map_err(|_| CirError::Lex {
+                    line,
+                    msg: format!("integer literal '{n}' out of range"),
+                })?;
+                out.push(Token { kind: TokenKind::Int(v), line });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let s: String = bytes[i..j].iter().collect();
+                out.push(Token { kind: TokenKind::Ident(s), line });
+                i = j;
+            }
+            other => {
+                return Err(CirError::Lex { line, msg: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x = 42;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= == != && || !"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("fail(\"too small\"); // a comment\nx"),
+            vec![
+                TokenKind::Ident("fail".into()),
+                TokenKind::LParen,
+                TokenKind::Str("too small".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(matches!(lex("\"abc"), Err(CirError::Lex { .. })));
+        assert!(matches!(lex("\"abc\ndef\""), Err(CirError::Lex { .. })));
+    }
+
+    #[test]
+    fn unknown_character_rejected() {
+        assert!(matches!(lex("a @ b"), Err(CirError::Lex { line: 1, .. })));
+    }
+
+    #[test]
+    fn field_access_tokens() {
+        assert_eq!(
+            kinds("sb.s_blocks_count"),
+            vec![
+                TokenKind::Ident("sb".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("s_blocks_count".into())
+            ]
+        );
+    }
+}

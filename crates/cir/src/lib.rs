@@ -1,0 +1,66 @@
+//! CIR — a small C-like language and three-address IR for modelling the
+//! configuration-handling code of the Ext4 ecosystem.
+//!
+//! The paper's analyzer runs on LLVM IR compiled from the real C sources
+//! of Ext4 and e2fsprogs. Neither LLVM nor the C sources are available in
+//! this reproduction, so this crate provides the equivalent substrate:
+//!
+//! * a **language** rich enough to transcribe each component's option
+//!   handling — `param` declarations (configuration sources), `metadata`
+//!   struct declarations (the shared FS metadata that bridges components),
+//!   functions, branches, comparisons, and `fail(...)` error paths;
+//! * a **compiler** (lexer → parser → AST → lowering) to a typed
+//!   three-address IR with explicit control-flow graphs — the same shape
+//!   (def/use chains, branches, field accesses) the paper's taint
+//!   analysis consumes from LLVM bitcode.
+//!
+//! The `taint` crate implements the paper's analysis on top of this IR,
+//! and `confdep` ships the source models of `mke2fs`, `mount`/`ext4`,
+//! `e4defrag`, `resize2fs`, and `e2fsck` written in this language.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     component demo;
+//!     metadata sb { s_blocks_count }
+//!     param int size = option("size");
+//!     fn main() {
+//!         if (size < 64) { fail("too small"); }
+//!         sb.s_blocks_count = size;
+//!     }
+//! "#;
+//! let program = cir::compile(src)?;
+//! assert_eq!(program.component, "demo");
+//! assert_eq!(program.params.len(), 1);
+//! # Ok::<(), cir::CirError>(())
+//! ```
+
+mod ast;
+mod error;
+mod ir;
+mod lexer;
+mod lower;
+mod parser;
+pub mod pretty;
+
+pub use ast::{BinOp, Expr, Item, Literal, Program as AstProgram, Stmt, UnOp};
+pub use error::CirError;
+pub use ir::{
+    BasicBlock, BlockId, Function, Instr, MetadataStruct, Operand, ParamDecl, ParamSource,
+    ParamTy, Program, Rvalue, Terminator, VarId,
+};
+pub use lexer::{lex, Token, TokenKind};
+pub use pretty::{function_to_string, program_to_string};
+
+/// Compiles CIR source text to IR.
+///
+/// # Errors
+///
+/// Returns [`CirError`] for lexical, syntactic, or lowering problems,
+/// with line information where available.
+pub fn compile(src: &str) -> Result<Program, CirError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::parse(&tokens)?;
+    lower::lower(&ast)
+}

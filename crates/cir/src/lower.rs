@@ -1,0 +1,437 @@
+//! AST → IR lowering: expression flattening to three-address form and
+//! structured control flow to a CFG.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Expr, Item, Literal, Program as Ast, Stmt};
+use crate::ir::{
+    BasicBlock, BlockId, Function, Instr, MetadataStruct, Operand, ParamDecl, ParamSource,
+    ParamTy, Program, Rvalue, Terminator, VarId,
+};
+use crate::CirError;
+
+struct Ctx {
+    vars: Vec<String>,
+    by_name: BTreeMap<String, VarId>,
+    temp_counter: u32,
+    metadata: Vec<MetadataStruct>,
+}
+
+impl Ctx {
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = VarId(self.vars.len() as u32);
+        self.vars.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        v
+    }
+
+    fn temp(&mut self) -> VarId {
+        let name = format!("%t{}", self.temp_counter);
+        self.temp_counter += 1;
+        self.var(&name)
+    }
+
+    fn check_field(&self, strct: &str, field: &str) -> Result<(), CirError> {
+        let s = self
+            .metadata
+            .iter()
+            .find(|m| m.name == strct)
+            .ok_or_else(|| CirError::Lower(format!("unknown metadata struct '{strct}'")))?;
+        if !s.fields.iter().any(|f| f == field) {
+            return Err(CirError::Lower(format!("metadata struct '{strct}' has no field '{field}'")));
+        }
+        Ok(())
+    }
+}
+
+struct FnBuilder {
+    blocks: Vec<BasicBlock>,
+    cur: BlockId,
+}
+
+impl FnBuilder {
+    fn new() -> Self {
+        FnBuilder {
+            blocks: vec![BasicBlock { id: BlockId(0), instrs: Vec::new(), term: Terminator::Return }],
+            cur: BlockId(0),
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock { id, instrs: Vec::new(), term: Terminator::Return });
+        id
+    }
+
+    fn push(&mut self, instr: Instr) {
+        self.blocks[self.cur.0 as usize].instrs.push(instr);
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.blocks[self.cur.0 as usize].term = term;
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+}
+
+/// Lowers a parsed program to IR.
+///
+/// # Errors
+///
+/// Returns [`CirError::Lower`] for missing/duplicate components, unknown
+/// types or sources, and references to undeclared metadata fields.
+pub fn lower(ast: &Ast) -> Result<Program, CirError> {
+    let mut component: Option<String> = None;
+    let mut ctx = Ctx {
+        vars: Vec::new(),
+        by_name: BTreeMap::new(),
+        temp_counter: 0,
+        metadata: Vec::new(),
+    };
+    let mut params: Vec<ParamDecl> = Vec::new();
+
+    // first pass: declarations
+    for item in &ast.items {
+        match item {
+            Item::Component(name) => {
+                if component.is_some() {
+                    return Err(CirError::Lower("duplicate 'component' declaration".to_string()));
+                }
+                component = Some(name.clone());
+            }
+            Item::Metadata { name, fields } => {
+                if ctx.metadata.iter().any(|m| &m.name == name) {
+                    return Err(CirError::Lower(format!("duplicate metadata struct '{name}'")));
+                }
+                ctx.metadata.push(MetadataStruct { name: name.clone(), fields: fields.clone() });
+            }
+            Item::Param { name, ty, source, key } => {
+                if params.iter().any(|p| &p.name == name) {
+                    return Err(CirError::Lower(format!("duplicate parameter '{name}'")));
+                }
+                let ty = ParamTy::parse(ty)
+                    .ok_or_else(|| CirError::Lower(format!("unknown parameter type '{ty}'")))?;
+                let source = ParamSource::parse(source)
+                    .ok_or_else(|| CirError::Lower(format!("unknown parameter source '{source}'")))?;
+                let var = ctx.var(name);
+                params.push(ParamDecl { name: name.clone(), ty, source, key: key.clone(), var });
+            }
+            Item::Function { .. } => {}
+        }
+    }
+
+    let component =
+        component.ok_or_else(|| CirError::Lower("missing 'component' declaration".to_string()))?;
+
+    // second pass: function bodies
+    let mut functions = Vec::new();
+    for item in &ast.items {
+        if let Item::Function { name, body } = item {
+            if functions.iter().any(|f: &Function| &f.name == name) {
+                return Err(CirError::Lower(format!("duplicate function '{name}'")));
+            }
+            let mut fb = FnBuilder::new();
+            lower_stmts(body, &mut ctx, &mut fb)?;
+            functions.push(Function { name: name.clone(), blocks: fb.blocks, entry: BlockId(0) });
+        }
+    }
+
+    Ok(Program { component, metadata: ctx.metadata, params, functions, vars: ctx.vars })
+}
+
+fn lower_stmts(stmts: &[Stmt], ctx: &mut Ctx, fb: &mut FnBuilder) -> Result<(), CirError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { name, value, line } => {
+                let rv = lower_expr_rv(value, ctx, fb, *line)?;
+                let dst = ctx.var(name);
+                fb.push(Instr::Assign { dst, value: rv, line: *line });
+            }
+            Stmt::FieldAssign { strct, field, value, line } => {
+                ctx.check_field(strct, field)?;
+                let op = lower_expr_op(value, ctx, fb, *line)?;
+                fb.push(Instr::MetaWrite {
+                    strct: strct.clone(),
+                    field: field.clone(),
+                    src: op,
+                    line: *line,
+                });
+            }
+            Stmt::Fail { msg, line } => {
+                fb.push(Instr::Fail { msg: msg.clone(), line: *line });
+                fb.set_term(Terminator::Abort);
+                // anything after a fail in the same block is unreachable;
+                // start a fresh block so lowering can continue
+                let next = fb.new_block();
+                fb.switch_to(next);
+            }
+            Stmt::Return { .. } => {
+                fb.set_term(Terminator::Return);
+                let next = fb.new_block();
+                fb.switch_to(next);
+            }
+            Stmt::ExprStmt { expr, line } => match expr {
+                Expr::Call { name, args } => {
+                    let args = args
+                        .iter()
+                        .map(|a| lower_expr_op(a, ctx, fb, *line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    fb.push(Instr::CallStmt { name: name.clone(), args, line: *line });
+                }
+                other => {
+                    // evaluate for effect (no-op), still lower operands
+                    let _ = lower_expr_op(other, ctx, fb, *line)?;
+                }
+            },
+            Stmt::If { cond, then_body, else_body, line } => {
+                let cond_op = lower_expr_op(cond, ctx, fb, *line)?;
+                let then_bb = fb.new_block();
+                let else_bb = fb.new_block();
+                let join_bb = fb.new_block();
+                fb.set_term(Terminator::Branch { cond: cond_op, then_bb, else_bb, line: *line });
+                fb.switch_to(then_bb);
+                lower_stmts(then_body, ctx, fb)?;
+                fb.set_term_if_default(Terminator::Goto(join_bb));
+                fb.switch_to(else_bb);
+                lower_stmts(else_body, ctx, fb)?;
+                fb.set_term_if_default(Terminator::Goto(join_bb));
+                fb.switch_to(join_bb);
+            }
+        }
+    }
+    Ok(())
+}
+
+impl FnBuilder {
+    /// Sets the terminator only when the block still carries the default
+    /// `Return` (i.e., no `fail`/`return` already ended it).
+    fn set_term_if_default(&mut self, term: Terminator) {
+        let cur = &mut self.blocks[self.cur.0 as usize];
+        if cur.term == Terminator::Return {
+            cur.term = term;
+        }
+    }
+}
+
+fn lower_expr_rv(e: &Expr, ctx: &mut Ctx, fb: &mut FnBuilder, line: u32) -> Result<Rvalue, CirError> {
+    Ok(match e {
+        Expr::Lit(l) => Rvalue::Use(lit_op(l)),
+        Expr::Var(name) => Rvalue::Use(Operand::Var(ctx.var(name))),
+        Expr::Field { strct, field } => {
+            ctx.check_field(strct, field)?;
+            Rvalue::MetaRead { strct: strct.clone(), field: field.clone() }
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let l = lower_expr_op(lhs, ctx, fb, line)?;
+            let r = lower_expr_op(rhs, ctx, fb, line)?;
+            Rvalue::Bin { op: *op, lhs: l, rhs: r }
+        }
+        Expr::Un { op, expr } => {
+            let o = lower_expr_op(expr, ctx, fb, line)?;
+            Rvalue::Un { op: *op, operand: o }
+        }
+        Expr::Call { name, args } => {
+            let args = args
+                .iter()
+                .map(|a| lower_expr_op(a, ctx, fb, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            Rvalue::Call { name: name.clone(), args }
+        }
+    })
+}
+
+fn lower_expr_op(e: &Expr, ctx: &mut Ctx, fb: &mut FnBuilder, line: u32) -> Result<Operand, CirError> {
+    Ok(match e {
+        Expr::Lit(l) => lit_op(l),
+        Expr::Var(name) => Operand::Var(ctx.var(name)),
+        other => {
+            let rv = lower_expr_rv(other, ctx, fb, line)?;
+            let t = ctx.temp();
+            fb.push(Instr::Assign { dst: t, value: rv, line });
+            Operand::Var(t)
+        }
+    })
+}
+
+fn lit_op(l: &Literal) -> Operand {
+    match l {
+        Literal::Int(v) => Operand::ConstInt(*v),
+        Literal::Bool(b) => Operand::ConstBool(*b),
+        Literal::Str(s) => Operand::ConstStr(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn lowers_params_and_metadata() {
+        let p = compile(
+            r#"
+            component mke2fs;
+            metadata sb { s_blocks_count, s_log_block_size }
+            param int blocksize = option("-b");
+            param bool sparse_super2 = feature("sparse_super2");
+            fn main() { sb.s_blocks_count = 100; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.component, "mke2fs");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].ty, ParamTy::Int);
+        assert_eq!(p.params[1].source, ParamSource::Feature);
+        assert_eq!(p.metadata[0].fields.len(), 2);
+        assert!(p.param("blocksize").is_some());
+        assert!(p.param("nope").is_none());
+    }
+
+    #[test]
+    fn if_produces_branch_cfg() {
+        let p = compile(
+            r#"
+            component c;
+            param int x = option("-x");
+            fn f() {
+                if (x < 10) { fail("small"); }
+                x = x + 1;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        // entry block ends in a Branch
+        let entry = f.block(f.entry);
+        assert!(matches!(entry.term, Terminator::Branch { .. }));
+        // then-branch aborts
+        if let Terminator::Branch { then_bb, else_bb, .. } = entry.term {
+            assert!(f.always_fails(then_bb));
+            assert!(!f.always_fails(else_bb));
+            assert!(f.reaches_fail(f.entry));
+        }
+    }
+
+    #[test]
+    fn three_address_flattening() {
+        let p = compile(
+            r#"
+            component c;
+            param int a = option("-a");
+            fn f() { x = a + 2 * 3; }
+            "#,
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        // 2*3 must be hoisted into a temp
+        let instrs = &f.block(f.entry).instrs;
+        assert_eq!(instrs.len(), 2);
+        assert!(matches!(
+            &instrs[0],
+            Instr::Assign { value: Rvalue::Bin { op: crate::BinOp::Mul, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_metadata_field_rejected() {
+        let err = compile(
+            r#"
+            component c;
+            metadata sb { a }
+            fn f() { sb.b = 1; }
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no field"));
+        let err = compile(
+            r#"
+            component c;
+            fn f() { gd.b = 1; }
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown metadata struct"));
+    }
+
+    #[test]
+    fn missing_component_rejected() {
+        assert!(compile("fn f() { x = 1; }").is_err());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(compile("component a; component b;").is_err());
+        assert!(compile(r#"component a; param int x = option("x"); param int x = option("y");"#).is_err());
+        assert!(compile("component a; fn f() { } fn f() { }").is_err());
+        assert!(compile("component a; metadata m { x } metadata m { y }").is_err());
+    }
+
+    #[test]
+    fn bad_param_type_or_source_rejected() {
+        assert!(compile(r#"component a; param float x = option("x");"#).is_err());
+        assert!(compile(r#"component a; param int x = env("x");"#).is_err());
+    }
+
+    #[test]
+    fn return_statement_terminates_block() {
+        let p = compile(
+            r#"
+            component c;
+            fn f() {
+                if (x == 1) { return; }
+                y = 2;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        if let Terminator::Branch { then_bb, .. } = f.block(f.entry).term {
+            assert_eq!(f.block(then_bb).term, Terminator::Return);
+        } else {
+            panic!("expected branch");
+        }
+    }
+
+    #[test]
+    fn call_statement_lowered() {
+        let p = compile(
+            r#"
+            component c;
+            param int x = option("x");
+            fn f() { warn("msg", x); }
+            "#,
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        assert!(matches!(&f.block(f.entry).instrs[0], Instr::CallStmt { name, .. } if name == "warn"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = compile(r#"component c; param int x = option("x"); fn f() { }"#).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("component c;"));
+        assert!(s.contains("param int x"));
+    }
+
+    #[test]
+    fn fail_in_both_arms_always_fails() {
+        let p = compile(
+            r#"
+            component c;
+            param int x = option("x");
+            fn f() {
+                if (x < 1) { fail("a"); } else { fail("b"); }
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        assert!(f.always_fails(f.entry));
+    }
+}

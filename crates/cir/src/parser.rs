@@ -1,0 +1,507 @@
+//! Recursive-descent parser for CIR.
+
+use crate::ast::{BinOp, Expr, Item, Literal, Program, Stmt, UnOp};
+use crate::lexer::{Token, TokenKind};
+use crate::CirError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into an AST.
+///
+/// # Errors
+///
+/// Returns [`CirError::Parse`] with the offending line.
+pub fn parse(toks: &[Token]) -> Result<Program, CirError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CirError {
+        CirError::Parse { line: self.line(), msg: msg.into() }
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), CirError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(k) => Err(self.err(format!("expected {what}, found {k:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CirError> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, CirError> {
+        match self.peek() {
+            Some(TokenKind::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, CirError> {
+        let kw = self.ident("an item keyword")?;
+        match kw.as_str() {
+            "component" => {
+                let name = self.ident("component name")?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Item::Component(name))
+            }
+            "metadata" => {
+                let name = self.ident("metadata struct name")?;
+                self.expect(&TokenKind::LBrace, "'{'")?;
+                let mut fields = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(TokenKind::RBrace) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(TokenKind::Comma) => {
+                            self.pos += 1;
+                        }
+                        Some(TokenKind::Ident(_)) => fields.push(self.ident("field")?),
+                        other => return Err(self.err(format!("expected field or '}}', found {other:?}"))),
+                    }
+                }
+                Ok(Item::Metadata { name, fields })
+            }
+            "param" => {
+                let ty = self.ident("parameter type")?;
+                let name = self.ident("parameter name")?;
+                self.expect(&TokenKind::Assign, "'='")?;
+                let source = self.ident("source kind (option/feature/operand)")?;
+                self.expect(&TokenKind::LParen, "'('")?;
+                let key = self.string("source key string")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Item::Param { name, ty, source, key })
+            }
+            "fn" => {
+                let name = self.ident("function name")?;
+                self.expect(&TokenKind::LParen, "'('")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Item::Function { name, body })
+            }
+            other => Err(self.err(format!("unknown item '{other}'"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CirError> {
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&TokenKind::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.pos += 1; // consume '}'
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CirError> {
+        let line = self.line();
+        match self.peek() {
+            Some(TokenKind::Ident(kw)) if kw == "if" => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let then_body = self.block()?;
+                let else_body = if matches!(self.peek(), Some(TokenKind::Ident(k)) if k == "else") {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(TokenKind::Ident(k)) if k == "if") {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, line })
+            }
+            Some(TokenKind::Ident(kw)) if kw == "fail" => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "'('")?;
+                let msg = self.string("failure message")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Fail { msg, line })
+            }
+            Some(TokenKind::Ident(kw)) if kw == "return" => {
+                self.pos += 1;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Return { line })
+            }
+            Some(TokenKind::Ident(kw)) if kw == "let" => {
+                self.pos += 1;
+                let name = self.ident("variable name")?;
+                self.expect(&TokenKind::Assign, "'='")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Assign { name, value, line })
+            }
+            Some(TokenKind::Ident(_)) => {
+                // x = e; | strct.field = e; | call(...);
+                let name = self.ident("identifier")?;
+                match self.peek() {
+                    Some(TokenKind::Dot) => {
+                        self.pos += 1;
+                        let field = self.ident("field name")?;
+                        if self.peek() == Some(&TokenKind::Assign) {
+                            self.pos += 1;
+                            let value = self.expr()?;
+                            self.expect(&TokenKind::Semi, "';'")?;
+                            Ok(Stmt::FieldAssign { strct: name, field, value, line })
+                        } else {
+                            Err(self.err("expected '=' after field access statement"))
+                        }
+                    }
+                    Some(TokenKind::Assign) => {
+                        self.pos += 1;
+                        let value = self.expr()?;
+                        self.expect(&TokenKind::Semi, "';'")?;
+                        Ok(Stmt::Assign { name, value, line })
+                    }
+                    Some(TokenKind::LParen) => {
+                        let expr = self.call_tail(name)?;
+                        self.expect(&TokenKind::Semi, "';'")?;
+                        Ok(Stmt::ExprStmt { expr, line })
+                    }
+                    other => Err(self.err(format!("unexpected token after identifier: {other:?}"))),
+                }
+            }
+            other => Err(self.err(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    fn call_tail(&mut self, name: String) -> Result<Expr, CirError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == Some(&TokenKind::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(Expr::Call { name, args })
+    }
+
+    // precedence climbing: || < && < comparisons < +- < */%
+    fn expr(&mut self) -> Result<Expr, CirError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CirError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&TokenKind::OrOr) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CirError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Some(&TokenKind::AndAnd) {
+            self.pos += 1;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CirError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(BinOp::Eq),
+            Some(TokenKind::Ne) => Some(BinOp::Ne),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.add_expr()?;
+                Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CirError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CirError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CirError> {
+        match self.peek() {
+            Some(TokenKind::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Un { op: UnOp::Not, expr: Box::new(self.unary_expr()?) })
+            }
+            Some(TokenKind::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(self.unary_expr()?) })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CirError> {
+        let line = self.line();
+        match self.bump().cloned() {
+            Some(Token { kind: TokenKind::Int(v), .. }) => Ok(Expr::Lit(Literal::Int(v))),
+            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(Expr::Lit(Literal::Str(s))),
+            Some(Token { kind: TokenKind::LParen, .. }) => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token { kind: TokenKind::Ident(name), .. }) => match name.as_str() {
+                "true" => Ok(Expr::Lit(Literal::Bool(true))),
+                "false" => Ok(Expr::Lit(Literal::Bool(false))),
+                _ => match self.peek() {
+                    Some(TokenKind::LParen) => self.call_tail(name),
+                    Some(TokenKind::Dot) => {
+                        self.pos += 1;
+                        let field = self.ident("field name")?;
+                        Ok(Expr::Field { strct: name, field })
+                    }
+                    _ => Ok(Expr::Var(name)),
+                },
+            },
+            other => {
+                Err(CirError::Parse { line, msg: format!("expected an expression, found {other:?}") })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_component_and_param() {
+        let p = parse_src(r#"component mke2fs; param int blocksize = option("-b");"#);
+        assert_eq!(p.items.len(), 2);
+        assert_eq!(p.items[0], Item::Component("mke2fs".to_string()));
+        match &p.items[1] {
+            Item::Param { name, ty, source, key } => {
+                assert_eq!(name, "blocksize");
+                assert_eq!(ty, "int");
+                assert_eq!(source, "option");
+                assert_eq!(key, "-b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_metadata_struct() {
+        let p = parse_src("metadata sb { s_blocks_count, s_log_block_size }");
+        match &p.items[0] {
+            Item::Metadata { name, fields } => {
+                assert_eq!(name, "sb");
+                assert_eq!(fields, &["s_blocks_count", "s_log_block_size"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_function_with_if_fail() {
+        let p = parse_src(
+            r#"fn check() {
+                if (blocksize < 1024 || blocksize > 65536) { fail("bad -b"); }
+                sb.s_log_block_size = log2(blocksize) - 10;
+            }"#,
+        );
+        match &p.items[0] {
+            Item::Function { name, body } => {
+                assert_eq!(name, "check");
+                assert_eq!(body.len(), 2);
+                assert!(matches!(&body[0], Stmt::If { .. }));
+                assert!(matches!(&body[1], Stmt::FieldAssign { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_else_if_chain() {
+        let p = parse_src(
+            r#"fn f() {
+                if (a == 1) { x = 1; } else if (a == 2) { x = 2; } else { x = 3; }
+            }"#,
+        );
+        match &p.items[0] {
+            Item::Function { body, .. } => match &body[0] {
+                Stmt::If { else_body, .. } => {
+                    assert_eq!(else_body.len(), 1);
+                    assert!(matches!(&else_body[0], Stmt::If { .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let p = parse_src("fn f() { x = 1 + 2 * 3; y = (1 + 2) * 3; b = x < y && y != 9; }");
+        match &p.items[0] {
+            Item::Function { body, .. } => {
+                match &body[0] {
+                    Stmt::Assign { value: Expr::Bin { op: BinOp::Add, rhs, .. }, .. } => {
+                        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                match &body[2] {
+                    Stmt::Assign { value: Expr::Bin { op: BinOp::And, .. }, .. } => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_statement_and_expression() {
+        let p = parse_src("fn f() { log(\"hi\", 3); x = max(a, b); }");
+        match &p.items[0] {
+            Item::Function { body, .. } => {
+                assert!(matches!(&body[0], Stmt::ExprStmt { expr: Expr::Call { .. }, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse_src("fn f() { a = !b; c = -5; }");
+        match &p.items[0] {
+            Item::Function { body, .. } => {
+                assert!(matches!(&body[0], Stmt::Assign { value: Expr::Un { op: UnOp::Not, .. }, .. }));
+                assert!(matches!(&body[1], Stmt::Assign { value: Expr::Un { op: UnOp::Neg, .. }, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let toks = lex("fn f() {\n  x = ;\n}").unwrap();
+        match parse(&toks) {
+            Err(CirError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let toks = lex("fn f() { x = 1;").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn field_read_in_expression() {
+        let p = parse_src("fn f() { x = sb.s_blocks_count + 1; }");
+        match &p.items[0] {
+            Item::Function { body, .. } => match &body[0] {
+                Stmt::Assign { value: Expr::Bin { lhs, .. }, .. } => {
+                    assert!(matches!(**lhs, Expr::Field { .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The Table 5 evaluation: run the extractor per scenario, score against
+//! the ground truth, and aggregate unique totals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::extract::ExtractOptions;
+use crate::ground_truth::is_false_positive;
+use crate::model::{dedup, Dependency};
+use crate::scenario::{paper_scenarios, Scenario};
+use crate::ConfdepError;
+
+/// Extraction counts for one category (SD, CPD, or CCD).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryCounts {
+    /// Dependencies extracted.
+    pub extracted: usize,
+    /// Of those, labelled false positives.
+    pub false_positives: usize,
+}
+
+impl CategoryCounts {
+    /// False-positive rate (0 when nothing was extracted).
+    pub fn fp_rate(&self) -> f64 {
+        if self.extracted == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.extracted as f64
+        }
+    }
+
+    fn from_deps<'a>(deps: impl Iterator<Item = &'a Dependency>) -> Self {
+        let mut c = CategoryCounts::default();
+        for d in deps {
+            c.extracted += 1;
+            if is_false_positive(d) {
+                c.false_positives += 1;
+            }
+        }
+        c
+    }
+}
+
+/// The extraction outcome for one scenario row of Table 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario id (or `"unique"` for the totals row).
+    pub id: String,
+    /// Row label.
+    pub label: String,
+    /// Self-dependency counts.
+    pub sd: CategoryCounts,
+    /// Cross-parameter counts.
+    pub cpd: CategoryCounts,
+    /// Cross-component counts.
+    pub ccd: CategoryCounts,
+    /// The extracted dependencies.
+    pub deps: Vec<Dependency>,
+}
+
+impl ScenarioOutcome {
+    fn from_deps(id: &str, label: &str, deps: Vec<Dependency>) -> Self {
+        ScenarioOutcome {
+            id: id.to_string(),
+            label: label.to_string(),
+            sd: CategoryCounts::from_deps(deps.iter().filter(|d| d.is_self_dependency())),
+            cpd: CategoryCounts::from_deps(deps.iter().filter(|d| d.is_cross_parameter())),
+            ccd: CategoryCounts::from_deps(deps.iter().filter(|d| d.is_cross_component())),
+            deps,
+        }
+    }
+
+    /// Total dependencies extracted in this row.
+    pub fn total(&self) -> usize {
+        self.sd.extracted + self.cpd.extracted + self.ccd.extracted
+    }
+
+    /// Total false positives in this row.
+    pub fn total_fp(&self) -> usize {
+        self.sd.false_positives + self.cpd.false_positives + self.ccd.false_positives
+    }
+}
+
+/// The full Table 5 evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// One row per scenario, in paper order.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// The "Total Unique" row.
+    pub unique: ScenarioOutcome,
+}
+
+impl Evaluation {
+    /// Runs the whole evaluation with the given analysis options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError`] if a model fails to compile.
+    pub fn run(options: ExtractOptions) -> Result<Self, ConfdepError> {
+        Self::run_scenarios(&paper_scenarios(), options)
+    }
+
+    /// Runs the evaluation over custom scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError`] if a model fails to compile.
+    pub fn run_scenarios(
+        scenarios: &[Scenario],
+        options: ExtractOptions,
+    ) -> Result<Self, ConfdepError> {
+        let mut rows = Vec::new();
+        let mut all = Vec::new();
+        for sc in scenarios {
+            let deps = sc.extract(options)?;
+            all.extend(deps.clone());
+            rows.push(ScenarioOutcome::from_deps(&sc.id, &sc.label, deps));
+        }
+        let unique = ScenarioOutcome::from_deps("unique", "Total Unique", dedup(all));
+        Ok(Evaluation { scenarios: rows, unique })
+    }
+
+    /// Overall false-positive rate (the paper's 7.8%).
+    pub fn overall_fp_rate(&self) -> f64 {
+        if self.unique.total() == 0 {
+            0.0
+        } else {
+            self.unique.total_fp() as f64 / self.unique.total() as f64
+        }
+    }
+
+    /// Precision: true dependencies / extracted.
+    pub fn precision(&self) -> f64 {
+        1.0 - self.overall_fp_rate()
+    }
+
+    /// Recall against the labelled universe (extracted trues plus the
+    /// known misses of `ground_truth::known_missed_by_prototype`) — the
+    /// false-negative metric the paper lists as future evaluation work.
+    pub fn recall(&self) -> f64 {
+        let trues = self.unique.total() - self.unique.total_fp();
+        let missed = crate::ground_truth::known_missed_by_prototype()
+            .iter()
+            .filter(|(sig, _)| !self.unique.deps.iter().any(|d| &d.signature() == sig))
+            .count();
+        if trues + missed == 0 {
+            0.0
+        } else {
+            trues as f64 / (trues + missed) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_headline_numbers() {
+        let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+        // "the preliminary prototype is able to extract 64 multi-level
+        //  dependencies ... including 32 SD, 26 CPD, and 6 CCD ... with a
+        //  low false positive rate (7.8%, 5/64)"
+        assert_eq!(eval.unique.sd.extracted, 32);
+        assert_eq!(eval.unique.cpd.extracted, 26);
+        assert_eq!(eval.unique.ccd.extracted, 6);
+        assert_eq!(eval.unique.total(), 64);
+        assert_eq!(eval.unique.total_fp(), 5);
+        assert!((eval.overall_fp_rate() - 0.078).abs() < 0.001);
+    }
+
+    #[test]
+    fn table5_per_category_fp() {
+        let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+        assert_eq!(eval.unique.sd.false_positives, 3); // 9.4%
+        assert_eq!(eval.unique.cpd.false_positives, 1); // 3.9%
+        assert_eq!(eval.unique.ccd.false_positives, 1); // 16.7%
+        assert!((eval.unique.sd.fp_rate() - 0.094).abs() < 0.001);
+        assert!((eval.unique.cpd.fp_rate() - 0.038).abs() < 0.01);
+        assert!((eval.unique.ccd.fp_rate() - 0.167).abs() < 0.001);
+    }
+
+    #[test]
+    fn ccds_only_in_the_resize2fs_scenario() {
+        let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+        assert_eq!(eval.scenarios[0].ccd.extracted, 0);
+        assert_eq!(eval.scenarios[1].ccd.extracted, 0);
+        assert_eq!(eval.scenarios[2].ccd.extracted, 6);
+        assert_eq!(eval.scenarios[3].ccd.extracted, 0);
+    }
+
+    #[test]
+    fn scenario_rows_are_monotone_with_components() {
+        let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+        // S3 adds resize2fs: strictly more dependencies than S1
+        assert!(eval.scenarios[2].total() > eval.scenarios[0].total());
+        // S2 (e4defrag) adds nothing the prototype can see
+        assert_eq!(eval.scenarios[1].total(), eval.scenarios[0].total());
+    }
+
+    #[test]
+    fn precision_and_recall_metrics() {
+        let intra = Evaluation::run(ExtractOptions::default()).unwrap();
+        assert!((intra.precision() - 0.922).abs() < 0.001); // 59/64
+        // 59 of 67 labelled trues (59 found + 8 known misses)
+        assert!((intra.recall() - 59.0 / 67.0).abs() < 0.001);
+        // the inter-procedural extension raises recall
+        let inter = Evaluation::run(ExtractOptions {
+            interprocedural: true,
+            ..ExtractOptions::default()
+        })
+        .unwrap();
+        assert!(inter.recall() > intra.recall());
+    }
+
+    #[test]
+    fn interprocedural_extension_grows_the_table() {
+        let intra = Evaluation::run(ExtractOptions::default()).unwrap();
+        let inter = Evaluation::run(ExtractOptions {
+            interprocedural: true,
+            ..ExtractOptions::default()
+        })
+        .unwrap();
+        assert!(inter.unique.ccd.extracted > intra.unique.ccd.extracted);
+        assert!(inter.unique.total() > intra.unique.total());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+        let json = serde_json::to_string(&eval).unwrap();
+        let back: Evaluation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.unique.total(), 64);
+    }
+}

@@ -1,0 +1,282 @@
+//! The multi-level configuration-dependency taxonomy (Table 4 of the
+//! paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The seven sub-categories of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// SD: the parameter must have a specific data type.
+    SdDataType,
+    /// SD: the parameter must lie in a specific value range / set.
+    SdValueRange,
+    /// CPD: a parameter can be enabled iff another parameter of the same
+    /// component is enabled/disabled.
+    CpdControl,
+    /// CPD: a parameter's value depends on another parameter's value.
+    CpdValue,
+    /// CCD: a parameter can be enabled iff a parameter of *another*
+    /// component is enabled/disabled.
+    CcdControl,
+    /// CCD: a parameter's value depends on another component's
+    /// parameter.
+    CcdValue,
+    /// CCD: a component's behaviour depends on another component's
+    /// parameter.
+    CcdBehavioral,
+}
+
+impl DepKind {
+    /// The major category: `"SD"`, `"CPD"`, or `"CCD"`.
+    pub fn category(self) -> &'static str {
+        match self {
+            DepKind::SdDataType | DepKind::SdValueRange => "SD",
+            DepKind::CpdControl | DepKind::CpdValue => "CPD",
+            DepKind::CcdControl | DepKind::CcdValue | DepKind::CcdBehavioral => "CCD",
+        }
+    }
+
+    /// Human-readable sub-category name as in Table 4.
+    pub fn sub_category(self) -> &'static str {
+        match self {
+            DepKind::SdDataType => "Data Type",
+            DepKind::SdValueRange => "Value Range",
+            DepKind::CpdControl => "Control",
+            DepKind::CpdValue => "Value",
+            DepKind::CcdControl => "Control",
+            DepKind::CcdValue => "Value",
+            DepKind::CcdBehavioral => "Behavioral",
+        }
+    }
+
+    /// All seven kinds in Table 4 order.
+    pub fn all() -> [DepKind; 7] {
+        [
+            DepKind::SdDataType,
+            DepKind::SdValueRange,
+            DepKind::CpdControl,
+            DepKind::CpdValue,
+            DepKind::CcdControl,
+            DepKind::CcdValue,
+            DepKind::CcdBehavioral,
+        ]
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.category(), self.sub_category())
+    }
+}
+
+/// A parameter of a specific component.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ParamRef {
+    /// Component (`mke2fs`, `mount`, ...).
+    pub component: String,
+    /// Parameter name.
+    pub param: String,
+}
+
+impl ParamRef {
+    /// Convenience constructor.
+    pub fn new(component: &str, param: &str) -> Self {
+        ParamRef { component: component.to_string(), param: param.to_string() }
+    }
+}
+
+impl fmt::Display for ParamRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.component, self.param)
+    }
+}
+
+/// The other end of a dependency.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// Another parameter.
+    Param(ParamRef),
+    /// A whole component's behaviour (CCD-behavioral).
+    Component(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Param(p) => write!(f, "{p}"),
+            Endpoint::Component(c) => write!(f, "{c}:<behavior>"),
+        }
+    }
+}
+
+/// Extra detail attached to a dependency.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepDetail {
+    /// For `SdDataType`: the required type.
+    pub data_type: Option<String>,
+    /// For `SdValueRange`: inclusive lower bound, if known.
+    pub min: Option<i64>,
+    /// For `SdValueRange`: inclusive upper bound, if known.
+    pub max: Option<i64>,
+    /// Values the parameter must (or must not) equal.
+    pub value_set: Vec<i64>,
+    /// Free-form relation text ("cannot be combined", "requires", ...).
+    pub relation: Option<String>,
+    /// The shared metadata field that bridges a CCD.
+    pub bridge_field: Option<String>,
+}
+
+/// One extracted (or ground-truth) dependency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependency {
+    /// Sub-category.
+    pub kind: DepKind,
+    /// The constrained parameter.
+    pub subject: ParamRef,
+    /// The other end (absent for SD).
+    pub object: Option<Endpoint>,
+    /// Detail.
+    pub detail: DepDetail,
+    /// Short evidence strings (function:line of the facts involved).
+    pub evidence: Vec<String>,
+}
+
+impl Dependency {
+    /// A stable signature used for dedup and ground-truth matching.
+    /// Symmetric for the pairwise CPD kinds (the pair `{a, b}` is one
+    /// dependency regardless of orientation).
+    pub fn signature(&self) -> String {
+        match (&self.kind, &self.object) {
+            (DepKind::CpdControl | DepKind::CpdValue, Some(Endpoint::Param(o))) => {
+                let (a, b) = if self.subject.param <= o.param {
+                    (&self.subject.param, &o.param)
+                } else {
+                    (&o.param, &self.subject.param)
+                };
+                format!("{:?}|{}|{}~{}", self.kind, self.subject.component, a, b)
+            }
+            (_, Some(o)) => format!("{:?}|{}|{}", self.kind, self.subject, o),
+            (_, None) => format!("{:?}|{}", self.kind, self.subject),
+        }
+    }
+
+    /// True for SD kinds.
+    pub fn is_self_dependency(&self) -> bool {
+        self.kind.category() == "SD"
+    }
+
+    /// True for CPD kinds.
+    pub fn is_cross_parameter(&self) -> bool {
+        self.kind.category() == "CPD"
+    }
+
+    /// True for CCD kinds.
+    pub fn is_cross_component(&self) -> bool {
+        self.kind.category() == "CCD"
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.subject)?;
+        if let Some(o) = &self.object {
+            write!(f, " ~ {o}")?;
+        }
+        if let Some(rel) = &self.detail.relation {
+            write!(f, " ({rel})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Removes duplicates by [`Dependency::signature`], keeping the first
+/// occurrence (whose evidence is extended with later ones').
+pub fn dedup(deps: Vec<Dependency>) -> Vec<Dependency> {
+    let mut out: Vec<Dependency> = Vec::new();
+    for d in deps {
+        if let Some(existing) = out.iter_mut().find(|e| e.signature() == d.signature()) {
+            for ev in d.evidence {
+                if !existing.evidence.contains(&ev) {
+                    existing.evidence.push(ev);
+                }
+            }
+        } else {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(kind: DepKind, subj: (&str, &str), obj: Option<(&str, &str)>) -> Dependency {
+        Dependency {
+            kind,
+            subject: ParamRef::new(subj.0, subj.1),
+            object: obj.map(|(c, p)| Endpoint::Param(ParamRef::new(c, p))),
+            detail: DepDetail::default(),
+            evidence: vec![],
+        }
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(DepKind::SdDataType.category(), "SD");
+        assert_eq!(DepKind::CpdValue.category(), "CPD");
+        assert_eq!(DepKind::CcdBehavioral.category(), "CCD");
+        assert_eq!(DepKind::all().len(), 7);
+    }
+
+    #[test]
+    fn cpd_signature_is_symmetric() {
+        let a = dep(DepKind::CpdControl, ("mke2fs", "meta_bg"), Some(("mke2fs", "resize_inode")));
+        let b = dep(DepKind::CpdControl, ("mke2fs", "resize_inode"), Some(("mke2fs", "meta_bg")));
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn ccd_signature_is_directional() {
+        let a = dep(DepKind::CcdControl, ("mke2fs", "x"), Some(("resize2fs", "y")));
+        let b = dep(DepKind::CcdControl, ("resize2fs", "y"), Some(("mke2fs", "x")));
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn dedup_merges_evidence() {
+        let mut a = dep(DepKind::SdValueRange, ("mke2fs", "blocksize"), None);
+        a.evidence.push("check:3".to_string());
+        let mut b = a.clone();
+        b.evidence = vec!["check:9".to_string()];
+        let out = dedup(vec![a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].evidence, vec!["check:3", "check:9"]);
+    }
+
+    #[test]
+    fn category_predicates() {
+        assert!(dep(DepKind::SdDataType, ("c", "p"), None).is_self_dependency());
+        assert!(dep(DepKind::CpdControl, ("c", "p"), Some(("c", "q"))).is_cross_parameter());
+        assert!(dep(DepKind::CcdValue, ("c", "p"), Some(("d", "q"))).is_cross_component());
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut d = dep(DepKind::CpdControl, ("mke2fs", "meta_bg"), Some(("mke2fs", "resize_inode")));
+        d.detail.relation = Some("cannot be combined".to_string());
+        let s = d.to_string();
+        assert!(s.contains("meta_bg"));
+        assert!(s.contains("cannot be combined"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = dep(DepKind::CcdBehavioral, ("mke2fs", "sparse_super2"), None);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dependency = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

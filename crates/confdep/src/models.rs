@@ -1,0 +1,93 @@
+//! The CIR source models of the six Ext4-ecosystem components, written
+//! in the `cir` language and transcribing the configuration handling of
+//! the real code (e2fsprogs and the ext4 kernel module).
+//!
+//! Each model is what the paper's analyzer sees after pre-selecting the
+//! configuration-handling functions of a component (§4.1). The
+//! `resize2fs` model additionally reproduces the prototype's documented
+//! imprecision — three spurious self-dependencies and one spurious
+//! cross-component dependency — via the same mechanisms a
+//! flow-insensitive taint analysis exhibits on the real code.
+
+/// `mke2fs` — create-stage configuration handling.
+pub const MKE2FS: &str = include_str!("models/mke2fs.cir");
+
+/// `mount` — option parsing plus the `ext4_fill_super`-side checks.
+pub const MOUNT: &str = include_str!("models/mount.cir");
+
+/// The ext4 kernel module's own knobs and feature-driven behaviour.
+pub const EXT4: &str = include_str!("models/ext4.cir");
+
+/// `e4defrag` — online defragmentation.
+pub const E4DEFRAG: &str = include_str!("models/e4defrag.cir");
+
+/// `resize2fs` — offline resize (the Figure 1 component).
+pub const RESIZE2FS: &str = include_str!("models/resize2fs.cir");
+
+/// `e2fsck` — offline checking.
+pub const E2FSCK: &str = include_str!("models/e2fsck.cir");
+
+/// All models with their component names, in the paper's order.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("mke2fs", MKE2FS),
+        ("mount", MOUNT),
+        ("ext4", EXT4),
+        ("e4defrag", E4DEFRAG),
+        ("resize2fs", RESIZE2FS),
+        ("e2fsck", E2FSCK),
+    ]
+}
+
+/// The model for a given component name.
+pub fn by_name(component: &str) -> Option<&'static str> {
+    all().into_iter().find(|(n, _)| *n == component).map(|(_, src)| src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_compile() {
+        for (name, src) in all() {
+            let program = cir::compile(src)
+                .unwrap_or_else(|e| panic!("model {name} failed to compile: {e}"));
+            assert_eq!(program.component, name);
+            assert!(!program.functions.is_empty(), "{name} has no functions");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("mke2fs").is_some());
+        assert!(by_name("resize2fs").is_some());
+        assert!(by_name("zfs").is_none());
+    }
+
+    #[test]
+    fn models_declare_realistic_parameter_counts() {
+        let counts: Vec<(String, usize)> = all()
+            .into_iter()
+            .map(|(n, src)| (n.to_string(), cir::compile(src).unwrap().params.len()))
+            .collect();
+        let get = |n: &str| counts.iter().find(|(c, _)| c == n).unwrap().1;
+        assert!(get("mke2fs") >= 25, "mke2fs models a large option surface");
+        assert!(get("mount") >= 10);
+        assert!(get("resize2fs") >= 8);
+        assert!(get("e2fsck") >= 6);
+    }
+
+    #[test]
+    fn shared_metadata_fields_overlap_across_components() {
+        // the bridge only works if writers and readers agree on fields
+        let mke2fs = cir::compile(MKE2FS).unwrap();
+        let resize = cir::compile(RESIZE2FS).unwrap();
+        let m_fields: Vec<&String> = mke2fs.metadata.iter().flat_map(|m| m.fields.iter()).collect();
+        let r_fields: Vec<&String> = resize.metadata.iter().flat_map(|m| m.fields.iter()).collect();
+        for f in ["s_blocks_count", "s_feat_sparse_super2", "s_feat_64bit"] {
+            assert!(m_fields.iter().any(|x| x.as_str() == f), "mke2fs missing {f}");
+            assert!(r_fields.iter().any(|x| x.as_str() == f), "resize2fs missing {f}");
+        }
+    }
+}

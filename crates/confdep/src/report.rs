@@ -1,0 +1,106 @@
+//! JSON reports — "the extracted dependencies are stored in JSON files
+//! which describe both the parameters and the associated constraints"
+//! (§4.1).
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Dependency;
+use crate::ConfdepError;
+
+/// A serialisable dependency report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyReport {
+    /// What was analyzed (component or scenario label).
+    pub target: String,
+    /// Tool identification.
+    pub generated_by: String,
+    /// Whether the inter-procedural extension was on.
+    pub interprocedural: bool,
+    /// The dependencies.
+    pub dependencies: Vec<Dependency>,
+}
+
+impl DependencyReport {
+    /// Builds a report.
+    pub fn new(target: &str, interprocedural: bool, dependencies: Vec<Dependency>) -> Self {
+        DependencyReport {
+            target: target.to_string(),
+            generated_by: "confdep 0.1".to_string(),
+            interprocedural,
+            dependencies,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError::Json`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String, ConfdepError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError::Json`] on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, ConfdepError> {
+        Ok(serde_json::from_str(s)?)
+    }
+
+    /// Writes the report to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError::Io`] / [`ConfdepError::Json`].
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ConfdepError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads a report from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError::Io`] / [`ConfdepError::Json`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ConfdepError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract_component, models};
+
+    #[test]
+    fn json_round_trip() {
+        let deps = extract_component(models::MKE2FS).unwrap();
+        let report = DependencyReport::new("mke2fs", false, deps);
+        let json = report.to_json().unwrap();
+        assert!(json.contains("SdValueRange"));
+        assert!(json.contains("blocksize"));
+        let back = DependencyReport::from_json(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let deps = extract_component(models::MKE2FS).unwrap();
+        let report = DependencyReport::new("mke2fs", false, deps);
+        let mut path = std::env::temp_dir();
+        path.push(format!("confdep-report-{}.json", std::process::id()));
+        report.save(&path).unwrap();
+        let back = DependencyReport::load(&path).unwrap();
+        assert_eq!(report, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(DependencyReport::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! The four usage scenarios of Table 3 / Table 5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::extract::{extract_scenario, ExtractOptions};
+use crate::model::Dependency;
+use crate::{models, ConfdepError};
+
+/// One usage scenario: a pipeline of components (key configuration
+/// utilities in the paper appear in bold in Table 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Short id (`S1`..`S4`).
+    pub id: String,
+    /// The paper's row label.
+    pub label: String,
+    /// Components whose models are analyzed for this scenario.
+    pub components: Vec<String>,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(id: &str, label: &str, components: &[&str]) -> Self {
+        Scenario {
+            id: id.to_string(),
+            label: label.to_string(),
+            components: components.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Runs extraction over this scenario's components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfdepError`] if a model is missing or fails to
+    /// compile.
+    pub fn extract(&self, options: ExtractOptions) -> Result<Vec<Dependency>, ConfdepError> {
+        let mut sources = Vec::new();
+        for c in &self.components {
+            let src = models::by_name(c).ok_or_else(|| {
+                ConfdepError::Cir(cir::CirError::Lower(format!("no model for component '{c}'")))
+            })?;
+            sources.push((c.as_str(), src));
+        }
+        extract_scenario(&sources, options)
+    }
+}
+
+/// The four scenarios of Table 3 and Table 5, in row order.
+pub fn paper_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "S1",
+            "mke2fs - mount - Ext4",
+            &["mke2fs", "mount", "ext4"],
+        ),
+        Scenario::new(
+            "S2",
+            "mke2fs - mount - Ext4 - e4defrag",
+            &["mke2fs", "mount", "ext4", "e4defrag"],
+        ),
+        Scenario::new(
+            "S3",
+            "mke2fs - mount - Ext4 - umount - resize2fs",
+            &["mke2fs", "mount", "ext4", "resize2fs"],
+        ),
+        Scenario::new(
+            "S4",
+            "mke2fs - mount - Ext4 - umount - e2fsck",
+            &["mke2fs", "mount", "ext4", "e2fsck"],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_scenarios_in_paper_order() {
+        let s = paper_scenarios();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].id, "S1");
+        assert!(s[2].label.contains("resize2fs"));
+        assert!(s[3].label.contains("e2fsck"));
+        for sc in &s {
+            assert!(sc.components.contains(&"mke2fs".to_string()));
+        }
+    }
+
+    #[test]
+    fn unknown_component_errors() {
+        let s = Scenario::new("X", "bogus", &["nope"]);
+        assert!(s.extract(ExtractOptions::default()).is_err());
+    }
+
+    #[test]
+    fn scenarios_extract_without_error() {
+        for sc in paper_scenarios() {
+            let deps = sc.extract(ExtractOptions::default()).unwrap();
+            assert!(!deps.is_empty(), "{} extracted nothing", sc.id);
+        }
+    }
+}

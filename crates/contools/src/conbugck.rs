@@ -1,0 +1,434 @@
+//! ConBugCk: dependency-aware configuration generation (§4.2).
+//!
+//! Existing FS test suites exercise few configuration states (Table 2),
+//! and naive random configurations mostly die on shallow validation
+//! errors before reaching deep code. ConBugCk "manipulates
+//! configurations without violating dependencies", so the driven test
+//! gets past the shallow checks and exercises the target code under many
+//! distinct configuration states. The ablation benchmark compares the
+//! *deep-run* rate of dependency-aware generation against naive random
+//! generation.
+
+use blockdev::MemDevice;
+use confdep::{extract_scenario, models, DepKind, Dependency, ExtractOptions};
+use e2fstools::{E2fsck, FsckMode, Mke2fs, MountCmd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One generated configuration: a `mke2fs` invocation plus mount
+/// options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedConfig {
+    /// `mke2fs` arguments (without the device operand).
+    pub mkfs_args: Vec<String>,
+    /// `mount -o` option string.
+    pub mount_opts: String,
+}
+
+/// How deep a configuration drove the ecosystem before something
+/// stopped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RunDepth {
+    /// Rejected by utility-level (CLI) validation.
+    RejectedCli,
+    /// Rejected by kernel-level validation at format time.
+    RejectedFormat,
+    /// Image created but the mount was rejected.
+    RejectedMount,
+    /// Mounted and the workload ran to completion with a clean final
+    /// check — the deep-code target state.
+    Deep,
+}
+
+/// Aggregate results of a generation campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigCampaign {
+    /// Total configurations executed.
+    pub total: usize,
+    /// Runs per depth: CLI-rejected, format-rejected, mount-rejected,
+    /// deep.
+    pub rejected_cli: usize,
+    /// Rejected at format (kernel-level).
+    pub rejected_format: usize,
+    /// Rejected at mount.
+    pub rejected_mount: usize,
+    /// Reached deep code.
+    pub deep: usize,
+}
+
+impl ConfigCampaign {
+    /// Fraction of runs that reached deep code.
+    pub fn deep_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.deep as f64 / self.total as f64
+        }
+    }
+}
+
+/// The dependency-aware configuration generator.
+#[derive(Debug)]
+pub struct ConBugCk {
+    deps: Vec<Dependency>,
+    rng: StdRng,
+}
+
+const FEATURES: [&str; 8] = [
+    "meta_bg", "resize_inode", "bigalloc", "extent", "inline_data", "sparse_super2",
+    "has_journal", "metadata_csum",
+];
+
+const BLOCK_SIZES: [u64; 6] = [512, 1024, 2048, 3000, 4096, 131072]; // includes invalid ones
+const RESERVED: [u64; 4] = [0, 5, 50, 80]; // 80 is invalid
+const MOUNT_SETS: [&str; 6] = ["", "ro", "dax", "data=journal", "data=writeback", "dax,data=journal"];
+
+impl ConBugCk {
+    /// Builds the generator: extracts the ecosystem's dependencies and
+    /// seeds the RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`confdep::ConfdepError`] if the models fail to compile.
+    pub fn new(seed: u64) -> Result<Self, confdep::ConfdepError> {
+        let deps = extract_scenario(&models::all(), ExtractOptions::default())?;
+        Ok(ConBugCk { deps, rng: StdRng::seed_from_u64(seed) })
+    }
+
+    /// The dependencies steering generation.
+    pub fn dependencies(&self) -> &[Dependency] {
+        &self.deps
+    }
+
+    fn conflicts(&self, a: &str, b: &str) -> bool {
+        self.deps.iter().any(|d| {
+            d.kind == DepKind::CpdControl && {
+                let s = d.signature();
+                s.contains(&format!("{a}~{b}")) || s.contains(&format!("{b}~{a}"))
+            }
+        })
+    }
+
+    fn range_of(&self, component: &str, param: &str) -> Option<(i64, i64)> {
+        self.deps
+            .iter()
+            .find(|d| {
+                d.kind == DepKind::SdValueRange
+                    && d.subject.component == component
+                    && d.subject.param == param
+            })
+            .map(|d| (d.detail.min.unwrap_or(i64::MIN), d.detail.max.unwrap_or(i64::MAX)))
+    }
+
+    /// Generates one configuration that respects the extracted
+    /// dependencies.
+    pub fn generate_one(&mut self) -> GeneratedConfig {
+        // block size: respect the extracted range and the power-of-two
+        // rule encoded as the data type
+        let (min_bs, max_bs) = self.range_of("mke2fs", "blocksize").unwrap_or((1024, 65536));
+        let bs = loop {
+            let candidate = BLOCK_SIZES[self.rng.gen_range(0..BLOCK_SIZES.len())];
+            if (candidate as i64) >= min_bs && (candidate as i64) <= max_bs
+                && candidate.is_power_of_two()
+            {
+                break candidate;
+            }
+        };
+        // reserved percent within range
+        let (_, max_m) = self.range_of("mke2fs", "reserved_percent").unwrap_or((0, 50));
+        let m = loop {
+            let candidate = RESERVED[self.rng.gen_range(0..RESERVED.len())];
+            if (candidate as i64) <= max_m {
+                break candidate;
+            }
+        };
+        // features: random subset, repaired against control dependencies
+        let mut enabled: Vec<&str> =
+            FEATURES.iter().copied().filter(|_| self.rng.gen_bool(0.4)).collect();
+        // always keep a consistent base
+        if !enabled.contains(&"extent") {
+            enabled.push("extent");
+        }
+        // repair conflicts: drop the later feature of each conflicting pair
+        let mut repaired: Vec<&str> = Vec::new();
+        for f in &enabled {
+            if repaired.iter().any(|g| self.conflicts(f, g)) {
+                continue;
+            }
+            repaired.push(f);
+        }
+        // repair requires: bigalloc requires extent (already kept);
+        // sparse_super2 conflicts with sparse_super (disable it)
+        let mut tokens: Vec<String> = repaired.iter().map(|s| s.to_string()).collect();
+        if repaired.contains(&"sparse_super2") {
+            tokens.push("^sparse_super".to_string());
+            // the repaired set may not carry resize_inode alongside
+            // bigalloc/meta_bg conflicts; sparse_super2 itself is fine
+        }
+        if repaired.contains(&"meta_bg") || repaired.contains(&"bigalloc") {
+            tokens.push("^resize_inode".to_string());
+        }
+        // mount options: respect the CCDs (dax needs 4k blocks and no
+        // inline_data; data=journal needs has_journal)
+        let mut mount_opts = MOUNT_SETS[self.rng.gen_range(0..MOUNT_SETS.len())].to_string();
+        if mount_opts.contains("dax")
+            && (bs != 4096 || repaired.contains(&"inline_data") || mount_opts.contains("data=journal"))
+        {
+            mount_opts = String::new();
+        }
+        if mount_opts.contains("data=journal") && !repaired.contains(&"has_journal") {
+            mount_opts = "data=writeback".to_string();
+        }
+        let mut args =
+            vec!["-b".to_string(), bs.to_string(), "-m".to_string(), m.to_string()];
+        if !tokens.is_empty() {
+            args.push("-O".to_string());
+            args.push(tokens.join(","));
+        }
+        GeneratedConfig { mkfs_args: args, mount_opts }
+    }
+
+    /// Generates `n` dependency-respecting configurations.
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedConfig> {
+        (0..n).map(|_| self.generate_one()).collect()
+    }
+}
+
+/// Naive random generation (the baseline): samples the same space with
+/// no knowledge of the dependencies.
+pub fn generate_naive(seed: u64, n: usize) -> Vec<GeneratedConfig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let bs = BLOCK_SIZES[rng.gen_range(0..BLOCK_SIZES.len())];
+            let m = RESERVED[rng.gen_range(0..RESERVED.len())];
+            let tokens: Vec<String> = FEATURES
+                .iter()
+                .filter(|_| rng.gen_bool(0.4))
+                .map(|s| s.to_string())
+                .collect();
+            let mut args =
+                vec!["-b".to_string(), bs.to_string(), "-m".to_string(), m.to_string()];
+            if !tokens.is_empty() {
+                args.push("-O".to_string());
+                args.push(tokens.join(","));
+            }
+            GeneratedConfig {
+                mkfs_args: args,
+                mount_opts: MOUNT_SETS[rng.gen_range(0..MOUNT_SETS.len())].to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Executes one configuration end to end: format, mount, a small
+/// workload, unmount, final check.
+pub fn execute(config: &GeneratedConfig) -> RunDepth {
+    let mut argv: Vec<&str> = config.mkfs_args.iter().map(String::as_str).collect();
+    argv.push("/dev/conbugck");
+    argv.push("12288");
+    let mkfs = match Mke2fs::from_args(&argv) {
+        Ok(m) => m,
+        Err(_) => return RunDepth::RejectedCli,
+    };
+    // pick a device block size compatible with the fs block size
+    let bs: u32 = config
+        .mkfs_args
+        .iter()
+        .position(|a| a == "-b")
+        .and_then(|i| config.mkfs_args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+    let dev = MemDevice::new(bs.clamp(1024, 65536), 16384);
+    let dev = match mkfs.run(dev) {
+        Ok((dev, _)) => dev,
+        Err(_) => return RunDepth::RejectedFormat,
+    };
+    let mount = match MountCmd::from_option_string(&config.mount_opts) {
+        Ok(m) => m,
+        Err(_) => return RunDepth::RejectedCli,
+    };
+    let mut fs = match mount.run(dev) {
+        Ok(fs) => fs,
+        Err(_) => return RunDepth::RejectedMount,
+    };
+    // deep workload: exercise file + directory paths
+    if !fs.state().eq(&ext4sim::FsState::MountedRo) {
+        let root = fs.root_inode();
+        let ok = (|| -> Result<(), ext4sim::FsError> {
+            let d = fs.mkdir(root, "work")?;
+            let f = fs.create_file(d, "data.bin")?;
+            fs.write_file(f, 0, &[0xC3; 4096])?;
+            let g = fs.create_file(root, "tiny")?;
+            fs.write_file(g, 0, b"x")?;
+            fs.unlink(root, "tiny")?;
+            let back = fs.read_file_to_vec(f)?;
+            if back.len() != 4096 {
+                return Err(ext4sim::FsError::Corrupt("short read".to_string()));
+            }
+            Ok(())
+        })();
+        if ok.is_err() {
+            return RunDepth::RejectedMount;
+        }
+    }
+    let dev = match fs.unmount() {
+        Ok(d) => d,
+        Err(_) => return RunDepth::RejectedMount,
+    };
+    match E2fsck::with_mode(FsckMode::Check).forced().run(dev) {
+        Ok((_, res)) if res.exit_code == 0 => RunDepth::Deep,
+        _ => RunDepth::RejectedMount,
+    }
+}
+
+/// Coverage statistics of a configuration set: how many distinct
+/// parameters and whole configuration states it exercises (the Table 2
+/// axis ConBugCk exists to widen).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Distinct (component, parameter) pairs exercised.
+    pub distinct_params: usize,
+    /// Distinct whole configuration states.
+    pub distinct_states: usize,
+}
+
+/// Measures the coverage of a configuration set.
+pub fn coverage(configs: &[GeneratedConfig]) -> CoverageStats {
+    use std::collections::BTreeSet;
+    let mut params: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut states: BTreeSet<String> = BTreeSet::new();
+    for c in configs {
+        states.insert(format!("{:?}|{}", c.mkfs_args, c.mount_opts));
+        let mut iter = c.mkfs_args.iter().peekable();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "-b" => {
+                    params.insert(("mke2fs".into(), "blocksize".into()));
+                    iter.next();
+                }
+                "-m" => {
+                    params.insert(("mke2fs".into(), "reserved_percent".into()));
+                    iter.next();
+                }
+                "-O" => {
+                    if let Some(feats) = iter.next() {
+                        for f in feats.split(',') {
+                            params.insert((
+                                "mke2fs".into(),
+                                f.trim_start_matches('^').to_string(),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for opt in c.mount_opts.split(',').filter(|o| !o.is_empty()) {
+            let name = opt.split('=').next().unwrap_or(opt);
+            params.insert(("mount".into(), name.to_string()));
+        }
+    }
+    CoverageStats { distinct_params: params.len(), distinct_states: states.len() }
+}
+
+/// Runs a campaign over a set of configurations.
+pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
+    let mut c = ConfigCampaign { total: configs.len(), ..ConfigCampaign::default() };
+    for cfg in configs {
+        match execute(cfg) {
+            RunDepth::RejectedCli => c.rejected_cli += 1,
+            RunDepth::RejectedFormat => c.rejected_format += 1,
+            RunDepth::RejectedMount => c.rejected_mount += 1,
+            RunDepth::Deep => c.deep += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aware_generation_beats_naive() {
+        let mut gen = ConBugCk::new(42).unwrap();
+        let aware = campaign(&gen.generate(40));
+        let naive = campaign(&generate_naive(42, 40));
+        assert!(
+            aware.deep_rate() > naive.deep_rate(),
+            "aware {:.2} vs naive {:.2}",
+            aware.deep_rate(),
+            naive.deep_rate()
+        );
+        // dependency-aware runs should overwhelmingly reach deep code
+        assert!(aware.deep_rate() > 0.9, "aware deep rate {:.2}", aware.deep_rate());
+        // naive random dies on shallow validation most of the time
+        assert!(naive.deep_rate() < 0.6, "naive deep rate {:.2}", naive.deep_rate());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ConBugCk::new(7).unwrap().generate(10);
+        let b = ConBugCk::new(7).unwrap().generate(10);
+        assert_eq!(a, b);
+        assert_eq!(generate_naive(7, 10), generate_naive(7, 10));
+    }
+
+    #[test]
+    fn coverage_counts_distinct_params_and_states() {
+        let mut gen = ConBugCk::new(9).unwrap();
+        let configs = gen.generate(30);
+        let cov = coverage(&configs);
+        // far beyond what a fixed-config suite exercises
+        assert!(cov.distinct_params >= 8, "params: {}", cov.distinct_params);
+        assert!(cov.distinct_states >= 10, "states: {}", cov.distinct_states);
+        assert_eq!(coverage(&[]).distinct_params, 0);
+    }
+
+    #[test]
+    fn aware_configs_visit_many_feature_states() {
+        let mut gen = ConBugCk::new(3).unwrap();
+        let configs = gen.generate(30);
+        let distinct: std::collections::BTreeSet<String> =
+            configs.iter().map(|c| format!("{:?}|{}", c.mkfs_args, c.mount_opts)).collect();
+        assert!(distinct.len() > 10, "only {} distinct states", distinct.len());
+    }
+
+    #[test]
+    fn executor_classifies_cli_rejection() {
+        let cfg = GeneratedConfig {
+            mkfs_args: vec!["-b".into(), "3000".into()],
+            mount_opts: String::new(),
+        };
+        assert_eq!(execute(&cfg), RunDepth::RejectedCli);
+    }
+
+    #[test]
+    fn executor_classifies_format_rejection() {
+        let cfg = GeneratedConfig {
+            mkfs_args: vec!["-b".into(), "1024".into(), "-O".into(), "meta_bg".into()],
+            mount_opts: String::new(),
+        };
+        assert_eq!(execute(&cfg), RunDepth::RejectedFormat);
+    }
+
+    #[test]
+    fn executor_classifies_mount_rejection() {
+        let cfg = GeneratedConfig {
+            mkfs_args: vec!["-b".into(), "1024".into()],
+            mount_opts: "dax".into(),
+        };
+        assert_eq!(execute(&cfg), RunDepth::RejectedMount);
+    }
+
+    #[test]
+    fn executor_reaches_deep_on_defaults() {
+        let cfg = GeneratedConfig {
+            mkfs_args: vec!["-b".into(), "1024".into()],
+            mount_opts: String::new(),
+        };
+        assert_eq!(execute(&cfg), RunDepth::Deep);
+    }
+}

@@ -1,0 +1,281 @@
+//! ConHandleCk: dependency-violation injection (§4.2).
+//!
+//! Each case takes one extracted dependency, constructs an input that
+//! *violates* it, and drives the real (simulated) ecosystem. Graceful
+//! handling means the utility rejects the violation with a clear error
+//! and leaves the image intact. Bad handling means the operation
+//! "succeeds" and damages the file system — which is exactly what
+//! happens for the Figure 1 dependency (`sparse_super2` + a growing
+//! `resize2fs`), the paper's single bad-handling finding.
+
+use blockdev::MemDevice;
+use e2fstools::{E2fsck, E4defrag, FsckMode, Mke2fs, MountCmd, Resize2fs, ToolError};
+use ext4sim::Ext4Fs;
+use serde::{Deserialize, Serialize};
+
+/// How the ecosystem handled the violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Handling {
+    /// Rejected up front with an error; image unharmed.
+    Graceful {
+        /// The error message produced.
+        error: String,
+    },
+    /// Accepted without damage (the violation turned out benign).
+    Accepted,
+    /// Accepted and the image was corrupted — detected by a subsequent
+    /// `e2fsck -n -f`.
+    BadHandling {
+        /// The inconsistency tags the checker reported.
+        corruption: Vec<String>,
+    },
+}
+
+impl Handling {
+    /// True for the bad-handling outcome.
+    pub fn is_bad(&self) -> bool {
+        matches!(self, Handling::BadHandling { .. })
+    }
+}
+
+/// One violation-injection case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationCase {
+    /// Case id.
+    pub id: u32,
+    /// The dependency being violated (signature-style).
+    pub dependency: String,
+    /// How the violation is constructed.
+    pub description: String,
+}
+
+/// Case plus observed handling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationOutcome {
+    /// The case.
+    pub case: ViolationCase,
+    /// What happened.
+    pub handling: Handling,
+}
+
+fn graceful<T>(result: Result<T, ToolError>) -> Handling {
+    match result {
+        Err(e) => Handling::Graceful { error: e.to_string() },
+        Ok(_) => Handling::Accepted,
+    }
+}
+
+/// Formats a standard 12288-block image on a 16384-block device with the
+/// given extra `-O` tokens.
+fn image_with(features: &str) -> MemDevice {
+    let mut args = vec!["-b", "1024"];
+    if !features.is_empty() {
+        args.push("-O");
+        args.push(features);
+    }
+    args.push("/dev/test");
+    args.push("12288");
+    let m = Mke2fs::from_args(&args).expect("valid base invocation");
+    m.run(MemDevice::new(1024, 16384)).expect("base format succeeds").0
+}
+
+/// Runs `e2fsck -n -f` and reports the inconsistency tags found.
+fn fsck_tags(dev: MemDevice) -> Vec<String> {
+    let (_, res) = E2fsck::with_mode(FsckMode::Check)
+        .forced()
+        .run(dev)
+        .expect("check-only fsck runs");
+    let mut tags: Vec<String> =
+        res.report.inconsistencies.iter().map(|i| i.kind.tag().to_string()).collect();
+    tags.sort();
+    tags.dedup();
+    tags
+}
+
+/// All violation cases, in execution order. The Figure 1 case is #11.
+pub fn run_conhandleck() -> Vec<ViolationOutcome> {
+    let mut out = Vec::new();
+    let mut push = |id: u32, dependency: &str, description: &str, handling: Handling| {
+        out.push(ViolationOutcome {
+            case: ViolationCase {
+                id,
+                dependency: dependency.to_string(),
+                description: description.to_string(),
+            },
+            handling,
+        });
+    };
+
+    // 1. SD: blocksize range
+    push(
+        1,
+        "SdValueRange|mke2fs:blocksize",
+        "mke2fs -b 3000 (not a power of two in range)",
+        graceful(Mke2fs::from_args(&["-b", "3000", "/dev/test"]).map(|_| ())),
+    );
+
+    // 2. SD: reserved percent range
+    push(
+        2,
+        "SdValueRange|mke2fs:reserved_percent",
+        "mke2fs -m 80 (beyond the 50% maximum)",
+        graceful(Mke2fs::from_args(&["-m", "80", "/dev/test"]).map(|_| ())),
+    );
+
+    // 3. CPD: meta_bg ~ resize_inode (kernel-level rejection)
+    push(3, "CpdControl|mke2fs|meta_bg~resize_inode", "mke2fs -O meta_bg with resize_inode left enabled", {
+        let m = Mke2fs::from_args(&["-O", "meta_bg", "/dev/test"]).expect("parses at CLI level");
+        graceful(m.run(MemDevice::new(1024, 8192)).map(|_| ()))
+    });
+
+    // 4. CPD: bigalloc requires extent
+    push(4, "CpdControl|mke2fs|bigalloc~extent", "mke2fs -O bigalloc,^extent", {
+        let m = Mke2fs::from_args(&["-O", "bigalloc,^extent,^resize_inode", "/dev/test"])
+            .expect("parses at CLI level");
+        graceful(m.run(MemDevice::new(1024, 8192)).map(|_| ()))
+    });
+
+    // 5. CPD: resize2fs -M with an explicit size
+    push(
+        5,
+        "CpdControl|resize2fs|minimize~new_size",
+        "resize2fs -M /dev/test 16384",
+        graceful(Resize2fs::from_args(&["-M", "/dev/test", "16384"]).map(|_| ())),
+    );
+
+    // 6. CPD: e2fsck -p with -y
+    push(
+        6,
+        "CpdControl|e2fsck|preen~assume_yes",
+        "e2fsck -p -y /dev/test",
+        graceful(E2fsck::from_args(&["-p", "-y", "/dev/test"]).map(|_| ())),
+    );
+
+    // 7. CCD: mount -o dax on a 1 KiB-block file system
+    push(7, "CcdControl|mke2fs:blocksize|mount:dax", "mount -o dax on 1k blocks", {
+        let dev = image_with("");
+        let m = MountCmd::from_option_string("dax").expect("dax parses");
+        graceful(m.run(dev).map(|_| ()))
+    });
+
+    // 8. CCD: data=journal without a journal
+    push(8, "CcdControl|mke2fs:has_journal|mount:data", "mount -o data=journal on ^has_journal", {
+        let dev = image_with("^has_journal");
+        let m = MountCmd::from_option_string("data=journal").expect("parses");
+        graceful(m.run(dev).map(|_| ()))
+    });
+
+    // 9. CCD: e4defrag on a non-extent file system
+    push(9, "CcdBehavioral|mke2fs:extent|e4defrag", "e4defrag on ^extent with fragmented files", {
+        let dev = image_with("^extent,^64bit,^bigalloc");
+        let mut fs = Ext4Fs::mount(dev, &ext4sim::MountOptions::default()).expect("mounts");
+        let root = fs.root_inode();
+        let a = fs.create_file(root, "a").expect("create");
+        let b = fs.create_file(root, "b").expect("create");
+        for i in 0..4u64 {
+            fs.write_file(a, i * 1024, &[1u8; 1024]).expect("write");
+            fs.write_file(b, i * 1024, &[2u8; 1024]).expect("write");
+        }
+        graceful(E4defrag::new().run(&mut fs).map(|_| ()))
+    });
+
+    // 10. SD: resize2fs beyond the device
+    push(10, "SdValueRange|resize2fs:new_size(device)", "resize2fs to 99999 on a 16384-block device", {
+        let dev = image_with("");
+        graceful(Resize2fs::to_size(99_999).run(dev).map(|_| ()))
+    });
+
+    // 11. CCD (Figure 1): sparse_super2 + growing resize2fs
+    push(
+        11,
+        "CcdBehavioral|mke2fs:sparse_super2|resize2fs:<behavior>",
+        "mke2fs -O sparse_super2, then resize2fs to a larger size",
+        {
+            let dev = image_with("sparse_super2,^sparse_super,^resize_inode");
+            match Resize2fs::to_size(16384).run(dev) {
+                Err(e) => Handling::Graceful { error: e.to_string() },
+                Ok((dev, _)) => {
+                    let tags = fsck_tags(dev);
+                    if tags.is_empty() {
+                        Handling::Accepted
+                    } else {
+                        Handling::BadHandling { corruption: tags }
+                    }
+                }
+            }
+        },
+    );
+
+    // 12. CCD: growth beyond the reserved GDT capacity
+    push(12, "CcdValue|mke2fs:resize_headroom|resize2fs:new_size", "resize2fs growth with tiny reserved GDT", {
+        // reserve headroom for barely any growth, then ask for 74 groups
+        let m = Mke2fs::from_args(&["-b", "1024", "-E", "resize=12289", "/dev/test", "12288"])
+            .expect("parses");
+        let dev = m.run(MemDevice::new(1024, 700_000)).expect("formats").0;
+        graceful(Resize2fs::to_size(600_000).run(dev).map(|_| ()))
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_bad_handling() {
+        // §4.3: "we have found one unexpected configuration handling
+        //  case where resize2fs may corrupt the file system"
+        let outcomes = run_conhandleck();
+        let bad: Vec<&ViolationOutcome> =
+            outcomes.iter().filter(|o| o.handling.is_bad()).collect();
+        assert_eq!(bad.len(), 1, "outcomes: {outcomes:#?}");
+        assert_eq!(bad[0].case.id, 11);
+        assert!(bad[0].case.dependency.contains("sparse_super2"));
+    }
+
+    #[test]
+    fn figure1_corruption_is_free_block_accounting() {
+        let outcomes = run_conhandleck();
+        let bad = outcomes.iter().find(|o| o.handling.is_bad()).unwrap();
+        match &bad.handling {
+            Handling::BadHandling { corruption } => {
+                assert!(
+                    corruption.iter().any(|t| t.contains("free_blocks")),
+                    "Figure 1 corrupts the free-block counts: {corruption:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_other_violations_handled_gracefully() {
+        for o in run_conhandleck() {
+            if o.case.id == 11 {
+                continue;
+            }
+            assert!(
+                matches!(o.handling, Handling::Graceful { .. }),
+                "case {} ({}) was not graceful: {:?}",
+                o.case.id,
+                o.case.description,
+                o.handling
+            );
+        }
+    }
+
+    #[test]
+    fn graceful_errors_are_informative() {
+        for o in run_conhandleck() {
+            if let Handling::Graceful { error } = &o.handling {
+                assert!(!error.is_empty(), "case {} has an empty error", o.case.id);
+            }
+        }
+    }
+
+    #[test]
+    fn twelve_cases_executed() {
+        assert_eq!(run_conhandleck().len(), 12);
+    }
+}

@@ -1,0 +1,189 @@
+//! A small getopt-style parser shared by the utilities.
+//!
+//! Real e2fsprogs tools parse `-b 1024`-style short options with optional
+//! attached values (`-b1024`) plus positional operands. This module
+//! reproduces that surface so each utility's option handling mirrors its
+//! real counterpart.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from command-line parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An option the utility does not define.
+    UnknownOption(String),
+    /// An option that requires a value was given none.
+    MissingValue(String),
+    /// A value failed to parse (e.g., `-b banana`).
+    BadValue {
+        /// The option.
+        option: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// Too many / too few positional operands.
+    BadOperands(String),
+    /// Two options that may not be combined (a cross-parameter
+    /// dependency violation at the utility level).
+    Conflict {
+        /// First option.
+        a: String,
+        /// Second option.
+        b: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownOption(o) => write!(f, "unknown option: {o}"),
+            CliError::MissingValue(o) => write!(f, "option {o} requires a value"),
+            CliError::BadValue { option, value, expected } => {
+                write!(f, "bad value '{value}' for {option}: expected {expected}")
+            }
+            CliError::BadOperands(msg) => write!(f, "bad operands: {msg}"),
+            CliError::Conflict { a, b } => write!(f, "options {a} and {b} may not be combined"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+/// The result of tokenising a command line against an option spec.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// Flag options present (e.g., `-p`), keyed without the dash.
+    pub flags: Vec<String>,
+    /// Valued options (e.g., `-b 1024`), keyed without the dash.
+    pub values: BTreeMap<String, String>,
+    /// Positional operands in order.
+    pub operands: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// True if flag `name` (no dash) was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of option `name` (no dash), if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses the value of option `name` as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but not an integer.
+    pub fn int_value(&self, name: &str) -> Result<Option<u64>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v.parse::<u64>().map(Some).map_err(|_| CliError::BadValue {
+                option: format!("-{name}"),
+                value: v.to_string(),
+                expected: "an integer".to_string(),
+            }),
+        }
+    }
+}
+
+/// Parses `argv` (without the program name). `flag_opts` lists the no-value
+/// short options, `value_opts` the value-taking ones; both use the bare
+/// letter/name without the dash. Attached values (`-b1024`) are accepted
+/// for single-letter options.
+///
+/// # Errors
+///
+/// Returns [`CliError::UnknownOption`] or [`CliError::MissingValue`].
+pub fn parse(
+    argv: &[&str],
+    flag_opts: &[&str],
+    value_opts: &[&str],
+) -> Result<ParsedArgs, CliError> {
+    let mut out = ParsedArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i];
+        if let Some(body) = arg.strip_prefix('-') {
+            if body.is_empty() {
+                return Err(CliError::UnknownOption("-".to_string()));
+            }
+            // exact multi-char option first (e.g. -o for mount is single
+            // letter anyway; mke2fs has none multi-char)
+            if flag_opts.contains(&body) {
+                out.flags.push(body.to_string());
+            } else if value_opts.contains(&body) {
+                i += 1;
+                let v = argv.get(i).ok_or_else(|| CliError::MissingValue(arg.to_string()))?;
+                out.values.insert(body.to_string(), (*v).to_string());
+            } else {
+                // attached value form: -b1024
+                let (head, tail) = body.split_at(1);
+                if value_opts.contains(&head) && !tail.is_empty() {
+                    out.values.insert(head.to_string(), tail.to_string());
+                } else {
+                    return Err(CliError::UnknownOption(arg.to_string()));
+                }
+            }
+        } else {
+            out.operands.push(arg.to_string());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_values_operands() {
+        let p = parse(&["-p", "-b", "1024", "/dev/sda1", "2048"], &["p"], &["b"]).unwrap();
+        assert!(p.has_flag("p"));
+        assert_eq!(p.value("b"), Some("1024"));
+        assert_eq!(p.operands, vec!["/dev/sda1", "2048"]);
+    }
+
+    #[test]
+    fn attached_value_form() {
+        let p = parse(&["-b1024"], &[], &["b"]).unwrap();
+        assert_eq!(p.value("b"), Some("1024"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        assert_eq!(parse(&["-z"], &["p"], &["b"]), Err(CliError::UnknownOption("-z".to_string())));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert_eq!(parse(&["-b"], &[], &["b"]), Err(CliError::MissingValue("-b".to_string())));
+    }
+
+    #[test]
+    fn int_value_parses_and_rejects() {
+        let p = parse(&["-b", "4096"], &[], &["b"]).unwrap();
+        assert_eq!(p.int_value("b").unwrap(), Some(4096));
+        let p = parse(&["-b", "banana"], &[], &["b"]).unwrap();
+        assert!(p.int_value("b").is_err());
+        assert_eq!(p.int_value("x").unwrap(), None);
+    }
+
+    #[test]
+    fn bare_dash_rejected() {
+        assert!(parse(&["-"], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = CliError::Conflict { a: "-p".to_string(), b: "-y".to_string() };
+        assert!(e.to_string().contains("-p"));
+        assert!(e.to_string().contains("-y"));
+    }
+}

@@ -1,0 +1,253 @@
+//! `dumpe2fs` — prints the superblock and block-group information of an
+//! image (the inspection utility of the real e2fsprogs suite).
+//!
+//! Read-only: the tool never modifies the image, which makes it the
+//! safest way for the other experiments (and users) to observe the
+//! effect of configuration parameters on the metadata.
+
+use blockdev::BlockDevice;
+use ext4sim::Ext4Fs;
+
+use crate::cli::{self, CliError};
+use crate::manual::{DocConstraint, ManualOption, ManualPage};
+use crate::params::{ParamSpec, ParamType, Stage};
+use crate::ToolError;
+
+/// A parsed `dumpe2fs` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dumpe2fs {
+    header_only: bool,
+}
+
+/// The structured dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsDump {
+    /// Volume label.
+    pub label: String,
+    /// Block count.
+    pub blocks_count: u64,
+    /// Free blocks.
+    pub free_blocks: u64,
+    /// Inode count.
+    pub inodes_count: u32,
+    /// Free inodes.
+    pub free_inodes: u32,
+    /// Block size.
+    pub block_size: u32,
+    /// Feature names.
+    pub features: Vec<String>,
+    /// Whether the image is clean.
+    pub clean: bool,
+    /// Per-group lines (empty with `-h`).
+    pub groups: Vec<GroupDump>,
+}
+
+/// One block group's summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDump {
+    /// Group number.
+    pub group: u32,
+    /// First block.
+    pub first_block: u64,
+    /// Whether it holds a superblock copy.
+    pub has_super: bool,
+    /// Free blocks.
+    pub free_blocks: u32,
+    /// Free inodes.
+    pub free_inodes: u32,
+    /// Directories.
+    pub used_dirs: u32,
+}
+
+impl FsDump {
+    /// Renders in the classic `dumpe2fs` text layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Filesystem volume name:   {}\n", if self.label.is_empty() { "<none>" } else { &self.label }));
+        out.push_str(&format!("Filesystem state:         {}\n", if self.clean { "clean" } else { "not clean" }));
+        out.push_str(&format!("Filesystem features:      {}\n", self.features.join(" ")));
+        out.push_str(&format!("Block count:              {}\n", self.blocks_count));
+        out.push_str(&format!("Free blocks:              {}\n", self.free_blocks));
+        out.push_str(&format!("Inode count:              {}\n", self.inodes_count));
+        out.push_str(&format!("Free inodes:              {}\n", self.free_inodes));
+        out.push_str(&format!("Block size:               {}\n", self.block_size));
+        for g in &self.groups {
+            out.push_str(&format!(
+                "Group {}: (Blocks {}-) {}free blocks {}, free inodes {}, directories {}\n",
+                g.group,
+                g.first_block,
+                if g.has_super { "[super] " } else { "" },
+                g.free_blocks,
+                g.free_inodes,
+                g.used_dirs
+            ));
+        }
+        out
+    }
+}
+
+impl Dumpe2fs {
+    /// Parses `dumpe2fs [-h] device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Cli`] for bad options/operands.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let parsed = cli::parse(argv, &["h"], &[])?;
+        if parsed.operands.len() != 1 {
+            return Err(CliError::BadOperands("exactly one device is required".to_string()).into());
+        }
+        Ok(Dumpe2fs { header_only: parsed.has_flag("h") })
+    }
+
+    /// A full dump (header + groups).
+    pub fn new() -> Self {
+        Dumpe2fs { header_only: false }
+    }
+
+    /// Dumps `dev` without modifying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Fs`] for unreadable images.
+    pub fn run<D: BlockDevice>(&self, dev: D) -> Result<(D, FsDump), ToolError> {
+        let fs = Ext4Fs::open_for_maintenance(dev)?;
+        let sb = fs.superblock();
+        let l = fs.layout();
+        let groups = if self.header_only {
+            Vec::new()
+        } else {
+            (0..l.group_count())
+                .map(|g| {
+                    let gd = &fs.groups()[g as usize];
+                    GroupDump {
+                        group: g,
+                        first_block: l.group_first_block(g),
+                        has_super: l.has_super(g),
+                        free_blocks: gd.free_blocks_count,
+                        free_inodes: gd.free_inodes_count,
+                        used_dirs: gd.used_dirs_count,
+                    }
+                })
+                .collect()
+        };
+        let dump = FsDump {
+            label: sb.label(),
+            blocks_count: sb.blocks_count,
+            free_blocks: sb.free_blocks_count,
+            inodes_count: sb.inodes_count,
+            free_inodes: sb.free_inodes_count,
+            block_size: sb.block_size(),
+            features: sb.features.names().iter().map(|s| s.to_string()).collect(),
+            clean: sb.is_clean(),
+            groups,
+        };
+        // read-only tool: return the device without the unmount
+        // bookkeeping (which would write a clean flag)
+        Ok((fs.into_device_dirty(), dump))
+    }
+}
+
+impl Default for Dumpe2fs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The `dumpe2fs` parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "dumpe2fs";
+    vec![
+        ParamSpec::new(c, "device", ParamType::Str, Stage::Offline, "the device to inspect"),
+        ParamSpec::new(c, "header_only", ParamType::Bool, Stage::Offline, "-h: superblock only"),
+    ]
+}
+
+/// The structured `dumpe2fs(8)` manual page.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "dumpe2fs".to_string(),
+        synopsis: "dumpe2fs [-h] device".to_string(),
+        description: "dumpe2fs prints the super block and blocks group information for the filesystem present on device.".to_string(),
+        options: vec![
+            ManualOption::flag("-h", "only display the superblock information and not any of the block group descriptor detail information.")
+                .with(DocConstraint::DataType { param: "header_only".into(), ty: "bool".into() }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mke2fs::Mke2fs;
+    use blockdev::MemDevice;
+
+    fn image() -> MemDevice {
+        let m = Mke2fs::from_args(&["-b", "1024", "-L", "dumpme", "/dev/d", "12288"]).unwrap();
+        m.run(MemDevice::new(1024, 16384)).unwrap().0
+    }
+
+    #[test]
+    fn full_dump_reports_geometry() {
+        let (_, dump) = Dumpe2fs::new().run(image()).unwrap();
+        assert_eq!(dump.label, "dumpme");
+        assert_eq!(dump.blocks_count, 12288);
+        assert_eq!(dump.block_size, 1024);
+        assert!(dump.clean);
+        assert_eq!(dump.groups.len(), 2);
+        assert!(dump.groups[0].has_super);
+        assert!(dump.features.iter().any(|f| f == "extent"));
+        let text = dump.render();
+        assert!(text.contains("dumpme"));
+        assert!(text.contains("Group 0:"));
+    }
+
+    #[test]
+    fn header_only_skips_groups() {
+        let d = Dumpe2fs::from_args(&["-h", "/dev/d"]).unwrap();
+        let (_, dump) = d.run(image()).unwrap();
+        assert!(dump.groups.is_empty());
+        assert_eq!(dump.blocks_count, 12288);
+    }
+
+    #[test]
+    fn dump_is_read_only() {
+        let img = image();
+        let before = img.clone();
+        let (after, _) = Dumpe2fs::new().run(img).unwrap();
+        for b in 0..before.num_blocks() {
+            let mut x = vec![0u8; 1024];
+            let mut y = vec![0u8; 1024];
+            before.read_block(b, &mut x).unwrap();
+            after.read_block(b, &mut y).unwrap();
+            assert_eq!(x, y, "block {b} modified by dumpe2fs");
+        }
+    }
+
+    #[test]
+    fn free_counts_match_statfs() {
+        let img = image();
+        let fs = Ext4Fs::open_for_maintenance(img).unwrap();
+        let (_, free, _, free_inodes) = fs.statfs();
+        let dev = fs.into_device_dirty();
+        let (_, dump) = Dumpe2fs::new().run(dev).unwrap();
+        assert_eq!(dump.free_blocks, free);
+        assert_eq!(dump.free_inodes, free_inodes);
+        // per-group counts sum to the totals
+        let sum: u64 = dump.groups.iter().map(|g| u64::from(g.free_blocks)).sum();
+        assert_eq!(sum, free);
+    }
+
+    #[test]
+    fn parse_surface() {
+        assert!(Dumpe2fs::from_args(&["/dev/d"]).is_ok());
+        assert!(Dumpe2fs::from_args(&[]).is_err());
+        assert!(Dumpe2fs::from_args(&["-z", "/dev/d"]).is_err());
+    }
+
+    #[test]
+    fn garbage_image_rejected() {
+        let dev = MemDevice::new(1024, 64);
+        assert!(Dumpe2fs::new().run(dev).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! `e4defrag` — the online defragmenter.
+//!
+//! Operates on a *mounted* file system (the paper's online configuration
+//! stage) and relies on the kernel mechanism
+//! [`Ext4Fs::defragment_file`] — the stand-in for the real
+//! `EXT4_IOC_MOVE_EXT` ioctl. Its usability therefore depends on two
+//! other components' parameters: the `mke2fs` `extent` feature (the ioctl
+//! returns `EOPNOTSUPP` without it) and the `mount` `ro` option (a
+//! read-only mount cannot be defragmented) — both cross-component
+//! dependencies in the paper's taxonomy.
+
+use blockdev::BlockDevice;
+use ext4sim::{Ext4Fs, FileType, FsError, FsState, InodeNo, ROOT_INODE};
+
+use crate::cli::{self, CliError};
+use crate::manual::{DocConstraint, ManualOption, ManualPage};
+use crate::params::{ParamSpec, ParamType, Stage};
+use crate::ToolError;
+
+/// A parsed `e4defrag` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct E4defrag {
+    check_only: bool,
+    verbose: bool,
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefragReport {
+    /// Regular files visited.
+    pub files_checked: u64,
+    /// Files actually rewritten.
+    pub files_defragmented: u64,
+    /// Total extents before.
+    pub extents_before: u64,
+    /// Total extents after.
+    pub extents_after: u64,
+    /// Files skipped because no contiguous space was available.
+    pub skipped_no_space: u64,
+}
+
+impl DefragReport {
+    /// Mean extents per file before the run.
+    pub fn fragmentation_before(&self) -> f64 {
+        if self.files_checked == 0 {
+            0.0
+        } else {
+            self.extents_before as f64 / self.files_checked as f64
+        }
+    }
+
+    /// Mean extents per file after the run.
+    pub fn fragmentation_after(&self) -> f64 {
+        if self.files_checked == 0 {
+            0.0
+        } else {
+            self.extents_after as f64 / self.files_checked as f64
+        }
+    }
+}
+
+impl E4defrag {
+    /// Parses `e4defrag [-c] [-v] target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Cli`] for bad options/operands.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let parsed = cli::parse(argv, &["c", "v"], &[])?;
+        if parsed.operands.len() != 1 {
+            return Err(CliError::BadOperands("exactly one target is required".to_string()).into());
+        }
+        Ok(E4defrag { check_only: parsed.has_flag("c"), verbose: parsed.has_flag("v") })
+    }
+
+    /// A default (defragment everything) invocation.
+    pub fn new() -> Self {
+        E4defrag { check_only: false, verbose: false }
+    }
+
+    /// Whether `-c` (report fragmentation only) was given.
+    pub fn is_check_only(&self) -> bool {
+        self.check_only
+    }
+
+    /// Runs against a mounted file system.
+    ///
+    /// # Errors
+    ///
+    /// * [`ToolError::Refused`] — the file system is mounted read-only
+    ///   (CCD on the `mount` `ro` parameter);
+    /// * [`ToolError::Fs`] with [`FsError::NotSupported`] — the image
+    ///   lacks the `extent` feature (CCD on the `mke2fs` parameter).
+    pub fn run<D: BlockDevice>(&self, fs: &mut Ext4Fs<D>) -> Result<DefragReport, ToolError> {
+        if fs.state() == FsState::MountedRo && !self.check_only {
+            return Err(ToolError::Refused(
+                "the file system is mounted read-only; defragmentation needs a rw mount"
+                    .to_string(),
+            ));
+        }
+        let mut report = DefragReport::default();
+        // walk the directory tree
+        let mut stack = vec![ROOT_INODE];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(dir) = stack.pop() {
+            if !seen.insert(dir) {
+                continue;
+            }
+            for entry in fs.readdir(dir).map_err(ToolError::Fs)? {
+                if entry.name == "." || entry.name == ".." {
+                    continue;
+                }
+                match entry.file_type {
+                    FileType::Dir => stack.push(InodeNo(entry.inode)),
+                    FileType::Regular => {
+                        report.files_checked += 1;
+                        let ino = InodeNo(entry.inode);
+                        if self.check_only {
+                            let n = extent_count(fs, ino)?;
+                            report.extents_before += u64::from(n);
+                            report.extents_after += u64::from(n);
+                            continue;
+                        }
+                        match fs.defragment_file(ino) {
+                            Ok((before, after)) => {
+                                report.extents_before += u64::from(before);
+                                report.extents_after += u64::from(after);
+                                if after < before {
+                                    report.files_defragmented += 1;
+                                }
+                            }
+                            Err(FsError::NoSpace) => {
+                                let n = extent_count(fs, ino)?;
+                                report.extents_before += u64::from(n);
+                                report.extents_after += u64::from(n);
+                                report.skipped_no_space += 1;
+                            }
+                            Err(e) => return Err(ToolError::Fs(e)),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl Default for E4defrag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn extent_count<D: BlockDevice>(fs: &Ext4Fs<D>, ino: InodeNo) -> Result<u32, ToolError> {
+    let inode = fs.read_inode(ino).map_err(ToolError::Fs)?;
+    if inode.is_inline() {
+        return Ok(0);
+    }
+    if !inode.uses_extents() {
+        return Err(ToolError::Fs(FsError::NotSupported(
+            "e4defrag requires the extent feature (EOPNOTSUPP)".to_string(),
+        )));
+    }
+    // count fragments by walking physical adjacency
+    let blocks = fs.file_blocks(&inode).map_err(ToolError::Fs)?;
+    let mut frags = 0u32;
+    let mut prev: Option<u64> = None;
+    for &b in &blocks {
+        if prev != Some(b.wrapping_sub(1)) {
+            frags += 1;
+        }
+        prev = Some(b);
+    }
+    Ok(frags)
+}
+
+/// The `e4defrag` parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "e4defrag";
+    vec![
+        ParamSpec::new(c, "target", ParamType::Str, Stage::Online, "file, directory, or device to defragment"),
+        ParamSpec::new(c, "check_only", ParamType::Bool, Stage::Online, "-c: report the fragmentation score only"),
+        ParamSpec::new(c, "verbose", ParamType::Bool, Stage::Online, "-v: per-file output"),
+    ]
+}
+
+/// The structured `e4defrag(8)` manual page. Documents the extent-feature
+/// dependency (the real page does) but not the read-only-mount refusal.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "e4defrag".to_string(),
+        synopsis: "e4defrag [-c] [-v] target".to_string(),
+        description: "e4defrag reduces fragmentation of extent-based files on ext4."
+            .to_string(),
+        options: vec![
+            ManualOption::valued("target", "path", "A regular file, a directory, or a device mounted as ext4.")
+                .with(DocConstraint::CrossComponent {
+                    param: "target".into(),
+                    component: "mke2fs".into(),
+                    other: "extent".into(),
+                    relation: "e4defrag only works on extent-based files".into(),
+                }),
+            ManualOption::flag("-c", "Get the current fragmentation count and an estimate of whether defragmentation would help."),
+            ManualOption::flag("-v", "Print error messages and the fragmentation count before and after defrag for each file."),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mke2fs::Mke2fs;
+    use blockdev::MemDevice;
+    use ext4sim::{MkfsParams, MountOptions};
+
+    /// A mounted fs with two deliberately interleaved (fragmented) files.
+    fn fragmented_fs() -> Ext4Fs<MemDevice> {
+        let (dev, _) = Mke2fs::from_args(&["-b", "1024", "/dev/x", "8192"])
+            .unwrap()
+            .run(MemDevice::new(1024, 8192))
+            .unwrap();
+        let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+        let root = fs.root_inode();
+        let a = fs.create_file(root, "frag-a").unwrap();
+        let b = fs.create_file(root, "frag-b").unwrap();
+        for i in 0..8u64 {
+            fs.write_file(a, i * 1024, &[0xAA; 1024]).unwrap();
+            fs.write_file(b, i * 1024, &[0xBB; 1024]).unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn defrag_reduces_extents() {
+        let mut fs = fragmented_fs();
+        let report = E4defrag::new().run(&mut fs).unwrap();
+        assert_eq!(report.files_checked, 2);
+        assert!(report.extents_before > report.extents_after);
+        assert!(report.files_defragmented >= 1);
+        assert!(report.fragmentation_after() < report.fragmentation_before());
+        // data intact
+        let root = fs.root_inode();
+        let a = fs.lookup(root, "frag-a").unwrap().unwrap();
+        let data = fs.read_file_to_vec(InodeNo(a.inode)).unwrap();
+        assert_eq!(data.len(), 8 * 1024);
+        assert!(data.iter().all(|&x| x == 0xAA));
+    }
+
+    #[test]
+    fn check_only_reports_without_change() {
+        let mut fs = fragmented_fs();
+        let cmd = E4defrag::from_args(&["-c", "/mnt"]).unwrap();
+        assert!(cmd.is_check_only());
+        let report = cmd.run(&mut fs).unwrap();
+        assert_eq!(report.extents_before, report.extents_after);
+        assert_eq!(report.files_defragmented, 0);
+        assert!(report.extents_before > 2, "interleaved files must be fragmented");
+    }
+
+    #[test]
+    fn read_only_mount_refused() {
+        let fs = fragmented_fs();
+        let dev = fs.unmount().unwrap();
+        let mut fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+        let err = E4defrag::new().run(&mut fs).unwrap_err();
+        assert!(matches!(err, ToolError::Refused(_)));
+        // -c works on a ro mount
+        E4defrag::from_args(&["-c", "/mnt"]).unwrap().run(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn non_extent_fs_is_a_ccd_violation() {
+        let mut params = MkfsParams { block_size: Some(1024), ..MkfsParams::default() };
+        params.features.incompat.remove(ext4sim::IncompatFeatures::EXTENTS);
+        let mut fs = Ext4Fs::format(MemDevice::new(1024, 8192), &params).unwrap();
+        let root = fs.root_inode();
+        let a = fs.create_file(root, "legacy-a").unwrap();
+        let b = fs.create_file(root, "legacy-b").unwrap();
+        for i in 0..4u64 {
+            fs.write_file(a, i * 1024, &[1; 1024]).unwrap();
+            fs.write_file(b, i * 1024, &[2; 1024]).unwrap();
+        }
+        let err = E4defrag::new().run(&mut fs).unwrap_err();
+        assert!(matches!(err, ToolError::Fs(FsError::NotSupported(_))));
+    }
+
+    #[test]
+    fn parse_surface() {
+        assert!(E4defrag::from_args(&["/mnt"]).is_ok());
+        assert!(E4defrag::from_args(&[]).is_err());
+        assert!(E4defrag::from_args(&["-z", "/mnt"]).is_err());
+        assert!(E4defrag::from_args(&["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn empty_fs_report_is_zero() {
+        let (dev, _) = Mke2fs::from_args(&["-b", "1024", "/dev/x", "8192"])
+            .unwrap()
+            .run(MemDevice::new(1024, 8192))
+            .unwrap();
+        let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+        let report = E4defrag::new().run(&mut fs).unwrap();
+        assert_eq!(report.files_checked, 0);
+        assert_eq!(report.fragmentation_before(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The Ext4 ecosystem utilities, re-implemented over `ext4sim`.
+//!
+//! The paper (§2) treats the file system *plus its utilities* as one
+//! configuration ecosystem, because parameters flow across component
+//! boundaries through the shared metadata structures. This crate provides
+//! the five components the paper studies:
+//!
+//! | Component | Stage | Module |
+//! |-----------|----------|--------------|
+//! | `mke2fs` | create | [`mke2fs`] |
+//! | `mount` | mount | [`mount_cmd`] |
+//! | `e4defrag` | online | [`e4defrag`] |
+//! | `resize2fs` | offline | [`resize2fs`] |
+//! | `e2fsck` | offline | [`e2fsck`] |
+//!
+//! plus two supporting tools outside the paper's analyzed component set:
+//! [`dumpe2fs`] (read-only image inspection) and [`tune2fs`] (offline
+//! configuration mutation with dependency re-validation).
+//!
+//! Every utility carries:
+//!
+//! * a CLI-style parameter parser with *utility-level* validation (the
+//!   man-page constraints), distinct from the kernel-level validation in
+//!   `ext4sim` — the two levels whose interplay produces the paper's
+//!   cross-component dependencies;
+//! * a structured [`manual::ManualPage`] used by the ConDocCk experiment
+//!   (the manuals reproduce the 12 documentation gaps of §4.3 of the
+//!   paper);
+//! * a [`params::ParamSpec`] table used by the Table 2 coverage study.
+//!
+//! `resize2fs` faithfully preserves the paper's Figure 1 bug: expanding a
+//! file system that has the `sparse_super2` feature computes the last
+//! group's free-block count before the new blocks are added, corrupting
+//! the free-space accounting (see [`resize2fs::ResizeQuirks`]).
+
+pub mod cli;
+pub mod dumpe2fs;
+pub mod e2fsck;
+pub mod e4defrag;
+pub mod manual;
+pub mod mke2fs;
+pub mod mount_cmd;
+pub mod params;
+pub mod resize2fs;
+pub mod tune2fs;
+
+pub use cli::{CliError, ParsedArgs};
+pub use dumpe2fs::{Dumpe2fs, FsDump, GroupDump};
+pub use e2fsck::{E2fsck, FsckMode, FsckResult};
+pub use e4defrag::{DefragReport, E4defrag};
+pub use manual::{DocConstraint, ManualOption, ManualPage};
+pub use mke2fs::Mke2fs;
+pub use mount_cmd::MountCmd;
+pub use params::{ParamSpec, ParamType};
+pub use resize2fs::{Resize2fs, ResizeQuirks, ResizeResult};
+pub use tune2fs::{Tune2fs, TuneReport};
+
+/// All component names of the ecosystem, in the paper's order.
+pub const COMPONENTS: [&str; 6] = ["mke2fs", "mount", "ext4", "e4defrag", "resize2fs", "e2fsck"];
+
+/// Errors shared by all utilities.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Command-line parsing or utility-level validation failed.
+    Cli(cli::CliError),
+    /// The file system rejected the operation (kernel-level validation or
+    /// a runtime failure).
+    Fs(ext4sim::FsError),
+    /// Utility-specific refusal (e.g., `resize2fs` shrinking below the
+    /// used size).
+    Refused(String),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Cli(e) => write!(f, "{e}"),
+            ToolError::Fs(e) => write!(f, "{e}"),
+            ToolError::Refused(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ToolError::Cli(e) => Some(e),
+            ToolError::Fs(e) => Some(e),
+            ToolError::Refused(_) => None,
+        }
+    }
+}
+
+impl From<cli::CliError> for ToolError {
+    fn from(e: cli::CliError) -> Self {
+        ToolError::Cli(e)
+    }
+}
+
+impl From<ext4sim::FsError> for ToolError {
+    fn from(e: ext4sim::FsError) -> Self {
+        ToolError::Fs(e)
+    }
+}

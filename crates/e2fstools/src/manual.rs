@@ -1,0 +1,201 @@
+//! Structured manual pages.
+//!
+//! ConDocCk (§4.2 of the paper) compares the configuration constraints a
+//! manual *documents* against the constraints the analyzer *extracts from
+//! code*. To make that comparison executable, each utility ships its man
+//! page in structured form: options plus the constraints the prose
+//! actually states. The pages below are transcribed from the real
+//! e2fsprogs manuals — including the 12 places where the real documentation
+//! is silent or wrong about a dependency (§4.3), which is precisely what
+//! ConDocCk is built to find.
+
+use serde::{Deserialize, Serialize};
+
+/// A constraint as *documented* (or not) by a manual page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocConstraint {
+    /// The manual states a data type for the parameter.
+    DataType {
+        /// Parameter name.
+        param: String,
+        /// Documented type ("integer", "string", ...).
+        ty: String,
+    },
+    /// The manual states a value range.
+    ValueRange {
+        /// Parameter name.
+        param: String,
+        /// Inclusive minimum.
+        min: i64,
+        /// Inclusive maximum.
+        max: i64,
+    },
+    /// The manual says the parameter conflicts with another of the same
+    /// component.
+    Conflicts {
+        /// Parameter name.
+        param: String,
+        /// The conflicting parameter.
+        other: String,
+    },
+    /// The manual says the parameter requires another of the same
+    /// component.
+    Requires {
+        /// Parameter name.
+        param: String,
+        /// The required parameter.
+        other: String,
+    },
+    /// The manual documents a dependency on a *different* component's
+    /// parameter (a documented CCD).
+    CrossComponent {
+        /// Parameter name.
+        param: String,
+        /// The other component.
+        component: String,
+        /// The other component's parameter.
+        other: String,
+        /// Short description of the relation.
+        relation: String,
+    },
+}
+
+impl DocConstraint {
+    /// The parameter this constraint is about.
+    pub fn param(&self) -> &str {
+        match self {
+            DocConstraint::DataType { param, .. }
+            | DocConstraint::ValueRange { param, .. }
+            | DocConstraint::Conflicts { param, .. }
+            | DocConstraint::Requires { param, .. }
+            | DocConstraint::CrossComponent { param, .. } => param,
+        }
+    }
+}
+
+/// One documented option.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManualOption {
+    /// The flag as spelled (`-b`, `-O sparse_super2`, `data=`).
+    pub flag: String,
+    /// Placeholder for the value, if any (`block-size`).
+    pub value_name: Option<String>,
+    /// The prose description.
+    pub description: String,
+    /// Constraints the prose states.
+    pub constraints: Vec<DocConstraint>,
+}
+
+impl ManualOption {
+    /// A flag option with no value and no constraints.
+    pub fn flag(flag: &str, description: &str) -> Self {
+        ManualOption {
+            flag: flag.to_string(),
+            value_name: None,
+            description: description.to_string(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A valued option.
+    pub fn valued(flag: &str, value_name: &str, description: &str) -> Self {
+        ManualOption {
+            flag: flag.to_string(),
+            value_name: Some(value_name.to_string()),
+            description: description.to_string(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Attaches a constraint.
+    pub fn with(mut self, c: DocConstraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+}
+
+/// A structured manual page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManualPage {
+    /// Component name (`mke2fs`, ...).
+    pub component: String,
+    /// One-line synopsis.
+    pub synopsis: String,
+    /// Description prose.
+    pub description: String,
+    /// Documented options.
+    pub options: Vec<ManualOption>,
+}
+
+impl ManualPage {
+    /// Every constraint documented anywhere on the page.
+    pub fn all_constraints(&self) -> Vec<&DocConstraint> {
+        self.options.iter().flat_map(|o| o.constraints.iter()).collect()
+    }
+
+    /// Constraints documented for a given parameter name.
+    pub fn constraints_for(&self, param: &str) -> Vec<&DocConstraint> {
+        self.all_constraints().into_iter().filter(|c| c.param() == param).collect()
+    }
+
+    /// The option entry documenting `flag`, if present.
+    pub fn option(&self, flag: &str) -> Option<&ManualOption> {
+        self.options.iter().find(|o| o.flag == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> ManualPage {
+        ManualPage {
+            component: "demo".to_string(),
+            synopsis: "demo [-x n]".to_string(),
+            description: "a demo".to_string(),
+            options: vec![
+                ManualOption::valued("-x", "n", "sets x")
+                    .with(DocConstraint::ValueRange { param: "x".to_string(), min: 1, max: 9 })
+                    .with(DocConstraint::DataType { param: "x".to_string(), ty: "integer".to_string() }),
+                ManualOption::flag("-q", "quiet"),
+            ],
+        }
+    }
+
+    #[test]
+    fn constraint_queries() {
+        let p = page();
+        assert_eq!(p.all_constraints().len(), 2);
+        assert_eq!(p.constraints_for("x").len(), 2);
+        assert!(p.constraints_for("q").is_empty());
+        assert!(p.option("-q").is_some());
+        assert!(p.option("-z").is_none());
+    }
+
+    #[test]
+    fn param_accessor_covers_all_variants() {
+        let cs = [
+            DocConstraint::DataType { param: "a".into(), ty: "int".into() },
+            DocConstraint::ValueRange { param: "a".into(), min: 0, max: 1 },
+            DocConstraint::Conflicts { param: "a".into(), other: "b".into() },
+            DocConstraint::Requires { param: "a".into(), other: "b".into() },
+            DocConstraint::CrossComponent {
+                param: "a".into(),
+                component: "c".into(),
+                other: "b".into(),
+                relation: "depends".into(),
+            },
+        ];
+        for c in &cs {
+            assert_eq!(c.param(), "a");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = page();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ManualPage = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,512 @@
+//! `mke2fs` — the create-stage utility.
+//!
+//! Parses the real `mke2fs` option surface, applies the *utility-level*
+//! validation the man page documents, and drives [`ext4sim::Ext4Fs::format`]
+//! (which re-validates at the kernel level, as `ext4_fill_super` does for
+//! the corresponding real parameters — the two-level validation structure
+//! §2 of the paper describes).
+
+use blockdev::BlockDevice;
+use ext4sim::{CompatFeatures, Ext4Fs, FeatureSet, MkfsParams};
+
+use crate::cli::{self, CliError};
+use crate::manual::{DocConstraint, ManualOption, ManualPage};
+use crate::params::{ParamSpec, ParamType, Stage};
+use crate::ToolError;
+
+/// A parsed-and-validated `mke2fs` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mke2fs {
+    params: MkfsParams,
+    dry_run: bool,
+    quiet: bool,
+}
+
+/// Outcome of a successful format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mke2fsReport {
+    /// Final block count.
+    pub blocks_count: u64,
+    /// Number of block groups created.
+    pub group_count: u32,
+    /// Total inodes.
+    pub inodes_count: u32,
+    /// The feature set written to the superblock.
+    pub features: FeatureSet,
+    /// Backup superblock groups.
+    pub backup_groups: Vec<u32>,
+}
+
+impl Mke2fs {
+    /// Builds directly from typed parameters (API callers).
+    pub fn from_params(params: MkfsParams) -> Self {
+        Mke2fs { params, dry_run: false, quiet: true }
+    }
+
+    /// Parses a command line: `mke2fs [options] device [blocks-count]`.
+    /// The device operand is notional (the caller supplies the actual
+    /// device to [`Mke2fs::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Cli`] for unknown options, malformed values,
+    /// and the man-page-level constraint violations.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let parsed = cli::parse(
+            argv,
+            &["c", "j", "n", "q", "v", "F"],
+            &["b", "C", "E", "g", "G", "i", "I", "J", "L", "m", "N", "O", "U"],
+        )?;
+        if parsed.operands.is_empty() {
+            return Err(CliError::BadOperands("a device is required".to_string()).into());
+        }
+        if parsed.operands.len() > 2 {
+            return Err(CliError::BadOperands(format!(
+                "expected device [blocks-count], got {} operands",
+                parsed.operands.len()
+            ))
+            .into());
+        }
+
+        let mut params = MkfsParams::default();
+
+        if let Some(b) = parsed.int_value("b")? {
+            // man: "Valid block-size values are powers of two from 1024
+            // up to 65536."
+            if !(1024..=65536).contains(&b) || !b.is_power_of_two() {
+                return Err(CliError::BadValue {
+                    option: "-b".to_string(),
+                    value: b.to_string(),
+                    expected: "a power of two between 1024 and 65536".to_string(),
+                }
+                .into());
+            }
+            params.block_size = Some(b as u32);
+        }
+        if let Some(c) = parsed.int_value("C")? {
+            params.cluster_size = Some(c as u32);
+        }
+        if let Some(g) = parsed.int_value("g")? {
+            params.blocks_per_group = Some(g as u32);
+        }
+        if let Some(i) = parsed.int_value("i")? {
+            // man: "i must be at least the blocksize"
+            params.inode_ratio = i as u32;
+        }
+        if let Some(isz) = parsed.int_value("I")? {
+            if isz != 128 && isz != 256 {
+                return Err(CliError::BadValue {
+                    option: "-I".to_string(),
+                    value: isz.to_string(),
+                    expected: "128 or 256".to_string(),
+                }
+                .into());
+            }
+            params.inode_size = isz as u16;
+        }
+        if let Some(m) = parsed.int_value("m")? {
+            if m > 50 {
+                return Err(CliError::BadValue {
+                    option: "-m".to_string(),
+                    value: m.to_string(),
+                    expected: "a percentage between 0 and 50".to_string(),
+                }
+                .into());
+            }
+            params.reserved_percent = m as u8;
+        }
+        if let Some(n) = parsed.int_value("N")? {
+            params.inodes_count = Some(n as u32);
+        }
+        if let Some(label) = parsed.value("L") {
+            if label.len() > 16 {
+                return Err(CliError::BadValue {
+                    option: "-L".to_string(),
+                    value: label.to_string(),
+                    expected: "at most 16 bytes".to_string(),
+                }
+                .into());
+            }
+            params.label = label.to_string();
+        }
+        if let Some(j) = parsed.value("J") {
+            // accept "size=blocks"
+            match j.strip_prefix("size=") {
+                Some(v) => {
+                    let blocks: u64 = v.parse().map_err(|_| CliError::BadValue {
+                        option: "-J".to_string(),
+                        value: j.to_string(),
+                        expected: "size=<blocks>".to_string(),
+                    })?;
+                    params.journal_blocks = Some(blocks as u32);
+                }
+                None => {
+                    return Err(CliError::BadValue {
+                        option: "-J".to_string(),
+                        value: j.to_string(),
+                        expected: "size=<blocks>".to_string(),
+                    }
+                    .into())
+                }
+            }
+        }
+        if let Some(e) = parsed.value("E") {
+            for opt in e.split(',') {
+                match opt.split_once('=') {
+                    Some(("resize", v)) => {
+                        let blocks: u64 = v.parse().map_err(|_| CliError::BadValue {
+                            option: "-E resize".to_string(),
+                            value: v.to_string(),
+                            expected: "a block count".to_string(),
+                        })?;
+                        params.resize_headroom = Some(blocks);
+                    }
+                    Some(("stride", _)) | Some(("stripe_width", _)) => {
+                        // accepted, geometry hints have no effect in the sim
+                    }
+                    Some(("lazy_itable_init", _)) => {}
+                    _ => {
+                        return Err(CliError::BadValue {
+                            option: "-E".to_string(),
+                            value: opt.to_string(),
+                            expected: "resize=, stride=, stripe_width=, lazy_itable_init=".to_string(),
+                        }
+                        .into())
+                    }
+                }
+            }
+        }
+        if let Some(feats) = parsed.value("O") {
+            for token in feats.split(',') {
+                if !params.features.apply_token(token) {
+                    return Err(CliError::BadValue {
+                        option: "-O".to_string(),
+                        value: token.to_string(),
+                        expected: "a known feature name".to_string(),
+                    }
+                    .into());
+                }
+            }
+        }
+        if parsed.has_flag("j") {
+            // -j forces a journal; CPD with "-O ^has_journal"
+            if !params.features.compat.contains(CompatFeatures::HAS_JOURNAL) {
+                return Err(CliError::Conflict { a: "-j".to_string(), b: "-O ^has_journal".to_string() }.into());
+            }
+            params.features.compat.insert(CompatFeatures::HAS_JOURNAL);
+        }
+        if let Some(size) = parsed.operands.get(1) {
+            let blocks: u64 = size.parse().map_err(|_| CliError::BadValue {
+                option: "blocks-count".to_string(),
+                value: size.to_string(),
+                expected: "an integer block count".to_string(),
+            })?;
+            params.blocks_count = Some(blocks);
+        }
+        Ok(Mke2fs { params, dry_run: parsed.has_flag("n"), quiet: parsed.has_flag("q") })
+    }
+
+    /// The typed parameters this invocation resolved to.
+    pub fn params(&self) -> &MkfsParams {
+        &self.params
+    }
+
+    /// Whether `-n` (dry run) was given.
+    pub fn is_dry_run(&self) -> bool {
+        self.dry_run
+    }
+
+    /// Formats `dev`, unmounts cleanly, and returns the device plus a
+    /// report. With `-n`, validates only and leaves the device untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Fs`] for kernel-level validation failures
+    /// (e.g., the `meta_bg`/`resize_inode` conflict) and device errors.
+    pub fn run<D: BlockDevice>(&self, dev: D) -> Result<(D, Mke2fsReport), ToolError> {
+        if self.dry_run {
+            let bs = self.params.effective_block_size(dev.size_bytes());
+            self.params.validate(dev.size_bytes() / u64::from(bs)).map_err(ToolError::Fs)?;
+            let blocks = self.params.blocks_count.unwrap_or(dev.size_bytes() / u64::from(bs));
+            return Ok((
+                dev,
+                Mke2fsReport {
+                    blocks_count: blocks,
+                    group_count: 0,
+                    inodes_count: 0,
+                    features: self.params.features,
+                    backup_groups: Vec::new(),
+                },
+            ));
+        }
+        let fs = Ext4Fs::format(dev, &self.params)?;
+        let report = Mke2fsReport {
+            blocks_count: fs.superblock().blocks_count,
+            group_count: fs.layout().group_count(),
+            inodes_count: fs.superblock().inodes_count,
+            features: fs.superblock().features,
+            backup_groups: fs.layout().backup_groups(),
+        };
+        let dev = fs.unmount().map_err(ToolError::Fs)?;
+        Ok((dev, report))
+    }
+}
+
+/// The `mke2fs` parameter table (30 parameters) for the Table 2 coverage
+/// universe.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "mke2fs";
+    let int = |min, max| ParamType::Int { min, max };
+    let feat = || ParamType::Feature;
+    vec![
+        ParamSpec::new(c, "blocksize", int(1024, 65536), Stage::Create, "-b: bytes per block (power of 2)"),
+        ParamSpec::new(c, "cluster_size", ParamType::Size, Stage::Create, "-C: bytes per cluster (bigalloc)"),
+        ParamSpec::new(c, "check_badblocks", ParamType::Bool, Stage::Create, "-c: check for bad blocks first"),
+        ParamSpec::new(c, "blocks_per_group", int(8, 65536 * 8), Stage::Create, "-g: blocks per block group"),
+        ParamSpec::new(c, "number_of_groups", int(1, 1 << 20), Stage::Create, "-G: groups per flex group"),
+        ParamSpec::new(c, "inode_ratio", ParamType::Size, Stage::Create, "-i: bytes of data per inode"),
+        ParamSpec::new(c, "inode_size", int(128, 256), Stage::Create, "-I: bytes per inode record"),
+        ParamSpec::new(c, "journal", ParamType::Bool, Stage::Create, "-j: create a journal"),
+        ParamSpec::new(c, "journal_size", ParamType::Size, Stage::Create, "-J size=: journal blocks"),
+        ParamSpec::new(c, "label", ParamType::Str, Stage::Create, "-L: volume label (16 bytes)"),
+        ParamSpec::new(c, "reserved_percent", int(0, 50), Stage::Create, "-m: reserved block percentage"),
+        ParamSpec::new(c, "inodes_count", int(16, i64::MAX), Stage::Create, "-N: total inode count"),
+        ParamSpec::new(c, "dry_run", ParamType::Bool, Stage::Create, "-n: do not actually create"),
+        ParamSpec::new(c, "quiet", ParamType::Bool, Stage::Create, "-q: quiet output"),
+        ParamSpec::new(c, "verbose", ParamType::Bool, Stage::Create, "-v: verbose output"),
+        ParamSpec::new(c, "force", ParamType::Bool, Stage::Create, "-F: force creation"),
+        ParamSpec::new(c, "uuid", ParamType::Str, Stage::Create, "-U: volume UUID"),
+        ParamSpec::new(c, "size", ParamType::Size, Stage::Create, "blocks-count operand (the Figure 1 CCD)"),
+        ParamSpec::new(c, "resize_headroom", ParamType::Size, Stage::Create, "-E resize=: growth headroom"),
+        ParamSpec::new(c, "stride", ParamType::Size, Stage::Create, "-E stride=: RAID stride hint"),
+        ParamSpec::new(c, "stripe_width", ParamType::Size, Stage::Create, "-E stripe_width=: RAID stripe hint"),
+        ParamSpec::new(c, "lazy_itable_init", ParamType::Bool, Stage::Create, "-E lazy_itable_init="),
+        ParamSpec::new(c, "sparse_super", feat(), Stage::Create, "-O sparse_super"),
+        ParamSpec::new(c, "sparse_super2", feat(), Stage::Create, "-O sparse_super2"),
+        ParamSpec::new(c, "has_journal", feat(), Stage::Create, "-O has_journal"),
+        ParamSpec::new(c, "extent", feat(), Stage::Create, "-O extent"),
+        ParamSpec::new(c, "64bit", feat(), Stage::Create, "-O 64bit"),
+        ParamSpec::new(c, "meta_bg", feat(), Stage::Create, "-O meta_bg"),
+        ParamSpec::new(c, "resize_inode", feat(), Stage::Create, "-O resize_inode"),
+        ParamSpec::new(c, "inline_data", feat(), Stage::Create, "-O inline_data"),
+        ParamSpec::new(c, "bigalloc", feat(), Stage::Create, "-O bigalloc"),
+        ParamSpec::new(c, "dir_index", feat(), Stage::Create, "-O dir_index"),
+        ParamSpec::new(c, "metadata_csum", feat(), Stage::Create, "-O metadata_csum"),
+    ]
+}
+
+/// The structured `mke2fs(8)` manual page.
+///
+/// Deliberately reproduces the real manual's documentation gaps that the
+/// paper's ConDocCk found (§4.3) — most prominently: the page does **not**
+/// document that `meta_bg` and `resize_inode` cannot be used together,
+/// nor the `bigalloc`→`extent` requirement, nor the constraint that
+/// `-i` must be at least the block size.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "mke2fs".to_string(),
+        synopsis: "mke2fs [-b block-size] [-C cluster-size] [-O feature[,...]] [-m percent] device [blocks-count]".to_string(),
+        description: "mke2fs is used to create an ext2/ext3/ext4 file system on a device."
+            .to_string(),
+        options: vec![
+            ManualOption::valued("-b", "block-size", "Specify the size of blocks in bytes. Valid block-size values are powers of two from 1024 up to 65536.")
+                .with(DocConstraint::DataType { param: "blocksize".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "blocksize".into(), min: 1024, max: 65536 }),
+            ManualOption::valued("-C", "cluster-size", "Specify the size of clusters in bytes, for file systems using the bigalloc feature. Must be at least the block size.")
+                .with(DocConstraint::Requires { param: "cluster_size".into(), other: "bigalloc".into() })
+                .with(DocConstraint::ValueRange { param: "cluster_size".into(), min: 2048, max: 256 * 1024 * 1024 })
+                .with(DocConstraint::Requires { param: "cluster_size".into(), other: "blocksize".into() })
+                .with(DocConstraint::DataType { param: "cluster_size".into(), ty: "size".into() }),
+            ManualOption::valued("-g", "blocks-per-group", "Specify the number of blocks in a block group. May be no larger than 8 times the block size.")
+                .with(DocConstraint::DataType { param: "blocks_per_group".into(), ty: "integer".into() })
+                .with(DocConstraint::Requires { param: "blocks_per_group".into(), other: "blocksize".into() }),
+            // GAP(paper): the real page does not state the multiple-of-8
+            // value constraint on -g.
+            ManualOption::valued("-i", "bytes-per-inode", "Specify the bytes/inode ratio.")
+                .with(DocConstraint::DataType { param: "inode_ratio".into(), ty: "size".into() }),
+            // GAP(paper): "-i must be at least blocksize" is enforced in
+            // code but absent here.
+            ManualOption::valued("-I", "inode-size", "Specify the size of each inode in bytes.")
+                .with(DocConstraint::DataType { param: "inode_size".into(), ty: "integer".into() }),
+            // GAP(paper): the {128, 256} value set is not documented.
+            ManualOption::flag("-j", "Create the file system with an ext3 journal."),
+            // GAP(paper): the conflict between -j and -O ^has_journal is
+            // not documented.
+            ManualOption::valued("-J", "size=journal-blocks", "Create the journal using options specified on the command line. Only meaningful together with -j, and limited to a quarter of the file system.")
+                .with(DocConstraint::Requires { param: "journal_size".into(), other: "has_journal".into() })
+                .with(DocConstraint::Requires { param: "journal_size".into(), other: "journal_flag".into() })
+                .with(DocConstraint::Requires { param: "journal_size".into(), other: "size".into() })
+                .with(DocConstraint::DataType { param: "journal_size".into(), ty: "size".into() }),
+            // GAP(paper): the valid journal size range (256..=409600
+            // blocks) is not documented.
+            ManualOption::valued("-L", "new-volume-label", "Set the volume label, at most 16 bytes.")
+                .with(DocConstraint::DataType { param: "label".into(), ty: "string".into() })
+                .with(DocConstraint::ValueRange { param: "label".into(), min: 0, max: 16 }),
+            ManualOption::valued("-m", "reserved-blocks-percentage", "Specify the percentage of the file system blocks reserved for the super-user. The default percentage is 5%.")
+                .with(DocConstraint::DataType { param: "reserved_percent".into(), ty: "integer".into() }),
+            // GAP(paper): the 0..=50 range of -m is enforced but
+            // undocumented.
+            ManualOption::valued("-N", "number-of-inodes", "Overrides the default calculation of the number of inodes.")
+                .with(DocConstraint::Conflicts { param: "inodes_count".into(), other: "inode_ratio".into() })
+                .with(DocConstraint::Requires { param: "inodes_count".into(), other: "size".into() })
+                .with(DocConstraint::Requires { param: "inodes_count".into(), other: "blocksize".into() })
+                .with(DocConstraint::DataType { param: "inodes_count".into(), ty: "int".into() }),
+            ManualOption::valued("-O", "feature[,...]", "Create a file system with the given features. The pseudo-feature '^feature' disables a feature.")
+                .with(DocConstraint::DataType { param: "features".into(), ty: "feature-list".into() })
+                .with(DocConstraint::Requires { param: "bigalloc".into(), other: "extent".into() })
+                .with(DocConstraint::Conflicts { param: "sparse_super".into(), other: "sparse_super2".into() })
+                .with(DocConstraint::Requires { param: "feat_64bit".into(), other: "extent".into() })
+                .with(DocConstraint::Conflicts { param: "metadata_csum".into(), other: "uninit_bg".into() })
+                .with(DocConstraint::Requires { param: "metadata_csum".into(), other: "inode_size".into() }),
+            // GAP(paper): meta_bg and resize_inode cannot be used together
+            // — missing from the page (the paper's flagship example).
+            // GAP(paper): bigalloc also conflicts with resize_inode —
+            // missing.
+            // GAP(paper): sparse_super2 changes resize2fs behaviour
+            // (Figure 1) — missing.
+            ManualOption::valued("-E", "extended-options", "Set extended options: resize=, stride=, stripe_width=, lazy_itable_init=.")
+                .with(DocConstraint::Requires { param: "resize_headroom".into(), other: "resize_inode".into() })
+                .with(DocConstraint::Requires { param: "resize_headroom".into(), other: "size".into() })
+                .with(DocConstraint::DataType { param: "resize_headroom".into(), ty: "size".into() }),
+            ManualOption::valued("blocks-count", "blocks", "The number of blocks of the file system; defaults to the device size. Must be at least 64 blocks.")
+                .with(DocConstraint::ValueRange { param: "size".into(), min: 64, max: i64::MAX }),
+            ManualOption::flag("-q", "Quiet execution. Cannot be combined with -v.")
+                .with(DocConstraint::Conflicts { param: "quiet".into(), other: "verbose".into() }),
+            ManualOption::flag("-n", "Cause mke2fs to not actually create a file system, but display what it would do."),
+            ManualOption::flag("-F", "Force mke2fs to create a file system even if the device is in use."),
+            ManualOption::valued("-U", "UUID", "Set the UUID of the file system."),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::MemDevice;
+    use ext4sim::MountOptions;
+
+    #[test]
+    fn parse_basic_invocation() {
+        let m = Mke2fs::from_args(&["-b", "1024", "-m", "3", "-L", "vol", "/dev/x", "8192"]).unwrap();
+        assert_eq!(m.params().block_size, Some(1024));
+        assert_eq!(m.params().reserved_percent, 3);
+        assert_eq!(m.params().label, "vol");
+        assert_eq!(m.params().blocks_count, Some(8192));
+    }
+
+    #[test]
+    fn device_operand_required() {
+        assert!(Mke2fs::from_args(&["-b", "1024"]).is_err());
+        assert!(Mke2fs::from_args(&["-b1024", "a", "2", "extra"]).is_err());
+    }
+
+    #[test]
+    fn block_size_validated_at_utility_level() {
+        assert!(Mke2fs::from_args(&["-b", "3000", "/dev/x"]).is_err());
+        assert!(Mke2fs::from_args(&["-b", "512", "/dev/x"]).is_err());
+        assert!(Mke2fs::from_args(&["-b", "hello", "/dev/x"]).is_err());
+    }
+
+    #[test]
+    fn feature_tokens_parsed() {
+        let m = Mke2fs::from_args(&["-O", "sparse_super2,^resize_inode", "/dev/x"]).unwrap();
+        assert!(m.params().features.has("sparse_super2"));
+        assert!(!m.params().features.has("resize_inode"));
+        assert!(Mke2fs::from_args(&["-O", "warp_drive", "/dev/x"]).is_err());
+    }
+
+    #[test]
+    fn j_conflicts_with_cleared_journal() {
+        let err = Mke2fs::from_args(&["-j", "-O", "^has_journal", "/dev/x"]).unwrap_err();
+        assert!(matches!(err, ToolError::Cli(CliError::Conflict { .. })));
+    }
+
+    #[test]
+    fn reserved_percent_range() {
+        assert!(Mke2fs::from_args(&["-m", "51", "/dev/x"]).is_err());
+        assert!(Mke2fs::from_args(&["-m", "50", "/dev/x"]).is_ok());
+    }
+
+    #[test]
+    fn journal_size_syntax() {
+        let m = Mke2fs::from_args(&["-J", "size=512", "/dev/x"]).unwrap();
+        assert_eq!(m.params().journal_blocks, Some(512));
+        assert!(Mke2fs::from_args(&["-J", "512", "/dev/x"]).is_err());
+    }
+
+    #[test]
+    fn extended_options() {
+        let m = Mke2fs::from_args(&["-E", "resize=100000,stride=16", "/dev/x"]).unwrap();
+        assert_eq!(m.params().resize_headroom, Some(100000));
+        assert!(Mke2fs::from_args(&["-E", "bogus=1", "/dev/x"]).is_err());
+    }
+
+    #[test]
+    fn run_formats_a_mountable_image() {
+        let m = Mke2fs::from_args(&["-b", "1024", "/dev/x", "8192"]).unwrap();
+        let (dev, report) = m.run(MemDevice::new(1024, 8192)).unwrap();
+        assert_eq!(report.blocks_count, 8192);
+        assert_eq!(report.group_count, 1);
+        let fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+        assert_eq!(fs.superblock().blocks_count, 8192);
+    }
+
+    #[test]
+    fn run_kernel_level_conflict_surfaces() {
+        // meta_bg + resize_inode passes CLI parsing (the manual is silent!)
+        // but the kernel-level validation refuses it.
+        let m = Mke2fs::from_args(&["-O", "meta_bg", "/dev/x"]).unwrap();
+        let err = m.run(MemDevice::new(1024, 8192)).unwrap_err();
+        assert!(matches!(err, ToolError::Fs(ext4sim::FsError::ConflictingParams { .. })));
+    }
+
+    #[test]
+    fn dry_run_leaves_device_untouched() {
+        let m = Mke2fs::from_args(&["-n", "-b", "1024", "/dev/x", "8192"]).unwrap();
+        assert!(m.is_dry_run());
+        let (dev, report) = m.run(MemDevice::new(1024, 8192)).unwrap();
+        assert_eq!(report.blocks_count, 8192);
+        assert_eq!(dev.populated_blocks(), 0);
+    }
+
+    #[test]
+    fn label_too_long_rejected() {
+        assert!(Mke2fs::from_args(&["-L", "12345678901234567", "/dev/x"]).is_err());
+    }
+
+    #[test]
+    fn sparse_super2_round_trip() {
+        let m = Mke2fs::from_args(&["-b1024", "-O", "sparse_super2,^sparse_super", "/dev/x"]).unwrap();
+        let (dev, report) = m.run(MemDevice::new(1024, 8192 * 4)).unwrap();
+        assert_eq!(report.backup_groups, vec![1, 3]);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert_eq!(fs.superblock().backup_bgs, [1, 3]);
+    }
+
+    #[test]
+    fn manual_documents_gaps_faithfully() {
+        let page = manual();
+        // documented: -b range
+        assert!(page
+            .constraints_for("blocksize")
+            .iter()
+            .any(|c| matches!(c, DocConstraint::ValueRange { .. })));
+        // NOT documented (paper's flagship example): meta_bg/resize_inode
+        assert!(page
+            .all_constraints()
+            .iter()
+            .all(|c| !matches!(c, DocConstraint::Conflicts { param, other }
+                if (param == "meta_bg" && other == "resize_inode")
+                    || (param == "resize_inode" && other == "meta_bg"))));
+        // NOT documented: -m range
+        assert!(page
+            .constraints_for("reserved_percent")
+            .iter()
+            .all(|c| !matches!(c, DocConstraint::ValueRange { .. })));
+    }
+
+    #[test]
+    fn param_table_is_large_enough() {
+        assert!(param_table().len() >= 30);
+    }
+}

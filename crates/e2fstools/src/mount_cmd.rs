@@ -1,0 +1,332 @@
+//! `mount` — the mount-stage utility.
+//!
+//! Parses `mount -o option[,option...]` strings into typed
+//! [`MountOptions`] and drives [`Ext4Fs::mount`], where the kernel-level
+//! validation (`ext4_fill_super`) happens. Several mount options carry
+//! cross-component dependencies on `mke2fs` features recorded in the
+//! superblock (e.g., `dax` vs `inline_data`) — the paper's CCD pattern.
+
+use blockdev::BlockDevice;
+use ext4sim::{DataMode, Ext4Fs, MountOptions};
+
+use crate::cli::CliError;
+use crate::manual::{DocConstraint, ManualOption, ManualPage};
+use crate::params::{ParamSpec, ParamType, Stage};
+use crate::ToolError;
+
+/// A parsed `mount` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MountCmd {
+    opts: MountOptions,
+    raw: Vec<String>,
+}
+
+impl MountCmd {
+    /// Builds from typed options.
+    pub fn from_options(opts: MountOptions) -> Self {
+        MountCmd { opts, raw: Vec::new() }
+    }
+
+    /// Parses an `-o` option string (`"ro,dax,data=ordered"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Cli`] for unknown options or malformed
+    /// values. (Cross-feature validation happens at mount time, in the
+    /// kernel-level check.)
+    pub fn from_option_string(s: &str) -> Result<Self, ToolError> {
+        let mut opts = MountOptions::default();
+        let mut raw = Vec::new();
+        for tok in s.split(',').filter(|t| !t.is_empty()) {
+            raw.push(tok.to_string());
+            match tok {
+                "ro" => opts.read_only = true,
+                "rw" => opts.read_only = false,
+                "dax" => opts.dax = true,
+                "block_validity" => opts.block_validity = true,
+                "noblock_validity" => opts.block_validity = false,
+                "noload" | "norecovery" => opts.noload = true,
+                "force" => opts.force = true,
+                // accepted no-op options (present on the real surface)
+                "acl" | "noacl" | "user_xattr" | "nouser_xattr" | "barrier" | "nobarrier"
+                | "discard" | "nodiscard" | "delalloc" | "nodelalloc" | "lazytime"
+                | "nolazytime" | "auto_da_alloc" | "noauto_da_alloc" | "dioread_nolock"
+                | "dioread_lock" | "i_version" | "grpid" | "nogrpid" | "minixdf" | "bsddf"
+                | "debug" | "abort" | "quota" | "noquota" | "usrquota" | "grpquota"
+                | "prjquota" | "oldalloc" | "orlov" | "init_itable" | "noinit_itable" => {}
+                _ => match tok.split_once('=') {
+                    Some(("data", v)) => {
+                        opts.data = DataMode::parse(v).ok_or_else(|| CliError::BadValue {
+                            option: "data".to_string(),
+                            value: v.to_string(),
+                            expected: "ordered|journal|writeback".to_string(),
+                        })?;
+                    }
+                    Some(("errors", v)) => {
+                        opts.errors = Some(match v {
+                            "continue" => 1,
+                            "remount-ro" => 2,
+                            "panic" => 3,
+                            _ => {
+                                return Err(CliError::BadValue {
+                                    option: "errors".to_string(),
+                                    value: v.to_string(),
+                                    expected: "continue|remount-ro|panic".to_string(),
+                                }
+                                .into())
+                            }
+                        });
+                    }
+                    Some(("commit", v)) | Some(("stripe", v)) | Some(("resuid", v))
+                    | Some(("resgid", v)) | Some(("inode_readahead_blks", v))
+                    | Some(("max_batch_time", v)) | Some(("min_batch_time", v))
+                    | Some(("journal_ioprio", v)) | Some(("sb", v)) => {
+                        // integer-valued accepted options
+                        v.parse::<u64>().map_err(|_| CliError::BadValue {
+                            option: tok.split('=').next().unwrap_or(tok).to_string(),
+                            value: v.to_string(),
+                            expected: "an integer".to_string(),
+                        })?;
+                    }
+                    _ => return Err(CliError::UnknownOption(tok.to_string()).into()),
+                },
+            }
+        }
+        Ok(MountCmd { opts, raw })
+    }
+
+    /// The typed options.
+    pub fn options(&self) -> &MountOptions {
+        &self.opts
+    }
+
+    /// The raw option tokens as given.
+    pub fn raw_options(&self) -> &[String] {
+        &self.raw
+    }
+
+    /// Mounts `dev` with these options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Fs`] for kernel-level rejections (the
+    /// `ext4_fill_super` checks).
+    pub fn run<D: BlockDevice>(&self, dev: D) -> Result<Ext4Fs<D>, ToolError> {
+        Ext4Fs::mount(dev, &self.opts).map_err(ToolError::Fs)
+    }
+}
+
+/// The `mount` (ext4 options) parameter table — 36 parameters.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "mount";
+    let b = || ParamType::Bool;
+    let int = |min, max| ParamType::Int { min, max };
+    vec![
+        ParamSpec::new(c, "ro", b(), Stage::Mount, "mount read-only"),
+        ParamSpec::new(c, "rw", b(), Stage::Mount, "mount read-write"),
+        ParamSpec::new(c, "dax", b(), Stage::Mount, "direct access to persistent memory"),
+        ParamSpec::new(c, "data", ParamType::Enum(vec!["ordered".into(), "journal".into(), "writeback".into()]), Stage::Mount, "journalling mode"),
+        ParamSpec::new(c, "errors", ParamType::Enum(vec!["continue".into(), "remount-ro".into(), "panic".into()]), Stage::Mount, "behaviour on errors"),
+        ParamSpec::new(c, "block_validity", b(), Stage::Mount, "validate block mappings against metadata"),
+        ParamSpec::new(c, "noload", b(), Stage::Mount, "skip journal replay"),
+        ParamSpec::new(c, "norecovery", b(), Stage::Mount, "alias of noload"),
+        ParamSpec::new(c, "acl", b(), Stage::Mount, "POSIX ACLs"),
+        ParamSpec::new(c, "user_xattr", b(), Stage::Mount, "user extended attributes"),
+        ParamSpec::new(c, "barrier", b(), Stage::Mount, "write barriers"),
+        ParamSpec::new(c, "commit", int(1, 900), Stage::Mount, "journal commit interval (seconds)"),
+        ParamSpec::new(c, "discard", b(), Stage::Mount, "issue discards"),
+        ParamSpec::new(c, "delalloc", b(), Stage::Mount, "delayed allocation"),
+        ParamSpec::new(c, "lazytime", b(), Stage::Mount, "lazy timestamp updates"),
+        ParamSpec::new(c, "auto_da_alloc", b(), Stage::Mount, "replace-via-rename heuristics"),
+        ParamSpec::new(c, "inode_readahead_blks", int(0, 1 << 30), Stage::Mount, "inode readahead (power of 2)"),
+        ParamSpec::new(c, "stripe", int(0, 1 << 30), Stage::Mount, "stripe size for allocator"),
+        ParamSpec::new(c, "max_batch_time", int(0, 1 << 30), Stage::Mount, "max commit batching time (us)"),
+        ParamSpec::new(c, "min_batch_time", int(0, 1 << 30), Stage::Mount, "min commit batching time (us)"),
+        ParamSpec::new(c, "init_itable", b(), Stage::Mount, "background inode table zeroing"),
+        ParamSpec::new(c, "dioread_nolock", b(), Stage::Mount, "lockless direct I/O reads"),
+        ParamSpec::new(c, "i_version", b(), Stage::Mount, "64-bit inode version"),
+        ParamSpec::new(c, "grpid", b(), Stage::Mount, "BSD group-id semantics"),
+        ParamSpec::new(c, "resuid", int(0, u32::MAX as i64), Stage::Mount, "uid allowed to use reserved blocks"),
+        ParamSpec::new(c, "resgid", int(0, u32::MAX as i64), Stage::Mount, "gid allowed to use reserved blocks"),
+        ParamSpec::new(c, "sb", int(0, i64::MAX), Stage::Mount, "alternate superblock location"),
+        ParamSpec::new(c, "quota", b(), Stage::Mount, "enable quota"),
+        ParamSpec::new(c, "usrquota", b(), Stage::Mount, "user quota"),
+        ParamSpec::new(c, "grpquota", b(), Stage::Mount, "group quota"),
+        ParamSpec::new(c, "prjquota", b(), Stage::Mount, "project quota"),
+        ParamSpec::new(c, "minixdf", b(), Stage::Mount, "minix statfs semantics"),
+        ParamSpec::new(c, "bsddf", b(), Stage::Mount, "BSD statfs semantics"),
+        ParamSpec::new(c, "debug", b(), Stage::Mount, "debug output"),
+        ParamSpec::new(c, "abort", b(), Stage::Mount, "abort the journal (debug)"),
+        ParamSpec::new(c, "journal_ioprio", int(0, 7), Stage::Mount, "journal I/O priority"),
+    ]
+}
+
+/// The structured `mount(8)` (ext4 section) manual page.
+///
+/// Documents the `data=journal` requirement but — like the real page at
+/// the time of the paper — is silent on the `dax`/`inline_data` conflict
+/// and the `dax` block-size requirement (two of the paper's 12
+/// documentation issues).
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "mount".to_string(),
+        synopsis: "mount -t ext4 [-o option[,option]...] device dir".to_string(),
+        description: "Mount an ext4 file system with the given options.".to_string(),
+        options: vec![
+            ManualOption::flag("ro", "Mount the filesystem read-only."),
+            ManualOption::valued("data", "mode", "Specifies the journalling mode for file data: journal, ordered, or writeback.")
+                .with(DocConstraint::DataType { param: "data".into(), ty: "enum".into() })
+                .with(DocConstraint::CrossComponent {
+                    param: "data".into(),
+                    component: "mke2fs".into(),
+                    other: "has_journal".into(),
+                    relation: "data=journal requires a journal on the file system".into(),
+                }),
+            ManualOption::flag("dax", "Use direct access (no page cache) for files on this file system. Cannot be used with data=journal.")
+                .with(DocConstraint::Conflicts { param: "dax".into(), other: "data".into() }),
+            // GAP(paper): dax requires block size == page size — missing.
+            // GAP(paper): dax conflicts with the inline_data feature —
+            // missing.
+            ManualOption::valued("errors", "behaviour", "Define the behaviour when an error is encountered: continue, remount-ro, or panic.")
+                .with(DocConstraint::DataType { param: "errors".into(), ty: "enum".into() }),
+            ManualOption::flag("noload", "Don't load the journal on mounting. A read-write mount requires journal recovery.")
+                .with(DocConstraint::CrossComponent {
+                    param: "noload".into(),
+                    component: "mke2fs".into(),
+                    other: "has_journal".into(),
+                    relation: "only meaningful on file systems with a journal".into(),
+                })
+                .with(DocConstraint::Requires { param: "noload".into(), other: "ro".into() }),
+            ManualOption::flag("block_validity", "Enable the in-kernel facility for tracking filesystem metadata blocks within internal data structures."),
+            ManualOption::valued("commit", "nrsec", "Sync all data and metadata every nrsec seconds. Valid values are 1 to 900.")
+                .with(DocConstraint::DataType { param: "commit".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "commit".into(), min: 1, max: 900 }),
+            ManualOption::valued("stripe", "n", "Number of filesystem blocks that mballoc will try to use for allocation size and alignment, at most 65536.")
+                .with(DocConstraint::DataType { param: "stripe".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "stripe".into(), min: 0, max: 65536 }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::MemDevice;
+    use ext4sim::{MkfsParams, IncompatFeatures};
+
+    fn image_1k() -> MemDevice {
+        let fs = Ext4Fs::format(
+            MemDevice::new(1024, 8192),
+            &MkfsParams { block_size: Some(1024), ..MkfsParams::default() },
+        )
+        .unwrap();
+        fs.unmount().unwrap()
+    }
+
+    fn image_4k() -> MemDevice {
+        let fs = Ext4Fs::format(
+            MemDevice::new(4096, 8192),
+            &MkfsParams { block_size: Some(4096), ..MkfsParams::default() },
+        )
+        .unwrap();
+        fs.unmount().unwrap()
+    }
+
+    #[test]
+    fn parse_common_options() {
+        let m = MountCmd::from_option_string("ro,dax,data=writeback,errors=panic").unwrap();
+        assert!(m.options().read_only);
+        assert!(m.options().dax);
+        assert_eq!(m.options().data, DataMode::Writeback);
+        assert_eq!(m.options().errors, Some(3));
+        assert_eq!(m.raw_options().len(), 4);
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        assert!(MountCmd::from_option_string("turbo").is_err());
+        assert!(MountCmd::from_option_string("data=fast").is_err());
+        assert!(MountCmd::from_option_string("errors=shrug").is_err());
+        assert!(MountCmd::from_option_string("commit=soon").is_err());
+    }
+
+    #[test]
+    fn empty_tokens_ignored() {
+        let m = MountCmd::from_option_string("ro,,rw").unwrap();
+        assert!(!m.options().read_only); // rw wins, given last
+    }
+
+    #[test]
+    fn mount_runs_on_clean_image() {
+        let m = MountCmd::from_option_string("ro").unwrap();
+        let fs = m.run(image_1k()).unwrap();
+        assert_eq!(fs.state(), ext4sim::FsState::MountedRo);
+    }
+
+    #[test]
+    fn dax_on_1k_blocks_is_a_ccd_violation() {
+        let m = MountCmd::from_option_string("dax").unwrap();
+        let err = m.run(image_1k()).unwrap_err();
+        assert!(err.to_string().contains("dax") || err.to_string().contains("DAX"));
+    }
+
+    #[test]
+    fn dax_on_4k_blocks_mounts() {
+        let m = MountCmd::from_option_string("dax").unwrap();
+        m.run(image_4k()).unwrap();
+    }
+
+    #[test]
+    fn dax_vs_inline_data_ccd() {
+        let mut params = MkfsParams { block_size: Some(4096), ..MkfsParams::default() };
+        params.features.incompat.insert(IncompatFeatures::INLINE_DATA);
+        let dev =
+            Ext4Fs::format(MemDevice::new(4096, 8192), &params).unwrap().unmount().unwrap();
+        let m = MountCmd::from_option_string("dax").unwrap();
+        assert!(m.run(dev).is_err());
+    }
+
+    #[test]
+    fn data_journal_without_journal_feature_rejected() {
+        let mut params = MkfsParams { block_size: Some(1024), ..MkfsParams::default() };
+        params.features.compat.remove(ext4sim::CompatFeatures::HAS_JOURNAL);
+        let dev =
+            Ext4Fs::format(MemDevice::new(1024, 8192), &params).unwrap().unmount().unwrap();
+        let m = MountCmd::from_option_string("data=journal").unwrap();
+        assert!(m.run(dev).is_err());
+    }
+
+    #[test]
+    fn accepted_noop_options_parse() {
+        let m = MountCmd::from_option_string(
+            "acl,user_xattr,barrier,discard,delalloc,lazytime,commit=5,stripe=16",
+        )
+        .unwrap();
+        assert_eq!(m.raw_options().len(), 8);
+    }
+
+    #[test]
+    fn param_table_size() {
+        assert_eq!(param_table().len(), 36);
+    }
+
+    #[test]
+    fn manual_gaps_for_dax() {
+        let page = manual();
+        // dax documents only its conflict with data=journal; the
+        // block-size requirement and the inline_data conflict (both
+        // cross-component dependencies on mke2fs parameters) are absent —
+        // exactly the documentation gaps ConDocCk flags
+        let dax = page.option("dax").unwrap();
+        assert_eq!(dax.constraints.len(), 1);
+        assert!(page
+            .constraints_for("dax")
+            .iter()
+            .all(|c| !matches!(c, DocConstraint::CrossComponent { .. })));
+        // data= documents its CCD on has_journal
+        assert!(page
+            .constraints_for("data")
+            .iter()
+            .any(|c| matches!(c, DocConstraint::CrossComponent { .. })));
+    }
+}

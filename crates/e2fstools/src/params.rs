@@ -1,0 +1,166 @@
+//! Parameter specification tables.
+//!
+//! Table 2 of the paper counts how many of each component's configuration
+//! parameters the de-facto test suites actually exercise (xfstest uses 29
+//! of Ext4's >85; e2fsprogs-test uses 6 of e2fsck's >35 and 7 of
+//! resize2fs's >15). These tables define that parameter universe: one
+//! [`ParamSpec`] per parameter, spread over the utility modules plus the
+//! ext4 kernel-module parameters defined here.
+
+use serde::{Deserialize, Serialize};
+
+/// The value domain of a parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamType {
+    /// A boolean flag.
+    Bool,
+    /// An integer with an inclusive range.
+    Int {
+        /// Minimum.
+        min: i64,
+        /// Maximum.
+        max: i64,
+    },
+    /// One of an enumerated set.
+    Enum(Vec<String>),
+    /// Free-form string.
+    Str,
+    /// A size in bytes/blocks.
+    Size,
+    /// A feature toggle (`-O name` / `-O ^name`).
+    Feature,
+}
+
+/// The configuration stage at which the parameter takes effect
+/// (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// File-system creation (`mke2fs`).
+    Create,
+    /// Mount time (`mount`).
+    Mount,
+    /// Online utilities (`e4defrag`) and kernel knobs.
+    Online,
+    /// Offline utilities (`resize2fs`, `e2fsck`).
+    Offline,
+}
+
+/// One configuration parameter of one component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Owning component (`mke2fs`, `mount`, `ext4`, ...).
+    pub component: String,
+    /// Parameter name (`blocksize`, `sparse_super2`, `data`, ...).
+    pub name: String,
+    /// Value domain.
+    pub param_type: ParamType,
+    /// Stage at which it applies.
+    pub stage: Stage,
+    /// One-line description.
+    pub description: String,
+}
+
+impl ParamSpec {
+    /// Convenience constructor.
+    pub fn new(
+        component: &str,
+        name: &str,
+        param_type: ParamType,
+        stage: Stage,
+        description: &str,
+    ) -> Self {
+        ParamSpec {
+            component: component.to_string(),
+            name: name.to_string(),
+            param_type,
+            stage,
+            description: description.to_string(),
+        }
+    }
+}
+
+/// Parameters of the ext4 kernel module itself (sysfs/module knobs), which
+/// together with `mke2fs` and `mount` make up the ">85" Ext4 parameter
+/// universe of Table 2.
+pub fn ext4_module_params() -> Vec<ParamSpec> {
+    let c = "ext4";
+    let int = |min, max| ParamType::Int { min, max };
+    vec![
+        ParamSpec::new(c, "mb_stats", ParamType::Bool, Stage::Online, "collect multiblock allocator statistics"),
+        ParamSpec::new(c, "mb_max_to_scan", int(0, 100_000), Stage::Online, "max extents to scan in the allocator"),
+        ParamSpec::new(c, "mb_min_to_scan", int(0, 100_000), Stage::Online, "min extents to scan before picking"),
+        ParamSpec::new(c, "mb_order2_req", int(0, 64), Stage::Online, "min order for buddy allocation requests"),
+        ParamSpec::new(c, "mb_stream_req", int(0, 1 << 20), Stage::Online, "small-file stream allocation threshold"),
+        ParamSpec::new(c, "mb_group_prealloc", int(0, 1 << 20), Stage::Online, "group preallocation size"),
+        ParamSpec::new(c, "max_writeback_mb_bump", int(1, 1 << 16), Stage::Online, "max MB written back per inode round"),
+        ParamSpec::new(c, "extent_max_zeroout_kb", int(0, 1 << 20), Stage::Online, "max extent zeroout size"),
+        ParamSpec::new(c, "trigger_fs_error", ParamType::Str, Stage::Online, "debug: inject an fs error"),
+        ParamSpec::new(c, "err_ratelimit_interval_ms", int(0, 1 << 30), Stage::Online, "error message rate limit interval"),
+        ParamSpec::new(c, "err_ratelimit_burst", int(0, 1 << 16), Stage::Online, "error message rate limit burst"),
+        ParamSpec::new(c, "warning_ratelimit_interval_ms", int(0, 1 << 30), Stage::Online, "warning rate limit interval"),
+        ParamSpec::new(c, "warning_ratelimit_burst", int(0, 1 << 16), Stage::Online, "warning rate limit burst"),
+        ParamSpec::new(c, "msg_ratelimit_interval_ms", int(0, 1 << 30), Stage::Online, "message rate limit interval"),
+        ParamSpec::new(c, "msg_ratelimit_burst", int(0, 1 << 16), Stage::Online, "message rate limit burst"),
+        ParamSpec::new(c, "inode_readahead_blks", int(0, 1 << 30), Stage::Online, "inode table readahead (power of 2)"),
+        ParamSpec::new(c, "inode_goal", int(0, i64::MAX), Stage::Online, "debug: force next inode number"),
+        ParamSpec::new(c, "reserved_clusters", int(0, i64::MAX), Stage::Online, "clusters reserved for delalloc"),
+        ParamSpec::new(c, "first_error_time", ParamType::Str, Stage::Online, "timestamp of first error (read/clear)"),
+        ParamSpec::new(c, "last_error_time", ParamType::Str, Stage::Online, "timestamp of last error (read/clear)"),
+    ]
+}
+
+/// The whole Ext4 ecosystem parameter universe: every component's table.
+pub fn all_params() -> Vec<ParamSpec> {
+    let mut v = crate::mke2fs::param_table();
+    v.extend(crate::mount_cmd::param_table());
+    v.extend(ext4_module_params());
+    v.extend(crate::e4defrag::param_table());
+    v.extend(crate::resize2fs::param_table());
+    v.extend(crate::e2fsck::param_table());
+    v
+}
+
+/// Parameters owned by one component.
+pub fn params_of(component: &str) -> Vec<ParamSpec> {
+    all_params().into_iter().filter(|p| p.component == component).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext4_module_param_count() {
+        assert_eq!(ext4_module_params().len(), 20);
+    }
+
+    #[test]
+    fn universe_matches_table2_totals() {
+        // Table 2: Ext4 (mke2fs + mount + ext4) > 85
+        let ext4_universe = params_of("mke2fs").len() + params_of("mount").len() + params_of("ext4").len();
+        assert!(ext4_universe > 85, "Ext4 universe is {ext4_universe}, need >85");
+        // e2fsck > 35
+        assert!(params_of("e2fsck").len() > 35, "e2fsck has {}", params_of("e2fsck").len());
+        // resize2fs > 15
+        assert!(params_of("resize2fs").len() > 15, "resize2fs has {}", params_of("resize2fs").len());
+    }
+
+    #[test]
+    fn no_duplicate_params_within_component() {
+        let all = all_params();
+        for p in &all {
+            let dup = all
+                .iter()
+                .filter(|q| q.component == p.component && q.name == p.name)
+                .count();
+            assert_eq!(dup, 1, "duplicate spec {}:{}", p.component, p.name);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = ParamSpec::new("x", "y", ParamType::Int { min: 0, max: 9 }, Stage::Create, "d");
+        let back: ParamSpec = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}

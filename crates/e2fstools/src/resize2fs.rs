@@ -1,0 +1,674 @@
+//! `resize2fs` — the offline resize utility, including the paper's
+//! Figure 1 bug.
+//!
+//! Two conditions trigger the bug (exactly as in the paper): (1) the
+//! `sparse_super2` feature is enabled on the image (an `mke2fs`
+//! parameter), and (2) the `size` parameter of `resize2fs` is larger than
+//! the current file-system size (an expansion). When both hold, the
+//! free-block count of the last group is computed *before* the new blocks
+//! are added to the group, so the block bitmap and the recorded free
+//! counts disagree afterwards — "metadata corruption with incorrect free
+//! blocks". The behaviour is controlled by [`ResizeQuirks`] so the fixed
+//! behaviour can be compared side by side (the ConHandleCk experiment).
+
+use blockdev::BlockDevice;
+use ext4sim::{
+    Bitmap, CompatFeatures, Ext4Fs, FsError, GroupDesc, Layout, RESERVED_INODES,
+};
+
+use crate::cli::{self, CliError};
+use crate::manual::{DocConstraint, ManualOption, ManualPage};
+use crate::params::{ParamSpec, ParamType, Stage};
+use crate::ToolError;
+
+/// Compatibility quirks. `sparse_super2_resize_bug` defaults to `true`,
+/// preserving the buggy behaviour the paper reports; set it to `false`
+/// for the fixed behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeQuirks {
+    /// Reproduce the Figure 1 free-block accounting bug.
+    pub sparse_super2_resize_bug: bool,
+}
+
+impl Default for ResizeQuirks {
+    fn default() -> Self {
+        ResizeQuirks { sparse_super2_resize_bug: true }
+    }
+}
+
+/// A parsed `resize2fs` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resize2fs {
+    new_size: Option<u64>,
+    minimize: bool,
+    force: bool,
+    print_min_only: bool,
+    quirks: ResizeQuirks,
+}
+
+/// Outcome of a resize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResizeResult {
+    /// Block count before.
+    pub old_blocks: u64,
+    /// Block count after.
+    pub new_blocks: u64,
+    /// Block groups before.
+    pub old_groups: u32,
+    /// Block groups after.
+    pub new_groups: u32,
+    /// The minimal feasible size (reported by `-P`).
+    pub min_blocks: u64,
+}
+
+impl Resize2fs {
+    /// Parses `resize2fs [-f] [-M] [-p] [-P] device [size]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Cli`] for bad options/operands, including the
+    /// `-M`-with-`size` conflict the real tool enforces.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let parsed = cli::parse(argv, &["f", "M", "p", "P", "b", "s", "F", "d"], &["S", "z", "o"])?;
+        if parsed.operands.is_empty() {
+            return Err(CliError::BadOperands("a device is required".to_string()).into());
+        }
+        if parsed.operands.len() > 2 {
+            return Err(CliError::BadOperands("expected device [size]".to_string()).into());
+        }
+        let new_size = match parsed.operands.get(1) {
+            Some(s) => Some(s.parse::<u64>().map_err(|_| CliError::BadValue {
+                option: "size".to_string(),
+                value: s.to_string(),
+                expected: "a block count".to_string(),
+            })?),
+            None => None,
+        };
+        // CPD: -M computes the minimal size itself; an explicit size
+        // conflicts.
+        if parsed.has_flag("M") && new_size.is_some() {
+            return Err(CliError::Conflict { a: "-M".to_string(), b: "size".to_string() }.into());
+        }
+        Ok(Resize2fs {
+            new_size,
+            minimize: parsed.has_flag("M"),
+            force: parsed.has_flag("f"),
+            print_min_only: parsed.has_flag("P"),
+            quirks: ResizeQuirks::default(),
+        })
+    }
+
+    /// Builds a grow/shrink to an explicit size.
+    pub fn to_size(new_size: u64) -> Self {
+        Resize2fs {
+            new_size: Some(new_size),
+            minimize: false,
+            force: false,
+            print_min_only: false,
+            quirks: ResizeQuirks::default(),
+        }
+    }
+
+    /// Overrides the quirk set (fixed vs buggy behaviour).
+    pub fn with_quirks(mut self, quirks: ResizeQuirks) -> Self {
+        self.quirks = quirks;
+        self
+    }
+
+    /// Forces the resize even on a dirty image.
+    pub fn forced(mut self) -> Self {
+        self.force = true;
+        self
+    }
+
+    /// Runs the resize against `dev` and returns the device and a result
+    /// summary.
+    ///
+    /// # Errors
+    ///
+    /// * [`ToolError::Refused`] — dirty image without `-f`, shrinking
+    ///   below the used size, or growth exceeding the GDT capacity;
+    /// * [`ToolError::Fs`] — unreadable/invalid image or device failure.
+    pub fn run<D: BlockDevice>(&self, dev: D) -> Result<(D, ResizeResult), ToolError> {
+        let mut fs = Ext4Fs::open_for_maintenance(dev)?;
+        // real resize2fs: "Please run 'e2fsck -f' first"
+        if !fs.superblock().is_clean() && !self.force {
+            return Err(ToolError::Refused(
+                "filesystem is not clean; run e2fsck first (or use -f)".to_string(),
+            ));
+        }
+        let old_blocks = fs.superblock().blocks_count;
+        let old_groups = fs.layout().group_count();
+        let min_blocks = minimal_size(&fs)?;
+        let device_blocks =
+            fs.device().size_bytes() / u64::from(fs.layout().block_size);
+
+        let target = if self.print_min_only {
+            old_blocks
+        } else if self.minimize {
+            min_blocks
+        } else {
+            self.new_size.unwrap_or(device_blocks)
+        };
+
+        if target > device_blocks {
+            return Err(ToolError::Fs(FsError::InvalidParam {
+                param: "size",
+                reason: format!("requested {target} blocks but the device has {device_blocks}"),
+            }));
+        }
+
+        // round the size so the trailing group can hold its own metadata
+        // (the real tool similarly adjusts sizes near group boundaries)
+        let target = round_away_runt_group(fs.layout(), target);
+        if target < min_blocks && target < old_blocks {
+            return Err(ToolError::Refused(format!(
+                "cannot shrink to {target} blocks: data in use requires at least {min_blocks}"
+            )));
+        }
+
+        if !self.print_min_only && target != old_blocks {
+            if target > old_blocks {
+                grow(&mut fs, target, self.quirks)?;
+            } else {
+                if target < min_blocks {
+                    return Err(ToolError::Refused(format!(
+                        "cannot shrink to {target} blocks: data in use requires at least {min_blocks}"
+                    )));
+                }
+                shrink(&mut fs, target)?;
+            }
+        }
+
+        let new_groups = fs.layout().group_count();
+        let new_blocks = fs.superblock().blocks_count;
+        let dev = fs.unmount()?;
+        Ok((dev, ResizeResult { old_blocks, new_blocks, old_groups, new_groups, min_blocks }))
+    }
+}
+
+/// Rounds `target` down past any trailing group too small to hold its
+/// own metadata.
+fn round_away_runt_group(layout: &Layout, mut target: u64) -> u64 {
+    loop {
+        let mut probe = layout.clone();
+        probe.blocks_count = target;
+        let gc = probe.group_count();
+        if gc <= 1 {
+            return target;
+        }
+        let last = gc - 1;
+        if u64::from(probe.blocks_in_group(last)) <= u64::from(probe.group_overhead(last)) + 8 {
+            target = probe.group_first_block(last);
+        } else {
+            return target;
+        }
+    }
+}
+
+/// The smallest size (blocks) the file system can shrink to without
+/// moving data: everything up to the highest in-use block must stay.
+fn minimal_size<D: BlockDevice>(fs: &Ext4Fs<D>) -> Result<u64, ToolError> {
+    let l = fs.layout().clone();
+    let mut highest_used: u64 = 0;
+    for g in 0..l.group_count() {
+        let bm = fs.read_block_bitmap(g)?;
+        let overhead_clusters =
+            u64::from(l.group_overhead(g)).div_ceil(u64::from(l.cluster_ratio)) as u32;
+        for c in (0..bm.len()).rev() {
+            if bm.get(c) && c >= overhead_clusters {
+                let block = l.group_first_block(g)
+                    + u64::from(c) * u64::from(l.cluster_ratio)
+                    + u64::from(l.cluster_ratio)
+                    - 1;
+                highest_used = highest_used.max(block);
+                break;
+            }
+        }
+        // inodes in use beyond group 0's reserved set pin the group
+        let ibm = fs.read_inode_bitmap(g)?;
+        let reserved = if g == 0 { RESERVED_INODES.min(l.inodes_per_group) } else { 0 };
+        let mut last_inode_used = false;
+        for i in (reserved..l.inodes_per_group).rev() {
+            if ibm.get(i) {
+                last_inode_used = true;
+                break;
+            }
+        }
+        if last_inode_used {
+            let last_block_of_group =
+                l.group_first_block(g) + u64::from(l.blocks_in_group(g)) - 1;
+            // the group's own metadata must stay
+            highest_used = highest_used.max(
+                l.group_first_block(g).max(l.group_data_start(g).min(last_block_of_group)),
+            );
+        }
+    }
+    Ok((highest_used + 1).max(64))
+}
+
+fn grow<D: BlockDevice>(
+    fs: &mut Ext4Fs<D>,
+    target: u64,
+    quirks: ResizeQuirks,
+) -> Result<(), ToolError> {
+    let old_layout = fs.layout().clone();
+    let old_groups = old_layout.group_count();
+    let sparse_super2 =
+        old_layout.features.compat.contains(CompatFeatures::SPARSE_SUPER2);
+
+    // like the real tool, round the size down when the trailing group
+    // would be too small to hold its own metadata
+    let mut target = target;
+    loop {
+        let mut probe = old_layout.clone();
+        probe.blocks_count = target;
+        let gc = probe.group_count();
+        let last = gc - 1;
+        if gc > old_groups
+            && u64::from(probe.blocks_in_group(last))
+                <= u64::from(probe.group_overhead(last)) + 8
+        {
+            target = probe.group_first_block(last);
+        } else {
+            break;
+        }
+    }
+    if target <= fs.superblock().blocks_count {
+        return Ok(()); // rounded down to a no-op
+    }
+
+    // ---- the Figure 1 bug --------------------------------------------
+    // The fixed code extends the last group first and *then* recomputes
+    // its free-block count. The buggy code (preserved from the paper)
+    // computes the count before the new blocks are added, so the extra
+    // blocks show up free in the bitmap but never enter the counters.
+    let buggy = sparse_super2 && quirks.sparse_super2_resize_bug;
+
+    // future geometry
+    let mut new_layout = old_layout.clone();
+    new_layout.blocks_count = target;
+    let new_groups = new_layout.group_count();
+
+    // GDT capacity: the descriptor table may only grow into the reserved
+    // GDT blocks.
+    if new_layout.gdt_blocks() > old_layout.gdt_blocks() + old_layout.reserved_gdt_blocks {
+        return Err(ToolError::Refused(format!(
+            "growing to {target} blocks needs {} GDT blocks but only {} are reserved",
+            new_layout.gdt_blocks(),
+            old_layout.gdt_blocks() + old_layout.reserved_gdt_blocks
+        )));
+    }
+
+    // 1. extend the old last group if it was short
+    let last = old_groups - 1;
+    let old_in_group = old_layout.blocks_in_group(last);
+    let new_in_group = new_layout.blocks_in_group(last);
+    if new_in_group > old_in_group {
+        let ratio = old_layout.cluster_ratio;
+        let old_clusters = u64::from(old_in_group).div_ceil(u64::from(ratio)) as u32;
+        let new_clusters = u64::from(new_in_group).div_ceil(u64::from(ratio)) as u32;
+        let old_bm = fs.read_block_bitmap(last)?;
+        let mut new_bm = Bitmap::new(new_clusters, old_bm.as_bytes().len());
+        for c in 0..old_clusters {
+            if old_bm.get(c) {
+                new_bm.set(c);
+            }
+        }
+        new_bm.pad_tail();
+        fs.write_block_bitmap(last, &new_bm)?;
+        let added = (new_clusters - old_clusters) * ratio;
+        if !buggy {
+            fs.groups_mut()[last as usize].free_blocks_count += added;
+            fs.superblock_mut().free_blocks_count += u64::from(added);
+        }
+        // buggy path: the bitmap gained `added` free blocks that the
+        // counters never see — the Figure 1 corruption.
+    }
+
+    // 2. update the superblock geometry and re-derive the layout
+    {
+        let sb = fs.superblock_mut();
+        sb.blocks_count = target;
+        if sparse_super2 {
+            sb.backup_bgs = Layout::sparse_super2_backups(new_groups);
+        }
+    }
+    fs.refresh_layout();
+    let l = fs.layout().clone();
+
+    // 3. initialise the brand-new groups
+    for g in old_groups..new_groups {
+        let clusters_in_group =
+            u64::from(l.blocks_in_group(g)).div_ceil(u64::from(l.cluster_ratio)) as u32;
+        let mut bbm = Bitmap::new(clusters_in_group, l.block_size as usize);
+        let overhead = l.group_overhead(g);
+        let overhead_clusters = u64::from(overhead).div_ceil(u64::from(l.cluster_ratio)) as u32;
+        for c in 0..overhead_clusters {
+            bbm.set(c);
+        }
+        bbm.pad_tail();
+        let mut ibm = Bitmap::new(l.inodes_per_group, l.block_size as usize);
+        ibm.pad_tail();
+        let free_blocks = l.blocks_in_group(g) - overhead_clusters * l.cluster_ratio;
+        let gd = GroupDesc {
+            block_bitmap: l.block_bitmap_block(g),
+            inode_bitmap: l.inode_bitmap_block(g),
+            inode_table: l.inode_table_block(g),
+            free_blocks_count: free_blocks,
+            free_inodes_count: l.inodes_per_group,
+            used_dirs_count: 0,
+            flags: 0,
+        };
+        let zero = vec![0u8; l.block_size as usize];
+        {
+            let dev = fs.device_mut();
+            dev.write_block(gd.block_bitmap, bbm.as_bytes()).map_err(FsError::Device)?;
+            dev.write_block(gd.inode_bitmap, ibm.as_bytes()).map_err(FsError::Device)?;
+            for b in 0..l.inode_table_blocks() {
+                dev.write_block(gd.inode_table + u64::from(b), &zero).map_err(FsError::Device)?;
+            }
+        }
+        fs.groups_mut().push(gd);
+        let sb = fs.superblock_mut();
+        sb.free_blocks_count += u64::from(free_blocks);
+        sb.free_inodes_count += l.inodes_per_group;
+        sb.inodes_count += l.inodes_per_group;
+    }
+
+    fs.flush_metadata()?;
+    Ok(())
+}
+
+fn shrink<D: BlockDevice>(fs: &mut Ext4Fs<D>, target: u64) -> Result<(), ToolError> {
+    let old_layout = fs.layout().clone();
+    let old_groups = old_layout.group_count();
+    let mut new_layout = old_layout.clone();
+    new_layout.blocks_count = target;
+    let new_groups = new_layout.group_count();
+
+    // drop whole groups
+    for g in (new_groups..old_groups).rev() {
+        let ibm = fs.read_inode_bitmap(g)?;
+        if ibm.count_set() > 0 {
+            return Err(ToolError::Refused(format!(
+                "group {g} still contains inodes; shrink refused"
+            )));
+        }
+        let gd = fs.groups()[g as usize];
+        let sb = fs.superblock_mut();
+        sb.free_blocks_count -= u64::from(gd.free_blocks_count);
+        sb.free_inodes_count -= gd.free_inodes_count;
+        sb.inodes_count -= old_layout.inodes_per_group;
+        fs.groups_mut().pop();
+    }
+
+    // truncate the (new) last group if needed
+    let last = new_groups - 1;
+    let old_in_group = old_layout
+        .blocks_in_group(last)
+        .min(((old_layout.blocks_count - old_layout.group_first_block(last)) as u32).min(old_layout.blocks_per_group));
+    let new_in_group = ((target - new_layout.group_first_block(last)) as u32).min(new_layout.blocks_per_group);
+    if new_in_group < old_in_group {
+        let ratio = old_layout.cluster_ratio;
+        let new_clusters = u64::from(new_in_group).div_ceil(u64::from(ratio)) as u32;
+        let old_bm = fs.read_block_bitmap(last)?;
+        // refuse if any used cluster beyond the new tail
+        let overhead_clusters =
+            u64::from(old_layout.group_overhead(last)).div_ceil(u64::from(ratio)) as u32;
+        for c in new_clusters..old_bm.len() {
+            if old_bm.get(c) && c >= overhead_clusters {
+                return Err(ToolError::Refused(format!(
+                    "cluster {c} of group {last} is in use beyond the new size"
+                )));
+            }
+        }
+        let mut new_bm = Bitmap::new(new_clusters, old_bm.as_bytes().len());
+        let mut lost_free = 0u32;
+        for c in 0..old_bm.len() {
+            if c < new_clusters {
+                if old_bm.get(c) {
+                    new_bm.set(c);
+                }
+            } else if !old_bm.get(c) {
+                lost_free += ratio;
+            }
+        }
+        new_bm.pad_tail();
+        fs.write_block_bitmap(last, &new_bm)?;
+        fs.groups_mut()[last as usize].free_blocks_count -= lost_free;
+        fs.superblock_mut().free_blocks_count -= u64::from(lost_free);
+    }
+
+    {
+        let sb = fs.superblock_mut();
+        sb.blocks_count = target;
+        if sb.features.compat.contains(CompatFeatures::SPARSE_SUPER2) {
+            sb.backup_bgs = Layout::sparse_super2_backups(new_groups);
+        }
+    }
+    fs.refresh_layout();
+    fs.flush_metadata()?;
+    Ok(())
+}
+
+/// The `resize2fs` parameter table — 16 parameters.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "resize2fs";
+    let b = || ParamType::Bool;
+    vec![
+        ParamSpec::new(c, "device", ParamType::Str, Stage::Offline, "the device to resize"),
+        ParamSpec::new(c, "size", ParamType::Size, Stage::Offline, "target size in blocks (the Figure 1 CCD)"),
+        ParamSpec::new(c, "force", b(), Stage::Offline, "-f: skip safety checks"),
+        ParamSpec::new(c, "minimize", b(), Stage::Offline, "-M: shrink to the minimal size"),
+        ParamSpec::new(c, "progress", b(), Stage::Offline, "-p: print progress bars"),
+        ParamSpec::new(c, "print_min", b(), Stage::Offline, "-P: print the minimal size and exit"),
+        ParamSpec::new(c, "enable_64bit", b(), Stage::Offline, "-b: convert to 64bit"),
+        ParamSpec::new(c, "disable_64bit", b(), Stage::Offline, "-s: convert away from 64bit"),
+        ParamSpec::new(c, "flush", b(), Stage::Offline, "-F: flush device buffers first"),
+        ParamSpec::new(c, "debug", b(), Stage::Offline, "-d: debug flags"),
+        ParamSpec::new(c, "sparse_rgd", ParamType::Size, Stage::Offline, "-S: RAID-stride to assume"),
+        ParamSpec::new(c, "undo_file", ParamType::Str, Stage::Offline, "-z: undo file path"),
+        ParamSpec::new(c, "offset", ParamType::Size, Stage::Offline, "-o: filesystem offset on the device"),
+        ParamSpec::new(c, "dry_run", b(), Stage::Offline, "-n: simulate only"),
+        ParamSpec::new(c, "verbose", b(), Stage::Offline, "-v: verbose output"),
+        ParamSpec::new(c, "version", b(), Stage::Offline, "-V: print version"),
+    ]
+}
+
+/// The structured `resize2fs(8)` manual page. Like the real page, it says
+/// nothing about the `sparse_super2` interaction of Figure 1 (one of the
+/// paper's documentation findings) and does not document that the size
+/// must not exceed the device.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "resize2fs".to_string(),
+        synopsis: "resize2fs [-f] [-M] [-p] [-P] device [size]".to_string(),
+        description:
+            "The resize2fs program will resize ext2, ext3, or ext4 file systems. The size parameter specifies the requested new size of the file system in file-system blocks."
+                .to_string(),
+        options: vec![
+            ManualOption::valued("size", "blocks", "The requested new size of the file system, relative to the size recorded at mke2fs time. Growth is limited by the reserved GDT blocks set aside via mke2fs -E resize=.")
+                .with(DocConstraint::DataType { param: "new_size".into(), ty: "integer".into() })
+                .with(DocConstraint::CrossComponent {
+                    param: "new_size".into(),
+                    component: "mke2fs".into(),
+                    other: "size".into(),
+                    relation: "the new size is validated against the created size".into(),
+                })
+                .with(DocConstraint::CrossComponent {
+                    param: "new_size".into(),
+                    component: "mke2fs".into(),
+                    other: "resize_headroom".into(),
+                    relation: "growth is limited by the reserved GDT blocks".into(),
+                }),
+            // GAP(paper): the sparse_super2 behavioural dependency
+            // (Figure 1) is absent.
+            // GAP(paper): the 64bit requirement for sizes beyond 2^32
+            // blocks is absent.
+            // GAP(paper): the meta_bg growth-path difference is absent.
+            ManualOption::flag("-f", "Forces resize2fs to proceed, overriding some safety checks."),
+            ManualOption::flag("-M", "Shrink the file system to minimize its size; cannot be combined with an explicit size.")
+                .with(DocConstraint::Conflicts { param: "minimize".into(), other: "new_size".into() }),
+            ManualOption::flag("-p", "Print percentage completion bars."),
+            ManualOption::flag("-P", "Print an estimate of the minimum size of the file system and exit."),
+            ManualOption::flag("-b", "Turns on the 64bit feature; cannot be combined with -s.")
+                .with(DocConstraint::Conflicts { param: "enable_64bit".into(), other: "disable_64bit".into() }),
+            ManualOption::flag("-s", "Turns off the 64bit feature."),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mke2fs::Mke2fs;
+    use blockdev::MemDevice;
+    use ext4sim::check_image;
+
+    /// sparse_super2 image: 12288 blocks on a 16384-block device, so the
+    /// last group is short (4096 of 8192) and the device has room to grow.
+    fn sparse2_image() -> MemDevice {
+        let m = Mke2fs::from_args(&[
+            "-b", "1024", "-O", "sparse_super2,^sparse_super,^resize_inode", "/dev/x", "12288",
+        ])
+        .unwrap();
+        let (dev, _) = m.run(MemDevice::new(1024, 16384)).unwrap();
+        dev
+    }
+
+    fn plain_image() -> MemDevice {
+        let m = Mke2fs::from_args(&["-b", "1024", "/dev/x", "12288"]).unwrap();
+        let (dev, _) = m.run(MemDevice::new(1024, 16384)).unwrap();
+        dev
+    }
+
+    #[test]
+    fn parse_operands_and_conflicts() {
+        let r = Resize2fs::from_args(&["/dev/x", "20000"]).unwrap();
+        assert_eq!(r.new_size, Some(20000));
+        assert!(Resize2fs::from_args(&[]).is_err());
+        assert!(Resize2fs::from_args(&["/dev/x", "abc"]).is_err());
+        let err = Resize2fs::from_args(&["-M", "/dev/x", "2000"]).unwrap_err();
+        assert!(matches!(err, ToolError::Cli(CliError::Conflict { .. })));
+    }
+
+    #[test]
+    fn grow_plain_image_stays_consistent() {
+        let (dev, res) = Resize2fs::to_size(16384).run(plain_image()).unwrap();
+        assert_eq!(res.old_blocks, 12288);
+        assert_eq!(res.new_blocks, 16384);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        let report = check_image(&fs).unwrap();
+        assert!(report.is_clean(), "plain grow must stay clean: {:#?}", report.inconsistencies);
+    }
+
+    #[test]
+    fn figure1_bug_corrupts_free_counts() {
+        // Figure 1: sparse_super2 + expansion => corrupted free blocks
+        let (dev, res) = Resize2fs::to_size(16384).run(sparse2_image()).unwrap();
+        assert_eq!(res.new_blocks, 16384);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        let report = check_image(&fs).unwrap();
+        assert!(
+            !report.of_tag("super_free_blocks").is_empty()
+                || !report.of_tag("group_free_blocks").is_empty(),
+            "the Figure 1 bug must corrupt the free-block accounting"
+        );
+    }
+
+    #[test]
+    fn figure1_fixed_behaviour_is_clean() {
+        let quirks = ResizeQuirks { sparse_super2_resize_bug: false };
+        let (dev, _) = Resize2fs::to_size(16384).with_quirks(quirks).run(sparse2_image()).unwrap();
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        let report = check_image(&fs).unwrap();
+        assert!(report.is_clean(), "fixed resize must be clean: {:#?}", report.inconsistencies);
+    }
+
+    #[test]
+    fn figure1_requires_both_conditions() {
+        // sparse_super2 but no expansion -> no corruption
+        let (dev, res) = Resize2fs::to_size(12288).run(sparse2_image()).unwrap();
+        assert_eq!(res.old_blocks, res.new_blocks);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert!(check_image(&fs).unwrap().is_clean());
+        // expansion but no sparse_super2 -> no corruption (see
+        // grow_plain_image_stays_consistent)
+    }
+
+    #[test]
+    fn grow_beyond_device_rejected() {
+        let err = Resize2fs::to_size(99999).run(plain_image()).unwrap_err();
+        assert!(matches!(err, ToolError::Fs(FsError::InvalidParam { param: "size", .. })));
+    }
+
+    #[test]
+    fn dirty_image_refused_without_force() {
+        // dirty the image: a rw mount marks it in-use, then "crash"
+        let fs = Ext4Fs::mount(plain_image(), &ext4sim::MountOptions::default()).unwrap();
+        let dev = fs.into_device_dirty();
+        let err = Resize2fs::to_size(16384).run(dev.clone()).unwrap_err();
+        assert!(matches!(err, ToolError::Refused(_)));
+        // forced resize proceeds
+        Resize2fs::to_size(16384).forced().run(dev).unwrap();
+    }
+
+    #[test]
+    fn shrink_empty_region_succeeds() {
+        let (dev, res) = Resize2fs::to_size(9000).run(plain_image()).unwrap();
+        assert_eq!(res.new_blocks, 9000);
+        assert!(res.new_groups <= res.old_groups);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        let report = check_image(&fs).unwrap();
+        assert!(report.is_clean(), "shrink must stay clean: {:#?}", report.inconsistencies);
+    }
+
+    #[test]
+    fn shrink_below_minimum_refused() {
+        let err = Resize2fs::to_size(64).run(plain_image()).unwrap_err();
+        assert!(matches!(err, ToolError::Refused(_)));
+    }
+
+    #[test]
+    fn print_min_reports_without_change() {
+        let r = Resize2fs::from_args(&["-P", "/dev/x"]).unwrap();
+        let (dev, res) = r.run(plain_image()).unwrap();
+        assert_eq!(res.old_blocks, res.new_blocks);
+        assert!(res.min_blocks > 0 && res.min_blocks < 12288);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert_eq!(fs.superblock().blocks_count, 12288);
+    }
+
+    #[test]
+    fn minimize_shrinks_to_min() {
+        let r = Resize2fs::from_args(&["-M", "/dev/x"]).unwrap();
+        let (dev, res) = r.run(plain_image()).unwrap();
+        assert_eq!(res.new_blocks, res.min_blocks);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert!(check_image(&fs).unwrap().is_clean());
+    }
+
+    #[test]
+    fn sparse_super2_backups_move_on_grow() {
+        // grow from 2 groups to 3 so the second backup has to move
+        let m = Mke2fs::from_args(&[
+            "-b", "1024", "-O", "sparse_super2,^sparse_super,^resize_inode", "/dev/x", "12288",
+        ])
+        .unwrap();
+        let (dev, _) = m.run(MemDevice::new(1024, 32768)).unwrap();
+        let quirks = ResizeQuirks { sparse_super2_resize_bug: false };
+        let (dev, res) = Resize2fs::to_size(24577).with_quirks(quirks).run(dev).unwrap();
+        assert_eq!(res.new_groups, 3);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert_eq!(fs.superblock().backup_bgs, [1, 2]);
+        // the new backup location actually holds a superblock copy
+        let report = check_image(&fs).unwrap();
+        assert!(report.is_clean(), "findings: {:#?}", report.inconsistencies);
+    }
+
+    #[test]
+    fn param_table_size() {
+        assert_eq!(param_table().len(), 16);
+    }
+}

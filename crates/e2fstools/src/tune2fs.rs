@@ -1,0 +1,321 @@
+//! `tune2fs` — adjusts tunable configuration parameters on an existing
+//! file system.
+//!
+//! This is the purest configuration-mutation utility of the ecosystem:
+//! it rewrites superblock parameters (label, reserved percentage, error
+//! behaviour, mount-count limits) and toggles feature flags *after*
+//! creation — so every `mke2fs`-time dependency must be re-validated
+//! here, against an image whose state `mke2fs` chose. Several of its
+//! refusals are cross-parameter dependencies in the paper's taxonomy
+//! (e.g., `-O meta_bg` on an image that still has `resize_inode`).
+
+use blockdev::BlockDevice;
+use ext4sim::{errors_policy, CompatFeatures, Ext4Fs, IncompatFeatures};
+
+use crate::cli::{self, CliError};
+use crate::manual::{DocConstraint, ManualOption, ManualPage};
+use crate::params::{ParamSpec, ParamType, Stage};
+use crate::ToolError;
+
+/// A parsed `tune2fs` invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tune2fs {
+    label: Option<String>,
+    reserved_percent: Option<u8>,
+    max_mount_count: Option<u16>,
+    errors: Option<u16>,
+    feature_tokens: Vec<String>,
+    list: bool,
+}
+
+/// What the run changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TuneReport {
+    /// Human-readable change descriptions.
+    pub changes: Vec<String>,
+}
+
+impl Tune2fs {
+    /// Parses `tune2fs [-L label] [-m pct] [-c max-mounts] [-e behaviour]
+    /// [-O feature[,...]] [-l] device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Cli`] for unknown options and man-page-level
+    /// violations.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let parsed = cli::parse(argv, &["l"], &["L", "m", "c", "e", "O"])?;
+        if parsed.operands.len() != 1 {
+            return Err(CliError::BadOperands("exactly one device is required".to_string()).into());
+        }
+        let mut t = Tune2fs { list: parsed.has_flag("l"), ..Tune2fs::default() };
+        if let Some(label) = parsed.value("L") {
+            if label.len() > 16 {
+                return Err(CliError::BadValue {
+                    option: "-L".to_string(),
+                    value: label.to_string(),
+                    expected: "at most 16 bytes".to_string(),
+                }
+                .into());
+            }
+            t.label = Some(label.to_string());
+        }
+        if let Some(m) = parsed.int_value("m")? {
+            if m > 50 {
+                return Err(CliError::BadValue {
+                    option: "-m".to_string(),
+                    value: m.to_string(),
+                    expected: "a percentage between 0 and 50".to_string(),
+                }
+                .into());
+            }
+            t.reserved_percent = Some(m as u8);
+        }
+        if let Some(c) = parsed.int_value("c")? {
+            t.max_mount_count = Some(c as u16);
+        }
+        if let Some(e) = parsed.value("e") {
+            t.errors = Some(match e {
+                "continue" => errors_policy::CONTINUE,
+                "remount-ro" => errors_policy::REMOUNT_RO,
+                "panic" => errors_policy::PANIC,
+                other => {
+                    return Err(CliError::BadValue {
+                        option: "-e".to_string(),
+                        value: other.to_string(),
+                        expected: "continue|remount-ro|panic".to_string(),
+                    }
+                    .into())
+                }
+            });
+        }
+        if let Some(feats) = parsed.value("O") {
+            t.feature_tokens = feats.split(',').map(str::to_string).collect();
+        }
+        Ok(t)
+    }
+
+    /// Applies the changes to `dev` (which must hold a clean image).
+    ///
+    /// # Errors
+    ///
+    /// * [`ToolError::Refused`] — dirty image, or a feature change whose
+    ///   dependencies the on-image state violates;
+    /// * [`ToolError::Fs`] — unreadable image or device failure.
+    pub fn run<D: BlockDevice>(&self, dev: D) -> Result<(D, TuneReport), ToolError> {
+        let mut fs = Ext4Fs::open_for_maintenance(dev)?;
+        if !fs.superblock().is_clean() {
+            return Err(ToolError::Refused(
+                "filesystem is not clean; run e2fsck first".to_string(),
+            ));
+        }
+        let mut report = TuneReport::default();
+
+        if let Some(label) = &self.label {
+            fs.superblock_mut().set_label(label);
+            report.changes.push(format!("volume label set to '{label}'"));
+        }
+        if let Some(m) = self.reserved_percent {
+            let blocks = fs.superblock().blocks_count;
+            let sb = fs.superblock_mut();
+            sb.reserved_blocks_count = blocks * u64::from(m) / 100;
+            report.changes.push(format!("reserved blocks percentage set to {m}%"));
+        }
+        if let Some(c) = self.max_mount_count {
+            fs.superblock_mut().max_mnt_count = c;
+            report.changes.push(format!("maximal mount count set to {c}"));
+        }
+        if let Some(e) = self.errors {
+            fs.superblock_mut().errors = e;
+            report.changes.push(format!("error behaviour set to {e}"));
+        }
+        for token in &self.feature_tokens {
+            self.apply_feature(&mut fs, token, &mut report)?;
+        }
+        fs.flush_metadata()?;
+        let dev = fs.unmount()?;
+        Ok((dev, report))
+    }
+
+    fn apply_feature<D: BlockDevice>(
+        &self,
+        fs: &mut Ext4Fs<D>,
+        token: &str,
+        report: &mut TuneReport,
+    ) -> Result<(), ToolError> {
+        let (clear, name) = match token.strip_prefix('^') {
+            Some(rest) => (true, rest),
+            None => (false, token),
+        };
+        let features = fs.superblock().features;
+        // dependency re-validation against the *existing* image state:
+        // the same constraints mke2fs enforces at creation
+        if !clear {
+            match name {
+                "meta_bg" if features.compat.contains(CompatFeatures::RESIZE_INODE) => {
+                    return Err(ToolError::Refused(
+                        "enabling meta_bg requires clearing resize_inode first".to_string(),
+                    ));
+                }
+                "bigalloc" => {
+                    return Err(ToolError::Refused(
+                        "bigalloc cannot be enabled on an existing file system".to_string(),
+                    ));
+                }
+                "sparse_super2" if features.ro_compat.contains(ext4sim::RoCompatFeatures::SPARSE_SUPER) => {
+                    return Err(ToolError::Refused(
+                        "enabling sparse_super2 requires clearing sparse_super first".to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        } else {
+            // clearing extent on an image with extent-mapped files would
+            // orphan every block map
+            if name == "extent" && features.incompat.contains(IncompatFeatures::EXTENTS) {
+                return Err(ToolError::Refused(
+                    "the extent feature cannot be cleared once files use extents".to_string(),
+                ));
+            }
+            // removing has_journal is allowed (journal becomes unused)
+        }
+        let sb = fs.superblock_mut();
+        if !sb.features.apply_token(token) {
+            return Err(ToolError::Cli(CliError::BadValue {
+                option: "-O".to_string(),
+                value: token.to_string(),
+                expected: "a known feature name".to_string(),
+            }));
+        }
+        report.changes.push(format!(
+            "feature '{name}' {}",
+            if clear { "cleared" } else { "set" }
+        ));
+        Ok(())
+    }
+}
+
+/// The `tune2fs` parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "tune2fs";
+    vec![
+        ParamSpec::new(c, "device", ParamType::Str, Stage::Offline, "the device to tune"),
+        ParamSpec::new(c, "label", ParamType::Str, Stage::Offline, "-L: new volume label"),
+        ParamSpec::new(c, "reserved_percent", ParamType::Int { min: 0, max: 50 }, Stage::Offline, "-m: reserved percentage"),
+        ParamSpec::new(c, "max_mount_count", ParamType::Int { min: 0, max: 65535 }, Stage::Offline, "-c: mounts before forced check"),
+        ParamSpec::new(c, "errors", ParamType::Enum(vec!["continue".into(), "remount-ro".into(), "panic".into()]), Stage::Offline, "-e: error behaviour"),
+        ParamSpec::new(c, "features", ParamType::Feature, Stage::Offline, "-O: feature toggles"),
+        ParamSpec::new(c, "list", ParamType::Bool, Stage::Offline, "-l: list superblock contents"),
+    ]
+}
+
+/// The structured `tune2fs(8)` manual page.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "tune2fs".to_string(),
+        synopsis: "tune2fs [-L label] [-m percent] [-c max-mounts] [-e behaviour] [-O feature[,...]] device".to_string(),
+        description: "tune2fs allows the system administrator to adjust various tunable file system parameters on ext2/ext3/ext4 file systems.".to_string(),
+        options: vec![
+            ManualOption::valued("-L", "volume-label", "Set the volume label, at most 16 bytes.")
+                .with(DocConstraint::DataType { param: "label".into(), ty: "string".into() })
+                .with(DocConstraint::ValueRange { param: "label".into(), min: 0, max: 16 }),
+            ManualOption::valued("-m", "reserved-blocks-percentage", "Set the percentage of reserved file system blocks.")
+                .with(DocConstraint::ValueRange { param: "reserved_percent".into(), min: 0, max: 50 }),
+            ManualOption::valued("-c", "max-mount-counts", "Adjust the number of mounts after which the file system will be checked."),
+            ManualOption::valued("-e", "error-behaviour", "Change the behaviour of the kernel when errors are detected.")
+                .with(DocConstraint::DataType { param: "errors".into(), ty: "enum".into() }),
+            ManualOption::valued("-O", "feature[,...]", "Set or clear the listed file system features.")
+                .with(DocConstraint::Requires { param: "meta_bg".into(), other: "resize_inode".into() }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e2fsck::{E2fsck, FsckMode};
+    use crate::mke2fs::Mke2fs;
+    use blockdev::MemDevice;
+    use ext4sim::MountOptions;
+
+    fn image() -> MemDevice {
+        let m = Mke2fs::from_args(&["-b", "1024", "-L", "before", "/dev/t", "12288"]).unwrap();
+        m.run(MemDevice::new(1024, 16384)).unwrap().0
+    }
+
+    #[test]
+    fn relabel_and_reserve() {
+        let t = Tune2fs::from_args(&["-L", "after", "-m", "10", "/dev/t"]).unwrap();
+        let (dev, report) = t.run(image()).unwrap();
+        assert_eq!(report.changes.len(), 2);
+        let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+        assert_eq!(fs.superblock().label(), "after");
+        assert_eq!(fs.superblock().reserved_blocks_count, 12288 * 10 / 100);
+    }
+
+    #[test]
+    fn parse_validation() {
+        assert!(Tune2fs::from_args(&["-m", "80", "/dev/t"]).is_err());
+        assert!(Tune2fs::from_args(&["-L", "a-very-long-label-over-16", "/dev/t"]).is_err());
+        assert!(Tune2fs::from_args(&["-e", "shrug", "/dev/t"]).is_err());
+        assert!(Tune2fs::from_args(&[]).is_err());
+        assert!(Tune2fs::from_args(&["-e", "panic", "/dev/t"]).is_ok());
+    }
+
+    #[test]
+    fn meta_bg_requires_clearing_resize_inode_first() {
+        // the same CPD as at mke2fs time, re-validated against the image
+        let t = Tune2fs::from_args(&["-O", "meta_bg", "/dev/t"]).unwrap();
+        let err = t.run(image()).unwrap_err();
+        assert!(err.to_string().contains("resize_inode"));
+        // clearing resize_inode first makes it legal
+        let t = Tune2fs::from_args(&["-O", "^resize_inode,meta_bg", "/dev/t"]).unwrap();
+        let (dev, report) = t.run(image()).unwrap();
+        assert_eq!(report.changes.len(), 2);
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert!(fs.superblock().features.has("meta_bg"));
+        assert!(!fs.superblock().features.has("resize_inode"));
+    }
+
+    #[test]
+    fn bigalloc_cannot_be_retrofitted() {
+        let t = Tune2fs::from_args(&["-O", "bigalloc", "/dev/t"]).unwrap();
+        assert!(matches!(t.run(image()), Err(ToolError::Refused(_))));
+    }
+
+    #[test]
+    fn extent_cannot_be_cleared() {
+        let t = Tune2fs::from_args(&["-O", "^extent", "/dev/t"]).unwrap();
+        assert!(matches!(t.run(image()), Err(ToolError::Refused(_))));
+    }
+
+    #[test]
+    fn unknown_feature_rejected() {
+        let t = Tune2fs::from_args(&["-O", "warp", "/dev/t"]).unwrap();
+        assert!(matches!(t.run(image()), Err(ToolError::Cli(_))));
+    }
+
+    #[test]
+    fn dirty_image_refused() {
+        let fs = Ext4Fs::mount(image(), &MountOptions::default()).unwrap();
+        let dev = fs.into_device_dirty();
+        let t = Tune2fs::from_args(&["-L", "x", "/dev/t"]).unwrap();
+        assert!(matches!(t.run(dev), Err(ToolError::Refused(_))));
+    }
+
+    #[test]
+    fn tuned_image_stays_consistent() {
+        let t = Tune2fs::from_args(&["-L", "tuned", "-m", "0", "-c", "25", "/dev/t"]).unwrap();
+        let (dev, _) = t.run(image()).unwrap();
+        let (_, res) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+        assert_eq!(res.exit_code, 0, "{:?}", res.report.inconsistencies);
+    }
+
+    #[test]
+    fn max_mount_count_applied() {
+        let t = Tune2fs::from_args(&["-c", "7", "/dev/t"]).unwrap();
+        let (dev, _) = t.run(image()).unwrap();
+        let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert_eq!(fs.superblock().max_mnt_count, 7);
+    }
+}

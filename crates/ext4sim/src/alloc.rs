@@ -1,0 +1,145 @@
+//! Allocation policies: which block group should serve a new inode or
+//! block. A simplified Orlov allocator, matching ext4's spirit: spread
+//! directories across groups, keep files near their parent directory.
+
+use crate::group::GroupDesc;
+
+/// Picks a group for a new directory inode: the group with the most free
+/// inodes among those with above-average free blocks (Orlov top-level
+/// heuristic, simplified).
+pub fn pick_group_for_dir(groups: &[GroupDesc]) -> Option<u32> {
+    if groups.is_empty() {
+        return None;
+    }
+    let avg_free_blocks =
+        groups.iter().map(|g| u64::from(g.free_blocks_count)).sum::<u64>() / groups.len() as u64;
+    let candidates: Vec<(u32, &GroupDesc)> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (i as u32, g))
+        .filter(|(_, g)| g.free_inodes_count > 0 && u64::from(g.free_blocks_count) >= avg_free_blocks)
+        .collect();
+    let pool: Vec<(u32, &GroupDesc)> = if candidates.is_empty() {
+        groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i as u32, g))
+            .filter(|(_, g)| g.free_inodes_count > 0)
+            .collect()
+    } else {
+        candidates
+    };
+    pool.into_iter()
+        .min_by_key(|(i, g)| (std::cmp::Reverse(g.free_inodes_count), *i))
+        .map(|(i, _)| i)
+}
+
+/// Picks a group for a new file inode: the parent's group when it has free
+/// inodes, else the nearest group that does.
+pub fn pick_group_for_file(groups: &[GroupDesc], parent_group: u32) -> Option<u32> {
+    let n = groups.len() as u32;
+    if n == 0 {
+        return None;
+    }
+    let start = parent_group.min(n - 1);
+    if groups[start as usize].free_inodes_count > 0 {
+        return Some(start);
+    }
+    // quadratic-ish probe like ext4's find_group_other
+    for d in 1..n {
+        let g = (start + d) % n;
+        if groups[g as usize].free_inodes_count > 0 {
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// Picks a group for block allocation: prefer `goal_group`, else the first
+/// group with free blocks.
+pub fn pick_group_for_block(groups: &[GroupDesc], goal_group: u32) -> Option<u32> {
+    let n = groups.len() as u32;
+    if n == 0 {
+        return None;
+    }
+    let start = goal_group.min(n - 1);
+    if groups[start as usize].free_blocks_count > 0 {
+        return Some(start);
+    }
+    for d in 1..n {
+        let g = (start + d) % n;
+        if groups[g as usize].free_blocks_count > 0 {
+            return Some(g);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(free_blocks: &[u32], free_inodes: &[u32]) -> Vec<GroupDesc> {
+        free_blocks
+            .iter()
+            .zip(free_inodes)
+            .map(|(&fb, &fi)| GroupDesc {
+                free_blocks_count: fb,
+                free_inodes_count: fi,
+                ..GroupDesc::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dir_prefers_roomy_group() {
+        let groups = mk(&[100, 8000, 4000], &[10, 200, 150]);
+        assert_eq!(pick_group_for_dir(&groups), Some(1));
+    }
+
+    #[test]
+    fn dir_falls_back_when_no_above_average_group_has_inodes() {
+        let groups = mk(&[100, 8000], &[10, 0]);
+        assert_eq!(pick_group_for_dir(&groups), Some(0));
+    }
+
+    #[test]
+    fn dir_none_when_no_inodes_anywhere() {
+        let groups = mk(&[100, 100], &[0, 0]);
+        assert_eq!(pick_group_for_dir(&groups), None);
+        assert_eq!(pick_group_for_dir(&[]), None);
+    }
+
+    #[test]
+    fn file_sticks_with_parent() {
+        let groups = mk(&[10, 10, 10], &[5, 5, 5]);
+        assert_eq!(pick_group_for_file(&groups, 1), Some(1));
+    }
+
+    #[test]
+    fn file_probes_forward_with_wraparound() {
+        let groups = mk(&[10, 10, 10], &[5, 0, 0]);
+        assert_eq!(pick_group_for_file(&groups, 2), Some(0));
+        assert_eq!(pick_group_for_file(&groups, 1), Some(0));
+    }
+
+    #[test]
+    fn block_goal_honored() {
+        let groups = mk(&[0, 7, 7], &[1, 1, 1]);
+        assert_eq!(pick_group_for_block(&groups, 0), Some(1));
+        assert_eq!(pick_group_for_block(&groups, 2), Some(2));
+    }
+
+    #[test]
+    fn block_none_when_full() {
+        let groups = mk(&[0, 0], &[1, 1]);
+        assert_eq!(pick_group_for_block(&groups, 0), None);
+    }
+
+    #[test]
+    fn out_of_range_goal_clamped() {
+        let groups = mk(&[5], &[5]);
+        assert_eq!(pick_group_for_block(&groups, 99), Some(0));
+        assert_eq!(pick_group_for_file(&groups, 99), Some(0));
+    }
+}

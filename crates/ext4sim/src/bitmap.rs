@@ -1,0 +1,218 @@
+//! Allocation bitmaps (block and inode bitmaps share this type).
+
+/// A fixed-capacity bitmap backed by one device block.
+///
+/// Bit `i` set means "unit `i` is in use". For block bitmaps a unit is a
+/// block (or a cluster with `bigalloc`); for inode bitmaps it is an inode
+/// slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u8>,
+    len: u32,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap tracking `len` units, stored in
+    /// `capacity_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` does not fit in `capacity_bytes`.
+    pub fn new(len: u32, capacity_bytes: usize) -> Self {
+        assert!(len as usize <= capacity_bytes * 8, "bitmap capacity too small");
+        Bitmap { bits: vec![0u8; capacity_bytes], len }
+    }
+
+    /// Loads a bitmap from raw block bytes.
+    pub fn from_bytes(bytes: &[u8], len: u32) -> Self {
+        let mut bm = Bitmap::new(len, bytes.len());
+        bm.bits.copy_from_slice(bytes);
+        bm
+    }
+
+    /// The raw bytes (padding bits beyond `len` included).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of tracked units.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if the bitmap tracks zero units.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.bits[(i / 8) as usize] & (1 << (i % 8)) != 0
+    }
+
+    /// Sets bit `i`; returns the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: u32) -> bool {
+        let prev = self.get(i);
+        self.bits[(i / 8) as usize] |= 1 << (i % 8);
+        prev
+    }
+
+    /// Clears bit `i`; returns the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn clear(&mut self, i: u32) -> bool {
+        let prev = self.get(i);
+        self.bits[(i / 8) as usize] &= !(1 << (i % 8));
+        prev
+    }
+
+    /// Number of set bits within the tracked range.
+    pub fn count_set(&self) -> u32 {
+        (0..self.len).filter(|&i| self.get(i)).count() as u32
+    }
+
+    /// Number of clear bits within the tracked range.
+    pub fn count_clear(&self) -> u32 {
+        self.len - self.count_set()
+    }
+
+    /// First clear bit at or after `from`, if any.
+    pub fn find_clear_from(&self, from: u32) -> Option<u32> {
+        (from..self.len).find(|&i| !self.get(i))
+    }
+
+    /// First run of `n` consecutive clear bits at or after `from`.
+    pub fn find_clear_run(&self, from: u32, n: u32) -> Option<u32> {
+        if n == 0 {
+            return Some(from.min(self.len));
+        }
+        let mut start = from;
+        let mut run = 0u32;
+        let mut i = from;
+        while i < self.len {
+            if self.get(i) {
+                run = 0;
+                start = i + 1;
+            } else {
+                run += 1;
+                if run == n {
+                    return Some(start);
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Marks the trailing bits beyond `len` as set, the ext4 convention
+    /// for the padding of a short last group.
+    pub fn pad_tail(&mut self) {
+        let cap = (self.bits.len() * 8) as u32;
+        for i in self.len..cap {
+            self.bits[(i / 8) as usize] |= 1 << (i % 8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let bm = Bitmap::new(64, 8);
+        assert_eq!(bm.count_set(), 0);
+        assert_eq!(bm.count_clear(), 64);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = Bitmap::new(64, 8);
+        assert!(!bm.set(10));
+        assert!(bm.get(10));
+        assert!(bm.set(10)); // already set
+        assert!(bm.clear(10));
+        assert!(!bm.get(10));
+        assert!(!bm.clear(10)); // already clear
+    }
+
+    #[test]
+    fn count_tracks_mutations() {
+        let mut bm = Bitmap::new(100, 13);
+        for i in 0..50 {
+            bm.set(i);
+        }
+        assert_eq!(bm.count_set(), 50);
+        bm.clear(25);
+        assert_eq!(bm.count_set(), 49);
+    }
+
+    #[test]
+    fn find_clear_from_skips_set() {
+        let mut bm = Bitmap::new(16, 2);
+        for i in 0..8 {
+            bm.set(i);
+        }
+        assert_eq!(bm.find_clear_from(0), Some(8));
+        assert_eq!(bm.find_clear_from(9), Some(9));
+        for i in 8..16 {
+            bm.set(i);
+        }
+        assert_eq!(bm.find_clear_from(0), None);
+    }
+
+    #[test]
+    fn find_clear_run_finds_contiguous() {
+        let mut bm = Bitmap::new(32, 4);
+        bm.set(3);
+        bm.set(10);
+        // clear runs: 0-2 (3), 4-9 (6), 11-31 (21)
+        assert_eq!(bm.find_clear_run(0, 3), Some(0));
+        assert_eq!(bm.find_clear_run(0, 4), Some(4));
+        assert_eq!(bm.find_clear_run(0, 7), Some(11));
+        assert_eq!(bm.find_clear_run(0, 22), None);
+        assert_eq!(bm.find_clear_run(5, 3), Some(5));
+    }
+
+    #[test]
+    fn pad_tail_sets_padding_only() {
+        let mut bm = Bitmap::new(12, 2); // 16 bits capacity
+        bm.pad_tail();
+        assert_eq!(bm.count_set(), 0); // tracked range untouched
+        assert_eq!(bm.as_bytes()[1] & 0xF0, 0xF0); // bits 12..16 set
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let mut bm = Bitmap::new(24, 3);
+        bm.set(0);
+        bm.set(23);
+        let bytes = bm.as_bytes().to_vec();
+        let back = Bitmap::from_bytes(&bytes, 24);
+        assert_eq!(back, bm);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let bm = Bitmap::new(8, 1);
+        bm.get(8);
+    }
+
+    #[test]
+    fn zero_length_run() {
+        let bm = Bitmap::new(8, 1);
+        assert_eq!(bm.find_clear_run(2, 0), Some(2));
+    }
+}

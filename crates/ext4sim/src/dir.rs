@@ -1,0 +1,330 @@
+//! Linear directory blocks (`struct ext4_dir_entry_2`).
+//!
+//! Each directory data block is a chain of records: inode (u32), record
+//! length (u16), name length (u8), file type (u8), then the name bytes.
+//! The final record's length always extends to the end of the block, and a
+//! deleted leading record is marked with inode 0 — exactly as in ext2/3/4.
+
+use crate::util::{get_u16, get_u32, put_u16, put_u32};
+use crate::FsError;
+
+/// Maximum file-name length in bytes.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Fixed header size of a directory record.
+const DIRENT_HEADER: usize = 8;
+
+/// File type stored in directory entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FileType {
+    /// Unknown (only appears in damaged images).
+    Unknown,
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Dir,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// On-disk code.
+    pub fn code(self) -> u8 {
+        match self {
+            FileType::Unknown => 0,
+            FileType::Regular => 1,
+            FileType::Dir => 2,
+            FileType::Symlink => 7,
+        }
+    }
+
+    /// Decodes an on-disk code (unknown codes map to `Unknown`).
+    pub fn from_code(c: u8) -> Self {
+        match c {
+            1 => FileType::Regular,
+            2 => FileType::Dir,
+            7 => FileType::Symlink,
+            _ => FileType::Unknown,
+        }
+    }
+}
+
+/// A parsed directory entry.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DirEntry {
+    /// Target inode (0 = deleted slot).
+    pub inode: u32,
+    /// Entry name.
+    pub name: String,
+    /// File type.
+    pub file_type: FileType,
+}
+
+fn rec_len_for(name_len: usize) -> usize {
+    // round up to 4-byte alignment, like ext4
+    (DIRENT_HEADER + name_len + 3) & !3
+}
+
+/// Parses every live entry in a directory block.
+///
+/// # Errors
+///
+/// Returns [`FsError::Corrupt`] on malformed record chains (zero or
+/// unaligned record lengths, records overrunning the block).
+pub fn parse_block(block: &[u8]) -> Result<Vec<DirEntry>, FsError> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off + DIRENT_HEADER <= block.len() {
+        let inode = get_u32(block, off);
+        let rec_len = get_u16(block, off + 4) as usize;
+        let name_len = block[off + 6] as usize;
+        let ftype = block[off + 7];
+        if rec_len < DIRENT_HEADER || !rec_len.is_multiple_of(4) || off + rec_len > block.len() {
+            return Err(FsError::Corrupt(format!(
+                "bad dirent rec_len {rec_len} at offset {off}"
+            )));
+        }
+        if DIRENT_HEADER + name_len > rec_len {
+            return Err(FsError::Corrupt(format!(
+                "dirent name_len {name_len} overruns rec_len {rec_len} at offset {off}"
+            )));
+        }
+        if inode != 0 {
+            let name_bytes = &block[off + DIRENT_HEADER..off + DIRENT_HEADER + name_len];
+            out.push(DirEntry {
+                inode,
+                name: String::from_utf8_lossy(name_bytes).into_owned(),
+                file_type: FileType::from_code(ftype),
+            });
+        }
+        off += rec_len;
+    }
+    if off != block.len() {
+        return Err(FsError::Corrupt(format!(
+            "directory block not fully covered: ended at {off} of {}",
+            block.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Initialises an empty directory block containing `.` and `..`.
+pub fn init_block(block: &mut [u8], self_ino: u32, parent_ino: u32) {
+    block.fill(0);
+    // "."
+    put_u32(block, 0, self_ino);
+    put_u16(block, 4, 12);
+    block[6] = 1;
+    block[7] = FileType::Dir.code();
+    block[8] = b'.';
+    // ".." takes the rest of the block
+    let off = 12;
+    put_u32(block, off, parent_ino);
+    put_u16(block, off + 4, (block.len() - off) as u16);
+    block[off + 6] = 2;
+    block[off + 7] = FileType::Dir.code();
+    block[off + 8] = b'.';
+    block[off + 9] = b'.';
+}
+
+/// Adds an entry to a directory block in place. Returns `false` if the
+/// block has no room (the caller then allocates another block).
+///
+/// # Errors
+///
+/// Returns [`FsError::NameTooLong`] for names over 255 bytes and
+/// [`FsError::Corrupt`] if the existing chain is malformed.
+pub fn add_entry(
+    block: &mut [u8],
+    name: &str,
+    inode: u32,
+    file_type: FileType,
+) -> Result<bool, FsError> {
+    let name_bytes = name.as_bytes();
+    if name_bytes.len() > MAX_NAME_LEN {
+        return Err(FsError::NameTooLong(name_bytes.len()));
+    }
+    let needed = rec_len_for(name_bytes.len());
+    let mut off = 0usize;
+    while off + DIRENT_HEADER <= block.len() {
+        let cur_inode = get_u32(block, off);
+        let rec_len = get_u16(block, off + 4) as usize;
+        let name_len = block[off + 6] as usize;
+        if rec_len < DIRENT_HEADER || !rec_len.is_multiple_of(4) || off + rec_len > block.len() {
+            return Err(FsError::Corrupt(format!(
+                "bad dirent rec_len {rec_len} at offset {off}"
+            )));
+        }
+        let used = if cur_inode == 0 { 0 } else { rec_len_for(name_len) };
+        if rec_len - used >= needed {
+            // split: shrink the current record to its used size, put the
+            // new entry in the slack
+            let new_off = off + used;
+            let new_rec_len = rec_len - used;
+            if used > 0 {
+                put_u16(block, off + 4, used as u16);
+            }
+            put_u32(block, new_off, inode);
+            put_u16(block, new_off + 4, new_rec_len as u16);
+            block[new_off + 6] = name_bytes.len() as u8;
+            block[new_off + 7] = file_type.code();
+            block[new_off + DIRENT_HEADER..new_off + DIRENT_HEADER + name_bytes.len()]
+                .copy_from_slice(name_bytes);
+            return Ok(true);
+        }
+        off += rec_len;
+    }
+    Ok(false)
+}
+
+/// Removes `name` from a directory block in place. Returns the removed
+/// entry's inode, or `None` if the name is absent.
+///
+/// # Errors
+///
+/// Returns [`FsError::Corrupt`] if the chain is malformed.
+pub fn remove_entry(block: &mut [u8], name: &str) -> Result<Option<u32>, FsError> {
+    let target = name.as_bytes();
+    let mut off = 0usize;
+    let mut prev_off: Option<usize> = None;
+    while off + DIRENT_HEADER <= block.len() {
+        let inode = get_u32(block, off);
+        let rec_len = get_u16(block, off + 4) as usize;
+        let name_len = block[off + 6] as usize;
+        if rec_len < DIRENT_HEADER || !rec_len.is_multiple_of(4) || off + rec_len > block.len() {
+            return Err(FsError::Corrupt(format!(
+                "bad dirent rec_len {rec_len} at offset {off}"
+            )));
+        }
+        if inode != 0 && &block[off + DIRENT_HEADER..off + DIRENT_HEADER + name_len] == target {
+            match prev_off {
+                Some(p) => {
+                    // merge into the previous record
+                    let prev_len = get_u16(block, p + 4) as usize;
+                    put_u16(block, p + 4, (prev_len + rec_len) as u16);
+                }
+                None => {
+                    // first record: mark deleted
+                    put_u32(block, off, 0);
+                }
+            }
+            return Ok(Some(inode));
+        }
+        prev_off = Some(off);
+        off += rec_len;
+    }
+    Ok(None)
+}
+
+/// Looks up `name` in a directory block.
+///
+/// # Errors
+///
+/// Returns [`FsError::Corrupt`] if the chain is malformed.
+pub fn find_entry(block: &[u8], name: &str) -> Result<Option<DirEntry>, FsError> {
+    Ok(parse_block(block)?.into_iter().find(|e| e.name == name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(block_size: usize) -> Vec<u8> {
+        let mut b = vec![0u8; block_size];
+        init_block(&mut b, 2, 2);
+        b
+    }
+
+    #[test]
+    fn init_block_has_dot_entries() {
+        let b = fresh(1024);
+        let entries = parse_block(&b).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, ".");
+        assert_eq!(entries[1].name, "..");
+        assert_eq!(entries[0].inode, 2);
+        assert_eq!(entries[0].file_type, FileType::Dir);
+    }
+
+    #[test]
+    fn add_and_find() {
+        let mut b = fresh(1024);
+        assert!(add_entry(&mut b, "hello.txt", 12, FileType::Regular).unwrap());
+        let e = find_entry(&b, "hello.txt").unwrap().unwrap();
+        assert_eq!(e.inode, 12);
+        assert_eq!(e.file_type, FileType::Regular);
+        assert!(find_entry(&b, "other").unwrap().is_none());
+    }
+
+    #[test]
+    fn add_many_until_full() {
+        let mut b = fresh(1024);
+        let mut added = 0;
+        loop {
+            let name = format!("file-{added:04}");
+            if !add_entry(&mut b, &name, 100 + added, FileType::Regular).unwrap() {
+                break;
+            }
+            added += 1;
+        }
+        assert!(added >= 50, "1 KiB block should hold >=50 short names, got {added}");
+        let entries = parse_block(&b).unwrap();
+        assert_eq!(entries.len() as u32, added + 2);
+    }
+
+    #[test]
+    fn remove_merges_slack() {
+        let mut b = fresh(1024);
+        add_entry(&mut b, "a", 10, FileType::Regular).unwrap();
+        add_entry(&mut b, "b", 11, FileType::Regular).unwrap();
+        assert_eq!(remove_entry(&mut b, "a").unwrap(), Some(10));
+        assert!(find_entry(&b, "a").unwrap().is_none());
+        assert!(find_entry(&b, "b").unwrap().is_some());
+        // space is reusable
+        assert!(add_entry(&mut b, "c", 12, FileType::Regular).unwrap());
+        assert!(find_entry(&b, "c").unwrap().is_some());
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut b = fresh(1024);
+        assert_eq!(remove_entry(&mut b, "ghost").unwrap(), None);
+    }
+
+    #[test]
+    fn name_too_long_rejected() {
+        let mut b = fresh(1024);
+        let long = "x".repeat(256);
+        assert!(matches!(add_entry(&mut b, &long, 5, FileType::Regular), Err(FsError::NameTooLong(256))));
+    }
+
+    #[test]
+    fn parse_rejects_zero_rec_len() {
+        let mut b = fresh(1024);
+        put_u16(&mut b, 4, 0);
+        assert!(parse_block(&b).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_overrun() {
+        let mut b = fresh(64);
+        put_u16(&mut b, 4, 200); // rec_len beyond block
+        assert!(parse_block(&b).is_err());
+    }
+
+    #[test]
+    fn file_type_codes_round_trip() {
+        for ft in [FileType::Regular, FileType::Dir, FileType::Symlink, FileType::Unknown] {
+            assert_eq!(FileType::from_code(ft.code()), ft);
+        }
+        assert_eq!(FileType::from_code(99), FileType::Unknown);
+    }
+
+    #[test]
+    fn max_name_length_fits() {
+        let mut b = fresh(1024);
+        let name = "n".repeat(255);
+        assert!(add_entry(&mut b, &name, 77, FileType::Regular).unwrap());
+        assert_eq!(find_entry(&b, &name).unwrap().unwrap().inode, 77);
+    }
+}

@@ -1,0 +1,146 @@
+use std::error::Error;
+use std::fmt;
+
+use blockdev::DeviceError;
+
+/// Errors produced by the file-system simulator.
+#[derive(Debug)]
+pub enum FsError {
+    /// The underlying block device failed.
+    Device(DeviceError),
+    /// The image does not carry the ext4 magic or is otherwise not an
+    /// ext4sim image.
+    BadMagic {
+        /// The magic value found at the superblock offset.
+        found: u16,
+    },
+    /// A `mke2fs`-style parameter failed validation.
+    InvalidParam {
+        /// The parameter name (as the utility spells it).
+        param: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Two parameters conflict (a cross-parameter dependency violation).
+    ConflictingParams {
+        /// First parameter.
+        a: &'static str,
+        /// Second parameter.
+        b: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A mount option failed kernel-side validation
+    /// (the `ext4_fill_super` equivalent).
+    MountRejected {
+        /// The offending option.
+        option: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// No free blocks left to satisfy an allocation.
+    NoSpace,
+    /// No free inodes left.
+    NoInodes,
+    /// An inode number was out of range or unallocated.
+    BadInode(u32),
+    /// A directory entry was not found.
+    NotFound(String),
+    /// An entry with the same name already exists.
+    AlreadyExists(String),
+    /// The operation requires a directory but the inode is not one.
+    NotADirectory(u32),
+    /// The operation is invalid on a directory.
+    IsADirectory(u32),
+    /// The directory still has entries.
+    DirectoryNotEmpty(u32),
+    /// The file system was mounted read-only.
+    ReadOnlyFs,
+    /// The image metadata is internally inconsistent.
+    Corrupt(String),
+    /// The operation requires the file system to be unmounted.
+    Busy,
+    /// A name exceeded the maximum length (255 bytes).
+    NameTooLong(usize),
+    /// The operation is not supported with the image's feature set
+    /// (e.g., defragmenting a non-extent file).
+    NotSupported(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Device(e) => write!(f, "device error: {e}"),
+            FsError::BadMagic { found } => {
+                write!(f, "bad magic {found:#06x} (expected {:#06x})", crate::EXT4_MAGIC)
+            }
+            FsError::InvalidParam { param, reason } => {
+                write!(f, "invalid value for parameter '{param}': {reason}")
+            }
+            FsError::ConflictingParams { a, b, reason } => {
+                write!(f, "parameters '{a}' and '{b}' conflict: {reason}")
+            }
+            FsError::MountRejected { option, reason } => {
+                write!(f, "mount option '{option}' rejected: {reason}")
+            }
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes"),
+            FsError::BadInode(ino) => write!(f, "bad inode number {ino}"),
+            FsError::NotFound(name) => write!(f, "no such file or directory: {name}"),
+            FsError::AlreadyExists(name) => write!(f, "file exists: {name}"),
+            FsError::NotADirectory(ino) => write!(f, "inode {ino} is not a directory"),
+            FsError::IsADirectory(ino) => write!(f, "inode {ino} is a directory"),
+            FsError::DirectoryNotEmpty(ino) => write!(f, "directory inode {ino} not empty"),
+            FsError::ReadOnlyFs => write!(f, "read-only file system"),
+            FsError::Corrupt(msg) => write!(f, "filesystem corrupt: {msg}"),
+            FsError::Busy => write!(f, "filesystem busy (mounted)"),
+            FsError::NameTooLong(len) => write!(f, "name too long: {len} bytes (max 255)"),
+            FsError::NotSupported(msg) => write!(f, "operation not supported: {msg}"),
+        }
+    }
+}
+
+impl Error for FsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for FsError {
+    fn from(e: DeviceError) -> Self {
+        FsError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FsError::InvalidParam { param: "blocksize", reason: "must be a power of 2".into() };
+        assert!(e.to_string().contains("blocksize"));
+        let e = FsError::ConflictingParams {
+            a: "meta_bg",
+            b: "resize_inode",
+            reason: "cannot be used together".into(),
+        };
+        assert!(e.to_string().contains("meta_bg"));
+        assert!(e.to_string().contains("resize_inode"));
+    }
+
+    #[test]
+    fn device_error_chains() {
+        let e: FsError = DeviceError::ReadOnly.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FsError>();
+    }
+}

@@ -1,0 +1,310 @@
+//! Feature flags, mirroring ext4's three feature words.
+//!
+//! Real ext4 divides features into *compat* (a kernel that does not know the
+//! feature may still mount read-write), *incompat* (an unknowing kernel must
+//! refuse the mount), and *ro_compat* (an unknowing kernel may mount
+//! read-only). The same trichotomy drives several of the paper's
+//! cross-component dependencies, so it is preserved faithfully here.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+macro_rules! feature_word {
+    ($(#[$meta:meta])* $name:ident { $($(#[$fmeta:meta])* $flag:ident = $bit:expr => $label:expr;)* }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($bit); )*
+
+            /// The empty feature set.
+            pub const fn empty() -> Self {
+                $name(0)
+            }
+
+            /// True if every bit of `other` is set in `self`.
+            pub fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// True if any bit of `other` is set in `self`.
+            pub fn intersects(self, other: $name) -> bool {
+                self.0 & other.0 != 0
+            }
+
+            /// Removes the bits of `other`.
+            pub fn remove(&mut self, other: $name) {
+                self.0 &= !other.0;
+            }
+
+            /// Inserts the bits of `other`.
+            pub fn insert(&mut self, other: $name) {
+                self.0 |= other.0;
+            }
+
+            /// True if no feature bits are set.
+            pub fn is_empty(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Human-readable names of the set flags.
+            pub fn names(self) -> Vec<&'static str> {
+                let mut out = Vec::new();
+                $( if self.contains($name::$flag) { out.push($label); } )*
+                out
+            }
+
+            /// Parses a single feature name as spelled in `mke2fs -O`.
+            pub fn from_name(name: &str) -> Option<Self> {
+                match name {
+                    $( $label => Some($name::$flag), )*
+                    _ => None,
+                }
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name {
+                $name(self.0 | rhs.0)
+            }
+        }
+
+        impl BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) {
+                self.0 |= rhs.0;
+            }
+        }
+
+        impl BitAnd for $name {
+            type Output = $name;
+            fn bitand(self, rhs: $name) -> $name {
+                $name(self.0 & rhs.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.names().join(","))
+            }
+        }
+    };
+}
+
+feature_word! {
+    /// Compatible feature word (`s_feature_compat`).
+    CompatFeatures {
+        /// The file system keeps a journal (we model the journal as a
+        /// reserved inode with preallocated blocks).
+        HAS_JOURNAL = 0x0004 => "has_journal";
+        /// Extended attributes.
+        EXT_ATTR = 0x0008 => "ext_attr";
+        /// Reserved GDT blocks exist for online growth via the resize
+        /// inode.
+        RESIZE_INODE = 0x0010 => "resize_inode";
+        /// Hashed directory indexes (accepted, not materialised).
+        DIR_INDEX = 0x0020 => "dir_index";
+        /// Sparse super block v2: exactly two backup superblocks, recorded
+        /// in `s_backup_bgs`. NOTE: real e2fsprogs keeps the *flag* in the
+        /// compat word.
+        SPARSE_SUPER2 = 0x0200 => "sparse_super2";
+    }
+}
+
+feature_word! {
+    /// Incompatible feature word (`s_feature_incompat`).
+    IncompatFeatures {
+        /// File data in extents rather than indirect blocks.
+        EXTENTS = 0x0040 => "extent";
+        /// Block numbers may exceed 2^32; group descriptors are 64 bytes.
+        BIT64 = 0x0080 => "64bit";
+        /// Meta block groups: group descriptors stored per meta-group
+        /// instead of one big table after the superblock.
+        META_BG = 0x0010 => "meta_bg";
+        /// Directories may store tiny files inline in the inode.
+        INLINE_DATA = 0x8000 => "inline_data";
+        /// Data is allocated in multi-block clusters.
+        BIGALLOC = 0x0200 => "bigalloc";
+        /// Compression (never supported; mounting must fail).
+        COMPRESSION = 0x0001 => "compression";
+        /// Files may use encryption.
+        ENCRYPT = 0x10000 => "encrypt";
+        /// Case-insensitive lookups allowed (casefold).
+        CASEFOLD = 0x20000 => "casefold";
+    }
+}
+
+feature_word! {
+    /// Read-only-compatible feature word (`s_feature_ro_compat`).
+    RoCompatFeatures {
+        /// Backup superblocks only in groups 0, 1 and powers of 3/5/7.
+        SPARSE_SUPER = 0x0001 => "sparse_super";
+        /// Files larger than 2 GiB.
+        LARGE_FILE = 0x0002 => "large_file";
+        /// Group descriptors carry free-count hints beyond 2^15 (huge_file).
+        HUGE_FILE = 0x0008 => "huge_file";
+        /// Group descriptor checksums.
+        GDT_CSUM = 0x0010 => "uninit_bg";
+        /// Directory nlink count may exceed 65000.
+        DIR_NLINK = 0x0020 => "dir_nlink";
+        /// Metadata checksums on all structures.
+        METADATA_CSUM = 0x0400 => "metadata_csum";
+        /// Quota feature.
+        QUOTA = 0x0100 => "quota";
+        /// Project quotas.
+        PROJECT = 0x2000 => "project";
+    }
+}
+
+/// The complete feature configuration of an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FeatureSet {
+    /// Compatible features.
+    pub compat: CompatFeatures,
+    /// Incompatible features.
+    pub incompat: IncompatFeatures,
+    /// Read-only-compatible features.
+    pub ro_compat: RoCompatFeatures,
+}
+
+impl FeatureSet {
+    /// The `mke2fs` default feature set (mirrors `mke2fs.conf`'s
+    /// `base_features` for ext4): sparse_super, large_file, extent,
+    /// resize_inode, dir_index, has_journal.
+    pub fn ext4_defaults() -> Self {
+        FeatureSet {
+            compat: CompatFeatures::HAS_JOURNAL
+                | CompatFeatures::RESIZE_INODE
+                | CompatFeatures::DIR_INDEX
+                | CompatFeatures::EXT_ATTR,
+            incompat: IncompatFeatures::EXTENTS,
+            ro_compat: RoCompatFeatures::SPARSE_SUPER | RoCompatFeatures::LARGE_FILE,
+        }
+    }
+
+    /// Parses one `-O`-style feature token; a `^` prefix clears the
+    /// feature. Returns `false` if the name is unknown.
+    pub fn apply_token(&mut self, token: &str) -> bool {
+        let (clear, name) = match token.strip_prefix('^') {
+            Some(rest) => (true, rest),
+            None => (false, token),
+        };
+        if let Some(f) = CompatFeatures::from_name(name) {
+            if clear {
+                self.compat.remove(f);
+            } else {
+                self.compat.insert(f);
+            }
+            return true;
+        }
+        if let Some(f) = IncompatFeatures::from_name(name) {
+            if clear {
+                self.incompat.remove(f);
+            } else {
+                self.incompat.insert(f);
+            }
+            return true;
+        }
+        if let Some(f) = RoCompatFeatures::from_name(name) {
+            if clear {
+                self.ro_compat.remove(f);
+            } else {
+                self.ro_compat.insert(f);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// All set feature names across the three words.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut v = self.compat.names();
+        v.extend(self.incompat.names());
+        v.extend(self.ro_compat.names());
+        v
+    }
+
+    /// True if the named feature (in any word) is enabled.
+    pub fn has(&self, name: &str) -> bool {
+        self.names().contains(&name)
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.names().join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_insert() {
+        let mut c = CompatFeatures::empty();
+        assert!(c.is_empty());
+        c.insert(CompatFeatures::HAS_JOURNAL);
+        assert!(c.contains(CompatFeatures::HAS_JOURNAL));
+        assert!(!c.contains(CompatFeatures::RESIZE_INODE));
+        c.remove(CompatFeatures::HAS_JOURNAL);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn bitor_combines() {
+        let c = CompatFeatures::HAS_JOURNAL | CompatFeatures::RESIZE_INODE;
+        assert!(c.contains(CompatFeatures::HAS_JOURNAL));
+        assert!(c.contains(CompatFeatures::RESIZE_INODE));
+        assert!(c.intersects(CompatFeatures::HAS_JOURNAL));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let f = IncompatFeatures::EXTENTS | IncompatFeatures::BIGALLOC;
+        let names = f.names();
+        assert!(names.contains(&"extent"));
+        assert!(names.contains(&"bigalloc"));
+        assert_eq!(IncompatFeatures::from_name("extent"), Some(IncompatFeatures::EXTENTS));
+        assert_eq!(IncompatFeatures::from_name("nope"), None);
+    }
+
+    #[test]
+    fn apply_token_sets_and_clears() {
+        let mut fs = FeatureSet::ext4_defaults();
+        assert!(fs.has("resize_inode"));
+        assert!(fs.apply_token("^resize_inode"));
+        assert!(!fs.has("resize_inode"));
+        assert!(fs.apply_token("meta_bg"));
+        assert!(fs.has("meta_bg"));
+        assert!(!fs.apply_token("not_a_feature"));
+    }
+
+    #[test]
+    fn defaults_match_mke2fs_conf() {
+        let fs = FeatureSet::ext4_defaults();
+        for name in ["has_journal", "extent", "sparse_super", "large_file", "resize_inode", "dir_index"] {
+            assert!(fs.has(name), "missing default feature {name}");
+        }
+        assert!(!fs.has("bigalloc"));
+        assert!(!fs.has("sparse_super2"));
+    }
+
+    #[test]
+    fn display_joins_names() {
+        let f = RoCompatFeatures::SPARSE_SUPER | RoCompatFeatures::LARGE_FILE;
+        let s = f.to_string();
+        assert!(s.contains("sparse_super"));
+        assert!(s.contains("large_file"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let fs = FeatureSet::ext4_defaults();
+        let json = serde_json::to_string(&fs).unwrap();
+        let back: FeatureSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(fs, back);
+    }
+}

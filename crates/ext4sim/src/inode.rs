@@ -1,0 +1,318 @@
+//! On-disk inodes (`struct ext4_inode`).
+
+use std::fmt;
+
+use crate::util::{get_u16, get_u32, put_u16, put_u32};
+
+/// A 1-based inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct InodeNo(pub u32);
+
+impl fmt::Display for InodeNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode #{}", self.0)
+    }
+}
+
+impl From<u32> for InodeNo {
+    fn from(v: u32) -> Self {
+        InodeNo(v)
+    }
+}
+
+/// File mode bits (subset of the POSIX definitions ext4 uses).
+pub mod mode {
+    /// Regular file.
+    pub const S_IFREG: u16 = 0x8000;
+    /// Directory.
+    pub const S_IFDIR: u16 = 0x4000;
+    /// Symbolic link.
+    pub const S_IFLNK: u16 = 0xA000;
+    /// Format mask.
+    pub const S_IFMT: u16 = 0xF000;
+}
+
+/// Inode flags (`i_flags`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct InodeFlags(pub u32);
+
+impl InodeFlags {
+    /// File content is mapped by an extent tree.
+    pub const EXTENTS: InodeFlags = InodeFlags(0x0008_0000);
+    /// File content lives inline in `i_block`.
+    pub const INLINE_DATA: InodeFlags = InodeFlags(0x1000_0000);
+    /// Directory uses hashed indexes (accepted, not materialised).
+    pub const INDEX: InodeFlags = InodeFlags(0x0000_1000);
+
+    /// True if all bits of `other` are set.
+    pub fn contains(self, other: InodeFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Sets the bits of `other`.
+    pub fn insert(&mut self, other: InodeFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Clears the bits of `other`.
+    pub fn remove(&mut self, other: InodeFlags) {
+        self.0 &= !other.0;
+    }
+}
+
+/// Size of the `i_block` area.
+pub const I_BLOCK_SIZE: usize = 60;
+
+/// Number of direct block pointers in the legacy (non-extent) map.
+pub const DIRECT_BLOCKS: usize = 12;
+
+/// In-memory inode. `block_area` is the raw 60-byte `i_block` region whose
+/// interpretation depends on the flags: extent tree, legacy block map,
+/// inline data, or symlink target.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Inode {
+    /// Mode bits.
+    pub mode: u16,
+    /// Owner uid.
+    pub uid: u16,
+    /// Owner gid.
+    pub gid: u16,
+    /// File size in bytes.
+    pub size: u64,
+    /// Access time.
+    pub atime: u32,
+    /// Change time.
+    pub ctime: u32,
+    /// Modification time.
+    pub mtime: u32,
+    /// Deletion time (0 while the inode is live; e2fsck pass 4 keys off
+    /// this).
+    pub dtime: u32,
+    /// Hard-link count.
+    pub links_count: u16,
+    /// 512-byte sectors occupied (block accounting, like ext4).
+    pub blocks: u32,
+    /// Flags.
+    pub flags: InodeFlags,
+    /// Raw `i_block` region.
+    #[serde(with = "serde_bytes_array")]
+    pub block_area: [u8; I_BLOCK_SIZE],
+    /// Generation (NFS).
+    pub generation: u32,
+}
+
+mod serde_bytes_array {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u8; 60], s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(v.iter())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 60], D::Error> {
+        let v: Vec<u8> = Vec::deserialize(d)?;
+        if v.len() != 60 {
+            return Err(serde::de::Error::custom("i_block must be 60 bytes"));
+        }
+        let mut out = [0u8; 60];
+        out.copy_from_slice(&v);
+        Ok(out)
+    }
+}
+
+impl Default for Inode {
+    fn default() -> Self {
+        Inode {
+            mode: 0,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            atime: 0,
+            ctime: 0,
+            mtime: 0,
+            dtime: 0,
+            links_count: 0,
+            blocks: 0,
+            flags: InodeFlags::default(),
+            block_area: [0u8; I_BLOCK_SIZE],
+            generation: 0,
+        }
+    }
+}
+
+impl Inode {
+    /// A fresh regular-file inode. With `extents`, `i_block` is
+    /// initialised with an empty extent-tree header (as
+    /// `ext4_ext_tree_init` does).
+    pub fn new_file(extents: bool) -> Self {
+        let mut ino = Inode { mode: mode::S_IFREG | 0o644, links_count: 1, ..Inode::default() };
+        if extents {
+            ino.init_extent_root();
+        }
+        ino
+    }
+
+    /// A fresh directory inode (see [`Inode::new_file`] for `extents`).
+    pub fn new_dir(extents: bool) -> Self {
+        let mut ino = Inode { mode: mode::S_IFDIR | 0o755, links_count: 2, ..Inode::default() };
+        if extents {
+            ino.init_extent_root();
+        }
+        ino
+    }
+
+    /// Sets the `EXTENTS` flag and writes an empty extent-tree root into
+    /// `i_block`.
+    pub fn init_extent_root(&mut self) {
+        self.flags.insert(InodeFlags::EXTENTS);
+        crate::extent::ExtentTree::new().encode_inline(&mut self.block_area);
+    }
+
+    /// True for directories.
+    pub fn is_dir(&self) -> bool {
+        self.mode & mode::S_IFMT == mode::S_IFDIR
+    }
+
+    /// True for regular files.
+    pub fn is_file(&self) -> bool {
+        self.mode & mode::S_IFMT == mode::S_IFREG
+    }
+
+    /// True if the inode slot is unused (never allocated or deleted).
+    pub fn is_unused(&self) -> bool {
+        self.links_count == 0 && self.mode == 0
+    }
+
+    /// True if the content is inline in `i_block`.
+    pub fn is_inline(&self) -> bool {
+        self.flags.contains(InodeFlags::INLINE_DATA)
+    }
+
+    /// True if content is mapped by extents.
+    pub fn uses_extents(&self) -> bool {
+        self.flags.contains(InodeFlags::EXTENTS)
+    }
+
+    /// Encodes into `inode_size` on-disk bytes (128 or 256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inode_size < 128`.
+    pub fn to_bytes(&self, inode_size: u16) -> Vec<u8> {
+        assert!(inode_size >= 128, "inode size must be at least 128");
+        let mut b = vec![0u8; inode_size as usize];
+        put_u16(&mut b, 0x00, self.mode);
+        put_u16(&mut b, 0x02, self.uid);
+        put_u32(&mut b, 0x04, self.size as u32);
+        put_u32(&mut b, 0x08, self.atime);
+        put_u32(&mut b, 0x0C, self.ctime);
+        put_u32(&mut b, 0x10, self.mtime);
+        put_u32(&mut b, 0x14, self.dtime);
+        put_u16(&mut b, 0x18, self.gid);
+        put_u16(&mut b, 0x1A, self.links_count);
+        put_u32(&mut b, 0x1C, self.blocks);
+        put_u32(&mut b, 0x20, self.flags.0);
+        b[0x28..0x28 + I_BLOCK_SIZE].copy_from_slice(&self.block_area);
+        put_u32(&mut b, 0x64, self.generation);
+        put_u32(&mut b, 0x6C, (self.size >> 32) as u32);
+        b
+    }
+
+    /// Decodes from on-disk bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() < 128`.
+    pub fn from_bytes(b: &[u8]) -> Self {
+        assert!(b.len() >= 128, "inode buffer too short");
+        let mut block_area = [0u8; I_BLOCK_SIZE];
+        block_area.copy_from_slice(&b[0x28..0x28 + I_BLOCK_SIZE]);
+        Inode {
+            mode: get_u16(b, 0x00),
+            uid: get_u16(b, 0x02),
+            size: u64::from(get_u32(b, 0x04)) | (u64::from(get_u32(b, 0x6C)) << 32),
+            atime: get_u32(b, 0x08),
+            ctime: get_u32(b, 0x0C),
+            mtime: get_u32(b, 0x10),
+            dtime: get_u32(b, 0x14),
+            gid: get_u16(b, 0x18),
+            links_count: get_u16(b, 0x1A),
+            blocks: get_u32(b, 0x1C),
+            flags: InodeFlags(get_u32(b, 0x20)),
+            block_area,
+            generation: get_u32(b, 0x64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_and_dir_constructors() {
+        let f = Inode::new_file(true);
+        assert!(f.is_file());
+        assert!(!f.is_dir());
+        assert!(f.uses_extents());
+        assert_eq!(f.links_count, 1);
+        let d = Inode::new_dir(false);
+        assert!(d.is_dir());
+        assert!(!d.uses_extents());
+        assert_eq!(d.links_count, 2);
+    }
+
+    #[test]
+    fn round_trip_128() {
+        let mut ino = Inode::new_file(true);
+        ino.size = 0x1_2345_6789; // exercises the high half
+        ino.blocks = 42;
+        ino.block_area[0] = 0x0A;
+        ino.block_area[59] = 0xF3;
+        let b = ino.to_bytes(128);
+        assert_eq!(b.len(), 128);
+        assert_eq!(Inode::from_bytes(&b), ino);
+    }
+
+    #[test]
+    fn round_trip_256() {
+        let ino = Inode::new_dir(true);
+        let b = ino.to_bytes(256);
+        assert_eq!(b.len(), 256);
+        assert_eq!(Inode::from_bytes(&b), ino);
+    }
+
+    #[test]
+    fn unused_detection() {
+        let blank = Inode::default();
+        assert!(blank.is_unused());
+        let f = Inode::new_file(false);
+        assert!(!f.is_unused());
+    }
+
+    #[test]
+    fn flags_ops() {
+        let mut fl = InodeFlags::default();
+        fl.insert(InodeFlags::EXTENTS);
+        fl.insert(InodeFlags::INLINE_DATA);
+        assert!(fl.contains(InodeFlags::EXTENTS));
+        fl.remove(InodeFlags::EXTENTS);
+        assert!(!fl.contains(InodeFlags::EXTENTS));
+        assert!(fl.contains(InodeFlags::INLINE_DATA));
+    }
+
+    #[test]
+    fn inode_no_display() {
+        assert_eq!(InodeNo(2).to_string(), "inode #2");
+        assert_eq!(InodeNo::from(7u32), InodeNo(7));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ino = Inode::new_file(true);
+        let json = serde_json::to_string(&ino).unwrap();
+        let back: Inode = serde_json::from_str(&json).unwrap();
+        assert_eq!(ino, back);
+    }
+}

@@ -1,0 +1,355 @@
+//! Geometry of an image: block groups, metadata placement, backup
+//! superblocks.
+//!
+//! The placement rules follow real ext4:
+//!
+//! * the primary superblock lives at byte offset 1024; with 1 KiB blocks
+//!   that is block 1 (`first_data_block = 1`), with larger blocks it is
+//!   block 0;
+//! * each block group holds `8 * block_size` blocks (one block-bitmap
+//!   block's worth), or that many *clusters* with `bigalloc`;
+//! * a group that "has a super" carries, in order: superblock copy, group
+//!   descriptor table, reserved GDT blocks (when `resize_inode` is on),
+//!   then its block bitmap, inode bitmap and inode table;
+//! * with `sparse_super`, backups live only in groups 0, 1 and powers of
+//!   3, 5 and 7; with `sparse_super2`, in exactly the two groups recorded
+//!   in `s_backup_bgs`; with neither, in every group.
+
+use crate::features::{CompatFeatures, FeatureSet, IncompatFeatures, RoCompatFeatures};
+use crate::util::{div_ceil, is_power_of};
+
+/// Computed geometry of an image. Everything the utilities need to locate
+/// metadata derives from this.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Layout {
+    /// Block size in bytes (1024–65536, power of two).
+    pub block_size: u32,
+    /// Total blocks in the file system.
+    pub blocks_count: u64,
+    /// Blocks per block group.
+    pub blocks_per_group: u32,
+    /// Inodes per block group.
+    pub inodes_per_group: u32,
+    /// Bytes per on-disk inode (128 or 256).
+    pub inode_size: u16,
+    /// Size of one group descriptor (32, or 64 with the `64bit` feature).
+    pub desc_size: u16,
+    /// First data block (1 for 1 KiB blocks, else 0).
+    pub first_data_block: u64,
+    /// Blocks per allocation cluster (1 unless `bigalloc`).
+    pub cluster_ratio: u32,
+    /// Reserved GDT blocks per super-bearing group (for `resize_inode`).
+    pub reserved_gdt_blocks: u32,
+    /// The two backup groups used by `sparse_super2`.
+    pub backup_bgs: [u32; 2],
+    /// Feature configuration.
+    pub features: FeatureSet,
+}
+
+impl Layout {
+    /// Number of block groups.
+    pub fn group_count(&self) -> u32 {
+        let data_blocks = self.blocks_count - self.first_data_block;
+        div_ceil(data_blocks, u64::from(self.blocks_per_group)) as u32
+    }
+
+    /// First block of group `g`.
+    pub fn group_first_block(&self, g: u32) -> u64 {
+        self.first_data_block + u64::from(g) * u64::from(self.blocks_per_group)
+    }
+
+    /// Number of blocks actually present in group `g` (the last group may
+    /// be short).
+    pub fn blocks_in_group(&self, g: u32) -> u32 {
+        let start = self.group_first_block(g);
+        let end = (start + u64::from(self.blocks_per_group)).min(self.blocks_count);
+        (end - start) as u32
+    }
+
+    /// Whether group `g` carries a superblock + GDT copy.
+    pub fn has_super(&self, g: u32) -> bool {
+        if g == 0 {
+            return true;
+        }
+        if self.features.compat.contains(CompatFeatures::SPARSE_SUPER2) {
+            return g == self.backup_bgs[0] || g == self.backup_bgs[1];
+        }
+        if self.features.ro_compat.contains(RoCompatFeatures::SPARSE_SUPER) {
+            return g == 1
+                || is_power_of(u64::from(g), 3)
+                || is_power_of(u64::from(g), 5)
+                || is_power_of(u64::from(g), 7);
+        }
+        true
+    }
+
+    /// Groups (other than 0) that carry a backup superblock.
+    pub fn backup_groups(&self) -> Vec<u32> {
+        (1..self.group_count()).filter(|&g| self.has_super(g)).collect()
+    }
+
+    /// Number of blocks occupied by the group descriptor table.
+    pub fn gdt_blocks(&self) -> u32 {
+        let total = u64::from(self.group_count()) * u64::from(self.desc_size);
+        div_ceil(total, u64::from(self.block_size)) as u32
+    }
+
+    /// Group descriptors that fit in one block.
+    pub fn descs_per_block(&self) -> u32 {
+        self.block_size / u32::from(self.desc_size)
+    }
+
+    /// Blocks occupied by one group's inode table.
+    pub fn inode_table_blocks(&self) -> u32 {
+        let total = u64::from(self.inodes_per_group) * u64::from(self.inode_size);
+        div_ceil(total, u64::from(self.block_size)) as u32
+    }
+
+    /// Per-group metadata overhead in blocks: super/GDT copies (when
+    /// present), the two bitmaps and the inode table.
+    pub fn group_overhead(&self, g: u32) -> u32 {
+        let super_part = if self.has_super(g) {
+            1 + self.gdt_blocks() + self.reserved_gdt_blocks
+        } else {
+            0
+        };
+        super_part + 2 + self.inode_table_blocks()
+    }
+
+    /// Free blocks in group `g` on a fresh image (before the journal and
+    /// root directory are allocated).
+    pub fn initial_free_blocks(&self, g: u32) -> u32 {
+        self.blocks_in_group(g).saturating_sub(self.group_overhead(g))
+    }
+
+    /// Block number of group `g`'s block bitmap.
+    pub fn block_bitmap_block(&self, g: u32) -> u64 {
+        let base = self.group_first_block(g);
+        let super_part = if self.has_super(g) {
+            1 + u64::from(self.gdt_blocks()) + u64::from(self.reserved_gdt_blocks)
+        } else {
+            0
+        };
+        base + super_part
+    }
+
+    /// Block number of group `g`'s inode bitmap.
+    pub fn inode_bitmap_block(&self, g: u32) -> u64 {
+        self.block_bitmap_block(g) + 1
+    }
+
+    /// First block of group `g`'s inode table.
+    pub fn inode_table_block(&self, g: u32) -> u64 {
+        self.inode_bitmap_block(g) + 1
+    }
+
+    /// First data block of group `g` (after all metadata).
+    pub fn group_data_start(&self, g: u32) -> u64 {
+        self.inode_table_block(g) + u64::from(self.inode_table_blocks())
+    }
+
+    /// Total inode count.
+    pub fn inodes_count(&self) -> u32 {
+        self.group_count() * self.inodes_per_group
+    }
+
+    /// The block group containing absolute block `block`.
+    pub fn block_group_of(&self, block: u64) -> u32 {
+        ((block - self.first_data_block) / u64::from(self.blocks_per_group)) as u32
+    }
+
+    /// Index of `block` within its group's bitmap.
+    pub fn block_index_in_group(&self, block: u64) -> u32 {
+        ((block - self.first_data_block) % u64::from(self.blocks_per_group)) as u32
+    }
+
+    /// The block group containing inode `ino` (1-based inode numbers).
+    pub fn inode_group_of(&self, ino: u32) -> u32 {
+        (ino - 1) / self.inodes_per_group
+    }
+
+    /// Index of inode `ino` within its group.
+    pub fn inode_index_in_group(&self, ino: u32) -> u32 {
+        (ino - 1) % self.inodes_per_group
+    }
+
+    /// Byte position of inode `ino`'s on-disk record.
+    pub fn inode_position(&self, ino: u32) -> (u64, usize) {
+        let g = self.inode_group_of(ino);
+        let idx = self.inode_index_in_group(ino);
+        let byte = u64::from(idx) * u64::from(self.inode_size);
+        let block = self.inode_table_block(g) + byte / u64::from(self.block_size);
+        (block, (byte % u64::from(self.block_size)) as usize)
+    }
+
+    /// Recomputes the sparse_super2 backup groups for a (possibly new)
+    /// group count: real e2fsprogs places them in group 1 and the last
+    /// group.
+    pub fn sparse_super2_backups(group_count: u32) -> [u32; 2] {
+        match group_count {
+            0 | 1 => [0, 0],
+            2 => [1, 0],
+            n => [1, n - 1],
+        }
+    }
+
+    /// Whether block numbers fit without the `64bit` feature.
+    pub fn needs_64bit(blocks_count: u64) -> bool {
+        blocks_count > u64::from(u32::MAX)
+    }
+
+    /// Clusters per group (== bits in the block bitmap with `bigalloc`).
+    pub fn clusters_per_group(&self) -> u32 {
+        self.blocks_per_group / self.cluster_ratio
+    }
+
+    /// True when the `bigalloc` feature is in effect.
+    pub fn has_bigalloc(&self) -> bool {
+        self.features.incompat.contains(IncompatFeatures::BIGALLOC)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout_1k(blocks: u64) -> Layout {
+        Layout {
+            block_size: 1024,
+            blocks_count: blocks,
+            blocks_per_group: 8192,
+            inodes_per_group: 256,
+            inode_size: 128,
+            desc_size: 32,
+            first_data_block: 1,
+            cluster_ratio: 1,
+            reserved_gdt_blocks: 4,
+            backup_bgs: [0, 0],
+            features: FeatureSet::ext4_defaults(),
+        }
+    }
+
+    #[test]
+    fn group_count_rounds_up() {
+        let l = layout_1k(8193); // 8192 data blocks -> 1 group
+        assert_eq!(l.group_count(), 1);
+        let l = layout_1k(8194); // 8193 data blocks -> 2 groups
+        assert_eq!(l.group_count(), 2);
+    }
+
+    #[test]
+    fn last_group_is_short() {
+        let l = layout_1k(12289); // groups: 8192 + 4096
+        assert_eq!(l.group_count(), 2);
+        assert_eq!(l.blocks_in_group(0), 8192);
+        assert_eq!(l.blocks_in_group(1), 4096);
+    }
+
+    #[test]
+    fn sparse_super_placement() {
+        let mut l = layout_1k(8192 * 60);
+        assert!(l.has_super(0));
+        assert!(l.has_super(1));
+        assert!(l.has_super(3));
+        assert!(l.has_super(9));
+        assert!(l.has_super(27));
+        assert!(l.has_super(5));
+        assert!(l.has_super(25));
+        assert!(l.has_super(7));
+        assert!(l.has_super(49));
+        assert!(!l.has_super(2));
+        assert!(!l.has_super(4));
+        assert!(!l.has_super(10));
+        // without sparse_super every group has a copy
+        l.features.ro_compat.remove(RoCompatFeatures::SPARSE_SUPER);
+        assert!(l.has_super(2));
+        assert!(l.has_super(10));
+    }
+
+    #[test]
+    fn sparse_super2_placement() {
+        let mut l = layout_1k(8192 * 10);
+        l.features.compat.insert(CompatFeatures::SPARSE_SUPER2);
+        l.backup_bgs = Layout::sparse_super2_backups(l.group_count());
+        assert_eq!(l.backup_bgs, [1, 9]);
+        assert!(l.has_super(0));
+        assert!(l.has_super(1));
+        assert!(l.has_super(9));
+        assert!(!l.has_super(3)); // would have a copy under sparse_super
+        assert_eq!(l.backup_groups(), vec![1, 9]);
+    }
+
+    #[test]
+    fn metadata_placement_in_group0() {
+        let l = layout_1k(8193);
+        // group 0: block 1 = super, then gdt (1 block), 4 reserved,
+        // bitmap at 1+1+1+4 = 7? gdt_blocks: 1 group * 32B -> 1 block.
+        assert_eq!(l.gdt_blocks(), 1);
+        assert_eq!(l.block_bitmap_block(0), 1 + 1 + 1 + 4);
+        assert_eq!(l.inode_bitmap_block(0), 8);
+        assert_eq!(l.inode_table_block(0), 9);
+        // itable: 256 inodes * 128 B = 32 KiB = 32 blocks
+        assert_eq!(l.inode_table_blocks(), 32);
+        assert_eq!(l.group_data_start(0), 41);
+    }
+
+    #[test]
+    fn superless_group_overhead_is_smaller() {
+        let l = layout_1k(8192 * 4);
+        assert!(l.has_super(1));
+        assert!(!l.has_super(2));
+        assert!(l.group_overhead(1) > l.group_overhead(2));
+        assert_eq!(l.group_overhead(2), 2 + 32);
+    }
+
+    #[test]
+    fn inode_position_math() {
+        let l = layout_1k(8192 * 2 + 1);
+        // inode 1 is the first inode of group 0
+        let (blk, off) = l.inode_position(1);
+        assert_eq!(blk, l.inode_table_block(0));
+        assert_eq!(off, 0);
+        // inode 9 (index 8) with 128-byte inodes -> same block, offset 1024?
+        // 8*128 = 1024 -> next block, offset 0
+        let (blk, off) = l.inode_position(9);
+        assert_eq!(blk, l.inode_table_block(0) + 1);
+        assert_eq!(off, 0);
+        // first inode of group 1
+        let (blk, off) = l.inode_position(257);
+        assert_eq!(blk, l.inode_table_block(1));
+        assert_eq!(off, 0);
+    }
+
+    #[test]
+    fn block_group_mapping_round_trips() {
+        let l = layout_1k(8192 * 3);
+        for &b in &[1u64, 2, 8192, 8193, 16385, 24576] {
+            let g = l.block_group_of(b);
+            let idx = l.block_index_in_group(b);
+            assert_eq!(l.group_first_block(g) + u64::from(idx), b);
+        }
+    }
+
+    #[test]
+    fn backups_for_small_group_counts() {
+        assert_eq!(Layout::sparse_super2_backups(1), [0, 0]);
+        assert_eq!(Layout::sparse_super2_backups(2), [1, 0]);
+        assert_eq!(Layout::sparse_super2_backups(5), [1, 4]);
+    }
+
+    #[test]
+    fn needs_64bit_threshold() {
+        assert!(!Layout::needs_64bit(u64::from(u32::MAX)));
+        assert!(Layout::needs_64bit(u64::from(u32::MAX) + 1));
+    }
+
+    #[test]
+    fn bigalloc_cluster_math() {
+        let mut l = layout_1k(8192 * 16);
+        l.features.incompat.insert(IncompatFeatures::BIGALLOC);
+        l.cluster_ratio = 16;
+        l.blocks_per_group = 8192 * 16;
+        assert!(l.has_bigalloc());
+        assert_eq!(l.clusters_per_group(), 8192);
+    }
+}

@@ -1,0 +1,71 @@
+//! An ext4-like file system simulator.
+//!
+//! This crate is the substrate that stands in for the real Ext4 in the
+//! reproduction of *Understanding Configuration Dependencies of File
+//! Systems* (HotStorage '22). It implements the genuine on-image metadata
+//! organisation of ext4 — superblock at byte 1024, block groups with block
+//! and inode bitmaps, inode tables, extent-mapped files, linear directory
+//! blocks, backup superblocks placed per `sparse_super`/`sparse_super2` —
+//! so that the paper's configuration surface (feature flags set at `mke2fs`
+//! time, options validated at `mount` time, metadata rewritten by the
+//! offline utilities) behaves like the real thing.
+//!
+//! The crate deliberately exposes the accounting primitives with which the
+//! `resize2fs` utility (crate `e2fstools`) preserves the paper's Figure 1
+//! bug: when the `sparse_super2` feature is enabled and the file system is
+//! expanded, the free-block count of the last group is computed *before*
+//! the new blocks are added, corrupting the accounting. This crate also
+//! provides the consistency checker that detects the damage.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockdev::MemDevice;
+//! use ext4sim::{Ext4Fs, MkfsParams};
+//!
+//! # fn main() -> Result<(), ext4sim::FsError> {
+//! let dev = MemDevice::new(1024, 8192);
+//! let params = MkfsParams::default();
+//! let mut fs = Ext4Fs::format(dev, &params)?;
+//! let root = fs.root_inode();
+//! let file = fs.create_file(root, "hello.txt")?;
+//! fs.write_file(file, 0, b"hello world")?;
+//! assert_eq!(fs.read_file_to_vec(file)?, b"hello world");
+//! fs.unmount()?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod alloc;
+mod bitmap;
+mod check;
+pub mod dir;
+mod error;
+mod extent;
+mod features;
+mod fs;
+mod group;
+mod inode;
+pub mod journal;
+mod layout;
+mod mkfs_params;
+mod mount;
+mod superblock;
+pub mod util;
+
+pub use bitmap::Bitmap;
+pub use check::{check_image, CheckReport, Inconsistency, InconsistencyKind};
+pub use dir::{DirEntry, FileType, MAX_NAME_LEN};
+pub use error::FsError;
+pub use extent::{Extent, ExtentRoot, ExtentTree};
+pub use features::{CompatFeatures, FeatureSet, IncompatFeatures, RoCompatFeatures};
+pub use fs::{Ext4Fs, FsState, JOURNAL_INODE, RESERVED_INODES, ROOT_INODE};
+pub use group::{bg_flags, GroupDesc};
+pub use inode::{mode as inode_mode, Inode, InodeFlags, InodeNo};
+pub use journal::{Journal, JournalRecord, Transaction, JBD_MAGIC};
+pub use layout::Layout;
+pub use mkfs_params::MkfsParams;
+pub use mount::{DataMode, MountOptions};
+pub use superblock::{
+    errors_policy, state, Superblock, EXT4_MAGIC, SUPERBLOCK_OFFSET, SUPERBLOCK_SIZE,
+};

@@ -1,0 +1,339 @@
+//! Parameters accepted by `mke2fs` (the create-stage configuration
+//! surface of the paper's Figure 2).
+//!
+//! Parsing and user-level validation of the CLI spelling (`-b`, `-O`,
+//! `-m`, ...) lives in the `e2fstools` crate; this struct is the typed
+//! form plus the *kernel-level* invariants enforced again at
+//! [`crate::Ext4Fs::format`] — mirroring how `mke2fs` parameters such as
+//! `-O inline_data` are re-validated inside `ext4_fill_super` (§2 of the
+//! paper).
+
+use crate::features::{CompatFeatures, FeatureSet, IncompatFeatures};
+use crate::FsError;
+
+/// Typed `mke2fs` parameters.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MkfsParams {
+    /// `-b`: block size in bytes. `None` selects 1024 for images under
+    /// 512 MiB and 4096 otherwise (mke2fs heuristic).
+    pub block_size: Option<u32>,
+    /// Size parameter (blocks). `None` uses the whole device. This is the
+    /// `size` that participates in the Figure 1 cross-component dependency
+    /// with `resize2fs`'s size parameter.
+    pub blocks_count: Option<u64>,
+    /// `-N`: total inode count override.
+    pub inodes_count: Option<u32>,
+    /// `-i`: bytes of data per inode (used when `inodes_count` is unset).
+    pub inode_ratio: u32,
+    /// `-I`: bytes per on-disk inode record (128 or 256).
+    pub inode_size: u16,
+    /// `-m`: percentage of blocks reserved for the super-user (0–50).
+    pub reserved_percent: u8,
+    /// `-O`: feature set after applying all tokens.
+    pub features: FeatureSet,
+    /// `-C`: cluster size in bytes (requires `bigalloc`).
+    pub cluster_size: Option<u32>,
+    /// `-L`: volume label.
+    pub label: String,
+    /// `-U`: volume UUID.
+    pub uuid: [u8; 16],
+    /// `-J size=`: journal blocks (requires `has_journal`). `None` picks a
+    /// default scaled to the fs size.
+    pub journal_blocks: Option<u32>,
+    /// `-E resize=`: growth headroom in blocks used to dimension the
+    /// reserved GDT blocks (requires `resize_inode`).
+    pub resize_headroom: Option<u64>,
+    /// `-g`: blocks per group override.
+    pub blocks_per_group: Option<u32>,
+}
+
+impl Default for MkfsParams {
+    fn default() -> Self {
+        MkfsParams {
+            block_size: None,
+            blocks_count: None,
+            inodes_count: None,
+            inode_ratio: 16384,
+            inode_size: 128,
+            reserved_percent: 5,
+            features: FeatureSet::ext4_defaults(),
+            cluster_size: None,
+            label: String::new(),
+            uuid: [0x42; 16],
+            journal_blocks: None,
+            resize_headroom: None,
+            blocks_per_group: None,
+        }
+    }
+}
+
+impl MkfsParams {
+    /// Resolves the block size for a device of `device_bytes`.
+    pub fn effective_block_size(&self, device_bytes: u64) -> u32 {
+        self.block_size.unwrap_or(if device_bytes < 512 * 1024 * 1024 { 1024 } else { 4096 })
+    }
+
+    /// Validates the kernel-level invariants. The utility-level checks
+    /// (spelling, ranges as documented in the man page) happen in
+    /// `e2fstools::mke2fs`; these are the ones the "kernel" would refuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidParam`] or [`FsError::ConflictingParams`]
+    /// describing the first violated invariant.
+    pub fn validate(&self, device_blocks_at_bs: u64) -> Result<(), FsError> {
+        let bs = self.block_size.unwrap_or(4096);
+        if !(1024..=65536).contains(&bs) || !bs.is_power_of_two() {
+            return Err(FsError::InvalidParam {
+                param: "blocksize",
+                reason: format!("{bs} is not a power of 2 between 1024 and 65536"),
+            });
+        }
+        if self.inode_size != 128 && self.inode_size != 256 {
+            return Err(FsError::InvalidParam {
+                param: "inode_size",
+                reason: format!("{} is not 128 or 256", self.inode_size),
+            });
+        }
+        if self.reserved_percent > 50 {
+            return Err(FsError::InvalidParam {
+                param: "reserved_percent",
+                reason: format!("{}% exceeds the 50% maximum", self.reserved_percent),
+            });
+        }
+        if let Some(blocks) = self.blocks_count {
+            if blocks > device_blocks_at_bs {
+                return Err(FsError::InvalidParam {
+                    param: "size",
+                    reason: format!(
+                        "requested {blocks} blocks but the device has only {device_blocks_at_bs}"
+                    ),
+                });
+            }
+            if blocks < 64 {
+                return Err(FsError::InvalidParam {
+                    param: "size",
+                    reason: format!("{blocks} blocks is too small for a file system"),
+                });
+            }
+        }
+        // CPD: meta_bg and resize_inode cannot be used together (the
+        // paper's §4.3 example of a dependency missing from the manual).
+        if self.features.incompat.contains(IncompatFeatures::META_BG)
+            && self.features.compat.contains(CompatFeatures::RESIZE_INODE)
+        {
+            return Err(FsError::ConflictingParams {
+                a: "meta_bg",
+                b: "resize_inode",
+                reason: "these features cannot be enabled together".to_string(),
+            });
+        }
+        // CPD: bigalloc requires extents for block mapping.
+        if self.features.incompat.contains(IncompatFeatures::BIGALLOC)
+            && !self.features.incompat.contains(IncompatFeatures::EXTENTS)
+        {
+            return Err(FsError::ConflictingParams {
+                a: "bigalloc",
+                b: "extent",
+                reason: "bigalloc requires the extent feature".to_string(),
+            });
+        }
+        if let Some(cs) = self.cluster_size {
+            // CPD: -C is only meaningful with bigalloc.
+            if !self.features.incompat.contains(IncompatFeatures::BIGALLOC) {
+                return Err(FsError::ConflictingParams {
+                    a: "cluster_size",
+                    b: "bigalloc",
+                    reason: "cluster size can only be set with the bigalloc feature".to_string(),
+                });
+            }
+            if !cs.is_power_of_two() || cs < bs || cs > bs * 64 {
+                return Err(FsError::InvalidParam {
+                    param: "cluster_size",
+                    reason: format!(
+                        "{cs} must be a power-of-two multiple of the block size (max 64x)"
+                    ),
+                });
+            }
+        }
+        if self.journal_blocks.is_some()
+            && !self.features.compat.contains(CompatFeatures::HAS_JOURNAL)
+        {
+            return Err(FsError::ConflictingParams {
+                a: "journal_size",
+                b: "has_journal",
+                reason: "a journal size requires the has_journal feature".to_string(),
+            });
+        }
+        if let Some(jb) = self.journal_blocks {
+            if !(256..=409_600).contains(&jb) {
+                return Err(FsError::InvalidParam {
+                    param: "journal_size",
+                    reason: format!("{jb} blocks outside the supported 256..=409600 range"),
+                });
+            }
+        }
+        if self.resize_headroom.is_some()
+            && !self.features.compat.contains(CompatFeatures::RESIZE_INODE)
+        {
+            return Err(FsError::ConflictingParams {
+                a: "resize",
+                b: "resize_inode",
+                reason: "growth headroom requires the resize_inode feature".to_string(),
+            });
+        }
+        if let Some(bpg) = self.blocks_per_group {
+            if bpg % 8 != 0 || bpg == 0 || bpg > bs * 8 {
+                return Err(FsError::InvalidParam {
+                    param: "blocks_per_group",
+                    reason: format!("{bpg} must be a positive multiple of 8, at most 8*blocksize"),
+                });
+            }
+        }
+        if self.inode_ratio < bs {
+            return Err(FsError::InvalidParam {
+                param: "inode_ratio",
+                reason: format!("{} is smaller than the block size {bs}", self.inode_ratio),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MkfsParams {
+        MkfsParams { block_size: Some(1024), ..MkfsParams::default() }
+    }
+
+    #[test]
+    fn defaults_validate() {
+        base().validate(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn auto_block_size_heuristic() {
+        let p = MkfsParams::default();
+        assert_eq!(p.effective_block_size(100 * 1024 * 1024), 1024);
+        assert_eq!(p.effective_block_size(1024 * 1024 * 1024), 4096);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_block_size() {
+        let p = MkfsParams { block_size: Some(3000), ..base() };
+        assert!(matches!(p.validate(1 << 20), Err(FsError::InvalidParam { param: "blocksize", .. })));
+    }
+
+    #[test]
+    fn rejects_block_size_out_of_range() {
+        for bs in [512u32, 131072] {
+            let p = MkfsParams { block_size: Some(bs), ..base() };
+            assert!(p.validate(1 << 20).is_err(), "block size {bs} should be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inode_size() {
+        let p = MkfsParams { inode_size: 200, ..base() };
+        assert!(matches!(p.validate(1 << 20), Err(FsError::InvalidParam { param: "inode_size", .. })));
+    }
+
+    #[test]
+    fn rejects_reserved_over_50() {
+        let p = MkfsParams { reserved_percent: 51, ..base() };
+        assert!(p.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn rejects_size_beyond_device() {
+        let p = MkfsParams { blocks_count: Some(2000), ..base() };
+        assert!(matches!(p.validate(1000), Err(FsError::InvalidParam { param: "size", .. })));
+    }
+
+    #[test]
+    fn meta_bg_conflicts_with_resize_inode() {
+        let mut p = base();
+        p.features.incompat.insert(IncompatFeatures::META_BG);
+        // defaults include resize_inode
+        let err = p.validate(1 << 20).unwrap_err();
+        assert!(matches!(err, FsError::ConflictingParams { a: "meta_bg", b: "resize_inode", .. }));
+        // clearing resize_inode resolves it
+        p.features.compat.remove(CompatFeatures::RESIZE_INODE);
+        p.validate(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn bigalloc_requires_extents() {
+        let mut p = base();
+        p.features.incompat.insert(IncompatFeatures::BIGALLOC);
+        p.features.incompat.remove(IncompatFeatures::EXTENTS);
+        assert!(p.validate(1 << 20).is_err());
+        p.features.incompat.insert(IncompatFeatures::EXTENTS);
+        p.validate(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn cluster_size_requires_bigalloc() {
+        let mut p = MkfsParams { cluster_size: Some(16384), ..base() };
+        assert!(matches!(
+            p.validate(1 << 20),
+            Err(FsError::ConflictingParams { a: "cluster_size", b: "bigalloc", .. })
+        ));
+        p.features.incompat.insert(IncompatFeatures::BIGALLOC);
+        p.validate(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn cluster_size_range_checked() {
+        let mut p = base();
+        p.features.incompat.insert(IncompatFeatures::BIGALLOC);
+        p.cluster_size = Some(512); // below block size
+        assert!(p.validate(1 << 20).is_err());
+        p.cluster_size = Some(1024 * 128); // above 64x
+        assert!(p.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn journal_size_requires_journal_feature() {
+        let mut p = MkfsParams { journal_blocks: Some(1024), ..base() };
+        p.features.compat.remove(CompatFeatures::HAS_JOURNAL);
+        assert!(p.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn journal_size_range() {
+        let p = MkfsParams { journal_blocks: Some(100), ..base() };
+        assert!(p.validate(1 << 20).is_err());
+        let p = MkfsParams { journal_blocks: Some(500_000), ..base() };
+        assert!(p.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn resize_headroom_requires_resize_inode() {
+        let mut p = MkfsParams { resize_headroom: Some(1 << 20), ..base() };
+        p.features.compat.remove(CompatFeatures::RESIZE_INODE);
+        assert!(p.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn blocks_per_group_must_be_multiple_of_8() {
+        let p = MkfsParams { blocks_per_group: Some(1001), ..base() };
+        assert!(p.validate(1 << 20).is_err());
+        let p = MkfsParams { blocks_per_group: Some(4096), ..base() };
+        p.validate(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn inode_ratio_must_cover_block_size() {
+        let p = MkfsParams { inode_ratio: 512, ..base() };
+        assert!(p.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn too_small_fs_rejected() {
+        let p = MkfsParams { blocks_count: Some(32), ..base() };
+        assert!(p.validate(1 << 20).is_err());
+    }
+}

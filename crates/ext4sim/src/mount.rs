@@ -1,0 +1,278 @@
+//! Mount options and the kernel-side validation that real ext4 performs in
+//! `ext4_fill_super` (the paper's mount-stage configuration surface).
+
+use crate::features::{CompatFeatures, IncompatFeatures, RoCompatFeatures};
+use crate::{FsError, Superblock};
+
+/// Journalling mode selected with `data=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum DataMode {
+    /// Metadata-only journalling, data written before commit (default).
+    #[default]
+    Ordered,
+    /// All data goes through the journal.
+    Journal,
+    /// Metadata-only journalling, no data ordering.
+    Writeback,
+}
+
+impl DataMode {
+    /// The `mount -o data=` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DataMode::Ordered => "ordered",
+            DataMode::Journal => "journal",
+            DataMode::Writeback => "writeback",
+        }
+    }
+
+    /// Parses the `mount -o data=` spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ordered" => Some(DataMode::Ordered),
+            "journal" => Some(DataMode::Journal),
+            "writeback" => Some(DataMode::Writeback),
+            _ => None,
+        }
+    }
+}
+
+/// Typed mount options (the `-o` surface of `mount`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MountOptions {
+    /// Mount read-only.
+    pub read_only: bool,
+    /// Enable DAX (direct access to persistent memory, bypassing the page
+    /// cache).
+    pub dax: bool,
+    /// Journalling mode.
+    pub data: DataMode,
+    /// Check block allocations against metadata regions on every mapping.
+    pub block_validity: bool,
+    /// Skip journal replay (`noload`).
+    pub noload: bool,
+    /// Override the on-image error policy.
+    pub errors: Option<u16>,
+    /// Continue even if the image carries errors (`force`; not a real ext4
+    /// option, used by violation-injection experiments).
+    pub force: bool,
+    /// Simulated page size of the host (DAX requires block size == page
+    /// size); 4096 matches x86-64.
+    pub page_size: u32,
+}
+
+impl Default for MountOptions {
+    fn default() -> Self {
+        MountOptions {
+            read_only: false,
+            dax: false,
+            data: DataMode::Ordered,
+            block_validity: false,
+            noload: false,
+            errors: None,
+            force: false,
+            page_size: 4096,
+        }
+    }
+}
+
+impl MountOptions {
+    /// Read-only options.
+    pub fn read_only() -> Self {
+        MountOptions { read_only: true, ..MountOptions::default() }
+    }
+
+    /// The `ext4_fill_super`-equivalent validation: every check here is a
+    /// real ext4 mount-time constraint and most are cross-component
+    /// dependencies in the paper's taxonomy (a `mount` parameter depending
+    /// on an `mke2fs` feature recorded in the superblock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::MountRejected`] naming the offending option.
+    pub fn validate_against(&self, sb: &Superblock) -> Result<(), FsError> {
+        // CCD: dax requires the block size to equal the page size.
+        if self.dax && sb.block_size() != self.page_size {
+            return Err(FsError::MountRejected {
+                option: "dax".to_string(),
+                reason: format!(
+                    "DAX requires block size {} to equal the page size {}",
+                    sb.block_size(),
+                    self.page_size
+                ),
+            });
+        }
+        // CCD: dax is incompatible with the inline_data mkfs feature.
+        if self.dax && sb.features.incompat.contains(IncompatFeatures::INLINE_DATA) {
+            return Err(FsError::MountRejected {
+                option: "dax".to_string(),
+                reason: "DAX is not supported on a file system with inline_data".to_string(),
+            });
+        }
+        // CCD: data=journal conflicts with dax.
+        if self.dax && self.data == DataMode::Journal {
+            return Err(FsError::MountRejected {
+                option: "data=journal".to_string(),
+                reason: "DAX cannot be used with data journalling".to_string(),
+            });
+        }
+        // CCD: data=journal requires a journal on the image.
+        if self.data == DataMode::Journal
+            && !sb.features.compat.contains(CompatFeatures::HAS_JOURNAL)
+        {
+            return Err(FsError::MountRejected {
+                option: "data=journal".to_string(),
+                reason: "the file system has no journal (mke2fs -O ^has_journal)".to_string(),
+            });
+        }
+        // CCD: noload without a journal is meaningless but allowed by the
+        // kernel only read-only when the fs is dirty.
+        if self.noload && !self.read_only && !sb.is_clean() {
+            return Err(FsError::MountRejected {
+                option: "noload".to_string(),
+                reason: "refusing read-write mount with unreplayed journal on a dirty fs"
+                    .to_string(),
+            });
+        }
+        // Unknown/unsupported incompat features must refuse any mount.
+        if sb.features.incompat.contains(IncompatFeatures::COMPRESSION) {
+            return Err(FsError::MountRejected {
+                option: "(superblock)".to_string(),
+                reason: "unsupported incompat feature: compression".to_string(),
+            });
+        }
+        // A read-write mount of an image with the metadata_csum+uninit_bg
+        // combination is refused by real ext4.
+        if sb.features.ro_compat.contains(RoCompatFeatures::METADATA_CSUM)
+            && sb.features.ro_compat.contains(RoCompatFeatures::GDT_CSUM)
+        {
+            return Err(FsError::MountRejected {
+                option: "(superblock)".to_string(),
+                reason: "metadata_csum and uninit_bg cannot both be set".to_string(),
+            });
+        }
+        // Dirty/errored images: rw mount refused unless forced.
+        if !sb.is_clean() && !self.read_only && !self.force {
+            return Err(FsError::MountRejected {
+                option: "rw".to_string(),
+                reason: "file system has errors or was not cleanly unmounted; run e2fsck"
+                    .to_string(),
+            });
+        }
+        if let Some(e) = self.errors {
+            if !(1..=3).contains(&e) {
+                return Err(FsError::MountRejected {
+                    option: "errors".to_string(),
+                    reason: format!("unknown errors policy {e}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+
+    fn sb_with(bs_log: u32, features: FeatureSet) -> Superblock {
+        Superblock { log_block_size: bs_log, features, ..Superblock::default() }
+    }
+
+    #[test]
+    fn defaults_mount_clean_fs() {
+        let sb = sb_with(0, FeatureSet::ext4_defaults());
+        MountOptions::default().validate_against(&sb).unwrap();
+    }
+
+    #[test]
+    fn dax_requires_page_sized_blocks() {
+        let sb = sb_with(0, FeatureSet::ext4_defaults()); // 1 KiB blocks
+        let opts = MountOptions { dax: true, ..MountOptions::default() };
+        let err = opts.validate_against(&sb).unwrap_err();
+        assert!(err.to_string().contains("dax"));
+        // 4 KiB blocks are fine
+        let sb4k = sb_with(2, FeatureSet::ext4_defaults());
+        opts.validate_against(&sb4k).unwrap();
+    }
+
+    #[test]
+    fn dax_conflicts_with_inline_data() {
+        let mut features = FeatureSet::ext4_defaults();
+        features.incompat.insert(IncompatFeatures::INLINE_DATA);
+        let sb = sb_with(2, features);
+        let opts = MountOptions { dax: true, ..MountOptions::default() };
+        assert!(opts.validate_against(&sb).is_err());
+    }
+
+    #[test]
+    fn dax_conflicts_with_data_journal() {
+        let sb = sb_with(2, FeatureSet::ext4_defaults());
+        let opts = MountOptions { dax: true, data: DataMode::Journal, ..MountOptions::default() };
+        assert!(opts.validate_against(&sb).is_err());
+    }
+
+    #[test]
+    fn data_journal_needs_journal_feature() {
+        let mut features = FeatureSet::ext4_defaults();
+        features.compat.remove(CompatFeatures::HAS_JOURNAL);
+        let sb = sb_with(0, features);
+        let opts = MountOptions { data: DataMode::Journal, ..MountOptions::default() };
+        assert!(opts.validate_against(&sb).is_err());
+    }
+
+    #[test]
+    fn dirty_fs_requires_ro_or_force() {
+        let mut sb = sb_with(0, FeatureSet::ext4_defaults());
+        sb.set_error_state();
+        assert!(MountOptions::default().validate_against(&sb).is_err());
+        MountOptions::read_only().validate_against(&sb).unwrap();
+        let forced = MountOptions { force: true, ..MountOptions::default() };
+        forced.validate_against(&sb).unwrap();
+    }
+
+    #[test]
+    fn noload_rw_dirty_rejected() {
+        let mut sb = sb_with(0, FeatureSet::ext4_defaults());
+        sb.state = 0; // not cleanly unmounted
+        let opts = MountOptions { noload: true, ..MountOptions::default() };
+        assert!(opts.validate_against(&sb).is_err());
+        let opts_ro = MountOptions { noload: true, read_only: true, ..MountOptions::default() };
+        opts_ro.validate_against(&sb).unwrap();
+    }
+
+    #[test]
+    fn compression_feature_blocks_mount() {
+        let mut features = FeatureSet::ext4_defaults();
+        features.incompat.insert(IncompatFeatures::COMPRESSION);
+        let sb = sb_with(0, features);
+        assert!(MountOptions::read_only().validate_against(&sb).is_err());
+    }
+
+    #[test]
+    fn csum_conflict_rejected() {
+        let mut features = FeatureSet::ext4_defaults();
+        features.ro_compat.insert(RoCompatFeatures::METADATA_CSUM);
+        features.ro_compat.insert(RoCompatFeatures::GDT_CSUM);
+        let sb = sb_with(0, features);
+        assert!(MountOptions::default().validate_against(&sb).is_err());
+    }
+
+    #[test]
+    fn bad_errors_policy_rejected() {
+        let sb = sb_with(0, FeatureSet::ext4_defaults());
+        let opts = MountOptions { errors: Some(9), ..MountOptions::default() };
+        assert!(opts.validate_against(&sb).is_err());
+        let opts = MountOptions { errors: Some(2), ..MountOptions::default() };
+        opts.validate_against(&sb).unwrap();
+    }
+
+    #[test]
+    fn data_mode_parse_round_trip() {
+        for m in [DataMode::Ordered, DataMode::Journal, DataMode::Writeback] {
+            assert_eq!(DataMode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(DataMode::parse("bogus"), None);
+    }
+}

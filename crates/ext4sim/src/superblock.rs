@@ -1,0 +1,442 @@
+//! The on-image superblock.
+//!
+//! Field offsets follow the real `struct ext4_super_block` so that the
+//! encoded image is byte-level recognisable: magic 0xEF53 at offset 0x38
+//! within the superblock, which itself sits at byte 1024 of the device.
+
+use crate::features::{CompatFeatures, FeatureSet, IncompatFeatures, RoCompatFeatures};
+use crate::util::{checksum, get_u16, get_u32, put_u16, put_u32};
+use crate::FsError;
+
+/// Byte offset of the primary superblock on the device.
+pub const SUPERBLOCK_OFFSET: u64 = 1024;
+
+/// The ext4 magic number.
+pub const EXT4_MAGIC: u16 = 0xEF53;
+
+/// Encoded size of the superblock structure.
+pub const SUPERBLOCK_SIZE: usize = 1024;
+
+/// File-system states (`s_state`).
+pub mod state {
+    /// Cleanly unmounted.
+    pub const VALID_FS: u16 = 0x0001;
+    /// Errors detected.
+    pub const ERROR_FS: u16 = 0x0002;
+    /// Orphans being recovered.
+    pub const ORPHAN_FS: u16 = 0x0004;
+}
+
+/// Behavior on error detection (`s_errors`).
+pub mod errors_policy {
+    /// Continue as if nothing happened.
+    pub const CONTINUE: u16 = 1;
+    /// Remount read-only.
+    pub const REMOUNT_RO: u16 = 2;
+    /// Panic.
+    pub const PANIC: u16 = 3;
+}
+
+/// In-memory representation of the superblock.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Superblock {
+    /// Total inode count.
+    pub inodes_count: u32,
+    /// Total block count (64-bit; high half only used with `64bit`).
+    pub blocks_count: u64,
+    /// Reserved blocks for the super-user.
+    pub reserved_blocks_count: u64,
+    /// Free block count as recorded (the value the Figure 1 bug corrupts).
+    pub free_blocks_count: u64,
+    /// Free inode count as recorded.
+    pub free_inodes_count: u32,
+    /// First data block (1 for 1 KiB block size).
+    pub first_data_block: u32,
+    /// `log2(block_size) - 10`.
+    pub log_block_size: u32,
+    /// `log2(cluster_size) - 10` (== `log_block_size` without bigalloc).
+    pub log_cluster_size: u32,
+    /// Blocks per group.
+    pub blocks_per_group: u32,
+    /// Clusters per group (bigalloc).
+    pub clusters_per_group: u32,
+    /// Inodes per group.
+    pub inodes_per_group: u32,
+    /// Last mount time (seconds; simulated clock).
+    pub mtime: u32,
+    /// Last write time.
+    pub wtime: u32,
+    /// Mounts since last fsck.
+    pub mnt_count: u16,
+    /// Mounts allowed before fsck is forced (-1 = never).
+    pub max_mnt_count: u16,
+    /// Magic (must be [`EXT4_MAGIC`]).
+    pub magic: u16,
+    /// State flags (see [`state`]).
+    pub state: u16,
+    /// Error policy (see [`errors_policy`]).
+    pub errors: u16,
+    /// Time of last check.
+    pub lastcheck: u32,
+    /// Maximum interval between checks.
+    pub checkinterval: u32,
+    /// Revision level.
+    pub rev_level: u32,
+    /// First non-reserved inode.
+    pub first_ino: u32,
+    /// Bytes per on-disk inode record.
+    pub inode_size: u16,
+    /// Block group number of this superblock copy (0 = primary).
+    pub block_group_nr: u16,
+    /// Feature words.
+    pub features: FeatureSet,
+    /// Volume UUID.
+    pub uuid: [u8; 16],
+    /// Volume label.
+    pub volume_name: [u8; 16],
+    /// Reserved GDT blocks for online resize.
+    pub reserved_gdt_blocks: u16,
+    /// Group descriptor size (0/32 or 64).
+    pub desc_size: u16,
+    /// Default mount options bitmap.
+    pub default_mount_opts: u32,
+    /// The two sparse_super2 backup group numbers.
+    pub backup_bgs: [u32; 2],
+    /// Head of the orphan inode list (0 = empty).
+    pub last_orphan: u32,
+}
+
+impl Default for Superblock {
+    fn default() -> Self {
+        Superblock {
+            inodes_count: 0,
+            blocks_count: 0,
+            reserved_blocks_count: 0,
+            free_blocks_count: 0,
+            free_inodes_count: 0,
+            first_data_block: 0,
+            log_block_size: 0,
+            log_cluster_size: 0,
+            blocks_per_group: 0,
+            clusters_per_group: 0,
+            inodes_per_group: 0,
+            mtime: 0,
+            wtime: 0,
+            mnt_count: 0,
+            max_mnt_count: 0xFFFF,
+            magic: EXT4_MAGIC,
+            state: state::VALID_FS,
+            errors: errors_policy::CONTINUE,
+            lastcheck: 0,
+            checkinterval: 0,
+            rev_level: 1,
+            first_ino: 11,
+            inode_size: 128,
+            block_group_nr: 0,
+            features: FeatureSet::default(),
+            uuid: [0; 16],
+            volume_name: [0; 16],
+            reserved_gdt_blocks: 0,
+            desc_size: 32,
+            default_mount_opts: 0,
+            backup_bgs: [0, 0],
+            last_orphan: 0,
+        }
+    }
+}
+
+impl Superblock {
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        1024u32 << self.log_block_size
+    }
+
+    /// Cluster size in bytes.
+    pub fn cluster_size(&self) -> u32 {
+        1024u32 << self.log_cluster_size
+    }
+
+    /// Blocks per cluster.
+    pub fn cluster_ratio(&self) -> u32 {
+        self.cluster_size() / self.block_size()
+    }
+
+    /// True if the image was cleanly unmounted.
+    pub fn is_clean(&self) -> bool {
+        self.state & state::VALID_FS != 0 && self.state & state::ERROR_FS == 0
+    }
+
+    /// Marks the file system as containing errors.
+    pub fn set_error_state(&mut self) {
+        self.state |= state::ERROR_FS;
+    }
+
+    /// Volume label as a string (up to the first NUL).
+    pub fn label(&self) -> String {
+        let end = self.volume_name.iter().position(|&b| b == 0).unwrap_or(16);
+        String::from_utf8_lossy(&self.volume_name[..end]).into_owned()
+    }
+
+    /// Sets the volume label (truncated to 16 bytes).
+    pub fn set_label(&mut self, label: &str) {
+        self.volume_name = [0; 16];
+        let bytes = label.as_bytes();
+        let n = bytes.len().min(16);
+        self.volume_name[..n].copy_from_slice(&bytes[..n]);
+    }
+
+    /// Encodes the superblock into its 1024-byte on-image form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = vec![0u8; SUPERBLOCK_SIZE];
+        put_u32(&mut b, 0x00, self.inodes_count);
+        put_u32(&mut b, 0x04, self.blocks_count as u32);
+        put_u32(&mut b, 0x08, self.reserved_blocks_count as u32);
+        put_u32(&mut b, 0x0C, self.free_blocks_count as u32);
+        put_u32(&mut b, 0x10, self.free_inodes_count);
+        put_u32(&mut b, 0x14, self.first_data_block);
+        put_u32(&mut b, 0x18, self.log_block_size);
+        put_u32(&mut b, 0x1C, self.log_cluster_size);
+        put_u32(&mut b, 0x20, self.blocks_per_group);
+        put_u32(&mut b, 0x24, self.clusters_per_group);
+        put_u32(&mut b, 0x28, self.inodes_per_group);
+        put_u32(&mut b, 0x2C, self.mtime);
+        put_u32(&mut b, 0x30, self.wtime);
+        put_u16(&mut b, 0x34, self.mnt_count);
+        put_u16(&mut b, 0x36, self.max_mnt_count);
+        put_u16(&mut b, 0x38, self.magic);
+        put_u16(&mut b, 0x3A, self.state);
+        put_u16(&mut b, 0x3C, self.errors);
+        put_u32(&mut b, 0x40, self.lastcheck);
+        put_u32(&mut b, 0x44, self.checkinterval);
+        put_u32(&mut b, 0x4C, self.rev_level);
+        put_u32(&mut b, 0x54, self.first_ino);
+        put_u16(&mut b, 0x58, self.inode_size);
+        put_u16(&mut b, 0x5A, self.block_group_nr);
+        put_u32(&mut b, 0x5C, self.features.compat.0);
+        put_u32(&mut b, 0x60, self.features.incompat.0);
+        put_u32(&mut b, 0x64, self.features.ro_compat.0);
+        b[0x68..0x78].copy_from_slice(&self.uuid);
+        b[0x78..0x88].copy_from_slice(&self.volume_name);
+        put_u32(&mut b, 0xB8, self.last_orphan);
+        put_u16(&mut b, 0xCE, self.reserved_gdt_blocks);
+        put_u16(&mut b, 0xFE, self.desc_size);
+        put_u32(&mut b, 0x100, self.default_mount_opts);
+        // 64-bit high halves
+        put_u32(&mut b, 0x150, (self.blocks_count >> 32) as u32);
+        put_u32(&mut b, 0x154, (self.reserved_blocks_count >> 32) as u32);
+        put_u32(&mut b, 0x158, (self.free_blocks_count >> 32) as u32);
+        put_u32(&mut b, 0x254, self.backup_bgs[0]);
+        put_u32(&mut b, 0x258, self.backup_bgs[1]);
+        let csum = checksum(&b[..0x3FC]);
+        put_u32(&mut b, 0x3FC, csum);
+        b
+    }
+
+    /// Decodes a superblock from its on-image form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::BadMagic`] if the magic is wrong and
+    /// [`FsError::Corrupt`] if the buffer is too short.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, FsError> {
+        if b.len() < SUPERBLOCK_SIZE {
+            return Err(FsError::Corrupt(format!(
+                "superblock buffer too short: {} bytes",
+                b.len()
+            )));
+        }
+        let magic = get_u16(b, 0x38);
+        if magic != EXT4_MAGIC {
+            return Err(FsError::BadMagic { found: magic });
+        }
+        // geometry sanity: a valid magic with nonsense geometry means a
+        // damaged superblock, not a usable one
+        let log_block_size = get_u32(b, 0x18);
+        let log_cluster_size = get_u32(b, 0x1C);
+        if log_block_size > 6 || log_cluster_size > 16 {
+            return Err(FsError::Corrupt(format!(
+                "implausible log block/cluster size {log_block_size}/{log_cluster_size}"
+            )));
+        }
+        if get_u32(b, 0x20) == 0 || get_u32(b, 0x28) == 0 {
+            return Err(FsError::Corrupt("zero blocks/inodes per group".to_string()));
+        }
+        let blocks_lo = u64::from(get_u32(b, 0x04));
+        let blocks_hi = u64::from(get_u32(b, 0x150));
+        let rsv_lo = u64::from(get_u32(b, 0x08));
+        let rsv_hi = u64::from(get_u32(b, 0x154));
+        let free_lo = u64::from(get_u32(b, 0x0C));
+        let free_hi = u64::from(get_u32(b, 0x158));
+        let features = FeatureSet {
+            compat: CompatFeatures(get_u32(b, 0x5C)),
+            incompat: IncompatFeatures(get_u32(b, 0x60)),
+            ro_compat: RoCompatFeatures(get_u32(b, 0x64)),
+        };
+        let use_hi = features.incompat.contains(IncompatFeatures::BIT64);
+        let mut uuid = [0u8; 16];
+        uuid.copy_from_slice(&b[0x68..0x78]);
+        let mut volume_name = [0u8; 16];
+        volume_name.copy_from_slice(&b[0x78..0x88]);
+        Ok(Superblock {
+            inodes_count: get_u32(b, 0x00),
+            blocks_count: if use_hi { (blocks_hi << 32) | blocks_lo } else { blocks_lo },
+            reserved_blocks_count: if use_hi { (rsv_hi << 32) | rsv_lo } else { rsv_lo },
+            free_blocks_count: if use_hi { (free_hi << 32) | free_lo } else { free_lo },
+            free_inodes_count: get_u32(b, 0x10),
+            first_data_block: get_u32(b, 0x14),
+            log_block_size: get_u32(b, 0x18),
+            log_cluster_size: get_u32(b, 0x1C),
+            blocks_per_group: get_u32(b, 0x20),
+            clusters_per_group: get_u32(b, 0x24),
+            inodes_per_group: get_u32(b, 0x28),
+            mtime: get_u32(b, 0x2C),
+            wtime: get_u32(b, 0x30),
+            mnt_count: get_u16(b, 0x34),
+            max_mnt_count: get_u16(b, 0x36),
+            magic,
+            state: get_u16(b, 0x3A),
+            errors: get_u16(b, 0x3C),
+            lastcheck: get_u32(b, 0x40),
+            checkinterval: get_u32(b, 0x44),
+            rev_level: get_u32(b, 0x4C),
+            first_ino: get_u32(b, 0x54),
+            inode_size: get_u16(b, 0x58),
+            block_group_nr: get_u16(b, 0x5A),
+            features,
+            uuid,
+            volume_name,
+            reserved_gdt_blocks: get_u16(b, 0xCE),
+            desc_size: get_u16(b, 0xFE),
+            default_mount_opts: get_u32(b, 0x100),
+            backup_bgs: [get_u32(b, 0x254), get_u32(b, 0x258)],
+            last_orphan: get_u32(b, 0xB8),
+        })
+    }
+
+    /// Verifies the embedded checksum (only meaningful when the
+    /// `metadata_csum` feature is enabled; always checked by `e2fsck`).
+    pub fn verify_checksum(b: &[u8]) -> bool {
+        if b.len() < SUPERBLOCK_SIZE {
+            return false;
+        }
+        get_u32(b, 0x3FC) == checksum(&b[..0x3FC])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Superblock {
+        let mut sb = Superblock {
+            inodes_count: 512,
+            blocks_count: 16384,
+            reserved_blocks_count: 819,
+            free_blocks_count: 16000,
+            free_inodes_count: 501,
+            first_data_block: 1,
+            log_block_size: 0,
+            log_cluster_size: 0,
+            blocks_per_group: 8192,
+            clusters_per_group: 8192,
+            inodes_per_group: 256,
+            features: FeatureSet::ext4_defaults(),
+            reserved_gdt_blocks: 16,
+            ..Superblock::default()
+        };
+        sb.set_label("testvol");
+        sb.uuid = [7; 16];
+        sb
+    }
+
+    #[test]
+    fn round_trip() {
+        let sb = sample();
+        let bytes = sb.to_bytes();
+        assert_eq!(bytes.len(), SUPERBLOCK_SIZE);
+        let back = Superblock::from_bytes(&bytes).unwrap();
+        assert_eq!(sb, back);
+    }
+
+    #[test]
+    fn magic_at_0x38() {
+        let bytes = sample().to_bytes();
+        assert_eq!(bytes[0x38], 0x53);
+        assert_eq!(bytes[0x39], 0xEF);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0x38] = 0;
+        assert!(matches!(Superblock::from_bytes(&bytes), Err(FsError::BadMagic { found: _ })));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(Superblock::from_bytes(&[0u8; 100]), Err(FsError::Corrupt(_))));
+    }
+
+    #[test]
+    fn sixty_four_bit_counts() {
+        let mut sb = sample();
+        sb.features.incompat.insert(IncompatFeatures::BIT64);
+        sb.blocks_count = 0x1_2345_6789;
+        sb.free_blocks_count = 0x1_0000_0001;
+        let back = Superblock::from_bytes(&sb.to_bytes()).unwrap();
+        assert_eq!(back.blocks_count, 0x1_2345_6789);
+        assert_eq!(back.free_blocks_count, 0x1_0000_0001);
+    }
+
+    #[test]
+    fn without_64bit_high_half_ignored() {
+        let mut sb = sample();
+        sb.blocks_count = 16384;
+        let back = Superblock::from_bytes(&sb.to_bytes()).unwrap();
+        assert_eq!(back.blocks_count, 16384);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let bytes = sample().to_bytes();
+        assert!(Superblock::verify_checksum(&bytes));
+        let mut bad = bytes.clone();
+        bad[0x0C] ^= 0xFF; // flip free_blocks_count byte
+        assert!(!Superblock::verify_checksum(&bad));
+    }
+
+    #[test]
+    fn label_round_trip() {
+        let mut sb = sample();
+        assert_eq!(sb.label(), "testvol");
+        sb.set_label("a-very-long-label-that-exceeds");
+        assert_eq!(sb.label().len(), 16);
+    }
+
+    #[test]
+    fn state_helpers() {
+        let mut sb = sample();
+        assert!(sb.is_clean());
+        sb.set_error_state();
+        assert!(!sb.is_clean());
+    }
+
+    #[test]
+    fn block_size_math() {
+        let mut sb = sample();
+        assert_eq!(sb.block_size(), 1024);
+        sb.log_block_size = 2;
+        assert_eq!(sb.block_size(), 4096);
+        sb.log_cluster_size = 6;
+        assert_eq!(sb.cluster_size(), 65536);
+        assert_eq!(sb.cluster_ratio(), 16);
+    }
+
+    #[test]
+    fn backup_bgs_round_trip() {
+        let mut sb = sample();
+        sb.backup_bgs = [1, 41];
+        let back = Superblock::from_bytes(&sb.to_bytes()).unwrap();
+        assert_eq!(back.backup_bgs, [1, 41]);
+    }
+}

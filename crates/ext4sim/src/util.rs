@@ -1,0 +1,144 @@
+//! Little-endian field codecs used by the on-image metadata structures.
+//!
+//! Real ext4 lays its metadata out as packed little-endian C structs; these
+//! helpers give the same explicit-offset style without `unsafe`.
+
+/// Reads a `u16` at `off` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `off + 2 > buf.len()`.
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Reads a `u32` at `off` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `off + 4 > buf.len()`.
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Reads a `u64` at `off` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `off + 8 > buf.len()`.
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Writes a `u16` at `off` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `off + 2 > buf.len()`.
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Writes a `u32` at `off` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `off + 4 > buf.len()`.
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Writes a `u64` at `off` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `off + 8 > buf.len()`.
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Ceiling division for `u64`.
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// A tiny non-cryptographic checksum (FNV-1a) standing in for ext4's
+/// crc32c metadata checksums.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Returns true if `n` is a power of `base` (used for sparse_super backup
+/// group placement: powers of 3, 5, 7).
+pub fn is_power_of(mut n: u64, base: u64) -> bool {
+    debug_assert!(base >= 2);
+    if n == 0 {
+        return false;
+    }
+    while n.is_multiple_of(base) {
+        n /= base;
+    }
+    n == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u16_round_trip() {
+        let mut buf = [0u8; 8];
+        put_u16(&mut buf, 2, 0xBEEF);
+        assert_eq!(get_u16(&buf, 2), 0xBEEF);
+        assert_eq!(buf[2], 0xEF);
+        assert_eq!(buf[3], 0xBE);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = [0u8; 8];
+        put_u32(&mut buf, 0, 0xDEAD_BEEF);
+        assert_eq!(get_u32(&buf, 0), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut buf = [0u8; 16];
+        put_u64(&mut buf, 4, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u64(&buf, 4), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn div_ceil_cases() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+    }
+
+    #[test]
+    fn checksum_is_stable_and_distinguishes() {
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    #[test]
+    fn power_detection() {
+        assert!(is_power_of(1, 3)); // 3^0
+        assert!(is_power_of(3, 3));
+        assert!(is_power_of(27, 3));
+        assert!(is_power_of(25, 5));
+        assert!(is_power_of(49, 7));
+        assert!(!is_power_of(6, 3));
+        assert!(!is_power_of(0, 3));
+    }
+}

@@ -1,0 +1,158 @@
+//! Table 1: configuration methods of popular file systems.
+//!
+//! The catalog lists, for each file system, the example utilities that
+//! can affect its configuration state at each of the four stages of
+//! Figure 2 (create / mount / online / offline).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsEntry {
+    /// File system name.
+    pub fs: &'static str,
+    /// Host operating system.
+    pub os: &'static str,
+    /// Create-stage utilities.
+    pub create: Vec<&'static str>,
+    /// Mount-stage utilities.
+    pub mount: Vec<&'static str>,
+    /// Online utilities (empty = none documented).
+    pub online: Vec<&'static str>,
+    /// Offline utilities.
+    pub offline: Vec<&'static str>,
+}
+
+impl FsEntry {
+    /// True if the file system can be configured at every stage.
+    pub fn covers_all_stages(&self) -> bool {
+        !self.create.is_empty()
+            && !self.mount.is_empty()
+            && !self.online.is_empty()
+            && !self.offline.is_empty()
+    }
+
+    /// All utilities across stages.
+    pub fn utilities(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        v.extend(&self.create);
+        v.extend(&self.mount);
+        v.extend(&self.online);
+        v.extend(&self.offline);
+        v
+    }
+}
+
+/// The Table 1 catalog (same rows as the paper).
+pub fn fs_catalog() -> Vec<FsEntry> {
+    vec![
+        FsEntry {
+            fs: "Ext4",
+            os: "Linux",
+            create: vec!["mke2fs"],
+            mount: vec!["mount"],
+            online: vec!["e4defrag", "resize2fs"],
+            offline: vec!["e2fsck", "resize2fs"],
+        },
+        FsEntry {
+            fs: "XFS",
+            os: "Linux",
+            create: vec!["mkfs.xfs"],
+            mount: vec!["mount"],
+            online: vec!["xfs_fsr", "xfs_growfs"],
+            offline: vec!["xfs_admin", "xfs_repair"],
+        },
+        FsEntry {
+            fs: "BtrFS",
+            os: "Linux",
+            create: vec!["mkfs.btrfs"],
+            mount: vec!["mount"],
+            online: vec!["btrfs-balance", "btrfs-scrub"],
+            offline: vec!["btrfs-check"],
+        },
+        FsEntry {
+            fs: "UFS",
+            os: "FreeBSD",
+            create: vec!["newfs"],
+            mount: vec!["mount"],
+            online: vec!["growfs", "restore"],
+            offline: vec!["dump", "fsck_ufs"],
+        },
+        FsEntry {
+            fs: "ZFS",
+            os: "FreeBSD",
+            create: vec!["zfs-create"],
+            mount: vec!["zfs-mount"],
+            online: vec!["zfs-rollback", "zfs-set"],
+            offline: vec!["zfs-destroy"],
+        },
+        FsEntry {
+            fs: "MINIX",
+            os: "Minix",
+            create: vec!["mkfs"],
+            mount: vec!["mount"],
+            online: vec![],
+            offline: vec!["fsck"],
+        },
+        FsEntry {
+            fs: "NTFS",
+            os: "Windows",
+            create: vec!["format"],
+            mount: vec!["mountvol"],
+            online: vec!["chkdsk", "defrag"],
+            offline: vec!["chkdsk", "shrink"],
+        },
+        FsEntry {
+            fs: "APFS",
+            os: "MacOS",
+            create: vec!["diskutil"],
+            mount: vec!["diskutil", "mount_apfs"],
+            online: vec!["diskutil"],
+            offline: vec!["diskutil", "fsck_apfs"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_file_systems() {
+        assert_eq!(fs_catalog().len(), 8);
+    }
+
+    #[test]
+    fn every_fs_has_create_mount_offline() {
+        for e in fs_catalog() {
+            assert!(!e.create.is_empty(), "{} lacks create", e.fs);
+            assert!(!e.mount.is_empty(), "{} lacks mount", e.fs);
+            assert!(!e.offline.is_empty(), "{} lacks offline", e.fs);
+        }
+    }
+
+    #[test]
+    fn minix_is_the_only_gap() {
+        // the paper marks MINIX's online column with '-'
+        let gaps: Vec<&str> =
+            fs_catalog().iter().filter(|e| !e.covers_all_stages()).map(|e| e.fs).collect();
+        assert_eq!(gaps, vec!["MINIX"]);
+    }
+
+    #[test]
+    fn modular_design_is_common() {
+        // the paper's point: many utilities per FS, not one
+        for e in fs_catalog() {
+            assert!(e.utilities().len() >= 3, "{} has too few utilities", e.fs);
+        }
+    }
+
+    #[test]
+    fn ext4_row_matches_the_studied_ecosystem() {
+        let ext4 = &fs_catalog()[0];
+        assert_eq!(ext4.fs, "Ext4");
+        assert!(ext4.online.contains(&"e4defrag"));
+        assert!(ext4.offline.contains(&"resize2fs"));
+        assert!(ext4.offline.contains(&"e2fsck"));
+    }
+}

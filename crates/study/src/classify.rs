@@ -1,0 +1,152 @@
+//! Table 3: distribution of the configuration bugs over the four usage
+//! scenarios, with the share of cases involving SD / CPD / CCD.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::{bug_corpus, BugCase};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Scenario number (1–4).
+    pub scenario: u8,
+    /// Row label (the component pipeline).
+    pub label: String,
+    /// Bugs in the scenario.
+    pub bugs: usize,
+    /// Bugs involving a self-dependency.
+    pub sd: usize,
+    /// Bugs involving a cross-parameter dependency.
+    pub cpd: usize,
+    /// Bugs involving a cross-component dependency.
+    pub ccd: usize,
+}
+
+impl ScenarioRow {
+    /// SD percentage of the row.
+    pub fn sd_pct(&self) -> f64 {
+        pct(self.sd, self.bugs)
+    }
+
+    /// CPD percentage of the row.
+    pub fn cpd_pct(&self) -> f64 {
+        pct(self.cpd, self.bugs)
+    }
+
+    /// CCD percentage of the row.
+    pub fn ccd_pct(&self) -> f64 {
+        pct(self.ccd, self.bugs)
+    }
+}
+
+fn pct(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// The whole of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Scenario rows in paper order.
+    pub rows: Vec<ScenarioRow>,
+    /// Totals row.
+    pub total: ScenarioRow,
+}
+
+/// Labels of the four scenarios as printed in Table 3.
+pub const SCENARIO_LABELS: [&str; 4] = [
+    "mke2fs - mount - Ext4",
+    "mke2fs - mount - Ext4 - e4defrag",
+    "mke2fs - mount - Ext4 - umount - resize2fs",
+    "mke2fs - mount - Ext4 - umount - e2fsck",
+];
+
+/// Classifies a set of bug cases into Table 3.
+pub fn classify(bugs: &[BugCase]) -> Table3 {
+    let mut rows = Vec::new();
+    for s in 1..=4u8 {
+        let in_scenario: Vec<&BugCase> = bugs.iter().filter(|b| b.scenario == s).collect();
+        rows.push(ScenarioRow {
+            scenario: s,
+            label: SCENARIO_LABELS[s as usize - 1].to_string(),
+            bugs: in_scenario.len(),
+            sd: in_scenario.iter().filter(|b| b.involves("SD")).count(),
+            cpd: in_scenario.iter().filter(|b| b.involves("CPD")).count(),
+            ccd: in_scenario.iter().filter(|b| b.involves("CCD")).count(),
+        });
+    }
+    let total = ScenarioRow {
+        scenario: 0,
+        label: "Total".to_string(),
+        bugs: rows.iter().map(|r| r.bugs).sum(),
+        sd: rows.iter().map(|r| r.sd).sum(),
+        cpd: rows.iter().map(|r| r.cpd).sum(),
+        ccd: rows.iter().map(|r| r.ccd).sum(),
+    };
+    Table3 { rows, total }
+}
+
+/// Classifies the standard corpus.
+pub fn classify_corpus() -> Table3 {
+    classify(&bug_corpus())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row_counts() {
+        let t = classify_corpus();
+        let bugs: Vec<usize> = t.rows.iter().map(|r| r.bugs).collect();
+        assert_eq!(bugs, vec![13, 1, 17, 36]);
+        assert_eq!(t.total.bugs, 67);
+    }
+
+    #[test]
+    fn finding1_majority_involves_multiple_components() {
+        // "The majority cases (97.0%) involves critical parameters from
+        //  more than one components."
+        let t = classify_corpus();
+        assert_eq!(t.total.ccd, 65);
+        assert!((t.total.ccd_pct() - 97.0).abs() < 0.1, "ccd% = {}", t.total.ccd_pct());
+    }
+
+    #[test]
+    fn sd_is_always_involved() {
+        let t = classify_corpus();
+        for r in &t.rows {
+            assert_eq!(r.sd, r.bugs, "scenario {} SD must be 100%", r.scenario);
+            assert!((r.sd_pct() - 100.0).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn cpd_is_non_negligible() {
+        // Table 3: CPD total 5 (7.5%)
+        let t = classify_corpus();
+        assert_eq!(t.total.cpd, 5);
+        assert!((t.total.cpd_pct() - 7.5).abs() < 0.1);
+        let cpd: Vec<usize> = t.rows.iter().map(|r| r.cpd).collect();
+        assert_eq!(cpd, vec![1, 0, 0, 4]);
+    }
+
+    #[test]
+    fn per_scenario_ccd_matches_paper() {
+        let t = classify_corpus();
+        let ccd: Vec<usize> = t.rows.iter().map(|r| r.ccd).collect();
+        assert_eq!(ccd, vec![13, 1, 17, 34]);
+        // scenario 4: 94.4%
+        assert!((t.rows[3].ccd_pct() - 94.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_input_yields_zeroes() {
+        let t = classify(&[]);
+        assert_eq!(t.total.bugs, 0);
+        assert_eq!(t.total.sd_pct(), 0.0);
+    }
+}

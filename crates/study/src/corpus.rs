@@ -1,0 +1,308 @@
+//! The 67-bug corpus and its 132 critical dependencies (§3 of the
+//! paper).
+//!
+//! Structure mirrors the paper exactly:
+//!
+//! * 67 configuration-related bug cases distributed over the four usage
+//!   scenarios as in Table 3 (13 / 1 / 17 / 36);
+//! * 132 *critical dependencies* — the dependencies that directly
+//!   determine whether a bug manifests — distributed over the taxonomy
+//!   as in Table 4 (33 data-type, 30 value-range, 4 CPD-control,
+//!   1 CCD-control, 64 CCD-behavioral);
+//! * a bug may exhibit several critical dependencies (which is why 132 >
+//!   67), and a dependency may be shared by several bugs (which is why
+//!   the per-category bug percentages of Table 3 don't sum to the
+//!   dependency counts of Table 4).
+
+use confdep::DepKind;
+use serde::{Deserialize, Serialize};
+
+/// One critical dependency of the corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalDep {
+    /// Stable id (1-based).
+    pub id: u32,
+    /// Taxonomy sub-category.
+    pub kind: DepKind,
+    /// Components involved.
+    pub components: Vec<String>,
+    /// Human-readable summary.
+    pub summary: String,
+}
+
+/// One configuration-related bug case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugCase {
+    /// Stable id (1-based).
+    pub id: u32,
+    /// Usage scenario (1–4, the rows of Table 3).
+    pub scenario: u8,
+    /// Patch title.
+    pub title: String,
+    /// Synthetic commit hash (the corpus is synthesized; see DESIGN.md).
+    pub commit: String,
+    /// Ids of the critical dependencies that trigger the bug.
+    pub dep_ids: Vec<u32>,
+}
+
+impl BugCase {
+    /// The dependency kinds this bug involves.
+    pub fn kinds(&self) -> Vec<DepKind> {
+        let deps = critical_deps();
+        self.dep_ids
+            .iter()
+            .filter_map(|id| deps.iter().find(|d| d.id == *id))
+            .map(|d| d.kind)
+            .collect()
+    }
+
+    /// True if the bug involves a dependency of the given category
+    /// (`"SD"`, `"CPD"`, `"CCD"`).
+    pub fn involves(&self, category: &str) -> bool {
+        self.kinds().iter().any(|k| k.category() == category)
+    }
+}
+
+// parameter vocabulary used to synthesize realistic summaries
+const SD_PARAMS: [&str; 21] = [
+    "blocksize", "inode_size", "reserved_percent", "journal_size", "cluster_size",
+    "blocks_per_group", "inode_ratio", "inodes_count", "label", "stride", "stripe_width",
+    "commit", "errors", "data", "resuid", "resgid", "size", "superblock", "readahead",
+    "offset", "flex_bg_count",
+];
+
+const COMPONENTS: [&str; 6] = ["mke2fs", "mount", "ext4", "e4defrag", "resize2fs", "e2fsck"];
+
+/// The 132 critical dependencies, in taxonomy order: ids 1–33 data type,
+/// 34–63 value range, 64–67 CPD control, 68 CCD control,
+/// 69–132 CCD behavioral.
+pub fn critical_deps() -> Vec<CriticalDep> {
+    let mut out = Vec::with_capacity(132);
+    let mut id = 0u32;
+    let mut push = |kind: DepKind, components: Vec<String>, summary: String| {
+        id += 1;
+        out.push(CriticalDep { id, kind, components, summary });
+    };
+
+    // 33 data-type SDs
+    for i in 0..33 {
+        let param = SD_PARAMS[i % SD_PARAMS.len()];
+        let comp = COMPONENTS[i % 3]; // mke2fs / mount / ext4 own most params
+        push(
+            DepKind::SdDataType,
+            vec![comp.to_string()],
+            format!("{comp}: '{param}' must parse as {}", if i % 4 == 0 { "a size" } else { "an integer" }),
+        );
+    }
+    // 30 value-range SDs
+    for i in 0..30 {
+        let param = SD_PARAMS[(i + 7) % SD_PARAMS.len()];
+        let comp = COMPONENTS[i % 3];
+        push(
+            DepKind::SdValueRange,
+            vec![comp.to_string()],
+            format!("{comp}: '{param}' must lie within its documented range"),
+        );
+    }
+    // 4 CPD controls (the classic mke2fs feature conflicts)
+    for (a, b) in [
+        ("meta_bg", "resize_inode"),
+        ("bigalloc", "extent"),
+        ("quota", "noquota"),
+        ("journal_dev", "has_journal"),
+    ] {
+        push(
+            DepKind::CpdControl,
+            vec!["mke2fs".to_string()],
+            format!("mke2fs: '{a}' and '{b}' cannot be combined"),
+        );
+    }
+    // 1 CCD control (dax requires a compatible on-image feature set)
+    push(
+        DepKind::CcdControl,
+        vec!["mount".to_string(), "mke2fs".to_string()],
+        "mount: '-o dax' can only be enabled when mke2fs created the fs without inline_data"
+            .to_string(),
+    );
+    // 64 CCD behaviorals — one per CCD-involving bug
+    let readers = ["mount", "ext4", "e4defrag", "resize2fs", "e2fsck"];
+    let writer_params = [
+        "sparse_super2", "size", "64bit", "meta_bg", "bigalloc", "inline_data", "has_journal",
+        "extent", "resize_inode", "uninit_bg", "metadata_csum", "blocksize", "inode_size",
+        "sparse_super", "dir_index", "journal_size",
+    ];
+    for i in 0..64 {
+        let reader = readers[i % readers.len()];
+        let param = writer_params[i % writer_params.len()];
+        push(
+            DepKind::CcdBehavioral,
+            vec!["mke2fs".to_string(), reader.to_string()],
+            format!("{reader}: behaviour depends on the mke2fs '{param}' parameter recorded in the superblock"),
+        );
+    }
+    debug_assert_eq!(out.len(), 132);
+    out
+}
+
+/// Scenario sizes of Table 3.
+pub const SCENARIO_SIZES: [usize; 4] = [13, 1, 17, 36];
+
+/// Number of bugs per scenario that involve a CCD (Table 3's last
+/// column: 13, 1, 17, 34).
+pub const SCENARIO_CCD: [usize; 4] = [13, 1, 17, 34];
+
+/// Number of bugs per scenario that involve a CPD (Table 3: 1, 0, 0, 4).
+pub const SCENARIO_CPD: [usize; 4] = [1, 0, 0, 4];
+
+const TITLE_VERBS: [&str; 6] =
+    ["fix", "avoid", "correct", "handle", "validate", "prevent"];
+const TITLE_SYMPTOMS: [&str; 8] = [
+    "metadata corruption",
+    "incorrect free blocks count",
+    "mount failure",
+    "infinite loop",
+    "stale backup superblock",
+    "overflow in geometry calculation",
+    "spurious fsck error",
+    "data loss after resize",
+];
+
+/// The 67-bug corpus. Deterministic: the same corpus is produced on
+/// every call.
+pub fn bug_corpus() -> Vec<BugCase> {
+    let mut out = Vec::with_capacity(67);
+    let mut bug_id = 0u32;
+    // rotating assignment of critical deps
+    let mut next_sd = 0u32; // 67 links over 63 unique SD deps (ids 1..=63)
+    let mut next_behavioral = 69u32; // ids 69..=132
+    let mut cpd_ids = [64u32, 65, 66, 67, 64].into_iter(); // 5 links, 4 unique
+
+    for (scenario_idx, &n) in SCENARIO_SIZES.iter().enumerate() {
+        let scenario = scenario_idx as u8 + 1;
+        for k in 0..n {
+            bug_id += 1;
+            let mut dep_ids = Vec::new();
+            // every bug has at least one SD (Table 3: SD 100%)
+            dep_ids.push(next_sd % 63 + 1);
+            next_sd += 1;
+            // CCD flags: the first SCENARIO_CCD[s] bugs of the scenario
+            if k < SCENARIO_CCD[scenario_idx] {
+                if bug_id == 1 {
+                    dep_ids.push(68); // the single CCD-control dep
+                } else {
+                    dep_ids.push(next_behavioral);
+                    next_behavioral += 1;
+                }
+            }
+            // CPD flags: the last SCENARIO_CPD[s] bugs of the scenario
+            if n - k <= SCENARIO_CPD[scenario_idx] {
+                dep_ids.push(cpd_ids.next().expect("five CPD links"));
+            }
+            let verb = TITLE_VERBS[bug_id as usize % TITLE_VERBS.len()];
+            let symptom = TITLE_SYMPTOMS[bug_id as usize % TITLE_SYMPTOMS.len()];
+            let comp = match scenario {
+                1 => COMPONENTS[bug_id as usize % 3],
+                2 => "e4defrag",
+                3 => "resize2fs",
+                _ => "e2fsck",
+            };
+            out.push(BugCase {
+                id: bug_id,
+                scenario,
+                title: format!("{comp}: {verb} {symptom} under specific configurations"),
+                commit: format!("{:07x}", 0x100_0000u32 + bug_id * 7919),
+                dep_ids,
+            });
+        }
+    }
+    debug_assert_eq!(out.len(), 67);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn corpus_has_67_bugs_in_paper_distribution() {
+        let bugs = bug_corpus();
+        assert_eq!(bugs.len(), 67);
+        for s in 1..=4u8 {
+            let n = bugs.iter().filter(|b| b.scenario == s).count();
+            assert_eq!(n, SCENARIO_SIZES[s as usize - 1]);
+        }
+    }
+
+    #[test]
+    fn critical_deps_match_table4() {
+        let deps = critical_deps();
+        assert_eq!(deps.len(), 132);
+        let count = |k: DepKind| deps.iter().filter(|d| d.kind == k).count();
+        assert_eq!(count(DepKind::SdDataType), 33);
+        assert_eq!(count(DepKind::SdValueRange), 30);
+        assert_eq!(count(DepKind::CpdControl), 4);
+        assert_eq!(count(DepKind::CpdValue), 0); // unseen in the dataset
+        assert_eq!(count(DepKind::CcdControl), 1);
+        assert_eq!(count(DepKind::CcdValue), 0); // unseen in the dataset
+        assert_eq!(count(DepKind::CcdBehavioral), 64);
+    }
+
+    #[test]
+    fn every_bug_has_an_sd() {
+        for b in bug_corpus() {
+            assert!(b.involves("SD"), "bug {} lacks an SD", b.id);
+        }
+    }
+
+    #[test]
+    fn ccd_bug_counts_match_table3() {
+        let bugs = bug_corpus();
+        for s in 1..=4u8 {
+            let n = bugs.iter().filter(|b| b.scenario == s && b.involves("CCD")).count();
+            assert_eq!(n, SCENARIO_CCD[s as usize - 1], "scenario {s}");
+        }
+        let total: usize = bugs.iter().filter(|b| b.involves("CCD")).count();
+        assert_eq!(total, 65); // 97.0% of 67
+    }
+
+    #[test]
+    fn cpd_bug_counts_match_table3() {
+        let bugs = bug_corpus();
+        for s in 1..=4u8 {
+            let n = bugs.iter().filter(|b| b.scenario == s && b.involves("CPD")).count();
+            assert_eq!(n, SCENARIO_CPD[s as usize - 1], "scenario {s}");
+        }
+    }
+
+    #[test]
+    fn every_critical_dep_is_referenced() {
+        let bugs = bug_corpus();
+        let used: BTreeSet<u32> = bugs.iter().flat_map(|b| b.dep_ids.iter().copied()).collect();
+        for d in critical_deps() {
+            assert!(used.contains(&d.id), "dep {} ({}) unused", d.id, d.summary);
+        }
+    }
+
+    #[test]
+    fn some_deps_are_shared_across_bugs() {
+        // 132 unique deps but more links: a bug case may exhibit
+        // multiple critical dependencies and vice versa
+        let bugs = bug_corpus();
+        let links: usize = bugs.iter().map(|b| b.dep_ids.len()).sum();
+        assert!(links > 132, "links {links}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(bug_corpus(), bug_corpus());
+        assert_eq!(critical_deps(), critical_deps());
+    }
+
+    #[test]
+    fn commits_are_unique() {
+        let bugs = bug_corpus();
+        let commits: BTreeSet<&String> = bugs.iter().map(|b| &b.commit).collect();
+        assert_eq!(commits.len(), bugs.len());
+    }
+}

@@ -1,0 +1,117 @@
+//! Table 2: configuration coverage of the de-facto test suites.
+//!
+//! The suites are modelled in [`xtests`](crate::xtests): each test case
+//! records which configuration parameters its invocations set. Coverage
+//! is the share of each component's parameter universe (defined by the
+//! `e2fstools` parameter tables) that any case ever exercises.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::xtests::{e2fsprogs_test_suite, xfstest_suite, TestSuite};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Test suite name.
+    pub suite: String,
+    /// Target software.
+    pub target: String,
+    /// Total parameters of the target.
+    pub total: usize,
+    /// Parameters the suite exercises.
+    pub used: usize,
+}
+
+impl CoverageRow {
+    /// Coverage percentage.
+    pub fn pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.used as f64 / self.total as f64
+        }
+    }
+}
+
+fn used_params(suite: &TestSuite, components: &[&str]) -> usize {
+    let used: BTreeSet<(String, String)> = suite
+        .cases
+        .iter()
+        .flat_map(|c| c.params.iter())
+        .filter(|(comp, _)| components.contains(&comp.as_str()))
+        .cloned()
+        .collect();
+    used.len()
+}
+
+fn universe(components: &[&str]) -> usize {
+    components.iter().map(|c| e2fstools::params::params_of(c).len()).sum()
+}
+
+/// Computes Table 2.
+pub fn coverage_table() -> Vec<CoverageRow> {
+    let xfs = xfstest_suite();
+    let e2p = e2fsprogs_test_suite();
+    // "Ext4" in Table 2 = the whole mke2fs + mount + ext4 surface
+    let ext4_components = ["mke2fs", "mount", "ext4"];
+    vec![
+        CoverageRow {
+            suite: "xfstest".to_string(),
+            target: "Ext4".to_string(),
+            total: universe(&ext4_components),
+            used: used_params(&xfs, &ext4_components),
+        },
+        CoverageRow {
+            suite: "e2fsprogs-test".to_string(),
+            target: "e2fsck".to_string(),
+            total: universe(&["e2fsck"]),
+            used: used_params(&e2p, &["e2fsck"]),
+        },
+        CoverageRow {
+            suite: "e2fsprogs-test".to_string(),
+            target: "resize2fs".to_string(),
+            total: universe(&["resize2fs"]),
+            used: used_params(&e2p, &["resize2fs"]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let rows = coverage_table();
+        // xfstest / Ext4: 29 used of a universe > 85
+        assert_eq!(rows[0].used, 29);
+        assert!(rows[0].total > 85, "Ext4 universe {}", rows[0].total);
+        assert!(rows[0].pct() < 34.2, "coverage must be below 34.1%: {}", rows[0].pct());
+        // e2fsprogs-test / e2fsck: 6 of > 35
+        assert_eq!(rows[1].used, 6);
+        assert!(rows[1].total > 35);
+        assert!(rows[1].pct() < 17.2);
+        // e2fsprogs-test / resize2fs: 7 of > 15
+        assert_eq!(rows[2].used, 7);
+        assert!(rows[2].total > 15);
+        assert!(rows[2].pct() < 46.8);
+    }
+
+    #[test]
+    fn less_than_half_of_parameters_are_tested() {
+        // the paper's headline for §2
+        for row in coverage_table() {
+            assert!(row.pct() < 50.0, "{} covers {:.1}%", row.suite, row.pct());
+        }
+    }
+
+    #[test]
+    fn coverage_counts_unique_parameters() {
+        // exercising the same parameter in many cases counts once
+        let xfs = xfstest_suite();
+        let total_mentions: usize = xfs.cases.iter().map(|c| c.params.len()).sum();
+        assert!(total_mentions > 29, "cases repeat parameters");
+    }
+}

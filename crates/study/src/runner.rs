@@ -1,0 +1,269 @@
+//! An executable driver for the modelled test suites: every
+//! [`TestCase`] is turned into a real run
+//! against the simulated ecosystem — format with the case's `mke2fs`
+//! parameters, mount with its `mount` options, run a workload, then run
+//! the offline utilities the case exercises.
+//!
+//! This is also the integration point for ConBugCk (§4.2): the paper's
+//! plugin "replaces the configuration loading logic and manipulates
+//! configurations without violating dependencies" — here,
+//! [`run_suite_with_config`] swaps each case's configuration for a
+//! generated one while keeping the case's operations, so the suite runs
+//! under arbitrary configuration states.
+
+use blockdev::MemDevice;
+use e2fstools::{E2fsck, FsckMode, Mke2fs, MountCmd, Resize2fs};
+use ext4sim::Ext4Fs;
+use serde::{Deserialize, Serialize};
+
+use crate::xtests::{TestCase, TestSuite};
+
+/// The outcome of one suite run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteRunResult {
+    /// Cases executed.
+    pub cases_run: usize,
+    /// Cases that completed their whole pipeline.
+    pub cases_passed: usize,
+    /// Failures as (case name, error).
+    pub failures: Vec<(String, String)>,
+}
+
+impl SuiteRunResult {
+    /// Pass rate in [0, 1].
+    pub fn pass_rate(&self) -> f64 {
+        if self.cases_run == 0 {
+            0.0
+        } else {
+            self.cases_passed as f64 / self.cases_run as f64
+        }
+    }
+}
+
+/// The configuration a case runs under (derivable from its parameter
+/// list, or substituted by ConBugCk).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseConfig {
+    /// `mke2fs` arguments (without device/size operands).
+    pub mkfs_args: Vec<String>,
+    /// `mount -o` string.
+    pub mount_opts: String,
+}
+
+/// Derives the concrete configuration a case's parameter list implies.
+pub fn config_for_case(case: &TestCase) -> CaseConfig {
+    let mut mkfs_args = vec!["-b".to_string(), "1024".to_string()];
+    let mut features: Vec<String> = Vec::new();
+    let mut mount_opts: Vec<String> = Vec::new();
+    for (comp, param) in &case.params {
+        match (comp.as_str(), param.as_str()) {
+            ("mke2fs", "blocksize") => {} // already set
+            ("mke2fs", "size") => {}      // the grow target below
+            ("mke2fs", "inode_size") => {
+                mkfs_args.push("-I".to_string());
+                mkfs_args.push("256".to_string());
+            }
+            ("mke2fs", "reserved_percent") => {
+                mkfs_args.push("-m".to_string());
+                mkfs_args.push("10".to_string());
+            }
+            ("mke2fs", "label") => {
+                mkfs_args.push("-L".to_string());
+                mkfs_args.push("xtest".to_string());
+            }
+            ("mke2fs", "journal_size") => {
+                mkfs_args.push("-J".to_string());
+                mkfs_args.push("size=512".to_string());
+            }
+            ("mke2fs", "blocks_per_group") => {
+                mkfs_args.push("-g".to_string());
+                mkfs_args.push("4096".to_string());
+            }
+            ("mke2fs", feature) => {
+                // feature toggles; repair the known conflicts
+                match feature {
+                    "meta_bg" | "bigalloc" => {
+                        features.push(feature.to_string());
+                        features.push("^resize_inode".to_string());
+                    }
+                    "sparse_super2" => {
+                        features.push("sparse_super2".to_string());
+                        features.push("^sparse_super".to_string());
+                    }
+                    other => features.push(other.to_string()),
+                }
+            }
+            ("mount", "ro") => mount_opts.push("ro".to_string()),
+            ("mount", "rw") => mount_opts.push("rw".to_string()),
+            ("mount", "data") => mount_opts.push("data=ordered".to_string()),
+            ("mount", "errors") => mount_opts.push("errors=remount-ro".to_string()),
+            ("mount", "commit") => mount_opts.push("commit=5".to_string()),
+            ("mount", opt) => mount_opts.push(opt.to_string()),
+            _ => {} // ext4 knobs / offline utilities handled at run time
+        }
+    }
+    if !features.is_empty() {
+        mkfs_args.push("-O".to_string());
+        mkfs_args.push(features.join(","));
+    }
+    CaseConfig { mkfs_args, mount_opts: mount_opts.join(",") }
+}
+
+fn run_case(case: &TestCase, config: &CaseConfig) -> Result<(), String> {
+    // format
+    let mut argv: Vec<&str> = config.mkfs_args.iter().map(String::as_str).collect();
+    argv.push("/dev/xtest");
+    argv.push("12288");
+    let mkfs = Mke2fs::from_args(&argv).map_err(|e| format!("mke2fs: {e}"))?;
+    // size the device in fs-sized blocks so any -b choice fits
+    let bs: u32 = config
+        .mkfs_args
+        .iter()
+        .position(|a| a == "-b")
+        .and_then(|i| config.mkfs_args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+    let (dev, _) =
+        mkfs.run(MemDevice::new(bs, 16384)).map_err(|e| format!("mke2fs: {e}"))?;
+
+    // mount + workload
+    let mount =
+        MountCmd::from_option_string(&config.mount_opts).map_err(|e| format!("mount: {e}"))?;
+    let mut fs = mount.run(dev).map_err(|e| format!("mount: {e}"))?;
+    let read_only = fs.state() == ext4sim::FsState::MountedRo;
+    if !read_only {
+        let root = fs.root_inode();
+        let f = fs.create_file(root, "workload").map_err(|e| format!("create: {e}"))?;
+        fs.write_file(f, 0, &[0x42; 3000]).map_err(|e| format!("write: {e}"))?;
+        let data = fs.read_file_to_vec(f).map_err(|e| format!("read: {e}"))?;
+        if data != vec![0x42; 3000] {
+            return Err("data mismatch".to_string());
+        }
+    }
+    let mut dev = fs.unmount().map_err(|e| format!("unmount: {e}"))?;
+
+    // offline utilities the case exercises
+    let uses = |comp: &str| case.params.iter().any(|(c, _)| c == comp);
+    if uses("resize2fs") {
+        let shrink = case.params.iter().any(|(_, p)| p == "minimize" || p == "print_min");
+        let r = if shrink { Resize2fs::from_args(&["-P", "/dev/xtest"]).unwrap() } else { Resize2fs::to_size(16384) };
+        let (d, _) = r.run(dev).map_err(|e| format!("resize2fs: {e}"))?;
+        dev = d;
+    }
+    if uses("e2fsck") {
+        let mode = if case.params.iter().any(|(_, p)| p == "preen") {
+            FsckMode::Preen
+        } else if case.params.iter().any(|(_, p)| p == "no") {
+            FsckMode::Check
+        } else {
+            FsckMode::Fix
+        };
+        let (d, res) = E2fsck::with_mode(mode)
+            .forced()
+            .run(dev)
+            .map_err(|e| format!("e2fsck: {e}"))?;
+        if res.exit_code > 1 {
+            return Err(format!("e2fsck found damage: exit {}", res.exit_code));
+        }
+        dev = d;
+    }
+
+    // final sanity: the image must still be recognisable
+    Ext4Fs::open_for_maintenance(dev).map_err(|e| format!("final open: {e}"))?;
+    Ok(())
+}
+
+/// Runs every case of a suite under its own derived configuration.
+pub fn run_suite(suite: &TestSuite) -> SuiteRunResult {
+    let mut result = SuiteRunResult::default();
+    for case in &suite.cases {
+        result.cases_run += 1;
+        match run_case(case, &config_for_case(case)) {
+            Ok(()) => result.cases_passed += 1,
+            Err(e) => result.failures.push((case.name.clone(), e)),
+        }
+    }
+    result
+}
+
+/// Runs every case of a suite under a *substituted* configuration — the
+/// ConBugCk integration: same operations, different configuration state.
+pub fn run_suite_with_config(suite: &TestSuite, config: &CaseConfig) -> SuiteRunResult {
+    let mut result = SuiteRunResult::default();
+    for case in &suite.cases {
+        result.cases_run += 1;
+        match run_case(case, config) {
+            Ok(()) => result.cases_passed += 1,
+            Err(e) => result.failures.push((case.name.clone(), e)),
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xtests::{e2fsprogs_test_suite, xfstest_suite};
+
+    #[test]
+    fn xfstest_suite_runs_green() {
+        let result = run_suite(&xfstest_suite());
+        assert_eq!(result.cases_run, 28);
+        assert_eq!(
+            result.cases_passed, result.cases_run,
+            "failures: {:#?}",
+            result.failures
+        );
+        assert!((result.pass_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn e2fsprogs_suite_runs_green() {
+        let result = run_suite(&e2fsprogs_test_suite());
+        assert_eq!(result.cases_passed, result.cases_run, "failures: {:#?}", result.failures);
+    }
+
+    #[test]
+    fn config_derivation_respects_known_conflicts() {
+        // a meta_bg case must not also enable resize_inode
+        let case = xfstest_suite()
+            .cases
+            .into_iter()
+            .find(|c| c.params.iter().any(|(_, p)| p == "meta_bg"))
+            .expect("a meta_bg case exists");
+        let cfg = config_for_case(&case);
+        let features = cfg.mkfs_args.join(" ");
+        assert!(features.contains("meta_bg"));
+        assert!(features.contains("^resize_inode"));
+    }
+
+    #[test]
+    fn suite_runs_under_substituted_configs() {
+        // the ConBugCk integration: the same suite under a different
+        // (valid) configuration state still passes
+        let config = CaseConfig {
+            mkfs_args: vec![
+                "-b".to_string(),
+                "2048".to_string(),
+                "-O".to_string(),
+                "sparse_super2,^sparse_super,^resize_inode".to_string(),
+            ],
+            mount_opts: "data=writeback".to_string(),
+        };
+        let result = run_suite_with_config(&e2fsprogs_test_suite(), &config);
+        assert_eq!(result.cases_passed, result.cases_run, "failures: {:#?}", result.failures);
+    }
+
+    #[test]
+    fn invalid_substituted_config_fails_shallow() {
+        // a configuration that violates a dependency dies early in every
+        // case — the motivation for dependency-aware generation
+        let config = CaseConfig {
+            mkfs_args: vec!["-b".to_string(), "1024".to_string(), "-O".to_string(), "meta_bg".to_string()],
+            mount_opts: String::new(),
+        };
+        let result = run_suite_with_config(&e2fsprogs_test_suite(), &config);
+        assert_eq!(result.cases_passed, 0);
+        assert!(result.failures.iter().all(|(_, e)| e.contains("meta_bg")));
+    }
+}

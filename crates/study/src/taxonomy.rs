@@ -1,0 +1,101 @@
+//! Table 4: the taxonomy of critical configuration dependencies with
+//! the observed counts.
+
+use confdep::DepKind;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::critical_deps;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonomyRow {
+    /// Sub-category.
+    pub kind: DepKind,
+    /// The paper's description of the sub-category.
+    pub description: String,
+    /// Whether the sub-category was observed in the dataset.
+    pub observed: bool,
+    /// Count of critical dependencies (0 when unobserved).
+    pub count: usize,
+}
+
+/// Computes Table 4 from the corpus.
+pub fn taxonomy_table() -> Vec<TaxonomyRow> {
+    let deps = critical_deps();
+    DepKind::all()
+        .into_iter()
+        .map(|kind| {
+            let count = deps.iter().filter(|d| d.kind == kind).count();
+            TaxonomyRow {
+                kind,
+                description: describe(kind).to_string(),
+                observed: count > 0,
+                count,
+            }
+        })
+        .collect()
+}
+
+fn describe(kind: DepKind) -> &'static str {
+    match kind {
+        DepKind::SdDataType => "parameter P must be of a specific data type (e.g., integer)",
+        DepKind::SdValueRange => "P must be within a specific value range (e.g., P < 4096)",
+        DepKind::CpdControl => "P1 of C1 can be enabled iff P2 of C1 is enabled/disabled",
+        DepKind::CpdValue => "P1's value depends on P2's value (e.g., P1 < P2)",
+        DepKind::CcdControl => "P1 of C1 can be enabled iff P2 of C2 is enabled/disabled",
+        DepKind::CcdValue => "P1's value depends on P2 from another component",
+        DepKind::CcdBehavioral => "component C1's behavior depends on P2 of C2",
+    }
+}
+
+/// The total number of critical dependencies (the paper's 132).
+pub fn total_critical_deps() -> usize {
+    taxonomy_table().iter().map(|r| r.count).sum()
+}
+
+/// How many of the seven sub-categories were observed (the paper's 5/7).
+pub fn observed_sub_categories() -> usize {
+    taxonomy_table().iter().filter(|r| r.observed).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_counts() {
+        let rows = taxonomy_table();
+        let get = |k: DepKind| rows.iter().find(|r| r.kind == k).unwrap().count;
+        assert_eq!(get(DepKind::SdDataType), 33);
+        assert_eq!(get(DepKind::SdValueRange), 30);
+        assert_eq!(get(DepKind::CpdControl), 4);
+        assert_eq!(get(DepKind::CpdValue), 0);
+        assert_eq!(get(DepKind::CcdControl), 1);
+        assert_eq!(get(DepKind::CcdValue), 0);
+        assert_eq!(get(DepKind::CcdBehavioral), 64);
+    }
+
+    #[test]
+    fn total_is_132() {
+        assert_eq!(total_critical_deps(), 132);
+    }
+
+    #[test]
+    fn five_of_seven_observed() {
+        assert_eq!(observed_sub_categories(), 5);
+        let rows = taxonomy_table();
+        let unobserved: Vec<DepKind> =
+            rows.iter().filter(|r| !r.observed).map(|r| r.kind).collect();
+        // the two "Value" sub-categories are included from the
+        // literature for completeness but unseen in the dataset
+        assert_eq!(unobserved, vec![DepKind::CpdValue, DepKind::CcdValue]);
+    }
+
+    #[test]
+    fn descriptions_follow_the_paper() {
+        for r in taxonomy_table() {
+            assert!(!r.description.is_empty());
+        }
+        assert!(taxonomy_table()[0].description.contains("data type"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Models of the de-facto test suites (xfstest and e2fsprogs-test),
+//! sized to their real configuration coverage profile.
+//!
+//! Each test case records the configuration parameters its utility
+//! invocations set — exactly the information Table 2 counts. The case
+//! names follow the real suites' numbering style.
+
+use serde::{Deserialize, Serialize};
+
+/// One test case of a suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Case name (`ext4/001`, `f_zero_group`, ...).
+    pub name: String,
+    /// What the case checks.
+    pub description: String,
+    /// Parameters exercised: `(component, parameter)`.
+    pub params: Vec<(String, String)>,
+}
+
+/// A test suite: a named list of cases.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestSuite {
+    /// Suite name.
+    pub name: String,
+    /// The cases.
+    pub cases: Vec<TestCase>,
+}
+
+fn case(name: &str, description: &str, params: &[(&str, &str)]) -> TestCase {
+    TestCase {
+        name: name.to_string(),
+        description: description.to_string(),
+        params: params.iter().map(|(c, p)| (c.to_string(), p.to_string())).collect(),
+    }
+}
+
+/// The xfstest model: generic + ext4-specific cases exercising 29 of the
+/// Ext4 ecosystem's parameters (as in Table 2).
+pub fn xfstest_suite() -> TestSuite {
+    TestSuite {
+        name: "xfstest".to_string(),
+        cases: vec![
+            case("generic/001", "basic file creation and removal", &[("mke2fs", "blocksize")]),
+            case("generic/013", "fsstress on a default fs", &[("mke2fs", "blocksize"), ("mount", "rw")]),
+            case("generic/050", "read-only mount behaviour", &[("mount", "ro")]),
+            case("generic/081", "remount with different options", &[("mount", "ro"), ("mount", "rw")]),
+            case("ext4/001", "extent-mapped fallocate", &[("mke2fs", "extent")]),
+            case("ext4/003", "bigalloc basic operations", &[("mke2fs", "bigalloc"), ("mke2fs", "extent")]),
+            case("ext4/005", "journal-less mount", &[("mke2fs", "has_journal"), ("mount", "noload")]),
+            case("ext4/007", "inline data small files", &[("mke2fs", "inline_data")]),
+            case("ext4/016", "resize on a meta_bg filesystem", &[("mke2fs", "meta_bg"), ("mke2fs", "size")]),
+            case("ext4/021", "64bit large filesystem", &[("mke2fs", "64bit"), ("mke2fs", "size")]),
+            case("ext4/023", "resize_inode growth reserve", &[("mke2fs", "resize_inode"), ("mke2fs", "size")]),
+            case("ext4/026", "metadata checksums survive remount", &[("mke2fs", "metadata_csum")]),
+            case("ext4/028", "sparse_super backup placement", &[("mke2fs", "sparse_super")]),
+            case("ext4/032", "inode size 256 xattr room", &[("mke2fs", "inode_size")]),
+            case("ext4/033", "reserved blocks percentage", &[("mke2fs", "reserved_percent")]),
+            case("ext4/035", "volume label round trip", &[("mke2fs", "label")]),
+            case("ext4/037", "journal size bounds", &[("mke2fs", "journal_size"), ("mke2fs", "has_journal")]),
+            case("ext4/039", "blocks per group override", &[("mke2fs", "blocks_per_group")]),
+            case("ext4/042", "data journalling mode", &[("mount", "data"), ("mke2fs", "has_journal")]),
+            case("ext4/044", "errors=remount-ro behaviour", &[("mount", "errors")]),
+            case("ext4/045", "commit interval tuning", &[("mount", "commit")]),
+            case("ext4/048", "discard on delete", &[("mount", "discard")]),
+            case("ext4/051", "block validity checking", &[("mount", "block_validity")]),
+            case("ext4/053", "acl enforcement", &[("mount", "acl")]),
+            case("ext4/054", "user xattr namespace", &[("mount", "user_xattr")]),
+            case("ext4/306", "mballoc stress with stats", &[("ext4", "mb_stats")]),
+            case("ext4/307", "allocator scan limits", &[("ext4", "mb_max_to_scan"), ("ext4", "mb_min_to_scan")]),
+            case("ext4/308", "fragmented allocation", &[("ext4", "mb_max_to_scan"), ("mke2fs", "blocksize")]),
+        ],
+    }
+}
+
+/// The e2fsprogs-test model: checker and resizer regression cases
+/// exercising 6 e2fsck and 7 resize2fs parameters (as in Table 2).
+pub fn e2fsprogs_test_suite() -> TestSuite {
+    TestSuite {
+        name: "e2fsprogs-test".to_string(),
+        cases: vec![
+            case("f_zero_group", "recover zeroed group descriptors", &[("e2fsck", "yes"), ("e2fsck", "force")]),
+            case("f_unused_itable", "uninitialised inode table handling", &[("e2fsck", "preen")]),
+            case("f_yes_all", "non-interactive repair", &[("e2fsck", "yes")]),
+            case("f_readonly_check", "report-only run", &[("e2fsck", "no")]),
+            case("f_alt_super", "recovery from a backup superblock", &[("e2fsck", "superblock"), ("e2fsck", "blocksize")]),
+            case("f_force_check", "force a check of a clean fs", &[("e2fsck", "force")]),
+            case("r_move_itable", "grow with inode table moves", &[("resize2fs", "device"), ("resize2fs", "size")]),
+            case("r_min_itable", "shrink to minimum", &[("resize2fs", "minimize"), ("resize2fs", "device")]),
+            case("r_print_min", "report the minimum size", &[("resize2fs", "print_min")]),
+            case("r_forced_grow", "grow a dirty image with -f", &[("resize2fs", "force"), ("resize2fs", "size")]),
+            case("r_progress", "progress reporting", &[("resize2fs", "progress")]),
+            case("r_64bit_grow", "grow past 2^32 blocks", &[("resize2fs", "enable_64bit"), ("resize2fs", "size")]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn suite_parameters_exist_in_the_universe() {
+        // every (component, param) a case claims must be a real
+        // parameter of that component
+        for suite in [xfstest_suite(), e2fsprogs_test_suite()] {
+            for c in &suite.cases {
+                for (comp, param) in &c.params {
+                    let known = e2fstools::params::params_of(comp);
+                    assert!(
+                        known.iter().any(|p| &p.name == param),
+                        "{}: unknown parameter {comp}:{param}",
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xfstest_exercises_29_ext4_params() {
+        let s = xfstest_suite();
+        let used: BTreeSet<(String, String)> =
+            s.cases.iter().flat_map(|c| c.params.iter().cloned()).collect();
+        assert_eq!(used.len(), 29);
+    }
+
+    #[test]
+    fn e2fsprogs_split_is_6_and_7() {
+        let s = e2fsprogs_test_suite();
+        let by_comp = |comp: &str| {
+            s.cases
+                .iter()
+                .flat_map(|c| c.params.iter())
+                .filter(|(c2, _)| c2 == comp)
+                .map(|(_, p)| p.clone())
+                .collect::<BTreeSet<String>>()
+                .len()
+        };
+        assert_eq!(by_comp("e2fsck"), 6);
+        assert_eq!(by_comp("resize2fs"), 7);
+    }
+
+    #[test]
+    fn case_names_are_unique() {
+        for suite in [xfstest_suite(), e2fsprogs_test_suite()] {
+            let names: BTreeSet<&String> = suite.cases.iter().map(|c| &c.name).collect();
+            assert_eq!(names.len(), suite.cases.len(), "{}", suite.name);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Fact types produced by the analysis and consumed by the dependency
+//! extractor.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cir::BinOp;
+
+/// A taint label: either a configuration parameter or a shared metadata
+/// field (the cross-component bridge).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Taint {
+    /// Tainted by the named parameter of the analyzed component.
+    Param(String),
+    /// Tainted by a metadata field, written as `struct.field`.
+    Meta(String),
+}
+
+impl Taint {
+    /// The parameter name, if this is a parameter taint.
+    pub fn as_param(&self) -> Option<&str> {
+        match self {
+            Taint::Param(p) => Some(p),
+            Taint::Meta(_) => None,
+        }
+    }
+
+    /// The metadata field, if this is a metadata taint.
+    pub fn as_meta(&self) -> Option<&str> {
+        match self {
+            Taint::Meta(m) => Some(m),
+            Taint::Param(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Taint::Param(p) => write!(f, "param:{p}"),
+            Taint::Meta(m) => write!(f, "meta:{m}"),
+        }
+    }
+}
+
+/// An atomic comparison appearing in a branch condition, with the fail
+/// behaviour of the enclosing branch.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ComparisonFact {
+    /// Function containing the branch.
+    pub function: String,
+    /// Source line of the branch.
+    pub line: u32,
+    /// The comparison operator as written (taint side on the left).
+    pub op: BinOp,
+    /// Taints of the variable side.
+    pub taints: BTreeSet<Taint>,
+    /// The constant side, when the comparison is against a constant.
+    pub rhs_const: Option<i64>,
+    /// Taints of the right-hand side when it is a variable.
+    pub rhs_taints: BTreeSet<Taint>,
+    /// True when the comparison being *true* leads (possibly
+    /// approximately, through `&&`/`||` decomposition) to a `fail`.
+    pub fail_when_true: bool,
+    /// True when being *false* leads to a `fail`.
+    pub fail_when_false: bool,
+    /// All parameter taints of the *whole* branch condition this atom
+    /// came from (used to tell pure self-checks from compound ones).
+    pub branch_params: BTreeSet<String>,
+    /// The whole branch condition carries a metadata taint.
+    pub branch_has_meta: bool,
+}
+
+/// A whole branch condition with its merged taint set — the raw material
+/// for control-dependency extraction.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BranchFact {
+    /// Function containing the branch.
+    pub function: String,
+    /// Source line.
+    pub line: u32,
+    /// Union of taints in the condition.
+    pub taints: BTreeSet<Taint>,
+    /// Taint sets of the condition's conjuncts/disjuncts (the leaves of
+    /// its `&&`/`||` tree). Cross-leaf parameter pairs are the raw
+    /// material of cross-parameter-dependency extraction.
+    pub cond_leaves: Vec<BTreeSet<Taint>>,
+    /// The then-successor inevitably fails.
+    pub then_fails: bool,
+    /// The else-successor inevitably fails.
+    pub else_fails: bool,
+}
+
+/// A write of a (possibly) tainted value into a shared metadata field.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MetaWriteFact {
+    /// Function performing the write.
+    pub function: String,
+    /// Source line.
+    pub line: u32,
+    /// `struct.field` written.
+    pub field: String,
+    /// Taints of the written value.
+    pub taints: BTreeSet<Taint>,
+}
+
+/// A use of metadata-derived data: in a fail guard, in another metadata
+/// write, or as an argument of a behaviour-affecting call.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MetaUseFact {
+    /// Function containing the use.
+    pub function: String,
+    /// Source line.
+    pub line: u32,
+    /// The metadata fields feeding the use.
+    pub meta: BTreeSet<String>,
+    /// Parameter taints mixed into the same value or condition.
+    pub co_params: BTreeSet<String>,
+    /// The use guards a `fail` path.
+    pub in_fail_guard: bool,
+    /// The name of the call the value feeds, if any.
+    pub callee: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_accessors() {
+        let p = Taint::Param("blocksize".to_string());
+        let m = Taint::Meta("sb.s_blocks_count".to_string());
+        assert_eq!(p.as_param(), Some("blocksize"));
+        assert_eq!(p.as_meta(), None);
+        assert_eq!(m.as_meta(), Some("sb.s_blocks_count"));
+        assert_eq!(m.as_param(), None);
+    }
+
+    #[test]
+    fn taint_display() {
+        assert_eq!(Taint::Param("x".into()).to_string(), "param:x");
+        assert_eq!(Taint::Meta("sb.f".into()).to_string(), "meta:sb.f");
+    }
+
+    #[test]
+    fn taint_ordering_params_before_meta() {
+        let mut set = BTreeSet::new();
+        set.insert(Taint::Meta("a".into()));
+        set.insert(Taint::Param("z".into()));
+        let first = set.iter().next().unwrap();
+        assert!(matches!(first, Taint::Param(_)));
+    }
+}

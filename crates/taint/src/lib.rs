@@ -1,0 +1,32 @@
+//! Taint analysis over CIR programs — the analysis engine of the paper's
+//! static analyzer (§4.1).
+//!
+//! The paper applies "the classic taint analysis" to track how each
+//! configuration parameter propagates along data-flow paths, maintains a
+//! set of tainted variables plus a trace of the instructions that tainted
+//! them, and tracks when one variable derives from *multiple* parameters.
+//! This crate reproduces exactly that:
+//!
+//! * [`analyze`] seeds every `param` variable with its own taint label,
+//!   propagates through assignments, arithmetic, and (uninterpretedly)
+//!   through calls, and records a [`TaintTrace`] per tainted variable;
+//! * metadata reads introduce `Taint::Meta` labels — the *shared metadata
+//!   structures* that bridge components (§4.1's key observation);
+//! * the result exposes the **facts** downstream extraction needs:
+//!   comparisons guarding `fail` paths ([`ComparisonFact`]), branch
+//!   conditions with their taint sets ([`BranchFact`]), and metadata
+//!   writes/uses ([`MetaWriteFact`], [`MetaUseFact`]).
+//!
+//! Like the paper's prototype, the default analysis is
+//! **intra-procedural** (each function analyzed in isolation); the
+//! inter-procedural extension the paper lists as future work is
+//! implemented behind [`AnalysisOptions::interprocedural`], which
+//! propagates taints across call edges and shared variables.
+
+mod analysis;
+mod facts;
+mod trace;
+
+pub use analysis::{analyze, AnalysisOptions, TaintResult};
+pub use facts::{BranchFact, ComparisonFact, MetaUseFact, MetaWriteFact, Taint};
+pub use trace::{TaintStep, TaintTrace};

@@ -1,0 +1,55 @@
+//! Taint traces: the instruction path along which a taint reached a
+//! variable (the paper: "when a new variable is added to the set, we add
+//! the corresponding instruction to the taint trace too").
+
+use serde::{Deserialize, Serialize};
+
+/// One step of a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintStep {
+    /// Function containing the instruction.
+    pub function: String,
+    /// Source line of the instruction.
+    pub line: u32,
+    /// Rendered form of the instruction (for reports).
+    pub what: String,
+}
+
+/// The trace for one (variable, taint) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintTrace {
+    /// The tainted variable's name.
+    pub var: String,
+    /// The taint that reached it.
+    pub taint: crate::Taint,
+    /// Instructions involved, in discovery order.
+    pub steps: Vec<TaintStep>,
+}
+
+impl TaintTrace {
+    /// A trace with no steps yet.
+    pub fn new(var: &str, taint: crate::Taint) -> Self {
+        TaintTrace { var: var.to_string(), taint, steps: Vec::new() }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, function: &str, line: u32, what: impl Into<String>) {
+        self.steps.push(TaintStep { function: function.to_string(), line, what: what.into() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Taint;
+
+    #[test]
+    fn trace_accumulates_steps() {
+        let mut t = TaintTrace::new("x", Taint::Param("b".into()));
+        t.push("main", 3, "x = b + 1");
+        t.push("main", 4, "y = x");
+        assert_eq!(t.steps.len(), 2);
+        assert_eq!(t.steps[0].line, 3);
+        assert_eq!(t.var, "x");
+    }
+}

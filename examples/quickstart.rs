@@ -1,0 +1,58 @@
+//! Quickstart: drive the whole ecosystem once — create, mount, use,
+//! defragment, resize, check — then extract the configuration
+//! dependencies that connect those stages.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use confdep_suite::blockdev::MemDevice;
+use confdep_suite::confdep::{extract_scenario, models, ExtractOptions};
+use confdep_suite::e2fstools::{Dumpe2fs, E2fsck, E4defrag, FsckMode, Mke2fs, MountCmd, Resize2fs};
+use confdep_suite::ext4sim::InodeNo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. create (mke2fs): 12 MiB file system on a 16 MiB device
+    let mkfs = Mke2fs::from_args(&["-b", "1024", "-L", "demo", "/dev/demo", "12288"])?;
+    let (dev, report) = mkfs.run(MemDevice::new(1024, 16384))?;
+    println!("created: {} blocks, {} groups, features [{}]", report.blocks_count, report.group_count, report.features);
+
+    // 2. mount and use the file system
+    let mount = MountCmd::from_option_string("data=ordered")?;
+    let mut fs = mount.run(dev)?;
+    let root = fs.root_inode();
+    let docs = fs.mkdir(root, "docs")?;
+    let file = fs.create_file(docs, "hello.txt")?;
+    fs.write_file(file, 0, b"hello, configuration dependencies!")?;
+    let entry = fs.lookup(docs, "hello.txt")?.expect("just created");
+    let content = fs.read_file_to_vec(InodeNo(entry.inode))?;
+    println!("mounted: wrote and read back {} bytes", content.len());
+
+    // 3. online stage: defragment
+    let defrag = E4defrag::new().run(&mut fs)?;
+    println!("defrag : {} files checked, {} defragmented", defrag.files_checked, defrag.files_defragmented);
+
+    // 4. offline stage: unmount, grow, check
+    let dev = fs.unmount()?;
+    let (dev, resize) = Resize2fs::to_size(16384).run(dev)?;
+    println!("resize : {} -> {} blocks", resize.old_blocks, resize.new_blocks);
+    let (dev, fsck) = E2fsck::with_mode(FsckMode::Fix).forced().run(dev)?;
+    println!("e2fsck : exit {}, {} fixes", fsck.exit_code, fsck.fixes.len());
+
+    // inspect the final image
+    let (_, dump) = Dumpe2fs::new().run(dev)?;
+    println!(
+        "dump   : '{}', {} blocks ({} free), {} groups, features [{}]",
+        dump.label,
+        dump.blocks_count,
+        dump.free_blocks,
+        dump.groups.len(),
+        dump.features.join(",")
+    );
+
+    // 5. extract the dependencies connecting these stages
+    let deps = extract_scenario(&models::all(), ExtractOptions::default())?;
+    println!("\nextracted {} configuration dependencies; the cross-component ones:", deps.len());
+    for d in deps.iter().filter(|d| d.is_cross_component()) {
+        println!("  {d}");
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! ConHandleCk: intentionally violate configuration dependencies against
+//! the live ecosystem and check how each violation is handled. Eleven
+//! violations are rejected gracefully; one — the Figure 1 dependency —
+//! is accepted and corrupts the file system.
+//!
+//! Run with: `cargo run --example violation_testing`
+
+use confdep_suite::contools::{run_conhandleck, Handling};
+
+fn main() {
+    let outcomes = run_conhandleck();
+    let mut graceful = 0;
+    let mut bad = 0;
+    for o in &outcomes {
+        match &o.handling {
+            Handling::Graceful { error } => {
+                graceful += 1;
+                println!("[graceful] case {:2}: {}", o.case.id, o.case.description);
+                println!("            error: {error}");
+            }
+            Handling::Accepted => {
+                println!("[accepted] case {:2}: {}", o.case.id, o.case.description);
+            }
+            Handling::BadHandling { corruption } => {
+                bad += 1;
+                println!("[ BAD !! ] case {:2}: {}", o.case.id, o.case.description);
+                println!("            violated dependency: {}", o.case.dependency);
+                println!("            silent corruption detected by e2fsck: {}", corruption.join(", "));
+            }
+        }
+    }
+    println!();
+    println!("{} violations injected: {graceful} graceful, {bad} bad handling (paper: 1 bad)", outcomes.len());
+}

@@ -1,0 +1,210 @@
+//! `confdep` — the command-line front end to the reproduction (the
+//! "practical open source tool" of the paper's future-work section).
+//!
+//! ```text
+//! confdep extract [--inter] [--no-bridge] [--json FILE]
+//! confdep evaluate
+//! confdep check-docs
+//! confdep check-handling
+//! confdep fuzz [--count N] [--seed S]
+//! confdep study
+//! ```
+
+use std::process::ExitCode;
+
+use confdep_suite::confdep::{
+    extract_scenario, models, DependencyReport, Evaluation, ExtractOptions,
+};
+use confdep_suite::contools::conbugck::{campaign, generate_naive, ConBugCk};
+use confdep_suite::contools::{run_condocck, run_conhandleck, Handling};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: confdep <command> [options]\n\
+         \n\
+         commands:\n\
+           extract         extract the multi-level configuration dependencies\n\
+             --inter         enable the inter-procedural taint extension\n\
+             --no-bridge     disable the shared-metadata bridge (no CCDs)\n\
+             --json FILE     write the dependencies to a JSON report\n\
+           evaluate        run the Table 5 evaluation against the ground truth\n\
+           check-docs      ConDocCk: report undocumented dependencies\n\
+           check-handling  ConHandleCk: inject dependency violations\n\
+           fuzz            ConBugCk: dependency-aware configuration testing\n\
+             --count N       configurations per strategy (default 40)\n\
+             --seed S        RNG seed (default 2022)\n\
+           study           print the empirical-study summaries (Tables 1-4)"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    match command.as_str() {
+        "extract" => {
+            let options = ExtractOptions {
+                interprocedural: flag(&args, "--inter"),
+                disable_bridge: flag(&args, "--no-bridge"),
+            };
+            let deps = match extract_scenario(&models::all(), options) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("extraction failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for d in &deps {
+                println!("{d}");
+            }
+            let by = |cat: &str| deps.iter().filter(|d| d.kind.category() == cat).count();
+            println!(
+                "\n{} dependencies (SD {}, CPD {}, CCD {})",
+                deps.len(),
+                by("SD"),
+                by("CPD"),
+                by("CCD")
+            );
+            if let Some(path) = value(&args, "--json") {
+                let report =
+                    DependencyReport::new("ext4-ecosystem", options.interprocedural, deps);
+                if let Err(e) = report.save(&path) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("JSON report written to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        "evaluate" => match Evaluation::run(ExtractOptions::default()) {
+            Ok(eval) => {
+                for s in &eval.scenarios {
+                    println!(
+                        "{:<44} SD {:>2}/{} CPD {:>2}/{} CCD {:>2}/{}",
+                        s.label,
+                        s.sd.extracted,
+                        s.sd.false_positives,
+                        s.cpd.extracted,
+                        s.cpd.false_positives,
+                        s.ccd.extracted,
+                        s.ccd.false_positives
+                    );
+                }
+                println!(
+                    "{:<44} SD {:>2}/{} CPD {:>2}/{} CCD {:>2}/{}",
+                    "Total Unique",
+                    eval.unique.sd.extracted,
+                    eval.unique.sd.false_positives,
+                    eval.unique.cpd.extracted,
+                    eval.unique.cpd.false_positives,
+                    eval.unique.ccd.extracted,
+                    eval.unique.ccd.false_positives
+                );
+                println!(
+                    "overall: {} dependencies, {} FP ({:.1}%)",
+                    eval.unique.total(),
+                    eval.unique.total_fp(),
+                    100.0 * eval.overall_fp_rate()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("evaluation failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "check-docs" => match run_condocck() {
+            Ok(issues) => {
+                for (i, issue) in issues.iter().enumerate() {
+                    println!("{:2}. [{}] {}", i + 1, issue.manual, issue.dependency);
+                }
+                println!("\n{} documentation issues", issues.len());
+                if issues.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+            }
+            Err(e) => {
+                eprintln!("ConDocCk failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "check-handling" => {
+            let outcomes = run_conhandleck();
+            let mut bad = 0;
+            for o in &outcomes {
+                let verdict = match &o.handling {
+                    Handling::Graceful { .. } => "graceful",
+                    Handling::Accepted => "accepted",
+                    Handling::BadHandling { .. } => {
+                        bad += 1;
+                        "BAD HANDLING"
+                    }
+                };
+                println!("case {:2} [{verdict:>12}] {}", o.case.id, o.case.description);
+            }
+            println!("\n{} cases, {} bad handling", outcomes.len(), bad);
+            if bad == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+        }
+        "fuzz" => {
+            let count: usize =
+                value(&args, "--count").and_then(|v| v.parse().ok()).unwrap_or(40);
+            let seed: u64 = value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+            let mut gen = match ConBugCk::new(seed) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("generator failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let aware = campaign(&gen.generate(count));
+            let naive = campaign(&generate_naive(seed, count));
+            println!(
+                "dependency-aware: {}/{} deep ({:.0}%)",
+                aware.deep,
+                aware.total,
+                100.0 * aware.deep_rate()
+            );
+            println!(
+                "naive random    : {}/{} deep ({:.0}%)",
+                naive.deep,
+                naive.total,
+                100.0 * naive.deep_rate()
+            );
+            ExitCode::SUCCESS
+        }
+        "study" => {
+            let t3 = study::classify_corpus();
+            println!(
+                "bug study : {} bugs | SD {:.1}% CPD {:.1}% CCD {:.1}%",
+                t3.total.bugs,
+                t3.total.sd_pct(),
+                t3.total.cpd_pct(),
+                t3.total.ccd_pct()
+            );
+            println!(
+                "taxonomy  : {} critical dependencies, {}/7 sub-categories observed",
+                study::total_critical_deps(),
+                study::observed_sub_categories()
+            );
+            for row in study::coverage_table() {
+                println!(
+                    "coverage  : {:<14} {:<10} {:>3} of >{} ({:.1}%)",
+                    row.suite,
+                    row.target,
+                    row.used,
+                    row.total - 1,
+                    row.pct()
+                );
+            }
+            println!("catalog   : {} file systems with multi-stage configuration", study::fs_catalog().len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

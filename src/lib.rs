@@ -1,0 +1,12 @@
+//! Umbrella crate for the confdep reproduction workspace.
+//!
+//! Re-exports every workspace crate so that examples and integration tests
+//! can reach the whole system through one dependency.
+pub use blockdev;
+pub use cir;
+pub use confdep;
+pub use contools;
+pub use e2fstools;
+pub use ext4sim;
+pub use study;
+pub use taint;

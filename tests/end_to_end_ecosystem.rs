@@ -1,0 +1,175 @@
+//! Integration tests driving the whole ecosystem across crates:
+//! lifecycle flows that span mke2fs, mount, the file system, e4defrag,
+//! resize2fs, and e2fsck.
+
+use confdep_suite::blockdev::{FileDevice, MemDevice};
+use confdep_suite::e2fstools::{E2fsck, E4defrag, FsckMode, Mke2fs, MountCmd, Resize2fs};
+use confdep_suite::ext4sim::{check_image, Ext4Fs, InodeNo, MountOptions};
+
+fn format_default(blocks: u64, device_blocks: u64) -> MemDevice {
+    let blocks_str = blocks.to_string();
+    let m = Mke2fs::from_args(&["-b", "1024", "/dev/e2e", &blocks_str]).unwrap();
+    m.run(MemDevice::new(1024, device_blocks)).unwrap().0
+}
+
+#[test]
+fn full_lifecycle_with_data_integrity() {
+    // create
+    let dev = format_default(12288, 16384);
+    // mount + populate
+    let mut fs = MountCmd::from_option_string("").unwrap().run(dev).unwrap();
+    let root = fs.root_inode();
+    let mut expected = Vec::new();
+    for i in 0..20u32 {
+        let name = format!("file-{i:02}");
+        let f = fs.create_file(root, &name).unwrap();
+        let payload: Vec<u8> = (0..(i * 137) % 5000).map(|j| (j % 251) as u8).collect();
+        fs.write_file(f, 0, &payload).unwrap();
+        expected.push((name, payload));
+    }
+    let dev = fs.unmount().unwrap();
+
+    // offline grow
+    let (dev, res) = Resize2fs::to_size(16384).run(dev).unwrap();
+    assert_eq!(res.new_blocks, 16384);
+
+    // fsck: must be clean after a correct resize
+    let (dev, fsck) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(fsck.exit_code, 0, "{:?}", fsck.report);
+
+    // remount and verify every byte
+    let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+    for (name, payload) in &expected {
+        let e = fs.lookup(fs.root_inode(), name).unwrap().expect(name);
+        assert_eq!(&fs.read_file_to_vec(InodeNo(e.inode)).unwrap(), payload);
+    }
+}
+
+#[test]
+fn crash_fsck_remount_cycle() {
+    let dev = format_default(12288, 16384);
+    // mount rw, write, crash (no unmount)
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let root = fs.root_inode();
+    let f = fs.create_file(root, "survivor").unwrap();
+    fs.write_file(f, 0, b"written before crash").unwrap();
+    let dev = fs.into_device_dirty();
+
+    // rw mount is refused on the dirty image
+    assert!(Ext4Fs::mount(dev.clone(), &MountOptions::default()).is_err());
+
+    // e2fsck -y repairs the dirty state
+    let (dev, fsck) = E2fsck::with_mode(FsckMode::Fix).run(dev).unwrap();
+    assert_eq!(fsck.exit_code, 1);
+
+    // now mountable, data intact
+    let fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let e = fs.lookup(fs.root_inode(), "survivor").unwrap().unwrap();
+    assert_eq!(fs.read_file_to_vec(InodeNo(e.inode)).unwrap(), b"written before crash");
+}
+
+#[test]
+fn grow_shrink_grow_stays_consistent() {
+    let dev = format_default(10000, 32768);
+    let (dev, _) = Resize2fs::to_size(20000).run(dev).unwrap();
+    let (dev, _) = Resize2fs::to_size(12000).run(dev).unwrap();
+    let (dev, res) = Resize2fs::to_size(30000).run(dev).unwrap();
+    assert_eq!(res.new_blocks, 30000);
+    let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+    let report = check_image(&fs).unwrap();
+    assert!(report.is_clean(), "findings: {:#?}", report.inconsistencies);
+}
+
+#[test]
+fn defrag_then_check_clean() {
+    let dev = format_default(12288, 16384);
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let root = fs.root_inode();
+    let a = fs.create_file(root, "frag-a").unwrap();
+    let b = fs.create_file(root, "frag-b").unwrap();
+    for i in 0..16u64 {
+        fs.write_file(a, i * 1024, &[0x11; 1024]).unwrap();
+        fs.write_file(b, i * 1024, &[0x22; 1024]).unwrap();
+    }
+    let report = E4defrag::new().run(&mut fs).unwrap();
+    assert!(report.extents_after < report.extents_before);
+    let dev = fs.unmount().unwrap();
+    let (_, fsck) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(fsck.exit_code, 0, "defrag must leave a consistent image: {:?}", fsck.report);
+}
+
+#[test]
+fn image_persists_through_a_file_backed_device() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("confdep-e2e-{}.img", std::process::id()));
+    {
+        let dev = FileDevice::create(&path, 1024, 8192).unwrap();
+        let (dev, _) = Mke2fs::from_args(&["-b", "1024", "/dev/img"]).unwrap().run(dev).unwrap();
+        let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+        let root = fs.root_inode();
+        let f = fs.create_file(root, "persisted.txt").unwrap();
+        fs.write_file(f, 0, b"on real disk").unwrap();
+        fs.unmount().unwrap();
+    }
+    // reopen the image from disk in a fresh device
+    let dev = FileDevice::open(&path, 1024).unwrap();
+    let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+    let e = fs.lookup(fs.root_inode(), "persisted.txt").unwrap().unwrap();
+    assert_eq!(fs.read_file_to_vec(InodeNo(e.inode)).unwrap(), b"on real disk");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn deep_directory_tree_survives_lifecycle() {
+    let dev = format_default(12288, 16384);
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let mut dir = fs.root_inode();
+    for depth in 0..8 {
+        dir = fs.mkdir(dir, &format!("level-{depth}")).unwrap();
+        let f = fs.create_file(dir, "marker").unwrap();
+        fs.write_file(f, 0, format!("depth {depth}").as_bytes()).unwrap();
+    }
+    let dev = fs.unmount().unwrap();
+    let (dev, fsck) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(fsck.exit_code, 0, "{:?}", fsck.report.inconsistencies);
+    // walk back down
+    let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+    let mut dir = fs.root_inode();
+    for depth in 0..8 {
+        let e = fs.lookup(dir, &format!("level-{depth}")).unwrap().unwrap();
+        dir = InodeNo(e.inode);
+        let m = fs.lookup(dir, "marker").unwrap().unwrap();
+        assert_eq!(fs.read_file_to_vec(InodeNo(m.inode)).unwrap(), format!("depth {depth}").as_bytes());
+    }
+}
+
+#[test]
+fn many_files_unlink_half_then_check() {
+    let dev = format_default(12288, 16384);
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let root = fs.root_inode();
+    for i in 0..120u32 {
+        let f = fs.create_file(root, &format!("n{i}")).unwrap();
+        fs.write_file(f, 0, &vec![i as u8; (i as usize * 31) % 2048]).unwrap();
+    }
+    for i in (0..120u32).step_by(2) {
+        fs.unlink(root, &format!("n{i}")).unwrap();
+    }
+    let dev = fs.unmount().unwrap();
+    let (dev, fsck) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(fsck.exit_code, 0, "{:?}", fsck.report.inconsistencies);
+    let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+    for i in 0..120u32 {
+        let found = fs.lookup(fs.root_inode(), &format!("n{i}")).unwrap();
+        assert_eq!(found.is_some(), i % 2 == 1, "file n{i}");
+    }
+}
+
+#[test]
+fn block_device_stats_show_io_amplification() {
+    use confdep_suite::blockdev::StatsDevice;
+    let dev = StatsDevice::new(MemDevice::new(1024, 16384));
+    let (dev, _) = Mke2fs::from_args(&["-b", "1024", "/dev/x", "12288"]).unwrap().run(dev).unwrap();
+    let format_writes = dev.stats().writes;
+    assert!(format_writes > 100, "format touches many metadata blocks: {format_writes}");
+}

@@ -1,0 +1,130 @@
+//! The Figure 1 condition matrix, exhaustively: the corruption requires
+//! *both* dependencies (sparse_super2 enabled AND size > current) and is
+//! repaired by e2fsck, after which the image is clean and usable.
+
+use confdep_suite::blockdev::MemDevice;
+use confdep_suite::e2fstools::{E2fsck, FsckMode, Mke2fs, Resize2fs, ResizeQuirks};
+use confdep_suite::ext4sim::{Ext4Fs, InodeNo, MountOptions};
+
+fn image(sparse_super2: bool) -> MemDevice {
+    let features = if sparse_super2 {
+        "sparse_super2,^sparse_super,^resize_inode"
+    } else {
+        "^resize_inode"
+    };
+    let m = Mke2fs::from_args(&["-b", "1024", "-O", features, "/dev/f1", "12288"]).unwrap();
+    m.run(MemDevice::new(1024, 16384)).unwrap().0
+}
+
+fn is_corrupted(dev: MemDevice) -> (MemDevice, bool) {
+    let (dev, res) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    (dev, res.exit_code != 0)
+}
+
+#[test]
+fn corruption_requires_both_conditions() {
+    // (sparse_super2, expand) -> corrupted
+    let (_, corrupted) = {
+        let (dev, _) = Resize2fs::to_size(16384).run(image(true)).unwrap();
+        is_corrupted(dev)
+    };
+    assert!(corrupted, "both conditions met must corrupt");
+
+    // (sparse_super2, no expand) -> clean
+    let (_, corrupted) = {
+        let (dev, _) = Resize2fs::to_size(12288).run(image(true)).unwrap();
+        is_corrupted(dev)
+    };
+    assert!(!corrupted, "no expansion, no corruption");
+
+    // (no sparse_super2, expand) -> clean
+    let (_, corrupted) = {
+        let (dev, _) = Resize2fs::to_size(16384).run(image(false)).unwrap();
+        is_corrupted(dev)
+    };
+    assert!(!corrupted, "no sparse_super2, no corruption");
+
+    // (no sparse_super2, no expand) -> clean
+    let (_, corrupted) = {
+        let (dev, _) = Resize2fs::to_size(12288).run(image(false)).unwrap();
+        is_corrupted(dev)
+    };
+    assert!(!corrupted);
+}
+
+#[test]
+fn shrink_does_not_trigger_the_bug() {
+    // the bug specifically concerns expansion ("size larger than the
+    // Ext4 size")
+    let (dev, res) = Resize2fs::to_size(9000).run(image(true)).unwrap();
+    assert_eq!(res.new_blocks, 9000);
+    let (_, corrupted) = is_corrupted(dev);
+    assert!(!corrupted, "shrinking must not corrupt");
+}
+
+#[test]
+fn fixed_quirk_matrix_is_fully_clean() {
+    let quirks = ResizeQuirks { sparse_super2_resize_bug: false };
+    for (ss2, target) in [(true, 16384u64), (true, 12288), (false, 16384)] {
+        let (dev, _) = Resize2fs::to_size(target).with_quirks(quirks).run(image(ss2)).unwrap();
+        let (_, corrupted) = is_corrupted(dev);
+        assert!(!corrupted, "fixed resize2fs corrupted (ss2={ss2}, target={target})");
+    }
+}
+
+#[test]
+fn e2fsck_repairs_the_figure1_damage() {
+    let (dev, _) = Resize2fs::to_size(16384).run(image(true)).unwrap();
+    // preen fixes the counter damage
+    let (dev, res) = E2fsck::with_mode(FsckMode::Preen).forced().run(dev).unwrap();
+    assert_eq!(res.exit_code, 1, "fixes: {:?}", res.fixes);
+    assert!(res.fixes.iter().any(|f| f.contains("free blocks")));
+    // second check: clean, and the fs is fully usable
+    let (dev, res2) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(res2.exit_code, 0);
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let f = fs.create_file(fs.root_inode(), "after-repair").unwrap();
+    fs.write_file(f, 0, b"usable again").unwrap();
+    assert_eq!(fs.read_file_to_vec(f).unwrap(), b"usable again");
+}
+
+#[test]
+fn corrupted_free_count_is_an_undercount() {
+    // the buggy path loses the newly added blocks: recorded < actual
+    let (dev, _) = Resize2fs::to_size(16384).run(image(true)).unwrap();
+    let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+    let report = confdep_suite::ext4sim::check_image(&fs).unwrap();
+    let sb_finding = report
+        .inconsistencies
+        .iter()
+        .find_map(|i| match &i.kind {
+            confdep_suite::ext4sim::InconsistencyKind::SuperFreeBlocks { recorded, actual } => {
+                Some((*recorded, *actual))
+            }
+            _ => None,
+        })
+        .expect("superblock free-count mismatch");
+    assert!(
+        sb_finding.0 < sb_finding.1,
+        "recorded {} must under-count actual {}",
+        sb_finding.0,
+        sb_finding.1
+    );
+    // and the delta is exactly the extension of the last group (4096 blocks)
+    assert_eq!(sb_finding.1 - sb_finding.0, 4096);
+}
+
+#[test]
+fn data_survives_the_buggy_resize() {
+    // Figure 1 corrupts *metadata accounting*; file contents survive,
+    // which is precisely why the bug is dangerous (silent until fsck)
+    let dev = image(true);
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let f = fs.create_file(fs.root_inode(), "data").unwrap();
+    fs.write_file(f, 0, &[0x5A; 8000]).unwrap();
+    let dev = fs.unmount().unwrap();
+    let (dev, _) = Resize2fs::to_size(16384).run(dev).unwrap();
+    let fs = Ext4Fs::mount(dev, &MountOptions { force: true, ..MountOptions::read_only() }).unwrap();
+    let e = fs.lookup(fs.root_inode(), "data").unwrap().unwrap();
+    assert_eq!(fs.read_file_to_vec(InodeNo(e.inode)).unwrap(), vec![0x5A; 8000]);
+}

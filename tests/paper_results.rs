@@ -1,0 +1,107 @@
+//! Integration test: every headline number of the paper, end to end.
+//!
+//! These are the acceptance tests of the reproduction — each assertion
+//! corresponds to a specific claim in the paper's text or tables.
+
+use confdep_suite::confdep::{Evaluation, ExtractOptions};
+use confdep_suite::contools::{run_condocck, run_conhandleck};
+
+#[test]
+fn abstract_headline_extraction() {
+    // "Our preliminary prototype is able to extract 64 multi-level
+    //  dependencies with a low false positive rate."
+    let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+    assert_eq!(eval.unique.total(), 64);
+    assert!((eval.overall_fp_rate() - 0.078).abs() < 0.001); // 7.8%
+}
+
+#[test]
+fn table5_category_breakdown() {
+    // "including 32 SD, 26 CPD, and 6 CCD"
+    let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+    assert_eq!(eval.unique.sd.extracted, 32);
+    assert_eq!(eval.unique.cpd.extracted, 26);
+    assert_eq!(eval.unique.ccd.extracted, 6);
+    assert_eq!(eval.unique.sd.false_positives, 3);
+    assert_eq!(eval.unique.cpd.false_positives, 1);
+    assert_eq!(eval.unique.ccd.false_positives, 1);
+}
+
+#[test]
+fn table3_bug_study() {
+    // Table 3: 67 bugs over four scenarios; SD 100%, CPD 7.5%, CCD 97.0%
+    let t = study::classify_corpus();
+    assert_eq!(t.total.bugs, 67);
+    assert_eq!(t.rows.iter().map(|r| r.bugs).collect::<Vec<_>>(), vec![13, 1, 17, 36]);
+    assert!((t.total.sd_pct() - 100.0).abs() < 0.01);
+    assert!((t.total.cpd_pct() - 7.5).abs() < 0.1);
+    assert!((t.total.ccd_pct() - 97.0).abs() < 0.1);
+}
+
+#[test]
+fn table4_taxonomy() {
+    // Table 4: 132 critical dependencies, 5/7 sub-categories observed
+    assert_eq!(study::total_critical_deps(), 132);
+    assert_eq!(study::observed_sub_categories(), 5);
+}
+
+#[test]
+fn table2_coverage() {
+    // Table 2: 29 of >85, 6 of >35, 7 of >15
+    let rows = study::coverage_table();
+    assert_eq!((rows[0].used, rows[1].used, rows[2].used), (29, 6, 7));
+    assert!(rows[0].total > 85 && rows[1].total > 35 && rows[2].total > 15);
+}
+
+#[test]
+fn mining_pipeline_numbers() {
+    // §3.1: ~2,700 keyword hits, 400 sampled, 67 kept
+    let (report, bugs) = study::mine_corpus();
+    assert_eq!(report.keyword_hits, 2700);
+    assert_eq!(report.sampled, 400);
+    assert_eq!(report.classified_bugs, 67);
+    assert_eq!(bugs.len(), 67);
+}
+
+#[test]
+fn section_4_3_applications() {
+    // "12 inaccurate documentations and 1 bad configuration handling"
+    let issues = run_condocck().unwrap();
+    assert_eq!(issues.len(), 12);
+    let outcomes = run_conhandleck();
+    assert_eq!(outcomes.iter().filter(|o| o.handling.is_bad()).count(), 1);
+}
+
+#[test]
+fn fifty_nine_true_dependencies_feed_the_applications() {
+    // "Based on the 59 extracted true dependencies..."
+    let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+    let trues =
+        eval.unique.deps.iter().filter(|d| confdep_suite::confdep::is_true_dependency(d)).count();
+    assert_eq!(trues, 59);
+}
+
+#[test]
+fn table1_catalog_shape() {
+    let catalog = study::fs_catalog();
+    assert_eq!(catalog.len(), 8);
+    // every FS is configurable at multiple stages (the modular-design point)
+    for e in &catalog {
+        assert!(e.utilities().len() >= 3);
+    }
+}
+
+#[test]
+fn scenario_rows_match_calibrated_expectations() {
+    // per-scenario rows (our measured values; EXPERIMENTS.md records the
+    // cell-level deviations from the paper's internally inconsistent rows)
+    let eval = Evaluation::run(ExtractOptions::default()).unwrap();
+    let row = |i: usize| {
+        let s = &eval.scenarios[i];
+        (s.sd.extracted, s.cpd.extracted, s.ccd.extracted)
+    };
+    assert_eq!(row(0), (29, 24, 0));
+    assert_eq!(row(1), (29, 24, 0)); // e4defrag adds nothing (intra-proc)
+    assert_eq!(row(2), (32, 26, 6)); // the resize2fs scenario — matches the paper row exactly
+    assert_eq!(row(3), (29, 24, 0));
+}

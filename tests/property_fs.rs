@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) on the core data structures and on
+//! whole-filesystem behaviour against reference models.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use confdep_suite::blockdev::MemDevice;
+use confdep_suite::e2fstools::Resize2fs;
+use confdep_suite::ext4sim::{
+    check_image, Bitmap, Ext4Fs, ExtentTree, Inode, MkfsParams, MountOptions, Superblock,
+};
+
+// ---------------------------------------------------------------------
+// bitmap vs a reference set
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BitOp {
+    Set(u32),
+    Clear(u32),
+}
+
+fn bit_ops(len: u32) -> impl Strategy<Value = Vec<BitOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..len).prop_map(BitOp::Set),
+            (0..len).prop_map(BitOp::Clear),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn bitmap_matches_reference_set(ops in bit_ops(256)) {
+        let mut bm = Bitmap::new(256, 32);
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                BitOp::Set(i) => {
+                    let prev = bm.set(i);
+                    prop_assert_eq!(prev, !model.insert(i));
+                }
+                BitOp::Clear(i) => {
+                    let prev = bm.clear(i);
+                    prop_assert_eq!(prev, model.remove(&i));
+                }
+            }
+        }
+        prop_assert_eq!(bm.count_set() as usize, model.len());
+        for i in 0..256u32 {
+            prop_assert_eq!(bm.get(i), model.contains(&i));
+        }
+        // round trip through bytes
+        let back = Bitmap::from_bytes(bm.as_bytes(), 256);
+        prop_assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn bitmap_find_clear_run_is_truthful(ops in bit_ops(128), want in 1u32..16) {
+        let mut bm = Bitmap::new(128, 16);
+        for op in ops {
+            match op {
+                BitOp::Set(i) => { bm.set(i % 128); }
+                BitOp::Clear(i) => { bm.clear(i % 128); }
+            }
+        }
+        if let Some(start) = bm.find_clear_run(0, want) {
+            for i in start..start + want {
+                prop_assert!(!bm.get(i), "bit {i} in the returned run is set");
+            }
+        } else {
+            // verify there really is no run of that length
+            let mut run = 0u32;
+            for i in 0..128u32 {
+                if bm.get(i) { run = 0; } else { run += 1; }
+                prop_assert!(run < want, "a clear run exists at {}", i + 1 - want);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// extent tree vs a reference map
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn extent_tree_maps_like_a_btreemap(
+        appends in prop::collection::vec((0u32..500, 1_000u64..100_000), 1..60)
+    ) {
+        let mut tree = ExtentTree::new();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut next_logical = 0u32;
+        for (gap, physical) in appends {
+            let logical = next_logical + gap % 3; // mostly contiguous, some holes
+            if tree.append(logical, physical).is_ok() {
+                model.insert(logical, physical);
+                next_logical = logical + 1;
+            }
+        }
+        for (&l, &p) in &model {
+            prop_assert_eq!(tree.map(l), Some(p), "logical {}", l);
+        }
+        prop_assert_eq!(tree.mapped_blocks() as usize, model.len());
+    }
+
+    #[test]
+    fn extent_tree_inline_round_trip(
+        appends in prop::collection::vec(1_000u64..1_000_000, 1..4)
+    ) {
+        // up to 4 discontiguous extents fit inline
+        let mut tree = ExtentTree::new();
+        for (i, p) in appends.iter().enumerate() {
+            tree.append(i as u32 * 10, *p).unwrap();
+        }
+        let mut area = [0u8; 60];
+        prop_assert!(tree.encode_inline(&mut area).is_none());
+        match ExtentTree::decode_inline(&area).unwrap() {
+            confdep_suite::ext4sim::ExtentRoot::Inline(back) => prop_assert_eq!(back, tree),
+            other => return Err(TestCaseError::fail(format!("expected inline, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// on-disk codec round trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn superblock_round_trips(
+        blocks in 64u64..u32::MAX as u64,
+        free in 0u64..u32::MAX as u64,
+        inodes in 16u32..1_000_000,
+        bpg in 1u32..65536,
+        label in "[a-z]{0,16}",
+    ) {
+        let mut sb = Superblock {
+            blocks_count: blocks,
+            free_blocks_count: free,
+            inodes_count: inodes,
+            blocks_per_group: bpg,
+            clusters_per_group: bpg,
+            inodes_per_group: inodes.max(16),
+            ..Superblock::default()
+        };
+        sb.set_label(&label);
+        let back = Superblock::from_bytes(&sb.to_bytes()).unwrap();
+        prop_assert_eq!(back, sb);
+    }
+
+    #[test]
+    fn inode_round_trips(
+        size in 0u64..1u64 << 40,
+        links in 0u16..1000,
+        blocks in 0u32..1_000_000,
+        area in prop::array::uniform32(0u8..)
+    ) {
+        let mut ino = Inode::new_file(false);
+        ino.size = size;
+        ino.links_count = links;
+        ino.blocks = blocks;
+        ino.block_area[..32].copy_from_slice(&area);
+        let back = Inode::from_bytes(&ino.to_bytes(128));
+        prop_assert_eq!(back, ino);
+    }
+}
+
+// ---------------------------------------------------------------------
+// whole-filesystem behaviour vs an in-memory reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create(u8),
+    Write(u8, u16, u8),
+    Unlink(u8),
+}
+
+fn fs_ops() -> impl Strategy<Value = Vec<FsOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(FsOp::Create),
+            (0u8..12, 0u16..5000, 0u8..255).prop_map(|(f, len, byte)| FsOp::Write(f, len, byte)),
+            (0u8..12).prop_map(FsOp::Unlink),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn file_operations_match_reference_model(ops in fs_ops()) {
+        let dev = MemDevice::new(1024, 16384);
+        let mut fs = Ext4Fs::format(
+            dev,
+            &MkfsParams { block_size: Some(1024), ..MkfsParams::default() },
+        ).unwrap();
+        let root = fs.root_inode();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                FsOp::Create(i) => {
+                    let name = format!("f{i}");
+                    let r = fs.create_file(root, &name);
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(name) {
+                        r.unwrap();
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate create must fail");
+                    }
+                }
+                FsOp::Write(i, len, byte) => {
+                    let name = format!("f{i}");
+                    if let Some(content) = model.get_mut(&name) {
+                        let e = fs.lookup(root, &name).unwrap().unwrap();
+                        let data = vec![byte; len as usize];
+                        fs.write_file(confdep_suite::ext4sim::InodeNo(e.inode), 0, &data).unwrap();
+                        if content.len() < data.len() {
+                            *content = data;
+                        } else {
+                            content[..data.len()].copy_from_slice(&data);
+                        }
+                    }
+                }
+                FsOp::Unlink(i) => {
+                    let name = format!("f{i}");
+                    let r = fs.unlink(root, &name);
+                    if model.remove(&name).is_some() {
+                        r.unwrap();
+                    } else {
+                        prop_assert!(r.is_err(), "unlink of a missing file must fail");
+                    }
+                }
+            }
+        }
+        // contents match the model
+        for (name, content) in &model {
+            let e = fs.lookup(root, name).unwrap().expect(name);
+            let data = fs.read_file_to_vec(confdep_suite::ext4sim::InodeNo(e.inode)).unwrap();
+            prop_assert_eq!(&data, content);
+        }
+        // survive a remount
+        let dev = fs.unmount().unwrap();
+        let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+        for name in model.keys() {
+            prop_assert!(fs.lookup(fs.root_inode(), name).unwrap().is_some());
+        }
+        // image is fully consistent
+        let report = check_image(&fs).unwrap();
+        prop_assert!(report.is_clean(), "{:#?}", report.inconsistencies);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn resize_sequences_preserve_consistency(
+        targets in prop::collection::vec(9_000u64..30_000, 1..5)
+    ) {
+        let m = confdep_suite::e2fstools::Mke2fs::from_args(
+            &["-b", "1024", "/dev/prop", "12288"],
+        ).unwrap();
+        let mut dev = m.run(MemDevice::new(1024, 32768)).unwrap().0;
+        for t in targets {
+            dev = match Resize2fs::to_size(t).run(dev) {
+                Ok((d, _)) => d,
+                Err(confdep_suite::e2fstools::ToolError::Refused(_)) => return Ok(()),
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            };
+            let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+            let report = check_image(&fs).unwrap();
+            prop_assert!(report.is_clean(), "after resize to {t}: {:#?}", report.inconsistencies);
+            dev = fs.unmount().unwrap();
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests on the analysis substrate: the CIR compiler
+//! never panics on arbitrary input, generated well-formed programs
+//! always compile and analyze, and directory blocks behave like a map.
+
+use proptest::prelude::*;
+
+use confdep_suite::cir;
+
+// ---------------------------------------------------------------------
+// CIR robustness: arbitrary input must error, never panic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(src in ".*") {
+        let _ = cir::lex(&src);
+    }
+
+    #[test]
+    fn compiler_never_panics(src in ".{0,400}") {
+        let _ = cir::compile(&src);
+    }
+
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just("component".to_string()),
+                Just("param".to_string()),
+                Just("fn".to_string()),
+                Just("if".to_string()),
+                Just("fail".to_string()),
+                Just("metadata".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("&&".to_string()),
+                Just("x".to_string()),
+                Just("42".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = cir::compile(&src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// generated well-formed programs always compile and analyze
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "component" | "param" | "fn" | "if" | "else" | "fail" | "return" | "let"
+                | "metadata" | "true" | "false"
+        )
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GenParam {
+    name: String,
+    min: i64,
+    max: i64,
+}
+
+fn gen_params() -> impl Strategy<Value = Vec<GenParam>> {
+    prop::collection::vec(
+        (ident(), 0i64..1000, 1000i64..100_000)
+            .prop_map(|(name, min, max)| GenParam { name, min, max }),
+        1..6,
+    )
+    .prop_map(|mut ps| {
+        ps.sort_by(|a, b| a.name.cmp(&b.name));
+        ps.dedup_by(|a, b| a.name == b.name);
+        ps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn generated_range_checks_extract_correct_bounds(params in gen_params()) {
+        let mut src = String::from("component generated;\n");
+        for p in &params {
+            src.push_str(&format!("param int {} = option(\"--{}\");\n", p.name, p.name));
+        }
+        src.push_str("fn validate() {\n");
+        for p in &params {
+            src.push_str(&format!(
+                "if ({n} < {min} || {n} > {max}) {{ fail(\"bad {n}\"); }}\n",
+                n = p.name,
+                min = p.min,
+                max = p.max
+            ));
+        }
+        src.push_str("}\n");
+        let deps = confdep_suite::confdep::extract_component(&src).unwrap();
+        for p in &params {
+            let range = deps
+                .iter()
+                .find(|d| {
+                    d.kind == confdep_suite::confdep::DepKind::SdValueRange
+                        && d.subject.param == p.name
+                })
+                .unwrap_or_else(|| panic!("no range extracted for {}", p.name));
+            prop_assert_eq!(range.detail.min, Some(p.min));
+            prop_assert_eq!(range.detail.max, Some(p.max));
+        }
+    }
+
+    #[test]
+    fn generated_conflict_pairs_extract_exactly(pairs in prop::collection::vec((ident(), ident()), 1..5)) {
+        let pairs: Vec<(String, String)> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .enumerate()
+            .map(|(i, (a, b))| (format!("{a}_{i}"), format!("{b}_{i}x")))
+            .collect();
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut src = String::from("component generated;\n");
+        for (a, b) in &pairs {
+            src.push_str(&format!("param bool {a} = feature(\"{a}\");\n"));
+            src.push_str(&format!("param bool {b} = feature(\"{b}\");\n"));
+        }
+        src.push_str("fn validate() {\n");
+        for (a, b) in &pairs {
+            src.push_str(&format!("if ({a} && {b}) {{ fail(\"conflict\"); }}\n"));
+        }
+        src.push_str("}\n");
+        let deps = confdep_suite::confdep::extract_component(&src).unwrap();
+        let controls: Vec<_> = deps
+            .iter()
+            .filter(|d| d.kind == confdep_suite::confdep::DepKind::CpdControl)
+            .collect();
+        prop_assert_eq!(controls.len(), pairs.len(), "deps: {:#?}", deps);
+    }
+}
+
+// ---------------------------------------------------------------------
+// directory blocks behave like a name -> inode map
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Add(u8, u32),
+    Remove(u8),
+}
+
+proptest! {
+    #[test]
+    fn dir_block_matches_reference_map(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u8..20, 100u32..10_000).prop_map(|(n, i)| DirOp::Add(n, i)),
+                (0u8..20).prop_map(DirOp::Remove),
+            ],
+            0..60,
+        )
+    ) {
+        use confdep_suite::ext4sim::dir::{add_entry, find_entry, init_block, parse_block, remove_entry};
+        use confdep_suite::ext4sim::FileType;
+        let mut block = vec![0u8; 1024];
+        init_block(&mut block, 2, 2);
+        let mut model: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+        for op in ops {
+            match op {
+                DirOp::Add(n, ino) => {
+                    let name = format!("entry-{n}");
+                    if model.contains_key(&name) {
+                        continue; // the fs layer prevents duplicates
+                    }
+                    if add_entry(&mut block, &name, ino, FileType::Regular).unwrap() {
+                        model.insert(name, ino);
+                    }
+                }
+                DirOp::Remove(n) => {
+                    let name = format!("entry-{n}");
+                    let removed = remove_entry(&mut block, &name).unwrap();
+                    prop_assert_eq!(removed, model.remove(&name));
+                }
+            }
+        }
+        // the block parses and matches the model (+ '.' and '..')
+        let entries = parse_block(&block).unwrap();
+        prop_assert_eq!(entries.len(), model.len() + 2);
+        for (name, ino) in &model {
+            let e = find_entry(&block, name).unwrap().unwrap_or_else(|| panic!("{name} missing"));
+            prop_assert_eq!(e.inode, *ino);
+        }
+    }
+}

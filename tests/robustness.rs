@@ -1,0 +1,129 @@
+//! Fault-injection robustness tests: the ecosystem against failing and
+//! corrupting devices.
+
+use confdep_suite::blockdev::{FaultPlan, FaultyDevice, InjectedFault, MemDevice};
+use confdep_suite::e2fstools::{E2fsck, FsckMode, Mke2fs, ToolError};
+use confdep_suite::ext4sim::{Ext4Fs, FsError, MountOptions};
+
+fn clean_image() -> MemDevice {
+    let m = Mke2fs::from_args(&["-b", "1024", "/dev/r", "12288"]).unwrap();
+    m.run(MemDevice::new(1024, 16384)).unwrap().0
+}
+
+#[test]
+fn write_failure_during_format_surfaces_as_error() {
+    let plan = FaultPlan::new().with(InjectedFault::FailWrite(10));
+    let dev = FaultyDevice::new(MemDevice::new(1024, 16384), plan);
+    let result = Mke2fs::from_args(&["-b", "1024", "/dev/r", "12288"]).unwrap().run(dev);
+    match result {
+        Err(ToolError::Fs(FsError::Device(_))) => {}
+        other => panic!("expected a device error, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_gone_mid_workload() {
+    let dev = clean_image();
+    // let a generous number of writes through, then yank the device
+    let plan = FaultPlan::new().with(InjectedFault::DeviceGone(50));
+    let dev = FaultyDevice::new(dev, plan);
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default()).unwrap();
+    let root = fs.root_inode();
+    let mut failed = false;
+    for i in 0..200u32 {
+        let r = fs
+            .create_file(root, &format!("f{i}"))
+            .and_then(|f| fs.write_file(f, 0, &[0u8; 2048]));
+        if r.is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "the yanked device must eventually fail a write");
+}
+
+#[test]
+fn corrupted_superblock_magic_rejected_and_recovered() {
+    let mut dev = clean_image();
+    // destroy the primary superblock's magic (block 1, offset 0x38)
+    dev.corrupt_byte(1, 0x38, 0x00).unwrap();
+    dev.corrupt_byte(1, 0x39, 0x00).unwrap();
+    assert!(matches!(
+        Ext4Fs::mount(dev.clone(), &MountOptions::default()),
+        Err(FsError::BadMagic { .. })
+    ));
+    // e2fsck -b 8193 recovers from the group-1 backup
+    let ck = E2fsck::with_mode(FsckMode::Fix).with_backup_superblock(8193, 1024);
+    let (dev, res) = ck.run(dev).unwrap();
+    assert!(res.exit_code <= 1);
+    // the primary is restored
+    let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+    assert_eq!(fs.superblock().blocks_count, 12288);
+}
+
+#[test]
+fn silent_bitmap_corruption_detected_by_fsck() {
+    let dev = clean_image();
+    let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+    let bitmap_block = fs.groups()[0].block_bitmap;
+    let mut dev = fs.unmount().unwrap();
+    // flip allocation bits behind the file system's back
+    dev.corrupt_byte(bitmap_block, 900, 0xFF).unwrap();
+    let (_, res) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(res.exit_code, 4, "fsck must notice the flipped bits");
+    assert!(!res.report.of_tag("group_free_blocks").is_empty());
+}
+
+#[test]
+fn fsck_repairs_silent_bitmap_corruption() {
+    let dev = clean_image();
+    let fs = Ext4Fs::open_for_maintenance(dev).unwrap();
+    let bitmap_block = fs.groups()[0].block_bitmap;
+    let mut dev = fs.unmount().unwrap();
+    dev.corrupt_byte(bitmap_block, 900, 0xFF).unwrap();
+    let (dev, res) = E2fsck::with_mode(FsckMode::Fix).forced().run(dev).unwrap();
+    assert_eq!(res.exit_code, 1);
+    let (_, res2) = E2fsck::with_mode(FsckMode::Check).forced().run(dev).unwrap();
+    assert_eq!(res2.exit_code, 0, "post-repair check: {:?}", res2.report);
+}
+
+#[test]
+fn torn_superblock_write_detected_via_backup() {
+    // a torn write that half-updates the primary superblock leaves a
+    // checksum/geometry mismatch a maintenance open can still survive
+    // through the backup path
+    let mut dev = clean_image();
+    // simulate the tear: zero the tail of the primary superblock block
+    for off in 128..256 {
+        dev.corrupt_byte(1, off, 0).unwrap();
+    }
+    // primary may still parse (magic intact) — e2fsck from the backup
+    // must succeed regardless
+    let ck = E2fsck::with_mode(FsckMode::Fix).with_backup_superblock(8193, 1024);
+    let (dev, res) = ck.run(dev).unwrap();
+    assert!(res.exit_code <= 1, "backup recovery failed: {:?}", res.report);
+    Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+}
+
+#[test]
+fn read_fault_surfaces_cleanly() {
+    let dev = clean_image();
+    let plan = FaultPlan::new().with(InjectedFault::FailRead(0));
+    let dev = FaultyDevice::new(dev, plan);
+    // the very first read (superblock) fails -> clean error, no panic
+    match Ext4Fs::mount(dev, &MountOptions::default()) {
+        Err(FsError::Device(_)) => {}
+        other => panic!("expected device error, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_wrapper_is_transparent() {
+    use confdep_suite::blockdev::StatsDevice;
+    let dev = StatsDevice::new(clean_image());
+    let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+    let entries = fs.readdir(fs.root_inode()).unwrap();
+    assert!(entries.iter().any(|e| e.name == "lost+found"));
+    assert!(fs.device().stats().reads > 0);
+    assert_eq!(fs.device().stats().writes, 0, "a ro mount must not write");
+}
