@@ -30,6 +30,10 @@ pub enum InjectedFault {
     /// Every write at or after the n-th write fails (models a device that
     /// was yanked mid-workload).
     DeviceGone(u64),
+    /// Fail the n-th flush (0-based). Models a volatile write cache
+    /// whose drain is interrupted — the barrier the file system relied
+    /// on never happens.
+    FailFlush(u64),
 }
 
 /// A schedule of [`InjectedFault`]s.
@@ -66,6 +70,7 @@ pub struct FaultyDevice<D> {
     plan: FaultPlan,
     reads: std::cell::Cell<u64>,
     writes: u64,
+    flushes: u64,
     corrupt_reads: BTreeMap<u64, (usize, u8)>,
 }
 
@@ -78,7 +83,14 @@ impl<D: BlockDevice> FaultyDevice<D> {
                 corrupt_reads.insert(block, (offset, value));
             }
         }
-        FaultyDevice { inner, plan, reads: std::cell::Cell::new(0), writes: 0, corrupt_reads }
+        FaultyDevice {
+            inner,
+            plan,
+            reads: std::cell::Cell::new(0),
+            writes: 0,
+            flushes: 0,
+            corrupt_reads,
+        }
     }
 
     /// Unwraps the inner device.
@@ -96,12 +108,30 @@ impl<D: BlockDevice> FaultyDevice<D> {
         self.writes
     }
 
+    /// Number of flushes observed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Faults scheduled for one exact write take precedence over the
+    /// open-ended `DeviceGone` range, regardless of plan order —
+    /// otherwise `DeviceGone(n)` would shadow a `TornWrite`/`FailWrite`
+    /// aimed at the same write and the plan's meaning would depend on
+    /// insertion order.
     fn write_fault(&self, nth: u64) -> Option<&InjectedFault> {
-        self.plan.faults().iter().find(|f| match f {
-            InjectedFault::FailWrite(n) | InjectedFault::TornWrite { nth: n, .. } => *n == nth,
-            InjectedFault::DeviceGone(n) => nth >= *n,
-            _ => false,
-        })
+        self.plan
+            .faults()
+            .iter()
+            .find(|f| match f {
+                InjectedFault::FailWrite(n) | InjectedFault::TornWrite { nth: n, .. } => *n == nth,
+                _ => false,
+            })
+            .or_else(|| {
+                self.plan
+                    .faults()
+                    .iter()
+                    .find(|f| matches!(f, InjectedFault::DeviceGone(n) if nth >= *n))
+            })
     }
 
     fn read_fault(&self, nth: u64) -> bool {
@@ -127,7 +157,15 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
         }
         self.inner.read_block(block, buf)?;
         if let Some(&(offset, value)) = self.corrupt_reads.get(&block) {
-            buf[offset % buf.len().max(1)] = value;
+            // A wrapped offset would silently corrupt the wrong byte;
+            // a misconfigured plan must surface, not hide.
+            let len = buf.len();
+            let byte = buf.get_mut(offset).ok_or_else(|| {
+                DeviceError::Io(format!(
+                    "corrupt-read offset {offset} out of range for {len}-byte block"
+                ))
+            })?;
+            *byte = value;
         }
         Ok(())
     }
@@ -156,6 +194,16 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     }
 
     fn flush(&mut self) -> Result<(), DeviceError> {
+        let nth = self.flushes;
+        self.flushes += 1;
+        let failed = self
+            .plan
+            .faults()
+            .iter()
+            .any(|f| matches!(f, InjectedFault::FailFlush(n) if *n == nth));
+        if failed {
+            return Err(DeviceError::Io(format!("injected flush failure at flush #{nth}")));
+        }
         self.inner.flush()
     }
 }
@@ -216,6 +264,71 @@ mod tests {
         dev.read_block(1, &mut buf).unwrap();
         assert_eq!(buf[3], 0x77);
         assert_eq!(buf[2], 0);
+    }
+
+    #[test]
+    fn corrupt_read_offset_out_of_range_errors() {
+        let plan =
+            FaultPlan::new().with(InjectedFault::CorruptRead { block: 1, offset: 512, value: 1 });
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        dev.write_block(1, &[0u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        let err = dev.read_block(1, &mut buf).unwrap_err();
+        assert!(matches!(err, DeviceError::Io(ref m) if m.contains("out of range")), "{err}");
+        // the buffer is untouched rather than corrupted at a wrapped offset
+        assert_eq!(buf, [0u8; 512]);
+    }
+
+    #[test]
+    fn torn_write_beats_device_gone_regardless_of_plan_order() {
+        for plan in [
+            FaultPlan::new()
+                .with(InjectedFault::DeviceGone(1))
+                .with(InjectedFault::TornWrite { nth: 1, bytes: 4 }),
+            FaultPlan::new()
+                .with(InjectedFault::TornWrite { nth: 1, bytes: 4 })
+                .with(InjectedFault::DeviceGone(1)),
+        ] {
+            let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+            dev.write_block(0, &[0xAAu8; 512]).unwrap();
+            // write 1 is torn (and reports success), not killed by DeviceGone
+            dev.write_block(0, &[0xBBu8; 512]).unwrap();
+            let mut buf = [0u8; 512];
+            dev.read_block(0, &mut buf).unwrap();
+            assert_eq!(&buf[..4], &[0xBB; 4]);
+            assert_eq!(buf[4], 0xAA);
+            // past the torn write, DeviceGone takes over
+            assert!(dev.write_block(0, &[0xCCu8; 512]).is_err());
+        }
+    }
+
+    #[test]
+    fn fail_write_beats_device_gone_at_same_nth() {
+        for plan in [
+            FaultPlan::new()
+                .with(InjectedFault::DeviceGone(0))
+                .with(InjectedFault::FailWrite(0)),
+            FaultPlan::new()
+                .with(InjectedFault::FailWrite(0))
+                .with(InjectedFault::DeviceGone(0)),
+        ] {
+            let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+            let err = dev.write_block(0, &[0u8; 512]).unwrap_err();
+            assert!(
+                matches!(err, DeviceError::Io(ref m) if m.contains("write failure at write #0")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fail_flush_fires_on_the_scheduled_flush_only() {
+        let plan = FaultPlan::new().with(InjectedFault::FailFlush(1));
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        assert!(dev.flush().is_ok());
+        assert!(dev.flush().is_err());
+        assert!(dev.flush().is_ok());
+        assert_eq!(dev.flushes(), 3);
     }
 
     #[test]

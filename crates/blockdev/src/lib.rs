@@ -9,7 +9,9 @@
 //! * [`FileDevice`] — a file-backed device so images can persist on disk,
 //! * [`FaultyDevice`] — a fault-injecting wrapper used by the robustness
 //!   tests (I/O errors, torn writes, silent corruption),
-//! * [`StatsDevice`] — an I/O-accounting wrapper used by the benchmarks.
+//! * [`StatsDevice`] — an I/O-accounting wrapper used by the benchmarks,
+//! * [`RecordingDevice`] — a write/flush recorder whose [`IoTrace`] the
+//!   crash-consistency explorer replays.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@ mod error;
 mod faulty;
 mod file;
 mod mem;
+mod recording;
 mod shared;
 mod stats;
 
@@ -40,5 +43,6 @@ pub use error::DeviceError;
 pub use faulty::{FaultPlan, FaultyDevice, InjectedFault};
 pub use file::FileDevice;
 pub use mem::MemDevice;
+pub use recording::{IoEvent, IoTrace, RecordingDevice};
 pub use shared::SharedDevice;
 pub use stats::{IoStats, StatsDevice};

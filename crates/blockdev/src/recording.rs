@@ -1,0 +1,283 @@
+//! A recording wrapper that captures the write/flush stream of a
+//! workload as a replayable I/O trace.
+//!
+//! Crash-consistency exploration (the `crashsim` crate) needs to ask:
+//! "what would the disk look like if power failed after the k-th
+//! write?" [`RecordingDevice`] answers by logging every write (with
+//! the overwritten pre-image) and every flush barrier. The resulting
+//! [`IoTrace`] can re-create the device state at any write boundary,
+//! in either direction:
+//!
+//! * [`IoTrace::apply_prefix`] replays writes onto the pre-workload
+//!   image,
+//! * [`IoTrace::undo_suffix`] rolls writes back from the final image
+//!   using the recorded pre-images.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BlockDevice, DeviceError};
+
+/// One event of a recorded I/O stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoEvent {
+    /// A block write: the data that was written and the bytes it
+    /// overwrote.
+    Write {
+        /// Target block number.
+        block: u64,
+        /// Bytes written.
+        data: Vec<u8>,
+        /// Bytes the write replaced (for rollback).
+        pre: Vec<u8>,
+    },
+    /// A flush barrier: every earlier write is durable past this point.
+    Flush,
+}
+
+/// A replayable trace of a workload's writes and flush barriers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoTrace {
+    events: Vec<IoEvent>,
+}
+
+impl IoTrace {
+    /// The recorded events, in issue order.
+    pub fn events(&self) -> &[IoEvent] {
+        &self.events
+    }
+
+    /// Number of recorded writes.
+    pub fn write_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, IoEvent::Write { .. })).count()
+    }
+
+    /// Number of recorded flush barriers.
+    pub fn flush_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, IoEvent::Flush)).count()
+    }
+
+    /// Event indices of the writes, in order.
+    pub fn write_indices(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, IoEvent::Write { .. }).then_some(i))
+            .collect()
+    }
+
+    /// Index (into [`Self::events`]) one past the last flush barrier,
+    /// or 0 if no flush was recorded. Writes before this point are
+    /// durable even on a device with a volatile cache.
+    pub fn durable_boundary(&self) -> usize {
+        self.events
+            .iter()
+            .rposition(|e| matches!(e, IoEvent::Flush))
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Replays the first `prefix_writes` writes onto `dev` (which must
+    /// hold the pre-workload image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `dev`.
+    pub fn apply_prefix<D: BlockDevice>(
+        &self,
+        dev: &mut D,
+        prefix_writes: usize,
+    ) -> Result<(), DeviceError> {
+        let mut done = 0;
+        for event in &self.events {
+            if done == prefix_writes {
+                break;
+            }
+            if let IoEvent::Write { block, data, .. } = event {
+                dev.write_block(*block, data)?;
+                done += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back every write after the first `keep_writes` on `dev`
+    /// (which must hold the post-workload image), restoring the
+    /// recorded pre-images in reverse order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `dev`.
+    pub fn undo_suffix<D: BlockDevice>(
+        &self,
+        dev: &mut D,
+        keep_writes: usize,
+    ) -> Result<(), DeviceError> {
+        let mut seen = 0;
+        let mut undo = Vec::new();
+        for event in &self.events {
+            if let IoEvent::Write { block, pre, .. } = event {
+                if seen >= keep_writes {
+                    undo.push((*block, pre));
+                }
+                seen += 1;
+            }
+        }
+        for (block, pre) in undo.into_iter().rev() {
+            dev.write_block(block, pre)?;
+        }
+        Ok(())
+    }
+}
+
+/// Wraps a [`BlockDevice`] and records its write/flush stream.
+#[derive(Debug)]
+pub struct RecordingDevice<D> {
+    inner: D,
+    trace: IoTrace,
+}
+
+impl<D: BlockDevice> RecordingDevice<D> {
+    /// Starts recording on top of `inner` (whose current contents are
+    /// the trace's implicit pre-workload image).
+    pub fn new(inner: D) -> Self {
+        RecordingDevice { inner, trace: IoTrace::default() }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &IoTrace {
+        &self.trace
+    }
+
+    /// Stops recording, returning the device and the trace.
+    pub fn into_parts(self) -> (D, IoTrace) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for RecordingDevice<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        let mut pre = vec![0u8; buf.len()];
+        self.inner.read_block(block, &mut pre)?;
+        self.inner.write_block(block, buf)?;
+        self.trace.events.push(IoEvent::Write { block, data: buf.to_vec(), pre });
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        self.inner.flush()?;
+        // Collapse runs of flushes: a second barrier with no writes in
+        // between adds no ordering information.
+        if !matches!(self.trace.events.last(), Some(IoEvent::Flush) | None) {
+            self.trace.events.push(IoEvent::Flush);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn block(byte: u8) -> Vec<u8> {
+        vec![byte; 512]
+    }
+
+    fn record_workload() -> (MemDevice, IoTrace, MemDevice) {
+        let pre = MemDevice::new(512, 8);
+        let mut rec = RecordingDevice::new(pre.clone());
+        rec.write_block(0, &block(0x11)).unwrap();
+        rec.write_block(1, &block(0x22)).unwrap();
+        rec.flush().unwrap();
+        rec.write_block(0, &block(0x33)).unwrap();
+        let (post, trace) = rec.into_parts();
+        (pre, trace, post)
+    }
+
+    #[test]
+    fn trace_counts_writes_and_flushes() {
+        let (_, trace, _) = record_workload();
+        assert_eq!(trace.write_count(), 3);
+        assert_eq!(trace.flush_count(), 1);
+        assert_eq!(trace.write_indices(), vec![0, 1, 3]);
+        assert_eq!(trace.durable_boundary(), 3);
+    }
+
+    #[test]
+    fn redundant_flushes_collapse() {
+        let mut rec = RecordingDevice::new(MemDevice::new(512, 4));
+        rec.flush().unwrap(); // leading flush: no writes to order
+        rec.write_block(0, &block(1)).unwrap();
+        rec.flush().unwrap();
+        rec.flush().unwrap();
+        let (_, trace) = rec.into_parts();
+        assert_eq!(trace.flush_count(), 1);
+    }
+
+    #[test]
+    fn apply_prefix_reaches_every_intermediate_state() {
+        let (pre, trace, post) = record_workload();
+        // prefix 0 = untouched pre-image
+        let mut dev = pre.clone();
+        trace.apply_prefix(&mut dev, 0).unwrap();
+        assert_eq!(dev.read_block_vec(0).unwrap(), block(0));
+        // prefix 2 = first two writes
+        let mut dev = pre.clone();
+        trace.apply_prefix(&mut dev, 2).unwrap();
+        assert_eq!(dev.read_block_vec(0).unwrap(), block(0x11));
+        assert_eq!(dev.read_block_vec(1).unwrap(), block(0x22));
+        // full prefix = final image
+        let mut dev = pre.clone();
+        trace.apply_prefix(&mut dev, trace.write_count()).unwrap();
+        assert_eq!(dev.read_block_vec(0).unwrap(), post.read_block_vec(0).unwrap());
+        assert_eq!(dev.read_block_vec(1).unwrap(), post.read_block_vec(1).unwrap());
+    }
+
+    #[test]
+    fn undo_suffix_inverts_apply_prefix() {
+        let (pre, trace, post) = record_workload();
+        for keep in 0..=trace.write_count() {
+            let mut rolled = post.clone();
+            trace.undo_suffix(&mut rolled, keep).unwrap();
+            let mut replayed = pre.clone();
+            trace.apply_prefix(&mut replayed, keep).unwrap();
+            for b in 0..8u64 {
+                assert_eq!(
+                    rolled.read_block_vec(b).unwrap(),
+                    replayed.read_block_vec(b).unwrap(),
+                    "keep={keep} block={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_writes_roll_back_in_reverse_order() {
+        let mut rec = RecordingDevice::new(MemDevice::new(512, 2));
+        rec.write_block(0, &block(1)).unwrap();
+        rec.write_block(0, &block(2)).unwrap();
+        rec.write_block(0, &block(3)).unwrap();
+        let (mut dev, trace) = rec.into_parts();
+        trace.undo_suffix(&mut dev, 1).unwrap();
+        assert_eq!(dev.read_block_vec(0).unwrap(), block(1));
+    }
+
+    #[test]
+    fn trace_serializes_and_round_trips() {
+        let (_, trace, _) = record_workload();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: IoTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

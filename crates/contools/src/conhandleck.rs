@@ -66,8 +66,10 @@ fn graceful<T>(result: Result<T, ToolError>) -> Handling {
 }
 
 /// Formats a standard 12288-block image on a 16384-block device with the
-/// given extra `-O` tokens.
-fn image_with(features: &str) -> MemDevice {
+/// given extra `-O` tokens. The 4096 spare blocks leave room for the
+/// growing-resize cases (and for crash-consistency workloads, which
+/// reuse this geometry).
+pub fn standard_image(features: &str) -> MemDevice {
     let mut args = vec!["-b", "1024"];
     if !features.is_empty() {
         args.push("-O");
@@ -153,21 +155,21 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
 
     // 7. CCD: mount -o dax on a 1 KiB-block file system
     push(7, "CcdControl|mke2fs:blocksize|mount:dax", "mount -o dax on 1k blocks", {
-        let dev = image_with("");
+        let dev = standard_image("");
         let m = MountCmd::from_option_string("dax").expect("dax parses");
         graceful(m.run(dev).map(|_| ()))
     });
 
     // 8. CCD: data=journal without a journal
     push(8, "CcdControl|mke2fs:has_journal|mount:data", "mount -o data=journal on ^has_journal", {
-        let dev = image_with("^has_journal");
+        let dev = standard_image("^has_journal");
         let m = MountCmd::from_option_string("data=journal").expect("parses");
         graceful(m.run(dev).map(|_| ()))
     });
 
     // 9. CCD: e4defrag on a non-extent file system
     push(9, "CcdBehavioral|mke2fs:extent|e4defrag", "e4defrag on ^extent with fragmented files", {
-        let dev = image_with("^extent,^64bit,^bigalloc");
+        let dev = standard_image("^extent,^64bit,^bigalloc");
         let mut fs = Ext4Fs::mount(dev, &ext4sim::MountOptions::default()).expect("mounts");
         let root = fs.root_inode();
         let a = fs.create_file(root, "a").expect("create");
@@ -181,7 +183,7 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
 
     // 10. SD: resize2fs beyond the device
     push(10, "SdValueRange|resize2fs:new_size(device)", "resize2fs to 99999 on a 16384-block device", {
-        let dev = image_with("");
+        let dev = standard_image("");
         graceful(Resize2fs::to_size(99_999).run(dev).map(|_| ()))
     });
 
@@ -191,7 +193,7 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
         "CcdBehavioral|mke2fs:sparse_super2|resize2fs:<behavior>",
         "mke2fs -O sparse_super2, then resize2fs to a larger size",
         {
-            let dev = image_with("sparse_super2,^sparse_super,^resize_inode");
+            let dev = standard_image("sparse_super2,^sparse_super,^resize_inode");
             match Resize2fs::to_size(16384).run(dev) {
                 Err(e) => Handling::Graceful { error: e.to_string() },
                 Ok((dev, _)) => {

@@ -22,4 +22,4 @@ pub use conbugck::{
     GeneratedConfig, RunDepth,
 };
 pub use condocck::{ext4_kernel_doc, run_condocck, DocIssue, DocIssueKind};
-pub use conhandleck::{run_conhandleck, Handling, ViolationCase, ViolationOutcome};
+pub use conhandleck::{run_conhandleck, standard_image, Handling, ViolationCase, ViolationOutcome};

@@ -1,0 +1,192 @@
+//! Report types: what happened at each explored crash point.
+
+use serde::{Deserialize, Serialize};
+
+/// How a crash image was derived from the recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashKind {
+    /// Power failed after exactly `writes` writes reached the platter
+    /// (in issue order, nothing reordered).
+    Prefix {
+        /// Writes that completed before the failure.
+        writes: usize,
+    },
+    /// Write number `write` (1-based) was torn: only its first
+    /// `persisted` bytes made it, the rest of the block kept its old
+    /// contents.
+    TornWrite {
+        /// The interrupted write.
+        write: usize,
+        /// Bytes of the new data that persisted.
+        persisted: usize,
+    },
+    /// The device had a volatile write cache: at the crash, every write
+    /// after the last completed flush barrier was dropped — except
+    /// write `straggler` (1-based), which the cache had already evicted
+    /// out of order.
+    VolatileCache {
+        /// Writes guaranteed durable by the last flush barrier.
+        durable: usize,
+        /// The one post-barrier write that persisted anyway.
+        straggler: usize,
+    },
+}
+
+impl CrashKind {
+    /// Writes guaranteed present in the crash image and covered by its
+    /// durability contract — data loss is only judged against these.
+    pub fn guaranteed_writes(&self) -> usize {
+        match *self {
+            CrashKind::Prefix { writes } => writes,
+            CrashKind::TornWrite { write, .. } => write - 1,
+            CrashKind::VolatileCache { durable, .. } => durable,
+        }
+    }
+}
+
+/// Outcome class of one crash point, worst last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// `e2fsck -n -f` finds nothing; the image mounts as-is.
+    Consistent,
+    /// `e2fsck -y` (possibly via a backup superblock) restores a clean,
+    /// mountable image with all flush-covered data intact.
+    Repairable,
+    /// The image was repaired and mounts, but data a flush barrier had
+    /// guaranteed durable is gone.
+    DataLoss,
+    /// No fsck strategy produced a clean, mountable image.
+    Unrecoverable,
+}
+
+/// One explored crash point and its fate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashOutcome {
+    /// How the image was derived.
+    pub kind: CrashKind,
+    /// The classification.
+    pub verdict: Verdict,
+    /// Exit code of the deciding `e2fsck` run, when one ran to
+    /// completion (0 = clean, 1 = corrected, 4 = uncorrected).
+    pub fsck_exit: Option<i32>,
+    /// Number of fixes the repair applied.
+    pub fixes: usize,
+    /// Whether recovery needed a backup superblock (`e2fsck -b`).
+    pub used_backup_superblock: bool,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Per-verdict totals of a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictCounts {
+    /// Crash points already consistent.
+    pub consistent: usize,
+    /// Crash points repaired losslessly.
+    pub repairable: usize,
+    /// Crash points repaired with durable data missing.
+    pub data_loss: usize,
+    /// Crash points no strategy recovered.
+    pub unrecoverable: usize,
+}
+
+/// Everything the explorer learned about one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashReport {
+    /// Workload name.
+    pub workload: String,
+    /// Writes in the recorded trace.
+    pub writes: usize,
+    /// Flush barriers in the recorded trace.
+    pub flushes: usize,
+    /// One entry per explored crash point.
+    pub outcomes: Vec<CrashOutcome>,
+}
+
+impl CrashReport {
+    /// Totals by verdict.
+    pub fn counts(&self) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for o in &self.outcomes {
+            match o.verdict {
+                Verdict::Consistent => c.consistent += 1,
+                Verdict::Repairable => c.repairable += 1,
+                Verdict::DataLoss => c.data_loss += 1,
+                Verdict::Unrecoverable => c.unrecoverable += 1,
+            }
+        }
+        c
+    }
+
+    /// Crash points that left the image in need of repair (or worse).
+    pub fn corrupting(&self) -> usize {
+        self.outcomes.len() - self.counts().consistent
+    }
+
+    /// The worst verdict seen, or `Consistent` for an empty report.
+    pub fn worst(&self) -> Verdict {
+        self.outcomes.iter().map(|o| o.verdict).max().unwrap_or(Verdict::Consistent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(verdict: Verdict) -> CrashOutcome {
+        CrashOutcome {
+            kind: CrashKind::Prefix { writes: 0 },
+            verdict,
+            fsck_exit: Some(0),
+            fixes: 0,
+            used_backup_superblock: false,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn verdicts_order_by_severity() {
+        assert!(Verdict::Consistent < Verdict::Repairable);
+        assert!(Verdict::Repairable < Verdict::DataLoss);
+        assert!(Verdict::DataLoss < Verdict::Unrecoverable);
+    }
+
+    #[test]
+    fn counts_and_worst() {
+        let report = CrashReport {
+            workload: "t".to_string(),
+            writes: 3,
+            flushes: 1,
+            outcomes: vec![
+                outcome(Verdict::Consistent),
+                outcome(Verdict::Repairable),
+                outcome(Verdict::Repairable),
+            ],
+        };
+        let c = report.counts();
+        assert_eq!((c.consistent, c.repairable, c.data_loss, c.unrecoverable), (1, 2, 0, 0));
+        assert_eq!(report.corrupting(), 2);
+        assert_eq!(report.worst(), Verdict::Repairable);
+    }
+
+    #[test]
+    fn guaranteed_writes_per_kind() {
+        assert_eq!(CrashKind::Prefix { writes: 5 }.guaranteed_writes(), 5);
+        assert_eq!(CrashKind::TornWrite { write: 5, persisted: 100 }.guaranteed_writes(), 4);
+        assert_eq!(CrashKind::VolatileCache { durable: 2, straggler: 5 }.guaranteed_writes(), 2);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = CrashReport {
+            workload: "t".to_string(),
+            writes: 1,
+            flushes: 0,
+            outcomes: vec![outcome(Verdict::Unrecoverable)],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CrashReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workload, report.workload);
+        assert_eq!(back.outcomes[0].verdict, Verdict::Unrecoverable);
+    }
+}

@@ -1,0 +1,207 @@
+//! Canonical workloads whose write streams the explorer crash-tests.
+//!
+//! Each builder runs one ecosystem operation over a [`RecordingDevice`]
+//! and packages the pre-image, the trace, the durability expectations
+//! and the backup-superblock candidates into a [`Workload`].
+
+use blockdev::{MemDevice, RecordingDevice};
+use contools::standard_image;
+use e2fstools::{backup_superblock_candidates, E4defrag, Mke2fs, Resize2fs, ToolError};
+use ext4sim::{Ext4Fs, MountOptions};
+
+use crate::IoTrace;
+
+/// Data the workload made durable: once `durable_after` writes are
+/// guaranteed on disk (a flush barrier covered them), `file` must
+/// survive any crash with exactly `content`.
+#[derive(Debug, Clone)]
+pub struct DurableExpectation {
+    /// File name in the root directory.
+    pub file: String,
+    /// Expected contents.
+    pub content: Vec<u8>,
+    /// Trace write count at the moment the data was flushed.
+    pub durable_after: usize,
+}
+
+/// A recorded workload, ready for crash-point exploration.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Name used in the report.
+    pub name: String,
+    /// Device contents before the traced operation.
+    pub pre: MemDevice,
+    /// The operation's write/flush stream.
+    pub trace: IoTrace,
+    /// File-system block size (for `e2fsck -B`).
+    pub block_size: u32,
+    /// Durability contract to judge data loss against.
+    pub expectations: Vec<DurableExpectation>,
+    /// Blocks to try with `e2fsck -b` when the primary superblock is
+    /// unusable.
+    pub backup_superblocks: Vec<u64>,
+}
+
+/// Backup-superblock candidates of the file system on `dev`, or none
+/// when the image is not (yet) openable.
+fn candidates_from(dev: &MemDevice) -> Vec<u64> {
+    Ext4Fs::open_for_maintenance(dev.clone())
+        .map(|fs| backup_superblock_candidates(fs.layout()))
+        .unwrap_or_default()
+}
+
+/// `mke2fs -b 1024 /dev/crash 12288` on a blank device. Early crash
+/// points leave no recognisable file system at all — format is the one
+/// workload where `Unrecoverable` outcomes are the expected baseline.
+pub fn format_workload() -> Result<Workload, ToolError> {
+    let blank = MemDevice::new(1024, 16384);
+    let m = Mke2fs::from_args(&["-b", "1024", "/dev/crash", "12288"])?;
+    let (rec, _) = m.run(RecordingDevice::new(blank.clone()))?;
+    let (post, trace) = rec.into_parts();
+    Ok(Workload {
+        name: "mke2fs-format".to_string(),
+        pre: blank,
+        trace,
+        block_size: 1024,
+        expectations: Vec::new(),
+        backup_superblocks: candidates_from(&post),
+    })
+}
+
+/// The paper's Figure 1 case: grow a `sparse_super2` file system with
+/// `resize2fs`. Even the *complete* trace is a corrupting "crash point"
+/// here — the resize itself miscomputes the last group's free blocks.
+pub fn figure1_resize_workload() -> Result<Workload, ToolError> {
+    // the same image ConHandleCk injects its Figure 1 violation into —
+    // crash exploration extends that completed-operation check to every
+    // mid-operation power-failure point
+    let pre = standard_image("sparse_super2,^sparse_super,^resize_inode");
+    let (rec, _) = Resize2fs::to_size(16384).run(RecordingDevice::new(pre.clone()))?;
+    let (post, trace) = rec.into_parts();
+    // the resize may relocate the sparse_super2 backups: candidates from
+    // both the old and the new geometry are valid recovery points
+    let mut backups = candidates_from(&pre);
+    for b in candidates_from(&post) {
+        if !backups.contains(&b) {
+            backups.push(b);
+        }
+    }
+    Ok(Workload {
+        name: "figure1-sparse-super2-resize".to_string(),
+        pre,
+        trace,
+        block_size: 1024,
+        expectations: Vec::new(),
+        backup_superblocks: backups,
+    })
+}
+
+/// Mount–write–unmount cycles on a journalled file system, one cycle
+/// per `(name, content)` pair. Each clean unmount commits through the
+/// journal and ends in a flush, so every earlier cycle's file is part
+/// of the durability contract from that point on.
+pub fn journaled_write_workload(files: &[(String, Vec<u8>)]) -> Result<Workload, ToolError> {
+    let m = Mke2fs::from_args(&["-b", "1024", "/dev/crash", "4096"])?;
+    let (pre, _) = m.run(MemDevice::new(1024, 4096))?;
+    let mut rec = RecordingDevice::new(pre.clone());
+    let mut expectations = Vec::new();
+    for (name, content) in files {
+        let mut fs = Ext4Fs::mount(rec, &MountOptions::default())?;
+        let root = fs.root_inode();
+        let ino = fs.create_file(root, name)?;
+        if !content.is_empty() {
+            fs.write_file(ino, 0, content)?;
+        }
+        rec = fs.unmount()?;
+        expectations.push(DurableExpectation {
+            file: name.clone(),
+            content: content.clone(),
+            durable_after: rec.trace().write_count(),
+        });
+    }
+    let (_, trace) = rec.into_parts();
+    Ok(Workload {
+        name: "journaled-file-writes".to_string(),
+        pre,
+        trace,
+        block_size: 1024,
+        // single block group: no backup superblocks exist
+        expectations,
+        backup_superblocks: Vec::new(),
+    })
+}
+
+/// `e4defrag` over two deliberately interleaved files. Both files were
+/// durable before the defragmenter started, so they must survive every
+/// crash point with their contents intact (`durable_after: 0`).
+pub fn defrag_workload() -> Result<Workload, ToolError> {
+    let dev = standard_image("");
+    let mut fs = Ext4Fs::mount(dev, &MountOptions::default())?;
+    let root = fs.root_inode();
+    let a = fs.create_file(root, "frag_a")?;
+    let b = fs.create_file(root, "frag_b")?;
+    // alternate extends so the two files' blocks interleave on disk
+    for i in 0..8u64 {
+        fs.write_file(a, i * 1024, &[0xAA; 1024])?;
+        fs.write_file(b, i * 1024, &[0xBB; 1024])?;
+    }
+    let pre = fs.unmount()?;
+
+    let rec = RecordingDevice::new(pre.clone());
+    let mut fs = Ext4Fs::mount(rec, &MountOptions::default())?;
+    E4defrag::new().run(&mut fs)?;
+    let rec = fs.unmount()?;
+    let (_, trace) = rec.into_parts();
+    let expectations = vec![
+        DurableExpectation { file: "frag_a".to_string(), content: vec![0xAA; 8 * 1024], durable_after: 0 },
+        DurableExpectation { file: "frag_b".to_string(), content: vec![0xBB; 8 * 1024], durable_after: 0 },
+    ];
+    let backup_superblocks = candidates_from(&pre);
+    Ok(Workload {
+        name: "e4defrag-online".to_string(),
+        pre,
+        trace,
+        block_size: 1024,
+        expectations,
+        backup_superblocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journaled_workload_records_expectations_in_order() {
+        let files = vec![
+            ("alpha".to_string(), vec![1u8; 700]),
+            ("beta".to_string(), vec![2u8; 300]),
+        ];
+        let w = journaled_write_workload(&files).unwrap();
+        assert_eq!(w.expectations.len(), 2);
+        assert!(w.expectations[0].durable_after < w.expectations[1].durable_after);
+        assert_eq!(w.expectations[1].durable_after, w.trace.write_count());
+        // each unmount commits through the journal and flushes
+        assert!(w.trace.flush_count() >= 2, "flushes: {}", w.trace.flush_count());
+    }
+
+    #[test]
+    fn format_workload_traces_the_whole_format() {
+        let w = format_workload().unwrap();
+        assert!(w.trace.write_count() > 10);
+        assert_eq!(w.backup_superblocks, vec![8193]);
+    }
+
+    #[test]
+    fn figure1_workload_knows_its_backups() {
+        let w = figure1_resize_workload().unwrap();
+        assert!(w.backup_superblocks.contains(&8193), "{:?}", w.backup_superblocks);
+        assert!(w.trace.write_count() > 0);
+    }
+
+    #[test]
+    fn defrag_workload_guards_preexisting_data() {
+        let w = defrag_workload().unwrap();
+        assert!(w.expectations.iter().all(|e| e.durable_after == 0));
+    }
+}

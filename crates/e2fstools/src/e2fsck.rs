@@ -235,6 +235,16 @@ impl E2fsck {
     }
 }
 
+/// The block numbers a recovery tool should try with `-b`: the first
+/// block of every backup-bearing group. Which groups those are depends
+/// on the `mke2fs` sparse-superblock features (`sparse_super` puts them
+/// in groups 1 and powers of 3/5/7; `sparse_super2` in exactly the two
+/// recorded groups) — the cross-component dependency behind the real
+/// tool's "try 8193, 16385, 32769..." hint.
+pub fn backup_superblock_candidates(layout: &ext4sim::Layout) -> Vec<u64> {
+    layout.backup_groups().iter().map(|&g| layout.group_first_block(g)).collect()
+}
+
 fn repair_counters_and_state<D: BlockDevice>(
     fs: &mut Ext4Fs<D>,
     report: &CheckReport,
@@ -413,6 +423,18 @@ mod tests {
         .unwrap();
         let (dev, _) = m.run(MemDevice::new(1024, 16384)).unwrap();
         Resize2fs::to_size(16384).run(dev).unwrap().0
+    }
+
+    #[test]
+    fn backup_candidates_follow_the_sparse_features() {
+        // sparse_super on a 2-group image: group 1 -> block 8193, the
+        // location the real tool's error hint suggests first
+        let fs = Ext4Fs::open_for_maintenance(clean_image()).unwrap();
+        assert_eq!(backup_superblock_candidates(fs.layout()), vec![8193]);
+        // sparse_super2 records its two groups explicitly
+        let fs = Ext4Fs::open_for_maintenance(figure1_corrupted_image()).unwrap();
+        let candidates = backup_superblock_candidates(fs.layout());
+        assert!(candidates.contains(&8193), "group 1 backup expected in {candidates:?}");
     }
 
     #[test]

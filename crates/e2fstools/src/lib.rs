@@ -46,7 +46,7 @@ pub mod tune2fs;
 
 pub use cli::{CliError, ParsedArgs};
 pub use dumpe2fs::{Dumpe2fs, FsDump, GroupDump};
-pub use e2fsck::{E2fsck, FsckMode, FsckResult};
+pub use e2fsck::{backup_superblock_candidates, E2fsck, FsckMode, FsckResult};
 pub use e4defrag::{DefragReport, E4defrag};
 pub use manual::{DocConstraint, ManualOption, ManualPage};
 pub use mke2fs::Mke2fs;

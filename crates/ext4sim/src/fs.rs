@@ -629,22 +629,37 @@ impl<D: BlockDevice> Ext4Fs<D> {
         let blocks_needed =
             (div_ceil(data.len() as u64, u64::from(self.layout.block_size)) as u32).max(1);
         let clusters_needed = blocks_needed.div_ceil(ratio);
-        // allocate the new home first so failure leaves the file intact
+        // crash-safe move order (as EXT4_IOC_MOVE_EXT must be): fill the
+        // new home and build its mapping while the old mapping still
+        // stands, publish with a single inode write, and only then
+        // retire the old blocks — a crash at any write boundary leaves
+        // the file readable through one mapping or the other
         let start = self.alloc_contiguous(clusters_needed)?;
-        self.truncate(ino)?;
-        let mut inode = self.read_inode(ino)?;
+        let old_blocks = self.file_blocks(&inode)?;
         let bs = self.layout.block_size as usize;
+        let mut new_inode = inode.clone();
+        new_inode.block_area = [0u8; I_BLOCK_SIZE];
+        new_inode.init_extent_root();
         for i in 0..blocks_needed {
             let mut buf = vec![0u8; bs];
             let off = i as usize * bs;
             let take = bs.min(data.len() - off.min(data.len()));
             buf[..take].copy_from_slice(&data[off..off + take]);
             self.dev.write_block(start + u64::from(i), &buf)?;
-            self.set_file_block(&mut inode, i, start + u64::from(i))?;
+            self.set_file_block(&mut new_inode, i, start + u64::from(i))?;
         }
-        inode.size = data.len() as u64;
-        inode.blocks = self.sectors_for(clusters_needed * ratio);
-        self.write_inode(ino, &inode)?;
+        new_inode.size = data.len() as u64;
+        new_inode.blocks = self.sectors_for(clusters_needed * ratio);
+        // barrier: the copy must be durable before the mapping switch —
+        // a volatile cache could otherwise evict the inode write first
+        // and a crash would publish pointers to unwritten blocks
+        self.dev.flush()?;
+        self.write_inode(ino, &new_inode)?;
+        for b in old_blocks {
+            if ratio == 1 || self.layout.block_index_in_group(b).is_multiple_of(ratio) {
+                self.free_block(b)?;
+            }
+        }
         let inode = self.read_inode(ino)?;
         let (tree, _) = self.load_extent_tree(&inode)?;
         Ok((before, tree.len() as u32))

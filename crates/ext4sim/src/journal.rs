@@ -164,6 +164,10 @@ impl Journal {
             dev.write_block(self.blocks[self.head as usize], &data)?;
             self.head += 1;
         }
+        // Barrier: descriptor and data must be durable before the seal,
+        // or a volatile cache could persist the commit block alone and
+        // replay would apply garbage that happens to checksum.
+        dev.flush()?;
         // commit block seals the transaction
         let mut commit = vec![0u8; bs];
         put_u32(&mut commit, 0, JBD_MAGIC);
@@ -173,6 +177,10 @@ impl Journal {
         dev.write_block(self.blocks[self.head as usize], &commit)?;
         self.head += 1;
         self.sequence += 1;
+        // Barrier: the seal itself must be durable before the caller
+        // checkpoints home locations (jbd2 issues the commit record
+        // with FUA/flush for the same reason).
+        dev.flush()?;
         self.write_super(dev)?;
         Ok(())
     }
@@ -399,6 +407,25 @@ mod tests {
         txn.add(5, vec![2; 4]);
         assert_eq!(txn.len(), 1);
         assert_eq!(txn.records[0].data, vec![2; 4]);
+    }
+
+    #[test]
+    fn commit_brackets_the_seal_with_flush_barriers() {
+        let (dev, blocks) = setup();
+        let mut dev = blockdev::RecordingDevice::new(dev);
+        Journal::format(&mut dev, &blocks, 512).unwrap();
+        let mut j = Journal::open(&dev, blocks, 512).unwrap();
+        let mut txn = Transaction::new();
+        txn.add(5, vec![0xEE; 512]);
+        j.commit(&mut dev, &txn).unwrap();
+        let (_, trace) = dev.into_parts();
+        // stream: jsb, desc, data, FLUSH, commit, FLUSH, jsb
+        let kinds: Vec<bool> = trace
+            .events()
+            .iter()
+            .map(|e| matches!(e, blockdev::IoEvent::Flush))
+            .collect();
+        assert_eq!(kinds, vec![false, false, false, true, false, true, false]);
     }
 
     #[test]

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, and lint-clean under clippy.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

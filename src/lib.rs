@@ -6,6 +6,7 @@ pub use blockdev;
 pub use cir;
 pub use confdep;
 pub use contools;
+pub use crashsim;
 pub use e2fstools;
 pub use ext4sim;
 pub use study;

@@ -1,0 +1,161 @@
+//! Vendored offline stand-in for the crates.io `criterion` crate.
+//!
+//! Covers the API subset this repository's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Under `cargo bench` each routine is warmed up and timed over a
+//! short window, printing a mean time per iteration. Under
+//! `cargo test` (no `--bench` flag) each routine runs exactly once as
+//! a smoke test, mirroring real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+/// How a batched setup's cost relates to the routine (sizing hint only;
+/// this stand-in treats all variants the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    mode: Mode,
+    /// (iterations, total time) recorded by the last `iter*` call.
+    sample: Option<(u64, Duration)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Smoke,
+}
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Iteration cap per benchmark, so slow routines still finish quickly.
+const MAX_ITERS: u64 = 1000;
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_WINDOW && iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.sample = Some((iters.max(1), start.elapsed()));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the
+    /// routine is inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        std::hint::black_box(routine(setup())); // warm-up
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let window = Instant::now();
+        while window.elapsed() < MEASURE_WINDOW && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.sample = Some((iters.max(1), timed));
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`;
+        // `cargo test` does not. Mirror real criterion's mode switch.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion { mode: if bench { Mode::Bench } else { Mode::Smoke } }
+    }
+}
+
+impl Criterion {
+    /// Runs (and in bench mode times) one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mode: self.mode, sample: None };
+        f(&mut b);
+        match (self.mode, b.sample) {
+            (Mode::Bench, Some((iters, total))) => {
+                let per_iter = total.as_nanos() / u128::from(iters);
+                println!("{id:<40} {:>12} ns/iter ({iters} iterations)", per_iter);
+            }
+            (Mode::Bench, None) => println!("{id:<40} (no sample recorded)"),
+            (Mode::Smoke, _) => {}
+        }
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn batched_smoke_runs_setup_and_routine() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut out = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u32, |v| out = v * 2, BatchSize::SmallInput)
+        });
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,90 @@
+//! Vendored offline stand-in for the crates.io `crossbeam` crate.
+//!
+//! Only the scoped-thread API used by this repository is provided,
+//! implemented on top of `std::thread::scope`.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle passed to [`scope`] closures and to each spawned
+    /// thread (crossbeam hands every spawned closure a `&Scope` so it
+    /// can spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the boxed panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be
+    /// spawned; all spawned threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// The crossbeam API reports panics of *unjoined* threads via
+    /// `Err`; `std::thread::scope` instead resumes such panics, so this
+    /// stand-in only ever returns `Ok` (callers `.expect()` it anyway).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u32, 2, 3];
+        let sum = crate::thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.iter().map(|&v| scope.spawn(move |_| v * 2)).collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum::<u32>()
+        })
+        .expect("scope");
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .expect("scope");
+    }
+}

@@ -1,0 +1,181 @@
+//! Vendored offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset this repository's property tests use: the
+//! [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//! [`prop_assert_eq!`] macros, integer-range / regex-subset string /
+//! tuple / [`Just`] strategies, `prop::collection::vec`,
+//! `prop::array::uniform32`, [`test_runner::Config`]
+//! (`ProptestConfig`), and [`test_runner::TestCaseError`].
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic seeded RNG (override with `PROPTEST_SEED` /
+//! `PROPTEST_CASES` env vars) and failing inputs are reported but NOT
+//! shrunk.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `prop::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Inclusive-exclusive bounds on a generated collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub(crate) min: usize,
+        pub(crate) max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `prop::array` — fixed-size array strategies.
+pub mod array {
+    use crate::strategy::{Strategy, UniformArray};
+
+    /// Generates a `[S::Value; 32]` with each element drawn from `s`.
+    pub fn uniform32<S: Strategy>(s: S) -> UniformArray<S, 32> {
+        UniformArray { element: s }
+    }
+}
+
+/// The items a property test conventionally imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------
+
+/// Declares property tests. Each body runs once per generated case and
+/// must evaluate to `Result<(), TestCaseError>`-compatible statements
+/// (a bare body is wrapped in `Ok(())`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), __rng);)*
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&::std::format!("{:?}; ", $arg));
+                    )*
+                    __s
+                };
+                let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                (__inputs, __result)
+            });
+        }
+    )*};
+}
+
+/// Picks one of several strategies (uniformly) for each generated
+/// value; all branches must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the current test case (returning a `TestCaseError`) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), __l, __r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}

@@ -1,0 +1,300 @@
+//! Value-generation strategies (no shrinking in this offline
+//! stand-in).
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::collection::SizeRange;
+use crate::test_runner::TestRng;
+
+/// How many times a filter retries before giving up on the case.
+const FILTER_RETRIES: usize = 256;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values rejected by `f`, retrying (a bounded
+    /// number of times) until one passes.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence: whence.into(), f }
+    }
+
+    /// Erases the strategy type (needed to mix strategies in
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.gen_value(rng)))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let candidate = self.inner.gen_value(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("proptest filter `{}` rejected {FILTER_RETRIES} candidates", self.whence);
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between several strategies of one value type
+/// (behind [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `branches`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_index(self.branches.len());
+        self.branches[idx].gen_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// integer ranges
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let v = u128::from(rng.next_u64()) % span;
+                (*self.start() as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).gen_value(rng)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $i:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+// ---------------------------------------------------------------------
+// collections
+// ---------------------------------------------------------------------
+
+/// Strategy returned by [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max_exclusive - self.size.min;
+        let len = self.size.min + if span == 0 { 0 } else { rng.gen_index(span) };
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Strategy returned by [`crate::array::uniform32`].
+pub struct UniformArray<S, const N: usize> {
+    pub(crate) element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn gen_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.gen_value(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// regex-subset string strategies
+// ---------------------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let v = (5u32..9).gen_value(&mut rng);
+            assert!((5..9).contains(&v));
+            let s = (-3i64..3).gen_value(&mut rng);
+            assert!((-3..3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn map_filter_union_compose() {
+        let mut rng = TestRng::new(4);
+        let s = crate::prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_filter("always", |_| true),
+        ];
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v < 20 && v % 2 == 0 || (100..110).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(5);
+        let s = crate::collection::vec(0u8..5, 2..6);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn uniform32_fills_the_array() {
+        let mut rng = TestRng::new(6);
+        let arr = crate::array::uniform32(1u8..3).gen_value(&mut rng);
+        assert_eq!(arr.len(), 32);
+        assert!(arr.iter().all(|&b| b == 1 || b == 2));
+    }
+}

@@ -1,0 +1,171 @@
+//! Random strings from a small regex subset.
+//!
+//! Supports the constructs the repository's tests use: `.` (any
+//! character), `[a-z0-9_]`-style classes, literals, and the
+//! quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`. Anything else is treated
+//! as a literal character.
+
+use crate::test_runner::TestRng;
+
+/// Cap on `*` / `+` repetition counts.
+const STAR_MAX: usize = 32;
+
+enum CharSet {
+    /// `.` — drawn from a printable pool plus a few awkward characters.
+    Any,
+    /// An explicit set from `[...]` or a literal.
+    Set(Vec<char>),
+}
+
+struct Atom {
+    chars: CharSet,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Characters `.` draws from: printable ASCII plus edge cases that
+/// exercise lexers (newline, quote-likes, multi-byte).
+fn any_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    pool.extend(['\n', '\t', 'é', 'λ', '\u{1F600}']);
+    pool
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range {lo}-{hi} in `{pattern}`");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated `[` in `{pattern}`");
+                i += 1; // ']'
+                CharSet::Set(set)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing `\\` in `{pattern}`");
+                i += 2;
+                CharSet::Set(vec![chars[i - 1]])
+            }
+            c => {
+                i += 1;
+                CharSet::Set(vec![c])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, STAR_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated `{{` in `{pattern}`"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    (
+                        lo.parse().unwrap_or_else(|_| panic!("bad repeat in `{pattern}`")),
+                        hi.parse().unwrap_or_else(|_| panic!("bad repeat in `{pattern}`")),
+                    )
+                } else {
+                    let n = body.parse().unwrap_or_else(|_| panic!("bad repeat in `{pattern}`"));
+                    (n, n)
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { chars: set, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let pool = any_pool();
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = atom.max - atom.min + 1;
+        let count = atom.min + rng.gen_index(span);
+        let set = match &atom.chars {
+            CharSet::Any => &pool,
+            CharSet::Set(s) => s,
+        };
+        assert!(!set.is_empty(), "empty character class in `{pattern}`");
+        for _ in 0..count {
+            out.push(set[rng.gen_index(set.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repeat_matches_shape() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().expect("at least one char");
+            assert!(first.is_ascii_lowercase(), "{s}");
+            assert!(s.chars().count() <= 9, "{s}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_star_varies_length() {
+        let mut rng = TestRng::new(10);
+        let lens: Vec<usize> = (0..50).map(|_| generate(".*", &mut rng).chars().count()).collect();
+        assert!(lens.iter().any(|&l| l == 0) || lens.iter().any(|&l| l > 0));
+        assert!(lens.iter().all(|&l| l <= STAR_MAX));
+    }
+
+    #[test]
+    fn bounded_dot_respects_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = generate(".{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::new(12);
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro.
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The inputs were rejected (the case is skipped, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies: splitmix64, seeded per case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runs `case` `config.cases` times with per-case seeded RNGs; panics
+/// (with the generated inputs) on the first failure. Rejected cases
+/// are skipped without counting as failures.
+pub fn run<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FF_EE00_D15E_A5E5);
+    for i in 0..config.cases {
+        // Decorrelate per-case seeds with one splitmix step.
+        let mut seeder = TestRng::new(base ^ u64::from(i));
+        let mut rng = TestRng::new(seeder.next_u64());
+        let (inputs, result) = case(&mut rng);
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest `{name}` failed at case {i}/{}: {reason}\n  inputs: {inputs}\n  \
+                     (re-run with PROPTEST_SEED={base} to reproduce)",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_executes_requested_cases() {
+        let mut count = 0;
+        run(&Config::with_cases(10), "counter", |_| {
+            count += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        run(&Config::with_cases(5), "rejecting", |_| {
+            (String::new(), Err(TestCaseError::reject("n/a")))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        run(&Config::with_cases(3), "failing", |_| {
+            ("x = 1".to_string(), Err(TestCaseError::fail("nope")))
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! Deserialization half of the vendored serde subset.
+
+use crate::Value;
+
+/// The error-construction trait of real serde's `de` module; the one
+/// entry point the repository uses is [`Error::custom`].
+pub trait Error: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A source of [`Value`] trees.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Converts a [`Value`] tree back into `Self`.
+    fn from_value(value: &Value) -> Result<Self, crate::Error>;
+
+    /// Deserializes from the given deserializer. Provided in terms of
+    /// [`Deserialize::from_value`].
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(|e| D::Error::custom(e))
+    }
+}

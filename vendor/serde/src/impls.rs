@@ -1,0 +1,330 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! repository serializes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::de::Deserialize;
+use crate::ser::Serialize;
+use crate::{Error, Value};
+
+// ---------------------------------------------------------------------
+// primitives
+// ---------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) { Value::Int(i) } else { Value::UInt(v as u64) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let out = match *value {
+                    Value::Int(v) => <$t>::try_from(v).ok(),
+                    Value::UInt(v) => <$t>::try_from(v).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    Error::msg(format!("expected {}, got {}", stringify!($t), value.kind()))
+                })
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match *value {
+                    Value::Float(v) => Ok(v as $t),
+                    Value::Int(v) => Ok(v as $t),
+                    Value::UInt(v) => Ok(v as $t),
+                    _ => Err(Error::msg(format!("expected float, got {}", value.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::msg(format!("expected bool, got {}", value.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg(format!("expected string, got {}", value.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// The value tree owns its strings, so borrowed deserialization has to
+// leak. Only static-table types (e.g. the Table 1 catalog) carry
+// `&'static str` fields, and they are deserialized rarely if ever, so
+// the leak is bounded and acceptable for this offline stand-in.
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::msg(format!("expected string, got {}", value.kind()))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(Error::msg(format!("expected null, got {}", value.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// references and containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg(format!("expected sequence, got {}", value.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::msg(format!("expected {N}-element array, got {}", v.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg(format!("expected sequence, got {}", value.kind()))),
+        }
+    }
+}
+
+// Map keys are rendered as JSON object keys, so they must format as
+// strings; `ToString`/`FromStr` covers the string and integer keys the
+// repository uses.
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse::<K>().map_err(|_| Error::msg(format!("bad map key `{k}`")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(Error::msg(format!("expected map, got {}", value.kind()))),
+        }
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Map(entries)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse::<K>().map_err(|_| Error::msg(format!("bad map key `{k}`")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(Error::msg(format!("expected map, got {}", value.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_impl {
+    ($(($($t:ident : $i:tt),+ ; $n:expr)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) if items.len() == $n => {
+                        Ok(($($t::from_value(&items[$i])?,)+))
+                    }
+                    _ => Err(Error::msg(format!("expected {}-tuple", $n))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,99 @@
+//! Vendored offline stand-in for the crates.io `serde` crate.
+//!
+//! The confdep workspace is built in environments with no access to a
+//! package registry, so the external dependencies are vendored as small
+//! local crates implementing exactly the API subset this repository
+//! uses. The serialization data model is a simple [`Value`] tree; the
+//! derive macros (re-exported from `serde_derive`) generate conversions
+//! to and from that tree, and `serde_json` renders it as JSON.
+//!
+//! Supported surface: `#[derive(Serialize, Deserialize)]` on structs and
+//! enums (externally-tagged, like real serde), `#[serde(transparent)]`,
+//! `#[serde(with = "module")]`, manual `Serializer`/`Deserializer`
+//! implementations via the value tree, and `serde::de::Error::custom`.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The error type shared by the vendored value-tree (de)serializers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Support machinery used by the generated derive code. Not a stable
+/// API — mirrors real serde's `#[doc(hidden)] pub mod __private`.
+pub mod __private {
+    use super::{de, ser, Error, Value};
+
+    /// A serializer whose output is the [`Value`] tree itself.
+    pub struct ValueSerializer;
+
+    impl ser::Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Error;
+        fn serialize_value(self, value: Value) -> Result<Value, Error> {
+            Ok(value)
+        }
+    }
+
+    /// A deserializer reading from a borrowed [`Value`] tree.
+    pub struct ValueDeserializer<'a>(pub &'a Value);
+
+    impl<'de, 'a> de::Deserializer<'de> for ValueDeserializer<'a> {
+        type Error = Error;
+        fn take_value(self) -> Result<Value, Error> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Looks up `key` in a map value (derive-generated struct decoding).
+    pub fn map_field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{key}`"))),
+            other => Err(Error(format!("expected map for field `{key}`, got {}", other.kind()))),
+        }
+    }
+
+    /// Like [`map_field`] but returns `None` for an absent key (used for
+    /// `Option` fields so missing keys decode as `None`).
+    pub fn opt_map_field<'v>(v: &'v Value, key: &str) -> Result<Option<&'v Value>, Error> {
+        match v {
+            Value::Map(entries) => Ok(entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)),
+            other => Err(Error(format!("expected map for field `{key}`, got {}", other.kind()))),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Serialization half of the vendored serde subset.
+
+use crate::Value;
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+
+    /// Serializes `self` with the given serializer. Provided in terms of
+    /// [`Serialize::to_value`]; manual implementations (e.g.
+    /// `#[serde(with = "...")]` helper modules) call the serializer
+    /// directly.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink for [`Value`] trees. The single required method accepts a
+/// fully-built value; convenience collectors mirror the real serde API
+/// points this repository uses.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Consumes a complete value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes the items of `iter` as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        self.serialize_value(Value::Seq(iter.into_iter().map(|item| item.to_value()).collect()))
+    }
+}

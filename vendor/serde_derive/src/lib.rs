@@ -1,0 +1,540 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this repository uses: structs (named, tuple, unit) and
+//! enums (unit, tuple, and struct variants), plus the container
+//! attribute `#[serde(transparent)]` and the field attribute
+//! `#[serde(with = "module")]`. Everything is parsed with a hand-rolled
+//! walker over `proc_macro::TokenTree` — the real `syn`/`quote` stack is
+//! not available offline — and the generated code targets the vendored
+//! serde's value-tree model (`to_value`/`from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: Option<String>, // None for tuple fields
+    with: Option<String>, // #[serde(with = "module")]
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape, transparent: bool },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------
+
+/// Extracts `with = "..."` / `transparent` markers from one `#[...]`
+/// attribute group, ignoring non-serde attributes entirely.
+fn parse_serde_attr(group: &proc_macro::Group, with: &mut Option<String>, transparent: &mut bool) {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = inner.next() else { return };
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "transparent" => {
+                *transparent = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "path"
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        *with = Some(raw.trim_matches('"').to_string());
+                    }
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consumes a run of leading attributes (`#[...]`), returning the index
+/// of the first non-attribute token and recording serde markers.
+fn skip_attrs(
+    toks: &[TokenTree],
+    mut i: usize,
+    with: &mut Option<String>,
+    transparent: &mut bool,
+) -> usize {
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    parse_serde_attr(g, with, transparent);
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits the comma-separated entries of a brace/paren group, tracking
+/// `<...>` angle-bracket depth so generic type arguments survive.
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&toks)
+        .into_iter()
+        .filter_map(|entry| {
+            let mut with = None;
+            let mut transparent = false;
+            let mut i = skip_attrs(&entry, 0, &mut with, &mut transparent);
+            i = skip_vis(&entry, i);
+            match entry.get(i) {
+                Some(TokenTree::Ident(id)) => {
+                    Some(Field { name: Some(id.to_string()), with })
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&toks)
+        .into_iter()
+        .map(|entry| {
+            let mut with = None;
+            let mut transparent = false;
+            skip_attrs(&entry, 0, &mut with, &mut transparent);
+            Field { name: None, with }
+        })
+        .collect()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    // variants are comma-separated at the top level; group tokens (the
+    // payloads) never contain top-level commas
+    let mut out = Vec::new();
+    for entry in split_commas(&toks) {
+        let mut with = None;
+        let mut transparent = false;
+        let i = skip_attrs(&entry, 0, &mut with, &mut transparent);
+        let Some(TokenTree::Ident(name)) = entry.get(i) else { continue };
+        let shape = match entry.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        out.push(Variant { name: name.to_string(), shape });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut with = None;
+    let mut transparent = false;
+    let mut i = skip_attrs(&toks, 0, &mut with, &mut transparent);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.get(i + 2) {
+        if p.as_char() == '<' {
+            return Err(format!("generic item `{name}` is not supported by the vendored derive"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i + 2) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g))
+                }
+                _ => Shape::Unit,
+            };
+            Ok(Item::Struct { name, shape, transparent })
+        }
+        "enum" => match toks.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g) })
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------
+
+/// `self.field` / `self.0` serialization expression for one field.
+fn field_to_value(expr: &str, field: &Field) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "match {path}::serialize(&{expr}, ::serde::__private::ValueSerializer) {{ \
+               Ok(v) => v, Err(e) => panic!(\"with-module serialize failed: {{e}}\") }}"
+        ),
+        None => format!("::serde::ser::Serialize::to_value(&{expr})"),
+    }
+}
+
+/// Deserialization expression for one field given a `&Value` expression.
+fn field_from_value(value_expr: &str, field: &Field) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::__private::ValueDeserializer({value_expr}))?"
+        ),
+        None => format!("::serde::de::Deserialize::from_value({value_expr})?"),
+    }
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape, transparent: bool) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(fields) if transparent || fields.len() == 1 => {
+            field_to_value("self.0", &fields[0])
+        }
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| field_to_value(&format!("self.{i}"), f))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) if transparent && fields.len() == 1 => {
+            let fname = fields[0].name.as_deref().expect("named field");
+            field_to_value(&format!("self.{fname}"), &fields[0])
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_deref().expect("named field");
+                    format!(
+                        "(String::from(\"{fname}\"), {})",
+                        field_to_value(&format!("self.{fname}"), f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape, transparent: bool) -> String {
+    let body = match shape {
+        Shape::Unit => format!("{{ let _ = value; Ok({name}) }}"),
+        Shape::Tuple(fields) if transparent || fields.len() == 1 => {
+            format!("Ok({name}({}))", field_from_value("value", &fields[0]))
+        }
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| field_from_value(&format!("&items[{i}]"), f))
+                .collect();
+            format!(
+                "match value {{ \
+                   ::serde::Value::Seq(items) if items.len() == {n} => \
+                     Ok({name}({})), \
+                   _ => Err(::serde::Error::msg(\"expected {n}-element sequence for {name}\")), \
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) if transparent && fields.len() == 1 => {
+            let fname = fields[0].name.as_deref().expect("named field");
+            format!("Ok({name} {{ {fname}: {} }})", field_from_value("value", &fields[0]))
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_deref().expect("named field");
+                    format!(
+                        "{fname}: {}",
+                        field_from_value(
+                            &format!("::serde::__private::map_field(value, \"{fname}\")?"),
+                            f
+                        )
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+    };
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{ \
+           fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                ),
+                Shape::Tuple(fields) if fields.len() == 1 => format!(
+                    "{name}::{vn}(f0) => ::serde::Value::Map(vec![\
+                       (String::from(\"{vn}\"), {})]),",
+                    field_to_value("f0", &fields[0])
+                ),
+                Shape::Tuple(fields) => {
+                    let binds: Vec<String> =
+                        (0..fields.len()).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| field_to_value(&format!("f{i}"), f))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Map(vec![\
+                           (String::from(\"{vn}\"), ::serde::Value::Seq(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds: Vec<String> = fields
+                        .iter()
+                        .map(|f| f.name.clone().expect("named field"))
+                        .collect();
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let fname = f.name.as_deref().expect("named field");
+                            format!(
+                                "(String::from(\"{fname}\"), {})",
+                                field_to_value(fname, f)
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![\
+                           (String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))]),",
+                        binds.join(", "),
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }} \
+         }}",
+        arms.join(" ")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("::serde::Value::Str(s) if s == \"{vn}\" => Ok({name}::{vn}),")
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                Shape::Unit => unreachable!("filtered above"),
+                Shape::Tuple(fields) if fields.len() == 1 => format!(
+                    "\"{vn}\" => Ok({name}::{vn}({})),",
+                    field_from_value("payload", &fields[0])
+                ),
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| field_from_value(&format!("&items[{i}]"), f))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => match payload {{ \
+                           ::serde::Value::Seq(items) if items.len() == {n} => \
+                             Ok({name}::{vn}({})), \
+                           _ => Err(::serde::Error::msg(\
+                                 \"expected {n}-element sequence for {name}::{vn}\")), \
+                         }},",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let fname = f.name.as_deref().expect("named field");
+                            format!(
+                                "{fname}: {}",
+                                field_from_value(
+                                    &format!(
+                                        "::serde::__private::map_field(payload, \"{fname}\")?"
+                                    ),
+                                    f
+                                )
+                            )
+                        })
+                        .collect();
+                    format!("\"{vn}\" => Ok({name}::{vn} {{ {} }}),", inits.join(", "))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{ \
+           fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             match value {{ \
+               {} \
+               ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                 let (tag, payload) = &entries[0]; \
+                 match tag.as_str() {{ \
+                   {} \
+                   other => Err(::serde::Error::msg(format!(\
+                     \"unknown {name} variant `{{other}}`\"))), \
+                 }} \
+               }} \
+               _ => Err(::serde::Error::msg(\"unexpected value for enum {name}\")), \
+             }} \
+           }} \
+         }}",
+        unit_arms.join(" "),
+        tagged_arms.join(" ")
+    )
+}
+
+// ---------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(Item::Struct { name, shape, transparent }) => {
+            if serialize {
+                gen_struct_serialize(&name, &shape, transparent)
+            } else {
+                gen_struct_deserialize(&name, &shape, transparent)
+            }
+        }
+        Ok(Item::Enum { name, variants }) => {
+            if serialize {
+                gen_enum_serialize(&name, &variants)
+            } else {
+                gen_enum_deserialize(&name, &variants)
+            }
+        }
+        Err(msg) => format!("compile_error!(\"vendored serde_derive: {msg}\");"),
+    };
+    code.parse().expect("generated code parses")
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
