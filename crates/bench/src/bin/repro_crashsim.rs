@@ -5,10 +5,29 @@
 //! states), pushes every post-crash image through the recovery stack,
 //! and emits the classified results as JSON on stdout. Human-readable
 //! progress goes to stderr so the JSON stays parseable.
+//!
+//! # Benchmark mode
+//!
+//! `repro_crashsim --bench` races the three engine configurations over
+//! the same workloads —
+//!
+//! * `sequential`: the legacy baseline (full per-point replay, one
+//!   thread, no verdict cache);
+//! * `parallel`: rolling CoW materialisation + the classification
+//!   worker pool;
+//! * `parallel_cached`: the same plus image-digest verdict caching —
+//!
+//! verifies all three produce identical reports (canonical signature),
+//! and writes the timings to `BENCH_crashsim.json` (`--out PATH` to
+//! redirect). `--smoke` shrinks the run for CI gates; `--threads N`
+//! pins the worker count (default: one per core).
+
+use std::time::Instant;
 
 use crashsim::{
     defrag_workload, explore, figure1_resize_workload, format_workload,
-    journaled_write_workload, CrashReport, ExploreOptions, Verdict, VerdictCounts,
+    journaled_write_workload, CrashReport, ExploreOptions, ExploreStats, Verdict, VerdictCounts,
+    Workload,
 };
 use serde::Serialize;
 
@@ -22,6 +41,7 @@ struct Entry {
     counts: VerdictCounts,
     worst: Verdict,
     corrupting: usize,
+    stats: ExploreStats,
     outcomes: Vec<crashsim::CrashOutcome>,
 }
 
@@ -35,6 +55,7 @@ impl Entry {
             counts: report.counts(),
             worst: report.worst(),
             corrupting: report.corrupting(),
+            stats: report.stats,
             outcomes: report.outcomes,
         }
     }
@@ -46,28 +67,229 @@ struct Summary {
     entries: Vec<Entry>,
 }
 
-fn main() {
-    let opts = ExploreOptions::sampled(64);
-    let files = vec![
-        ("first".to_string(), vec![0x41u8; 900]),
-        ("second".to_string(), vec![0x42u8; 500]),
-    ];
-    let workloads = vec![
-        format_workload(),
-        figure1_resize_workload(),
-        journaled_write_workload(&files),
-        defrag_workload(),
-    ];
+/// One engine configuration's measured run over one workload.
+#[derive(Serialize)]
+struct BenchConfig {
+    wall_ms: f64,
+    blocks_replayed: u64,
+    images_classified: usize,
+    cache_hits: usize,
+    threads: usize,
+}
 
-    let mut entries = Vec::new();
-    for built in workloads {
-        let workload = match built {
-            Ok(w) => w,
-            Err(e) => {
+impl BenchConfig {
+    /// Explores `reps` times with `opts` and keeps the fastest wall
+    /// time (the runs are deterministic, so the I/O stats and the
+    /// report are identical across repetitions).
+    fn measure(
+        workload: &Workload,
+        opts: &ExploreOptions,
+        reps: usize,
+    ) -> (BenchConfig, CrashReport) {
+        let mut best: Option<(f64, CrashReport)> = None;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let report = explore(workload, opts).unwrap_or_else(|e| {
+                eprintln!("exploration of '{}' failed: {e}", workload.name);
+                std::process::exit(1);
+            });
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
+                best = Some((wall_ms, report));
+            }
+        }
+        let (wall_ms, report) = best.expect("at least one repetition ran");
+        let s = report.stats;
+        (
+            BenchConfig {
+                wall_ms,
+                blocks_replayed: s.blocks_replayed,
+                images_classified: s.images_classified,
+                cache_hits: s.cache_hits,
+                threads: s.threads,
+            },
+            report,
+        )
+    }
+}
+
+/// Per-workload comparison of the three engine configurations.
+#[derive(Serialize)]
+struct BenchRow {
+    workload: String,
+    writes: usize,
+    flushes: usize,
+    crash_points: usize,
+    sequential: BenchConfig,
+    parallel: BenchConfig,
+    parallel_cached: BenchConfig,
+    wall_speedup_parallel: f64,
+    wall_speedup_cached: f64,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchTotals {
+    sequential_wall_ms: f64,
+    parallel_wall_ms: f64,
+    parallel_cached_wall_ms: f64,
+    sequential_blocks_replayed: u64,
+    incremental_blocks_replayed: u64,
+    cache_hits: usize,
+    wall_speedup_parallel: f64,
+    wall_speedup_cached: f64,
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    description: String,
+    smoke: bool,
+    prefix_points_cap: usize,
+    rows: Vec<BenchRow>,
+    totals: BenchTotals,
+    all_reports_identical: bool,
+}
+
+fn build_workloads(smoke: bool) -> Vec<Workload> {
+    let built = if smoke {
+        // one small journalled workload: enough writes for a handful of
+        // crash points, seconds of wall time
+        vec![journaled_write_workload(&[("tiny".to_string(), vec![0x55u8; 300])])]
+    } else {
+        let files = vec![
+            ("first".to_string(), vec![0x41u8; 900]),
+            ("second".to_string(), vec![0x42u8; 500]),
+        ];
+        vec![
+            format_workload(),
+            figure1_resize_workload(),
+            journaled_write_workload(&files),
+            defrag_workload(),
+        ]
+    };
+    built
+        .into_iter()
+        .map(|w| {
+            w.unwrap_or_else(|e| {
                 eprintln!("workload construction failed: {e}");
                 std::process::exit(1);
-            }
-        };
+            })
+        })
+        .collect()
+}
+
+fn run_bench(smoke: bool, threads: usize, out: &str) {
+    let cap = if smoke { 8 } else { 64 };
+    let reps = if smoke { 1 } else { 3 };
+    let sequential_opts = ExploreOptions {
+        max_prefix_points: Some(cap),
+        ..ExploreOptions::sequential_baseline()
+    };
+    let parallel_opts = ExploreOptions {
+        verdict_cache: false,
+        ..ExploreOptions::sampled(cap).with_threads(threads)
+    };
+    let cached_opts = ExploreOptions::sampled(cap).with_threads(threads);
+
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for workload in build_workloads(smoke) {
+        eprintln!(
+            "benchmarking '{}' ({} writes, {} flushes)...",
+            workload.name,
+            workload.trace.write_count(),
+            workload.trace.flush_count()
+        );
+        let (sequential, seq_report) = BenchConfig::measure(&workload, &sequential_opts, reps);
+        let (parallel, par_report) = BenchConfig::measure(&workload, &parallel_opts, reps);
+        let (parallel_cached, cached_report) =
+            BenchConfig::measure(&workload, &cached_opts, reps);
+        let identical = seq_report.canonical_signature() == par_report.canonical_signature()
+            && seq_report.canonical_signature() == cached_report.canonical_signature();
+        all_identical &= identical;
+        eprintln!(
+            "  sequential {:.1} ms ({} blocks) | parallel {:.1} ms | cached {:.1} ms \
+             ({} blocks, {} cache hits) | identical: {identical}",
+            sequential.wall_ms,
+            sequential.blocks_replayed,
+            parallel.wall_ms,
+            parallel_cached.wall_ms,
+            parallel_cached.blocks_replayed,
+            parallel_cached.cache_hits,
+        );
+        rows.push(BenchRow {
+            workload: workload.name.clone(),
+            writes: seq_report.writes,
+            flushes: seq_report.flushes,
+            crash_points: seq_report.outcomes.len(),
+            wall_speedup_parallel: sequential.wall_ms / parallel.wall_ms.max(f64::EPSILON),
+            wall_speedup_cached: sequential.wall_ms / parallel_cached.wall_ms.max(f64::EPSILON),
+            sequential,
+            parallel,
+            parallel_cached,
+            reports_identical: identical,
+        });
+    }
+
+    let sum = |f: fn(&BenchRow) -> f64| rows.iter().map(f).sum::<f64>();
+    let totals = BenchTotals {
+        sequential_wall_ms: sum(|r| r.sequential.wall_ms),
+        parallel_wall_ms: sum(|r| r.parallel.wall_ms),
+        parallel_cached_wall_ms: sum(|r| r.parallel_cached.wall_ms),
+        sequential_blocks_replayed: rows.iter().map(|r| r.sequential.blocks_replayed).sum(),
+        incremental_blocks_replayed: rows
+            .iter()
+            .map(|r| r.parallel_cached.blocks_replayed)
+            .sum(),
+        cache_hits: rows.iter().map(|r| r.parallel_cached.cache_hits).sum(),
+        wall_speedup_parallel: sum(|r| r.sequential.wall_ms)
+            / sum(|r| r.parallel.wall_ms).max(f64::EPSILON),
+        wall_speedup_cached: sum(|r| r.sequential.wall_ms)
+            / sum(|r| r.parallel_cached.wall_ms).max(f64::EPSILON),
+    };
+    eprintln!(
+        "total: sequential {:.1} ms / {} blocks -> parallel {:.1} ms ({:.2}x) -> \
+         cached {:.1} ms ({:.2}x) / {} blocks, {} cache hits",
+        totals.sequential_wall_ms,
+        totals.sequential_blocks_replayed,
+        totals.parallel_wall_ms,
+        totals.wall_speedup_parallel,
+        totals.parallel_cached_wall_ms,
+        totals.wall_speedup_cached,
+        totals.incremental_blocks_replayed,
+        totals.cache_hits,
+    );
+
+    let summary = BenchSummary {
+        description: "crash-exploration engine benchmark: legacy sequential replay vs rolling \
+                      CoW materialisation with a classification worker pool, without and with \
+                      image-digest verdict caching"
+            .to_string(),
+        smoke,
+        prefix_points_cap: cap,
+        rows,
+        totals,
+        all_reports_identical: all_identical,
+    };
+    let json = serde_json::to_string_pretty(&summary).unwrap_or_else(|e| {
+        eprintln!("serialisation failed: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("writing {out} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    if !all_identical {
+        eprintln!("ERROR: engine configurations disagreed on at least one report");
+        std::process::exit(1);
+    }
+}
+
+fn run_repro() {
+    let opts = ExploreOptions::sampled(64).with_threads(0);
+    let mut entries = Vec::new();
+    for workload in build_workloads(false) {
         eprintln!(
             "exploring '{}' ({} writes, {} flushes)...",
             workload.name,
@@ -105,5 +327,48 @@ fn main() {
             eprintln!("serialisation failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench = false;
+    let mut smoke = false;
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut out = "BENCH_crashsim.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => bench = true,
+            "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: repro_crashsim [--bench [--smoke] [--threads N] [--out PATH]]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if bench {
+        run_bench(smoke, threads, &out);
+    } else {
+        run_repro();
     }
 }

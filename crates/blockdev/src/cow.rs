@@ -1,0 +1,256 @@
+//! A copy-on-write device with O(1)-per-block snapshots.
+//!
+//! Crash exploration needs the device state at *every* write boundary
+//! of a trace. Re-replaying the prefix for each boundary costs O(W²)
+//! block writes; [`CowDevice`] instead lets one rolling device advance
+//! write-by-write and hand out a cheap frozen [`CowDevice::snapshot`]
+//! at each boundary. Blocks are reference-counted (`Arc<[u8]>`), so a
+//! snapshot copies pointers, never data, and later writes to either
+//! side allocate a fresh block rather than disturbing the other.
+//!
+//! The device also maintains its own [`ImageDigest`] incrementally: an
+//! overwrite swaps the old block's digest contribution for the new
+//! one's, so every snapshot knows its content identity for free — the
+//! key the crash explorer's verdict cache is indexed by.
+
+use std::sync::Arc;
+
+use crate::digest::{block_contribution, zero_block_contribution, BlockContribution, ImageDigest};
+use crate::{BlockDevice, DeviceError};
+
+/// A block device whose clones share storage copy-on-write.
+#[derive(Debug, Clone)]
+pub struct CowDevice {
+    block_size: u32,
+    blocks: Vec<Option<Arc<[u8]>>>,
+    // None once tracking is stopped; see [`CowDevice::stop_digest_tracking`]
+    digest: Option<ImageDigest>,
+}
+
+impl CowDevice {
+    /// Creates a zero-filled device with `num_blocks` blocks of
+    /// `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: u32, num_blocks: u64) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        let mut digest = ImageDigest::default();
+        for block in 0..num_blocks {
+            digest.add(zero_block_contribution(block, block_size));
+        }
+        CowDevice { block_size, blocks: vec![None; num_blocks as usize], digest: Some(digest) }
+    }
+
+    /// Copies the logical content of `dev` into a fresh `CowDevice`
+    /// (all-zero blocks stay unallocated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors from `dev`.
+    pub fn from_device<D: BlockDevice>(dev: &D) -> Result<Self, DeviceError> {
+        let mut out = CowDevice::new(dev.block_size(), dev.num_blocks());
+        let mut buf = vec![0u8; dev.block_size() as usize];
+        for block in 0..dev.num_blocks() {
+            dev.read_block(block, &mut buf)?;
+            if !buf.iter().all(|&b| b == 0) {
+                if let Some(digest) = &mut out.digest {
+                    digest.replace(
+                        zero_block_contribution(block, out.block_size),
+                        block_contribution(block, &buf),
+                    );
+                }
+                out.blocks[block as usize] = Some(Arc::from(buf.as_slice()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A frozen copy of the current state. Costs one pointer per block;
+    /// no block data is copied until one side overwrites it.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// Content identity of the current state, maintained incrementally
+    /// across writes; `None` after [`CowDevice::stop_digest_tracking`].
+    pub fn digest(&self) -> Option<ImageDigest> {
+        self.digest
+    }
+
+    /// Stops maintaining the content digest, making every later
+    /// [`BlockDevice::write_block`] cheaper (no hashing of the old and
+    /// new block contents). For consumers that have already taken the
+    /// digest and only keep mutating the device — e.g. a repair tool
+    /// working on a crash image whose identity is already cached.
+    pub fn stop_digest_tracking(&mut self) {
+        self.digest = None;
+    }
+
+    /// Number of blocks holding allocated (written, non-shared-zero)
+    /// storage.
+    pub fn populated_blocks(&self) -> u64 {
+        self.blocks.iter().filter(|b| b.is_some()).count() as u64
+    }
+
+    fn contribution_of(&self, block: u64) -> BlockContribution {
+        match &self.blocks[block as usize] {
+            Some(data) => block_contribution(block, data),
+            None => zero_block_contribution(block, self.block_size),
+        }
+    }
+}
+
+impl BlockDevice for CowDevice {
+    fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        match &self.blocks[block as usize] {
+            Some(data) => buf.copy_from_slice(data),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.check_access(block, buf.len())?;
+        if self.digest.is_some() {
+            let old = self.contribution_of(block);
+            if let Some(digest) = &mut self.digest {
+                digest.replace(old, block_contribution(block, buf));
+            }
+        }
+        // overwrite in place when nothing else shares the block
+        if let Some(data) = self.blocks[block as usize].as_mut().and_then(Arc::get_mut) {
+            data.copy_from_slice(buf);
+        } else {
+            self.blocks[block as usize] = Some(Arc::from(buf));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_device;
+    use crate::MemDevice;
+
+    #[test]
+    fn reads_back_writes_and_zeroes() {
+        let mut dev = CowDevice::new(512, 8);
+        dev.write_block(3, &[9u8; 512]).unwrap();
+        assert_eq!(dev.read_block_vec(3).unwrap(), vec![9u8; 512]);
+        assert_eq!(dev.read_block_vec(0).unwrap(), vec![0u8; 512]);
+        let mut buf = [0u8; 512];
+        assert!(matches!(dev.read_block(8, &mut buf), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut dev = CowDevice::new(512, 4);
+        dev.write_block(1, &[1u8; 512]).unwrap();
+        let snap = dev.snapshot();
+        dev.write_block(1, &[2u8; 512]).unwrap();
+        dev.write_block(2, &[3u8; 512]).unwrap();
+        assert_eq!(snap.read_block_vec(1).unwrap(), vec![1u8; 512]);
+        assert_eq!(snap.read_block_vec(2).unwrap(), vec![0u8; 512]);
+        assert_eq!(dev.read_block_vec(1).unwrap(), vec![2u8; 512]);
+    }
+
+    #[test]
+    fn snapshot_shares_storage() {
+        let mut dev = CowDevice::new(512, 1024);
+        for i in 0..64u64 {
+            dev.write_block(i, &[i as u8; 512]).unwrap();
+        }
+        let snap = dev.snapshot();
+        // same allocation count, no data copied
+        assert_eq!(snap.populated_blocks(), 64);
+        assert!(Arc::ptr_eq(
+            dev.blocks[5].as_ref().unwrap(),
+            snap.blocks[5].as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn incremental_digest_matches_full_scan() {
+        let mut dev = CowDevice::new(512, 16);
+        assert_eq!(dev.digest(), Some(digest_device(&dev).unwrap()));
+        dev.write_block(2, &[7u8; 512]).unwrap();
+        dev.write_block(9, &[8u8; 512]).unwrap();
+        dev.write_block(2, &[1u8; 512]).unwrap(); // overwrite
+        dev.write_block(4, &[0u8; 512]).unwrap(); // explicit zeroes
+        assert_eq!(dev.digest(), Some(digest_device(&dev).unwrap()));
+    }
+
+    #[test]
+    fn digest_agrees_with_mem_device_of_same_content() {
+        let mut mem = MemDevice::new(512, 12);
+        mem.write_block(0, &[5u8; 512]).unwrap();
+        mem.write_block(7, &[6u8; 512]).unwrap();
+        let cow = CowDevice::from_device(&mem).unwrap();
+        assert_eq!(cow.digest(), Some(digest_device(&mem).unwrap()));
+        assert_eq!(cow.read_block_vec(7).unwrap(), mem.read_block_vec(7).unwrap());
+    }
+
+    #[test]
+    fn untracked_device_still_reads_and_writes_correctly() {
+        let mut dev = CowDevice::new(512, 8);
+        dev.write_block(1, &[3u8; 512]).unwrap();
+        let frozen = dev.digest().unwrap();
+        dev.stop_digest_tracking();
+        assert_eq!(dev.digest(), None);
+        dev.write_block(1, &[4u8; 512]).unwrap();
+        dev.write_block(5, &[5u8; 512]).unwrap();
+        assert_eq!(dev.read_block_vec(1).unwrap(), vec![4u8; 512]);
+        // content moved on; the frozen digest describes the old state
+        assert_ne!(frozen, digest_device(&dev).unwrap());
+    }
+
+    #[test]
+    fn in_place_overwrite_does_not_disturb_snapshots() {
+        let mut dev = CowDevice::new(512, 4);
+        dev.write_block(0, &[1u8; 512]).unwrap();
+        let snap = dev.snapshot();
+        dev.write_block(0, &[2u8; 512]).unwrap(); // shared -> fresh alloc
+        dev.write_block(0, &[3u8; 512]).unwrap(); // unique -> in place
+        assert_eq!(snap.read_block_vec(0).unwrap(), vec![1u8; 512]);
+        assert_eq!(dev.read_block_vec(0).unwrap(), vec![3u8; 512]);
+        assert_eq!(dev.digest(), Some(digest_device(&dev).unwrap()));
+    }
+
+    #[test]
+    fn from_device_keeps_zero_blocks_unallocated() {
+        let mut mem = MemDevice::new(512, 64);
+        mem.write_block(1, &[1u8; 512]).unwrap();
+        mem.write_block(2, &[0u8; 512]).unwrap(); // written but all-zero
+        let cow = CowDevice::from_device(&mem).unwrap();
+        assert_eq!(cow.populated_blocks(), 1);
+    }
+
+    #[test]
+    fn snapshots_of_identical_content_share_digest() {
+        let mut a = CowDevice::new(512, 8);
+        let mut b = CowDevice::new(512, 8);
+        a.write_block(3, &[4u8; 512]).unwrap();
+        b.write_block(3, &[9u8; 512]).unwrap();
+        b.write_block(3, &[4u8; 512]).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.digest().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be non-zero")]
+    fn zero_block_size_panics() {
+        let _ = CowDevice::new(0, 8);
+    }
+}

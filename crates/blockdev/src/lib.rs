@@ -6,6 +6,11 @@
 //!
 //! * [`MemDevice`] — an in-memory device (the workhorse for tests and
 //!   benchmarks),
+//! * [`CowDevice`] — a copy-on-write device whose [`CowDevice::snapshot`]
+//!   freezes the current state without copying block data, and which
+//!   maintains a stable content [`ImageDigest`] incrementally (the
+//!   substrate of the crash explorer's rolling materialisation and
+//!   verdict cache),
 //! * [`FileDevice`] — a file-backed device so images can persist on disk,
 //! * [`FaultyDevice`] — a fault-injecting wrapper used by the robustness
 //!   tests (I/O errors, torn writes, silent corruption),
@@ -29,7 +34,9 @@
 //! # }
 //! ```
 
+mod cow;
 mod device;
+mod digest;
 mod error;
 mod faulty;
 mod file;
@@ -38,7 +45,11 @@ mod recording;
 mod shared;
 mod stats;
 
+pub use cow::CowDevice;
 pub use device::BlockDevice;
+pub use digest::{
+    block_contribution, digest_device, zero_block_contribution, BlockContribution, ImageDigest,
+};
 pub use error::DeviceError;
 pub use faulty::{FaultPlan, FaultyDevice, InjectedFault};
 pub use file::FileDevice;

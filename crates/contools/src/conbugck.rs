@@ -333,11 +333,11 @@ pub fn coverage(configs: &[GeneratedConfig]) -> CoverageStats {
     CoverageStats { distinct_params: params.len(), distinct_states: states.len() }
 }
 
-/// Runs a campaign over a set of configurations.
-pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
-    let mut c = ConfigCampaign { total: configs.len(), ..ConfigCampaign::default() };
-    for cfg in configs {
-        match execute(cfg) {
+fn tally(depths: impl IntoIterator<Item = RunDepth>) -> ConfigCampaign {
+    let mut c = ConfigCampaign::default();
+    for depth in depths {
+        c.total += 1;
+        match depth {
             RunDepth::RejectedCli => c.rejected_cli += 1,
             RunDepth::RejectedFormat => c.rejected_format += 1,
             RunDepth::RejectedMount => c.rejected_mount += 1,
@@ -345,6 +345,19 @@ pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
         }
     }
     c
+}
+
+/// Runs a campaign over a set of configurations.
+pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
+    tally(configs.iter().map(execute))
+}
+
+/// Like [`campaign`], but executes the independent configuration runs
+/// on `threads` workers of the shared [`crate::pool`]. Each run owns
+/// its device, so the fan-out is free of shared state and the tally is
+/// identical to the sequential campaign's.
+pub fn campaign_parallel(configs: &[GeneratedConfig], threads: usize) -> ConfigCampaign {
+    tally(crate::pool::parallel_map(configs.to_vec(), threads, |_, cfg| execute(&cfg)))
 }
 
 #[cfg(test)]
@@ -367,6 +380,18 @@ mod tests {
         assert!(aware.deep_rate() >= 0.9, "aware deep rate {:.2}", aware.deep_rate());
         // naive random dies on shallow validation most of the time
         assert!(naive.deep_rate() < 0.6, "naive deep rate {:.2}", naive.deep_rate());
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let mut gen = ConBugCk::new(11).unwrap();
+        let configs = gen.generate(24);
+        let seq = campaign(&configs);
+        let par = campaign_parallel(&configs, 4);
+        assert_eq!(seq, par);
+        assert_eq!(par.total, 24);
+        // the pool's single-thread path is the inline sequential run
+        assert_eq!(campaign_parallel(&configs, 1), seq);
     }
 
     #[test]

@@ -12,14 +12,18 @@
 //!   generation for test suites: manipulates configurations *without*
 //!   violating the extracted dependencies, so test runs get past shallow
 //!   validation and exercise deep code under many configuration states.
+//!
+//! [`pool`] carries the shared scoped worker pool these applications
+//! (and the `crashsim` explorer) fan their independent work out on.
 
 pub mod conbugck;
 pub mod condocck;
 pub mod conhandleck;
+pub mod pool;
 
 pub use conbugck::{
-    campaign, coverage, execute, generate_naive, ConBugCk, ConfigCampaign, CoverageStats,
-    GeneratedConfig, RunDepth,
+    campaign, campaign_parallel, coverage, execute, generate_naive, ConBugCk, ConfigCampaign,
+    CoverageStats, GeneratedConfig, RunDepth,
 };
 pub use condocck::{ext4_kernel_doc, run_condocck, DocIssue, DocIssueKind};
 pub use conhandleck::{run_conhandleck, standard_image, Handling, ViolationCase, ViolationOutcome};

@@ -37,7 +37,7 @@ mod workloads;
 
 pub use blockdev::{IoEvent, IoTrace};
 pub use explore::{explore, ExploreOptions};
-pub use report::{CrashKind, CrashOutcome, CrashReport, Verdict, VerdictCounts};
+pub use report::{CrashKind, CrashOutcome, CrashReport, ExploreStats, Verdict, VerdictCounts};
 pub use workloads::{
     defrag_workload, figure1_resize_workload, format_workload, journaled_write_workload,
     DurableExpectation, Workload,

@@ -90,6 +90,28 @@ pub struct VerdictCounts {
     pub unrecoverable: usize,
 }
 
+/// I/O-level accounting of one exploration run: the denominators any
+/// future performance change is measured against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Crash points enumerated (= `outcomes.len()`).
+    pub crash_points: usize,
+    /// Block writes issued materialising crash images, counted by
+    /// `blockdev` stats wrappers. The legacy full-replay engine pays
+    /// O(W²) here; the rolling engine O(W).
+    pub blocks_replayed: u64,
+    /// Images pushed through the full recovery stack.
+    pub images_classified: usize,
+    /// Crash points whose verdict came from the image-digest cache
+    /// (their image was byte-identical to an already-classified one
+    /// under the same durability contract).
+    pub cache_hits: usize,
+    /// Flush barriers observed in the recorded trace.
+    pub flushes_observed: usize,
+    /// Classification worker threads used.
+    pub threads: usize,
+}
+
 /// Everything the explorer learned about one workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrashReport {
@@ -101,6 +123,10 @@ pub struct CrashReport {
     pub flushes: usize,
     /// One entry per explored crash point.
     pub outcomes: Vec<CrashOutcome>,
+    /// I/O accounting of the exploration itself (engine-dependent;
+    /// excluded from cross-engine report equality).
+    #[serde(default)]
+    pub stats: ExploreStats,
 }
 
 impl CrashReport {
@@ -126,6 +152,16 @@ impl CrashReport {
     /// The worst verdict seen, or `Consistent` for an empty report.
     pub fn worst(&self) -> Verdict {
         self.outcomes.iter().map(|o| o.verdict).max().unwrap_or(Verdict::Consistent)
+    }
+
+    /// A canonical, engine-independent rendering of the outcomes: one
+    /// string per crash point, sorted. Two explorations agree exactly
+    /// when their signatures are equal, regardless of engine, thread
+    /// count or cache configuration.
+    pub fn canonical_signature(&self) -> Vec<String> {
+        let mut sig: Vec<String> = self.outcomes.iter().map(|o| format!("{o:?}")).collect();
+        sig.sort();
+        sig
     }
 }
 
@@ -162,6 +198,7 @@ mod tests {
                 outcome(Verdict::Repairable),
                 outcome(Verdict::Repairable),
             ],
+            stats: ExploreStats::default(),
         };
         let c = report.counts();
         assert_eq!((c.consistent, c.repairable, c.data_loss, c.unrecoverable), (1, 2, 0, 0));
@@ -183,10 +220,38 @@ mod tests {
             writes: 1,
             flushes: 0,
             outcomes: vec![outcome(Verdict::Unrecoverable)],
+            stats: ExploreStats { crash_points: 1, threads: 2, ..ExploreStats::default() },
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: CrashReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.workload, report.workload);
         assert_eq!(back.outcomes[0].verdict, Verdict::Unrecoverable);
+        assert_eq!(back.stats, report.stats);
+    }
+
+    #[test]
+    fn stats_default_when_absent_from_json() {
+        // reports serialised before the stats field existed still parse
+        let json = r#"{"workload":"t","writes":0,"flushes":0,"outcomes":[]}"#;
+        let back: CrashReport = serde_json::from_str(json).unwrap();
+        assert_eq!(back.stats, ExploreStats::default());
+    }
+
+    #[test]
+    fn canonical_signature_ignores_order_but_not_content() {
+        let a = CrashReport {
+            workload: "t".to_string(),
+            writes: 2,
+            flushes: 0,
+            outcomes: vec![outcome(Verdict::Consistent), outcome(Verdict::Repairable)],
+            stats: ExploreStats::default(),
+        };
+        let mut b = a.clone();
+        b.outcomes.reverse();
+        b.stats.cache_hits = 7; // stats never affect the signature
+        assert_eq!(a.canonical_signature(), b.canonical_signature());
+        let mut c = a.clone();
+        c.outcomes[0].verdict = Verdict::DataLoss;
+        assert_ne!(a.canonical_signature(), c.canonical_signature());
     }
 }

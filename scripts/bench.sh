@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Crash-exploration engine benchmark: races the legacy sequential
+# replay engine against the rolling CoW engine (parallel classification,
+# image-digest verdict cache) over the repro workloads and writes the
+# timings to BENCH_crashsim.json at the repository root.
+#
+# Usage: scripts/bench.sh [extra repro_crashsim args]
+#   e.g. scripts/bench.sh --threads 4
+#        scripts/bench.sh --smoke --out target/bench_smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+./target/release/repro_crashsim --bench "$@"

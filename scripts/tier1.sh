@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, full test suite, and lint-clean under clippy.
+# Tier-1 gate: build, full test suite, lint-clean under clippy, and a
+# crash-exploration benchmark smoke (tiny trace, 2 threads) that checks
+# the BENCH JSON is well-formed and the engines agreed.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +9,19 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+./target/release/repro_crashsim --bench --smoke --threads 2 \
+  --out target/bench_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/bench_smoke.json") as f:
+    bench = json.load(f)
+assert bench["rows"], "bench smoke produced no rows"
+for row in bench["rows"]:
+    assert row["reports_identical"], f"engines disagreed on {row['workload']}"
+    for cfg in ("sequential", "parallel", "parallel_cached"):
+        assert row[cfg]["wall_ms"] >= 0
+        assert row[cfg]["blocks_replayed"] > 0
+assert bench["all_reports_identical"]
+print("bench smoke OK:", len(bench["rows"]), "workload(s)")
+EOF

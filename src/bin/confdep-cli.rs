@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use confdep_suite::confdep::{
     extract_scenario, models, DependencyReport, Evaluation, ExtractOptions,
 };
-use confdep_suite::contools::conbugck::{campaign, generate_naive, ConBugCk};
+use confdep_suite::contools::conbugck::{campaign_parallel, generate_naive, ConBugCk};
 use confdep_suite::contools::{run_condocck, run_conhandleck, Handling};
 
 fn usage() -> ExitCode {
@@ -155,6 +155,10 @@ fn main() -> ExitCode {
             let count: usize =
                 value(&args, "--count").and_then(|v| v.parse().ok()).unwrap_or(40);
             let seed: u64 = value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+            // 0 = one worker per core; the campaign's tallies are
+            // deterministic regardless of the worker count
+            let threads: usize =
+                value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
             let mut gen = match ConBugCk::new(seed) {
                 Ok(g) => g,
                 Err(e) => {
@@ -162,8 +166,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let aware = campaign(&gen.generate(count));
-            let naive = campaign(&generate_naive(seed, count));
+            let aware = campaign_parallel(&gen.generate(count), threads);
+            let naive = campaign_parallel(&generate_naive(seed, count), threads);
             println!(
                 "dependency-aware: {}/{} deep ({:.0}%)",
                 aware.deep,

@@ -3,8 +3,10 @@
 //! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
 //! item shapes this repository uses: structs (named, tuple, unit) and
 //! enums (unit, tuple, and struct variants), plus the container
-//! attribute `#[serde(transparent)]` and the field attribute
-//! `#[serde(with = "module")]`. Everything is parsed with a hand-rolled
+//! attribute `#[serde(transparent)]` and the field attributes
+//! `#[serde(with = "module")]` and `#[serde(default)]` (absent map keys
+//! deserialize to `Default::default()`). Everything is parsed with a
+//! hand-rolled
 //! walker over `proc_macro::TokenTree` — the real `syn`/`quote` stack is
 //! not available offline — and the generated code targets the vendored
 //! serde's value-tree model (`to_value`/`from_value`).
@@ -19,6 +21,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: Option<String>, // None for tuple fields
     with: Option<String>, // #[serde(with = "module")]
+    default: bool,        // #[serde(default)]
 }
 
 #[derive(Debug, Clone)]
@@ -44,9 +47,17 @@ enum Item {
 // parsing
 // ---------------------------------------------------------------------
 
-/// Extracts `with = "..."` / `transparent` markers from one `#[...]`
-/// attribute group, ignoring non-serde attributes entirely.
-fn parse_serde_attr(group: &proc_macro::Group, with: &mut Option<String>, transparent: &mut bool) {
+/// Serde markers collected from the attributes of one item or field.
+#[derive(Debug, Default)]
+struct Markers {
+    with: Option<String>, // #[serde(with = "module")]
+    transparent: bool,    // #[serde(transparent)]
+    default: bool,        // #[serde(default)]
+}
+
+/// Extracts `with = "..."` / `transparent` / `default` markers from one
+/// `#[...]` attribute group, ignoring non-serde attributes entirely.
+fn parse_serde_attr(group: &proc_macro::Group, markers: &mut Markers) {
     let mut inner = group.stream().into_iter();
     match inner.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
@@ -58,7 +69,11 @@ fn parse_serde_attr(group: &proc_macro::Group, with: &mut Option<String>, transp
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Ident(id) if id.to_string() == "transparent" => {
-                *transparent = true;
+                markers.transparent = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                markers.default = true;
                 i += 1;
             }
             TokenTree::Ident(id) if id.to_string() == "with" => {
@@ -68,7 +83,7 @@ fn parse_serde_attr(group: &proc_macro::Group, with: &mut Option<String>, transp
                 {
                     if eq.as_char() == '=' {
                         let raw = lit.to_string();
-                        *with = Some(raw.trim_matches('"').to_string());
+                        markers.with = Some(raw.trim_matches('"').to_string());
                     }
                 }
                 i += 3;
@@ -80,17 +95,12 @@ fn parse_serde_attr(group: &proc_macro::Group, with: &mut Option<String>, transp
 
 /// Consumes a run of leading attributes (`#[...]`), returning the index
 /// of the first non-attribute token and recording serde markers.
-fn skip_attrs(
-    toks: &[TokenTree],
-    mut i: usize,
-    with: &mut Option<String>,
-    transparent: &mut bool,
-) -> usize {
+fn skip_attrs(toks: &[TokenTree], mut i: usize, markers: &mut Markers) -> usize {
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
-                    parse_serde_attr(g, with, transparent);
+                    parse_serde_attr(g, markers);
                     i += 2;
                 } else {
                     break;
@@ -152,14 +162,15 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     split_commas(&toks)
         .into_iter()
         .filter_map(|entry| {
-            let mut with = None;
-            let mut transparent = false;
-            let mut i = skip_attrs(&entry, 0, &mut with, &mut transparent);
+            let mut markers = Markers::default();
+            let mut i = skip_attrs(&entry, 0, &mut markers);
             i = skip_vis(&entry, i);
             match entry.get(i) {
-                Some(TokenTree::Ident(id)) => {
-                    Some(Field { name: Some(id.to_string()), with })
-                }
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: Some(id.to_string()),
+                    with: markers.with,
+                    default: markers.default,
+                }),
                 _ => None,
             }
         })
@@ -171,10 +182,9 @@ fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
     split_commas(&toks)
         .into_iter()
         .map(|entry| {
-            let mut with = None;
-            let mut transparent = false;
-            skip_attrs(&entry, 0, &mut with, &mut transparent);
-            Field { name: None, with }
+            let mut markers = Markers::default();
+            skip_attrs(&entry, 0, &mut markers);
+            Field { name: None, with: markers.with, default: markers.default }
         })
         .collect()
 }
@@ -185,9 +195,8 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
     // payloads) never contain top-level commas
     let mut out = Vec::new();
     for entry in split_commas(&toks) {
-        let mut with = None;
-        let mut transparent = false;
-        let i = skip_attrs(&entry, 0, &mut with, &mut transparent);
+        let mut markers = Markers::default();
+        let i = skip_attrs(&entry, 0, &mut markers);
         let Some(TokenTree::Ident(name)) = entry.get(i) else { continue };
         let shape = match entry.get(i + 1) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
@@ -205,9 +214,8 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let toks: Vec<TokenTree> = input.into_iter().collect();
-    let mut with = None;
-    let mut transparent = false;
-    let mut i = skip_attrs(&toks, 0, &mut with, &mut transparent);
+    let mut markers = Markers::default();
+    let mut i = skip_attrs(&toks, 0, &mut markers);
     i = skip_vis(&toks, i);
     let kind = match toks.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -233,7 +241,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 }
                 _ => Shape::Unit,
             };
-            Ok(Item::Struct { name, shape, transparent })
+            Ok(Item::Struct { name, shape, transparent: markers.transparent })
         }
         "enum" => match toks.get(i + 2) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
@@ -267,6 +275,29 @@ fn field_from_value(value_expr: &str, field: &Field) -> String {
             "{path}::deserialize(::serde::__private::ValueDeserializer({value_expr}))?"
         ),
         None => format!("::serde::de::Deserialize::from_value({value_expr})?"),
+    }
+}
+
+/// Initialiser for one named field read out of map `container_expr`; a
+/// `#[serde(default)]` field tolerates an absent key.
+fn named_field_init(container_expr: &str, field: &Field) -> String {
+    let fname = field.name.as_deref().expect("named field");
+    if field.default {
+        format!(
+            "{fname}: match ::serde::__private::opt_map_field({container_expr}, \"{fname}\")? {{ \
+               Some(v) => {}, \
+               None => ::std::default::Default::default(), \
+             }}",
+            field_from_value("v", field)
+        )
+    } else {
+        format!(
+            "{fname}: {}",
+            field_from_value(
+                &format!("::serde::__private::map_field({container_expr}, \"{fname}\")?"),
+                field
+            )
+        )
     }
 }
 
@@ -336,19 +367,8 @@ fn gen_struct_deserialize(name: &str, shape: &Shape, transparent: bool) -> Strin
             format!("Ok({name} {{ {fname}: {} }})", field_from_value("value", &fields[0]))
         }
         Shape::Named(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    let fname = f.name.as_deref().expect("named field");
-                    format!(
-                        "{fname}: {}",
-                        field_from_value(
-                            &format!("::serde::__private::map_field(value, \"{fname}\")?"),
-                            f
-                        )
-                    )
-                })
-                .collect();
+            let inits: Vec<String> =
+                fields.iter().map(|f| named_field_init("value", f)).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
     };
@@ -460,21 +480,8 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
                     )
                 }
                 Shape::Named(fields) => {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| {
-                            let fname = f.name.as_deref().expect("named field");
-                            format!(
-                                "{fname}: {}",
-                                field_from_value(
-                                    &format!(
-                                        "::serde::__private::map_field(payload, \"{fname}\")?"
-                                    ),
-                                    f
-                                )
-                            )
-                        })
-                        .collect();
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| named_field_init("payload", f)).collect();
                     format!("\"{vn}\" => Ok({name}::{vn} {{ {} }}),", inits.join(", "))
                 }
             }
