@@ -30,7 +30,7 @@ fn bench_taint(c: &mut Criterion) {
         b.iter(|| {
             taint::analyze(
                 black_box(&program),
-                taint::AnalysisOptions { interprocedural: true },
+                taint::AnalysisOptions { interprocedural: true, ..Default::default() },
             )
         })
     });

@@ -1,0 +1,320 @@
+//! Analyzer benchmark: the naive sweep engine vs the def-use worklist
+//! engine, plus the content-addressed analysis cache.
+//!
+//! `repro_analyzer --bench` generates seeded synthetic CIR programs at
+//! several scales (`bench::synth`), races
+//! `AnalysisOptions::sweep_baseline()` against the default worklist
+//! engine in both the intra- and inter-procedural modes, verifies the
+//! two produce **identical** `TaintResult`s at every point, and writes
+//! the measurements to `BENCH_analyzer.json` (`--out PATH` to
+//! redirect): wall time, instructions visited, propagation rounds, set
+//! unions (and how many the worklist answered from its memo table).
+//! A final section re-extracts the six real component models through a
+//! fresh `AnalysisCache` twice and reports the second run's hit rate
+//! (it must re-analyze nothing).
+//!
+//! `--smoke` shrinks the scales and repetitions for CI gates;
+//! `--threads N` pins the cache-section worker count. The process exits
+//! nonzero if the engines disagree anywhere.
+
+use std::time::Instant;
+
+use bench::{synth_model, SynthSpec};
+use confdep::{extract_scenario_with_cache, models, AnalysisCache, ExtractOptions};
+use serde::Serialize;
+use taint::{analyze_with_stats, AnalysisOptions, AnalysisStats, Engine};
+
+/// One engine's measured run over one program and mode.
+#[derive(Serialize)]
+struct EngineRun {
+    wall_ms: f64,
+    instructions_visited: u64,
+    propagation_rounds: u64,
+    set_unions: u64,
+    set_unions_memoized: u64,
+}
+
+fn measure(
+    program: &cir::Program,
+    options: AnalysisOptions,
+    reps: usize,
+) -> (EngineRun, taint::TaintResult) {
+    let mut best: Option<(f64, taint::TaintResult, AnalysisStats)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let (result, stats) = analyze_with_stats(program, options);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _, _)| wall_ms < *b) {
+            best = Some((wall_ms, result, stats));
+        }
+    }
+    let (wall_ms, result, stats) = best.expect("at least one repetition ran");
+    (
+        EngineRun {
+            wall_ms,
+            instructions_visited: stats.instructions_visited,
+            propagation_rounds: stats.propagation_rounds,
+            set_unions: stats.set_unions,
+            set_unions_memoized: stats.set_unions_memoized,
+        },
+        result,
+    )
+}
+
+/// One (scale, mode) comparison row.
+#[derive(Serialize)]
+struct BenchRow {
+    functions: usize,
+    blocks: usize,
+    params: usize,
+    meta_fields: usize,
+    mode: String,
+    sites: usize,
+    vars: usize,
+    sweep: EngineRun,
+    worklist: EngineRun,
+    wall_speedup: f64,
+    visit_ratio: f64,
+    identical: bool,
+}
+
+/// The analysis-cache section: the six real models extracted twice.
+#[derive(Serialize)]
+struct CacheSection {
+    components: usize,
+    first_wall_ms: f64,
+    second_wall_ms: f64,
+    first_misses: u64,
+    second_misses: u64,
+    cache_hits: u64,
+    deps_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Totals {
+    sweep_wall_ms: f64,
+    worklist_wall_ms: f64,
+    wall_speedup: f64,
+    sweep_visits: u64,
+    worklist_visits: u64,
+    visit_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    description: String,
+    smoke: bool,
+    rows: Vec<BenchRow>,
+    cache: CacheSection,
+    totals: Totals,
+    all_identical: bool,
+}
+
+fn scales(smoke: bool) -> Vec<SynthSpec> {
+    if smoke {
+        vec![
+            SynthSpec { functions: 2, blocks: 3, params: 3, meta_fields: 2, seed: 11 },
+            SynthSpec { functions: 4, blocks: 6, params: 4, meta_fields: 2, seed: 12 },
+        ]
+    } else {
+        vec![
+            SynthSpec { functions: 4, blocks: 4, params: 4, meta_fields: 2, seed: 21 },
+            SynthSpec { functions: 8, blocks: 12, params: 8, meta_fields: 4, seed: 22 },
+            SynthSpec { functions: 16, blocks: 24, params: 12, meta_fields: 6, seed: 23 },
+            SynthSpec { functions: 32, blocks: 48, params: 16, meta_fields: 8, seed: 24 },
+        ]
+    }
+}
+
+fn run_cache_section(threads: usize, reps: usize) -> CacheSection {
+    let sources = models::all();
+    let cache = AnalysisCache::new();
+    let opts = ExtractOptions::default();
+    let time_once = |cache: &AnalysisCache| {
+        let start = Instant::now();
+        let x = extract_scenario_with_cache(&sources, opts, threads, cache)
+            .unwrap_or_else(|e| {
+                eprintln!("scenario extraction failed: {e}");
+                std::process::exit(1);
+            });
+        (start.elapsed().as_secs_f64() * 1e3, x)
+    };
+    let (first_wall_ms, first) = time_once(&cache);
+    let after_first = cache.stats();
+    // warm runs: keep the fastest (they are identical by construction)
+    let mut second_wall_ms = f64::INFINITY;
+    let mut second = None;
+    for _ in 0..reps.max(1) {
+        let (ms, x) = time_once(&cache);
+        if ms < second_wall_ms {
+            second_wall_ms = ms;
+            second = Some(x);
+        }
+    }
+    let second = second.expect("at least one warm repetition ran");
+    let after_second = cache.stats();
+    let sig = |deps: &[confdep::Dependency]| -> Vec<String> {
+        deps.iter().map(confdep::Dependency::signature).collect()
+    };
+    CacheSection {
+        components: sources.len(),
+        first_wall_ms,
+        second_wall_ms,
+        first_misses: after_first.misses,
+        second_misses: after_second.misses - after_first.misses,
+        cache_hits: after_second.hits,
+        deps_identical: sig(&first.deps) == sig(&second.deps),
+    }
+}
+
+fn run_bench(smoke: bool, threads: usize, out: &str) {
+    let reps = if smoke { 1 } else { 5 };
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for spec in scales(smoke) {
+        let src = synth_model(&spec);
+        let program = cir::compile(&src).unwrap_or_else(|e| {
+            eprintln!("synthetic program {spec:?} failed to compile: {e}");
+            std::process::exit(1);
+        });
+        let index = cir::ProgramIndex::build(&program);
+        for interprocedural in [false, true] {
+            let mode = if interprocedural { "inter" } else { "intra" };
+            let sweep_opts = AnalysisOptions { interprocedural, engine: Engine::Sweep };
+            let work_opts = AnalysisOptions { interprocedural, engine: Engine::Worklist };
+            let (sweep, sweep_result) = measure(&program, sweep_opts, reps);
+            let (worklist, work_result) = measure(&program, work_opts, reps);
+            let identical = sweep_result == work_result;
+            all_identical &= identical;
+            eprintln!(
+                "{}f x {}b {mode:>5}: sweep {:.2} ms / {} visits -> worklist {:.2} ms / {} \
+                 visits ({:.2}x wall, {:.1}x visits) | identical: {identical}",
+                spec.functions,
+                spec.blocks,
+                sweep.wall_ms,
+                sweep.instructions_visited,
+                worklist.wall_ms,
+                worklist.instructions_visited,
+                sweep.wall_ms / worklist.wall_ms.max(f64::EPSILON),
+                sweep.instructions_visited as f64
+                    / worklist.instructions_visited.max(1) as f64,
+            );
+            rows.push(BenchRow {
+                functions: spec.functions,
+                blocks: spec.blocks,
+                params: spec.params,
+                meta_fields: spec.meta_fields,
+                mode: mode.to_string(),
+                sites: index.site_count(),
+                vars: program.vars.len(),
+                wall_speedup: sweep.wall_ms / worklist.wall_ms.max(f64::EPSILON),
+                visit_ratio: sweep.instructions_visited as f64
+                    / worklist.instructions_visited.max(1) as f64,
+                sweep,
+                worklist,
+                identical,
+            });
+        }
+    }
+
+    eprintln!("cache: extracting the {} real models twice...", models::all().len());
+    let cache = run_cache_section(threads, reps);
+    eprintln!(
+        "cache: cold {:.2} ms ({} analyses) -> warm {:.2} ms ({} re-analyses, {} hits) | \
+         identical: {}",
+        cache.first_wall_ms,
+        cache.first_misses,
+        cache.second_wall_ms,
+        cache.second_misses,
+        cache.cache_hits,
+        cache.deps_identical,
+    );
+    all_identical &= cache.deps_identical && cache.second_misses == 0;
+
+    let totals = Totals {
+        sweep_wall_ms: rows.iter().map(|r| r.sweep.wall_ms).sum(),
+        worklist_wall_ms: rows.iter().map(|r| r.worklist.wall_ms).sum(),
+        wall_speedup: rows.iter().map(|r| r.sweep.wall_ms).sum::<f64>()
+            / rows.iter().map(|r| r.worklist.wall_ms).sum::<f64>().max(f64::EPSILON),
+        sweep_visits: rows.iter().map(|r| r.sweep.instructions_visited).sum(),
+        worklist_visits: rows.iter().map(|r| r.worklist.instructions_visited).sum(),
+        visit_ratio: rows.iter().map(|r| r.sweep.instructions_visited).sum::<u64>() as f64
+            / rows.iter().map(|r| r.worklist.instructions_visited).sum::<u64>().max(1) as f64,
+    };
+    eprintln!(
+        "total: sweep {:.1} ms / {} visits -> worklist {:.1} ms / {} visits \
+         ({:.2}x wall, {:.1}x visits)",
+        totals.sweep_wall_ms,
+        totals.sweep_visits,
+        totals.worklist_wall_ms,
+        totals.worklist_visits,
+        totals.wall_speedup,
+        totals.visit_ratio,
+    );
+
+    let summary = BenchSummary {
+        description: "taint-engine benchmark: naive whole-program sweep vs def-use worklist \
+                      with interned taint sets, over seeded synthetic CIR programs, plus the \
+                      content-addressed analysis cache over the real component models"
+            .to_string(),
+        smoke,
+        rows,
+        cache,
+        totals,
+        all_identical,
+    };
+    let json = serde_json::to_string_pretty(&summary).unwrap_or_else(|e| {
+        eprintln!("serialisation failed: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("writing {out} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    if !all_identical {
+        eprintln!("ERROR: the engines disagreed (or the cache re-analyzed a warm model)");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench = false;
+    let mut smoke = false;
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut out = "BENCH_analyzer.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => bench = true,
+            "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: repro_analyzer --bench [--smoke] [--threads N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if bench {
+        run_bench(smoke, threads, &out);
+    } else {
+        eprintln!("usage: repro_analyzer --bench [--smoke] [--threads N] [--out PATH]");
+        std::process::exit(2);
+    }
+}

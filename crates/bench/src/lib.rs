@@ -15,6 +15,14 @@
 //! | `ablation`     | bridge / inter-procedural / ConBugCk ablations |
 //!
 //! Criterion performance benches live under `benches/`.
+//!
+//! [`synth`] generates seeded synthetic CIR programs for the analyzer
+//! benchmark (`repro_analyzer`) and the engine-equivalence property
+//! tests.
+
+pub mod synth;
+
+pub use synth::{synth_model, SplitMix64, SynthSpec};
 
 /// Renders an ASCII table: a header row plus data rows, columns padded.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,236 @@
+//! Def-use indices over a compiled [`Program`] — the substrate of the
+//! worklist-driven taint engine.
+//!
+//! The naive analysis sweeps every instruction of every function until
+//! a global fixpoint; a worklist engine instead re-visits only the
+//! instructions whose inputs changed, which requires knowing, for each
+//! variable, *where it is defined and used*. This module builds those
+//! maps once per program:
+//!
+//! * [`FunctionIndex`] — per function: the assignment sites in program
+//!   order, plus `VarId → defining sites` and `VarId → using sites`;
+//! * [`ProgramIndex`] — the per-function indices under a single
+//!   function-major global site numbering, plus the **cross-function
+//!   edge map** (`VarId → using sites in every function`) that the
+//!   inter-procedural mode propagates along: CIR variables are
+//!   program-global, so a variable assigned in one function and read in
+//!   another is exactly a flow through a shared global.
+
+use crate::ir::{Function, Instr, Program, Rvalue, VarId};
+
+/// Location of one `Assign` instruction inside its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteRef {
+    /// Index into [`Function::blocks`].
+    pub block: usize,
+    /// Index into the block's `instrs`.
+    pub instr: usize,
+}
+
+/// Def-use index of a single function.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionIndex {
+    /// Every `Assign` instruction, in block-major program order — the
+    /// order a sequential sweep visits them.
+    pub sites: Vec<SiteRef>,
+    /// `VarId → indices into `sites`` of the assignments *defining* the
+    /// variable, in program order.
+    def_sites: Vec<Vec<u32>>,
+    /// `VarId → indices into `sites`` of the assignments whose rvalue
+    /// *reads* the variable, in program order.
+    use_sites: Vec<Vec<u32>>,
+}
+
+impl FunctionIndex {
+    fn build(f: &Function, var_count: usize) -> FunctionIndex {
+        let mut idx = FunctionIndex {
+            sites: Vec::new(),
+            def_sites: vec![Vec::new(); var_count],
+            use_sites: vec![Vec::new(); var_count],
+        };
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let Instr::Assign { dst, value, .. } = instr else { continue };
+                let site = idx.sites.len() as u32;
+                idx.sites.push(SiteRef { block: bi, instr: ii });
+                idx.def_sites[dst.0 as usize].push(site);
+                for op in value.operands() {
+                    if let Some(v) = op.as_var() {
+                        let uses = &mut idx.use_sites[v.0 as usize];
+                        // an rvalue reading the same var twice is one site
+                        if uses.last() != Some(&site) {
+                            uses.push(site);
+                        }
+                    }
+                }
+            }
+        }
+        idx
+    }
+
+    /// The sites (indices into [`FunctionIndex::sites`]) defining `v`,
+    /// in program order.
+    pub fn defs_of(&self, v: VarId) -> &[u32] {
+        self.def_sites.get(v.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The sites (indices into [`FunctionIndex::sites`]) whose rvalue
+    /// reads `v`, in program order.
+    pub fn uses_of(&self, v: VarId) -> &[u32] {
+        self.use_sites.get(v.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves a site index to the instruction's destination, rvalue
+    /// and line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is out of range or the indexed instruction is
+    /// not an `Assign` (both impossible for indices produced by this
+    /// index over the same function).
+    pub fn resolve<'f>(&self, f: &'f Function, site: u32) -> (VarId, &'f Rvalue, u32) {
+        let s = self.sites[site as usize];
+        match &f.blocks[s.block].instrs[s.instr] {
+            Instr::Assign { dst, value, line } => (*dst, value, *line),
+            other => panic!("site {site} is not an Assign: {other:?}"),
+        }
+    }
+}
+
+/// Def-use index of a whole program, with a global site numbering.
+///
+/// Global site `g` belongs to function `fi` when
+/// `offsets[fi] <= g < offsets[fi] + functions[fi].sites.len()`;
+/// function-major numbering makes global order coincide with the
+/// order a full Gauss–Seidel sweep visits the instructions, which the
+/// worklist engine relies on to reproduce the sweep byte-for-byte.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramIndex {
+    /// Per-function indices, parallel to [`Program::functions`].
+    pub functions: Vec<FunctionIndex>,
+    /// Global site number of each function's first site.
+    pub offsets: Vec<u32>,
+    /// The cross-function edge map: `VarId → global site numbers` of
+    /// every assignment (in any function) reading the variable. This is
+    /// what carries taints across function boundaries in the
+    /// inter-procedural mode.
+    cross_uses: Vec<Vec<u32>>,
+}
+
+impl ProgramIndex {
+    /// Builds the index for `program`.
+    pub fn build(program: &Program) -> ProgramIndex {
+        let var_count = program.vars.len();
+        let mut functions = Vec::with_capacity(program.functions.len());
+        let mut offsets = Vec::with_capacity(program.functions.len());
+        let mut cross_uses: Vec<Vec<u32>> = vec![Vec::new(); var_count];
+        let mut base = 0u32;
+        for f in &program.functions {
+            let idx = FunctionIndex::build(f, var_count);
+            offsets.push(base);
+            for (v, uses) in idx.use_sites.iter().enumerate() {
+                cross_uses[v].extend(uses.iter().map(|s| base + s));
+            }
+            base += idx.sites.len() as u32;
+            functions.push(idx);
+        }
+        ProgramIndex { functions, offsets, cross_uses }
+    }
+
+    /// Total number of assignment sites across all functions.
+    pub fn site_count(&self) -> usize {
+        self.functions.iter().map(|f| f.sites.len()).sum()
+    }
+
+    /// The global site numbers of every assignment reading `v`, across
+    /// all functions, in global order.
+    pub fn cross_uses_of(&self, v: VarId) -> &[u32] {
+        self.cross_uses.get(v.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The function owning a global site number.
+    pub fn function_of(&self, global_site: u32) -> usize {
+        match self.offsets.binary_search(&global_site) {
+            Ok(fi) => {
+                // several empty functions can share an offset; take the
+                // last function starting here (the one with sites)
+                let mut fi = fi;
+                while fi + 1 < self.offsets.len() && self.offsets[fi + 1] == global_site {
+                    fi += 1;
+                }
+                fi
+            }
+            Err(ins) => ins - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const SRC: &str = r#"
+        component c;
+        metadata sb { f }
+        param int p = option("-p");
+        fn a() {
+            x = p + 1;
+            y = x * x;
+        }
+        fn b() {
+            z = y;
+            sb.f = z;
+            if (z > 3) { fail("big"); }
+        }
+    "#;
+
+    #[test]
+    fn function_index_tracks_defs_and_uses() {
+        let prog = compile(SRC).unwrap();
+        let idx = ProgramIndex::build(&prog);
+        assert_eq!(idx.functions.len(), 2);
+        let fa = &idx.functions[0];
+        let x = prog.vars.iter().position(|n| n == "x").map(|i| VarId(i as u32)).unwrap();
+        let y = prog.vars.iter().position(|n| n == "y").map(|i| VarId(i as u32)).unwrap();
+        assert_eq!(fa.defs_of(x).len(), 1);
+        // y = x * x reads x at one site (deduplicated)
+        assert_eq!(fa.uses_of(x).len(), 1);
+        let (dst, rv, _) = fa.resolve(&prog.functions[0], fa.defs_of(y)[0]);
+        assert_eq!(dst, y);
+        assert!(matches!(rv, Rvalue::Bin { .. }));
+    }
+
+    #[test]
+    fn cross_function_edges_span_functions() {
+        let prog = compile(SRC).unwrap();
+        let idx = ProgramIndex::build(&prog);
+        let y = prog.vars.iter().position(|n| n == "y").map(|i| VarId(i as u32)).unwrap();
+        // y is defined in a() and read in b(): the cross-function map
+        // must list the site in b() under a global number in b's range
+        let uses = idx.cross_uses_of(y);
+        assert_eq!(uses.len(), 1);
+        assert_eq!(idx.function_of(uses[0]), 1);
+    }
+
+    #[test]
+    fn global_numbering_is_function_major() {
+        let prog = compile(SRC).unwrap();
+        let idx = ProgramIndex::build(&prog);
+        assert_eq!(idx.offsets[0], 0);
+        assert_eq!(idx.offsets[1] as usize, idx.functions[0].sites.len());
+        assert_eq!(idx.site_count(), idx.functions.iter().map(|f| f.sites.len()).sum());
+        for g in 0..idx.offsets[1] {
+            assert_eq!(idx.function_of(g), 0);
+        }
+    }
+
+    #[test]
+    fn unassigned_vars_have_no_defs() {
+        let prog = compile("component c; fn f() { x = q; }").unwrap();
+        let idx = ProgramIndex::build(&prog);
+        let q = prog.vars.iter().position(|n| n == "q").map(|i| VarId(i as u32)).unwrap();
+        assert!(idx.functions[0].defs_of(q).is_empty());
+        assert_eq!(idx.functions[0].uses_of(q).len(), 1);
+    }
+}

@@ -38,6 +38,7 @@
 
 mod ast;
 mod error;
+pub mod index;
 mod ir;
 mod lexer;
 mod lower;
@@ -46,6 +47,7 @@ pub mod pretty;
 
 pub use ast::{BinOp, Expr, Item, Literal, Program as AstProgram, Stmt, UnOp};
 pub use error::CirError;
+pub use index::{FunctionIndex, ProgramIndex, SiteRef};
 pub use ir::{
     BasicBlock, BlockId, Function, Instr, MetadataStruct, Operand, ParamDecl, ParamSource,
     ParamTy, Program, Rvalue, Terminator, VarId,

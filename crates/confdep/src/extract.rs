@@ -1,12 +1,20 @@
 //! The dependency extractor (§4.1): taint facts → multi-level
 //! configuration dependencies, with the shared-metadata bridge
 //! connecting components.
+//!
+//! Scenario extraction is **incremental and parallel by default**:
+//! components are analyzed on a [`conpool::parallel_map`] worker pool,
+//! each analysis going through the content-addressed
+//! [`crate::cache::AnalysisCache`] — re-extracting a scenario whose
+//! sources did not change re-analyzes nothing.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use cir::{BinOp, ParamSource, ParamTy, Program};
 use taint::{AnalysisOptions, ComparisonFact, Taint, TaintResult};
 
+use crate::cache::{self, AnalysisCache};
 use crate::model::{dedup, DepDetail, DepKind, Dependency, Endpoint, ParamRef};
 use crate::ConfdepError;
 
@@ -22,7 +30,7 @@ pub struct ExtractOptions {
 }
 
 /// A compiled component with its analysis result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AnalyzedComponent {
     /// The compiled model.
     pub program: Program,
@@ -30,7 +38,19 @@ pub struct AnalyzedComponent {
     pub taint: TaintResult,
 }
 
-/// Compiles and analyzes one component model.
+/// A scenario's analyzed components plus the extracted dependencies —
+/// what callers that also need the per-component facts (benchmarks,
+/// the CLI's truncation warning) consume.
+#[derive(Debug, Clone)]
+pub struct ScenarioExtraction {
+    /// The analyzed components, in input order (shared with the cache).
+    pub components: Vec<Arc<AnalyzedComponent>>,
+    /// The deduplicated dependencies.
+    pub deps: Vec<Dependency>,
+}
+
+/// Compiles and analyzes one component model (uncached; the cached path
+/// is [`crate::cache::AnalysisCache::get_or_analyze`]).
 ///
 /// # Errors
 ///
@@ -39,7 +59,7 @@ pub fn analyze_component(src: &str, options: ExtractOptions) -> Result<AnalyzedC
     let program = cir::compile(src)?;
     let taint = taint::analyze(
         &program,
-        AnalysisOptions { interprocedural: options.interprocedural },
+        AnalysisOptions { interprocedural: options.interprocedural, ..AnalysisOptions::default() },
     );
     Ok(AnalyzedComponent { program, taint })
 }
@@ -55,7 +75,8 @@ pub fn extract_component(src: &str) -> Result<Vec<Dependency>, ConfdepError> {
 }
 
 /// Extracts everything for a set of components: per-component SD/CPD
-/// plus bridged CCDs across the set.
+/// plus bridged CCDs across the set. Analyses run on the worker pool
+/// (one thread per core) through the process-wide analysis cache.
 ///
 /// # Errors
 ///
@@ -64,24 +85,25 @@ pub fn extract_scenario(
     sources: &[(&str, &str)],
     options: ExtractOptions,
 ) -> Result<Vec<Dependency>, ConfdepError> {
-    let mut analyzed = Vec::new();
-    for (_, src) in sources {
-        analyzed.push(analyze_component(src, options)?);
-    }
-    let mut deps = Vec::new();
-    for a in &analyzed {
-        deps.extend(component_deps(a));
-    }
-    if !options.disable_bridge {
-        deps.extend(bridge_deps(&analyzed));
-    }
-    Ok(dedup(deps))
+    extract_scenario_threaded(sources, options, 0)
 }
 
-/// Like [`extract_scenario`], but compiles and analyzes the components
-/// on parallel threads (crossbeam scoped threads). Produces identical
-/// results; used by the benchmarks and by callers analyzing many
-/// components.
+/// [`extract_scenario`] with an explicit worker count (`0` = one per
+/// core, `1` = sequential). Results are independent of `threads`.
+///
+/// # Errors
+///
+/// Returns [`ConfdepError::Cir`] when any model does not compile.
+pub fn extract_scenario_threaded(
+    sources: &[(&str, &str)],
+    options: ExtractOptions,
+    threads: usize,
+) -> Result<Vec<Dependency>, ConfdepError> {
+    Ok(extract_scenario_full(sources, options, threads)?.deps)
+}
+
+/// Backwards-compatible alias of the parallel path (parallelism is the
+/// default now).
 ///
 /// # Errors
 ///
@@ -90,27 +112,57 @@ pub fn extract_scenario_parallel(
     sources: &[(&str, &str)],
     options: ExtractOptions,
 ) -> Result<Vec<Dependency>, ConfdepError> {
-    let results: Vec<Result<AnalyzedComponent, ConfdepError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = sources
-                .iter()
-                .map(|(_, src)| scope.spawn(move |_| analyze_component(src, options)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("analysis thread panicked")).collect()
-        })
-        .expect("crossbeam scope");
-    let mut analyzed = Vec::new();
+    extract_scenario_threaded(sources, options, 0)
+}
+
+/// The full pipeline: parallel cached analysis, then dependency
+/// extraction; returns the analyzed components alongside the deps.
+/// Uses (and spills, when `CONFDEP_CACHE_SPILL` is set) the global
+/// analysis cache.
+///
+/// # Errors
+///
+/// Returns [`ConfdepError::Cir`] when any model does not compile.
+pub fn extract_scenario_full(
+    sources: &[(&str, &str)],
+    options: ExtractOptions,
+    threads: usize,
+) -> Result<ScenarioExtraction, ConfdepError> {
+    let extraction =
+        extract_scenario_with_cache(sources, options, threads, cache::global())?;
+    cache::maybe_spill_global();
+    Ok(extraction)
+}
+
+/// [`extract_scenario_full`] against a caller-owned cache (tests use a
+/// fresh cache for deterministic hit/miss counts).
+///
+/// # Errors
+///
+/// Returns [`ConfdepError::Cir`] when any model does not compile.
+pub fn extract_scenario_with_cache(
+    sources: &[(&str, &str)],
+    options: ExtractOptions,
+    threads: usize,
+    cache: &AnalysisCache,
+) -> Result<ScenarioExtraction, ConfdepError> {
+    let results: Vec<Result<Arc<AnalyzedComponent>, ConfdepError>> = conpool::parallel_map(
+        sources.to_vec(),
+        threads,
+        |_, (_, src)| cache.get_or_analyze(src, options),
+    );
+    let mut components = Vec::with_capacity(results.len());
     for r in results {
-        analyzed.push(r?);
+        components.push(r?);
     }
     let mut deps = Vec::new();
-    for a in &analyzed {
+    for a in &components {
         deps.extend(component_deps(a));
     }
     if !options.disable_bridge {
-        deps.extend(bridge_deps(&analyzed));
+        deps.extend(bridge_deps(&components));
     }
-    Ok(dedup(deps))
+    Ok(ScenarioExtraction { components, deps: dedup(deps) })
 }
 
 // ---------------------------------------------------------------------
@@ -275,7 +327,7 @@ fn bump_max(d: &mut DepDetail, k: i64) {
 // cross-component bridging (the paper's key idea)
 // ---------------------------------------------------------------------
 
-fn bridge_deps(analyzed: &[AnalyzedComponent]) -> Vec<Dependency> {
+fn bridge_deps(analyzed: &[Arc<AnalyzedComponent>]) -> Vec<Dependency> {
     let mut deps = Vec::new();
 
     // writers: metadata field -> (component, params that taint the write)

@@ -32,6 +32,7 @@
 //! # Ok::<(), confdep::ConfdepError>(())
 //! ```
 
+pub mod cache;
 pub mod eval;
 pub mod extract;
 pub mod ground_truth;
@@ -40,10 +41,12 @@ pub mod models;
 pub mod report;
 pub mod scenario;
 
+pub use cache::{AnalysisCache, CacheStats};
 pub use eval::{CategoryCounts, Evaluation, ScenarioOutcome};
 pub use extract::{
-    analyze_component, extract_component, extract_scenario, extract_scenario_parallel,
-    AnalyzedComponent, ExtractOptions,
+    analyze_component, extract_component, extract_scenario, extract_scenario_full,
+    extract_scenario_parallel, extract_scenario_threaded, extract_scenario_with_cache,
+    AnalyzedComponent, ExtractOptions, ScenarioExtraction,
 };
 pub use ground_truth::{is_false_positive, is_true_dependency, FALSE_POSITIVE_SIGNATURES};
 pub use model::{dedup, DepKind, Dependency, Endpoint, ParamRef};

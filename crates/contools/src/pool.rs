@@ -1,139 +1,9 @@
-//! A small scoped worker pool with a deterministic merge.
+//! The shared worker pool, re-exported from [`conpool`].
 //!
-//! Several of the ecosystem's hot loops are embarrassingly parallel
-//! fan-outs over independent items — crash-image classification in
-//! `crashsim`, configuration campaigns in ConBugCk, component analysis
-//! in `confdep`. [`parallel_map`] packages the shared pattern once:
-//! items are pulled from a work queue by `threads` crossbeam scoped
-//! workers, and the results are re-assembled **in input order**, so a
-//! parallel run is byte-identical to a sequential one whenever the
-//! per-item function is pure.
+//! The implementation moved into its own bottom-of-the-stack crate so
+//! `confdep` (which `contools` depends on) can fan out component
+//! analysis on the same pool without a dependency cycle. The canonical
+//! `contools::pool::{parallel_map, effective_threads}` path is
+//! preserved here.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
-
-/// Resolves a requested worker count: `0` means one worker per
-/// available core, anything else is taken as-is.
-pub fn effective_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        requested
-    }
-}
-
-/// Maps `f` over `items` on scoped workers, returning results in input
-/// order. `threads` is resolved by [`effective_threads`] (`0` = one per
-/// core); one worker (or a single item) runs inline with no thread
-/// overhead. `f` receives each item's input index.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` after all workers have stopped.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let threads = effective_threads(threads);
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
-    }
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let workers = threads.min(n);
-    let mut tagged: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let queue = &queue;
-                let f = &f;
-                scope.spawn(move |_| {
-                    let mut out = Vec::new();
-                    loop {
-                        let job = queue.lock().expect("work queue poisoned").pop_front();
-                        match job {
-                            Some((i, item)) => out.push((i, f(i, item))),
-                            None => break,
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(items.clone(), 8, |_, v| v * 3);
-        assert_eq!(out, items.iter().map(|v| v * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn matches_sequential_run() {
-        let items: Vec<u32> = (0..57).collect();
-        let seq = parallel_map(items.clone(), 1, |i, v| (i as u32) ^ v.wrapping_mul(7));
-        let par = parallel_map(items, 4, |i, v| (i as u32) ^ v.wrapping_mul(7));
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn indices_match_items() {
-        let items = vec![10usize, 20, 30];
-        let out = parallel_map(items, 2, |i, v| (i, v));
-        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
-    }
-
-    #[test]
-    fn runs_every_item_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let out = parallel_map((0..200).collect::<Vec<i32>>(), 6, |_, v| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            v
-        });
-        assert_eq!(out.len(), 200);
-        assert_eq!(counter.load(Ordering::Relaxed), 200);
-    }
-
-    #[test]
-    fn zero_threads_resolves_to_cores() {
-        assert_eq!(effective_threads(3), 3);
-        assert!(effective_threads(0) >= 1);
-        // auto mode still computes the same results
-        let items: Vec<u32> = (0..23).collect();
-        assert_eq!(
-            parallel_map(items.clone(), 0, |_, v| v + 1),
-            parallel_map(items, 1, |_, v| v + 1)
-        );
-    }
-
-    #[test]
-    fn empty_and_single_item_inputs() {
-        let none: Vec<u8> = Vec::new();
-        assert!(parallel_map(none, 4, |_, v: u8| v).is_empty());
-        assert_eq!(parallel_map(vec![9u8], 4, |_, v| v + 1), vec![10]);
-    }
-
-    #[test]
-    #[should_panic(expected = "worker thread panicked")]
-    fn worker_panic_propagates() {
-        let _ = parallel_map((0..8).collect::<Vec<i32>>(), 2, |_, v| {
-            assert!(v != 5, "boom");
-            v
-        });
-    }
-}
+pub use conpool::{effective_threads, parallel_map};

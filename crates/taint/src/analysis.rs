@@ -1,13 +1,41 @@
-//! The taint propagation engine and fact extraction.
+//! The taint propagation engines and fact extraction.
+//!
+//! Two propagation engines produce byte-identical [`TaintResult`]s:
+//!
+//! * [`Engine::Worklist`] (the default) — def-use worklist over
+//!   [`cir::ProgramIndex`] with interned, hash-consed taint sets
+//!   ([`crate::intern`]); only instructions whose input sets changed are
+//!   re-visited. See [`crate::worklist`].
+//! * [`Engine::Sweep`] — the naive Gauss–Seidel baseline that
+//!   re-propagates every instruction of every function until a global
+//!   fixpoint, cloning a `BTreeSet<Taint>` per operand per pass. Kept
+//!   as [`AnalysisOptions::sweep_baseline`] for the equivalence tests
+//!   and the analyzer benchmark.
+//!
+//! Fact extraction is shared: both engines materialize the same taint
+//! map and feed it through the same extractor, so equality of the
+//! propagation fixpoints carries over to facts and traces.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use cir::{
-    BasicBlock, BinOp, Function, Instr, Operand, Program, Rvalue, Terminator, UnOp, VarId,
+    BasicBlock, BinOp, Function, FunctionIndex, Instr, Operand, Program, ProgramIndex, Rvalue,
+    Terminator, UnOp, VarId,
 };
 
 use crate::facts::{BranchFact, ComparisonFact, MetaUseFact, MetaWriteFact, Taint};
 use crate::trace::TaintTrace;
+use crate::worklist::WorklistEngine;
+
+/// Propagation engine selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Def-use worklist with interned taint sets (the default).
+    #[default]
+    Worklist,
+    /// The naive whole-program sweep (the pre-optimisation engine).
+    Sweep,
+}
 
 /// Analysis configuration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,10 +45,37 @@ pub struct AnalysisOptions {
     /// static analyzer can handle intra-procedure taint analysis but not
     /// inter-procedure analysis" — and gains CCDs when it is on.
     pub interprocedural: bool,
+    /// Which propagation engine to run. Both produce identical results;
+    /// the sweep exists as a baseline to race and test against.
+    pub engine: Engine,
+}
+
+impl AnalysisOptions {
+    /// The pre-optimisation configuration: naive sweep propagation,
+    /// intra-procedural.
+    pub fn sweep_baseline() -> AnalysisOptions {
+        AnalysisOptions { interprocedural: false, engine: Engine::Sweep }
+    }
+}
+
+/// Work counters of one analysis run — *not* part of [`TaintResult`],
+/// so engine equality can be asserted on the results while the stats
+/// differ (that difference being the point of the worklist engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct AnalysisStats {
+    /// Assignment-instruction visits during propagation.
+    pub instructions_visited: u64,
+    /// Full passes over the propagation scope (sweep) or cyclic wraps
+    /// of the ordered worklist (worklist).
+    pub propagation_rounds: u64,
+    /// Taint-set union/merge operations performed.
+    pub set_unions: u64,
+    /// Unions answered by the hash-consed memo table (worklist only).
+    pub set_unions_memoized: u64,
 }
 
 /// Everything the dependency extractor needs.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TaintResult {
     /// Atomic comparisons in branch conditions.
     pub comparisons: Vec<ComparisonFact>,
@@ -34,47 +89,107 @@ pub struct TaintResult {
     pub traces: Vec<TaintTrace>,
     /// Number of distinct tainted variables seen.
     pub tainted_var_count: usize,
+    /// Condition decompositions cut off at the depth cap — nonzero
+    /// means atoms were dropped and "no dependency" may be spurious.
+    pub truncated_conditions: usize,
 }
 
-type TaintMap = BTreeMap<VarId, BTreeSet<Taint>>;
+pub(crate) type TaintMap = BTreeMap<VarId, BTreeSet<Taint>>;
+
+/// The depth cap on condition decomposition; truncations are counted
+/// in [`TaintResult::truncated_conditions`].
+const MAX_COND_DEPTH: u32 = 16;
 
 /// Runs the analysis over one compiled component model.
 pub fn analyze(program: &Program, options: AnalysisOptions) -> TaintResult {
+    analyze_with_stats(program, options).0
+}
+
+/// Like [`analyze`], additionally reporting the engine's work counters.
+pub fn analyze_with_stats(
+    program: &Program,
+    options: AnalysisOptions,
+) -> (TaintResult, AnalysisStats) {
+    let index = ProgramIndex::build(program);
+    let mut stats = AnalysisStats::default();
     let mut result = TaintResult::default();
+    let mut worklist = match options.engine {
+        Engine::Worklist => Some(WorklistEngine::new(program, &index)),
+        Engine::Sweep => None,
+    };
+
     if options.interprocedural {
         // one shared taint map, iterated to a global fixpoint: flows
         // through globals cross function boundaries
-        let mut taints = seed(program);
-        let mut traces: BTreeMap<(VarId, Taint), TaintTrace> = BTreeMap::new();
-        loop {
-            let mut changed = false;
-            for f in &program.functions {
-                changed |= propagate(program, f, &mut taints, &mut traces);
-            }
-            if !changed {
-                break;
-            }
-        }
-        for f in &program.functions {
-            extract_facts(program, f, &taints, &mut result);
+        let (taints, traces) = match worklist.as_mut() {
+            Some(engine) => engine.run_inter(&mut stats),
+            None => sweep_inter(program, &mut stats),
+        };
+        for (f, fidx) in program.functions.iter().zip(&index.functions) {
+            extract_facts(program, f, fidx, &taints, &mut result);
         }
         result.tainted_var_count = taints.values().filter(|s| !s.is_empty()).count();
         result.traces = traces.into_values().collect();
     } else {
         // the paper's prototype: each function in isolation
         let mut total_tainted: BTreeSet<VarId> = BTreeSet::new();
-        for f in &program.functions {
-            let mut taints = seed(program);
-            let mut traces: BTreeMap<(VarId, Taint), TaintTrace> = BTreeMap::new();
-            while propagate(program, f, &mut taints, &mut traces) {}
-            extract_facts(program, f, &taints, &mut result);
+        for (fi, (f, fidx)) in program.functions.iter().zip(&index.functions).enumerate() {
+            let (taints, traces) = match worklist.as_mut() {
+                Some(engine) => engine.run_intra(fi, &mut stats),
+                None => sweep_intra(program, f, &mut stats),
+            };
+            extract_facts(program, f, fidx, &taints, &mut result);
             total_tainted
                 .extend(taints.iter().filter(|(_, s)| !s.is_empty()).map(|(v, _)| *v));
             result.traces.extend(traces.into_values());
         }
         result.tainted_var_count = total_tainted.len();
     }
-    result
+    if let Some(engine) = &worklist {
+        let arena = engine.arena_stats();
+        stats.set_unions = arena.unions_performed;
+        stats.set_unions_memoized = arena.unions_memoized;
+    }
+    (result, stats)
+}
+
+// ---------------------------------------------------------------------
+// the sweep baseline
+// ---------------------------------------------------------------------
+
+fn sweep_inter(
+    program: &Program,
+    stats: &mut AnalysisStats,
+) -> (TaintMap, BTreeMap<(VarId, Taint), TaintTrace>) {
+    let mut taints = seed(program);
+    let mut traces: BTreeMap<(VarId, Taint), TaintTrace> = BTreeMap::new();
+    loop {
+        stats.propagation_rounds += 1;
+        let mut changed = false;
+        for f in &program.functions {
+            changed |= propagate(program, f, &mut taints, &mut traces, stats);
+        }
+        if !changed {
+            break;
+        }
+    }
+    (taints, traces)
+}
+
+fn sweep_intra(
+    program: &Program,
+    f: &Function,
+    stats: &mut AnalysisStats,
+) -> (TaintMap, BTreeMap<(VarId, Taint), TaintTrace>) {
+    let mut taints = seed(program);
+    let mut traces: BTreeMap<(VarId, Taint), TaintTrace> = BTreeMap::new();
+    loop {
+        stats.propagation_rounds += 1;
+        if !propagate(program, f, &mut taints, &mut traces, stats) {
+            break;
+        }
+    }
+    (taints, traces)
 }
 
 fn seed(program: &Program) -> TaintMap {
@@ -109,7 +224,7 @@ fn rvalue_taints(rv: &Rvalue, taints: &TaintMap) -> BTreeSet<Taint> {
     }
 }
 
-fn render_rvalue(program: &Program, dst: VarId, rv: &Rvalue) -> String {
+pub(crate) fn render_rvalue(program: &Program, dst: VarId, rv: &Rvalue) -> String {
     let name = program.var_name(dst);
     match rv {
         Rvalue::Use(_) => format!("{name} = <copy>"),
@@ -125,11 +240,17 @@ fn propagate(
     f: &Function,
     taints: &mut TaintMap,
     traces: &mut BTreeMap<(VarId, Taint), TaintTrace>,
+    stats: &mut AnalysisStats,
 ) -> bool {
     let mut changed = false;
     for block in &f.blocks {
         for instr in &block.instrs {
             if let Instr::Assign { dst, value, line } = instr {
+                stats.instructions_visited += 1;
+                stats.set_unions += match value {
+                    Rvalue::MetaRead { .. } => 1,
+                    other => other.operands().len() as u64,
+                };
                 let new = rvalue_taints(value, taints);
                 let entry = taints.entry(*dst).or_default();
                 for t in new {
@@ -147,6 +268,10 @@ fn propagate(
     }
     changed
 }
+
+// ---------------------------------------------------------------------
+// fact extraction (shared by both engines)
+// ---------------------------------------------------------------------
 
 /// Decomposed atomic comparison (normalised: taint side on the left).
 struct Atom {
@@ -167,16 +292,26 @@ fn flip(op: BinOp) -> BinOp {
     }
 }
 
+/// The flow-insensitive definition list of `v`, resolved through the
+/// def-use index (a deliberate source of the same imprecision a real
+/// prototype exhibits — and no longer a per-function `Rvalue` clone).
+fn defs_of<'f>(f: &'f Function, fidx: &FunctionIndex, v: VarId) -> Vec<&'f Rvalue> {
+    fidx.defs_of(v).iter().map(|&site| fidx.resolve(f, site).1).collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn collect_atoms(
     rv: &Rvalue,
-    defs: &BTreeMap<VarId, Vec<Rvalue>>,
+    f: &Function,
+    fidx: &FunctionIndex,
     taints: &TaintMap,
     negated: bool,
     depth: u32,
     out: &mut Vec<Atom>,
+    truncated: &mut usize,
 ) {
-    if depth > 16 {
+    if depth > MAX_COND_DEPTH {
+        *truncated += 1;
         return;
     }
     match rv {
@@ -201,8 +336,8 @@ fn collect_atoms(
             for side in [lhs, rhs] {
                 match side {
                     Operand::Var(v) => {
-                        for def in defs.get(v).into_iter().flatten() {
-                            collect_atoms(def, defs, taints, negated, depth + 1, out);
+                        for def in defs_of(f, fidx, *v) {
+                            collect_atoms(def, f, fidx, taints, negated, depth + 1, out, truncated);
                         }
                     }
                     _ => { /* constant operand: nothing to decompose */ }
@@ -210,33 +345,28 @@ fn collect_atoms(
             }
         }
         Rvalue::Un { op: UnOp::Not, operand: Operand::Var(v) } => {
-            for def in defs.get(v).into_iter().flatten() {
-                collect_atoms(def, defs, taints, !negated, depth + 1, out);
+            for def in defs_of(f, fidx, *v) {
+                collect_atoms(def, f, fidx, taints, !negated, depth + 1, out, truncated);
             }
         }
         Rvalue::Use(Operand::Var(v)) => {
-            for def in defs.get(v).into_iter().flatten() {
-                collect_atoms(def, defs, taints, negated, depth + 1, out);
+            for def in defs_of(f, fidx, *v) {
+                collect_atoms(def, f, fidx, taints, negated, depth + 1, out, truncated);
             }
         }
         _ => {}
     }
 }
 
-fn extract_facts(program: &Program, f: &Function, taints: &TaintMap, result: &mut TaintResult) {
-    // flow-insensitive def collection (a deliberate source of the same
-    // imprecision a real prototype exhibits)
-    let mut defs: BTreeMap<VarId, Vec<Rvalue>> = BTreeMap::new();
+fn extract_facts(
+    program: &Program,
+    f: &Function,
+    fidx: &FunctionIndex,
+    taints: &TaintMap,
+    result: &mut TaintResult,
+) {
     for block in &f.blocks {
-        for instr in &block.instrs {
-            if let Instr::Assign { dst, value, .. } = instr {
-                defs.entry(*dst).or_default().push(value.clone());
-            }
-        }
-    }
-
-    for block in &f.blocks {
-        extract_block_facts(program, f, block, taints, &defs, result);
+        extract_block_facts(program, f, fidx, block, taints, result);
     }
 }
 
@@ -244,24 +374,28 @@ fn extract_facts(program: &Program, f: &Function, taints: &TaintMap, result: &mu
 /// tree. A variable whose definitions are plain (not boolean operators)
 /// is one leaf with its *merged* taint set — the flow-insensitive
 /// approximation the prototype exhibits.
+#[allow(clippy::too_many_arguments)]
 fn collect_leaves(
     rv: &Rvalue,
-    defs: &BTreeMap<VarId, Vec<Rvalue>>,
+    f: &Function,
+    fidx: &FunctionIndex,
     taints: &TaintMap,
     depth: u32,
     out: &mut Vec<BTreeSet<Taint>>,
+    truncated: &mut usize,
 ) {
-    if depth > 16 {
+    if depth > MAX_COND_DEPTH {
+        *truncated += 1;
         return;
     }
     match rv {
         Rvalue::Bin { op: BinOp::And | BinOp::Or, lhs, rhs } => {
             for side in [lhs, rhs] {
-                leaves_of_operand(side, defs, taints, depth + 1, out);
+                leaves_of_operand(side, f, fidx, taints, depth + 1, out, truncated);
             }
         }
         Rvalue::Un { op: UnOp::Not, operand } => {
-            leaves_of_operand(operand, defs, taints, depth + 1, out);
+            leaves_of_operand(operand, f, fidx, taints, depth + 1, out, truncated);
         }
         other => {
             let t = rvalue_taints(other, taints);
@@ -272,15 +406,18 @@ fn collect_leaves(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn leaves_of_operand(
     op: &Operand,
-    defs: &BTreeMap<VarId, Vec<Rvalue>>,
+    f: &Function,
+    fidx: &FunctionIndex,
     taints: &TaintMap,
     depth: u32,
     out: &mut Vec<BTreeSet<Taint>>,
+    truncated: &mut usize,
 ) {
     if let Operand::Var(v) = op {
-        let ds = defs.get(v).map(Vec::as_slice).unwrap_or(&[]);
+        let ds = defs_of(f, fidx, *v);
         let all_boolean = !ds.is_empty()
             && ds.iter().all(|d| {
                 matches!(
@@ -291,12 +428,12 @@ fn leaves_of_operand(
             });
         if all_boolean {
             for d in ds {
-                collect_leaves(d, defs, taints, depth, out);
+                collect_leaves(d, f, fidx, taints, depth, out, truncated);
             }
         } else if ds.len() == 1 {
             // a single non-boolean definition: decompose one more level
             // (so `has_x = x > 0; if (has_x && ...)` leafs as {x})
-            collect_leaves(&ds[0], defs, taints, depth, out);
+            collect_leaves(ds[0], f, fidx, taints, depth, out, truncated);
         } else {
             let t = operand_taints(op, taints);
             if !t.is_empty() {
@@ -309,9 +446,9 @@ fn leaves_of_operand(
 fn extract_block_facts(
     _program: &Program,
     f: &Function,
+    fidx: &FunctionIndex,
     block: &BasicBlock,
     taints: &TaintMap,
-    defs: &BTreeMap<VarId, Vec<Rvalue>>,
     result: &mut TaintResult,
 ) {
     // instruction-level facts
@@ -362,7 +499,15 @@ fn extract_block_facts(
         let else_fails = f.always_fails(*else_bb);
         let cond_taints = operand_taints(cond, taints);
         let mut cond_leaves = Vec::new();
-        leaves_of_operand(cond, defs, taints, 0, &mut cond_leaves);
+        leaves_of_operand(
+            cond,
+            f,
+            fidx,
+            taints,
+            0,
+            &mut cond_leaves,
+            &mut result.truncated_conditions,
+        );
         result.branches.push(BranchFact {
             function: f.name.clone(),
             line: *line,
@@ -380,8 +525,17 @@ fn extract_block_facts(
         // decompose into atoms
         let mut atoms = Vec::new();
         if let Operand::Var(v) = cond {
-            for def in defs.get(v).into_iter().flatten() {
-                collect_atoms(def, defs, taints, false, 0, &mut atoms);
+            for def in defs_of(f, fidx, *v) {
+                collect_atoms(
+                    def,
+                    f,
+                    fidx,
+                    taints,
+                    false,
+                    0,
+                    &mut atoms,
+                    &mut result.truncated_conditions,
+                );
             }
         }
         for atom in atoms {
@@ -439,7 +593,10 @@ mod tests {
     }
 
     fn run_inter(src: &str) -> TaintResult {
-        analyze(&compile(src).unwrap(), AnalysisOptions { interprocedural: true })
+        analyze(
+            &compile(src).unwrap(),
+            AnalysisOptions { interprocedural: true, ..AnalysisOptions::default() },
+        )
     }
 
     #[test]
@@ -748,5 +905,73 @@ mod tests {
             "#,
         );
         assert!(r.comparisons.is_empty());
+    }
+
+    #[test]
+    fn deep_condition_chain_counts_truncations() {
+        // a !!!…!cond chain deeper than the cap: the decomposition is
+        // cut off and the result must say so instead of silently
+        // reporting "no dependency"
+        let mut src = String::from(
+            "component c;\nparam int v = option(\"-v\");\nfn f() {\nc0 = v > 0;\n",
+        );
+        for i in 0..24 {
+            src.push_str(&format!("c{} = !c{i};\n", i + 1));
+        }
+        src.push_str("if (c24) { fail(\"deep\"); }\n}\n");
+        let r = run(&src);
+        assert!(
+            r.truncated_conditions > 0,
+            "expected truncations, got {:?}",
+            r.truncated_conditions
+        );
+        // shallow programs must report zero
+        let shallow = run(
+            r#"
+            component c;
+            param int v = option("-v");
+            fn f() { if (v > 0) { fail("x"); } }
+            "#,
+        );
+        assert_eq!(shallow.truncated_conditions, 0);
+    }
+
+    #[test]
+    fn truncation_count_is_engine_independent() {
+        let mut src = String::from(
+            "component c;\nparam int v = option(\"-v\");\nfn f() {\nc0 = v > 0;\n",
+        );
+        for i in 0..20 {
+            src.push_str(&format!("c{} = !c{i};\n", i + 1));
+        }
+        src.push_str("if (c20) { fail(\"deep\"); }\n}\n");
+        let program = compile(&src).unwrap();
+        let work = analyze(&program, AnalysisOptions::default());
+        let sweep = analyze(&program, AnalysisOptions::sweep_baseline());
+        assert_eq!(work.truncated_conditions, sweep.truncated_conditions);
+        assert_eq!(work, sweep);
+    }
+
+    #[test]
+    fn stats_report_work_done() {
+        let program = compile(
+            r#"
+            component c;
+            param int b = option("-b");
+            fn f() {
+                x = b / 2;
+                y = x + 1;
+                if (y > 100) { fail("big"); }
+            }
+            "#,
+        )
+        .unwrap();
+        let (_, sweep) = analyze_with_stats(&program, AnalysisOptions::sweep_baseline());
+        let (_, work) = analyze_with_stats(&program, AnalysisOptions::default());
+        assert!(sweep.instructions_visited > 0);
+        assert!(sweep.propagation_rounds >= 2, "{sweep:?}");
+        assert!(work.instructions_visited > 0);
+        assert!(work.instructions_visited <= sweep.instructions_visited);
+        assert_eq!(sweep.set_unions_memoized, 0);
     }
 }

@@ -1,0 +1,264 @@
+//! Interned taints and hash-consed taint sets.
+//!
+//! The sweep engine carries a `BTreeSet<Taint>` per variable and
+//! clones it per operand per pass — for a program with `V` variables
+//! and `T` distinct taints that is `O(V·T·log T)` of allocation per
+//! sweep. The worklist engine instead interns every [`Taint`] into a
+//! dense [`TaintId`] and every *set* of taints into a [`SetId`]
+//! referring to one canonical sorted id-vec. Set identity becomes an
+//! integer comparison, and set union a memoized merge: any `(a, b)`
+//! union computed once is a table lookup forever after (hash-consing
+//! guarantees the memo is sound — equal contents imply equal ids).
+
+use std::collections::HashMap;
+
+use crate::facts::Taint;
+
+/// Dense id of an interned [`Taint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaintId(pub u32);
+
+/// Id of a hash-consed taint set. `SetId(0)` is always the empty set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(pub u32);
+
+/// The empty set's id.
+pub const EMPTY_SET: SetId = SetId(0);
+
+/// Counters the benchmark reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ArenaStats {
+    /// Sorted-vec merges actually performed.
+    pub unions_performed: u64,
+    /// Unions answered from the memo table or by a trivial identity
+    /// (`a ∪ ∅`, `a ∪ a`, `b ⊆ a` fast paths included only when they
+    /// short-circuit the merge).
+    pub unions_memoized: u64,
+}
+
+/// Interner for taints and taint sets, with a memoized union table.
+#[derive(Debug, Default)]
+pub struct TaintArena {
+    taints: Vec<Taint>,
+    taint_ids: HashMap<Taint, TaintId>,
+    /// `sets[id]` is the canonical sorted id-vec; `sets[0]` is empty.
+    sets: Vec<Vec<TaintId>>,
+    set_ids: HashMap<Vec<TaintId>, SetId>,
+    union_memo: HashMap<(SetId, SetId), SetId>,
+    /// Cached singleton set per taint (the most common set).
+    singletons: Vec<SetId>,
+    /// Union/merge counters.
+    pub stats: ArenaStats,
+}
+
+impl TaintArena {
+    /// An arena holding only the empty set.
+    pub fn new() -> TaintArena {
+        let mut a = TaintArena::default();
+        a.sets.push(Vec::new());
+        a.set_ids.insert(Vec::new(), EMPTY_SET);
+        a
+    }
+
+    /// Interns a taint (idempotent).
+    pub fn intern(&mut self, t: &Taint) -> TaintId {
+        if let Some(&id) = self.taint_ids.get(t) {
+            return id;
+        }
+        let id = TaintId(self.taints.len() as u32);
+        self.taints.push(t.clone());
+        self.taint_ids.insert(t.clone(), id);
+        id
+    }
+
+    /// The taint behind an id.
+    pub fn taint(&self, id: TaintId) -> &Taint {
+        &self.taints[id.0 as usize]
+    }
+
+    /// The canonical sorted members of a set.
+    pub fn members(&self, s: SetId) -> &[TaintId] {
+        &self.sets[s.0 as usize]
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self, s: SetId) -> bool {
+        s == EMPTY_SET
+    }
+
+    /// The singleton set `{t}`.
+    pub fn singleton(&mut self, t: TaintId) -> SetId {
+        // EMPTY_SET is the cache vector's fill value, meaning "not
+        // cached yet" (a singleton can never be the empty set)
+        if let Some(&s) = self.singletons.get(t.0 as usize) {
+            if s != EMPTY_SET {
+                return s;
+            }
+        }
+        let s = self.intern_set(vec![t]);
+        if self.singletons.len() <= t.0 as usize {
+            self.singletons.resize(t.0 as usize + 1, EMPTY_SET);
+        }
+        self.singletons[t.0 as usize] = s;
+        s
+    }
+
+    fn intern_set(&mut self, sorted: Vec<TaintId>) -> SetId {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "set vec must be strictly sorted");
+        if sorted.is_empty() {
+            return EMPTY_SET;
+        }
+        if let Some(&id) = self.set_ids.get(&sorted) {
+            return id;
+        }
+        let id = SetId(self.sets.len() as u32);
+        self.sets.push(sorted.clone());
+        self.set_ids.insert(sorted, id);
+        id
+    }
+
+    /// `a ∪ b`, memoized. Because sets are hash-consed, `a == b` (as
+    /// ids) exactly when the contents are equal, so the memo key
+    /// `(min, max)` is sound.
+    pub fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b || b == EMPTY_SET {
+            return a;
+        }
+        if a == EMPTY_SET {
+            return b;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&u) = self.union_memo.get(&key) {
+            self.stats.unions_memoized += 1;
+            return u;
+        }
+        let (xs, ys) = (&self.sets[a.0 as usize], &self.sets[b.0 as usize]);
+        let mut merged = Vec::with_capacity(xs.len() + ys.len());
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() && j < ys.len() {
+            match xs[i].cmp(&ys[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(xs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(ys[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(xs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&xs[i..]);
+        merged.extend_from_slice(&ys[j..]);
+        self.stats.unions_performed += 1;
+        let u = self.intern_set(merged);
+        self.union_memo.insert(key, u);
+        u
+    }
+
+    /// The members of `sup` missing from `sub` (used to attribute trace
+    /// steps to newly arrived taints). `sub` must be a subset of `sup`,
+    /// which holds for the monotone transfer function (`sup = sub ∪ x`).
+    pub fn difference(&self, sup: SetId, sub: SetId) -> Vec<TaintId> {
+        let xs = self.members(sup);
+        let ys = self.members(sub);
+        let mut out = Vec::with_capacity(xs.len() - ys.len());
+        let mut j = 0;
+        for &x in xs {
+            if j < ys.len() && ys[j] == x {
+                j += 1;
+            } else {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Materializes a set as the `BTreeSet<Taint>` the fact extractor
+    /// consumes.
+    pub fn to_btree(&self, s: SetId) -> std::collections::BTreeSet<Taint> {
+        self.members(s).iter().map(|&t| self.taint(t).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> Taint {
+        Taint::Param(name.to_string())
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut a = TaintArena::new();
+        let x = a.intern(&p("x"));
+        let y = a.intern(&p("y"));
+        assert_ne!(x, y);
+        assert_eq!(a.intern(&p("x")), x);
+        assert_eq!(a.taint(x), &p("x"));
+    }
+
+    #[test]
+    fn union_is_hash_consed_and_memoized() {
+        let mut a = TaintArena::new();
+        let x = a.intern(&p("x"));
+        let y = a.intern(&p("y"));
+        let sx = a.singleton(x);
+        let sy = a.singleton(y);
+        let u1 = a.union(sx, sy);
+        assert_eq!(a.stats.unions_performed, 1);
+        let u2 = a.union(sy, sx); // symmetric key hits the memo
+        assert_eq!(u1, u2);
+        assert_eq!(a.stats.unions_memoized, 1);
+        assert_eq!(a.stats.unions_performed, 1);
+        // same contents from a different derivation → same id
+        let u3 = a.union(u1, sx);
+        assert_eq!(u3, u1); // b ⊆ a merge re-interns to the same id
+        assert_eq!(a.members(u1).len(), 2);
+    }
+
+    #[test]
+    fn trivial_unions_short_circuit() {
+        let mut a = TaintArena::new();
+        let x = a.intern(&p("x"));
+        let sx = a.singleton(x);
+        assert_eq!(a.union(sx, EMPTY_SET), sx);
+        assert_eq!(a.union(EMPTY_SET, sx), sx);
+        assert_eq!(a.union(sx, sx), sx);
+        assert_eq!(a.stats.unions_performed, 0);
+    }
+
+    #[test]
+    fn difference_yields_new_members() {
+        let mut a = TaintArena::new();
+        let x = a.intern(&p("x"));
+        let y = a.intern(&p("y"));
+        let sx = a.singleton(x);
+        let sy = a.singleton(y);
+        let u = a.union(sx, sy);
+        assert_eq!(a.difference(u, sx), vec![y]);
+        assert_eq!(a.difference(u, EMPTY_SET).len(), 2);
+        assert!(a.difference(sx, sx).is_empty());
+    }
+
+    #[test]
+    fn to_btree_round_trips() {
+        let mut a = TaintArena::new();
+        let m = Taint::Meta("sb.f".to_string());
+        let x = a.intern(&p("x"));
+        let mm = a.intern(&m);
+        let sx = a.singleton(x);
+        let sm = a.singleton(mm);
+        let u = a.union(sx, sm);
+        let set = a.to_btree(u);
+        assert!(set.contains(&p("x")));
+        assert!(set.contains(&m));
+        assert_eq!(set.len(), 2);
+        assert!(a.to_btree(EMPTY_SET).is_empty());
+    }
+}

@@ -22,11 +22,24 @@
 //! inter-procedural extension the paper lists as future work is
 //! implemented behind [`AnalysisOptions::interprocedural`], which
 //! propagates taints across call edges and shared variables.
+//!
+//! Two propagation engines are provided. The default
+//! ([`Engine::Worklist`]) is a def-use worklist over interned,
+//! hash-consed taint sets; [`Engine::Sweep`]
+//! ([`AnalysisOptions::sweep_baseline`]) is the naive whole-program
+//! sweep kept as a baseline. Both produce byte-identical
+//! [`TaintResult`]s; [`analyze_with_stats`] exposes the work counters
+//! that tell them apart.
 
 mod analysis;
 mod facts;
+pub mod intern;
 mod trace;
+mod worklist;
 
-pub use analysis::{analyze, AnalysisOptions, TaintResult};
+pub use analysis::{
+    analyze, analyze_with_stats, AnalysisOptions, AnalysisStats, Engine, TaintResult,
+};
 pub use facts::{BranchFact, ComparisonFact, MetaUseFact, MetaWriteFact, Taint};
+pub use intern::{ArenaStats, SetId, TaintArena, TaintId};
 pub use trace::{TaintStep, TaintTrace};

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Crash-exploration engine benchmark: races the legacy sequential
-# replay engine against the rolling CoW engine (parallel classification,
-# image-digest verdict cache) over the repro workloads and writes the
-# timings to BENCH_crashsim.json at the repository root.
+# Performance benchmarks, written as BENCH_*.json at the repository
+# root:
 #
-# Usage: scripts/bench.sh [extra repro_crashsim args]
+#   * crash-exploration engines (repro_crashsim --bench →
+#     BENCH_crashsim.json): legacy sequential replay vs rolling CoW
+#     with parallel classification and the verdict cache;
+#   * taint-analysis engines (repro_analyzer --bench →
+#     BENCH_analyzer.json): naive whole-program sweep vs def-use
+#     worklist with interned taint sets, plus the analysis cache.
+#
+# Usage: scripts/bench.sh [extra args passed to BOTH binaries]
 #   e.g. scripts/bench.sh --threads 4
-#        scripts/bench.sh --smoke --out target/bench_smoke.json
+#        scripts/bench.sh --smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p bench
 ./target/release/repro_crashsim --bench "$@"
+./target/release/repro_analyzer --bench "$@"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, full test suite, lint-clean under clippy, and a
-# crash-exploration benchmark smoke (tiny trace, 2 threads) that checks
-# the BENCH JSON is well-formed and the engines agreed.
+# Tier-1 gate: build, full test suite, lint-clean under clippy, a
+# crash-exploration benchmark smoke (tiny trace, 2 threads), and a
+# taint-analyzer benchmark smoke — both checking the BENCH JSON is
+# well-formed and the racing engines agreed.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,4 +25,27 @@ for row in bench["rows"]:
         assert row[cfg]["blocks_replayed"] > 0
 assert bench["all_reports_identical"]
 print("bench smoke OK:", len(bench["rows"]), "workload(s)")
+EOF
+
+./target/release/repro_analyzer --bench --smoke --threads 2 \
+  --out target/bench_analyzer_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/bench_analyzer_smoke.json") as f:
+    bench = json.load(f)
+assert bench["rows"], "analyzer smoke produced no rows"
+for row in bench["rows"]:
+    label = f"{row['functions']}f/{row['blocks']}b {row['mode']}"
+    assert row["identical"], f"engines disagreed on {label}"
+    for eng in ("sweep", "worklist"):
+        assert row[eng]["wall_ms"] >= 0
+        assert row[eng]["instructions_visited"] > 0
+    assert (
+        row["worklist"]["instructions_visited"]
+        <= row["sweep"]["instructions_visited"]
+    ), f"worklist visited more than the sweep on {label}"
+assert bench["all_identical"]
+assert bench["cache"]["second_misses"] == 0, "warm extraction re-analyzed a model"
+assert bench["cache"]["cache_hits"] > 0
+print("analyzer smoke OK:", len(bench["rows"]), "row(s)")
 EOF

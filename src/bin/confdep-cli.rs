@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use confdep_suite::confdep::{
-    extract_scenario, models, DependencyReport, Evaluation, ExtractOptions,
+    extract_scenario_full, models, DependencyReport, Evaluation, ExtractOptions,
 };
 use confdep_suite::contools::conbugck::{campaign_parallel, generate_naive, ConBugCk};
 use confdep_suite::contools::{run_condocck, run_conhandleck, Handling};
@@ -27,6 +27,7 @@ fn usage() -> ExitCode {
              --inter         enable the inter-procedural taint extension\n\
              --no-bridge     disable the shared-metadata bridge (no CCDs)\n\
              --json FILE     write the dependencies to a JSON report\n\
+             --threads N     analysis workers (default: one per core)\n\
            evaluate        run the Table 5 evaluation against the ground truth\n\
            check-docs      ConDocCk: report undocumented dependencies\n\
            check-handling  ConHandleCk: inject dependency violations\n\
@@ -55,13 +56,28 @@ fn main() -> ExitCode {
                 interprocedural: flag(&args, "--inter"),
                 disable_bridge: flag(&args, "--no-bridge"),
             };
-            let deps = match extract_scenario(&models::all(), options) {
-                Ok(d) => d,
+            // 0 = one analysis worker per core
+            let threads: usize =
+                value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let extraction = match extract_scenario_full(&models::all(), options, threads) {
+                Ok(x) => x,
                 Err(e) => {
                     eprintln!("extraction failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            let truncated: usize = extraction
+                .components
+                .iter()
+                .map(|c| c.taint.truncated_conditions)
+                .sum();
+            if truncated > 0 {
+                eprintln!(
+                    "warning: {truncated} branch condition(s) exceeded the \
+                     decomposition depth cap; some dependencies may be missing"
+                );
+            }
+            let deps = extraction.deps;
             for d in &deps {
                 println!("{d}");
             }

@@ -5,6 +5,7 @@
 pub use blockdev;
 pub use cir;
 pub use confdep;
+pub use conpool;
 pub use contools;
 pub use crashsim;
 pub use e2fstools;
