@@ -312,6 +312,12 @@ fn run_repro() {
             c.data_loss,
             c.unrecoverable
         );
+        let s = &report.stats;
+        eprintln!(
+            "  materialisation I/O: {} block writes ({} bulk calls), {} block reads \
+             ({} bulk calls), {} vec allocs",
+            s.blocks_replayed, s.bulk_writes, s.blocks_read, s.bulk_reads, s.vec_allocs
+        );
         entries.push(Entry::from_report(report));
     }
 

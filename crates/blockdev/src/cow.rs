@@ -136,6 +136,38 @@ impl BlockDevice for CowDevice {
         }
         Ok(())
     }
+
+    fn read_blocks(&self, start: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        let bs = self.block_size as usize;
+        crate::mem::bulk_span(self, start, buf.len())?;
+        for (i, chunk) in buf.chunks_exact_mut(bs).enumerate() {
+            match &self.blocks[(start + i as u64) as usize] {
+                Some(data) => chunk.copy_from_slice(data),
+                None => chunk.fill(0),
+            }
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        let bs = self.block_size as usize;
+        crate::mem::bulk_span(self, start, buf.len())?;
+        for (i, chunk) in buf.chunks_exact(bs).enumerate() {
+            let block = start + i as u64;
+            if self.digest.is_some() {
+                let old = self.contribution_of(block);
+                if let Some(digest) = &mut self.digest {
+                    digest.replace(old, block_contribution(block, chunk));
+                }
+            }
+            if let Some(data) = self.blocks[block as usize].as_mut().and_then(Arc::get_mut) {
+                data.copy_from_slice(chunk);
+            } else {
+                self.blocks[block as usize] = Some(Arc::from(chunk));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +284,22 @@ mod tests {
     #[should_panic(expected = "block size must be non-zero")]
     fn zero_block_size_panics() {
         let _ = CowDevice::new(0, 8);
+    }
+
+    #[test]
+    fn bulk_writes_keep_digest_and_isolation() {
+        let mut dev = CowDevice::new(512, 8);
+        let mut data = vec![0u8; 512 * 3];
+        data[0] = 1;
+        data[600] = 2;
+        dev.write_blocks(2, &data).unwrap();
+        assert_eq!(dev.digest(), Some(digest_device(&dev).unwrap()));
+        let snap = dev.snapshot();
+        dev.write_blocks(2, &vec![7u8; 512 * 3]).unwrap();
+        let mut back = vec![0u8; 512 * 3];
+        snap.read_blocks(2, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(dev.digest(), Some(digest_device(&dev).unwrap()));
+        assert!(matches!(dev.write_blocks(6, &data), Err(DeviceError::OutOfRange { .. })));
     }
 }

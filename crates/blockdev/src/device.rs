@@ -56,6 +56,50 @@ pub trait BlockDevice {
         Ok(buf)
     }
 
+    /// Reads the consecutive blocks starting at `start` into `buf`, whose
+    /// length must be a whole number of blocks. The default loops over
+    /// [`BlockDevice::read_block`]; contiguous-storage devices override
+    /// this with slice copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadBufferSize`] if `buf` is not a whole
+    /// number of blocks, plus the per-block errors of
+    /// [`BlockDevice::read_block`].
+    fn read_blocks(&self, start: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        let bs = self.block_size() as usize;
+        if !buf.len().is_multiple_of(bs) {
+            return Err(DeviceError::BadBufferSize { got: buf.len(), expected: self.block_size() });
+        }
+        for (i, chunk) in buf.chunks_exact_mut(bs).enumerate() {
+            self.read_block(start + i as u64, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` — a whole number of blocks — to the consecutive blocks
+    /// starting at `start`. The default loops over
+    /// [`BlockDevice::write_block`]; contiguous-storage devices override
+    /// this with slice copies. Fault-injecting and recording wrappers keep
+    /// the default so every block still passes through their per-block
+    /// hooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadBufferSize`] if `buf` is not a whole
+    /// number of blocks, plus the per-block errors of
+    /// [`BlockDevice::write_block`].
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        let bs = self.block_size() as usize;
+        if !buf.len().is_multiple_of(bs) {
+            return Err(DeviceError::BadBufferSize { got: buf.len(), expected: self.block_size() });
+        }
+        for (i, chunk) in buf.chunks_exact(bs).enumerate() {
+            self.write_block(start + i as u64, chunk)?;
+        }
+        Ok(())
+    }
+
     /// Validates `block`/`buf` against the device geometry.
     ///
     /// # Errors
@@ -88,6 +132,15 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     fn flush(&mut self) -> Result<(), DeviceError> {
         (**self).flush()
     }
+    fn read_block_vec(&self, block: u64) -> Result<Vec<u8>, DeviceError> {
+        (**self).read_block_vec(block)
+    }
+    fn read_blocks(&self, start: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        (**self).read_blocks(start, buf)
+    }
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_blocks(start, buf)
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +171,36 @@ mod tests {
         assert_eq!(dev.block_size(), 512);
         assert_eq!(dev.num_blocks(), 4);
         dev.flush().unwrap();
+    }
+
+    #[test]
+    fn bulk_round_trip_and_geometry() {
+        let mut dev = MemDevice::new(512, 8);
+        let mut data = vec![0u8; 512 * 3];
+        data[0] = 1;
+        data[512] = 2;
+        data[1024] = 3;
+        dev.write_blocks(2, &data).unwrap();
+        let mut back = vec![0u8; 512 * 3];
+        dev.read_blocks(2, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(dev.read_block_vec(3).unwrap()[0], 2);
+        // not a whole number of blocks
+        assert!(matches!(dev.write_blocks(0, &[0u8; 100]), Err(DeviceError::BadBufferSize { .. })));
+        assert!(matches!(dev.read_blocks(0, &mut [0u8; 100]), Err(DeviceError::BadBufferSize { .. })));
+        // runs past the end of the device
+        assert!(matches!(dev.write_blocks(6, &data), Err(DeviceError::OutOfRange { .. })));
+        let mut big = vec![0u8; 512 * 3];
+        assert!(matches!(dev.read_blocks(6, &mut big), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn boxed_device_forwards_bulk_ops() {
+        let mut dev: Box<dyn BlockDevice> = Box::new(MemDevice::new(512, 4));
+        dev.write_blocks(0, &[5u8; 1024]).unwrap();
+        let mut back = vec![0u8; 1024];
+        dev.read_blocks(0, &mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 5));
     }
 
     #[test]

@@ -73,9 +73,57 @@ impl BlockDevice for MemDevice {
 
     fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
         self.check_access(block, buf.len())?;
-        self.blocks[block as usize] = Some(buf.to_vec().into_boxed_slice());
+        match &mut self.blocks[block as usize] {
+            // reuse the existing allocation instead of boxing every write
+            Some(data) => data.copy_from_slice(buf),
+            slot => *slot = Some(buf.into()),
+        }
         Ok(())
     }
+
+    fn read_blocks(&self, start: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        let bs = self.block_size as usize;
+        let count = bulk_span(self, start, buf.len())?;
+        for (i, chunk) in buf.chunks_exact_mut(bs).enumerate() {
+            match &self.blocks[(start + i as u64) as usize] {
+                Some(data) => chunk.copy_from_slice(data),
+                None => chunk.fill(0),
+            }
+        }
+        debug_assert_eq!(count, buf.len() as u64 / bs as u64);
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        let bs = self.block_size as usize;
+        bulk_span(self, start, buf.len())?;
+        for (i, chunk) in buf.chunks_exact(bs).enumerate() {
+            match &mut self.blocks[(start + i as u64) as usize] {
+                Some(data) => data.copy_from_slice(chunk),
+                slot => *slot = Some(chunk.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a bulk span up front (whole-block buffer, fits the device)
+/// and returns the block count.
+pub(crate) fn bulk_span<D: BlockDevice + ?Sized>(
+    dev: &D,
+    start: u64,
+    buf_len: usize,
+) -> Result<u64, DeviceError> {
+    let bs = dev.block_size() as usize;
+    if !buf_len.is_multiple_of(bs) {
+        return Err(DeviceError::BadBufferSize { got: buf_len, expected: dev.block_size() });
+    }
+    let count = (buf_len / bs) as u64;
+    let last = start.saturating_add(count.saturating_sub(1));
+    if count > 0 && last >= dev.num_blocks() {
+        return Err(DeviceError::OutOfRange { block: last, num_blocks: dev.num_blocks() });
+    }
+    Ok(count)
 }
 
 #[cfg(test)]
@@ -141,6 +189,37 @@ mod tests {
         assert_eq!(dev.populated_blocks(), 0);
         dev.write_block(999_999, &[1u8; 4096]).unwrap();
         assert_eq!(dev.populated_blocks(), 1);
+    }
+
+    #[test]
+    fn bulk_ops_use_slice_copies() {
+        let mut dev = MemDevice::new(512, 8);
+        let mut data = vec![0u8; 512 * 4];
+        for (i, chunk) in data.chunks_exact_mut(512).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        dev.write_blocks(1, &data).unwrap();
+        assert_eq!(dev.populated_blocks(), 4);
+        let mut back = vec![0u8; 512 * 4];
+        dev.read_blocks(1, &mut back).unwrap();
+        assert_eq!(back, data);
+        // reading across unwritten blocks yields zeroes there
+        let mut wide = vec![1u8; 512 * 2];
+        dev.read_blocks(6, &mut wide).unwrap();
+        assert!(wide.iter().all(|&b| b == 0));
+        // bad geometry rejected before any block is touched
+        assert!(matches!(dev.write_blocks(6, &data), Err(DeviceError::OutOfRange { .. })));
+        assert_eq!(dev.populated_blocks(), 4);
+    }
+
+    #[test]
+    fn overwrite_reuses_allocation() {
+        let mut dev = MemDevice::new(512, 2);
+        dev.write_block(0, &[1u8; 512]).unwrap();
+        let before = dev.blocks[0].as_ref().unwrap().as_ptr();
+        dev.write_block(0, &[2u8; 512]).unwrap();
+        assert_eq!(dev.blocks[0].as_ref().unwrap().as_ptr(), before);
+        assert_eq!(dev.read_block_vec(0).unwrap(), vec![2u8; 512]);
     }
 
     #[test]

@@ -15,6 +15,15 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Bytes written.
     pub bytes_written: u64,
+    /// Number of bulk [`BlockDevice::read_blocks`] calls (their blocks
+    /// are also counted into `reads`).
+    pub bulk_reads: u64,
+    /// Number of bulk [`BlockDevice::write_blocks`] calls (their blocks
+    /// are also counted into `writes`).
+    pub bulk_writes: u64,
+    /// Number of per-read buffer allocations via
+    /// [`BlockDevice::read_block_vec`].
+    pub vec_allocs: u64,
 }
 
 impl IoStats {
@@ -34,8 +43,11 @@ pub struct StatsDevice<D> {
     inner: D,
     reads: Cell<u64>,
     bytes_read: Cell<u64>,
+    bulk_reads: Cell<u64>,
+    vec_allocs: Cell<u64>,
     writes: u64,
     bytes_written: u64,
+    bulk_writes: u64,
     flushes: u64,
 }
 
@@ -46,8 +58,11 @@ impl<D: BlockDevice> StatsDevice<D> {
             inner,
             reads: Cell::new(0),
             bytes_read: Cell::new(0),
+            bulk_reads: Cell::new(0),
+            vec_allocs: Cell::new(0),
             writes: 0,
             bytes_written: 0,
+            bulk_writes: 0,
             flushes: 0,
         }
     }
@@ -60,6 +75,9 @@ impl<D: BlockDevice> StatsDevice<D> {
             flushes: self.flushes,
             bytes_read: self.bytes_read.get(),
             bytes_written: self.bytes_written,
+            bulk_reads: self.bulk_reads.get(),
+            bulk_writes: self.bulk_writes,
+            vec_allocs: self.vec_allocs.get(),
         }
     }
 
@@ -67,8 +85,11 @@ impl<D: BlockDevice> StatsDevice<D> {
     pub fn reset(&mut self) {
         self.reads.set(0);
         self.bytes_read.set(0);
+        self.bulk_reads.set(0);
+        self.vec_allocs.set(0);
         self.writes = 0;
         self.bytes_written = 0;
+        self.bulk_writes = 0;
         self.flushes = 0;
     }
 
@@ -111,6 +132,31 @@ impl<D: BlockDevice> BlockDevice for StatsDevice<D> {
         self.flushes += 1;
         Ok(())
     }
+
+    fn read_block_vec(&self, block: u64) -> Result<Vec<u8>, DeviceError> {
+        let buf = self.inner.read_block_vec(block)?;
+        self.reads.set(self.reads.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + buf.len() as u64);
+        self.vec_allocs.set(self.vec_allocs.get() + 1);
+        Ok(buf)
+    }
+
+    fn read_blocks(&self, start: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
+        self.inner.read_blocks(start, buf)?;
+        let blocks = buf.len() as u64 / u64::from(self.inner.block_size());
+        self.reads.set(self.reads.get() + blocks);
+        self.bytes_read.set(self.bytes_read.get() + buf.len() as u64);
+        self.bulk_reads.set(self.bulk_reads.get() + 1);
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, start: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.inner.write_blocks(start, buf)?;
+        self.writes += buf.len() as u64 / u64::from(self.inner.block_size());
+        self.bytes_written += buf.len() as u64;
+        self.bulk_writes += 1;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +188,23 @@ mod tests {
         assert!(dev.read_block(99, &mut buf).is_err());
         assert!(dev.write_block(99, &[0u8; 512]).is_err());
         assert_eq!(dev.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn bulk_and_vec_counters() {
+        let mut dev = StatsDevice::new(MemDevice::new(512, 8));
+        dev.write_blocks(0, &[1u8; 512 * 3]).unwrap();
+        let mut buf = vec![0u8; 512 * 2];
+        dev.read_blocks(1, &mut buf).unwrap();
+        let _ = dev.read_block_vec(0).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.bulk_writes, 1);
+        assert_eq!(s.reads, 3); // 2 bulk + 1 vec
+        assert_eq!(s.bulk_reads, 1);
+        assert_eq!(s.vec_allocs, 1);
+        assert_eq!(s.bytes_written, 512 * 3);
+        assert_eq!(s.bytes_read, 512 * 3);
     }
 
     #[test]

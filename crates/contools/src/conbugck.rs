@@ -9,9 +9,12 @@
 //! *deep-run* rate of dependency-aware generation against naive random
 //! generation.
 
+use std::collections::HashMap;
+
 use blockdev::MemDevice;
 use confdep::{extract_scenario, models, DepKind, Dependency, ExtractOptions};
 use e2fstools::{E2fsck, FsckMode, Mke2fs, MountCmd};
+use ext4sim::CachePolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -24,6 +27,15 @@ pub struct GeneratedConfig {
     pub mkfs_args: Vec<String>,
     /// `mount -o` option string.
     pub mount_opts: String,
+}
+
+impl GeneratedConfig {
+    /// Canonical whole-configuration state key — the identity
+    /// [`coverage`] counts distinct states by, and the memoization key
+    /// the campaigns use to run each distinct state only once.
+    pub fn state_key(&self) -> String {
+        format!("{:?}|{}", self.mkfs_args, self.mount_opts)
+    }
 }
 
 /// How deep a configuration drove the ecosystem before something
@@ -44,7 +56,7 @@ pub enum RunDepth {
 /// Aggregate results of a generation campaign.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConfigCampaign {
-    /// Total configurations executed.
+    /// Total configurations tallied (including memoized duplicates).
     pub total: usize,
     /// Runs per depth: CLI-rejected, format-rejected, mount-rejected,
     /// deep.
@@ -55,6 +67,10 @@ pub struct ConfigCampaign {
     pub rejected_mount: usize,
     /// Reached deep code.
     pub deep: usize,
+    /// Distinct configuration states actually executed; duplicates are
+    /// tallied from the memoized result without re-running.
+    #[serde(default)]
+    pub executed: usize,
 }
 
 impl ConfigCampaign {
@@ -225,11 +241,19 @@ pub fn generate_naive(seed: u64, n: usize) -> Vec<GeneratedConfig> {
 /// Executes one configuration end to end: format, mount, a small
 /// workload, unmount, final check.
 pub fn execute(config: &GeneratedConfig) -> RunDepth {
+    execute_with_policy(config, CachePolicy::WriteBack)
+}
+
+/// Like [`execute`], but pins the ext4sim metadata-cache policy for the
+/// format and mount stages (the fs-ops benchmark races write-back
+/// against the write-through baseline; the two must classify every
+/// configuration identically).
+pub fn execute_with_policy(config: &GeneratedConfig, policy: CachePolicy) -> RunDepth {
     let mut argv: Vec<&str> = config.mkfs_args.iter().map(String::as_str).collect();
     argv.push("/dev/conbugck");
     argv.push("12288");
     let mkfs = match Mke2fs::from_args(&argv) {
-        Ok(m) => m,
+        Ok(m) => m.with_cache_policy(policy),
         Err(_) => return RunDepth::RejectedCli,
     };
     // pick a device block size compatible with the fs block size
@@ -253,6 +277,10 @@ pub fn execute(config: &GeneratedConfig) -> RunDepth {
         Ok(fs) => fs,
         Err(_) => return RunDepth::RejectedMount,
     };
+    // read-only mounts are already (and stay) write-through
+    if policy == CachePolicy::WriteThrough && fs.set_cache_policy(policy).is_err() {
+        return RunDepth::RejectedMount;
+    }
     // deep workload: exercise file + directory paths
     if !fs.state().eq(&ext4sim::FsState::MountedRo) {
         let root = fs.root_inode();
@@ -300,7 +328,7 @@ pub fn coverage(configs: &[GeneratedConfig]) -> CoverageStats {
     let mut params: BTreeSet<(String, String)> = BTreeSet::new();
     let mut states: BTreeSet<String> = BTreeSet::new();
     for c in configs {
-        states.insert(format!("{:?}|{}", c.mkfs_args, c.mount_opts));
+        states.insert(c.state_key());
         let mut iter = c.mkfs_args.iter().peekable();
         while let Some(a) = iter.next() {
             match a.as_str() {
@@ -347,17 +375,50 @@ fn tally(depths: impl IntoIterator<Item = RunDepth>) -> ConfigCampaign {
     c
 }
 
-/// Runs a campaign over a set of configurations.
+/// Runs a campaign over a set of configurations. Identical generated
+/// configurations (same [`GeneratedConfig::state_key`]) execute once;
+/// every duplicate is tallied from the memoized result.
 pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
-    tally(configs.iter().map(execute))
+    let mut memo: HashMap<String, RunDepth> = HashMap::new();
+    let depths: Vec<RunDepth> = configs
+        .iter()
+        .map(|cfg| {
+            let key = cfg.state_key();
+            match memo.get(&key) {
+                Some(&depth) => depth,
+                None => {
+                    let depth = execute(cfg);
+                    memo.insert(key, depth);
+                    depth
+                }
+            }
+        })
+        .collect();
+    let mut c = tally(depths);
+    c.executed = memo.len();
+    c
 }
 
-/// Like [`campaign`], but executes the independent configuration runs
-/// on `threads` workers of the shared [`crate::pool`]. Each run owns
-/// its device, so the fan-out is free of shared state and the tally is
-/// identical to the sequential campaign's.
+/// Like [`campaign`], but executes the distinct configuration runs on
+/// `threads` workers of the shared [`crate::pool`]. Each run owns its
+/// device, so the fan-out is free of shared state and the tally is
+/// identical to the sequential campaign's: duplicates are collapsed to
+/// their first occurrence before the fan-out and tallied afterwards.
 pub fn campaign_parallel(configs: &[GeneratedConfig], threads: usize) -> ConfigCampaign {
-    tally(crate::pool::parallel_map(configs.to_vec(), threads, |_, cfg| execute(&cfg)))
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut uniques: Vec<GeneratedConfig> = Vec::new();
+    let mut slots: Vec<usize> = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let idx = *seen.entry(cfg.state_key()).or_insert_with(|| {
+            uniques.push(cfg.clone());
+            uniques.len() - 1
+        });
+        slots.push(idx);
+    }
+    let depths = crate::pool::parallel_map(uniques, threads, |_, cfg| execute(&cfg));
+    let mut c = tally(slots.into_iter().map(|i| depths[i]));
+    c.executed = depths.len();
+    c
 }
 
 #[cfg(test)]
@@ -392,6 +453,27 @@ mod tests {
         assert_eq!(par.total, 24);
         // the pool's single-thread path is the inline sequential run
         assert_eq!(campaign_parallel(&configs, 1), seq);
+    }
+
+    #[test]
+    fn duplicate_configs_are_memoized_not_rerun() {
+        let mut gen = ConBugCk::new(5).unwrap();
+        let mut configs = gen.generate(6);
+        // triple the list: every config now appears three times
+        let uniques = coverage(&configs).distinct_states;
+        configs.extend(configs.clone());
+        configs.extend(configs[..6].to_vec());
+        let seq = campaign(&configs);
+        assert_eq!(seq.total, 18);
+        assert_eq!(seq.executed, uniques);
+        assert!(seq.executed < seq.total);
+        // duplicates land in the same depth buckets as their original
+        assert_eq!(
+            seq.rejected_cli + seq.rejected_format + seq.rejected_mount + seq.deep,
+            seq.total
+        );
+        let par = campaign_parallel(&configs, 4);
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod conhandleck;
 pub mod pool;
 
 pub use conbugck::{
-    campaign, campaign_parallel, coverage, execute, generate_naive, ConBugCk, ConfigCampaign,
-    CoverageStats, GeneratedConfig, RunDepth,
+    campaign, campaign_parallel, coverage, execute, execute_with_policy, generate_naive, ConBugCk,
+    ConfigCampaign, CoverageStats, GeneratedConfig, RunDepth,
 };
 pub use condocck::{ext4_kernel_doc, run_condocck, DocIssue, DocIssueKind};
 pub use conhandleck::{run_conhandleck, standard_image, Handling, ViolationCase, ViolationOutcome};

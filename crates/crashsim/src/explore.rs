@@ -35,7 +35,7 @@
 use std::collections::HashMap;
 
 use blockdev::{
-    digest_device, BlockDevice, CowDevice, DeviceError, ImageDigest, IoEvent, MemDevice,
+    digest_device, BlockDevice, CowDevice, DeviceError, ImageDigest, IoEvent, IoStats, MemDevice,
     StatsDevice,
 };
 use contools::pool::{effective_threads, parallel_map};
@@ -211,6 +211,15 @@ fn torn_bytes(data: &[u8], pre: &[u8], persisted: usize) -> Vec<u8> {
 // materialisation
 // ---------------------------------------------------------------------
 
+/// Folds one materialisation device's I/O counters into the run stats.
+fn absorb_io(stats: &mut ExploreStats, io: IoStats) {
+    stats.blocks_replayed += io.writes;
+    stats.blocks_read += io.reads;
+    stats.bulk_reads += io.bulk_reads;
+    stats.bulk_writes += io.bulk_writes;
+    stats.vec_allocs += io.vec_allocs;
+}
+
 /// Incremental engine: one rolling CoW device advances write-by-write;
 /// each crash point freezes a snapshot (plus at most one extra block
 /// write for torn/volatile variants). Total cost is O(W) block writes
@@ -253,7 +262,7 @@ fn materialize_incremental(
                     let persisted = data.len() / 2;
                     let mut dev = StatsDevice::new(rolling.inner().snapshot());
                     dev.write_block(*block, &torn_bytes(data, pre, persisted))?;
-                    stats.blocks_replayed += dev.stats().writes;
+                    absorb_io(stats, dev.stats());
                     torn_job =
                         Some((CrashKind::TornWrite { write: k, persisted }, dev.into_inner()));
                 }
@@ -272,7 +281,7 @@ fn materialize_incremental(
                         let base = durable_snap.as_ref().unwrap_or(&pre_snap);
                         let mut dev = StatsDevice::new(base.snapshot());
                         dev.write_block(*block, data)?;
-                        stats.blocks_replayed += dev.stats().writes;
+                        absorb_io(stats, dev.stats());
                         jobs.push((
                             CrashKind::VolatileCache { durable, straggler: k },
                             dev.into_inner(),
@@ -282,7 +291,7 @@ fn materialize_incremental(
             }
         }
     }
-    stats.blocks_replayed += rolling.stats().writes;
+    absorb_io(stats, rolling.stats());
     Ok(jobs)
 }
 
@@ -306,7 +315,7 @@ fn materialize_replay(
         if let Some((block, data)) = straggler {
             dev.write_block(block, &data)?;
         }
-        stats.blocks_replayed += dev.stats().writes;
+        absorb_io(stats, dev.stats());
         Ok(dev.into_inner())
     };
     for k in prefix_points(writes, opts.max_prefix_points) {

@@ -110,6 +110,21 @@ pub struct ExploreStats {
     pub flushes_observed: usize,
     /// Classification worker threads used.
     pub threads: usize,
+    /// Block reads issued materialising crash images.
+    #[serde(default)]
+    pub blocks_read: u64,
+    /// Bulk `read_blocks` calls during materialisation (their blocks are
+    /// also counted into `blocks_read`).
+    #[serde(default)]
+    pub bulk_reads: u64,
+    /// Bulk `write_blocks` calls during materialisation (their blocks
+    /// are also counted into `blocks_replayed`).
+    #[serde(default)]
+    pub bulk_writes: u64,
+    /// Per-read buffer allocations (`read_block_vec`) during
+    /// materialisation.
+    #[serde(default)]
+    pub vec_allocs: u64,
 }
 
 /// Everything the explorer learned about one workload.

@@ -7,7 +7,7 @@
 //! §2 of the paper describes).
 
 use blockdev::BlockDevice;
-use ext4sim::{CompatFeatures, Ext4Fs, FeatureSet, MkfsParams};
+use ext4sim::{CachePolicy, CompatFeatures, Ext4Fs, FeatureSet, MkfsParams};
 
 use crate::cli::{self, CliError};
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
@@ -20,6 +20,7 @@ pub struct Mke2fs {
     params: MkfsParams,
     dry_run: bool,
     quiet: bool,
+    cache_policy: CachePolicy,
 }
 
 /// Outcome of a successful format.
@@ -40,7 +41,15 @@ pub struct Mke2fsReport {
 impl Mke2fs {
     /// Builds directly from typed parameters (API callers).
     pub fn from_params(params: MkfsParams) -> Self {
-        Mke2fs { params, dry_run: false, quiet: true }
+        Mke2fs { params, dry_run: false, quiet: true, cache_policy: CachePolicy::WriteBack }
+    }
+
+    /// Overrides the metadata cache policy used during the format
+    /// (write-back by default; write-through is the legacy baseline).
+    #[must_use]
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
     }
 
     /// Parses a command line: `mke2fs [options] device [blocks-count]`.
@@ -203,7 +212,12 @@ impl Mke2fs {
             })?;
             params.blocks_count = Some(blocks);
         }
-        Ok(Mke2fs { params, dry_run: parsed.has_flag("n"), quiet: parsed.has_flag("q") })
+        Ok(Mke2fs {
+            params,
+            dry_run: parsed.has_flag("n"),
+            quiet: parsed.has_flag("q"),
+            cache_policy: CachePolicy::WriteBack,
+        })
     }
 
     /// The typed parameters this invocation resolved to.
@@ -239,7 +253,7 @@ impl Mke2fs {
                 },
             ));
         }
-        let fs = Ext4Fs::format(dev, &self.params)?;
+        let fs = Ext4Fs::format_with_policy(dev, &self.params, self.cache_policy)?;
         let report = Mke2fsReport {
             blocks_count: fs.superblock().blocks_count,
             group_count: fs.layout().group_count(),

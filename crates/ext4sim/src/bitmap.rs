@@ -1,4 +1,11 @@
 //! Allocation bitmaps (block and inode bitmaps share this type).
+//!
+//! The scan and count paths operate at `u64`-word granularity: the byte
+//! storage is read eight bytes at a time (LSB-first bit order within a
+//! byte composes with little-endian byte order, so bitmap bit `i` is bit
+//! `i % 64` of word `i / 64`), letting `find_clear_from` skip 64 in-use
+//! units per word and `count_set` run on the popcount instruction instead
+//! of a per-bit loop. The byte layout on disk is unchanged.
 
 /// A fixed-capacity bitmap backed by one device block.
 ///
@@ -45,6 +52,16 @@ impl Bitmap {
         self.len == 0
     }
 
+    /// Word `wi` of the storage, zero-extended past the end of the byte
+    /// buffer.
+    fn word(&self, wi: usize) -> u64 {
+        let start = wi * 8;
+        let end = (start + 8).min(self.bits.len());
+        let mut raw = [0u8; 8];
+        raw[..end - start].copy_from_slice(&self.bits[start..end]);
+        u64::from_le_bytes(raw)
+    }
+
     /// Tests bit `i`.
     ///
     /// # Panics
@@ -61,8 +78,11 @@ impl Bitmap {
     ///
     /// Panics if `i >= len()`.
     pub fn set(&mut self, i: u32) -> bool {
-        let prev = self.get(i);
-        self.bits[(i / 8) as usize] |= 1 << (i % 8);
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let byte = &mut self.bits[(i / 8) as usize];
+        let mask = 1u8 << (i % 8);
+        let prev = *byte & mask != 0;
+        *byte |= mask;
         prev
     }
 
@@ -72,14 +92,82 @@ impl Bitmap {
     ///
     /// Panics if `i >= len()`.
     pub fn clear(&mut self, i: u32) -> bool {
-        let prev = self.get(i);
-        self.bits[(i / 8) as usize] &= !(1 << (i % 8));
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let byte = &mut self.bits[(i / 8) as usize];
+        let mask = 1u8 << (i % 8);
+        let prev = *byte & mask != 0;
+        *byte &= !mask;
         prev
     }
 
-    /// Number of set bits within the tracked range.
+    /// Sets bits `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn set_range(&mut self, start: u32, end: u32) {
+        assert!(start <= end && end <= self.len, "bitmap range {start}..{end} out of range {}", self.len);
+        if start == end {
+            return;
+        }
+        let (sb, eb) = ((start / 8) as usize, ((end - 1) / 8) as usize);
+        let smask = !0u8 << (start % 8);
+        let emask = !0u8 >> (7 - (end - 1) % 8);
+        if sb == eb {
+            self.bits[sb] |= smask & emask;
+        } else {
+            self.bits[sb] |= smask;
+            self.bits[sb + 1..eb].fill(0xFF);
+            self.bits[eb] |= emask;
+        }
+    }
+
+    /// Clears bits `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn clear_range(&mut self, start: u32, end: u32) {
+        assert!(start <= end && end <= self.len, "bitmap range {start}..{end} out of range {}", self.len);
+        if start == end {
+            return;
+        }
+        let (sb, eb) = ((start / 8) as usize, ((end - 1) / 8) as usize);
+        let smask = !0u8 << (start % 8);
+        let emask = !0u8 >> (7 - (end - 1) % 8);
+        if sb == eb {
+            self.bits[sb] &= !(smask & emask);
+        } else {
+            self.bits[sb] &= !smask;
+            self.bits[sb + 1..eb].fill(0);
+            self.bits[eb] &= !emask;
+        }
+    }
+
+    /// Number of set bits within the tracked range (popcount per word;
+    /// padding bits beyond `len` are masked out).
     pub fn count_set(&self) -> u32 {
-        (0..self.len).filter(|&i| self.get(i)).count() as u32
+        let words = self.bits.len().div_ceil(8);
+        let mut total = 0u32;
+        for wi in 0..words {
+            let base = wi as u64 * 64;
+            if base >= u64::from(self.len) {
+                break;
+            }
+            let mut w = self.word(wi);
+            let remaining = u64::from(self.len) - base;
+            if remaining < 64 {
+                w &= (1u64 << remaining) - 1;
+            }
+            total += w.count_ones();
+        }
+        total
+    }
+
+    /// Alias for [`Bitmap::count_set`] under the `u64::count_ones` name
+    /// the implementation rides on.
+    pub fn count_ones(&self) -> u32 {
+        self.count_set()
     }
 
     /// Number of clear bits within the tracked range.
@@ -87,41 +175,79 @@ impl Bitmap {
         self.len - self.count_set()
     }
 
-    /// First clear bit at or after `from`, if any.
+    /// First clear bit at or after `from`, if any. Skips fully-allocated
+    /// words 64 units at a time.
     pub fn find_clear_from(&self, from: u32) -> Option<u32> {
-        (from..self.len).find(|&i| !self.get(i))
+        if from >= self.len {
+            return None;
+        }
+        let words = self.bits.len().div_ceil(8);
+        for wi in (from / 64) as usize..words {
+            let mut zeros = !self.word(wi);
+            if wi == (from / 64) as usize {
+                zeros &= !0u64 << (from % 64);
+            }
+            if zeros != 0 {
+                let i = wi as u32 * 64 + zeros.trailing_zeros();
+                // a clear bit in the padding past `len` is not a hit, and
+                // nothing after it can be in range either
+                return (i < self.len).then_some(i);
+            }
+        }
+        None
     }
 
-    /// First run of `n` consecutive clear bits at or after `from`.
+    /// First clear bit of the whole bitmap, if any.
+    pub fn find_first_zero(&self) -> Option<u32> {
+        self.find_clear_from(0)
+    }
+
+    /// First set bit at or after `from`, if any.
+    pub fn find_set_from(&self, from: u32) -> Option<u32> {
+        if from >= self.len {
+            return None;
+        }
+        let words = self.bits.len().div_ceil(8);
+        for wi in (from / 64) as usize..words {
+            let mut ones = self.word(wi);
+            if wi == (from / 64) as usize {
+                ones &= !0u64 << (from % 64);
+            }
+            if ones != 0 {
+                let i = wi as u32 * 64 + ones.trailing_zeros();
+                return (i < self.len).then_some(i);
+            }
+        }
+        None
+    }
+
+    /// First run of `n` consecutive clear bits at or after `from`,
+    /// hopping between word-level scans for the next clear and the next
+    /// set bit instead of stepping per unit.
     pub fn find_clear_run(&self, from: u32, n: u32) -> Option<u32> {
         if n == 0 {
             return Some(from.min(self.len));
         }
-        let mut start = from;
-        let mut run = 0u32;
-        let mut i = from;
-        while i < self.len {
-            if self.get(i) {
-                run = 0;
-                start = i + 1;
-            } else {
-                run += 1;
-                if run == n {
-                    return Some(start);
-                }
+        let mut start = self.find_clear_from(from)?;
+        loop {
+            let run_end = self.find_set_from(start).unwrap_or(self.len);
+            if run_end - start >= n {
+                return Some(start);
             }
-            i += 1;
+            start = self.find_clear_from(run_end)?;
         }
-        None
     }
 
     /// Marks the trailing bits beyond `len` as set, the ext4 convention
     /// for the padding of a short last group.
     pub fn pad_tail(&mut self) {
         let cap = (self.bits.len() * 8) as u32;
-        for i in self.len..cap {
-            self.bits[(i / 8) as usize] |= 1 << (i % 8);
+        if self.len == cap {
+            return;
         }
+        let sb = (self.len / 8) as usize;
+        self.bits[sb] |= !0u8 << (self.len % 8);
+        self.bits[sb + 1..].fill(0xFF);
     }
 }
 
@@ -156,6 +282,7 @@ mod tests {
         assert_eq!(bm.count_set(), 50);
         bm.clear(25);
         assert_eq!(bm.count_set(), 49);
+        assert_eq!(bm.count_ones(), 49);
     }
 
     #[test]
@@ -173,6 +300,36 @@ mod tests {
     }
 
     #[test]
+    fn find_clear_spans_word_boundaries() {
+        // 200 bits: words 0..3, full first words
+        let mut bm = Bitmap::new(200, 25);
+        bm.set_range(0, 130);
+        assert_eq!(bm.find_clear_from(0), Some(130));
+        assert_eq!(bm.find_first_zero(), Some(130));
+        bm.set_range(130, 200);
+        assert_eq!(bm.find_first_zero(), None);
+    }
+
+    #[test]
+    fn find_clear_ignores_clear_padding() {
+        // 60 tracked bits in 8 bytes of capacity: bits 60..64 are padding
+        // and stay clear here (no pad_tail)
+        let mut bm = Bitmap::new(60, 8);
+        bm.set_range(0, 60);
+        assert_eq!(bm.find_clear_from(0), None);
+        assert_eq!(bm.find_set_from(59), Some(59));
+    }
+
+    #[test]
+    fn find_set_from_scans_words() {
+        let mut bm = Bitmap::new(200, 25);
+        bm.set(137);
+        assert_eq!(bm.find_set_from(0), Some(137));
+        assert_eq!(bm.find_set_from(138), None);
+        assert_eq!(bm.find_set_from(137), Some(137));
+    }
+
+    #[test]
     fn find_clear_run_finds_contiguous() {
         let mut bm = Bitmap::new(32, 4);
         bm.set(3);
@@ -186,11 +343,65 @@ mod tests {
     }
 
     #[test]
+    fn set_range_matches_per_bit_loop() {
+        for (start, end) in [(0u32, 0u32), (0, 100), (3, 5), (7, 9), (8, 16), (13, 77), (63, 65), (99, 100)] {
+            let mut word_wise = Bitmap::new(100, 13);
+            let mut per_bit = Bitmap::new(100, 13);
+            word_wise.set_range(start, end);
+            for i in start..end {
+                per_bit.set(i);
+            }
+            assert_eq!(word_wise, per_bit, "set_range({start}, {end})");
+        }
+    }
+
+    #[test]
+    fn clear_range_matches_per_bit_loop() {
+        for (start, end) in [(0u32, 0u32), (0, 100), (3, 5), (7, 9), (8, 16), (13, 77), (63, 65), (99, 100)] {
+            let mut word_wise = Bitmap::new(100, 13);
+            let mut per_bit = Bitmap::new(100, 13);
+            word_wise.set_range(0, 100);
+            per_bit.set_range(0, 100);
+            word_wise.clear_range(start, end);
+            for i in start..end {
+                per_bit.clear(i);
+            }
+            assert_eq!(word_wise, per_bit, "clear_range({start}, {end})");
+        }
+    }
+
+    #[test]
+    fn ranges_do_not_touch_padding() {
+        let mut bm = Bitmap::new(12, 2);
+        bm.set_range(0, 12);
+        assert_eq!(bm.as_bytes()[1] & 0xF0, 0); // padding bits 12..16 untouched
+        bm.clear_range(0, 12);
+        assert_eq!(bm.count_set(), 0);
+    }
+
+    #[test]
     fn pad_tail_sets_padding_only() {
         let mut bm = Bitmap::new(12, 2); // 16 bits capacity
         bm.pad_tail();
         assert_eq!(bm.count_set(), 0); // tracked range untouched
         assert_eq!(bm.as_bytes()[1] & 0xF0, 0xF0); // bits 12..16 set
+    }
+
+    #[test]
+    fn pad_tail_full_capacity_is_noop() {
+        let mut bm = Bitmap::new(16, 2);
+        bm.pad_tail();
+        assert_eq!(bm.count_set(), 0);
+        assert_eq!(bm.as_bytes(), &[0, 0]);
+    }
+
+    #[test]
+    fn count_masks_padding() {
+        let mut bm = Bitmap::new(12, 2);
+        bm.pad_tail();
+        bm.set(1);
+        assert_eq!(bm.count_set(), 1);
+        assert_eq!(bm.count_clear(), 11);
     }
 
     #[test]
@@ -208,6 +419,20 @@ mod tests {
     fn out_of_range_get_panics() {
         let bm = Bitmap::new(8, 1);
         bm.get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut bm = Bitmap::new(8, 1);
+        bm.set(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_range_panics() {
+        let mut bm = Bitmap::new(8, 1);
+        bm.set_range(4, 9);
     }
 
     #[test]

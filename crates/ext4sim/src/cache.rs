@@ -1,0 +1,277 @@
+//! Buffered metadata cache: deserialized per-group bitmaps and raw
+//! inode-table blocks with dirty tracking.
+//!
+//! Under [`CachePolicy::WriteBack`] an fs operation mutates in-memory
+//! state only; each dirty block is written back to the device exactly
+//! once, in deterministic group-major order (per group: block bitmap,
+//! inode bitmap, inode-table blocks ascending), at explicit sync points —
+//! operation commit ([`crate::Ext4Fs::flush_metadata`]), the journal
+//! barrier, `unmount`, and the pre-publish flush inside the defragmenter.
+//! [`CachePolicy::WriteThrough`] keeps the legacy direct path: every
+//! mutation is a read-modify-write round trip through the device, and the
+//! cache holds nothing.
+//!
+//! The group descriptors already live deserialized in `Ext4Fs::groups`
+//! and reach the device only through `flush_metadata`; this module gives
+//! the remaining per-group metadata the same treatment.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::bitmap::Bitmap;
+
+/// How an [`crate::Ext4Fs`] handle propagates metadata mutations to the
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Every metadata mutation is written to the device immediately (the
+    /// legacy baseline; maintenance handles always use this).
+    WriteThrough,
+    /// Mutations hit cached in-memory state; dirty blocks are written
+    /// back once per sync point, in group-major order.
+    WriteBack,
+}
+
+#[derive(Debug, Default)]
+struct GroupSlot {
+    block_bitmap: Option<Bitmap>,
+    block_dirty: bool,
+    inode_bitmap: Option<Bitmap>,
+    inode_dirty: bool,
+}
+
+#[derive(Debug)]
+struct CachedBlock {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+/// The cache proper, owned by an [`crate::Ext4Fs`] handle.
+#[derive(Debug)]
+pub(crate) struct MetadataCache {
+    policy: CachePolicy,
+    slots: Vec<GroupSlot>,
+    /// Inode-table blocks, keyed by device block number.
+    itable: BTreeMap<u64, CachedBlock>,
+    dirty_count: usize,
+}
+
+impl MetadataCache {
+    pub(crate) fn new(policy: CachePolicy, group_count: u32) -> Self {
+        let mut slots = Vec::with_capacity(group_count as usize);
+        slots.resize_with(group_count as usize, GroupSlot::default);
+        MetadataCache { policy, slots, itable: BTreeMap::new(), dirty_count: 0 }
+    }
+
+    pub(crate) fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    pub(crate) fn set_policy(&mut self, policy: CachePolicy) {
+        self.policy = policy;
+    }
+
+    pub(crate) fn is_write_back(&self) -> bool {
+        self.policy == CachePolicy::WriteBack
+    }
+
+    pub(crate) fn has_dirty(&self) -> bool {
+        self.dirty_count > 0
+    }
+
+    /// Drops every cached copy. The caller must have flushed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dirty state would be lost.
+    pub(crate) fn invalidate(&mut self) {
+        assert!(!self.has_dirty(), "invalidating a cache with unflushed dirty blocks");
+        for slot in &mut self.slots {
+            *slot = GroupSlot::default();
+        }
+        self.itable.clear();
+    }
+
+    /// Rebuilds the slot table for a new group count (after a resize),
+    /// dropping all cached state.
+    pub(crate) fn reset(&mut self, group_count: u32) {
+        assert!(!self.has_dirty(), "resetting a cache with unflushed dirty blocks");
+        self.slots.clear();
+        self.slots.resize_with(group_count as usize, GroupSlot::default);
+        self.itable.clear();
+    }
+
+    pub(crate) fn block_bitmap(&self, g: u32) -> Option<&Bitmap> {
+        self.slots.get(g as usize)?.block_bitmap.as_ref()
+    }
+
+    /// Mutable access to a cached block bitmap; marks it dirty.
+    pub(crate) fn block_bitmap_mut(&mut self, g: u32) -> Option<&mut Bitmap> {
+        let slot = self.slots.get_mut(g as usize)?;
+        let bm = slot.block_bitmap.as_mut()?;
+        if !slot.block_dirty {
+            slot.block_dirty = true;
+            self.dirty_count += 1;
+        }
+        Some(bm)
+    }
+
+    pub(crate) fn store_block_bitmap(&mut self, g: u32, bm: Bitmap, dirty: bool) {
+        let slot = &mut self.slots[g as usize];
+        if dirty && !slot.block_dirty {
+            self.dirty_count += 1;
+        }
+        slot.block_dirty |= dirty;
+        slot.block_bitmap = Some(bm);
+    }
+
+    pub(crate) fn inode_bitmap(&self, g: u32) -> Option<&Bitmap> {
+        self.slots.get(g as usize)?.inode_bitmap.as_ref()
+    }
+
+    /// Mutable access to a cached inode bitmap; marks it dirty.
+    pub(crate) fn inode_bitmap_mut(&mut self, g: u32) -> Option<&mut Bitmap> {
+        let slot = self.slots.get_mut(g as usize)?;
+        let bm = slot.inode_bitmap.as_mut()?;
+        if !slot.inode_dirty {
+            slot.inode_dirty = true;
+            self.dirty_count += 1;
+        }
+        Some(bm)
+    }
+
+    pub(crate) fn store_inode_bitmap(&mut self, g: u32, bm: Bitmap, dirty: bool) {
+        let slot = &mut self.slots[g as usize];
+        if dirty && !slot.inode_dirty {
+            self.dirty_count += 1;
+        }
+        slot.inode_dirty |= dirty;
+        slot.inode_bitmap = Some(bm);
+    }
+
+    pub(crate) fn itable_block(&self, block: u64) -> Option<&[u8]> {
+        self.itable.get(&block).map(|c| c.data.as_slice())
+    }
+
+    /// Mutable access to a cached inode-table block; marks it dirty.
+    pub(crate) fn itable_block_mut(&mut self, block: u64) -> Option<&mut [u8]> {
+        let cached = self.itable.get_mut(&block)?;
+        if !cached.dirty {
+            cached.dirty = true;
+            self.dirty_count += 1;
+        }
+        Some(&mut cached.data)
+    }
+
+    pub(crate) fn store_itable_block(&mut self, block: u64, data: Vec<u8>, dirty: bool) {
+        let prev_dirty = self.itable.get(&block).is_some_and(|c| c.dirty);
+        if dirty && !prev_dirty {
+            self.dirty_count += 1;
+        }
+        self.itable.insert(block, CachedBlock { data, dirty: dirty || prev_dirty });
+    }
+
+    pub(crate) fn block_bitmap_dirty(&self, g: u32) -> bool {
+        self.slots.get(g as usize).is_some_and(|s| s.block_dirty)
+    }
+
+    pub(crate) fn inode_bitmap_dirty(&self, g: u32) -> bool {
+        self.slots.get(g as usize).is_some_and(|s| s.inode_dirty)
+    }
+
+    pub(crate) fn clear_block_bitmap_dirty(&mut self, g: u32) {
+        let slot = &mut self.slots[g as usize];
+        if slot.block_dirty {
+            slot.block_dirty = false;
+            self.dirty_count -= 1;
+        }
+    }
+
+    pub(crate) fn clear_inode_bitmap_dirty(&mut self, g: u32) {
+        let slot = &mut self.slots[g as usize];
+        if slot.inode_dirty {
+            slot.inode_dirty = false;
+            self.dirty_count -= 1;
+        }
+    }
+
+    /// Device block numbers of the dirty inode-table blocks within
+    /// `range`, in ascending order.
+    pub(crate) fn dirty_itable_in(&self, range: Range<u64>) -> Vec<u64> {
+        self.itable
+            .range(range)
+            .filter(|(_, c)| c.dirty)
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    /// Every dirty inode-table block, ascending.
+    pub(crate) fn dirty_itable_all(&self) -> Vec<u64> {
+        self.dirty_itable_in(0..u64::MAX)
+    }
+
+    pub(crate) fn clear_itable_dirty(&mut self, block: u64) {
+        if let Some(cached) = self.itable.get_mut(&block) {
+            if cached.dirty {
+                cached.dirty = false;
+                self.dirty_count -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_tracking_counts_each_block_once() {
+        let mut c = MetadataCache::new(CachePolicy::WriteBack, 2);
+        assert!(!c.has_dirty());
+        c.store_block_bitmap(0, Bitmap::new(8, 1), false);
+        assert!(!c.has_dirty());
+        c.block_bitmap_mut(0).unwrap();
+        c.block_bitmap_mut(0).unwrap(); // second touch, still one dirty block
+        assert!(c.has_dirty());
+        c.clear_block_bitmap_dirty(0);
+        assert!(!c.has_dirty());
+    }
+
+    #[test]
+    fn itable_range_query_is_sorted_and_filtered() {
+        let mut c = MetadataCache::new(CachePolicy::WriteBack, 1);
+        c.store_itable_block(9, vec![0u8; 4], true);
+        c.store_itable_block(12, vec![0u8; 4], false);
+        c.store_itable_block(10, vec![0u8; 4], true);
+        c.store_itable_block(40, vec![0u8; 4], true);
+        assert_eq!(c.dirty_itable_in(9..41), vec![9, 10, 40]);
+        assert_eq!(c.dirty_itable_in(9..40), vec![9, 10]);
+        c.clear_itable_dirty(10);
+        assert_eq!(c.dirty_itable_all(), vec![9, 40]);
+    }
+
+    #[test]
+    fn invalidate_drops_clean_state() {
+        let mut c = MetadataCache::new(CachePolicy::WriteBack, 1);
+        c.store_block_bitmap(0, Bitmap::new(8, 1), false);
+        c.store_itable_block(5, vec![1u8; 4], false);
+        c.invalidate();
+        assert!(c.block_bitmap(0).is_none());
+        assert!(c.itable_block(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unflushed dirty")]
+    fn invalidate_refuses_dirty_state() {
+        let mut c = MetadataCache::new(CachePolicy::WriteBack, 1);
+        c.store_block_bitmap(0, Bitmap::new(8, 1), true);
+        c.invalidate();
+    }
+
+    #[test]
+    fn out_of_range_group_reads_are_none() {
+        let c = MetadataCache::new(CachePolicy::WriteThrough, 1);
+        assert!(c.block_bitmap(7).is_none());
+        assert!(c.inode_bitmap(7).is_none());
+    }
+}

@@ -294,23 +294,21 @@ pub fn check_image<D: BlockDevice>(fs: &Ext4Fs<D>) -> Result<CheckReport, FsErro
     let mut actual_free_inodes: u32 = 0;
     for g in 0..l.group_count() {
         let bbm = fs.read_block_bitmap(g)?;
-        let clusters = bbm.len();
-        let mut free_clusters = 0u32;
-        for c in 0..clusters {
-            if !bbm.get(c) {
-                free_clusters += 1;
-            }
-        }
-        // metadata clusters must be marked used
+        let free_clusters = bbm.count_clear();
+        // metadata clusters must be marked used: hop across clear bits at
+        // word granularity instead of probing every cluster
         let overhead = l.group_overhead(g);
         let overhead_clusters = div_ceil(u64::from(overhead), u64::from(l.cluster_ratio)) as u32;
-        for c in 0..overhead_clusters {
-            if !bbm.get(c) {
-                report.inconsistencies.push(Inconsistency {
-                    pass: 5,
-                    kind: InconsistencyKind::MetadataBlockFree { group: g, cluster: c },
-                });
+        let mut c = 0u32;
+        while let Some(idx) = bbm.find_clear_from(c) {
+            if idx >= overhead_clusters {
+                break;
             }
+            report.inconsistencies.push(Inconsistency {
+                pass: 5,
+                kind: InconsistencyKind::MetadataBlockFree { group: g, cluster: idx },
+            });
+            c = idx + 1;
         }
         let actual = free_clusters * l.cluster_ratio;
         let gd = &fs.groups()[g as usize];

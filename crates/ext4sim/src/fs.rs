@@ -6,6 +6,7 @@ use blockdev::BlockDevice;
 
 use crate::alloc::{pick_group_for_block, pick_group_for_dir, pick_group_for_file};
 use crate::bitmap::Bitmap;
+use crate::cache::{CachePolicy, MetadataCache};
 use crate::dir::{self, DirEntry, FileType};
 use crate::extent::{ExtentRoot, ExtentTree};
 use crate::features::{CompatFeatures, IncompatFeatures};
@@ -50,6 +51,7 @@ pub struct Ext4Fs<D> {
     clock: u32,
     journal: Option<Journal>,
     crash_after_journal_commit: bool,
+    cache: MetadataCache,
 }
 
 // ---------------------------------------------------------------------
@@ -115,6 +117,22 @@ impl<D: BlockDevice> Ext4Fs<D> {
     /// geometry leaves no room for the root directory or journal, and any
     /// device error.
     pub fn format(dev: D, params: &MkfsParams) -> Result<Self, FsError> {
+        Self::format_with_policy(dev, params, CachePolicy::WriteBack)
+    }
+
+    /// [`Ext4Fs::format`] with an explicit [`CachePolicy`] for the format
+    /// run and the returned handle. The final image is byte-identical
+    /// under either policy; `WriteThrough` is the legacy baseline kept
+    /// for comparison benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ext4Fs::format`].
+    pub fn format_with_policy(
+        dev: D,
+        params: &MkfsParams,
+        policy: CachePolicy,
+    ) -> Result<Self, FsError> {
         let bs = params.effective_block_size(dev.size_bytes());
         if u64::from(bs) % u64::from(dev.block_size()) != 0 && u64::from(dev.block_size()) % u64::from(bs) != 0 {
             return Err(FsError::InvalidParam {
@@ -233,6 +251,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         };
         sb.set_label(&params.label);
 
+        let group_count = layout.group_count();
         let mut fs = Ext4Fs {
             dev,
             sb,
@@ -242,6 +261,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
             clock: 1,
             journal: None,
             crash_after_journal_commit: false,
+            cache: MetadataCache::new(policy, group_count),
         };
 
         fs.init_groups()?;
@@ -266,6 +286,11 @@ impl<D: BlockDevice> Ext4Fs<D> {
         let gc = l.group_count();
         let mut total_free_blocks: u64 = 0;
         let mut total_free_inodes: u32 = 0;
+        // zero the inode tables in bulk spans, bounded so a huge-group
+        // geometry does not balloon the staging buffer
+        let itable_blocks = l.inode_table_blocks();
+        let span = itable_blocks.min(256);
+        let zero = vec![0u8; span as usize * l.block_size as usize];
         for g in 0..gc {
             // block bitmap (tracks clusters)
             let clusters_in_group =
@@ -273,26 +298,32 @@ impl<D: BlockDevice> Ext4Fs<D> {
             let mut bbm = Bitmap::new(clusters_in_group, l.block_size as usize);
             let overhead = l.group_overhead(g);
             let overhead_clusters = div_ceil(u64::from(overhead), u64::from(l.cluster_ratio)) as u32;
-            for c in 0..overhead_clusters {
-                bbm.set(c);
-            }
+            bbm.set_range(0, overhead_clusters);
             bbm.pad_tail();
-            self.dev.write_block(l.block_bitmap_block(g), bbm.as_bytes())?;
 
             // inode bitmap
             let mut ibm = Bitmap::new(l.inodes_per_group, l.block_size as usize);
             if g == 0 {
-                for i in 0..RESERVED_INODES.min(l.inodes_per_group) {
-                    ibm.set(i);
-                }
+                ibm.set_range(0, RESERVED_INODES.min(l.inodes_per_group));
             }
             ibm.pad_tail();
-            self.dev.write_block(l.inode_bitmap_block(g), ibm.as_bytes())?;
 
-            // zero the inode table
-            let zero = vec![0u8; l.block_size as usize];
-            for b in 0..l.inode_table_blocks() {
-                self.dev.write_block(l.inode_table_block(g) + u64::from(b), &zero)?;
+            if self.cache.is_write_back() {
+                self.cache.store_block_bitmap(g, bbm, true);
+                self.cache.store_inode_bitmap(g, ibm, true);
+            } else {
+                self.dev.write_block(l.block_bitmap_block(g), bbm.as_bytes())?;
+                self.dev.write_block(l.inode_bitmap_block(g), ibm.as_bytes())?;
+            }
+
+            // the table is written straight to the device once under both
+            // policies; caching a one-time init would only double the work
+            let mut b = 0u64;
+            while b < u64::from(itable_blocks) {
+                let n = (u64::from(itable_blocks) - b).min(u64::from(span));
+                let buf = &zero[..n as usize * l.block_size as usize];
+                self.dev.write_blocks(l.inode_table_block(g) + b, buf)?;
+                b += n;
             }
 
             let free_blocks = l.blocks_in_group(g) - overhead_clusters * l.cluster_ratio;
@@ -372,7 +403,24 @@ impl<D: BlockDevice> Ext4Fs<D> {
     ///
     /// Returns [`FsError::BadMagic`] for a non-ext4sim image and
     /// [`FsError::MountRejected`] when option validation fails.
+    ///
+    /// A read-write mount uses the [`CachePolicy::WriteBack`] metadata
+    /// cache; read-only mounts stay write-through (they never write).
     pub fn mount(dev: D, opts: &MountOptions) -> Result<Self, FsError> {
+        Self::mount_with_policy(dev, opts, CachePolicy::WriteBack)
+    }
+
+    /// [`Ext4Fs::mount`] with an explicit [`CachePolicy`] for read-write
+    /// handles.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ext4Fs::mount`].
+    pub fn mount_with_policy(
+        dev: D,
+        opts: &MountOptions,
+        policy: CachePolicy,
+    ) -> Result<Self, FsError> {
         let mut fs = Self::open_for_maintenance(dev)?;
         // journal recovery runs BEFORE option validation, as in the real
         // kernel: sealed transactions left by a crash between commit and
@@ -399,6 +447,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
             fs.sb.mtime = fs.clock;
             fs.sb.state &= !state::VALID_FS; // rw mount marks the fs in-use
             fs.write_primary_superblock()?;
+            fs.cache.set_policy(policy);
         }
         Ok(fs)
     }
@@ -413,6 +462,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         let raw = read_bytes(&dev, SUPERBLOCK_OFFSET, SUPERBLOCK_SIZE)?;
         let sb = Superblock::from_bytes(&raw)?;
         let layout = Self::layout_from_sb(&sb);
+        let group_count = layout.group_count();
         let mut fs = Ext4Fs {
             dev,
             sb,
@@ -422,6 +472,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
             clock: 1,
             journal: None,
             crash_after_journal_commit: false,
+            cache: MetadataCache::new(CachePolicy::WriteThrough, group_count),
         };
         fs.read_group_descriptors()?;
         Ok(fs)
@@ -489,6 +540,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         } else {
             sb_offset / u64::from(layout.block_size) + 1
         };
+        let group_count = layout.group_count();
         let mut fs = Ext4Fs {
             dev,
             sb,
@@ -498,6 +550,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
             clock: 1,
             journal: None,
             crash_after_journal_commit: false,
+            cache: MetadataCache::new(CachePolicy::WriteThrough, group_count),
         };
         fs.read_group_descriptors_from(gdt_start)?;
         Ok(fs)
@@ -521,7 +574,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         self.add_dir_entry(dir, name, ino, ftype)?;
         inode.links_count += 1;
         self.write_inode(ino, &inode)?;
-        Ok(())
+        self.commit_op()
     }
 
     /// Removes a directory entry *without* touching the target inode —
@@ -532,7 +585,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
     /// Returns [`FsError::NotFound`] when the entry is absent.
     pub fn remove_entry_only(&mut self, dir: InodeNo, name: &str) -> Result<(), FsError> {
         self.check_writable()?;
-        self.remove_dir_entry(dir, name)
+        self.remove_dir_entry(dir, name)?;
+        self.commit_op()
     }
 
     /// Truncates a regular file to zero bytes, freeing all of its blocks.
@@ -566,7 +620,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
         } else if self.uses_extent_feature() {
             inode.init_extent_root();
         }
-        self.write_inode(ino, &inode)
+        self.write_inode(ino, &inode)?;
+        self.commit_op()
     }
 
     /// Allocates `clusters` physically contiguous clusters in one group.
@@ -578,12 +633,27 @@ impl<D: BlockDevice> Ext4Fs<D> {
     pub fn alloc_contiguous(&mut self, clusters: u32) -> Result<u64, FsError> {
         self.check_writable()?;
         for g in 0..self.layout.group_count() {
-            let mut bm = self.read_block_bitmap(g)?;
-            if let Some(start) = bm.find_clear_run(0, clusters) {
-                for c in start..start + clusters {
-                    bm.set(c);
+            let start = if self.cache.is_write_back() {
+                self.load_block_bitmap(g)?;
+                // peek before taking the dirtying mutable handle, so a
+                // group without a run does not get flushed needlessly
+                let found =
+                    self.cache.block_bitmap(g).expect("loaded above").find_clear_run(0, clusters);
+                if let Some(start) = found {
+                    let bm = self.cache.block_bitmap_mut(g).expect("loaded above");
+                    bm.set_range(start, start + clusters);
                 }
-                self.write_block_bitmap(g, &bm)?;
+                found
+            } else {
+                let mut bm = self.read_block_bitmap(g)?;
+                let found = bm.find_clear_run(0, clusters);
+                if let Some(start) = found {
+                    bm.set_range(start, start + clusters);
+                    self.write_block_bitmap(g, &bm)?;
+                }
+                found
+            };
+            if let Some(start) = start {
                 let blocks = clusters * self.layout.cluster_ratio;
                 self.groups[g as usize].free_blocks_count -= blocks;
                 self.sb.free_blocks_count -= u64::from(blocks);
@@ -653,6 +723,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         // barrier: the copy must be durable before the mapping switch —
         // a volatile cache could otherwise evict the inode write first
         // and a crash would publish pointers to unwritten blocks
+        self.flush_cache()?;
         self.dev.flush()?;
         self.write_inode(ino, &new_inode)?;
         for b in old_blocks {
@@ -662,6 +733,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         }
         let inode = self.read_inode(ino)?;
         let (tree, _) = self.load_extent_tree(&inode)?;
+        self.commit_op()?;
         Ok((before, tree.len() as u32))
     }
 
@@ -712,6 +784,11 @@ impl<D: BlockDevice> Ext4Fs<D> {
     ///
     /// Propagates device errors.
     pub fn flush_metadata(&mut self) -> Result<(), FsError> {
+        // write back the buffered per-group metadata first, so the home
+        // locations of bitmaps and inode tables are stable before the
+        // superblock/GDT update is committed to the journal — the same
+        // ordering the write-through path produces naturally
+        self.flush_cache()?;
         let writes = self.metadata_writes()?;
         // metadata journalling (jbd2-style): when mounted read-write on a
         // journalled file system, commit the metadata update to the
@@ -815,12 +892,16 @@ impl<D: BlockDevice> Ext4Fs<D> {
         self.crash_after_journal_commit = on;
     }
 
-    /// Reads group `g`'s block bitmap.
+    /// Reads group `g`'s block bitmap — from the metadata cache when a
+    /// copy is buffered there, from the device otherwise.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn read_block_bitmap(&self, g: u32) -> Result<Bitmap, FsError> {
+        if let Some(bm) = self.cache.block_bitmap(g) {
+            return Ok(bm.clone());
+        }
         let clusters = div_ceil(
             u64::from(self.layout.blocks_in_group(g)),
             u64::from(self.layout.cluster_ratio),
@@ -829,32 +910,46 @@ impl<D: BlockDevice> Ext4Fs<D> {
         Ok(Bitmap::from_bytes(&data, clusters))
     }
 
-    /// Writes group `g`'s block bitmap.
+    /// Writes group `g`'s block bitmap (buffered until the next sync
+    /// point under [`CachePolicy::WriteBack`]).
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn write_block_bitmap(&mut self, g: u32, bm: &Bitmap) -> Result<(), FsError> {
+        if self.cache.is_write_back() {
+            self.cache.store_block_bitmap(g, bm.clone(), true);
+            return Ok(());
+        }
         self.dev.write_block(self.groups[g as usize].block_bitmap, bm.as_bytes())?;
         Ok(())
     }
 
-    /// Reads group `g`'s inode bitmap.
+    /// Reads group `g`'s inode bitmap — from the metadata cache when a
+    /// copy is buffered there, from the device otherwise.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn read_inode_bitmap(&self, g: u32) -> Result<Bitmap, FsError> {
+        if let Some(bm) = self.cache.inode_bitmap(g) {
+            return Ok(bm.clone());
+        }
         let data = self.dev.read_block_vec(self.groups[g as usize].inode_bitmap)?;
         Ok(Bitmap::from_bytes(&data, self.layout.inodes_per_group))
     }
 
-    /// Writes group `g`'s inode bitmap.
+    /// Writes group `g`'s inode bitmap (buffered until the next sync
+    /// point under [`CachePolicy::WriteBack`]).
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn write_inode_bitmap(&mut self, g: u32, bm: &Bitmap) -> Result<(), FsError> {
+        if self.cache.is_write_back() {
+            self.cache.store_inode_bitmap(g, bm.clone(), true);
+            return Ok(());
+        }
         self.dev.write_block(self.groups[g as usize].inode_bitmap, bm.as_bytes())?;
         Ok(())
     }
@@ -867,11 +962,17 @@ impl<D: BlockDevice> Ext4Fs<D> {
     pub fn read_inode(&self, ino: InodeNo) -> Result<Inode, FsError> {
         self.check_ino(ino)?;
         let (block, off) = self.layout.inode_position(ino.0);
+        let isz = self.layout.inode_size as usize;
+        if let Some(data) = self.cache.itable_block(block) {
+            return Ok(Inode::from_bytes(&data[off..off + isz]));
+        }
         let data = self.dev.read_block_vec(block)?;
-        Ok(Inode::from_bytes(&data[off..off + self.layout.inode_size as usize]))
+        Ok(Inode::from_bytes(&data[off..off + isz]))
     }
 
-    /// Writes inode `ino` to the inode table.
+    /// Writes inode `ino` to the inode table. Under
+    /// [`CachePolicy::WriteBack`] the containing table block is buffered
+    /// and the read-modify-write round trip happens in memory.
     ///
     /// # Errors
     ///
@@ -879,10 +980,145 @@ impl<D: BlockDevice> Ext4Fs<D> {
     pub fn write_inode(&mut self, ino: InodeNo, inode: &Inode) -> Result<(), FsError> {
         self.check_ino(ino)?;
         let (block, off) = self.layout.inode_position(ino.0);
-        let mut data = self.dev.read_block_vec(block)?;
         let bytes = inode.to_bytes(self.layout.inode_size);
+        if self.cache.is_write_back() {
+            if self.cache.itable_block(block).is_none() {
+                let data = self.dev.read_block_vec(block)?;
+                self.cache.store_itable_block(block, data, false);
+            }
+            let data = self.cache.itable_block_mut(block).expect("just stored");
+            data[off..off + bytes.len()].copy_from_slice(&bytes);
+            return Ok(());
+        }
+        let mut data = self.dev.read_block_vec(block)?;
         data[off..off + bytes.len()].copy_from_slice(&bytes);
         self.dev.write_block(block, &data)?;
+        Ok(())
+    }
+
+    /// Ensures group `g`'s block bitmap is resident in the cache.
+    fn load_block_bitmap(&mut self, g: u32) -> Result<(), FsError> {
+        if self.cache.block_bitmap(g).is_none() {
+            let bm = self.read_block_bitmap(g)?;
+            self.cache.store_block_bitmap(g, bm, false);
+        }
+        Ok(())
+    }
+
+    /// Ensures group `g`'s inode bitmap is resident in the cache.
+    fn load_inode_bitmap(&mut self, g: u32) -> Result<(), FsError> {
+        if self.cache.inode_bitmap(g).is_none() {
+            let bm = self.read_inode_bitmap(g)?;
+            self.cache.store_inode_bitmap(g, bm, false);
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to group `g`'s block bitmap: in place on the cached
+    /// copy under [`CachePolicy::WriteBack`], as a device round trip
+    /// otherwise. Write-through skips the device write when `f` fails,
+    /// exactly as the direct code did.
+    fn update_block_bitmap<R>(
+        &mut self,
+        g: u32,
+        f: impl FnOnce(&mut Bitmap) -> Result<R, FsError>,
+    ) -> Result<R, FsError> {
+        if self.cache.is_write_back() {
+            self.load_block_bitmap(g)?;
+            return f(self.cache.block_bitmap_mut(g).expect("loaded above"));
+        }
+        let mut bm = self.read_block_bitmap(g)?;
+        let r = f(&mut bm)?;
+        self.dev.write_block(self.groups[g as usize].block_bitmap, bm.as_bytes())?;
+        Ok(r)
+    }
+
+    /// Block-bitmap counterpart for the inode bitmap; see
+    /// [`Ext4Fs::update_block_bitmap`].
+    fn update_inode_bitmap<R>(
+        &mut self,
+        g: u32,
+        f: impl FnOnce(&mut Bitmap) -> Result<R, FsError>,
+    ) -> Result<R, FsError> {
+        if self.cache.is_write_back() {
+            self.load_inode_bitmap(g)?;
+            return f(self.cache.inode_bitmap_mut(g).expect("loaded above"));
+        }
+        let mut bm = self.read_inode_bitmap(g)?;
+        let r = f(&mut bm)?;
+        self.dev.write_block(self.groups[g as usize].inode_bitmap, bm.as_bytes())?;
+        Ok(r)
+    }
+
+    /// Writes every dirty cached block back to the device, exactly once
+    /// each, in deterministic group-major order: per group the block
+    /// bitmap, then the inode bitmap, then its inode-table blocks in
+    /// ascending order. A no-op when nothing is dirty (and always under
+    /// [`CachePolicy::WriteThrough`], which buffers nothing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn flush_cache(&mut self) -> Result<(), FsError> {
+        if !self.cache.has_dirty() {
+            return Ok(());
+        }
+        for g in 0..self.groups.len() as u32 {
+            if self.cache.block_bitmap_dirty(g) {
+                let block = self.groups[g as usize].block_bitmap;
+                let bm = self.cache.block_bitmap(g).expect("dirty slot is populated");
+                self.dev.write_block(block, bm.as_bytes())?;
+                self.cache.clear_block_bitmap_dirty(g);
+            }
+            if self.cache.inode_bitmap_dirty(g) {
+                let block = self.groups[g as usize].inode_bitmap;
+                let bm = self.cache.inode_bitmap(g).expect("dirty slot is populated");
+                self.dev.write_block(block, bm.as_bytes())?;
+                self.cache.clear_inode_bitmap_dirty(g);
+            }
+            let it_start = self.groups[g as usize].inode_table;
+            let it_end = it_start + u64::from(self.layout.inode_table_blocks());
+            for block in self.cache.dirty_itable_in(it_start..it_end) {
+                {
+                    let data = self.cache.itable_block(block).expect("dirty block is cached");
+                    self.dev.write_block(block, data)?;
+                }
+                self.cache.clear_itable_dirty(block);
+            }
+        }
+        // anything left over (a table block outside every group's current
+        // range can only appear after geometry surgery) still ascends
+        for block in self.cache.dirty_itable_all() {
+            {
+                let data = self.cache.itable_block(block).expect("dirty block is cached");
+                self.dev.write_block(block, data)?;
+            }
+            self.cache.clear_itable_dirty(block);
+        }
+        Ok(())
+    }
+
+    /// The handle's current [`CachePolicy`].
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache.policy()
+    }
+
+    /// Switches the metadata-cache policy. Moving to
+    /// [`CachePolicy::WriteThrough`] flushes and drops all buffered
+    /// state first, so the device is authoritative again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the flush.
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) -> Result<(), FsError> {
+        if self.cache.policy() == policy {
+            return Ok(());
+        }
+        if policy == CachePolicy::WriteThrough {
+            self.flush_cache()?;
+            self.cache.invalidate();
+        }
+        self.cache.set_policy(policy);
         Ok(())
     }
 
@@ -900,6 +1136,15 @@ impl<D: BlockDevice> Ext4Fs<D> {
         Ok(())
     }
 
+    /// Operation commit: a public file-system operation writes back the
+    /// buffered metadata it touched before returning, so each dirty
+    /// block hits the device once per operation instead of once per
+    /// mutation — and a crash after the call sees the same metadata the
+    /// write-through baseline would have persisted.
+    fn commit_op(&mut self) -> Result<(), FsError> {
+        self.flush_cache()
+    }
+
     // -----------------------------------------------------------------
     // allocation
     // -----------------------------------------------------------------
@@ -913,10 +1158,11 @@ impl<D: BlockDevice> Ext4Fs<D> {
     pub fn alloc_block(&mut self, goal_group: u32) -> Result<u64, FsError> {
         self.check_writable()?;
         let g = pick_group_for_block(&self.groups, goal_group).ok_or(FsError::NoSpace)?;
-        let mut bm = self.read_block_bitmap(g)?;
-        let idx = bm.find_clear_from(0).ok_or(FsError::NoSpace)?;
-        bm.set(idx);
-        self.write_block_bitmap(g, &bm)?;
+        let idx = self.update_block_bitmap(g, |bm| {
+            let idx = bm.find_clear_from(0).ok_or(FsError::NoSpace)?;
+            bm.set(idx);
+            Ok(idx)
+        })?;
         let ratio = self.layout.cluster_ratio;
         self.groups[g as usize].free_blocks_count -= ratio;
         self.sb.free_blocks_count -= u64::from(ratio);
@@ -932,11 +1178,12 @@ impl<D: BlockDevice> Ext4Fs<D> {
         self.check_writable()?;
         let g = self.layout.block_group_of(block);
         let idx = self.layout.block_index_in_group(block) / self.layout.cluster_ratio;
-        let mut bm = self.read_block_bitmap(g)?;
-        if !bm.clear(idx) {
-            return Err(FsError::Corrupt(format!("double free of block {block}")));
-        }
-        self.write_block_bitmap(g, &bm)?;
+        self.update_block_bitmap(g, |bm| {
+            if !bm.clear(idx) {
+                return Err(FsError::Corrupt(format!("double free of block {block}")));
+            }
+            Ok(())
+        })?;
         let ratio = self.layout.cluster_ratio;
         self.groups[g as usize].free_blocks_count += ratio;
         self.sb.free_blocks_count += u64::from(ratio);
@@ -957,10 +1204,11 @@ impl<D: BlockDevice> Ext4Fs<D> {
             pick_group_for_file(&self.groups, parent_group)
         }
         .ok_or(FsError::NoInodes)?;
-        let mut bm = self.read_inode_bitmap(g)?;
-        let idx = bm.find_clear_from(0).ok_or(FsError::NoInodes)?;
-        bm.set(idx);
-        self.write_inode_bitmap(g, &bm)?;
+        let idx = self.update_inode_bitmap(g, |bm| {
+            let idx = bm.find_clear_from(0).ok_or(FsError::NoInodes)?;
+            bm.set(idx);
+            Ok(idx)
+        })?;
         self.groups[g as usize].free_inodes_count -= 1;
         self.sb.free_inodes_count -= 1;
         Ok(InodeNo(g * self.layout.inodes_per_group + idx + 1))
@@ -977,11 +1225,12 @@ impl<D: BlockDevice> Ext4Fs<D> {
         self.check_ino(ino)?;
         let g = self.layout.inode_group_of(ino.0);
         let idx = self.layout.inode_index_in_group(ino.0);
-        let mut bm = self.read_inode_bitmap(g)?;
-        if !bm.clear(idx) {
-            return Err(FsError::Corrupt(format!("double free of inode {}", ino.0)));
-        }
-        self.write_inode_bitmap(g, &bm)?;
+        self.update_inode_bitmap(g, |bm| {
+            if !bm.clear(idx) {
+                return Err(FsError::Corrupt(format!("double free of inode {}", ino.0)));
+            }
+            Ok(())
+        })?;
         self.groups[g as usize].free_inodes_count += 1;
         self.sb.free_inodes_count += 1;
         if was_dir && self.groups[g as usize].used_dirs_count > 0 {
@@ -1182,6 +1431,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         inode.ctime = self.tick();
         self.write_inode(ino, &inode)?;
         self.add_dir_entry(dir, name, ino, FileType::Regular)?;
+        self.commit_op()?;
         Ok(ino)
     }
 
@@ -1213,6 +1463,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         self.write_inode(dir, &parent)?;
         let g = self.layout.inode_group_of(ino.0);
         self.groups[g as usize].used_dirs_count += 1;
+        self.commit_op()?;
         Ok(ino)
     }
 
@@ -1235,7 +1486,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
                 inode.block_area[offset as usize..end as usize].copy_from_slice(data);
                 inode.size = inode.size.max(end);
                 inode.mtime = self.tick();
-                return self.write_inode(ino, &inode);
+                self.write_inode(ino, &inode)?;
+                return self.commit_op();
             }
             // migrate inline -> block-mapped
             let old: Vec<u8> = inode.block_area[..inode.size as usize].to_vec();
@@ -1292,7 +1544,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
         inode.size = inode.size.max(end);
         inode.blocks += self.sectors_for(blocks_added);
         inode.mtime = self.tick();
-        self.write_inode(ino, &inode)
+        self.write_inode(ino, &inode)?;
+        self.commit_op()
     }
 
     /// Reads up to `buf.len()` bytes from byte `offset`; returns the
@@ -1383,6 +1636,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         }
         self.write_inode(ino, &inode)?;
         self.add_dir_entry(dir, name, ino, FileType::Symlink)?;
+        self.commit_op()?;
         Ok(ino)
     }
 
@@ -1466,7 +1720,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
             new_parent.links_count += 1;
             self.write_inode(new_dir, &new_parent)?;
         }
-        Ok(())
+        self.commit_op()
     }
 
     /// Removes file `name` from `dir`, freeing its inode and blocks when
@@ -1502,7 +1756,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         } else {
             self.write_inode(ino, &inode)?;
         }
-        Ok(())
+        self.commit_op()
     }
 
     /// Removes the empty directory `name` from `dir`.
@@ -1534,7 +1788,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         let mut parent = self.read_inode(dir)?;
         parent.links_count = parent.links_count.saturating_sub(1);
         self.write_inode(dir, &parent)?;
-        Ok(())
+        self.commit_op()
     }
 
     /// Looks up `name` in directory `dir`.
@@ -1663,9 +1917,11 @@ impl<D: BlockDevice> Ext4Fs<D> {
     }
 
     /// Recomputes the layout from the (possibly edited) superblock —
-    /// called by `resize2fs` after changing the geometry.
+    /// called by `resize2fs` after changing the geometry. Cached
+    /// metadata keyed by the old geometry is dropped.
     pub fn refresh_layout(&mut self) {
         self.layout = Self::layout_from_sb(&self.sb);
+        self.cache.reset(self.layout.group_count());
     }
 
     /// The group descriptors.
@@ -1706,6 +1962,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             self.fs_state == FsState::Maintenance,
             "raw device access requires maintenance mode"
         );
+        // the caller may rewrite any block, so cached copies (clean by
+        // construction: maintenance handles are write-through) go stale
+        self.cache.invalidate();
         &mut self.dev
     }
 

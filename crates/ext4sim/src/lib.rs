@@ -38,6 +38,7 @@
 
 mod alloc;
 mod bitmap;
+mod cache;
 mod check;
 pub mod dir;
 mod error;
@@ -54,6 +55,7 @@ mod superblock;
 pub mod util;
 
 pub use bitmap::Bitmap;
+pub use cache::CachePolicy;
 pub use check::{check_image, CheckReport, Inconsistency, InconsistencyKind};
 pub use dir::{DirEntry, FileType, MAX_NAME_LEN};
 pub use error::FsError;

@@ -7,9 +7,13 @@
 #     with parallel classification and the verdict cache;
 #   * taint-analysis engines (repro_analyzer --bench →
 #     BENCH_analyzer.json): naive whole-program sweep vs def-use
-#     worklist with interned taint sets, plus the analysis cache.
+#     worklist with interned taint sets, plus the analysis cache;
+#   * fs-substrate I/O (repro_fsops --bench → BENCH_fsops.json):
+#     ext4sim's write-back metadata cache vs the write-through
+#     baseline over format, file cycles, defrag and a ConBugCk
+#     campaign.
 #
-# Usage: scripts/bench.sh [extra args passed to BOTH binaries]
+# Usage: scripts/bench.sh [extra args passed to ALL binaries]
 #   e.g. scripts/bench.sh --threads 4
 #        scripts/bench.sh --smoke
 set -euo pipefail
@@ -18,3 +22,12 @@ cd "$(dirname "$0")/.."
 cargo build --release -p bench
 ./target/release/repro_crashsim --bench "$@"
 ./target/release/repro_analyzer --bench "$@"
+# repro_fsops takes no --threads; strip it (and its value) from "$@"
+fsops_args=()
+skip=0
+for arg in "$@"; do
+  if [[ $skip -eq 1 ]]; then skip=0; continue; fi
+  if [[ $arg == --threads ]]; then skip=1; continue; fi
+  fsops_args+=("$arg")
+done
+./target/release/repro_fsops --bench "${fsops_args[@]+"${fsops_args[@]}"}"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, full test suite, lint-clean under clippy, a
-# crash-exploration benchmark smoke (tiny trace, 2 threads), and a
-# taint-analyzer benchmark smoke — both checking the BENCH JSON is
-# well-formed and the racing engines agreed.
+# crash-exploration benchmark smoke (tiny trace, 2 threads), a
+# taint-analyzer benchmark smoke, and an fs-substrate smoke — each
+# checking the BENCH JSON is well-formed and the racing engines (or
+# cache policies) agreed.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,4 +49,26 @@ assert bench["all_identical"]
 assert bench["cache"]["second_misses"] == 0, "warm extraction re-analyzed a model"
 assert bench["cache"]["cache_hits"] > 0
 print("analyzer smoke OK:", len(bench["rows"]), "row(s)")
+EOF
+
+./target/release/repro_fsops --bench --smoke --out target/bench_fsops_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/bench_fsops_smoke.json") as f:
+    bench = json.load(f)
+assert bench["legs"], "fsops smoke produced no legs"
+for leg in bench["legs"]:
+    assert leg["identical"], f"cache policies diverged on {leg['name']}"
+    for arm in ("baseline", "cached"):
+        assert leg[arm]["wall_ms"] >= 0
+    assert leg["cached"]["io"]["writes"] <= leg["baseline"]["io"]["writes"], (
+        f"write-back issued more device writes than write-through on {leg['name']}"
+    )
+assert bench["all_identical"]
+t = bench["totals"]
+assert t["baseline_writes"] > 0 and t["cached_writes"] > 0
+assert t["write_reduction"] >= 1.0, f"no write reduction: {t['write_reduction']}"
+assert t["wall_speedup"] >= 1.0, f"cached engine slower overall: {t['wall_speedup']}"
+print("fsops smoke OK:", len(bench["legs"]), "leg(s),",
+      f"{t['write_reduction']:.2f}x fewer writes")
 EOF
