@@ -1,0 +1,378 @@
+//! The constraint compiler: every extracted [`Dependency`] lowered into
+//! an executable [`Constraint`] predicate over [`TypedConfig`]s.
+//!
+//! Before this layer existed, each consumer re-interpreted raw
+//! dependencies its own way — ConBugCk substring-matched signatures,
+//! ConDocCk pattern-matched manual constraints, ConHandleCk hard-coded
+//! label strings. The compiler gives all of them one vocabulary:
+//!
+//! * [`Constraint::evaluate`] — does a set of typed configurations
+//!   satisfy, violate, or simply not engage the dependency?
+//! * [`Constraint::doc_verdict`] — does any manual page document it?
+//! * [`ConstraintSet`] — the compiled collection, with the query surface
+//!   the applications need (feature-conflict and integer-range lookups).
+
+use e2fstools::manual::{DocConstraint, ManualPage};
+use e2fstools::typed::{TypedConfig, TypedValue};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{DepKind, Dependency, Endpoint};
+
+/// Outcome of evaluating one constraint against typed configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The constrained parameters are engaged and the predicate holds.
+    Satisfied,
+    /// The constrained parameters are engaged and the predicate fails.
+    Violated,
+    /// The configurations do not engage the dependency (parameter not
+    /// set, component absent, or the kind has no static predicate —
+    /// behavioural CCDs only manifest at run time).
+    NotApplicable,
+}
+
+/// Whether a dependency is documented somewhere in the manual corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocVerdict {
+    /// Some manual states the constraint.
+    Documented,
+    /// The subject's manual exists but no page states the constraint.
+    Missing,
+    /// The subject component has no manual at all.
+    NoManual,
+}
+
+/// The extractor names parameters after the modelled CIR variables; the
+/// `ParamSpec` registry (and the typed configs lowered from real CLI
+/// invocations) use the spec names. This maps the former onto the
+/// latter where they diverge.
+fn registry_name<'a>(component: &str, param: &'a str) -> &'a str {
+    match (component, param) {
+        ("resize2fs", "new_size") => "size",
+        ("e2fsck", "assume_yes") => "yes",
+        ("e2fsck", "assume_no") => "no",
+        ("e2fsck", "blocksize_opt") => "blocksize",
+        _ => param,
+    }
+}
+
+/// One dependency compiled into an executable predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The dependency this predicate was lowered from.
+    pub dependency: Dependency,
+}
+
+impl Constraint {
+    /// The underlying dependency's stable signature.
+    pub fn signature(&self) -> String {
+        self.dependency.signature()
+    }
+
+    /// Looks up the subject parameter's typed value among `cfgs`.
+    fn subject_value<'a>(&self, cfgs: &[&'a TypedConfig]) -> Option<&'a TypedValue> {
+        let subj = &self.dependency.subject;
+        let name = registry_name(&subj.component, &subj.param);
+        cfgs.iter().find(|c| c.component == subj.component).and_then(|c| c.get(name))
+    }
+
+    /// Looks up the object parameter's typed value among `cfgs`.
+    fn object_value<'a>(&self, cfgs: &[&'a TypedConfig]) -> Option<&'a TypedValue> {
+        match &self.dependency.object {
+            Some(Endpoint::Param(obj)) => {
+                let name = registry_name(&obj.component, &obj.param);
+                cfgs.iter().find(|c| c.component == obj.component).and_then(|c| c.get(name))
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates the predicate against a set of typed configurations
+    /// (one per component, e.g. the `mke2fs` invocation plus the `mount`
+    /// option string of a generated state).
+    pub fn evaluate(&self, cfgs: &[&TypedConfig]) -> Verdict {
+        let d = &self.dependency;
+        match d.kind {
+            DepKind::SdValueRange => match self.subject_value(cfgs) {
+                Some(TypedValue::Int(v)) => {
+                    if d.detail.min.is_some_and(|min| *v < min)
+                        || d.detail.max.is_some_and(|max| *v > max)
+                    {
+                        return Verdict::Violated;
+                    }
+                    let must_not_equal =
+                        d.detail.relation.as_deref().is_some_and(|r| r.contains("must not equal"));
+                    if must_not_equal && d.detail.value_set.contains(v) {
+                        return Verdict::Violated;
+                    }
+                    Verdict::Satisfied
+                }
+                _ => Verdict::NotApplicable,
+            },
+            DepKind::SdDataType => match (self.subject_value(cfgs), d.detail.data_type.as_deref())
+            {
+                (Some(v), Some(ty)) => {
+                    let ok = match ty {
+                        "integer" | "int" | "size" => matches!(v, TypedValue::Int(_)),
+                        "boolean" | "bool" | "flag" => matches!(v, TypedValue::Bool(_)),
+                        "string" | "enum" | "path" => matches!(v, TypedValue::Str(_)),
+                        _ => true,
+                    };
+                    if ok {
+                        Verdict::Satisfied
+                    } else {
+                        Verdict::Violated
+                    }
+                }
+                _ => Verdict::NotApplicable,
+            },
+            DepKind::CpdControl | DepKind::CcdControl => {
+                let (Some(s), Some(o)) = (self.subject_value(cfgs), self.object_value(cfgs))
+                else {
+                    return Verdict::NotApplicable;
+                };
+                let s_on = engaged(s);
+                let o_on = engaged(o);
+                // the extractor cannot orient a guard into "conflicts"
+                // vs "requires" (its relation string says both); treat
+                // the pair as mutually exclusive — exactly how ConBugCk
+                // has always repaired feature sets — unless the relation
+                // is unambiguously a requirement
+                let requires = d.detail.relation.as_deref() == Some("requires");
+                let conflict = if requires { s_on && !o_on } else { s_on && o_on };
+                if conflict {
+                    Verdict::Violated
+                } else {
+                    Verdict::Satisfied
+                }
+            }
+            // value couplings and behavioural CCDs have no closed-form
+            // static predicate: the coupling manifests when the ecosystem
+            // runs (ConHandleCk's injection cases exercise exactly these)
+            DepKind::CpdValue | DepKind::CcdValue | DepKind::CcdBehavioral => {
+                Verdict::NotApplicable
+            }
+        }
+    }
+
+    /// Checks the manual corpus for a statement of this dependency —
+    /// the single documentation matcher ConDocCk reports through.
+    pub fn doc_verdict(&self, pages: &[&ManualPage]) -> DocVerdict {
+        let d = &self.dependency;
+        let Some(page) = pages.iter().find(|p| p.component == d.subject.component) else {
+            return DocVerdict::NoManual;
+        };
+        let p = &d.subject.param;
+        let documented = match d.kind {
+            DepKind::SdDataType => page
+                .all_constraints()
+                .iter()
+                .any(|c| matches!(c, DocConstraint::DataType { param, .. } if param == p)),
+            DepKind::SdValueRange => page.all_constraints().iter().any(|c| match c {
+                DocConstraint::ValueRange { param, .. } => param == p,
+                DocConstraint::DataType { param, ty } => param == p && ty == "enum",
+                _ => false,
+            }),
+            DepKind::CpdControl | DepKind::CpdValue => match &d.object {
+                Some(Endpoint::Param(q)) => pair_documented(page, p, &q.param),
+                _ => false,
+            },
+            DepKind::CcdControl | DepKind::CcdValue | DepKind::CcdBehavioral => {
+                let obj_param = match &d.object {
+                    Some(Endpoint::Param(q)) => Some(q.param.as_str()),
+                    _ => None,
+                };
+                cross_documented(pages, p, obj_param)
+            }
+        };
+        if documented {
+            DocVerdict::Documented
+        } else {
+            DocVerdict::Missing
+        }
+    }
+}
+
+/// Whether a typed value counts as "engaged" for control dependencies.
+fn engaged(v: &TypedValue) -> bool {
+    match v {
+        TypedValue::Bool(b) => *b,
+        TypedValue::Int(_) | TypedValue::Str(_) => true,
+    }
+}
+
+fn pair_documented(page: &ManualPage, a: &str, b: &str) -> bool {
+    page.all_constraints().iter().any(|c| match c {
+        DocConstraint::Conflicts { param, other } | DocConstraint::Requires { param, other } => {
+            (param == a && other == b) || (param == b && other == a)
+        }
+        _ => false,
+    })
+}
+
+fn cross_documented(pages: &[&ManualPage], subj_param: &str, obj_param: Option<&str>) -> bool {
+    pages.iter().any(|page| {
+        page.all_constraints().iter().any(|c| match c {
+            DocConstraint::CrossComponent { param, other, .. } => match obj_param {
+                Some(q) => {
+                    (param == subj_param && other == q) || (param == q && other == subj_param)
+                }
+                None => param == subj_param || other == subj_param,
+            },
+            _ => false,
+        })
+    })
+}
+
+/// A compiled collection of constraints, preserving extraction order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Compiles each dependency into its executable form.
+    pub fn compile(deps: Vec<Dependency>) -> Self {
+        ConstraintSet {
+            constraints: deps.into_iter().map(|dependency| Constraint { dependency }).collect(),
+        }
+    }
+
+    /// The compiled constraints, in extraction order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The underlying dependencies, in extraction order.
+    pub fn dependencies(&self) -> impl Iterator<Item = &Dependency> {
+        self.constraints.iter().map(|c| &c.dependency)
+    }
+
+    /// Number of compiled constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints were compiled.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Finds the constraint with the given dependency signature.
+    pub fn find(&self, signature: &str) -> Option<&Constraint> {
+        self.constraints.iter().find(|c| c.signature() == signature)
+    }
+
+    /// True when a control dependency forbids combining the two
+    /// parameters within one component (the query ConBugCk repairs
+    /// feature sets with).
+    pub fn conflicting(&self, a: &str, b: &str) -> bool {
+        self.constraints.iter().any(|c| {
+            c.dependency.kind == DepKind::CpdControl && {
+                let s = c.signature();
+                s.contains(&format!("{a}~{b}")) || s.contains(&format!("{b}~{a}"))
+            }
+        })
+    }
+
+    /// The extracted integer range of a parameter, if any — the first
+    /// matching value-range constraint, in extraction order (the query
+    /// ConBugCk samples values with).
+    pub fn int_range(&self, component: &str, param: &str) -> Option<(i64, i64)> {
+        self.constraints
+            .iter()
+            .find(|c| {
+                c.dependency.kind == DepKind::SdValueRange
+                    && c.dependency.subject.component == component
+                    && c.dependency.subject.param == param
+            })
+            .map(|c| {
+                (
+                    c.dependency.detail.min.unwrap_or(i64::MIN),
+                    c.dependency.detail.max.unwrap_or(i64::MAX),
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DepDetail, ParamRef};
+    use crate::{extract_scenario, models, ExtractOptions};
+
+    fn compiled() -> ConstraintSet {
+        ConstraintSet::compile(
+            extract_scenario(&models::all(), ExtractOptions::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn compiles_all_extracted_dependencies() {
+        let set = compiled();
+        assert_eq!(set.len(), 64);
+        assert!(!set.is_empty());
+        assert!(set.find("CpdControl|mke2fs|meta_bg~resize_inode").is_some());
+    }
+
+    #[test]
+    fn range_lookup_matches_detail() {
+        let set = compiled();
+        let (min, max) = set.int_range("mke2fs", "reserved_percent").expect("range extracted");
+        assert!(min <= 0 && max >= 50, "({min}, {max})");
+        assert!(set.int_range("mke2fs", "no_such_param").is_none());
+    }
+
+    #[test]
+    fn conflict_lookup_is_symmetric() {
+        let set = compiled();
+        assert!(set.conflicting("meta_bg", "resize_inode"));
+        assert!(set.conflicting("resize_inode", "meta_bg"));
+        assert!(!set.conflicting("extent", "has_journal"));
+    }
+
+    #[test]
+    fn range_constraint_evaluates_typed_configs() {
+        let set = compiled();
+        let c = set
+            .find("SdValueRange|mke2fs:reserved_percent")
+            .expect("reserved_percent range extracted");
+        let mut bad = TypedConfig::new("mke2fs");
+        bad.set_int("reserved_percent", 80);
+        assert_eq!(c.evaluate(&[&bad]), Verdict::Violated);
+        let mut good = TypedConfig::new("mke2fs");
+        good.set_int("reserved_percent", 5);
+        assert_eq!(c.evaluate(&[&good]), Verdict::Satisfied);
+        let unrelated = TypedConfig::new("mount");
+        assert_eq!(c.evaluate(&[&unrelated]), Verdict::NotApplicable);
+    }
+
+    #[test]
+    fn control_constraint_evaluates_typed_configs() {
+        let set = compiled();
+        let c = set.find("CpdControl|mke2fs|meta_bg~resize_inode").unwrap();
+        let mut both = TypedConfig::new("mke2fs");
+        both.set_bool("meta_bg", true);
+        both.set_bool("resize_inode", true);
+        assert_eq!(c.evaluate(&[&both]), Verdict::Violated);
+        let mut one = TypedConfig::new("mke2fs");
+        one.set_bool("meta_bg", true);
+        one.set_bool("resize_inode", false);
+        assert_eq!(c.evaluate(&[&one]), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn behavioural_constraints_are_runtime_only() {
+        let c = Constraint {
+            dependency: Dependency {
+                kind: DepKind::CcdBehavioral,
+                subject: ParamRef::new("mke2fs", "sparse_super2"),
+                object: Some(Endpoint::Component("resize2fs".to_string())),
+                detail: DepDetail::default(),
+                evidence: vec![],
+            },
+        };
+        let cfg = TypedConfig::new("mke2fs");
+        assert_eq!(c.evaluate(&[&cfg]), Verdict::NotApplicable);
+    }
+}

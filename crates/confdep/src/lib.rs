@@ -33,6 +33,7 @@
 //! ```
 
 pub mod cache;
+pub mod constraint;
 pub mod eval;
 pub mod extract;
 pub mod ground_truth;
@@ -42,6 +43,7 @@ pub mod report;
 pub mod scenario;
 
 pub use cache::{AnalysisCache, CacheStats};
+pub use constraint::{Constraint, ConstraintSet, DocVerdict, Verdict};
 pub use eval::{CategoryCounts, Evaluation, ScenarioOutcome};
 pub use extract::{
     analyze_component, extract_component, extract_scenario, extract_scenario_full,

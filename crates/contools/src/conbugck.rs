@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 
 use blockdev::MemDevice;
-use confdep::{extract_scenario, models, DepKind, Dependency, ExtractOptions};
-use e2fstools::{E2fsck, FsckMode, Mke2fs, MountCmd};
+use confdep::{extract_scenario, models, ConstraintSet, ExtractOptions};
+use e2fstools::{E2fsck, FsckMode, Mke2fs, MountCmd, TypedConfig};
 use ext4sim::CachePolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,11 +30,25 @@ pub struct GeneratedConfig {
 }
 
 impl GeneratedConfig {
+    /// The lenient typed views of the two invocation halves — the
+    /// whole-configuration state in the ecosystem's shared value model.
+    pub fn typed(&self) -> (TypedConfig, TypedConfig) {
+        (
+            TypedConfig::from_mkfs_args_lenient(&self.mkfs_args),
+            TypedConfig::from_mount_opts_lenient(&self.mount_opts),
+        )
+    }
+
     /// Canonical whole-configuration state key — the identity
     /// [`coverage`] counts distinct states by, and the memoization key
     /// the campaigns use to run each distinct state only once.
+    ///
+    /// Derived from the sorted [`TypedConfig`] views, so
+    /// semantically-equal configurations (same options in a different
+    /// argument order or spelling) share one state.
     pub fn state_key(&self) -> String {
-        format!("{:?}|{}", self.mkfs_args, self.mount_opts)
+        let (mkfs, mount) = self.typed();
+        format!("{}|{}", mkfs.canonical_key(), mount.canonical_key())
     }
 }
 
@@ -87,7 +101,7 @@ impl ConfigCampaign {
 /// The dependency-aware configuration generator.
 #[derive(Debug)]
 pub struct ConBugCk {
-    deps: Vec<Dependency>,
+    constraints: ConstraintSet,
     rng: StdRng,
 }
 
@@ -109,32 +123,12 @@ impl ConBugCk {
     /// Returns [`confdep::ConfdepError`] if the models fail to compile.
     pub fn new(seed: u64) -> Result<Self, confdep::ConfdepError> {
         let deps = extract_scenario(&models::all(), ExtractOptions::default())?;
-        Ok(ConBugCk { deps, rng: StdRng::seed_from_u64(seed) })
+        Ok(ConBugCk { constraints: ConstraintSet::compile(deps), rng: StdRng::seed_from_u64(seed) })
     }
 
-    /// The dependencies steering generation.
-    pub fn dependencies(&self) -> &[Dependency] {
-        &self.deps
-    }
-
-    fn conflicts(&self, a: &str, b: &str) -> bool {
-        self.deps.iter().any(|d| {
-            d.kind == DepKind::CpdControl && {
-                let s = d.signature();
-                s.contains(&format!("{a}~{b}")) || s.contains(&format!("{b}~{a}"))
-            }
-        })
-    }
-
-    fn range_of(&self, component: &str, param: &str) -> Option<(i64, i64)> {
-        self.deps
-            .iter()
-            .find(|d| {
-                d.kind == DepKind::SdValueRange
-                    && d.subject.component == component
-                    && d.subject.param == param
-            })
-            .map(|d| (d.detail.min.unwrap_or(i64::MIN), d.detail.max.unwrap_or(i64::MAX)))
+    /// The compiled constraints steering generation.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
     }
 
     /// Generates one configuration that respects the extracted
@@ -142,7 +136,8 @@ impl ConBugCk {
     pub fn generate_one(&mut self) -> GeneratedConfig {
         // block size: respect the extracted range and the power-of-two
         // rule encoded as the data type
-        let (min_bs, max_bs) = self.range_of("mke2fs", "blocksize").unwrap_or((1024, 65536));
+        let (min_bs, max_bs) =
+            self.constraints.int_range("mke2fs", "blocksize").unwrap_or((1024, 65536));
         let bs = loop {
             let candidate = BLOCK_SIZES[self.rng.gen_range(0..BLOCK_SIZES.len())];
             if (candidate as i64) >= min_bs && (candidate as i64) <= max_bs
@@ -152,7 +147,8 @@ impl ConBugCk {
             }
         };
         // reserved percent within range
-        let (_, max_m) = self.range_of("mke2fs", "reserved_percent").unwrap_or((0, 50));
+        let (_, max_m) =
+            self.constraints.int_range("mke2fs", "reserved_percent").unwrap_or((0, 50));
         let m = loop {
             let candidate = RESERVED[self.rng.gen_range(0..RESERVED.len())];
             if (candidate as i64) <= max_m {
@@ -169,7 +165,7 @@ impl ConBugCk {
         // repair conflicts: drop the later feature of each conflicting pair
         let mut repaired: Vec<&str> = Vec::new();
         for f in &enabled {
-            if repaired.iter().any(|g| self.conflicts(f, g)) {
+            if repaired.iter().any(|g| self.constraints.conflicting(f, g)) {
                 continue;
             }
             repaired.push(f);
@@ -322,40 +318,20 @@ pub struct CoverageStats {
     pub distinct_states: usize,
 }
 
-/// Measures the coverage of a configuration set.
+/// Measures the coverage of a configuration set. Parameters and states
+/// are counted on the [`TypedConfig`] views, so the tally uses the same
+/// identities as the registry and the campaign memoization.
 pub fn coverage(configs: &[GeneratedConfig]) -> CoverageStats {
     use std::collections::BTreeSet;
     let mut params: BTreeSet<(String, String)> = BTreeSet::new();
     let mut states: BTreeSet<String> = BTreeSet::new();
     for c in configs {
         states.insert(c.state_key());
-        let mut iter = c.mkfs_args.iter().peekable();
-        while let Some(a) = iter.next() {
-            match a.as_str() {
-                "-b" => {
-                    params.insert(("mke2fs".into(), "blocksize".into()));
-                    iter.next();
-                }
-                "-m" => {
-                    params.insert(("mke2fs".into(), "reserved_percent".into()));
-                    iter.next();
-                }
-                "-O" => {
-                    if let Some(feats) = iter.next() {
-                        for f in feats.split(',') {
-                            params.insert((
-                                "mke2fs".into(),
-                                f.trim_start_matches('^').to_string(),
-                            ));
-                        }
-                    }
-                }
-                _ => {}
+        let (mkfs, mount) = c.typed();
+        for cfg in [&mkfs, &mount] {
+            for name in cfg.values.keys() {
+                params.insert((cfg.component.clone(), name.clone()));
             }
-        }
-        for opt in c.mount_opts.split(',').filter(|o| !o.is_empty()) {
-            let name = opt.split('=').next().unwrap_or(opt);
-            params.insert(("mount".into(), name.to_string()));
         }
     }
     CoverageStats { distinct_params: params.len(), distinct_states: states.len() }

@@ -7,7 +7,8 @@
 //! this module reproduces them.
 
 use confdep::{
-    extract_scenario, is_true_dependency, models, DepKind, Dependency, Endpoint, ExtractOptions,
+    extract_scenario, is_true_dependency, models, ConstraintSet, Dependency, DocVerdict,
+    ExtractOptions,
 };
 use e2fstools::manual::{DocConstraint, ManualPage};
 use e2fstools::{e2fsck, e4defrag, mke2fs, mount_cmd, resize2fs};
@@ -75,82 +76,37 @@ fn manual_for(component: &str) -> Option<ManualPage> {
     }
 }
 
-fn pair_documented(page: &ManualPage, a: &str, b: &str) -> bool {
-    page.all_constraints().iter().any(|c| match c {
-        DocConstraint::Conflicts { param, other } | DocConstraint::Requires { param, other } => {
-            (param == a && other == b) || (param == b && other == a)
-        }
-        _ => false,
-    })
-}
-
-fn cross_documented(pages: &[&ManualPage], subj_param: &str, obj_param: Option<&str>) -> bool {
-    pages.iter().any(|page| {
-        page.all_constraints().iter().any(|c| match c {
-            DocConstraint::CrossComponent { param, other, .. } => match obj_param {
-                Some(q) => {
-                    (param == subj_param && other == q) || (param == q && other == subj_param)
-                }
-                None => param == subj_param || other == subj_param,
-            },
-            _ => false,
-        })
-    })
-}
-
-fn is_documented(dep: &Dependency, all_pages: &[&ManualPage]) -> Option<DocIssueKind> {
-    let Some(page) = all_pages.iter().find(|p| p.component == dep.subject.component) else {
-        return Some(DocIssueKind::NoManual);
-    };
-    let p = &dep.subject.param;
-    let ok = match dep.kind {
-        DepKind::SdDataType => page
-            .all_constraints()
-            .iter()
-            .any(|c| matches!(c, DocConstraint::DataType { param, .. } if param == p)),
-        DepKind::SdValueRange => page.all_constraints().iter().any(|c| match c {
-            DocConstraint::ValueRange { param, .. } => param == p,
-            DocConstraint::DataType { param, ty } => param == p && ty == "enum",
-            _ => false,
-        }),
-        DepKind::CpdControl | DepKind::CpdValue => match &dep.object {
-            Some(Endpoint::Param(q)) => pair_documented(page, p, &q.param),
-            _ => false,
-        },
-        DepKind::CcdControl | DepKind::CcdValue | DepKind::CcdBehavioral => {
-            let obj_param = match &dep.object {
-                Some(Endpoint::Param(q)) => Some(q.param.as_str()),
-                _ => None,
-            };
-            cross_documented(all_pages, p, obj_param)
-        }
-    };
-    if ok {
-        None
-    } else {
-        Some(DocIssueKind::Missing)
-    }
-}
-
-/// Runs ConDocCk over the full ecosystem: extract dependencies, keep the
-/// true ones, and report every dependency no manual documents.
+/// Runs ConDocCk over the full ecosystem: extract dependencies, compile
+/// them into constraints, keep the true ones, and report every
+/// constraint whose [`ConstraintSet`] documentation verdict is not
+/// `Documented`.
 ///
 /// # Errors
 ///
 /// Returns [`confdep::ConfdepError`] if a model fails to compile.
 pub fn run_condocck() -> Result<Vec<DocIssue>, confdep::ConfdepError> {
-    let deps = extract_scenario(&models::all(), ExtractOptions::default())?;
+    let constraints =
+        ConstraintSet::compile(extract_scenario(&models::all(), ExtractOptions::default())?);
     let pages: Vec<ManualPage> = ["mke2fs", "mount", "ext4", "e4defrag", "resize2fs", "e2fsck"]
         .iter()
         .filter_map(|c| manual_for(c))
         .collect();
     let page_refs: Vec<&ManualPage> = pages.iter().collect();
     let mut issues = Vec::new();
-    for dep in deps.into_iter().filter(is_true_dependency) {
-        if let Some(kind) = is_documented(&dep, &page_refs) {
-            let manual = dep.subject.component.clone();
-            issues.push(DocIssue { dependency: dep, manual, kind });
+    for c in constraints.constraints() {
+        if !is_true_dependency(&c.dependency) {
+            continue;
         }
+        let kind = match c.doc_verdict(&page_refs) {
+            DocVerdict::Documented => continue,
+            DocVerdict::Missing => DocIssueKind::Missing,
+            DocVerdict::NoManual => DocIssueKind::NoManual,
+        };
+        issues.push(DocIssue {
+            dependency: c.dependency.clone(),
+            manual: c.dependency.subject.component.clone(),
+            kind,
+        });
     }
     Ok(issues)
 }
@@ -158,6 +114,7 @@ pub fn run_condocck() -> Result<Vec<DocIssue>, confdep::ConfdepError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use confdep::DepKind;
 
     #[test]
     fn finds_exactly_twelve_issues() {

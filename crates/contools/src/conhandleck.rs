@@ -9,7 +9,8 @@
 //! `resize2fs`), the paper's single bad-handling finding.
 
 use blockdev::MemDevice;
-use e2fstools::{E2fsck, E4defrag, FsckMode, Mke2fs, MountCmd, Resize2fs, ToolError};
+use confdep::{extract_scenario, models, ConstraintSet, ExtractOptions, Verdict};
+use e2fstools::{E2fsck, E4defrag, FsckMode, Mke2fs, MountCmd, Resize2fs, ToolError, TypedConfig};
 use ext4sim::Ext4Fs;
 use serde::{Deserialize, Serialize};
 
@@ -94,16 +95,44 @@ fn fsck_tags(dev: MemDevice) -> Vec<String> {
     tags
 }
 
+/// Asserts that the injected typed configurations really violate the
+/// compiled constraint — every case's input is cross-checked through
+/// the one shared evaluator before it is driven into the ecosystem.
+fn assert_violates(constraints: &ConstraintSet, signature: &str, cfgs: &[&TypedConfig]) {
+    let c = constraints.find(signature).expect("constraint compiled from extraction");
+    assert_eq!(
+        c.evaluate(cfgs),
+        Verdict::Violated,
+        "injected input does not violate {signature}"
+    );
+}
+
 /// All violation cases, in execution order. The Figure 1 case is #11.
+///
+/// Each case is keyed by the compiled [`Constraint`]'s signature where
+/// the prototype extracts the dependency; cases 6–9 violate
+/// dependencies the intra-procedural extractor is known to miss
+/// ([`confdep::ground_truth::known_missed_by_prototype`]), so their
+/// labels cannot come from the compiled set.
+///
+/// [`Constraint`]: confdep::Constraint
 pub fn run_conhandleck() -> Vec<ViolationOutcome> {
+    let constraints = ConstraintSet::compile(
+        extract_scenario(&models::all(), ExtractOptions::default())
+            .expect("component models compile"),
+    );
+    // label helper: the case id string IS the compiled constraint's
+    // signature — a missing constraint is a bug, not a silent fallback
+    let sig = |s: &str| -> String {
+        constraints
+            .find(s)
+            .unwrap_or_else(|| panic!("dependency {s} not in the compiled set"))
+            .signature()
+    };
     let mut out = Vec::new();
-    let mut push = |id: u32, dependency: &str, description: &str, handling: Handling| {
+    let mut push = |id: u32, dependency: String, description: &str, handling: Handling| {
         out.push(ViolationOutcome {
-            case: ViolationCase {
-                id,
-                dependency: dependency.to_string(),
-                description: description.to_string(),
-            },
+            case: ViolationCase { id, dependency, description: description.to_string() },
             handling,
         });
     };
@@ -111,7 +140,7 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
     // 1. SD: blocksize range
     push(
         1,
-        "SdValueRange|mke2fs:blocksize",
+        sig("SdValueRange|mke2fs:blocksize"),
         "mke2fs -b 3000 (not a power of two in range)",
         graceful(Mke2fs::from_args(&["-b", "3000", "/dev/test"]).map(|_| ())),
     );
@@ -119,19 +148,35 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
     // 2. SD: reserved percent range
     push(
         2,
-        "SdValueRange|mke2fs:reserved_percent",
+        sig("SdValueRange|mke2fs:reserved_percent"),
         "mke2fs -m 80 (beyond the 50% maximum)",
-        graceful(Mke2fs::from_args(&["-m", "80", "/dev/test"]).map(|_| ())),
+        {
+            let cfg = TypedConfig::from_mkfs_args_lenient(&["-m".into(), "80".into()]);
+            assert_violates(&constraints, "SdValueRange|mke2fs:reserved_percent", &[&cfg]);
+            graceful(Mke2fs::from_args(&["-m", "80", "/dev/test"]).map(|_| ()))
+        },
     );
 
     // 3. CPD: meta_bg ~ resize_inode (kernel-level rejection)
-    push(3, "CpdControl|mke2fs|meta_bg~resize_inode", "mke2fs -O meta_bg with resize_inode left enabled", {
-        let m = Mke2fs::from_args(&["-O", "meta_bg", "/dev/test"]).expect("parses at CLI level");
-        graceful(m.run(MemDevice::new(1024, 8192)).map(|_| ()))
-    });
+    push(
+        3,
+        sig("CpdControl|mke2fs|meta_bg~resize_inode"),
+        "mke2fs -O meta_bg with resize_inode left enabled",
+        {
+            // resize_inode is on by default at format time; the typed
+            // view of the *effective* feature state violates the pair
+            let mut cfg = TypedConfig::new("mke2fs");
+            cfg.set_bool("meta_bg", true);
+            cfg.set_bool("resize_inode", true);
+            assert_violates(&constraints, "CpdControl|mke2fs|meta_bg~resize_inode", &[&cfg]);
+            let m =
+                Mke2fs::from_args(&["-O", "meta_bg", "/dev/test"]).expect("parses at CLI level");
+            graceful(m.run(MemDevice::new(1024, 8192)).map(|_| ()))
+        },
+    );
 
     // 4. CPD: bigalloc requires extent
-    push(4, "CpdControl|mke2fs|bigalloc~extent", "mke2fs -O bigalloc,^extent", {
+    push(4, sig("CpdControl|mke2fs|bigalloc~extent"), "mke2fs -O bigalloc,^extent", {
         let m = Mke2fs::from_args(&["-O", "bigalloc,^extent,^resize_inode", "/dev/test"])
             .expect("parses at CLI level");
         graceful(m.run(MemDevice::new(1024, 8192)).map(|_| ()))
@@ -140,57 +185,74 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
     // 5. CPD: resize2fs -M with an explicit size
     push(
         5,
-        "CpdControl|resize2fs|minimize~new_size",
+        sig("CpdControl|resize2fs|minimize~new_size"),
         "resize2fs -M /dev/test 16384",
         graceful(Resize2fs::from_args(&["-M", "/dev/test", "16384"]).map(|_| ())),
     );
 
-    // 6. CPD: e2fsck -p with -y
+    // 6. CPD: e2fsck -p with -y (known-missed: the flags are staged by
+    // parse_args(), beyond the intra-procedural extractor)
     push(
         6,
-        "CpdControl|e2fsck|preen~assume_yes",
+        "CpdControl|e2fsck|preen~assume_yes".to_string(),
         "e2fsck -p -y /dev/test",
         graceful(E2fsck::from_args(&["-p", "-y", "/dev/test"]).map(|_| ())),
     );
 
-    // 7. CCD: mount -o dax on a 1 KiB-block file system
-    push(7, "CcdControl|mke2fs:blocksize|mount:dax", "mount -o dax on 1k blocks", {
+    // 7. CCD: mount -o dax on a 1 KiB-block file system (known-missed)
+    push(7, "CcdControl|mke2fs:blocksize|mount:dax".to_string(), "mount -o dax on 1k blocks", {
         let dev = standard_image("");
         let m = MountCmd::from_option_string("dax").expect("dax parses");
         graceful(m.run(dev).map(|_| ()))
     });
 
-    // 8. CCD: data=journal without a journal
-    push(8, "CcdControl|mke2fs:has_journal|mount:data", "mount -o data=journal on ^has_journal", {
-        let dev = standard_image("^has_journal");
-        let m = MountCmd::from_option_string("data=journal").expect("parses");
-        graceful(m.run(dev).map(|_| ()))
-    });
+    // 8. CCD: data=journal without a journal (known-missed)
+    push(
+        8,
+        "CcdControl|mke2fs:has_journal|mount:data".to_string(),
+        "mount -o data=journal on ^has_journal",
+        {
+            let dev = standard_image("^has_journal");
+            let m = MountCmd::from_option_string("data=journal").expect("parses");
+            graceful(m.run(dev).map(|_| ()))
+        },
+    );
 
-    // 9. CCD: e4defrag on a non-extent file system
-    push(9, "CcdBehavioral|mke2fs:extent|e4defrag", "e4defrag on ^extent with fragmented files", {
-        let dev = standard_image("^extent,^64bit,^bigalloc");
-        let mut fs = Ext4Fs::mount(dev, &ext4sim::MountOptions::default()).expect("mounts");
-        let root = fs.root_inode();
-        let a = fs.create_file(root, "a").expect("create");
-        let b = fs.create_file(root, "b").expect("create");
-        for i in 0..4u64 {
-            fs.write_file(a, i * 1024, &[1u8; 1024]).expect("write");
-            fs.write_file(b, i * 1024, &[2u8; 1024]).expect("write");
-        }
-        graceful(E4defrag::new().run(&mut fs).map(|_| ()))
-    });
+    // 9. CCD: e4defrag on a non-extent file system (known-missed)
+    push(
+        9,
+        "CcdBehavioral|mke2fs:extent|e4defrag".to_string(),
+        "e4defrag on ^extent with fragmented files",
+        {
+            let dev = standard_image("^extent,^64bit,^bigalloc");
+            let mut fs = Ext4Fs::mount(dev, &ext4sim::MountOptions::default()).expect("mounts");
+            let root = fs.root_inode();
+            let a = fs.create_file(root, "a").expect("create");
+            let b = fs.create_file(root, "b").expect("create");
+            for i in 0..4u64 {
+                fs.write_file(a, i * 1024, &[1u8; 1024]).expect("write");
+                fs.write_file(b, i * 1024, &[2u8; 1024]).expect("write");
+            }
+            graceful(E4defrag::new().run(&mut fs).map(|_| ()))
+        },
+    );
 
-    // 10. SD: resize2fs beyond the device
-    push(10, "SdValueRange|resize2fs:new_size(device)", "resize2fs to 99999 on a 16384-block device", {
-        let dev = standard_image("");
-        graceful(Resize2fs::to_size(99_999).run(dev).map(|_| ()))
-    });
+    // 10. SD: resize2fs beyond the device (the extracted range is a
+    // labelled false positive; the real constraint is the device size)
+    push(
+        10,
+        format!("{}(device)", sig("SdValueRange|resize2fs:new_size")),
+        "resize2fs to 99999 on a 16384-block device",
+        {
+            let dev = standard_image("");
+            graceful(Resize2fs::to_size(99_999).run(dev).map(|_| ()))
+        },
+    );
 
     // 11. CCD (Figure 1): sparse_super2 + growing resize2fs
     push(
         11,
-        "CcdBehavioral|mke2fs:sparse_super2|resize2fs:<behavior>",
+        sig("CcdBehavioral|mke2fs:sparse_super2|resize2fs:<behavior>"),
         "mke2fs -O sparse_super2, then resize2fs to a larger size",
         {
             let dev = standard_image("sparse_super2,^sparse_super,^resize_inode");
@@ -209,13 +271,18 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
     );
 
     // 12. CCD: growth beyond the reserved GDT capacity
-    push(12, "CcdValue|mke2fs:resize_headroom|resize2fs:new_size", "resize2fs growth with tiny reserved GDT", {
-        // reserve headroom for barely any growth, then ask for 74 groups
-        let m = Mke2fs::from_args(&["-b", "1024", "-E", "resize=12289", "/dev/test", "12288"])
-            .expect("parses");
-        let dev = m.run(MemDevice::new(1024, 700_000)).expect("formats").0;
-        graceful(Resize2fs::to_size(600_000).run(dev).map(|_| ()))
-    });
+    push(
+        12,
+        sig("CcdValue|mke2fs:resize_headroom|resize2fs:new_size"),
+        "resize2fs growth with tiny reserved GDT",
+        {
+            // reserve headroom for barely any growth, then ask for 74 groups
+            let m = Mke2fs::from_args(&["-b", "1024", "-E", "resize=12289", "/dev/test", "12288"])
+                .expect("parses");
+            let dev = m.run(MemDevice::new(1024, 700_000)).expect("formats").0;
+            graceful(Resize2fs::to_size(600_000).run(dev).map(|_| ()))
+        },
+    );
 
     out
 }

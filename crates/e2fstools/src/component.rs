@@ -1,0 +1,540 @@
+//! The unified ecosystem layer (the paper's §2 framing made executable).
+//!
+//! Every utility of the ecosystem implements [`Component`]: one trait
+//! carrying the parameter registry ([`Component::param_specs`]), the
+//! structured manual page, CLI parsing into the shared
+//! [`TypedConfig`] value model, the inverse rendering back to CLI
+//! arguments, and execution against a device. Consumers — the three Ck
+//! applications in `contools`, the coverage study, and the CLI — talk to
+//! components only through this trait, so adding a seventh component is
+//! a single-impl job.
+
+use blockdev::MemDevice;
+
+use crate::manual::ManualPage;
+use crate::params::{self, ParamSpec};
+use crate::typed::{TypedConfig, TypedValue};
+use crate::{e2fsck, e4defrag, mke2fs, mount_cmd, resize2fs, tune2fs};
+use crate::{E2fsck, E4defrag, Mke2fs, MountCmd, Resize2fs, Tune2fs, ToolError};
+
+/// What a [`Component::run`] produced: the device handed back (possibly
+/// rewritten) and a one-line human-readable summary.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The device after the run.
+    pub device: MemDevice,
+    /// One line describing what happened.
+    pub summary: String,
+}
+
+/// A pluggable member of the configuration ecosystem.
+///
+/// The trait is object-safe: the CLI and the Ck applications hold
+/// `Box<dyn Component>` and dispatch uniformly.
+pub trait Component {
+    /// The component name as used in dependency endpoints (`"mke2fs"`,
+    /// `"mount"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// The component's parameter table (its slice of the registry).
+    fn param_specs(&self) -> Vec<ParamSpec>;
+
+    /// The structured manual page checked by ConDocCk.
+    fn manual_page(&self) -> ManualPage;
+
+    /// Parses CLI arguments into the shared typed value model.
+    ///
+    /// Validation is the component's own legacy `from_args` surface —
+    /// byte-identical errors — followed by the canonical lowering.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of the component's legacy parser.
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError>;
+
+    /// Renders a typed config back into CLI arguments, the inverse of
+    /// [`Component::parse_config`]. Returns `None` when some value has
+    /// no CLI spelling (e.g. an `e2fsck -E` extended option, or a
+    /// negation the real surface does not accept) — such configs are
+    /// validate-only.
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>>;
+
+    /// Parses `argv` and executes against `dev`.
+    ///
+    /// # Errors
+    ///
+    /// CLI errors from parsing, plus the component's runtime refusals
+    /// and file-system errors.
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError>;
+}
+
+/// All ecosystem components, in the paper's stage order
+/// (create → mount → online → offline).
+pub fn ecosystem() -> Vec<Box<dyn Component>> {
+    vec![
+        Box::new(Mke2fsComponent),
+        Box::new(MountComponent),
+        Box::new(E4defragComponent),
+        Box::new(Resize2fsComponent),
+        Box::new(E2fsckComponent),
+        Box::new(Tune2fsComponent),
+    ]
+}
+
+/// Looks up a component by name.
+pub fn component(name: &str) -> Option<Box<dyn Component>> {
+    ecosystem().into_iter().find(|c| c.name() == name)
+}
+
+/// The full `ParamSpec` registry: the analyzed component set of
+/// [`params::all_params`] (which includes the `ext4` kernel-module
+/// parameters) plus `tune2fs`.
+///
+/// # Panics
+///
+/// Panics if two specs share a `(component, name)` pair — the
+/// duplicate-registration guard over the per-module tables.
+pub fn registry() -> Vec<ParamSpec> {
+    let mut specs = params::all_params();
+    specs.extend(tune2fs::param_table());
+    let mut seen = std::collections::BTreeSet::new();
+    for spec in &specs {
+        assert!(
+            seen.insert((spec.component.clone(), spec.name.clone())),
+            "duplicate ParamSpec registration: {}:{}",
+            spec.component,
+            spec.name
+        );
+    }
+    specs
+}
+
+/// Renders one typed value as a raw CLI string.
+fn raw(v: &TypedValue) -> String {
+    match v {
+        TypedValue::Bool(b) => b.to_string(),
+        TypedValue::Int(i) => i.to_string(),
+        TypedValue::Str(s) => s.clone(),
+    }
+}
+
+struct Mke2fsComponent;
+
+impl Component for Mke2fsComponent {
+    fn name(&self) -> &'static str {
+        "mke2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        mke2fs::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        mke2fs::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        Mke2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        let mut extended = Vec::new();
+        let mut features = Vec::new();
+        let mut size = None;
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("check_badblocks", TypedValue::Bool(true)) => args.push("-c".to_string()),
+                ("journal", TypedValue::Bool(true)) => args.push("-j".to_string()),
+                ("dry_run", TypedValue::Bool(true)) => args.push("-n".to_string()),
+                ("quiet", TypedValue::Bool(true)) => args.push("-q".to_string()),
+                ("verbose", TypedValue::Bool(true)) => args.push("-v".to_string()),
+                ("force", TypedValue::Bool(true)) => args.push("-F".to_string()),
+                ("blocksize", v) => args.extend(["-b".to_string(), raw(v)]),
+                ("cluster_size", v) => args.extend(["-C".to_string(), raw(v)]),
+                ("blocks_per_group", v) => args.extend(["-g".to_string(), raw(v)]),
+                ("number_of_groups", v) => args.extend(["-G".to_string(), raw(v)]),
+                ("inode_ratio", v) => args.extend(["-i".to_string(), raw(v)]),
+                ("inode_size", v) => args.extend(["-I".to_string(), raw(v)]),
+                ("reserved_percent", v) => args.extend(["-m".to_string(), raw(v)]),
+                ("inodes_count", v) => args.extend(["-N".to_string(), raw(v)]),
+                ("label", v) => args.extend(["-L".to_string(), raw(v)]),
+                ("uuid", v) => args.extend(["-U".to_string(), raw(v)]),
+                ("journal_size", TypedValue::Int(n)) => {
+                    args.extend(["-J".to_string(), format!("size={n}")]);
+                }
+                ("resize_headroom", TypedValue::Int(n)) => extended.push(format!("resize={n}")),
+                ("stride", v) => extended.push(format!("stride={}", raw(v))),
+                ("stripe_width", v) => extended.push(format!("stripe_width={}", raw(v))),
+                ("lazy_itable_init", TypedValue::Bool(b)) => {
+                    extended.push(format!("lazy_itable_init={}", i32::from(*b)));
+                }
+                ("size", TypedValue::Int(n)) => size = Some(n.to_string()),
+                (feat, TypedValue::Bool(enabled))
+                    if mke2fs::REGISTRY_FEATURES.contains(&feat) =>
+                {
+                    features.push(if *enabled { feat.to_string() } else { format!("^{feat}") });
+                }
+                _ => return None,
+            }
+        }
+        if !extended.is_empty() {
+            args.extend(["-E".to_string(), extended.join(",")]);
+        }
+        if !features.is_empty() {
+            args.extend(["-O".to_string(), features.join(",")]);
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        args.extend(size);
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = Mke2fs::parse_typed(argv)?;
+        let (device, report) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "mke2fs: {} blocks, {} groups, {} inodes",
+                report.blocks_count, report.group_count, report.inodes_count
+            ),
+        })
+    }
+}
+
+struct MountComponent;
+
+/// Mount options whose `false` state has a real `no<name>` (or
+/// equivalent) token on the CLI surface.
+const NEGATABLE_MOUNT_OPTS: [&str; 11] = [
+    "block_validity",
+    "acl",
+    "user_xattr",
+    "barrier",
+    "discard",
+    "delalloc",
+    "lazytime",
+    "auto_da_alloc",
+    "grpid",
+    "quota",
+    "init_itable",
+];
+
+/// Integer-valued `name=value` mount options.
+const INT_MOUNT_OPTS: [&str; 9] = [
+    "commit",
+    "stripe",
+    "resuid",
+    "resgid",
+    "inode_readahead_blks",
+    "max_batch_time",
+    "min_batch_time",
+    "journal_ioprio",
+    "sb",
+];
+
+impl Component for MountComponent {
+    fn name(&self) -> &'static str {
+        "mount"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        mount_cmd::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        mount_cmd::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        MountCmd::parse_typed(&argv.join(",")).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut tokens = Vec::new();
+        for (name, value) in &cfg.values {
+            match value {
+                TypedValue::Bool(true) => tokens.push(name.clone()),
+                TypedValue::Bool(false) if name == "dioread_nolock" => {
+                    tokens.push("dioread_lock".to_string());
+                }
+                TypedValue::Bool(false) if NEGATABLE_MOUNT_OPTS.contains(&name.as_str()) => {
+                    tokens.push(format!("no{name}"));
+                }
+                TypedValue::Int(i) if INT_MOUNT_OPTS.contains(&name.as_str()) => {
+                    tokens.push(format!("{name}={i}"));
+                }
+                TypedValue::Str(s) if name == "data" || name == "errors" => {
+                    tokens.push(format!("{name}={s}"));
+                }
+                _ => return None,
+            }
+        }
+        Some(tokens)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (cmd, _) = MountCmd::parse_typed(&argv.join(","))?;
+        let fs = cmd.run(dev)?;
+        let state = fs.state();
+        let device = fs.unmount()?;
+        Ok(RunOutcome { device, summary: format!("mount: mounted ({state:?}), unmounted clean") })
+    }
+}
+
+struct E4defragComponent;
+
+impl Component for E4defragComponent {
+    fn name(&self) -> &'static str {
+        "e4defrag"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        e4defrag::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        e4defrag::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        E4defrag::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("check_only", TypedValue::Bool(true)) => args.push("-c".to_string()),
+                ("verbose", TypedValue::Bool(true)) => args.push("-v".to_string()),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/mnt".to_string()));
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = E4defrag::parse_typed(argv)?;
+        let mut fs =
+            ext4sim::Ext4Fs::mount(dev, &ext4sim::MountOptions::default()).map_err(ToolError::Fs)?;
+        let report = tool.run(&mut fs)?;
+        let device = fs.unmount().map_err(ToolError::Fs)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "e4defrag: {} files checked, {} defragmented",
+                report.files_checked, report.files_defragmented
+            ),
+        })
+    }
+}
+
+struct Resize2fsComponent;
+
+impl Component for Resize2fsComponent {
+    fn name(&self) -> &'static str {
+        "resize2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        resize2fs::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        resize2fs::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        Resize2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        let mut size = None;
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("force", TypedValue::Bool(true)) => args.push("-f".to_string()),
+                ("minimize", TypedValue::Bool(true)) => args.push("-M".to_string()),
+                ("progress", TypedValue::Bool(true)) => args.push("-p".to_string()),
+                ("print_min", TypedValue::Bool(true)) => args.push("-P".to_string()),
+                ("enable_64bit", TypedValue::Bool(true)) => args.push("-b".to_string()),
+                ("disable_64bit", TypedValue::Bool(true)) => args.push("-s".to_string()),
+                ("flush", TypedValue::Bool(true)) => args.push("-F".to_string()),
+                ("debug", TypedValue::Bool(true)) => args.push("-d".to_string()),
+                ("sparse_rgd", v) => args.extend(["-S".to_string(), raw(v)]),
+                ("undo_file", v) => args.extend(["-z".to_string(), raw(v)]),
+                ("offset", v) => args.extend(["-o".to_string(), raw(v)]),
+                ("size", TypedValue::Int(n)) => size = Some(n.to_string()),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        args.extend(size);
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = Resize2fs::parse_typed(argv)?;
+        let (device, result) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "resize2fs: {} -> {} blocks ({} -> {} groups)",
+                result.old_blocks, result.new_blocks, result.old_groups, result.new_groups
+            ),
+        })
+    }
+}
+
+struct E2fsckComponent;
+
+impl Component for E2fsckComponent {
+    fn name(&self) -> &'static str {
+        "e2fsck"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        e2fsck::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        e2fsck::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        E2fsck::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("preen", TypedValue::Bool(true)) => args.push("-p".to_string()),
+                ("no", TypedValue::Bool(true)) => args.push("-n".to_string()),
+                ("yes", TypedValue::Bool(true)) => args.push("-y".to_string()),
+                ("force", TypedValue::Bool(true)) => args.push("-f".to_string()),
+                ("badblocks", TypedValue::Bool(true)) => args.push("-c".to_string()),
+                ("debug", TypedValue::Bool(true)) => args.push("-d".to_string()),
+                ("timing", TypedValue::Bool(true)) => args.push("-t".to_string()),
+                ("verbose", TypedValue::Bool(true)) => args.push("-v".to_string()),
+                ("superblock", TypedValue::Int(n)) => {
+                    args.extend(["-b".to_string(), n.to_string()]);
+                }
+                // -B is only valid together with -b; a lone blocksize
+                // value has no standalone CLI spelling
+                ("external_journal", v) => args.extend(["-j".to_string(), raw(v)]),
+                ("badblocks_list", v) => args.extend(["-l".to_string(), raw(v)]),
+                ("undo_file", v) => args.extend(["-z".to_string(), raw(v)]),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = E2fsck::parse_typed(argv)?;
+        let (device, result) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "e2fsck: exit {} ({} fixes)",
+                result.exit_code,
+                result.fixes.len()
+            ),
+        })
+    }
+}
+
+struct Tune2fsComponent;
+
+impl Component for Tune2fsComponent {
+    fn name(&self) -> &'static str {
+        "tune2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        tune2fs::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        tune2fs::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        Tune2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("list", TypedValue::Bool(true)) => args.push("-l".to_string()),
+                ("label", v) => args.extend(["-L".to_string(), raw(v)]),
+                ("reserved_percent", TypedValue::Int(n)) => {
+                    args.extend(["-m".to_string(), n.to_string()]);
+                }
+                ("max_mount_count", TypedValue::Int(n)) => {
+                    args.extend(["-c".to_string(), n.to_string()]);
+                }
+                ("errors", v) => args.extend(["-e".to_string(), raw(v)]),
+                ("features", v) => args.extend(["-O".to_string(), raw(v)]),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = Tune2fs::parse_typed(argv)?;
+        let (device, report) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!("tune2fs: {} changes applied", report.changes.len()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_names() {
+        let names: Vec<_> = ecosystem().iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["mke2fs", "mount", "e4defrag", "resize2fs", "e2fsck", "tune2fs"]);
+        assert!(component("mke2fs").is_some());
+        assert!(component("xfs_repair").is_none());
+    }
+
+    #[test]
+    fn registry_has_no_duplicates_and_covers_tune2fs() {
+        let specs = registry();
+        assert!(specs.iter().any(|s| s.component == "tune2fs"));
+        // the guard itself would have panicked on a duplicate
+        let unique: std::collections::BTreeSet<_> =
+            specs.iter().map(|s| (s.component.as_str(), s.name.as_str())).collect();
+        assert_eq!(unique.len(), specs.len());
+    }
+
+    #[test]
+    fn parse_render_parse_identity_mke2fs() {
+        let c = component("mke2fs").unwrap();
+        let cfg = c.parse_config(&["-b", "4096", "-O", "^resize_inode,meta_bg", "/dev/x"]).unwrap();
+        let args = c.render_args(&cfg).unwrap();
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let cfg2 = c.parse_config(&argv).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn run_dispatch_formats_an_image() {
+        let dev = MemDevice::new(1024, 16384);
+        let out = component("mke2fs").unwrap().run(&["-b", "1024", "/dev/x", "12288"], dev).unwrap();
+        assert!(out.summary.contains("12288 blocks"), "{}", out.summary);
+        let out = component("e2fsck").unwrap().run(&["-f", "/dev/x"], out.device).unwrap();
+        assert!(out.summary.contains("exit 0"), "{}", out.summary);
+    }
+}

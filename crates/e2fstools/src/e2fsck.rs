@@ -16,7 +16,13 @@ use ext4sim::{
 use crate::cli::{self, CliError};
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
 use crate::params::{ParamSpec, ParamType, Stage};
+use crate::typed::TypedConfig;
 use crate::ToolError;
+
+/// Boolean options of the `e2fsck` CLI surface.
+const FLAG_OPTS: [&str; 8] = ["p", "n", "y", "f", "c", "d", "t", "v"];
+/// Valued options of the `e2fsck` CLI surface.
+const VALUE_OPTS: [&str; 6] = ["b", "B", "E", "j", "l", "z"];
 
 /// How invasive the run may be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +69,7 @@ impl E2fsck {
     /// exclusions the real tool enforces (`-p`/`-n`/`-y` are pairwise
     /// exclusive; `-B` requires `-b`).
     pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
-        let parsed = cli::parse(argv, &["p", "n", "y", "f", "c", "d", "t", "v"], &["b", "B", "E", "j", "l", "z"])?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
         if parsed.operands.len() != 1 {
             return Err(CliError::BadOperands("exactly one device is required".to_string()).into());
         }
@@ -96,6 +102,54 @@ impl E2fsck {
             FsckMode::Check // -n and the default both only report
         };
         Ok(E2fsck { mode, force: parsed.has_flag("f"), backup_superblock, backup_blocksize })
+    }
+
+    /// Parses `argv` and additionally lowers it into a [`TypedConfig`]
+    /// validated against [`param_table`].
+    ///
+    /// Validation is delegated entirely to [`E2fsck::from_args`], so the
+    /// error surface is byte-identical to the legacy path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`E2fsck::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let tool = Self::from_args(argv)?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS).expect("validated by from_args");
+        let mut cfg = TypedConfig::new("e2fsck");
+        for (flag, name) in [
+            ("p", "preen"),
+            ("n", "no"),
+            ("y", "yes"),
+            ("f", "force"),
+            ("c", "badblocks"),
+            ("d", "debug"),
+            ("t", "timing"),
+            ("v", "verbose"),
+        ] {
+            if parsed.has_flag(flag) {
+                cfg.set_bool(name, true);
+            }
+        }
+        if let Some(b) = parsed.int_value("b").expect("validated by from_args") {
+            cfg.set_int("superblock", b as i64);
+        }
+        if let Some(bs) = parsed.int_value("B").expect("validated by from_args") {
+            cfg.set_int("blocksize", bs as i64);
+        }
+        if let Some(j) = parsed.value("j") {
+            cfg.set_str("external_journal", j);
+        }
+        if let Some(l) = parsed.value("l") {
+            cfg.set_str("badblocks_list", l);
+        }
+        if let Some(z) = parsed.value("z") {
+            cfg.set_str("undo_file", z);
+        }
+        if let Some(device) = parsed.operands.first() {
+            cfg.operands.push(device.clone());
+        }
+        Ok((tool, cfg))
     }
 
     /// Builds a typed invocation.

@@ -15,6 +15,7 @@ use ext4sim::{Ext4Fs, FileType, FsError, FsState, InodeNo, ROOT_INODE};
 use crate::cli::{self, CliError};
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
 use crate::params::{ParamSpec, ParamType, Stage};
+use crate::typed::TypedConfig;
 use crate::ToolError;
 
 /// A parsed `e4defrag` invocation.
@@ -71,6 +72,31 @@ impl E4defrag {
             return Err(CliError::BadOperands("exactly one target is required".to_string()).into());
         }
         Ok(E4defrag { check_only: parsed.has_flag("c"), verbose: parsed.has_flag("v") })
+    }
+
+    /// Parses `argv` and additionally lowers it into a [`TypedConfig`]
+    /// validated against [`param_table`].
+    ///
+    /// Validation is delegated entirely to [`E4defrag::from_args`], so the
+    /// error surface is byte-identical to the legacy path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`E4defrag::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let tool = Self::from_args(argv)?;
+        let parsed = cli::parse(argv, &["c", "v"], &[]).expect("validated by from_args");
+        let mut cfg = TypedConfig::new("e4defrag");
+        if parsed.has_flag("c") {
+            cfg.set_bool("check_only", true);
+        }
+        if parsed.has_flag("v") {
+            cfg.set_bool("verbose", true);
+        }
+        if let Some(target) = parsed.operands.first() {
+            cfg.operands.push(target.clone());
+        }
+        Ok((tool, cfg))
     }
 
     /// A default (defragment everything) invocation.

@@ -34,6 +34,7 @@
 //! the free-space accounting (see [`resize2fs::ResizeQuirks`]).
 
 pub mod cli;
+pub mod component;
 pub mod dumpe2fs;
 pub mod e2fsck;
 pub mod e4defrag;
@@ -43,8 +44,10 @@ pub mod mount_cmd;
 pub mod params;
 pub mod resize2fs;
 pub mod tune2fs;
+pub mod typed;
 
 pub use cli::{CliError, ParsedArgs};
+pub use component::{component, ecosystem, registry, Component, RunOutcome};
 pub use dumpe2fs::{Dumpe2fs, FsDump, GroupDump};
 pub use e2fsck::{backup_superblock_candidates, E2fsck, FsckMode, FsckResult};
 pub use e4defrag::{DefragReport, E4defrag};
@@ -54,6 +57,7 @@ pub use mount_cmd::MountCmd;
 pub use params::{ParamSpec, ParamType};
 pub use resize2fs::{Resize2fs, ResizeQuirks, ResizeResult};
 pub use tune2fs::{Tune2fs, TuneReport};
+pub use typed::{TypedConfig, TypedValue, ValidationError};
 
 /// All component names of the ecosystem, in the paper's order.
 pub const COMPONENTS: [&str; 6] = ["mke2fs", "mount", "ext4", "e4defrag", "resize2fs", "e2fsck"];

@@ -12,7 +12,29 @@ use ext4sim::{CachePolicy, CompatFeatures, Ext4Fs, FeatureSet, MkfsParams};
 use crate::cli::{self, CliError};
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
 use crate::params::{ParamSpec, ParamType, Stage};
+use crate::typed::TypedConfig;
 use crate::ToolError;
+
+/// Boolean options of the `mke2fs` CLI surface.
+const FLAG_OPTS: [&str; 6] = ["c", "j", "n", "q", "v", "F"];
+/// Valued options of the `mke2fs` CLI surface.
+const VALUE_OPTS: [&str; 13] = ["b", "C", "E", "g", "G", "i", "I", "J", "L", "m", "N", "O", "U"];
+/// The `-O` feature tokens that have a registered [`ParamSpec`] (the
+/// simulator's `FeatureSet` knows a few more, which stay out of the
+/// typed view).
+pub(crate) const REGISTRY_FEATURES: [&str; 11] = [
+    "sparse_super",
+    "sparse_super2",
+    "has_journal",
+    "extent",
+    "64bit",
+    "meta_bg",
+    "resize_inode",
+    "inline_data",
+    "bigalloc",
+    "dir_index",
+    "metadata_csum",
+];
 
 /// A parsed-and-validated `mke2fs` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,11 +83,7 @@ impl Mke2fs {
     /// Returns [`ToolError::Cli`] for unknown options, malformed values,
     /// and the man-page-level constraint violations.
     pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
-        let parsed = cli::parse(
-            argv,
-            &["c", "j", "n", "q", "v", "F"],
-            &["b", "C", "E", "g", "G", "i", "I", "J", "L", "m", "N", "O", "U"],
-        )?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
         if parsed.operands.is_empty() {
             return Err(CliError::BadOperands("a device is required".to_string()).into());
         }
@@ -218,6 +236,105 @@ impl Mke2fs {
             quiet: parsed.has_flag("q"),
             cache_policy: CachePolicy::WriteBack,
         })
+    }
+
+    /// [`Mke2fs::from_args`] plus the canonical [`TypedConfig`] lowering
+    /// of the invocation — the ecosystem layer's entry point. Validation
+    /// (and therefore every error) is exactly `from_args`'s; the typed
+    /// view is derived from the already-validated arguments.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Mke2fs::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let tool = Self::from_args(argv)?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS).expect("validated by from_args");
+        let mut cfg = TypedConfig::new("mke2fs");
+        for (flag, name) in [
+            ("c", "check_badblocks"),
+            ("j", "journal"),
+            ("n", "dry_run"),
+            ("q", "quiet"),
+            ("v", "verbose"),
+            ("F", "force"),
+        ] {
+            if parsed.has_flag(flag) {
+                cfg.set_bool(name, true);
+            }
+        }
+        for (opt, name) in [
+            ("b", "blocksize"),
+            ("C", "cluster_size"),
+            ("g", "blocks_per_group"),
+            ("G", "number_of_groups"),
+            ("i", "inode_ratio"),
+            ("I", "inode_size"),
+            ("m", "reserved_percent"),
+            ("N", "inodes_count"),
+        ] {
+            if let Some(v) = parsed.value(opt) {
+                match v.parse::<i64>() {
+                    Ok(i) => cfg.set_int(name, i),
+                    Err(_) => cfg.set_str(name, v),
+                };
+            }
+        }
+        if let Some(label) = parsed.value("L") {
+            cfg.set_str("label", label);
+        }
+        if let Some(uuid) = parsed.value("U") {
+            cfg.set_str("uuid", uuid);
+        }
+        if let Some(j) = parsed.value("J") {
+            if let Some(Ok(blocks)) = j.strip_prefix("size=").map(str::parse::<i64>) {
+                cfg.set_int("journal_size", blocks);
+            }
+        }
+        if let Some(e) = parsed.value("E") {
+            for opt in e.split(',') {
+                match opt.split_once('=') {
+                    Some(("resize", v)) => {
+                        if let Ok(blocks) = v.parse::<i64>() {
+                            cfg.set_int("resize_headroom", blocks);
+                        }
+                    }
+                    Some(("stride", v)) | Some(("stripe_width", v)) => {
+                        let name =
+                            if opt.starts_with("stride") { "stride" } else { "stripe_width" };
+                        match v.parse::<i64>() {
+                            Ok(i) => cfg.set_int(name, i),
+                            Err(_) => cfg.set_str(name, v),
+                        };
+                    }
+                    Some(("lazy_itable_init", v)) => {
+                        cfg.set_bool("lazy_itable_init", v != "0");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(feats) = parsed.value("O") {
+            // only registry-known features enter the typed view; the
+            // full FeatureSet (which knows more tokens) lives in `tool`
+            for token in feats.split(',') {
+                let (enabled, name) = match token.strip_prefix('^') {
+                    Some(rest) => (false, rest),
+                    None => (true, token),
+                };
+                if REGISTRY_FEATURES.contains(&name) {
+                    cfg.set_bool(name, enabled);
+                }
+            }
+        }
+        if let Some(size) = parsed.operands.get(1) {
+            if let Ok(blocks) = size.parse::<i64>() {
+                cfg.set_int("size", blocks);
+            }
+        }
+        if let Some(device) = parsed.operands.first() {
+            cfg.operands.push(device.to_string());
+        }
+        Ok((tool, cfg))
     }
 
     /// The typed parameters this invocation resolved to.

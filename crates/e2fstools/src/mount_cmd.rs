@@ -12,7 +12,37 @@ use ext4sim::{DataMode, Ext4Fs, MountOptions};
 use crate::cli::CliError;
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
 use crate::params::{ParamSpec, ParamType, Stage};
+use crate::typed::TypedConfig;
 use crate::ToolError;
+
+/// Tokens that lower to their own registered parameter set to `true`.
+const DIRECT_BOOL_TOKENS: [&str; 25] = [
+    "ro",
+    "rw",
+    "dax",
+    "block_validity",
+    "noload",
+    "norecovery",
+    "acl",
+    "user_xattr",
+    "barrier",
+    "discard",
+    "delalloc",
+    "lazytime",
+    "auto_da_alloc",
+    "dioread_nolock",
+    "i_version",
+    "grpid",
+    "minixdf",
+    "bsddf",
+    "debug",
+    "abort",
+    "quota",
+    "usrquota",
+    "grpquota",
+    "prjquota",
+    "init_itable",
+];
 
 /// A parsed `mount` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +123,51 @@ impl MountCmd {
             }
         }
         Ok(MountCmd { opts, raw })
+    }
+
+    /// [`MountCmd::from_option_string`] plus the canonical
+    /// [`TypedConfig`] lowering of the option string. Validation (and
+    /// therefore every error) is exactly `from_option_string`'s.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`MountCmd::from_option_string`].
+    pub fn parse_typed(s: &str) -> Result<(Self, TypedConfig), ToolError> {
+        let cmd = Self::from_option_string(s)?;
+        let mut cfg = TypedConfig::new("mount");
+        for tok in cmd.raw.iter().map(String::as_str) {
+            if DIRECT_BOOL_TOKENS.contains(&tok) {
+                cfg.set_bool(tok, true);
+                continue;
+            }
+            // "no<param>" negations of registered booleans
+            if let Some(base) = tok.strip_prefix("no") {
+                if DIRECT_BOOL_TOKENS.contains(&base) {
+                    cfg.set_bool(base, false);
+                    continue;
+                }
+            }
+            if tok == "dioread_lock" {
+                cfg.set_bool("dioread_nolock", false);
+                continue;
+            }
+            match tok.split_once('=') {
+                Some(("data", v)) | Some(("errors", v)) => {
+                    let name = if tok.starts_with("data") { "data" } else { "errors" };
+                    cfg.set_str(name, v);
+                }
+                Some((k, v)) => {
+                    // the integer-valued accepted options
+                    if let Ok(i) = v.parse::<i64>() {
+                        cfg.set_int(k, i);
+                    }
+                }
+                // remaining bare no-ops (oldalloc, orlov, ...) have no
+                // registered parameter and stay out of the typed view
+                None => {}
+            }
+        }
+        Ok((cmd, cfg))
     }
 
     /// The typed options.

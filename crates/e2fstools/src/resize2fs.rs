@@ -19,7 +19,13 @@ use ext4sim::{
 use crate::cli::{self, CliError};
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
 use crate::params::{ParamSpec, ParamType, Stage};
+use crate::typed::TypedConfig;
 use crate::ToolError;
+
+/// Boolean options of the `resize2fs` CLI surface.
+const FLAG_OPTS: [&str; 8] = ["f", "M", "p", "P", "b", "s", "F", "d"];
+/// Valued options of the `resize2fs` CLI surface.
+const VALUE_OPTS: [&str; 3] = ["S", "z", "o"];
 
 /// Compatibility quirks. `sparse_super2_resize_bug` defaults to `true`,
 /// preserving the buggy behaviour the paper reports; set it to `false`
@@ -69,7 +75,7 @@ impl Resize2fs {
     /// Returns [`ToolError::Cli`] for bad options/operands, including the
     /// `-M`-with-`size` conflict the real tool enforces.
     pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
-        let parsed = cli::parse(argv, &["f", "M", "p", "P", "b", "s", "F", "d"], &["S", "z", "o"])?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
         if parsed.operands.is_empty() {
             return Err(CliError::BadOperands("a device is required".to_string()).into());
         }
@@ -96,6 +102,59 @@ impl Resize2fs {
             print_min_only: parsed.has_flag("P"),
             quirks: ResizeQuirks::default(),
         })
+    }
+
+    /// Parses `argv` and additionally lowers it into a [`TypedConfig`]
+    /// validated against [`param_table`].
+    ///
+    /// Validation is delegated entirely to [`Resize2fs::from_args`], so the
+    /// error surface is byte-identical to the legacy path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Resize2fs::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let tool = Self::from_args(argv)?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS).expect("validated by from_args");
+        let mut cfg = TypedConfig::new("resize2fs");
+        for (flag, name) in [
+            ("f", "force"),
+            ("M", "minimize"),
+            ("p", "progress"),
+            ("P", "print_min"),
+            ("b", "enable_64bit"),
+            ("s", "disable_64bit"),
+            ("F", "flush"),
+            ("d", "debug"),
+        ] {
+            if parsed.has_flag(flag) {
+                cfg.set_bool(name, true);
+            }
+        }
+        if let Some(v) = parsed.value("S") {
+            match v.parse::<i64>() {
+                Ok(n) => cfg.set_int("sparse_rgd", n),
+                Err(_) => cfg.set_str("sparse_rgd", v),
+            };
+        }
+        if let Some(v) = parsed.value("z") {
+            cfg.set_str("undo_file", v);
+        }
+        if let Some(v) = parsed.value("o") {
+            match v.parse::<i64>() {
+                Ok(n) => cfg.set_int("offset", n),
+                Err(_) => cfg.set_str("offset", v),
+            };
+        }
+        if let Some(size) = parsed.operands.get(1) {
+            if let Ok(n) = size.parse::<i64>() {
+                cfg.set_int("size", n);
+            }
+        }
+        if let Some(device) = parsed.operands.first() {
+            cfg.operands.push(device.clone());
+        }
+        Ok((tool, cfg))
     }
 
     /// Builds a grow/shrink to an explicit size.

@@ -15,7 +15,13 @@ use ext4sim::{errors_policy, CompatFeatures, Ext4Fs, IncompatFeatures};
 use crate::cli::{self, CliError};
 use crate::manual::{DocConstraint, ManualOption, ManualPage};
 use crate::params::{ParamSpec, ParamType, Stage};
+use crate::typed::TypedConfig;
 use crate::ToolError;
+
+/// Boolean options of the `tune2fs` CLI surface.
+const FLAG_OPTS: [&str; 1] = ["l"];
+/// Valued options of the `tune2fs` CLI surface.
+const VALUE_OPTS: [&str; 5] = ["L", "m", "c", "e", "O"];
 
 /// A parsed `tune2fs` invocation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -44,7 +50,7 @@ impl Tune2fs {
     /// Returns [`ToolError::Cli`] for unknown options and man-page-level
     /// violations.
     pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
-        let parsed = cli::parse(argv, &["l"], &["L", "m", "c", "e", "O"])?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
         if parsed.operands.len() != 1 {
             return Err(CliError::BadOperands("exactly one device is required".to_string()).into());
         }
@@ -93,6 +99,43 @@ impl Tune2fs {
             t.feature_tokens = feats.split(',').map(str::to_string).collect();
         }
         Ok(t)
+    }
+
+    /// Parses `argv` and additionally lowers it into a [`TypedConfig`]
+    /// validated against [`param_table`].
+    ///
+    /// Validation is delegated entirely to [`Tune2fs::from_args`], so the
+    /// error surface is byte-identical to the legacy path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Tune2fs::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let tool = Self::from_args(argv)?;
+        let parsed = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS).expect("validated by from_args");
+        let mut cfg = TypedConfig::new("tune2fs");
+        if parsed.has_flag("l") {
+            cfg.set_bool("list", true);
+        }
+        if let Some(label) = parsed.value("L") {
+            cfg.set_str("label", label);
+        }
+        if let Some(m) = parsed.int_value("m").expect("validated by from_args") {
+            cfg.set_int("reserved_percent", m as i64);
+        }
+        if let Some(c) = parsed.int_value("c").expect("validated by from_args") {
+            cfg.set_int("max_mount_count", c as i64);
+        }
+        if let Some(e) = parsed.value("e") {
+            cfg.set_str("errors", e);
+        }
+        if let Some(feats) = parsed.value("O") {
+            cfg.set_str("features", feats);
+        }
+        if let Some(device) = parsed.operands.first() {
+            cfg.operands.push(device.clone());
+        }
+        Ok((tool, cfg))
     }
 
     /// Applies the changes to `dev` (which must hold a clean image).

@@ -3,7 +3,8 @@
 //! The suites are modelled in [`xtests`](crate::xtests): each test case
 //! records which configuration parameters its invocations set. Coverage
 //! is the share of each component's parameter universe (defined by the
-//! `e2fstools` parameter tables) that any case ever exercises.
+//! unified [`e2fstools::registry`] of `ParamSpec`s) that any case ever
+//! exercises.
 
 use std::collections::BTreeSet;
 
@@ -47,7 +48,10 @@ fn used_params(suite: &TestSuite, components: &[&str]) -> usize {
 }
 
 fn universe(components: &[&str]) -> usize {
-    components.iter().map(|c| e2fstools::params::params_of(c).len()).sum()
+    e2fstools::registry()
+        .iter()
+        .filter(|s| components.contains(&s.component.as_str()))
+        .count()
 }
 
 /// Computes Table 2.

@@ -12,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(2022);
 
     let mut gen = ConBugCk::new(seed)?;
-    println!("generator steered by {} extracted dependencies", gen.dependencies().len());
+    println!("generator steered by {} compiled constraints", gen.constraints().len());
 
     let aware_configs = gen.generate(n);
     let naive_configs = generate_naive(seed, n);

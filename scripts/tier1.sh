@@ -72,3 +72,54 @@ assert t["wall_speedup"] >= 1.0, f"cached engine slower overall: {t['wall_speedu
 print("fsops smoke OK:", len(bench["legs"]), "leg(s),",
       f"{t['write_reduction']:.2f}x fewer writes")
 EOF
+
+# Ecosystem smoke: all six components through the unified Component
+# dispatch, then the three Ck applications driven by the executable
+# constraint layer — asserting the paper's headline numbers.
+CLI=./target/release/confdep-cli
+for invocation in \
+  "mke2fs -b 4096 /dev/img" \
+  "mount ro data=journal" \
+  "e4defrag -c /mnt" \
+  "resize2fs -M /dev/img" \
+  "e2fsck -f /dev/img" \
+  "tune2fs -m 10 /dev/img"; do
+  # shellcheck disable=SC2086
+  $CLI component $invocation > /dev/null
+done
+echo "component dispatch OK: 6 components"
+
+# check-docs exits non-zero when issues exist (they do: exactly 12);
+# check-handling exits non-zero on bad handling (exactly 1, Figure 1)
+$CLI check-docs > target/condocck.out || true
+$CLI check-handling > target/conhandleck.out || true
+$CLI fuzz --count 40 --seed 42 > target/conbugck.out
+python3 - <<'EOF'
+import re
+
+with open("target/condocck.out") as f:
+    docs = f.read()
+m = re.search(r"(\d+) documentation issues", docs)
+assert m and int(m.group(1)) == 12, f"expected 12 documentation issues: {docs}"
+
+with open("target/conhandleck.out") as f:
+    handling = f.read()
+m = re.search(r"(\d+) cases, (\d+) bad handling", handling)
+assert m and (int(m.group(1)), int(m.group(2))) == (12, 1), (
+    f"expected 12 cases / 1 bad handling: {handling}"
+)
+assert "sparse_super2" in handling
+
+with open("target/conbugck.out") as f:
+    fuzz = f.read()
+aware = re.search(r"dependency-aware: (\d+)/(\d+) deep", fuzz)
+naive = re.search(r"naive random    : (\d+)/(\d+) deep", fuzz)
+assert aware and naive, fuzz
+aware_rate = int(aware.group(1)) / int(aware.group(2))
+naive_rate = int(naive.group(1)) / int(naive.group(2))
+assert aware_rate >= 0.9, f"dependency-aware deep rate {aware_rate}"
+assert naive_rate < 0.6, f"naive deep rate suspiciously high: {naive_rate}"
+assert aware_rate > naive_rate
+print(f"ecosystem smoke OK: 12 doc issues, 1 bad handling, "
+      f"deep {aware_rate:.0%} vs naive {naive_rate:.0%}")
+EOF

@@ -8,15 +8,18 @@
 //! confdep check-handling
 //! confdep fuzz [--count N] [--seed S]
 //! confdep study
+//! confdep component <name> [args...]
 //! ```
 
 use std::process::ExitCode;
 
+use confdep_suite::blockdev::MemDevice;
 use confdep_suite::confdep::{
     extract_scenario_full, models, DependencyReport, Evaluation, ExtractOptions,
 };
 use confdep_suite::contools::conbugck::{campaign_parallel, generate_naive, ConBugCk};
-use confdep_suite::contools::{run_condocck, run_conhandleck, Handling};
+use confdep_suite::contools::{run_condocck, run_conhandleck, standard_image, Handling};
+use confdep_suite::e2fstools::{component, ecosystem};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -34,7 +37,9 @@ fn usage() -> ExitCode {
            fuzz            ConBugCk: dependency-aware configuration testing\n\
              --count N       configurations per strategy (default 40)\n\
              --seed S        RNG seed (default 2022)\n\
-           study           print the empirical-study summaries (Tables 1-4)"
+           study           print the empirical-study summaries (Tables 1-4)\n\
+           component       run one ecosystem component through the unified dispatch\n\
+             <name> [args...]  e.g. `component mke2fs -b 4096 /dev/img`"
     );
     ExitCode::from(2)
 }
@@ -224,6 +229,45 @@ fn main() -> ExitCode {
             }
             println!("catalog   : {} file systems with multi-stage configuration", study::fs_catalog().len());
             ExitCode::SUCCESS
+        }
+        "component" => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: confdep component <name> [args...]");
+                return ExitCode::from(2);
+            };
+            let Some(comp) = component(name) else {
+                let known: Vec<_> = ecosystem().iter().map(|c| c.name()).collect();
+                eprintln!("unknown component: {name} (expected one of {})", known.join(", "));
+                return ExitCode::from(2);
+            };
+            let rest: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+            let cfg = match comp.parse_config(&rest) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("config: {}", cfg.canonical_key());
+            // mke2fs starts from a 16 MiB blank device sized to the
+            // configured block size; every other component operates on a
+            // freshly formatted standard image
+            let dev = if name == "mke2fs" {
+                let bs = cfg.get_int("blocksize").unwrap_or(1024).clamp(1024, 65536) as u32;
+                MemDevice::new(bs, (16 << 20) / u64::from(bs))
+            } else {
+                standard_image("")
+            };
+            match comp.run(&rest, dev) {
+                Ok(out) => {
+                    println!("{}", out.summary);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }

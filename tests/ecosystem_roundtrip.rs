@@ -1,0 +1,503 @@
+//! Ecosystem-wide properties of the unified [`Component`] layer and the
+//! executable constraint layer.
+//!
+//! Three families of guarantees:
+//!
+//! 1. **Registry round-trips** — every registered [`ParamSpec`] domain
+//!    survives parse → validate → render → re-parse unchanged (or is
+//!    explicitly validate-only when the value has no CLI spelling);
+//! 2. **Oracle agreement** — [`ConstraintSet`] reproduces the legacy
+//!    per-Ck interpretation logic (ConBugCk's conflict/range lookups,
+//!    ConDocCk's documentation matching) on all 64 extracted
+//!    dependencies;
+//! 3. **Table 2 universe** — the duplicate-guarded registry spans the
+//!    paper's parameter counts.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use confdep_suite::confdep::{
+    extract_scenario, models, ConstraintSet, DepKind, Dependency, DocVerdict, Endpoint,
+    ExtractOptions, Verdict,
+};
+use confdep_suite::contools::ext4_kernel_doc;
+use confdep_suite::e2fstools::manual::{DocConstraint, ManualPage};
+use confdep_suite::e2fstools::params::{ParamSpec, ParamType};
+use confdep_suite::e2fstools::{component, ecosystem, registry, TypedConfig, TypedValue};
+
+// ---------------------------------------------------------------------
+// 1. registry round-trips
+// ---------------------------------------------------------------------
+
+/// In-domain candidate values for one parameter. Utility-level
+/// validators are stricter than the registry ranges for a handful of
+/// parameters (power-of-two block sizes, the two inode record sizes,
+/// 16-byte labels), so those get explicit candidates.
+fn candidate_values(spec: &ParamSpec) -> Vec<TypedValue> {
+    use TypedValue::{Bool, Int, Str};
+    match (spec.component.as_str(), spec.name.as_str()) {
+        ("mke2fs", "blocksize") => vec![Int(1024), Int(4096), Int(65536)],
+        ("mke2fs", "inode_size") => vec![Int(128), Int(256)],
+        (_, "label") => vec![Str("vol0".to_string())],
+        // tune2fs stores its -O argument as the raw token list
+        ("tune2fs", "features") => vec![Str("extent".to_string())],
+        _ => match &spec.param_type {
+            ParamType::Bool | ParamType::Feature => vec![Bool(true), Bool(false)],
+            ParamType::Int { min, max } => {
+                let mid = min / 2 + max / 2;
+                let mut vals = vec![*min, mid, *max];
+                vals.dedup();
+                vals.into_iter().map(Int).collect()
+            }
+            ParamType::Enum(members) => members.iter().map(|m| Str(m.clone())).collect(),
+            ParamType::Str => vec![Str("testval".to_string())],
+            ParamType::Size => vec![Int(1024)],
+        },
+    }
+}
+
+fn single_param_config(component: &str, name: &str, value: &TypedValue) -> TypedConfig {
+    let mut cfg = TypedConfig::new(component);
+    match value {
+        TypedValue::Bool(b) => cfg.set_bool(name, *b),
+        TypedValue::Int(i) => cfg.set_int(name, *i),
+        TypedValue::Str(s) => cfg.set_str(name, s),
+    };
+    cfg
+}
+
+#[test]
+fn every_registered_param_round_trips_or_is_validate_only() {
+    let regs = registry();
+    let mut rendered = 0usize;
+    let mut validate_only = 0usize;
+    for comp in ecosystem() {
+        for spec in comp.param_specs() {
+            for value in candidate_values(&spec) {
+                let cfg = single_param_config(comp.name(), &spec.name, &value);
+                cfg.validate(&regs).unwrap_or_else(|e| {
+                    panic!("{}:{} = {value:?} fails validation: {e}", comp.name(), spec.name)
+                });
+                let Some(args) = comp.render_args(&cfg) else {
+                    // no CLI spelling for this value: validate-only
+                    validate_only += 1;
+                    continue;
+                };
+                rendered += 1;
+                let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+                let cfg2 = comp.parse_config(&argv).unwrap_or_else(|e| {
+                    panic!("{}:{} rendered {args:?} but re-parse failed: {e}", comp.name(), spec.name)
+                });
+                assert_eq!(
+                    cfg2.values.get(&spec.name),
+                    cfg.values.get(&spec.name),
+                    "{}:{} changed across render {args:?}",
+                    comp.name(),
+                    spec.name
+                );
+                cfg2.validate(&regs).expect("re-parsed config validates");
+                // rendering is stable across the round trip
+                assert_eq!(
+                    comp.render_args(&cfg2),
+                    Some(args.clone()),
+                    "{}:{} renders unstably",
+                    comp.name(),
+                    spec.name
+                );
+            }
+        }
+    }
+    // ext4 kernel-module knobs have no CLI component: validate-only
+    for spec in regs.iter().filter(|s| s.component == "ext4") {
+        for value in candidate_values(spec) {
+            let cfg = single_param_config("ext4", &spec.name, &value);
+            cfg.validate(&regs)
+                .unwrap_or_else(|e| panic!("ext4:{} = {value:?} fails validation: {e}", spec.name));
+        }
+    }
+    assert!(rendered > 60, "only {rendered} values actually exercised the CLI inverse");
+    assert!(validate_only > 0, "expected some validate-only values");
+}
+
+const MKE2FS_FEATURES: [&str; 11] = [
+    "sparse_super",
+    "sparse_super2",
+    "has_journal",
+    "extent",
+    "64bit",
+    "meta_bg",
+    "resize_inode",
+    "inline_data",
+    "bigalloc",
+    "dir_index",
+    "metadata_csum",
+];
+
+const NEGATABLE_MOUNT_OPTS: [&str; 11] = [
+    "block_validity",
+    "acl",
+    "user_xattr",
+    "barrier",
+    "discard",
+    "delalloc",
+    "lazytime",
+    "auto_da_alloc",
+    "grpid",
+    "quota",
+    "init_itable",
+];
+
+proptest! {
+    // arbitrary feature subsets (0 = absent, 1 = enabled, 2 = disabled)
+    // survive the render/re-parse inverse as whole value maps
+    #[test]
+    fn mke2fs_feature_subsets_round_trip(mask in prop::collection::vec(0u8..3, 11)) {
+        let comp = component("mke2fs").unwrap();
+        let mut cfg = TypedConfig::new("mke2fs");
+        for (feat, m) in MKE2FS_FEATURES.iter().zip(&mask) {
+            match m {
+                1 => { cfg.set_bool(feat, true); }
+                2 => { cfg.set_bool(feat, false); }
+                _ => {}
+            }
+        }
+        let args = comp.render_args(&cfg).expect("feature subsets always render");
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let cfg2 = comp.parse_config(&argv).expect("rendered features re-parse");
+        prop_assert_eq!(&cfg2.values, &cfg.values);
+    }
+
+    // numeric mke2fs parameters inside their registry domains round-trip
+    #[test]
+    fn mke2fs_numeric_params_round_trip(
+        bs_exp in 10u32..=16,
+        reserved in 0i64..=50,
+        inodes in 16i64..=1_000_000,
+    ) {
+        let comp = component("mke2fs").unwrap();
+        let mut cfg = TypedConfig::new("mke2fs");
+        cfg.set_int("blocksize", 1i64 << bs_exp)
+            .set_int("reserved_percent", reserved)
+            .set_int("inodes_count", inodes);
+        cfg.validate(&registry()).expect("in-domain");
+        let args = comp.render_args(&cfg).expect("renders");
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let cfg2 = comp.parse_config(&argv).expect("re-parses");
+        prop_assert_eq!(&cfg2.values, &cfg.values);
+    }
+
+    // mount option sets: negatable booleans in either polarity plus
+    // in-range integer options
+    #[test]
+    fn mount_option_sets_round_trip(
+        mask in prop::collection::vec(0u8..3, 11),
+        commit in 1i64..=900,
+        ioprio in 0i64..=7,
+    ) {
+        let comp = component("mount").unwrap();
+        let mut cfg = TypedConfig::new("mount");
+        for (opt, m) in NEGATABLE_MOUNT_OPTS.iter().zip(&mask) {
+            match m {
+                1 => { cfg.set_bool(opt, true); }
+                2 => { cfg.set_bool(opt, false); }
+                _ => {}
+            }
+        }
+        cfg.set_int("commit", commit).set_int("journal_ioprio", ioprio);
+        cfg.validate(&registry()).expect("in-domain");
+        let args = comp.render_args(&cfg).expect("renders");
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let cfg2 = comp.parse_config(&argv).expect("re-parses");
+        prop_assert_eq!(&cfg2.values, &cfg.values);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. oracle agreement with the legacy per-Ck interpretation logic
+// ---------------------------------------------------------------------
+
+fn extracted() -> Vec<Dependency> {
+    extract_scenario(&models::all(), ExtractOptions::default()).expect("models compile")
+}
+
+/// The conflict lookup exactly as ConBugCk carried it before the
+/// constraint layer existed.
+fn legacy_conflicts(deps: &[Dependency], a: &str, b: &str) -> bool {
+    deps.iter().any(|d| {
+        d.kind == DepKind::CpdControl && {
+            let s = d.signature();
+            s.contains(&format!("{a}~{b}")) || s.contains(&format!("{b}~{a}"))
+        }
+    })
+}
+
+/// The range lookup exactly as ConBugCk carried it.
+fn legacy_range_of(deps: &[Dependency], component: &str, param: &str) -> Option<(i64, i64)> {
+    deps.iter()
+        .find(|d| {
+            d.kind == DepKind::SdValueRange
+                && d.subject.component == component
+                && d.subject.param == param
+        })
+        .map(|d| (d.detail.min.unwrap_or(i64::MIN), d.detail.max.unwrap_or(i64::MAX)))
+}
+
+fn legacy_pair_documented(page: &ManualPage, a: &str, b: &str) -> bool {
+    page.all_constraints().iter().any(|c| match c {
+        DocConstraint::Conflicts { param, other } | DocConstraint::Requires { param, other } => {
+            (param == a && other == b) || (param == b && other == a)
+        }
+        _ => false,
+    })
+}
+
+fn legacy_cross_documented(pages: &[&ManualPage], subj: &str, obj: Option<&str>) -> bool {
+    pages.iter().any(|page| {
+        page.all_constraints().iter().any(|c| match c {
+            DocConstraint::CrossComponent { param, other, .. } => match obj {
+                Some(q) => (param == subj && other == q) || (param == q && other == subj),
+                None => param == subj || other == subj,
+            },
+            _ => false,
+        })
+    })
+}
+
+/// ConDocCk's documentation matcher exactly as it stood before
+/// [`confdep::Constraint::doc_verdict`] replaced it.
+fn legacy_doc_verdict(dep: &Dependency, all_pages: &[&ManualPage]) -> DocVerdict {
+    let Some(page) = all_pages.iter().find(|p| p.component == dep.subject.component) else {
+        return DocVerdict::NoManual;
+    };
+    let p = &dep.subject.param;
+    let ok = match dep.kind {
+        DepKind::SdDataType => page
+            .all_constraints()
+            .iter()
+            .any(|c| matches!(c, DocConstraint::DataType { param, .. } if param == p)),
+        DepKind::SdValueRange => page.all_constraints().iter().any(|c| match c {
+            DocConstraint::ValueRange { param, .. } => param == p,
+            DocConstraint::DataType { param, ty } => param == p && ty == "enum",
+            _ => false,
+        }),
+        DepKind::CpdControl | DepKind::CpdValue => match &dep.object {
+            Some(Endpoint::Param(q)) => legacy_pair_documented(page, p, &q.param),
+            _ => false,
+        },
+        DepKind::CcdControl | DepKind::CcdValue | DepKind::CcdBehavioral => {
+            let obj = match &dep.object {
+                Some(Endpoint::Param(q)) => Some(q.param.as_str()),
+                _ => None,
+            };
+            legacy_cross_documented(all_pages, p, obj)
+        }
+    };
+    if ok {
+        DocVerdict::Documented
+    } else {
+        DocVerdict::Missing
+    }
+}
+
+fn manual_pages() -> Vec<ManualPage> {
+    let mut pages: Vec<ManualPage> = ["mke2fs", "mount", "resize2fs", "e2fsck", "e4defrag"]
+        .iter()
+        .map(|n| component(n).expect("known component").manual_page())
+        .collect();
+    pages.push(ext4_kernel_doc());
+    pages
+}
+
+/// The evaluator addresses some parameters by their registry names.
+fn registry_alias<'a>(component: &str, param: &'a str) -> &'a str {
+    match (component, param) {
+        ("resize2fs", "new_size") => "size",
+        ("e2fsck", "assume_yes") => "yes",
+        ("e2fsck", "assume_no") => "no",
+        ("e2fsck", "blocksize_opt") => "blocksize",
+        _ => param,
+    }
+}
+
+#[test]
+fn compiled_set_preserves_all_64_dependencies_in_order() {
+    let deps = extracted();
+    assert_eq!(deps.len(), 64, "Table 5 total");
+    let set = ConstraintSet::compile(deps.clone());
+    assert_eq!(set.len(), deps.len());
+    for (c, d) in set.constraints().iter().zip(&deps) {
+        assert_eq!(c.signature(), d.signature());
+    }
+}
+
+#[test]
+fn conflict_lookup_agrees_with_legacy_conbugck() {
+    let deps = extracted();
+    let set = ConstraintSet::compile(deps.clone());
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for d in &deps {
+        names.insert(d.subject.param.as_str());
+        if let Some(Endpoint::Param(q)) = &d.object {
+            names.insert(q.param.as_str());
+        }
+    }
+    assert!(names.len() > 10, "dependency endpoints name many parameters");
+    for a in &names {
+        for b in &names {
+            assert_eq!(
+                set.conflicting(a, b),
+                legacy_conflicts(&deps, a, b),
+                "conflicting({a}, {b}) diverged from the legacy lookup"
+            );
+        }
+    }
+}
+
+#[test]
+fn range_lookup_agrees_with_legacy_conbugck() {
+    let deps = extracted();
+    let set = ConstraintSet::compile(deps.clone());
+    let mut pairs: BTreeSet<(&str, &str)> = deps
+        .iter()
+        .map(|d| (d.subject.component.as_str(), d.subject.param.as_str()))
+        .collect();
+    pairs.insert(("mke2fs", "no_such_param"));
+    pairs.insert(("xfs_repair", "blocksize"));
+    for (c, p) in pairs {
+        assert_eq!(
+            set.int_range(c, p),
+            legacy_range_of(&deps, c, p),
+            "int_range({c}, {p}) diverged from the legacy lookup"
+        );
+    }
+}
+
+#[test]
+fn doc_verdicts_agree_with_legacy_condocck_on_all_64() {
+    let set = ConstraintSet::compile(extracted());
+    let pages = manual_pages();
+    let refs: Vec<&ManualPage> = pages.iter().collect();
+    for c in set.constraints() {
+        assert_eq!(
+            c.doc_verdict(&refs),
+            legacy_doc_verdict(&c.dependency, &refs),
+            "doc verdict diverged for {}",
+            c.signature()
+        );
+    }
+}
+
+#[test]
+fn evaluator_agrees_with_legacy_range_and_conflict_semantics() {
+    let deps = extracted();
+    let set = ConstraintSet::compile(deps.clone());
+    let mut ranges_checked = 0usize;
+    let mut conflicts_checked = 0usize;
+    for c in set.constraints() {
+        let d = &c.dependency;
+        match d.kind {
+            DepKind::SdValueRange => {
+                let (min, max) =
+                    legacy_range_of(&deps, &d.subject.component, &d.subject.param).expect("own");
+                let name = registry_alias(&d.subject.component, &d.subject.param);
+                // a value the legacy generator would have rejected must
+                // evaluate as a violation
+                if max < i64::MAX {
+                    let cfg = single_param_config(
+                        &d.subject.component,
+                        name,
+                        &TypedValue::Int(max + 1),
+                    );
+                    assert_eq!(
+                        c.evaluate(&[&cfg]),
+                        Verdict::Violated,
+                        "{} accepts {} > max",
+                        c.signature(),
+                        max + 1
+                    );
+                    ranges_checked += 1;
+                }
+                if min > i64::MIN {
+                    let cfg = single_param_config(
+                        &d.subject.component,
+                        name,
+                        &TypedValue::Int(min - 1),
+                    );
+                    assert_eq!(
+                        c.evaluate(&[&cfg]),
+                        Verdict::Violated,
+                        "{} accepts {} < min",
+                        c.signature(),
+                        min - 1
+                    );
+                    ranges_checked += 1;
+                }
+                // an unconfigured parameter is not a violation
+                let empty = TypedConfig::new(&d.subject.component);
+                assert_ne!(c.evaluate(&[&empty]), Verdict::Violated);
+            }
+            DepKind::CpdControl => {
+                let Some(Endpoint::Param(q)) = &d.object else { continue };
+                assert!(
+                    legacy_conflicts(&deps, &d.subject.param, &q.param),
+                    "legacy lookup misses its own pair {}",
+                    c.signature()
+                );
+                let mut both = TypedConfig::new(&d.subject.component);
+                both.set_bool(registry_alias(&d.subject.component, &d.subject.param), true);
+                both.set_bool(registry_alias(&q.component, &q.param), true);
+                assert_eq!(
+                    c.evaluate(&[&both]),
+                    Verdict::Violated,
+                    "{} tolerates both parameters engaged",
+                    c.signature()
+                );
+                let mut repaired = TypedConfig::new(&d.subject.component);
+                repaired.set_bool(registry_alias(&d.subject.component, &d.subject.param), true);
+                repaired.set_bool(registry_alias(&q.component, &q.param), false);
+                assert_eq!(
+                    c.evaluate(&[&repaired]),
+                    Verdict::Satisfied,
+                    "{} rejects the legacy repair (drop one side of the pair)",
+                    c.signature()
+                );
+                // the subject alone leaves the pair undecidable
+                let mut alone = TypedConfig::new(&d.subject.component);
+                alone.set_bool(registry_alias(&d.subject.component, &d.subject.param), true);
+                assert_ne!(c.evaluate(&[&alone]), Verdict::Violated);
+                conflicts_checked += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(ranges_checked > 5, "only {ranges_checked} range violations exercised");
+    assert!(conflicts_checked > 3, "only {conflicts_checked} conflict pairs exercised");
+}
+
+// ---------------------------------------------------------------------
+// 3. the Table 2 universe through the duplicate-guarded registry
+// ---------------------------------------------------------------------
+
+#[test]
+fn registry_spans_the_table2_universe() {
+    let specs = registry(); // panics on a duplicate (component, name)
+    let count = |c: &str| specs.iter().filter(|s| s.component == c).count();
+    // Table 2: Ext4 (mke2fs + mount + the ext4 module) has >85
+    // parameters; e2fsck >35; resize2fs >15
+    assert!(count("mke2fs") + count("mount") + count("ext4") > 85);
+    assert!(count("e2fsck") > 35);
+    assert!(count("resize2fs") > 15);
+    assert!(count("tune2fs") >= 7, "tune2fs joins the registry via the Component trait");
+    // every component's own table is a verbatim slice of the registry
+    for comp in ecosystem() {
+        for spec in comp.param_specs() {
+            assert!(
+                specs.contains(&spec),
+                "{}:{} missing from the unified registry",
+                comp.name(),
+                spec.name
+            );
+        }
+    }
+}

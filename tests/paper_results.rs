@@ -92,6 +92,33 @@ fn table1_catalog_shape() {
 }
 
 #[test]
+fn constraint_layer_reproduces_the_headlines_end_to_end() {
+    // the same numbers, flowing through the executable constraint layer:
+    // extraction -> ConstraintSet -> the Ck applications
+    use confdep_suite::confdep::{
+        extract_scenario, is_false_positive, models, ConstraintSet,
+    };
+    let set = ConstraintSet::compile(
+        extract_scenario(&models::all(), ExtractOptions::default()).unwrap(),
+    );
+    assert_eq!(set.len(), 64);
+    assert_eq!(set.dependencies().filter(|d| is_false_positive(d)).count(), 5);
+    // ConDocCk's 12 issues are Constraint::doc_verdict outcomes
+    assert_eq!(run_condocck().unwrap().len(), 12);
+    // ConHandleCk keys its cases by compiled constraint signatures; the
+    // Figure 1 bad-handling case carries the behavioral signature verbatim
+    let outcomes = run_conhandleck();
+    let bad: Vec<_> = outcomes.iter().filter(|o| o.handling.is_bad()).collect();
+    assert_eq!(bad.len(), 1);
+    assert_eq!(bad[0].case.id, 11);
+    assert!(bad[0].case.dependency.contains("sparse_super2"));
+    assert!(
+        set.find(&bad[0].case.dependency).is_some(),
+        "the bad-handling case must be keyed by a compiled constraint"
+    );
+}
+
+#[test]
 fn scenario_rows_match_calibrated_expectations() {
     // per-scenario rows (our measured values; EXPERIMENTS.md records the
     // cell-level deviations from the paper's internally inconsistent rows)
