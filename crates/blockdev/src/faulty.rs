@@ -28,7 +28,9 @@ pub enum InjectedFault {
         value: u8,
     },
     /// Every write at or after the n-th write fails (models a device that
-    /// was yanked mid-workload).
+    /// was yanked mid-workload). Once the fault has fired, the device is
+    /// gone for good: all subsequent reads and flushes fail too, not just
+    /// writes.
     DeviceGone(u64),
     /// Fail the n-th flush (0-based). Models a volatile write cache
     /// whose drain is interrupted — the barrier the file system relied
@@ -71,16 +73,22 @@ pub struct FaultyDevice<D> {
     reads: std::cell::Cell<u64>,
     writes: u64,
     flushes: u64,
-    corrupt_reads: BTreeMap<u64, (usize, u8)>,
+    /// All corruptions aimed at a block, in plan order — a plan may
+    /// schedule several `CorruptRead`s for the same block and each one
+    /// applies (last-wins shadowing would silently drop faults).
+    corrupt_reads: BTreeMap<u64, Vec<(usize, u8)>>,
+    /// Latched once a `DeviceGone` fault fires: a yanked device fails
+    /// every subsequent read, write and flush, not just writes.
+    gone: std::cell::Cell<bool>,
 }
 
 impl<D: BlockDevice> FaultyDevice<D> {
     /// Wraps `inner` with the fault schedule `plan`.
     pub fn new(inner: D, plan: FaultPlan) -> Self {
-        let mut corrupt_reads = BTreeMap::new();
+        let mut corrupt_reads: BTreeMap<u64, Vec<(usize, u8)>> = BTreeMap::new();
         for f in plan.faults() {
             if let InjectedFault::CorruptRead { block, offset, value } = *f {
-                corrupt_reads.insert(block, (offset, value));
+                corrupt_reads.entry(block).or_default().push((offset, value));
             }
         }
         FaultyDevice {
@@ -90,6 +98,7 @@ impl<D: BlockDevice> FaultyDevice<D> {
             writes: 0,
             flushes: 0,
             corrupt_reads,
+            gone: std::cell::Cell::new(false),
         }
     }
 
@@ -137,6 +146,13 @@ impl<D: BlockDevice> FaultyDevice<D> {
     fn read_fault(&self, nth: u64) -> bool {
         self.plan.faults().iter().any(|f| matches!(f, InjectedFault::FailRead(n) if *n == nth))
     }
+
+    fn check_gone(&self) -> Result<(), DeviceError> {
+        if self.gone.get() {
+            return Err(DeviceError::Io("injected device-gone failure".to_string()));
+        }
+        Ok(())
+    }
 }
 
 impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
@@ -150,28 +166,32 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
 
     fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
         self.check_access(block, buf.len())?;
+        self.check_gone()?;
         let nth = self.reads.get();
         self.reads.set(nth + 1);
         if self.read_fault(nth) {
             return Err(DeviceError::Io(format!("injected read failure at read #{nth}")));
         }
         self.inner.read_block(block, buf)?;
-        if let Some(&(offset, value)) = self.corrupt_reads.get(&block) {
-            // A wrapped offset would silently corrupt the wrong byte;
-            // a misconfigured plan must surface, not hide.
-            let len = buf.len();
-            let byte = buf.get_mut(offset).ok_or_else(|| {
-                DeviceError::Io(format!(
-                    "corrupt-read offset {offset} out of range for {len}-byte block"
-                ))
-            })?;
-            *byte = value;
+        if let Some(corruptions) = self.corrupt_reads.get(&block) {
+            for &(offset, value) in corruptions {
+                // A wrapped offset would silently corrupt the wrong byte;
+                // a misconfigured plan must surface, not hide.
+                let len = buf.len();
+                let byte = buf.get_mut(offset).ok_or_else(|| {
+                    DeviceError::Io(format!(
+                        "corrupt-read offset {offset} out of range for {len}-byte block"
+                    ))
+                })?;
+                *byte = value;
+            }
         }
         Ok(())
     }
 
     fn write_block(&mut self, block: u64, buf: &[u8]) -> Result<(), DeviceError> {
         self.check_access(block, buf.len())?;
+        self.check_gone()?;
         let nth = self.writes;
         self.writes += 1;
         match self.write_fault(nth) {
@@ -179,6 +199,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
                 Err(DeviceError::Io(format!("injected write failure at write #{nth}")))
             }
             Some(InjectedFault::DeviceGone(_)) => {
+                self.gone.set(true);
                 Err(DeviceError::Io("injected device-gone failure".to_string()))
             }
             Some(InjectedFault::TornWrite { bytes, .. }) => {
@@ -194,6 +215,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     }
 
     fn flush(&mut self) -> Result<(), DeviceError> {
+        self.check_gone()?;
         let nth = self.flushes;
         self.flushes += 1;
         let failed = self
@@ -329,6 +351,67 @@ mod tests {
         assert!(dev.flush().is_err());
         assert!(dev.flush().is_ok());
         assert_eq!(dev.flushes(), 3);
+    }
+
+    #[test]
+    fn duplicate_corrupt_reads_all_apply() {
+        // Two corruptions aimed at the same block must both land; the old
+        // last-wins map silently dropped the first one.
+        let plan = FaultPlan::new()
+            .with(InjectedFault::CorruptRead { block: 1, offset: 3, value: 0x77 })
+            .with(InjectedFault::CorruptRead { block: 1, offset: 9, value: 0x99 });
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        dev.write_block(1, &[0u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf[3], 0x77);
+        assert_eq!(buf[9], 0x99);
+    }
+
+    #[test]
+    fn duplicate_corrupt_reads_same_offset_last_wins_in_plan_order() {
+        let plan = FaultPlan::new()
+            .with(InjectedFault::CorruptRead { block: 1, offset: 3, value: 0x11 })
+            .with(InjectedFault::CorruptRead { block: 1, offset: 3, value: 0x22 });
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 4), plan);
+        dev.write_block(1, &[0u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        dev.read_block(1, &mut buf).unwrap();
+        // both apply, in plan order, so the later fault is what sticks
+        assert_eq!(buf[3], 0x22);
+    }
+
+    #[test]
+    fn device_gone_fails_all_later_io() {
+        let plan = FaultPlan::new().with(InjectedFault::DeviceGone(1));
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 8), plan);
+        let mut buf = [0u8; 512];
+        // before the fault fires the device behaves normally
+        assert!(dev.write_block(0, &[7u8; 512]).is_ok());
+        assert!(dev.read_block(0, &mut buf).is_ok());
+        assert!(dev.flush().is_ok());
+        // the yank: write #1 fails and latches the gone state
+        assert!(dev.write_block(1, &[7u8; 512]).is_err());
+        // ...after which every kind of I/O fails
+        assert!(dev.read_block(0, &mut buf).is_err());
+        assert!(dev.flush().is_err());
+        assert!(dev.write_block(2, &[7u8; 512]).is_err());
+    }
+
+    #[test]
+    fn device_gone_does_not_fire_until_the_scheduled_write() {
+        // reads and flushes before the n-th write are unaffected: the
+        // device is yanked at a point in the write stream, not at t=0
+        let plan = FaultPlan::new().with(InjectedFault::DeviceGone(2));
+        let mut dev = FaultyDevice::new(MemDevice::new(512, 8), plan);
+        let mut buf = [0u8; 512];
+        assert!(dev.read_block(0, &mut buf).is_ok());
+        assert!(dev.flush().is_ok());
+        assert!(dev.write_block(0, &[1u8; 512]).is_ok());
+        assert!(dev.read_block(0, &mut buf).is_ok());
+        assert!(dev.write_block(1, &[1u8; 512]).is_ok());
+        assert!(dev.write_block(2, &[1u8; 512]).is_err());
+        assert!(dev.read_block(0, &mut buf).is_err());
     }
 
     #[test]

@@ -54,13 +54,33 @@ pub(crate) struct MetadataCache {
     /// Inode-table blocks, keyed by device block number.
     itable: BTreeMap<u64, CachedBlock>,
     dirty_count: usize,
+    /// Set when a write-back pass failed partway: some dirty blocks may
+    /// already be on the device while others are still only in memory.
+    /// The dirty flags stay accurate (a failed block keeps its flag), so
+    /// a retried flush resumes exactly where the last one stopped; a
+    /// successful retry clears the poison.
+    poisoned: bool,
 }
 
 impl MetadataCache {
     pub(crate) fn new(policy: CachePolicy, group_count: u32) -> Self {
         let mut slots = Vec::with_capacity(group_count as usize);
         slots.resize_with(group_count as usize, GroupSlot::default);
-        MetadataCache { policy, slots, itable: BTreeMap::new(), dirty_count: 0 }
+        MetadataCache { policy, slots, itable: BTreeMap::new(), dirty_count: 0, poisoned: false }
+    }
+
+    /// Marks the cache as having survived a failed write-back pass.
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// A completed write-back pass means cache and device agree again.
+    pub(crate) fn clear_poison(&mut self) {
+        self.poisoned = false;
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     pub(crate) fn policy(&self) -> CachePolicy {
@@ -266,6 +286,16 @@ mod tests {
         let mut c = MetadataCache::new(CachePolicy::WriteBack, 1);
         c.store_block_bitmap(0, Bitmap::new(8, 1), true);
         c.invalidate();
+    }
+
+    #[test]
+    fn poison_round_trip() {
+        let mut c = MetadataCache::new(CachePolicy::WriteBack, 1);
+        assert!(!c.is_poisoned());
+        c.poison();
+        assert!(c.is_poisoned());
+        c.clear_poison();
+        assert!(!c.is_poisoned());
     }
 
     #[test]

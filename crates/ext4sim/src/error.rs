@@ -56,6 +56,15 @@ pub enum FsError {
     DirectoryNotEmpty(u32),
     /// The file system was mounted read-only.
     ReadOnlyFs,
+    /// The mount degraded itself to read-only after a metadata I/O
+    /// failure because the image is configured with `errors=remount-ro`;
+    /// reads are still served, writes are rejected with this error.
+    DegradedReadOnly,
+    /// The configured `errors=panic` policy fired after a metadata I/O
+    /// failure. The real kernel would panic the machine; the simulator
+    /// models that as a typed error that every subsequent operation on
+    /// the halted handle also returns — never as a Rust panic.
+    PolicyPanic(String),
     /// The image metadata is internally inconsistent.
     Corrupt(String),
     /// The operation requires the file system to be unmounted.
@@ -92,6 +101,12 @@ impl fmt::Display for FsError {
             FsError::IsADirectory(ino) => write!(f, "inode {ino} is a directory"),
             FsError::DirectoryNotEmpty(ino) => write!(f, "directory inode {ino} not empty"),
             FsError::ReadOnlyFs => write!(f, "read-only file system"),
+            FsError::DegradedReadOnly => {
+                write!(f, "file system degraded to read-only after a metadata error (errors=remount-ro)")
+            }
+            FsError::PolicyPanic(msg) => {
+                write!(f, "kernel panic per errors=panic policy: {msg}")
+            }
             FsError::Corrupt(msg) => write!(f, "filesystem corrupt: {msg}"),
             FsError::Busy => write!(f, "filesystem busy (mounted)"),
             FsError::NameTooLong(len) => write!(f, "name too long: {len} bytes (max 255)"),

@@ -15,7 +15,7 @@ use crate::journal::{Journal, Transaction};
 use crate::layout::Layout;
 use crate::mkfs_params::MkfsParams;
 use crate::mount::MountOptions;
-use crate::superblock::{state, Superblock, SUPERBLOCK_OFFSET, SUPERBLOCK_SIZE};
+use crate::superblock::{errors_policy, state, Superblock, SUPERBLOCK_OFFSET, SUPERBLOCK_SIZE};
 use crate::util::{div_ceil, get_u32, put_u32};
 use crate::FsError;
 
@@ -52,6 +52,17 @@ pub struct Ext4Fs<D> {
     journal: Option<Journal>,
     crash_after_journal_commit: bool,
     cache: MetadataCache,
+    /// Effective `errors=` behaviour: the mount option when given, the
+    /// on-image `s_errors` field (set by `tune2fs -e`) otherwise. See
+    /// [`crate::errors_policy`].
+    errors_policy: u16,
+    /// Latched by `errors=remount-ro` on the first metadata I/O failure:
+    /// reads keep working, writes return [`FsError::DegradedReadOnly`].
+    degraded: bool,
+    /// Latched by `errors=panic` on the first metadata I/O failure: every
+    /// subsequent operation returns [`FsError::PolicyPanic`] (the
+    /// simulator's stand-in for a kernel panic — never a Rust panic).
+    panicked: bool,
 }
 
 // ---------------------------------------------------------------------
@@ -252,6 +263,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         sb.set_label(&params.label);
 
         let group_count = layout.group_count();
+        let errors = sb.errors;
         let mut fs = Ext4Fs {
             dev,
             sb,
@@ -262,6 +274,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             journal: None,
             crash_after_journal_commit: false,
             cache: MetadataCache::new(policy, group_count),
+            errors_policy: errors,
+            degraded: false,
+            panicked: false,
         };
 
         fs.init_groups()?;
@@ -439,6 +454,10 @@ impl<D: BlockDevice> Ext4Fs<D> {
             }
         }
         opts.validate_against(&fs.sb)?;
+        // the effective errors= behaviour: the mount option overrides the
+        // on-image default that tune2fs -e recorded (a mount→tune2fs
+        // dependency the conformance campaign exercises)
+        fs.errors_policy = opts.errors.unwrap_or(fs.sb.errors);
         if opts.read_only {
             fs.fs_state = FsState::MountedRo;
         } else {
@@ -463,6 +482,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         let sb = Superblock::from_bytes(&raw)?;
         let layout = Self::layout_from_sb(&sb);
         let group_count = layout.group_count();
+        let errors = sb.errors;
         let mut fs = Ext4Fs {
             dev,
             sb,
@@ -473,6 +493,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             journal: None,
             crash_after_journal_commit: false,
             cache: MetadataCache::new(CachePolicy::WriteThrough, group_count),
+            errors_policy: errors,
+            degraded: false,
+            panicked: false,
         };
         fs.read_group_descriptors()?;
         Ok(fs)
@@ -541,6 +564,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
             sb_offset / u64::from(layout.block_size) + 1
         };
         let group_count = layout.group_count();
+        let errors = sb.errors;
         let mut fs = Ext4Fs {
             dev,
             sb,
@@ -551,6 +575,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             journal: None,
             crash_after_journal_commit: false,
             cache: MetadataCache::new(CachePolicy::WriteThrough, group_count),
+            errors_policy: errors,
+            degraded: false,
+            panicked: false,
         };
         fs.read_group_descriptors_from(gdt_start)?;
         Ok(fs)
@@ -748,10 +775,22 @@ impl<D: BlockDevice> Ext4Fs<D> {
     /// Cleanly unmounts: marks the superblock valid, flushes all metadata
     /// (including backups) and returns the device.
     ///
+    /// A handle halted by `errors=panic` unmounts like a crash: nothing
+    /// is written (the error flag was already stamped when the policy
+    /// fired) and the device is returned as the failure left it. A
+    /// degraded (`errors=remount-ro`) handle behaves the same way by
+    /// virtue of no longer being mounted read-write.
+    ///
     /// # Errors
     ///
     /// Propagates device errors; the handle is consumed either way.
     pub fn unmount(mut self) -> Result<D, FsError> {
+        if self.panicked || self.degraded {
+            // crash-like unmount: the device may be failing, and even its
+            // final flush could error — hand it back untouched so the
+            // recovery stack (e2fsck) can work on the image
+            return Ok(self.dev);
+        }
         if self.fs_state == FsState::MountedRw || self.fs_state == FsState::Maintenance {
             self.sb.state |= state::VALID_FS;
             self.sb.wtime = self.clock;
@@ -782,13 +821,29 @@ impl<D: BlockDevice> Ext4Fs<D> {
     ///
     /// # Errors
     ///
-    /// Propagates device errors.
+    /// Propagates device errors, filtered through the mount's `errors=`
+    /// policy: a failure on this path stamps the on-image error flag and
+    /// may degrade the mount ([`FsError::DegradedReadOnly`] thereafter)
+    /// or halt it ([`FsError::PolicyPanic`]).
     pub fn flush_metadata(&mut self) -> Result<(), FsError> {
+        if self.panicked {
+            return Err(FsError::PolicyPanic("file system halted".to_string()));
+        }
+        if self.degraded {
+            return Err(FsError::DegradedReadOnly);
+        }
         // write back the buffered per-group metadata first, so the home
         // locations of bitmaps and inode tables are stable before the
         // superblock/GDT update is committed to the journal — the same
         // ordering the write-through path produces naturally
         self.flush_cache()?;
+        match self.flush_metadata_inner() {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.note_metadata_error(e)),
+        }
+    }
+
+    fn flush_metadata_inner(&mut self) -> Result<(), FsError> {
         let writes = self.metadata_writes()?;
         // metadata journalling (jbd2-style): when mounted read-write on a
         // journalled file system, commit the metadata update to the
@@ -921,8 +976,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
             self.cache.store_block_bitmap(g, bm.clone(), true);
             return Ok(());
         }
-        self.dev.write_block(self.groups[g as usize].block_bitmap, bm.as_bytes())?;
-        Ok(())
+        let block = self.groups[g as usize].block_bitmap;
+        self.write_metadata_block(block, bm.as_bytes())
     }
 
     /// Reads group `g`'s inode bitmap — from the metadata cache when a
@@ -950,8 +1005,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
             self.cache.store_inode_bitmap(g, bm.clone(), true);
             return Ok(());
         }
-        self.dev.write_block(self.groups[g as usize].inode_bitmap, bm.as_bytes())?;
-        Ok(())
+        let block = self.groups[g as usize].inode_bitmap;
+        self.write_metadata_block(block, bm.as_bytes())
     }
 
     /// Reads inode `ino` from the inode table.
@@ -960,6 +1015,10 @@ impl<D: BlockDevice> Ext4Fs<D> {
     ///
     /// Returns [`FsError::BadInode`] for out-of-range numbers.
     pub fn read_inode(&self, ino: InodeNo) -> Result<Inode, FsError> {
+        // a handle halted by errors=panic serves nothing, reads included
+        if self.panicked {
+            return Err(FsError::PolicyPanic("file system halted".to_string()));
+        }
         self.check_ino(ino)?;
         let (block, off) = self.layout.inode_position(ino.0);
         let isz = self.layout.inode_size as usize;
@@ -992,8 +1051,16 @@ impl<D: BlockDevice> Ext4Fs<D> {
         }
         let mut data = self.dev.read_block_vec(block)?;
         data[off..off + bytes.len()].copy_from_slice(&bytes);
-        self.dev.write_block(block, &data)?;
-        Ok(())
+        self.write_metadata_block(block, &data)
+    }
+
+    /// A write-through metadata write: the device failure, if any, goes
+    /// through the `errors=` policy before reaching the caller.
+    fn write_metadata_block(&mut self, block: u64, data: &[u8]) -> Result<(), FsError> {
+        match self.dev.write_block(block, data) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.note_metadata_error(FsError::Device(e))),
+        }
     }
 
     /// Ensures group `g`'s block bitmap is resident in the cache.
@@ -1029,7 +1096,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
         }
         let mut bm = self.read_block_bitmap(g)?;
         let r = f(&mut bm)?;
-        self.dev.write_block(self.groups[g as usize].block_bitmap, bm.as_bytes())?;
+        let block = self.groups[g as usize].block_bitmap;
+        self.write_metadata_block(block, bm.as_bytes())?;
         Ok(r)
     }
 
@@ -1046,7 +1114,8 @@ impl<D: BlockDevice> Ext4Fs<D> {
         }
         let mut bm = self.read_inode_bitmap(g)?;
         let r = f(&mut bm)?;
-        self.dev.write_block(self.groups[g as usize].inode_bitmap, bm.as_bytes())?;
+        let block = self.groups[g as usize].inode_bitmap;
+        self.write_metadata_block(block, bm.as_bytes())?;
         Ok(r)
     }
 
@@ -1058,8 +1127,26 @@ impl<D: BlockDevice> Ext4Fs<D> {
     ///
     /// # Errors
     ///
-    /// Propagates device errors.
+    /// Propagates device errors, filtered through the mount's `errors=`
+    /// policy (see [`Ext4Fs::flush_metadata`]). A failed pass leaves the
+    /// cache *poisoned*: every block that did not reach the device keeps
+    /// its dirty flag, so nothing is silently dropped and a retried flush
+    /// resumes with exactly the still-unwritten blocks. A later pass that
+    /// completes clears the poison.
     pub fn flush_cache(&mut self) -> Result<(), FsError> {
+        match self.flush_cache_inner() {
+            Ok(()) => {
+                self.cache.clear_poison();
+                Ok(())
+            }
+            Err(e) => {
+                self.cache.poison();
+                Err(self.note_metadata_error(e))
+            }
+        }
+    }
+
+    fn flush_cache_inner(&mut self) -> Result<(), FsError> {
         if !self.cache.has_dirty() {
             return Ok(());
         }
@@ -1130,10 +1217,79 @@ impl<D: BlockDevice> Ext4Fs<D> {
     }
 
     fn check_writable(&self) -> Result<(), FsError> {
+        if self.panicked {
+            return Err(FsError::PolicyPanic("file system halted".to_string()));
+        }
+        if self.degraded {
+            return Err(FsError::DegradedReadOnly);
+        }
         if self.fs_state == FsState::MountedRo {
             return Err(FsError::ReadOnlyFs);
         }
         Ok(())
+    }
+
+    /// Applies the mount's `errors=` policy to a failed metadata I/O.
+    ///
+    /// Mirrors the kernel's `ext4_handle_error`: the on-image error flag
+    /// is stamped on the first failure (best-effort — the device that
+    /// just failed may refuse the stamp too; the in-memory flag still
+    /// drives the policy and e2fsck re-derives the damage either way),
+    /// then `errors=remount-ro` flips the mount into the degraded
+    /// read-only state, `errors=panic` halts the handle behind a typed
+    /// [`FsError::PolicyPanic`], and `errors=continue` hands the typed
+    /// error to the caller and keeps going.
+    fn note_metadata_error(&mut self, e: FsError) -> FsError {
+        // only device-level failures are ext4_error conditions; logical
+        // results (NoSpace, NotFound, ...) are normal op outcomes, and an
+        // error that already went through the policy stays as-is
+        if !matches!(e, FsError::Device(_)) {
+            return e;
+        }
+        // offline maintenance tools (e2fsck, resize2fs) own their error
+        // handling; the policy applies to mounted handles only
+        if self.fs_state == FsState::Maintenance {
+            return e;
+        }
+        if self.sb.state & state::ERROR_FS == 0 {
+            self.sb.set_error_state();
+            let _ = self.write_primary_superblock();
+        }
+        match self.errors_policy {
+            errors_policy::REMOUNT_RO => {
+                self.degraded = true;
+                self.fs_state = FsState::MountedRo;
+                e
+            }
+            errors_policy::PANIC => {
+                self.panicked = true;
+                FsError::PolicyPanic(e.to_string())
+            }
+            _ => e,
+        }
+    }
+
+    /// The effective `errors=` behaviour of this handle (one of the
+    /// [`crate::errors_policy`] constants).
+    pub fn errors_policy(&self) -> u16 {
+        self.errors_policy
+    }
+
+    /// True once `errors=remount-ro` has demoted this mount to the
+    /// degraded read-only state.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// True once `errors=panic` has halted this handle.
+    pub fn has_panicked(&self) -> bool {
+        self.panicked
+    }
+
+    /// True while the write-back cache holds dirty blocks that a failed
+    /// flush could not write; see [`Ext4Fs::flush_cache`].
+    pub fn cache_poisoned(&self) -> bool {
+        self.cache.is_poisoned()
     }
 
     /// Operation commit: a public file-system operation writes back the
@@ -2415,5 +2571,156 @@ mod tests {
         let (_, free1, _, _) = fs.statfs();
         assert_eq!(free0 - free1, 4, "one cluster = 4 blocks must be charged");
         assert_eq!(fs.read_file_to_vec(f).unwrap(), b"one byte write");
+    }
+
+    // -----------------------------------------------------------------
+    // runtime errors= policy enforcement
+    // -----------------------------------------------------------------
+
+    use crate::superblock::errors_policy;
+    use blockdev::{FaultPlan, FaultyDevice, InjectedFault};
+
+    /// A clean image with one durable file `keep` (content `b"durable"`).
+    fn image_with_durable_file() -> MemDevice {
+        let dev = MemDevice::new(1024, 8192);
+        let mut fs = Ext4Fs::format(
+            dev,
+            &MkfsParams { block_size: Some(1024), ..MkfsParams::default() },
+        )
+        .unwrap();
+        let f = fs.create_file(ROOT_INODE, "keep").unwrap();
+        fs.write_file(f, 0, b"durable").unwrap();
+        fs.unmount().unwrap()
+    }
+
+    fn mount_faulty(
+        image: MemDevice,
+        plan: FaultPlan,
+        errors: u16,
+        policy: CachePolicy,
+    ) -> Ext4Fs<FaultyDevice<MemDevice>> {
+        let dev = FaultyDevice::new(image, plan);
+        let opts = MountOptions { errors: Some(errors), ..MountOptions::default() };
+        Ext4Fs::mount_with_policy(dev, &opts, policy).unwrap()
+    }
+
+    #[test]
+    fn errors_continue_propagates_typed_errors_per_op() {
+        // write #0 is the rw-mount superblock update; #1 is the first
+        // metadata write of the operation
+        let plan = FaultPlan::new().with(InjectedFault::FailWrite(1));
+        let mut fs = mount_faulty(
+            image_with_durable_file(),
+            plan,
+            errors_policy::CONTINUE,
+            CachePolicy::WriteThrough,
+        );
+        let err = fs.create_file(ROOT_INODE, "new").unwrap_err();
+        assert!(matches!(err, FsError::Device(_)), "{err}");
+        assert!(!fs.is_degraded());
+        assert!(!fs.has_panicked());
+        // the fs keeps going: the next operation succeeds
+        fs.create_file(ROOT_INODE, "after").unwrap();
+    }
+
+    #[test]
+    fn errors_remount_ro_degrades_but_serves_reads() {
+        let plan = FaultPlan::new().with(InjectedFault::FailWrite(1));
+        let mut fs = mount_faulty(
+            image_with_durable_file(),
+            plan,
+            errors_policy::REMOUNT_RO,
+            CachePolicy::WriteThrough,
+        );
+        let err = fs.create_file(ROOT_INODE, "new").unwrap_err();
+        assert!(matches!(err, FsError::Device(_)), "{err}");
+        assert!(fs.is_degraded());
+        // writes are rejected with the dedicated typed error...
+        let err = fs.create_file(ROOT_INODE, "more").unwrap_err();
+        assert!(matches!(err, FsError::DegradedReadOnly), "{err}");
+        // ...while previously-durable data is still served
+        let keep = fs.lookup(ROOT_INODE, "keep").unwrap().unwrap();
+        assert_eq!(fs.read_file_to_vec(InodeNo(keep.inode)).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn errors_panic_halts_with_typed_error_and_stamps_image() {
+        let plan = FaultPlan::new().with(InjectedFault::FailWrite(1));
+        let mut fs = mount_faulty(
+            image_with_durable_file(),
+            plan,
+            errors_policy::PANIC,
+            CachePolicy::WriteThrough,
+        );
+        let err = fs.create_file(ROOT_INODE, "new").unwrap_err();
+        assert!(matches!(err, FsError::PolicyPanic(_)), "{err}");
+        assert!(fs.has_panicked());
+        // the halted handle serves nothing, reads included
+        let err = fs.lookup(ROOT_INODE, "keep").unwrap_err();
+        assert!(matches!(err, FsError::PolicyPanic(_)), "{err}");
+        // unmount is crash-like but hands the device back
+        let dev = fs.unmount().unwrap().into_inner();
+        // the error flag was stamped before the halt, so recovery tooling
+        // (and the next mount) can see the damage
+        let fsck = Ext4Fs::open_for_maintenance(dev).unwrap();
+        assert_ne!(fsck.superblock().state & state::ERROR_FS, 0);
+    }
+
+    #[test]
+    fn failed_writeback_poisons_cache_and_retry_drains_it() {
+        let plan = FaultPlan::new().with(InjectedFault::FailWrite(1));
+        let mut fs = mount_faulty(
+            image_with_durable_file(),
+            plan,
+            errors_policy::CONTINUE,
+            CachePolicy::WriteBack,
+        );
+        // dirty the itable cache without touching the device (write #0
+        // was the rw-mount superblock update), then commit: the write-back
+        // pass issues write #1, which the plan kills
+        let root = fs.read_inode(ROOT_INODE).unwrap();
+        fs.write_inode(ROOT_INODE, &root).unwrap();
+        let err = fs.flush_cache().unwrap_err();
+        assert!(matches!(err, FsError::Device(_)), "{err}");
+        assert!(fs.cache_poisoned(), "failed flush must poison the cache");
+        // dirty state was retained, not dropped: a retried flush writes
+        // the remaining blocks (the fault fired once) and clears poison
+        fs.flush_cache().unwrap();
+        assert!(!fs.cache_poisoned());
+        // and the clean unmount path completes
+        let dev = fs.unmount().unwrap().into_inner();
+        let reopened = Ext4Fs::open_for_maintenance(dev).unwrap();
+        let check = crate::check_image(&reopened).unwrap();
+        // the error flag was stamped when the fault fired (so fsck knows
+        // to look), but the metadata itself must be fully consistent —
+        // nothing was dropped on the floor
+        assert!(
+            check
+                .inconsistencies
+                .iter()
+                .all(|i| matches!(i.kind, crate::InconsistencyKind::ErrorFlagSet)),
+            "{:?}",
+            check
+        );
+    }
+
+    #[test]
+    fn mount_effective_policy_comes_from_superblock_when_no_option() {
+        let mut image = image_with_durable_file();
+        // tune2fs -e panic equivalent: record the policy on the image
+        {
+            let mut fs = Ext4Fs::open_for_maintenance(image).unwrap();
+            fs.superblock_mut().errors = errors_policy::PANIC;
+            fs.flush_metadata().unwrap();
+            image = fs.unmount().unwrap();
+        }
+        let fs = Ext4Fs::mount(image, &MountOptions::default()).unwrap();
+        assert_eq!(fs.errors_policy(), errors_policy::PANIC);
+        // an explicit mount option overrides the on-image default
+        let image = fs.unmount().unwrap();
+        let opts =
+            MountOptions { errors: Some(errors_policy::REMOUNT_RO), ..MountOptions::default() };
+        let fs = Ext4Fs::mount(image, &opts).unwrap();
+        assert_eq!(fs.errors_policy(), errors_policy::REMOUNT_RO);
     }
 }

@@ -1,0 +1,344 @@
+//! Verdicts, per-campaign reports and the policy-conformance table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::CampaignConfig;
+
+/// A single fault to inject, in a form that serialises and that maps
+/// 1:1 onto [`blockdev::InjectedFault`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Fail the n-th write outright.
+    FailWrite(u64),
+    /// Persist only the first `bytes` bytes of the n-th write.
+    TornWrite {
+        /// Which write (0-based) to tear.
+        nth: u64,
+        /// Bytes that reach the medium.
+        bytes: usize,
+    },
+    /// Yank the device at the n-th write; all later I/O fails.
+    DeviceGone(u64),
+    /// Fail the n-th read.
+    FailRead(u64),
+    /// Fail the n-th flush (the barrier never happens).
+    FailFlush(u64),
+    /// Every read of `block` comes back with byte `offset` flipped to
+    /// `value` (silent corruption on the read path; the medium itself
+    /// stays intact).
+    CorruptRead {
+        /// Corrupted block.
+        block: u64,
+        /// Byte offset within the block.
+        offset: usize,
+        /// Replacement value.
+        value: u8,
+    },
+}
+
+impl FaultSpec {
+    /// The injectable form.
+    pub fn to_fault(&self) -> blockdev::InjectedFault {
+        match *self {
+            FaultSpec::FailWrite(n) => blockdev::InjectedFault::FailWrite(n),
+            FaultSpec::TornWrite { nth, bytes } => {
+                blockdev::InjectedFault::TornWrite { nth, bytes }
+            }
+            FaultSpec::DeviceGone(n) => blockdev::InjectedFault::DeviceGone(n),
+            FaultSpec::FailRead(n) => blockdev::InjectedFault::FailRead(n),
+            FaultSpec::FailFlush(n) => blockdev::InjectedFault::FailFlush(n),
+            FaultSpec::CorruptRead { block, offset, value } => {
+                blockdev::InjectedFault::CorruptRead { block, offset, value }
+            }
+        }
+    }
+
+    /// Short class name for histograms ("fail_write", "torn_write", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultSpec::FailWrite(_) => "fail_write",
+            FaultSpec::TornWrite { .. } => "torn_write",
+            FaultSpec::DeviceGone(_) => "device_gone",
+            FaultSpec::FailRead(_) => "fail_read",
+            FaultSpec::FailFlush(_) => "fail_flush",
+            FaultSpec::CorruptRead { .. } => "corrupt_read",
+        }
+    }
+
+    /// True for the single-shot write-stream faults whose effect is
+    /// exhausted the moment they fire (so a post-fault probe of the
+    /// degraded mount is meaningful).
+    pub fn is_single_shot_write(&self) -> bool {
+        matches!(
+            self,
+            FaultSpec::FailWrite(_) | FaultSpec::TornWrite { .. } | FaultSpec::FailFlush(_)
+        )
+    }
+}
+
+/// How one fault-injection run ended, ordered best to worst.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Verdict {
+    /// The fault surfaced as a typed error (or was absorbed entirely),
+    /// the image recovered cleanly, and no durable data was lost.
+    CleanError,
+    /// `errors=remount-ro` fired as configured: the mount degraded to
+    /// read-only, kept serving reads, rejected writes, and recovery
+    /// found all durable data.
+    DegradedReadOnly,
+    /// Previously-durable data was missing or wrong after the full
+    /// recovery stack ran (or the image would no longer mount at all).
+    DataLoss,
+    /// Observed behaviour contradicts the configured `errors=` policy —
+    /// e.g. a policy panic under `errors=continue`, or a degraded mount
+    /// that still accepted writes.
+    PolicyViolation,
+    /// A Rust panic escaped the workload, fsck or remount. Always a bug;
+    /// campaigns must report zero of these.
+    Panic,
+}
+
+impl Verdict {
+    /// Stable lowercase name (JSON/table key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::CleanError => "clean_error",
+            Verdict::DegradedReadOnly => "degraded_read_only",
+            Verdict::DataLoss => "data_loss",
+            Verdict::PolicyViolation => "policy_violation",
+            Verdict::Panic => "panic",
+        }
+    }
+}
+
+/// Verdict histogram of one campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictCounts {
+    /// [`Verdict::CleanError`] runs.
+    pub clean_error: usize,
+    /// [`Verdict::DegradedReadOnly`] runs.
+    pub degraded_read_only: usize,
+    /// [`Verdict::DataLoss`] runs.
+    pub data_loss: usize,
+    /// [`Verdict::PolicyViolation`] runs.
+    pub policy_violation: usize,
+    /// [`Verdict::Panic`] runs.
+    pub panic: usize,
+}
+
+impl VerdictCounts {
+    /// Adds one observation.
+    pub fn record(&mut self, v: Verdict) {
+        match v {
+            Verdict::CleanError => self.clean_error += 1,
+            Verdict::DegradedReadOnly => self.degraded_read_only += 1,
+            Verdict::DataLoss => self.data_loss += 1,
+            Verdict::PolicyViolation => self.policy_violation += 1,
+            Verdict::Panic => self.panic += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.clean_error
+            + self.degraded_read_only
+            + self.data_loss
+            + self.policy_violation
+            + self.panic
+    }
+}
+
+/// One explored fault schedule and its classification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: FaultSpec,
+    /// Final classification.
+    pub verdict: Verdict,
+    /// Deterministic evidence string ("op=device-error fsck=1 data=ok"),
+    /// identical across thread counts.
+    pub detail: String,
+}
+
+/// Exploration-side accounting. Cache hit counts depend on scheduling
+/// order across worker threads, so stats sit OUTSIDE the canonical
+/// report signature — only the outcome set must be thread-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Write I/O points in the fault-free trace.
+    pub trace_writes: usize,
+    /// Read I/O points in the fault-free trace.
+    pub trace_reads: usize,
+    /// Flush I/O points in the fault-free trace.
+    pub trace_flushes: usize,
+    /// Fault schedules explored (after sampling caps).
+    pub faults_explored: usize,
+    /// Recovery classifications answered from the digest cache.
+    pub digest_cache_hits: usize,
+    /// Recovery classifications computed (cache misses).
+    pub digest_cache_misses: usize,
+}
+
+/// The result of one campaign: a workload × configuration pair driven
+/// through every enumerated single-fault schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration the campaign ran under.
+    pub config: CampaignConfig,
+    /// One entry per explored schedule, in enumeration order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// Exploration accounting (not part of the canonical signature).
+    pub stats: CampaignStats,
+}
+
+impl CampaignReport {
+    /// Verdict histogram.
+    pub fn counts(&self) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for o in &self.outcomes {
+            c.record(o.verdict);
+        }
+        c
+    }
+
+    /// The worst verdict observed ([`Verdict::CleanError`] when empty).
+    pub fn worst(&self) -> Verdict {
+        self.outcomes.iter().map(|o| o.verdict).max().unwrap_or(Verdict::CleanError)
+    }
+
+    /// True when every configured policy reaction was honoured: no
+    /// [`Verdict::PolicyViolation`] and no [`Verdict::Panic`].
+    pub fn policy_honoured(&self) -> bool {
+        let c = self.counts();
+        c.policy_violation == 0 && c.panic == 0
+    }
+
+    /// Order-independent signature of the outcome *content* (stats
+    /// excluded): byte-identical across thread counts and engine
+    /// scheduling, mirroring crashsim's cross-engine comparison.
+    pub fn canonical_signature(&self) -> Vec<String> {
+        let mut sig: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| format!("{:?}|{:?}|{}", o.fault, o.verdict, o.detail))
+            .collect();
+        sig.sort();
+        sig
+    }
+}
+
+/// One row of the ConHandleCk-style conformance table: does a configured
+/// `errors=` policy actually govern runtime behaviour under this journal
+/// mode and cache policy?
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConformanceRow {
+    /// The `errors=` spelling ("continue", "remount-ro", "panic").
+    pub errors: String,
+    /// Journal present at mkfs time.
+    pub journal: bool,
+    /// Write-back metadata cache (vs write-through).
+    pub write_back: bool,
+    /// Schedules explored.
+    pub faults: usize,
+    /// Verdict histogram.
+    pub counts: VerdictCounts,
+    /// Runs in which the policy visibly fired (mount degraded or the
+    /// typed policy panic was returned).
+    pub policy_fired: usize,
+    /// Zero violations and zero panics.
+    pub honoured: bool,
+}
+
+/// Renders rows as a fixed-width text table.
+pub fn format_conformance_table(rows: &[ConformanceRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "errors      journal cache         faults fired clean degr loss viol panic honoured\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:<7} {:<13} {:>6} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {}\n",
+            r.errors,
+            if r.journal { "yes" } else { "no" },
+            if r.write_back { "write-back" } else { "write-through" },
+            r.faults,
+            r.policy_fired,
+            r.counts.clean_error,
+            r.counts.degraded_read_only,
+            r.counts.data_loss,
+            r.counts.policy_violation,
+            r.counts.panic,
+            if r.honoured { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_order_is_best_to_worst() {
+        assert!(Verdict::CleanError < Verdict::DegradedReadOnly);
+        assert!(Verdict::DegradedReadOnly < Verdict::DataLoss);
+        assert!(Verdict::DataLoss < Verdict::PolicyViolation);
+        assert!(Verdict::PolicyViolation < Verdict::Panic);
+    }
+
+    #[test]
+    fn counts_record_and_total() {
+        let mut c = VerdictCounts::default();
+        c.record(Verdict::CleanError);
+        c.record(Verdict::Panic);
+        c.record(Verdict::CleanError);
+        assert_eq!(c.clean_error, 2);
+        assert_eq!(c.panic, 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn fault_spec_round_trips_to_injected_fault() {
+        let spec = FaultSpec::TornWrite { nth: 3, bytes: 100 };
+        assert!(matches!(
+            spec.to_fault(),
+            blockdev::InjectedFault::TornWrite { nth: 3, bytes: 100 }
+        ));
+        assert_eq!(spec.kind(), "torn_write");
+        assert!(spec.is_single_shot_write());
+        assert!(!FaultSpec::DeviceGone(0).is_single_shot_write());
+    }
+
+    #[test]
+    fn canonical_signature_is_order_independent() {
+        let config = CampaignConfig::default();
+        let a = FaultOutcome {
+            fault: FaultSpec::FailWrite(0),
+            verdict: Verdict::CleanError,
+            detail: "x".into(),
+        };
+        let b = FaultOutcome {
+            fault: FaultSpec::FailFlush(1),
+            verdict: Verdict::DataLoss,
+            detail: "y".into(),
+        };
+        let r1 = CampaignReport {
+            workload: "w".into(),
+            config: config.clone(),
+            outcomes: vec![a.clone(), b.clone()],
+            stats: CampaignStats::default(),
+        };
+        let r2 = CampaignReport {
+            workload: "w".into(),
+            config,
+            outcomes: vec![b, a],
+            stats: CampaignStats { digest_cache_hits: 99, ..CampaignStats::default() },
+        };
+        assert_eq!(r1.canonical_signature(), r2.canonical_signature());
+        assert_eq!(r1.worst(), Verdict::DataLoss);
+    }
+}

@@ -1,0 +1,202 @@
+//! Re-executable workloads and the configuration axes a campaign
+//! sweeps.
+//!
+//! crashsim replays a recorded *trace*; fault injection cannot, because
+//! the file system reacts to each fault as it happens (an error return
+//! changes every subsequent I/O). A [`FaultWorkload`] is therefore a
+//! *live* operation sequence that the campaign re-executes from the same
+//! starting image once per fault schedule.
+
+use blockdev::{BlockDevice, MemDevice};
+use ext4sim::{
+    errors_policy, CachePolicy, CompatFeatures, Ext4Fs, FsError, MkfsParams, MountOptions,
+};
+use serde::{Deserialize, Serialize};
+
+/// One point of the configuration grid the conformance table sweeps:
+/// the runtime `errors=` reaction × journal presence × metadata cache
+/// policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// `errors=` policy (an [`ext4sim::errors_policy`] constant).
+    pub errors: u16,
+    /// Format the image with a journal (`mke2fs -O has_journal`).
+    pub journal: bool,
+    /// Mount with the write-back metadata cache (vs write-through).
+    pub write_back: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { errors: errors_policy::CONTINUE, journal: true, write_back: true }
+    }
+}
+
+impl CampaignConfig {
+    /// The `mount -o errors=` spelling of the policy.
+    pub fn errors_str(&self) -> &'static str {
+        match self.errors {
+            errors_policy::REMOUNT_RO => "remount-ro",
+            errors_policy::PANIC => "panic",
+            _ => "continue",
+        }
+    }
+
+    /// Compact label ("errors=panic,journal,write-back").
+    pub fn label(&self) -> String {
+        format!(
+            "errors={},{},{}",
+            self.errors_str(),
+            if self.journal { "journal" } else { "no-journal" },
+            if self.write_back { "write-back" } else { "write-through" },
+        )
+    }
+
+    /// The full 3 policies × journal on/off × cache policy grid, in a
+    /// fixed deterministic order.
+    pub fn full_grid() -> Vec<CampaignConfig> {
+        let mut grid = Vec::with_capacity(12);
+        for errors in [errors_policy::CONTINUE, errors_policy::REMOUNT_RO, errors_policy::PANIC] {
+            for journal in [true, false] {
+                for write_back in [true, false] {
+                    grid.push(CampaignConfig { errors, journal, write_back });
+                }
+            }
+        }
+        grid
+    }
+
+    /// Mount options matching this configuration.
+    pub fn mount_options(&self) -> MountOptions {
+        MountOptions { errors: Some(self.errors), ..MountOptions::default() }
+    }
+
+    /// The [`CachePolicy`] matching this configuration.
+    pub fn cache_policy(&self) -> CachePolicy {
+        if self.write_back {
+            CachePolicy::WriteBack
+        } else {
+            CachePolicy::WriteThrough
+        }
+    }
+}
+
+/// A deterministic, re-runnable workload: a starting image with durable
+/// content, plus a mutation phase executed under fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultWorkload {
+    /// Display name.
+    pub name: String,
+    /// Configuration this instance formats and mounts with.
+    pub config: CampaignConfig,
+    /// Files present (and flushed) before the mutation phase starts;
+    /// they must survive every single-fault schedule.
+    pub durable_files: Vec<(String, Vec<u8>)>,
+}
+
+impl FaultWorkload {
+    /// The standard mixed-metadata workload (mkdir, creates, writes,
+    /// rename, unlink) under `config`.
+    pub fn standard(config: CampaignConfig) -> Self {
+        let durable_files = vec![
+            ("keep_a".to_string(), vec![0xA1u8; 600]),
+            ("keep_b".to_string(), vec![0xB2u8; 1300]),
+        ];
+        FaultWorkload { name: format!("mixed[{}]", config.label()), config, durable_files }
+    }
+
+    /// Builds the starting image: format per the configuration, create
+    /// the durable files, unmount cleanly. Faults are never injected
+    /// here — this image is the known-good baseline every schedule
+    /// restarts from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates format/IO errors (none expected on a `MemDevice`).
+    pub fn setup(&self) -> Result<MemDevice, FsError> {
+        let dev = MemDevice::new(1024, 4096);
+        let mut params = MkfsParams { block_size: Some(1024), ..MkfsParams::default() };
+        if !self.config.journal {
+            params.features.compat.remove(CompatFeatures::HAS_JOURNAL);
+        }
+        let mut fs = Ext4Fs::format(dev, &params)?;
+        let root = fs.root_inode();
+        for (name, content) in &self.durable_files {
+            let ino = fs.create_file(root, name)?;
+            fs.write_file(ino, 0, content)?;
+        }
+        fs.unmount()
+    }
+
+    /// The mutation phase: a fixed mix of namespace and data operations
+    /// touching directories, bitmaps, inode tables and file blocks, with
+    /// an explicit final sync. Deterministic by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first typed error an injected fault produces.
+    pub fn run_op<D: BlockDevice>(&self, fs: &mut Ext4Fs<D>) -> Result<(), FsError> {
+        let root = fs.root_inode();
+        let work = fs.mkdir(root, "work")?;
+        for i in 0u8..3 {
+            let f = fs.create_file(work, &format!("f{i}"))?;
+            fs.write_file(f, 0, &vec![0x40 + i; 700 + usize::from(i) * 400])?;
+        }
+        fs.rename(work, "f0", root, "promoted")?;
+        fs.unlink(work, "f1")?;
+        fs.flush_metadata()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ext4sim::ROOT_INODE;
+
+    #[test]
+    fn full_grid_is_twelve_unique_configs() {
+        let grid = CampaignConfig::full_grid();
+        assert_eq!(grid.len(), 12);
+        for (i, a) in grid.iter().enumerate() {
+            for b in &grid[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_spell_the_axes() {
+        let c = CampaignConfig {
+            errors: errors_policy::REMOUNT_RO,
+            journal: false,
+            write_back: false,
+        };
+        assert_eq!(c.label(), "errors=remount-ro,no-journal,write-through");
+        assert_eq!(c.cache_policy(), CachePolicy::WriteThrough);
+        assert_eq!(c.mount_options().errors, Some(errors_policy::REMOUNT_RO));
+    }
+
+    #[test]
+    fn setup_then_op_runs_fault_free_on_every_config() {
+        for config in CampaignConfig::full_grid() {
+            let w = FaultWorkload::standard(config.clone());
+            let image = w.setup().unwrap();
+            let mut fs = Ext4Fs::mount_with_policy(
+                image,
+                &config.mount_options(),
+                config.cache_policy(),
+            )
+            .unwrap();
+            w.run_op(&mut fs).unwrap();
+            let image = fs.unmount().unwrap();
+            // the durable files and the op's results are all present
+            let fs = Ext4Fs::mount(image, &MountOptions::read_only()).unwrap();
+            for (name, content) in &w.durable_files {
+                let e = fs.lookup(ROOT_INODE, name).unwrap().unwrap();
+                assert_eq!(&fs.read_file_to_vec(ext4sim::InodeNo(e.inode)).unwrap(), content);
+            }
+            assert!(fs.lookup(ROOT_INODE, "promoted").unwrap().is_some());
+        }
+    }
+}

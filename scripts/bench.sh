@@ -11,7 +11,11 @@
 #   * fs-substrate I/O (repro_fsops --bench → BENCH_fsops.json):
 #     ext4sim's write-back metadata cache vs the write-through
 #     baseline over format, file cycles, defrag and a ConBugCk
-#     campaign.
+#     campaign;
+#   * fault-injection campaigns (repro_faultsim --bench →
+#     BENCH_faultsim.json): the single-threaded uncached sweep vs the
+#     classification worker pool and the shared image-digest recovery
+#     cache, over the errors= × journal × cache-policy grid.
 #
 # Usage: scripts/bench.sh [extra args passed to ALL binaries]
 #   e.g. scripts/bench.sh --threads 4
@@ -22,6 +26,7 @@ cd "$(dirname "$0")/.."
 cargo build --release -p bench
 ./target/release/repro_crashsim --bench "$@"
 ./target/release/repro_analyzer --bench "$@"
+./target/release/repro_faultsim --bench "$@"
 # repro_fsops takes no --threads; strip it (and its value) from "$@"
 fsops_args=()
 skip=0

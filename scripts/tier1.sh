@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, full test suite, lint-clean under clippy, a
 # crash-exploration benchmark smoke (tiny trace, 2 threads), a
-# taint-analyzer benchmark smoke, and an fs-substrate smoke — each
-# checking the BENCH JSON is well-formed and the racing engines (or
-# cache policies) agreed.
+# taint-analyzer benchmark smoke, an fs-substrate smoke, and a
+# fault-injection conformance smoke — each checking the BENCH JSON is
+# well-formed and the racing engines (or cache policies) agreed — plus
+# a grep lint holding the line on unwrap/expect in ext4sim runtime
+# code.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -71,6 +73,54 @@ assert t["write_reduction"] >= 1.0, f"no write reduction: {t['write_reduction']}
 assert t["wall_speedup"] >= 1.0, f"cached engine slower overall: {t['wall_speedup']}"
 print("fsops smoke OK:", len(bench["legs"]), "leg(s),",
       f"{t['write_reduction']:.2f}x fewer writes")
+EOF
+
+./target/release/repro_faultsim --bench --smoke --threads 2 \
+  --out target/bench_faultsim_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/bench_faultsim_smoke.json") as f:
+    bench = json.load(f)
+assert bench["configs"] == 12, f"expected the full 12-config grid: {bench['configs']}"
+assert len(bench["rows"]) == 12
+for row in bench["rows"]:
+    label = f"errors={row['errors']} journal={row['journal']} wb={row['write_back']}"
+    assert row["faults"] > 0, f"no fault schedules explored for {label}"
+    assert row["counts"]["panic"] == 0, f"panic verdict under {label}"
+    assert row["counts"]["policy_violation"] == 0, f"policy violated under {label}"
+    assert row["honoured"], f"policy not honoured for {label}"
+    total = sum(row["counts"].values())
+    assert total == row["faults"], f"unclassified schedules under {label}"
+remount = [r for r in bench["rows"] if r["errors"] == "remount-ro"]
+assert any(r["policy_fired"] > 0 for r in remount), "remount-ro never fired"
+for cfg in ("single", "parallel", "parallel_cached"):
+    assert bench[cfg]["wall_ms"] >= 0
+    assert bench[cfg]["faults_explored"] > 0
+assert bench["all_reports_identical"], "engines disagreed on a campaign report"
+assert bench["zero_panics"]
+assert bench["all_policies_honoured"]
+assert bench["parallel_cached"]["cache_hits"] > 0, "digest cache never hit"
+print("faultsim smoke OK:", bench["single"]["faults_explored"], "schedules,",
+      bench["parallel_cached"]["cache_hits"], "cache hits")
+EOF
+
+# Error-handling lint: the errors= policy work routes device failures
+# through typed errors; hold the line on unwrap()/expect() in ext4sim's
+# non-test runtime code (the allowed counts are invariant-expects on
+# in-memory cache state, audited 2026-08).
+python3 - <<'EOF'
+ceilings = {"fs.rs": 10, "cache.rs": 0, "journal.rs": 0, "superblock.rs": 0,
+            "extent.rs": 0, "dir.rs": 0, "inode.rs": 0}
+for name, ceiling in ceilings.items():
+    src = open(f"crates/ext4sim/src/{name}").read()
+    cut = src.find("#[cfg(test)]")
+    body = src if cut < 0 else src[:cut]
+    n = body.count(".unwrap()") + body.count(".expect(")
+    assert n <= ceiling, (
+        f"ext4sim/src/{name} has {n} non-test unwrap/expect (ceiling {ceiling}): "
+        "device-I/O paths must return typed errors, not panic"
+    )
+print("unwrap/expect lint OK")
 EOF
 
 # Ecosystem smoke: all six components through the unified Component

@@ -10,5 +10,6 @@ pub use contools;
 pub use crashsim;
 pub use e2fstools;
 pub use ext4sim;
+pub use faultsim;
 pub use study;
 pub use taint;
