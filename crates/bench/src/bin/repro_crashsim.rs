@@ -22,12 +22,13 @@
 //! redirect). `--smoke` shrinks the run for CI gates; `--threads N`
 //! pins the worker count (default: one per core).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crashsim::{
-    defrag_workload, explore, figure1_resize_workload, format_workload,
-    journaled_write_workload, CrashReport, ExploreOptions, ExploreStats, Verdict, VerdictCounts,
-    Workload,
+    defrag_workload, explore, figure1_resize_workload, format_workload, generated_corpus,
+    journaled_write_workload, CrashReport, ExploreOptions, ExploreStats, OutcomeCore, Verdict,
+    VerdictCounts, VerdictStore, Workload,
 };
 use serde::Serialize;
 
@@ -148,6 +149,239 @@ struct BenchSummary {
     rows: Vec<BenchRow>,
     totals: BenchTotals,
     all_reports_identical: bool,
+    corpus: CorpusSummary,
+}
+
+/// One corpus leg's measured run (a single repetition: the persistent
+/// store makes repeated runs non-equivalent by design).
+#[derive(Serialize)]
+struct CorpusLeg {
+    wall_ms: f64,
+    blocks_replayed: u64,
+    images_classified: usize,
+    schedules_pruned: usize,
+    por_classes: usize,
+    store_hits: usize,
+    store_misses: usize,
+    cache_hits: usize,
+}
+
+impl CorpusLeg {
+    fn measure(workload: &Workload, opts: &ExploreOptions) -> (CorpusLeg, CrashReport) {
+        let start = Instant::now();
+        let report = explore(workload, opts).unwrap_or_else(|e| {
+            eprintln!("corpus exploration of '{}' failed: {e}", workload.name);
+            std::process::exit(1);
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let s = report.stats;
+        (
+            CorpusLeg {
+                wall_ms,
+                blocks_replayed: s.blocks_replayed,
+                images_classified: s.images_classified,
+                schedules_pruned: s.schedules_pruned,
+                por_classes: s.por_classes,
+                store_hits: s.store_hits,
+                store_misses: s.store_misses,
+                cache_hits: s.cache_hits,
+            },
+            report,
+        )
+    }
+}
+
+/// Full enumeration vs POR vs POR over a warm store, per corpus entry.
+#[derive(Serialize)]
+struct CorpusRow {
+    workload: String,
+    writes: usize,
+    flushes: usize,
+    schedules_enumerated: usize,
+    exhaustive: CorpusLeg,
+    por_cold: CorpusLeg,
+    por_warm: CorpusLeg,
+    prune_ratio: f64,
+    wall_speedup_por: f64,
+    wall_speedup_warm: f64,
+    reports_identical: bool,
+    verdict_counts_identical: bool,
+}
+
+#[derive(Serialize)]
+struct CorpusTotals {
+    exhaustive_wall_ms: f64,
+    por_cold_wall_ms: f64,
+    por_warm_wall_ms: f64,
+    schedules_enumerated: usize,
+    schedules_pruned: usize,
+    por_classes: usize,
+    prune_ratio: f64,
+    warm_store_hits: usize,
+    warm_images_classified: usize,
+    warm_blocks_replayed: u64,
+    corpus_wall_ratio_por: f64,
+    corpus_wall_ratio_warm: f64,
+}
+
+#[derive(Serialize)]
+struct CorpusSummary {
+    description: String,
+    store_path: String,
+    workloads: usize,
+    ops_per_workload: usize,
+    max_batch_ops: u32,
+    rows: Vec<CorpusRow>,
+    totals: CorpusTotals,
+    all_reports_identical: bool,
+    warm_run_clean: bool,
+}
+
+/// Races full deep-reorder enumeration against the POR engine (cold
+/// store, then a second warm run over the persisted verdicts) on a
+/// generated multi-op corpus. Exits nonzero if any pruned run's
+/// canonical signature or verdict-class counts diverge from the
+/// exhaustive run.
+fn run_corpus(smoke: bool, threads: usize, store_path: &std::path::Path) -> CorpusSummary {
+    let (count, ops, batch) = if smoke { (2, 6, 2) } else { (3, 16, 4) };
+    let corpus = generated_corpus(0xC0FFEE, count, ops, batch).unwrap_or_else(|e| {
+        eprintln!("corpus generation failed: {e}");
+        std::process::exit(1);
+    });
+
+    // the bench owns its store file: the cold leg must start empty
+    let _ = std::fs::remove_file(store_path);
+    let exhaustive_opts = ExploreOptions { deep_reorder: true, ..ExploreOptions::default() }
+        .with_threads(threads);
+    let cold_store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(store_path));
+    let cold_opts =
+        ExploreOptions::corpus().with_threads(threads).with_store(Arc::clone(&cold_store));
+
+    let mut rows: Vec<CorpusRow> = Vec::new();
+    let mut reports = Vec::new();
+    for workload in &corpus {
+        eprintln!(
+            "corpus '{}' ({} writes, {} flushes)...",
+            workload.name,
+            workload.trace.write_count(),
+            workload.trace.flush_count()
+        );
+        let (exhaustive, ex_report) = CorpusLeg::measure(workload, &exhaustive_opts);
+        let (por_cold, cold_report) = CorpusLeg::measure(workload, &cold_opts);
+        reports.push((ex_report, cold_report));
+        rows.push(CorpusRow {
+            workload: workload.name.clone(),
+            writes: workload.trace.write_count(),
+            flushes: workload.trace.flush_count(),
+            schedules_enumerated: 0, // filled below from the exhaustive report
+            prune_ratio: 0.0,
+            wall_speedup_por: exhaustive.wall_ms / por_cold.wall_ms.max(f64::EPSILON),
+            wall_speedup_warm: 0.0,
+            exhaustive,
+            por_cold,
+            por_warm: CorpusLeg {
+                wall_ms: 0.0,
+                blocks_replayed: 0,
+                images_classified: 0,
+                schedules_pruned: 0,
+                por_classes: 0,
+                store_hits: 0,
+                store_misses: 0,
+                cache_hits: 0,
+            },
+            reports_identical: false,
+            verdict_counts_identical: false,
+        });
+    }
+
+    // drop the cold handle and reopen: the warm leg must prove the
+    // verdicts round-trip through the on-disk store, not the heap
+    drop(cold_opts);
+    drop(cold_store);
+    let warm_store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(store_path));
+    eprintln!("warm store preloaded {} verdicts", warm_store.preloaded());
+    let warm_opts =
+        ExploreOptions::corpus().with_threads(threads).with_store(Arc::clone(&warm_store));
+
+    let mut all_identical = true;
+    let mut warm_clean = true;
+    for ((row, workload), (ex_report, cold_report)) in
+        rows.iter_mut().zip(&corpus).zip(&reports)
+    {
+        let (por_warm, warm_report) = CorpusLeg::measure(workload, &warm_opts);
+        row.por_warm = por_warm;
+        row.schedules_enumerated = ex_report.outcomes.len();
+        row.prune_ratio =
+            row.schedules_enumerated as f64 / (row.por_cold.por_classes.max(1)) as f64;
+        row.wall_speedup_warm = row.exhaustive.wall_ms / row.por_warm.wall_ms.max(f64::EPSILON);
+        let ex_sig = ex_report.canonical_signature();
+        row.reports_identical = ex_sig == cold_report.canonical_signature()
+            && ex_sig == warm_report.canonical_signature();
+        row.verdict_counts_identical = ex_report.counts() == cold_report.counts()
+            && ex_report.counts() == warm_report.counts();
+        if row.por_warm.images_classified != 0 || row.por_warm.blocks_replayed != 0 {
+            warm_clean = false;
+        }
+        all_identical &= row.reports_identical && row.verdict_counts_identical;
+        eprintln!(
+            "  enumerated {} -> {} classes ({:.1}x pruned) | exhaustive {:.1} ms | \
+             por {:.1} ms | warm {:.1} ms ({} store hits) | identical: {}",
+            row.schedules_enumerated,
+            row.por_cold.por_classes,
+            row.prune_ratio,
+            row.exhaustive.wall_ms,
+            row.por_cold.wall_ms,
+            row.por_warm.wall_ms,
+            row.por_warm.store_hits,
+            row.reports_identical,
+        );
+    }
+
+    let totals = CorpusTotals {
+        exhaustive_wall_ms: rows.iter().map(|r| r.exhaustive.wall_ms).sum(),
+        por_cold_wall_ms: rows.iter().map(|r| r.por_cold.wall_ms).sum(),
+        por_warm_wall_ms: rows.iter().map(|r| r.por_warm.wall_ms).sum(),
+        schedules_enumerated: rows.iter().map(|r| r.schedules_enumerated).sum(),
+        schedules_pruned: rows.iter().map(|r| r.por_cold.schedules_pruned).sum(),
+        por_classes: rows.iter().map(|r| r.por_cold.por_classes).sum(),
+        prune_ratio: rows.iter().map(|r| r.schedules_enumerated).sum::<usize>() as f64
+            / rows.iter().map(|r| r.por_cold.por_classes).sum::<usize>().max(1) as f64,
+        warm_store_hits: rows.iter().map(|r| r.por_warm.store_hits).sum(),
+        warm_images_classified: rows.iter().map(|r| r.por_warm.images_classified).sum(),
+        warm_blocks_replayed: rows.iter().map(|r| r.por_warm.blocks_replayed).sum(),
+        corpus_wall_ratio_por: rows.iter().map(|r| r.exhaustive.wall_ms).sum::<f64>()
+            / rows.iter().map(|r| r.por_cold.wall_ms).sum::<f64>().max(f64::EPSILON),
+        corpus_wall_ratio_warm: rows.iter().map(|r| r.exhaustive.wall_ms).sum::<f64>()
+            / rows.iter().map(|r| r.por_warm.wall_ms).sum::<f64>().max(f64::EPSILON),
+    };
+    eprintln!(
+        "corpus total: {} schedules -> {} classes ({:.1}x) | exhaustive {:.1} ms -> \
+         por {:.1} ms ({:.2}x) -> warm {:.1} ms ({:.2}x, {} cross-run hits)",
+        totals.schedules_enumerated,
+        totals.por_classes,
+        totals.prune_ratio,
+        totals.exhaustive_wall_ms,
+        totals.por_cold_wall_ms,
+        totals.corpus_wall_ratio_por,
+        totals.por_warm_wall_ms,
+        totals.corpus_wall_ratio_warm,
+        totals.warm_store_hits,
+    );
+
+    CorpusSummary {
+        description: "corpus-scale crash exploration: full deep-reorder enumeration vs \
+                      partial-order reduction (cold persistent store) vs POR over the warm \
+                      store, on generated multi-op workloads under journal group commit"
+            .to_string(),
+        store_path: store_path.display().to_string(),
+        workloads: count,
+        ops_per_workload: ops,
+        max_batch_ops: batch,
+        rows,
+        totals,
+        all_reports_identical: all_identical,
+        warm_run_clean: warm_clean,
+    }
 }
 
 fn build_workloads(smoke: bool) -> Vec<Workload> {
@@ -178,7 +412,7 @@ fn build_workloads(smoke: bool) -> Vec<Workload> {
         .collect()
 }
 
-fn run_bench(smoke: bool, threads: usize, out: &str) {
+fn run_bench(smoke: bool, threads: usize, out: &str, store_path: Option<&str>) {
     let cap = if smoke { 8 } else { 64 };
     let reps = if smoke { 1 } else { 3 };
     let sequential_opts = ExploreOptions {
@@ -260,16 +494,26 @@ fn run_bench(smoke: bool, threads: usize, out: &str) {
         totals.cache_hits,
     );
 
+    let default_store = std::env::temp_dir().join("crashsim_corpus.vstore");
+    let store_path = store_path
+        .map(std::path::PathBuf::from)
+        .unwrap_or(default_store);
+    let corpus = run_corpus(smoke, threads, &store_path);
+    let corpus_ok = corpus.all_reports_identical && corpus.warm_run_clean;
+    let corpus_warm_clean = corpus.warm_run_clean;
+
     let summary = BenchSummary {
         description: "crash-exploration engine benchmark: legacy sequential replay vs rolling \
                       CoW materialisation with a classification worker pool, without and with \
-                      image-digest verdict caching"
+                      image-digest verdict caching; plus corpus-scale partial-order reduction \
+                      over a persistent verdict store"
             .to_string(),
         smoke,
         prefix_points_cap: cap,
         rows,
         totals,
         all_reports_identical: all_identical,
+        corpus,
     };
     let json = serde_json::to_string_pretty(&summary).unwrap_or_else(|e| {
         eprintln!("serialisation failed: {e}");
@@ -284,10 +528,26 @@ fn run_bench(smoke: bool, threads: usize, out: &str) {
         eprintln!("ERROR: engine configurations disagreed on at least one report");
         std::process::exit(1);
     }
+    if !corpus_ok {
+        if !corpus_warm_clean {
+            eprintln!("ERROR: warm-store corpus run still materialised or classified images");
+        } else {
+            eprintln!("ERROR: a pruned corpus run diverged from the exhaustive enumeration");
+        }
+        std::process::exit(1);
+    }
 }
 
-fn run_repro() {
-    let opts = ExploreOptions::sampled(64).with_threads(0);
+fn run_repro(store_path: Option<&str>) {
+    let mut opts = ExploreOptions::sampled(64).with_threads(0);
+    let store = store_path.map(|p| {
+        let s: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(p));
+        eprintln!("verdict store '{}': {} verdicts preloaded", p, s.preloaded());
+        s
+    });
+    if let Some(s) = &store {
+        opts = opts.with_store(Arc::clone(s));
+    }
     let mut entries = Vec::new();
     for workload in build_workloads(false) {
         eprintln!(
@@ -320,6 +580,14 @@ fn run_repro() {
         );
         entries.push(Entry::from_report(report));
     }
+    if let Some(s) = &store {
+        eprintln!(
+            "verdict store: {} hits, {} misses, {} verdicts held",
+            s.hits(),
+            s.misses(),
+            s.len()
+        );
+    }
 
     let summary = Summary {
         description: "crash-consistency exploration: write prefixes, torn final writes and \
@@ -342,6 +610,7 @@ fn main() {
     let mut smoke = false;
     let mut threads = 0usize; // 0 = one worker per core
     let mut out = "BENCH_crashsim.json".to_string();
+    let mut store: Option<String> = std::env::var("CRASHSIM_STORE").ok();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -364,17 +633,27 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--store" => {
+                i += 1;
+                store = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--store needs a path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: repro_crashsim [--bench [--smoke] [--threads N] [--out PATH]]");
+                eprintln!(
+                    "usage: repro_crashsim [--store PATH] \
+                     [--bench [--smoke] [--threads N] [--out PATH]]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
     if bench {
-        run_bench(smoke, threads, &out);
+        run_bench(smoke, threads, &out, store.as_deref());
     } else {
-        run_repro();
+        run_repro(store.as_deref());
     }
 }

@@ -44,6 +44,7 @@ mod mem;
 mod recording;
 mod shared;
 mod stats;
+mod store;
 
 pub use cow::CowDevice;
 pub use device::BlockDevice;
@@ -57,3 +58,4 @@ pub use mem::MemDevice;
 pub use recording::{IoEvent, IoTrace, RecordingDevice};
 pub use shared::SharedDevice;
 pub use stats::{IoStats, StatsDevice};
+pub use store::{StoreKey, VerdictStore};

@@ -1,0 +1,444 @@
+//! Shared digest-keyed verdict memoisation with optional persistence.
+//!
+//! Both the crash explorer and the fault-injection campaigns classify
+//! post-crash images, and both memoise verdicts by content digest so a
+//! byte-identical image is never classified twice. [`VerdictStore`] is
+//! the one implementation behind both: an in-memory map keyed by
+//! `(ImageDigest, u64)` — the second component distinguishes contexts
+//! that must not share verdicts, such as differing applicable
+//! expectation sets — with shared hit/miss counters, plus an optional
+//! append-only on-disk log so verdicts survive across process runs
+//! (`CRASHSIM_STORE` / `--store`).
+//!
+//! # On-disk format
+//!
+//! An 8-byte header (`b"VSTR"` magic + little-endian `u32` version)
+//! followed by records, each framed as
+//!
+//! ```text
+//! [u32 payload length][u64 FNV-1a checksum of payload][payload]
+//! ```
+//!
+//! where the payload is the JSON key line (`{"a":..,"b":..,"x":..}`),
+//! a newline, and the JSON-serialised verdict. Length-prefixing plus a
+//! per-record checksum means truncation and bit-level garbage are both
+//! detected on load; a corrupt store falls back to a cold start (the
+//! file is truncated back to its header) with a warning rather than
+//! poisoning a campaign with bogus verdicts.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::ImageDigest;
+
+/// Store key: content digest plus a context discriminator (e.g. a hash
+/// of the applicable expectation set).
+pub type StoreKey = (ImageDigest, u64);
+
+const MAGIC: [u8; 4] = *b"VSTR";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8;
+/// Sanity cap on a single record payload (a verdict is small JSON).
+const MAX_PAYLOAD: u32 = 1 << 24;
+
+/// JSON shape of the key half of a record payload.
+#[derive(Serialize, Deserialize)]
+struct KeyLine {
+    a: u64,
+    b: u64,
+    x: u64,
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    // FNV-1a, same constants as the digest module's first stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in payload {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest-keyed verdict memo shared by crashsim and faultsim, with an
+/// optional append-only persistent log.
+pub struct VerdictStore<V> {
+    enabled: bool,
+    map: Mutex<HashMap<StoreKey, V>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    preloaded: usize,
+    log: Option<Mutex<File>>,
+}
+
+impl<V> fmt::Debug for VerdictStore<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerdictStore")
+            .field("enabled", &self.enabled)
+            .field("len", &self.map.lock().len())
+            .field("preloaded", &self.preloaded)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("persistent", &self.log.is_some())
+            .finish()
+    }
+}
+
+impl<V> VerdictStore<V>
+where
+    V: Clone + Serialize + for<'de> Deserialize<'de>,
+{
+    /// A purely in-memory store. With `enabled == false` every lookup
+    /// misses and nothing is retained (useful as a no-op cache).
+    pub fn in_memory(enabled: bool) -> Self {
+        VerdictStore {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            preloaded: 0,
+            log: None,
+        }
+    }
+
+    /// Opens (creating if absent) a persistent store at `path`.
+    ///
+    /// Infallible by design: an I/O failure degrades to a memory-only
+    /// store with a warning, and a truncated or corrupt file is reset
+    /// to an empty store (cold start) with a warning — campaigns never
+    /// abort because of store trouble.
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref();
+        let open = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path);
+        let mut file = match open {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!(
+                    "warning: verdict store {}: {e}; continuing without persistence",
+                    path.display()
+                );
+                return Self::in_memory(true);
+            }
+        };
+        let mut raw = Vec::new();
+        if let Err(e) = file.read_to_end(&mut raw) {
+            eprintln!(
+                "warning: verdict store {}: read failed ({e}); continuing without persistence",
+                path.display()
+            );
+            return Self::in_memory(true);
+        }
+        let mut map = HashMap::new();
+        let mut reset = false;
+        if raw.is_empty() {
+            reset = true; // fresh file: stamp the header below
+        } else {
+            match Self::parse(&raw, &mut map) {
+                Ok(()) => {}
+                Err(why) => {
+                    eprintln!(
+                        "warning: verdict store {} is corrupt ({why}); cold-starting",
+                        path.display()
+                    );
+                    map.clear();
+                    reset = true;
+                }
+            }
+        }
+        if reset {
+            let fresh = file
+                .set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+                .and_then(|()| file.write_all(&MAGIC))
+                .and_then(|()| file.write_all(&VERSION.to_le_bytes()));
+            if let Err(e) = fresh {
+                eprintln!(
+                    "warning: verdict store {}: reset failed ({e}); continuing without persistence",
+                    path.display()
+                );
+                return Self::in_memory(true);
+            }
+        } else if let Err(e) = file.seek(SeekFrom::End(0)) {
+            eprintln!(
+                "warning: verdict store {}: seek failed ({e}); continuing without persistence",
+                path.display()
+            );
+            return Self::in_memory(true);
+        }
+        let preloaded = map.len();
+        VerdictStore {
+            enabled: true,
+            map: Mutex::new(map),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            preloaded,
+            log: Some(Mutex::new(file)),
+        }
+    }
+
+    /// Parses a full store image into `map`; any framing, checksum or
+    /// decode failure rejects the whole file (cold-start semantics).
+    fn parse(raw: &[u8], map: &mut HashMap<StoreKey, V>) -> Result<(), String> {
+        if raw.len() < HEADER_LEN as usize {
+            return Err("short header".into());
+        }
+        if raw[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let version = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+        if version != VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let mut at = HEADER_LEN as usize;
+        while at < raw.len() {
+            if raw.len() - at < 12 {
+                return Err(format!("truncated frame at byte {at}"));
+            }
+            let len = u32::from_le_bytes([raw[at], raw[at + 1], raw[at + 2], raw[at + 3]]);
+            if len > MAX_PAYLOAD {
+                return Err(format!("implausible record length {len} at byte {at}"));
+            }
+            let sum = u64::from_le_bytes([
+                raw[at + 4],
+                raw[at + 5],
+                raw[at + 6],
+                raw[at + 7],
+                raw[at + 8],
+                raw[at + 9],
+                raw[at + 10],
+                raw[at + 11],
+            ]);
+            let start = at + 12;
+            let end = start + len as usize;
+            if end > raw.len() {
+                return Err(format!("truncated payload at byte {at}"));
+            }
+            let payload = &raw[start..end];
+            if checksum(payload) != sum {
+                return Err(format!("checksum mismatch at byte {at}"));
+            }
+            let text =
+                std::str::from_utf8(payload).map_err(|_| format!("non-UTF8 payload at {at}"))?;
+            let (key_line, value_json) =
+                text.split_once('\n').ok_or_else(|| format!("unframed payload at {at}"))?;
+            let key: KeyLine = serde_json::from_str(key_line)
+                .map_err(|e| format!("bad key at byte {at}: {e:?}"))?;
+            let value: V = serde_json::from_str(value_json)
+                .map_err(|e| format!("bad value at byte {at}: {e:?}"))?;
+            map.insert((ImageDigest { a: key.a, b: key.b }, key.x), value);
+            at = end;
+        }
+        Ok(())
+    }
+
+    /// Looks up a verdict, counting a hit or a miss. A disabled store
+    /// always misses.
+    pub fn lookup(&self, key: StoreKey) -> Option<V> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match self.map.lock().get(&key).cloned() {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a verdict (no-op on a disabled store) and appends it to
+    /// the persistent log if one is attached. Does not touch counters.
+    pub fn insert(&self, key: StoreKey, value: V) {
+        if !self.enabled {
+            return;
+        }
+        let fresh = self.map.lock().insert(key, value.clone()).is_none();
+        if !fresh {
+            return; // already logged (or superseded by an equal verdict)
+        }
+        if let Some(log) = &self.log {
+            let key_line = KeyLine { a: key.0.a, b: key.0.b, x: key.1 };
+            let (key_json, value_json) =
+                match (serde_json::to_string(&key_line), serde_json::to_string(&value)) {
+                    (Ok(k), Ok(v)) => (k, v),
+                    _ => return, // unserialisable verdicts just stay in memory
+                };
+            let payload = format!("{key_json}\n{value_json}");
+            let bytes = payload.as_bytes();
+            let mut frame = Vec::with_capacity(12 + bytes.len());
+            frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&checksum(bytes).to_le_bytes());
+            frame.extend_from_slice(bytes);
+            let mut file = log.lock();
+            if let Err(e) = file.write_all(&frame) {
+                eprintln!("warning: verdict store append failed: {e}");
+            }
+        }
+    }
+
+    /// Memoised computation: returns the cached verdict on a hit, else
+    /// runs `compute`, stores the result and returns it.
+    pub fn get_or_compute(&self, key: StoreKey, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.lookup(key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of verdicts currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the store holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Verdicts loaded from disk when the store was opened.
+    pub fn preloaded(&self) -> usize {
+        self.preloaded
+    }
+
+    /// Whether lookups can ever hit (false for the no-op cache).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_store(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("blockdev_vstore_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn key(n: u64) -> StoreKey {
+        (ImageDigest { a: n, b: n.wrapping_mul(31) }, n % 3)
+    }
+
+    #[test]
+    fn in_memory_memoises_and_counts() {
+        let store: VerdictStore<usize> = VerdictStore::in_memory(true);
+        let mut calls = 0;
+        let v = store.get_or_compute(key(1), || {
+            calls += 1;
+            7
+        });
+        assert_eq!(v, 7);
+        let v = store.get_or_compute(key(1), || {
+            calls += 1;
+            99
+        });
+        assert_eq!(v, 7, "second lookup must hit the memo");
+        assert_eq!(calls, 1);
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disabled_store_never_retains() {
+        let store: VerdictStore<usize> = VerdictStore::in_memory(false);
+        store.insert(key(1), 7);
+        assert_eq!(store.lookup(key(1)), None);
+        assert_eq!(store.len(), 0);
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = temp_store("roundtrip");
+        {
+            let store: VerdictStore<usize> = VerdictStore::open(&path);
+            assert_eq!(store.preloaded(), 0);
+            store.insert(key(1), 10);
+            store.insert(key(2), 20);
+            store.insert(key(2), 20); // duplicate insert must not double-log
+        }
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        assert_eq!(store.preloaded(), 2);
+        assert_eq!(store.lookup(key(1)), Some(10));
+        assert_eq!(store.lookup(key(2)), Some(20));
+        assert_eq!(store.hits(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flip_cold_starts_and_recovers() {
+        let path = temp_store("bitflip");
+        {
+            let store: VerdictStore<usize> = VerdictStore::open(&path);
+            store.insert(key(1), 10);
+            store.insert(key(2), 20);
+        }
+        // Flip one bit inside the first record's payload.
+        let mut raw = std::fs::read(&path).unwrap();
+        assert!(raw.len() > HEADER_LEN as usize + 12);
+        let target = HEADER_LEN as usize + 12 + 3;
+        raw[target] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        assert_eq!(store.preloaded(), 0, "corrupt store must cold-start");
+        assert_eq!(store.lookup(key(1)), None);
+        // The file was reset: new inserts round-trip cleanly again.
+        store.insert(key(3), 30);
+        drop(store);
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        assert_eq!(store.preloaded(), 1);
+        assert_eq!(store.lookup(key(3)), Some(30));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_cold_starts() {
+        let path = temp_store("truncated");
+        {
+            let store: VerdictStore<usize> = VerdictStore::open(&path);
+            store.insert(key(1), 10);
+        }
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        assert_eq!(store.preloaded(), 0, "truncated store must cold-start");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_header_cold_starts() {
+        let path = temp_store("garbage");
+        std::fs::write(&path, b"not a verdict store at all").unwrap();
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        assert_eq!(store.preloaded(), 0);
+        store.insert(key(5), 50);
+        drop(store);
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        assert_eq!(store.preloaded(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -33,16 +33,17 @@
 //! point — and produces an identical report.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use blockdev::{
-    digest_device, BlockDevice, CowDevice, DeviceError, ImageDigest, IoEvent, IoStats, MemDevice,
-    StatsDevice,
+    block_contribution, digest_device, BlockDevice, CowDevice, DeviceError, ImageDigest, IoEvent,
+    IoStats, MemDevice, StatsDevice, VerdictStore,
 };
 use contools::pool::{effective_threads, parallel_map};
 use e2fstools::{E2fsck, FsckMode};
 use ext4sim::{Ext4Fs, InodeNo, MountOptions};
 
-use crate::report::{CrashKind, CrashOutcome, CrashReport, ExploreStats, Verdict};
+use crate::report::{CrashKind, CrashOutcome, CrashReport, ExploreStats, OutcomeCore, Verdict};
 use crate::workloads::Workload;
 
 /// Which crash models to enumerate, how densely, and how the engine
@@ -69,6 +70,25 @@ pub struct ExploreOptions {
     /// full-prefix replay (O(W²) block writes), kept as the benchmark
     /// baseline and for equivalence testing.
     pub incremental: bool,
+    /// Also enumerate *interior* volatile-cache reorderings
+    /// ([`CrashKind::ReorderedWrite`]): at every explored crash point,
+    /// each post-barrier write may be the one the cache evicted out of
+    /// order — not just the most recent one. This multiplies the
+    /// schedule count per flush epoch (≈ n²/2 schedules for n writes)
+    /// and is what the partial-order reduction collapses back down.
+    pub deep_reorder: bool,
+    /// Plan schedules with the partial-order reduction: image digests
+    /// are computed directly from the recorded trace (every write
+    /// carries its pre-image, and the digest is a commutative per-block
+    /// sum), schedules whose digest + durability contract match an
+    /// already-planned representative are pruned before any
+    /// materialisation, and only class representatives are ever built
+    /// and classified.
+    pub por: bool,
+    /// Persistent cross-run verdict store shared with faultsim
+    /// ([`VerdictStore`]); verdicts found here skip materialisation and
+    /// classification entirely, and fresh verdicts are written back.
+    pub store: Option<Arc<VerdictStore<OutcomeCore>>>,
 }
 
 impl Default for ExploreOptions {
@@ -80,6 +100,9 @@ impl Default for ExploreOptions {
             threads: 1,
             verdict_cache: true,
             incremental: true,
+            deep_reorder: false,
+            por: false,
+            store: None,
         }
     }
 }
@@ -109,6 +132,20 @@ impl ExploreOptions {
             ..ExploreOptions::default()
         }
     }
+
+    /// The corpus-scale configuration: deep reordering enumerated,
+    /// partial-order reduction on, one classification worker per core.
+    /// Attach a persistent store with [`ExploreOptions::with_store`].
+    pub fn corpus() -> Self {
+        ExploreOptions { deep_reorder: true, por: true, threads: 0, ..ExploreOptions::default() }
+    }
+
+    /// Attaches a persistent cross-run verdict store.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<VerdictStore<OutcomeCore>>) -> Self {
+        self.store = Some(store);
+        self
+    }
 }
 
 /// Explores every enumerated crash point of `workload` and classifies
@@ -131,7 +168,9 @@ pub fn explore(workload: &Workload, opts: &ExploreOptions) -> Result<CrashReport
         threads,
         ..ExploreStats::default()
     };
-    let outcomes = if opts.incremental {
+    let outcomes = if opts.por {
+        explore_por(workload, opts, threads, &mut stats)?
+    } else if opts.incremental {
         let jobs = materialize_incremental(workload, opts, &mut stats)?;
         classify_all(jobs, workload, opts, threads, &mut stats)
     } else {
@@ -241,6 +280,9 @@ fn materialize_incremental(
     let mut durable_snap: Option<CowDevice> = None;
     let mut durable = 0usize;
     let mut done = 0usize;
+    // writes issued since the last flush barrier, for deep reordering:
+    // any of them may be the out-of-order straggler
+    let mut epoch_writes: Vec<(usize, u64, &[u8])> = Vec::new();
 
     if next_point.peek() == Some(&0) {
         next_point.next();
@@ -251,6 +293,7 @@ fn materialize_incremental(
             IoEvent::Flush => {
                 durable = done;
                 durable_snap = Some(rolling.inner().snapshot());
+                epoch_writes.clear();
             }
             IoEvent::Write { block, data, pre } => {
                 let k = done + 1;
@@ -267,6 +310,7 @@ fn materialize_incremental(
                         Some((CrashKind::TornWrite { write: k, persisted }, dev.into_inner()));
                 }
                 rolling.write_block(*block, data)?;
+                epoch_writes.push((k, *block, data.as_slice()));
                 done = k;
                 if explored {
                     next_point.next();
@@ -274,11 +318,27 @@ fn materialize_incremental(
                     if let Some(job) = torn_job {
                         jobs.push(job);
                     }
+                    let base = durable_snap.as_ref().unwrap_or(&pre_snap);
+                    // deep reordering: every *interior* post-barrier
+                    // write may be the straggler the cache evicted
+                    if opts.deep_reorder {
+                        for &(s, s_block, s_data) in &epoch_writes {
+                            if s <= durable || s >= k {
+                                continue;
+                            }
+                            let mut dev = StatsDevice::new(base.snapshot());
+                            dev.write_block(s_block, s_data)?;
+                            absorb_io(stats, dev.stats());
+                            jobs.push((
+                                CrashKind::ReorderedWrite { durable, straggler: s, crashed_at: k },
+                                dev.into_inner(),
+                            ));
+                        }
+                    }
                     // only interesting when the straggler actually jumps
                     // a queue: with durable == k-1 the image equals the
                     // plain prefix
                     if opts.volatile_cache && durable + 1 < k {
-                        let base = durable_snap.as_ref().unwrap_or(&pre_snap);
                         let mut dev = StatsDevice::new(base.snapshot());
                         dev.write_block(*block, data)?;
                         absorb_io(stats, dev.stats());
@@ -331,6 +391,15 @@ fn materialize_replay(
                 replay(k - 1, Some((block, torn_bytes(data, pre, persisted))), stats)?,
             ));
         }
+        if opts.deep_reorder {
+            for s in durable[k] + 1..k {
+                let (block, data, _) = nth_write(workload, s);
+                jobs.push((
+                    CrashKind::ReorderedWrite { durable: durable[k], straggler: s, crashed_at: k },
+                    replay(durable[k], Some((block, data.to_vec())), stats)?,
+                ));
+            }
+        }
         if opts.volatile_cache && durable[k] + 1 < k {
             let (block, data, _) = nth_write(workload, k);
             jobs.push((
@@ -372,31 +441,6 @@ impl CrashImage for MemDevice {
     }
 }
 
-/// The kind-independent part of a classification: everything the
-/// recovery stack decides from the image bytes and the applicable
-/// durability expectations alone.
-#[derive(Clone)]
-struct OutcomeCore {
-    verdict: Verdict,
-    fsck_exit: Option<i32>,
-    fixes: usize,
-    used_backup: bool,
-    detail: String,
-}
-
-impl OutcomeCore {
-    fn into_outcome(self, kind: CrashKind) -> CrashOutcome {
-        CrashOutcome {
-            kind,
-            verdict: self.verdict,
-            fsck_exit: self.fsck_exit,
-            fixes: self.fixes,
-            used_backup_superblock: self.used_backup,
-            detail: self.detail,
-        }
-    }
-}
-
 /// Indices of the durability expectations covered by a crash point
 /// guaranteeing `guaranteed` writes. Classification depends on the
 /// crash kind *only* through this set, so it is the second half of the
@@ -412,9 +456,62 @@ fn applicable_expectations(workload: &Workload, guaranteed: usize) -> Vec<u16> {
         .collect()
 }
 
+/// FNV-1a over raw bytes (store-key context hashing).
+fn fnv1a_bytes(h: &mut u64, bytes: &[u8]) {
+    for &byte in bytes {
+        *h = (*h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// The context half of a persistent-store key: a crash image's verdict
+/// depends on the image bytes *and* on what recovery is asked to check —
+/// block size, backup-superblock candidates, and the exact contents of
+/// the applicable durability expectations. Hashing them into the key
+/// keeps verdicts from leaking between unrelated workloads that happen
+/// to share an image digest.
+fn store_extra(workload: &Workload, applicable: &[u16]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a_bytes(&mut h, &workload.block_size.to_le_bytes());
+    for &b in &workload.backup_superblocks {
+        fnv1a_bytes(&mut h, &b.to_le_bytes());
+    }
+    for &i in applicable {
+        let e = &workload.expectations[i as usize];
+        fnv1a_bytes(&mut h, e.file.as_bytes());
+        fnv1a_bytes(&mut h, &[0]);
+        fnv1a_bytes(&mut h, &e.content);
+        fnv1a_bytes(&mut h, &[0xff]);
+    }
+    h
+}
+
+/// Folds a per-run snapshot of the persistent store's counters into the
+/// run stats (the store's own counters are cumulative per process).
+struct StoreCounters {
+    hits0: usize,
+    misses0: usize,
+}
+
+impl StoreCounters {
+    fn before(store: Option<&Arc<VerdictStore<OutcomeCore>>>) -> Self {
+        StoreCounters {
+            hits0: store.map_or(0, |s| s.hits()),
+            misses0: store.map_or(0, |s| s.misses()),
+        }
+    }
+
+    fn settle(self, store: Option<&Arc<VerdictStore<OutcomeCore>>>, stats: &mut ExploreStats) {
+        if let Some(store) = store {
+            stats.store_hits += store.hits() - self.hits0;
+            stats.store_misses += store.misses() - self.misses0;
+        }
+    }
+}
+
 /// Classifies all materialised images: deduplicates byte-identical ones
-/// via the digest cache, fans the unique classifications out across the
-/// worker pool, and re-assembles the outcomes in enumeration order.
+/// via the digest cache, answers what it can from the persistent store,
+/// fans the unique classifications out across the worker pool, and
+/// re-assembles the outcomes in enumeration order.
 fn classify_all<D: CrashImage>(
     jobs: Vec<(CrashKind, D)>,
     workload: &Workload,
@@ -422,37 +519,280 @@ fn classify_all<D: CrashImage>(
     threads: usize,
     stats: &mut ExploreStats,
 ) -> Vec<CrashOutcome> {
-    // map every crash point to a unique image slot
+    let counters = StoreCounters::before(opts.store.as_ref());
+    // map every crash point to a verdict slot; a slot is either a
+    // store-provided verdict or an image awaiting classification
     let mut kinds: Vec<CrashKind> = Vec::with_capacity(jobs.len());
     let mut slot_of: Vec<usize> = Vec::with_capacity(jobs.len());
-    let mut unique: Vec<(D, usize)> = Vec::new();
+    let mut ready: Vec<Option<OutcomeCore>> = Vec::new();
+    let mut unique: Vec<(D, usize, Option<blockdev::StoreKey>)> = Vec::new();
+    let mut unique_slot: Vec<usize> = Vec::new();
     let mut seen: HashMap<(ImageDigest, Vec<u16>), usize> = HashMap::new();
     for (kind, mut image) in jobs {
         let guaranteed = kind.guaranteed_writes();
         kinds.push(kind);
-        if opts.verdict_cache {
-            let key = (image.content_digest(), applicable_expectations(workload, guaranteed));
-            if let Some(&slot) = seen.get(&key) {
-                stats.cache_hits += 1;
-                slot_of.push(slot);
+        let want_identity = opts.verdict_cache || opts.store.is_some();
+        if want_identity {
+            let digest = image.content_digest();
+            let applicable = applicable_expectations(workload, guaranteed);
+            if opts.verdict_cache {
+                if let Some(&slot) = seen.get(&(digest, applicable.clone())) {
+                    stats.cache_hits += 1;
+                    slot_of.push(slot);
+                    continue;
+                }
+                seen.insert((digest, applicable.clone()), ready.len());
+            }
+            let store_key = (digest, store_extra(workload, &applicable));
+            if let Some(hit) = opts.store.as_ref().and_then(|s| s.lookup(store_key)) {
+                slot_of.push(ready.len());
+                ready.push(Some(hit));
                 continue;
             }
-            seen.insert(key, unique.len());
+            image.freeze_identity();
+            slot_of.push(ready.len());
+            unique_slot.push(ready.len());
+            ready.push(None);
+            unique.push((image, guaranteed, opts.store.as_ref().map(|_| store_key)));
+        } else {
+            image.freeze_identity();
+            slot_of.push(ready.len());
+            unique_slot.push(ready.len());
+            ready.push(None);
+            unique.push((image, guaranteed, None));
         }
-        image.freeze_identity();
-        slot_of.push(unique.len());
-        unique.push((image, guaranteed));
     }
     stats.images_classified = unique.len();
 
-    let cores: Vec<OutcomeCore> = parallel_map(unique, threads, |_, (image, guaranteed)| {
-        classify_image(image, workload, guaranteed)
-    });
+    let cores: Vec<(OutcomeCore, Option<blockdev::StoreKey>)> =
+        parallel_map(unique, threads, |_, (image, guaranteed, store_key)| {
+            (classify_image(image, workload, guaranteed), store_key)
+        });
+    for (slot, (core, store_key)) in unique_slot.into_iter().zip(cores) {
+        if let (Some(store), Some(key)) = (opts.store.as_ref(), store_key) {
+            store.insert(key, core.clone());
+        }
+        ready[slot] = Some(core);
+    }
+    counters.settle(opts.store.as_ref(), stats);
     kinds
         .into_iter()
         .zip(slot_of)
-        .map(|(kind, slot)| cores[slot].clone().into_outcome(kind))
+        .map(|(kind, slot)| {
+            ready[slot].clone().expect("every verdict slot filled").into_outcome(kind)
+        })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// partial-order reduction
+// ---------------------------------------------------------------------
+
+/// Plans the full crash-schedule enumeration straight from the recorded
+/// trace, attaching to every schedule the exact content digest of the
+/// image it would materialise — without materialising anything.
+///
+/// This is what makes the partial-order reduction sound rather than
+/// heuristic: every [`IoEvent::Write`] records both its data and the
+/// block's pre-image, and [`ImageDigest`] is a *commutative* per-block
+/// sum, so the digest of any schedule's image is computable by rolling
+/// contribution replacement. Two schedules whose writes commute (they
+/// touch distinct blocks with no flush barrier ordering them) sum to
+/// the same digest by construction — the digest itself is the canonical
+/// class representative.
+fn plan_schedules(
+    workload: &Workload,
+    opts: &ExploreOptions,
+) -> Result<Vec<(CrashKind, ImageDigest)>, DeviceError> {
+    let writes = workload.trace.write_count();
+    let points = prefix_points(writes, opts.max_prefix_points);
+    let mut next_point = points.iter().copied().peekable();
+    let mut plan: Vec<(CrashKind, ImageDigest)> = Vec::new();
+
+    // rolling digest of the strict write-prefix image
+    let mut cur = digest_device(&workload.pre)?;
+    // digest of the image at the last flush barrier
+    let mut durable_digest = cur;
+    // per-block contribution *at the barrier* for blocks written since:
+    // recorded at each block's first post-barrier write, when its
+    // pre-image still is the barrier-time content
+    let mut barrier_contribution: HashMap<u64, blockdev::BlockContribution> = HashMap::new();
+    // writes issued since the barrier: (write number, block, new contribution)
+    let mut epoch_writes: Vec<(usize, u64, blockdev::BlockContribution)> = Vec::new();
+    let mut durable = 0usize;
+    let mut done = 0usize;
+
+    if next_point.peek() == Some(&0) {
+        next_point.next();
+        plan.push((CrashKind::Prefix { writes: 0 }, cur));
+    }
+    for event in workload.trace.events() {
+        match event {
+            IoEvent::Flush => {
+                durable = done;
+                durable_digest = cur;
+                barrier_contribution.clear();
+                epoch_writes.clear();
+            }
+            IoEvent::Write { block, data, pre } => {
+                let k = done + 1;
+                let old = block_contribution(*block, pre);
+                let new = block_contribution(*block, data);
+                let explored = next_point.peek() == Some(&k);
+                let torn = if explored && opts.torn_writes {
+                    let persisted = data.len() / 2;
+                    let mut d = cur;
+                    d.replace(old, block_contribution(*block, &torn_bytes(data, pre, persisted)));
+                    Some((persisted, d))
+                } else {
+                    None
+                };
+                barrier_contribution.entry(*block).or_insert(old);
+                cur.replace(old, new);
+                epoch_writes.push((k, *block, new));
+                done = k;
+                if explored {
+                    next_point.next();
+                    plan.push((CrashKind::Prefix { writes: k }, cur));
+                    if let Some((persisted, d)) = torn {
+                        plan.push((CrashKind::TornWrite { write: k, persisted }, d));
+                    }
+                    // straggler images: the barrier-time image with one
+                    // post-barrier write applied on top
+                    let straggler_digest = |s_block: u64, s_new: blockdev::BlockContribution| {
+                        let mut d = durable_digest;
+                        let at_barrier = barrier_contribution
+                            .get(&s_block)
+                            .copied()
+                            .unwrap_or_else(|| panic!("straggler block {s_block} untracked"));
+                        d.replace(at_barrier, s_new);
+                        d
+                    };
+                    if opts.deep_reorder {
+                        for &(s, s_block, s_new) in &epoch_writes {
+                            if s <= durable || s >= k {
+                                continue;
+                            }
+                            plan.push((
+                                CrashKind::ReorderedWrite { durable, straggler: s, crashed_at: k },
+                                straggler_digest(s_block, s_new),
+                            ));
+                        }
+                    }
+                    if opts.volatile_cache && durable + 1 < k {
+                        plan.push((
+                            CrashKind::VolatileCache { durable, straggler: k },
+                            straggler_digest(*block, new),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// The replay recipe for one planned schedule: the write prefix to
+/// apply and the optional out-of-order straggler on top.
+fn replay_recipe(workload: &Workload, kind: CrashKind) -> (usize, Option<(u64, Vec<u8>)>) {
+    match kind {
+        CrashKind::Prefix { writes } => (writes, None),
+        CrashKind::TornWrite { write, persisted } => {
+            let (block, data, pre) = nth_write(workload, write);
+            (write - 1, Some((block, torn_bytes(data, pre, persisted))))
+        }
+        CrashKind::VolatileCache { durable, straggler }
+        | CrashKind::ReorderedWrite { durable, straggler, .. } => {
+            let (block, data, _) = nth_write(workload, straggler);
+            (durable, Some((block, data.to_vec())))
+        }
+    }
+}
+
+/// The partial-order-reduction engine: plans every schedule's digest
+/// from the trace, prunes schedules whose (digest, durability contract)
+/// class already has a representative, answers classes from the
+/// persistent store where possible, and only materialises + classifies
+/// the remaining class representatives.
+fn explore_por(
+    workload: &Workload,
+    opts: &ExploreOptions,
+    threads: usize,
+    stats: &mut ExploreStats,
+) -> Result<Vec<CrashOutcome>, DeviceError> {
+    let counters = StoreCounters::before(opts.store.as_ref());
+    let plan = plan_schedules(workload, opts)?;
+    let enumerated = plan.len();
+
+    let mut kinds: Vec<CrashKind> = Vec::with_capacity(enumerated);
+    let mut slot_of: Vec<usize> = Vec::with_capacity(enumerated);
+    let mut ready: Vec<Option<OutcomeCore>> = Vec::new();
+    let mut todo: Vec<(CrashKind, ImageDigest, usize, Option<blockdev::StoreKey>)> = Vec::new();
+    let mut todo_slot: Vec<usize> = Vec::new();
+    let mut seen: HashMap<(ImageDigest, Vec<u16>), usize> = HashMap::new();
+    for (kind, digest) in plan {
+        let guaranteed = kind.guaranteed_writes();
+        kinds.push(kind);
+        let applicable = applicable_expectations(workload, guaranteed);
+        if let Some(&slot) = seen.get(&(digest, applicable.clone())) {
+            stats.cache_hits += 1;
+            slot_of.push(slot);
+            continue;
+        }
+        seen.insert((digest, applicable.clone()), ready.len());
+        let store_key = (digest, store_extra(workload, &applicable));
+        if let Some(hit) = opts.store.as_ref().and_then(|s| s.lookup(store_key)) {
+            slot_of.push(ready.len());
+            ready.push(Some(hit));
+            continue;
+        }
+        slot_of.push(ready.len());
+        todo_slot.push(ready.len());
+        ready.push(None);
+        todo.push((kind, digest, guaranteed, opts.store.as_ref().map(|_| store_key)));
+    }
+    stats.por_classes = ready.len();
+    stats.schedules_pruned = enumerated - ready.len();
+    stats.images_classified = todo.len();
+
+    // materialise and classify only the class representatives; a fully
+    // store-warm run reaches here with nothing to do and never touches
+    // the device layer at all
+    type PorResult = Result<(OutcomeCore, IoStats, Option<blockdev::StoreKey>), DeviceError>;
+    let results: Vec<PorResult> =
+        parallel_map(todo, threads, |_, (kind, digest, guaranteed, store_key)| {
+            let (prefix, straggler) = replay_recipe(workload, kind);
+            let mut dev = StatsDevice::new(workload.pre.clone());
+            workload.trace.apply_prefix(&mut dev, prefix)?;
+            if let Some((block, data)) = straggler {
+                dev.write_block(block, &data)?;
+            }
+            let io = dev.stats();
+            let image = dev.into_inner();
+            debug_assert_eq!(
+                digest_device(&image)?,
+                digest,
+                "trace-planned digest must match the materialised image ({kind:?})"
+            );
+            let _ = digest;
+            Ok((classify_image(image, workload, guaranteed), io, store_key))
+        });
+    for (slot, result) in todo_slot.into_iter().zip(results) {
+        let (core, io, store_key) = result?;
+        absorb_io(stats, io);
+        if let (Some(store), Some(key)) = (opts.store.as_ref(), store_key) {
+            store.insert(key, core.clone());
+        }
+        ready[slot] = Some(core);
+    }
+    counters.settle(opts.store.as_ref(), stats);
+    Ok(kinds
+        .into_iter()
+        .zip(slot_of)
+        .map(|(kind, slot)| {
+            ready[slot].clone().expect("every POR class resolved").into_outcome(kind)
+        })
+        .collect())
 }
 
 /// Result of the read-only remount plus durable-data audit.
@@ -499,10 +839,10 @@ fn core(
     verdict: Verdict,
     fsck_exit: Option<i32>,
     fixes: usize,
-    used_backup: bool,
+    used_backup_superblock: bool,
     detail: String,
 ) -> OutcomeCore {
-    OutcomeCore { verdict, fsck_exit, fixes, used_backup, detail }
+    OutcomeCore { verdict, fsck_exit, fixes, used_backup_superblock, detail }
 }
 
 /// Classifies one materialised crash image. Takes the image by value:
@@ -825,4 +1165,61 @@ mod tests {
         assert_eq!(cached_parallel.stats.threads, 4);
     }
 
+    #[test]
+    fn por_engine_matches_exhaustive_and_prunes() {
+        let files = vec![
+            ("alpha".to_string(), vec![1u8; 700]),
+            ("beta".to_string(), vec![2u8; 300]),
+        ];
+        let w = journaled_write_workload(&files).unwrap();
+        let deep = ExploreOptions { deep_reorder: true, ..ExploreOptions::default() };
+        let exhaustive = explore(&w, &deep).unwrap();
+        let por = explore(&w, &ExploreOptions { por: true, ..deep.clone() }).unwrap();
+        // all three deep-reorder engines agree outcome-for-outcome, in
+        // enumeration order
+        let debug = |r: &CrashReport| {
+            r.outcomes.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>()
+        };
+        let baseline = explore(
+            &w,
+            &ExploreOptions { deep_reorder: true, ..ExploreOptions::sequential_baseline() },
+        )
+        .unwrap();
+        assert_eq!(debug(&baseline), debug(&exhaustive));
+        assert_eq!(debug(&exhaustive), debug(&por));
+        // deep reordering enumerates interior stragglers
+        assert!(
+            exhaustive.outcomes.iter().any(|o| matches!(o.kind, CrashKind::ReorderedWrite { .. })),
+            "deep reorder enumerated no interior stragglers"
+        );
+        // ... and POR collapses them without changing a verdict
+        assert!(por.stats.schedules_pruned > 0, "{:?}", por.stats);
+        assert_eq!(
+            por.stats.por_classes + por.stats.schedules_pruned,
+            por.outcomes.len(),
+            "{:?}",
+            por.stats
+        );
+        assert_eq!(por.stats.images_classified, por.stats.por_classes);
+        assert_eq!(exhaustive.stats.schedules_pruned, 0);
+        assert_eq!(exhaustive.stats.por_classes, 0);
+    }
+
+    #[test]
+    fn store_warm_run_replays_nothing() {
+        let files = vec![("alpha".to_string(), vec![1u8; 700])];
+        let w = journaled_write_workload(&files).unwrap();
+        let store = std::sync::Arc::new(VerdictStore::in_memory(true));
+        let opts = ExploreOptions::corpus().with_threads(1).with_store(store.clone());
+        let cold = explore(&w, &opts).unwrap();
+        assert!(cold.stats.images_classified > 0);
+        assert_eq!(cold.stats.store_hits, 0);
+        assert_eq!(cold.stats.store_misses, cold.stats.por_classes);
+        let warm = explore(&w, &opts).unwrap();
+        assert_eq!(warm.stats.images_classified, 0, "warm run classified an image");
+        assert_eq!(warm.stats.blocks_replayed, 0, "warm run touched the device layer");
+        assert_eq!(warm.stats.store_hits, warm.stats.por_classes);
+        assert_eq!(cold.canonical_signature(), warm.canonical_signature());
+        assert_eq!(store.len(), cold.stats.por_classes);
+    }
 }

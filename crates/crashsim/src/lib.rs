@@ -35,10 +35,12 @@ mod explore;
 mod report;
 mod workloads;
 
-pub use blockdev::{IoEvent, IoTrace};
+pub use blockdev::{IoEvent, IoTrace, StoreKey, VerdictStore};
 pub use explore::{explore, ExploreOptions};
-pub use report::{CrashKind, CrashOutcome, CrashReport, ExploreStats, Verdict, VerdictCounts};
+pub use report::{
+    CrashKind, CrashOutcome, CrashReport, ExploreStats, OutcomeCore, Verdict, VerdictCounts,
+};
 pub use workloads::{
-    defrag_workload, figure1_resize_workload, format_workload, journaled_write_workload,
-    DurableExpectation, Workload,
+    defrag_workload, figure1_resize_workload, format_workload, generated_corpus,
+    generated_workload, journaled_write_workload, CorpusSpec, DurableExpectation, Workload,
 };

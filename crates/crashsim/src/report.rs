@@ -30,6 +30,21 @@ pub enum CrashKind {
         /// The one post-barrier write that persisted anyway.
         straggler: usize,
     },
+    /// Deep reordering inside the volatile cache: the crash struck
+    /// after write `crashed_at` (1-based) had been issued, the cache
+    /// dropped everything after the last completed flush barrier —
+    /// except write `straggler`, which it had evicted out of order.
+    /// Unlike [`CrashKind::VolatileCache`], the straggler here is an
+    /// *interior* post-barrier write (`straggler < crashed_at`), so one
+    /// crash instant yields many reordering scenarios.
+    ReorderedWrite {
+        /// Writes guaranteed durable by the last flush barrier.
+        durable: usize,
+        /// The interior post-barrier write that persisted anyway.
+        straggler: usize,
+        /// The write whose completion the crash interrupted.
+        crashed_at: usize,
+    },
 }
 
 impl CrashKind {
@@ -40,6 +55,40 @@ impl CrashKind {
             CrashKind::Prefix { writes } => writes,
             CrashKind::TornWrite { write, .. } => write - 1,
             CrashKind::VolatileCache { durable, .. } => durable,
+            CrashKind::ReorderedWrite { durable, .. } => durable,
+        }
+    }
+}
+
+/// The engine-independent core of a classification: everything about a
+/// crash image's fate except the [`CrashKind`] it was reached through.
+/// This is what the digest memo and the persistent verdict store key by
+/// image content — two crash kinds producing byte-identical images
+/// under the same durability contract share one `OutcomeCore`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCore {
+    /// The classification.
+    pub verdict: Verdict,
+    /// Exit code of the deciding `e2fsck` run, when one completed.
+    pub fsck_exit: Option<i32>,
+    /// Number of fixes the repair applied.
+    pub fixes: usize,
+    /// Whether recovery needed a backup superblock.
+    pub used_backup_superblock: bool,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl OutcomeCore {
+    /// Attaches the crash kind, yielding a full [`CrashOutcome`].
+    pub fn into_outcome(self, kind: CrashKind) -> CrashOutcome {
+        CrashOutcome {
+            kind,
+            verdict: self.verdict,
+            fsck_exit: self.fsck_exit,
+            fixes: self.fixes,
+            used_backup_superblock: self.used_backup_superblock,
+            detail: self.detail,
         }
     }
 }
@@ -125,6 +174,21 @@ pub struct ExploreStats {
     /// materialisation.
     #[serde(default)]
     pub vec_allocs: u64,
+    /// Crash schedules the partial-order reduction proved equivalent to
+    /// an already-planned representative and therefore never
+    /// materialised (POR engine only; zero elsewhere).
+    #[serde(default)]
+    pub schedules_pruned: usize,
+    /// Distinct image-equivalence classes the POR engine planned from
+    /// the trace (POR engine only; zero elsewhere).
+    #[serde(default)]
+    pub por_classes: usize,
+    /// Verdicts answered by the persistent cross-run store.
+    #[serde(default)]
+    pub store_hits: usize,
+    /// Store lookups that had to fall through to classification.
+    #[serde(default)]
+    pub store_misses: usize,
 }
 
 /// Everything the explorer learned about one workload.
@@ -226,6 +290,27 @@ mod tests {
         assert_eq!(CrashKind::Prefix { writes: 5 }.guaranteed_writes(), 5);
         assert_eq!(CrashKind::TornWrite { write: 5, persisted: 100 }.guaranteed_writes(), 4);
         assert_eq!(CrashKind::VolatileCache { durable: 2, straggler: 5 }.guaranteed_writes(), 2);
+        let deep = CrashKind::ReorderedWrite { durable: 2, straggler: 4, crashed_at: 6 };
+        assert_eq!(deep.guaranteed_writes(), 2);
+    }
+
+    #[test]
+    fn outcome_core_round_trips_into_outcome() {
+        let core = OutcomeCore {
+            verdict: Verdict::Repairable,
+            fsck_exit: Some(1),
+            fixes: 3,
+            used_backup_superblock: true,
+            detail: "fixed".to_string(),
+        };
+        let json = serde_json::to_string(&core).unwrap();
+        let back: OutcomeCore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, core);
+        let kind = CrashKind::ReorderedWrite { durable: 1, straggler: 2, crashed_at: 3 };
+        let full = core.into_outcome(kind);
+        assert_eq!(full.kind, kind);
+        assert_eq!(full.verdict, Verdict::Repairable);
+        assert!(full.used_backup_superblock);
     }
 
     #[test]

@@ -167,6 +167,184 @@ pub fn defrag_workload() -> Result<Workload, ToolError> {
     })
 }
 
+/// Parameters for a [`generated_workload`] multi-op corpus entry.
+///
+/// The same spec always produces the same workload: the op mix is
+/// drawn from a splitmix64 stream seeded with `seed`, so corpus runs
+/// are reproducible across machines and benchmark invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Seed for the deterministic op-mix generator.
+    pub seed: u64,
+    /// Number of file operations to record.
+    pub ops: usize,
+    /// `max_batch_ops` mount tunable for the recorded session (0/1 =
+    /// commit-per-op, >1 = journal group commit).
+    pub max_batch_ops: u32,
+}
+
+/// Deterministic splitmix64, same constants as `bench::synth`.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Contents for file number `counter`: the first eight bytes are the
+/// counter itself so every generated file body is unique.
+fn corpus_content(counter: u64, rng: &mut SplitMix64) -> Vec<u8> {
+    let len = 120 + rng.below(881) as usize;
+    let mut content = vec![(rng.next() & 0xff) as u8; len];
+    content[..8].copy_from_slice(&counter.to_le_bytes());
+    content
+}
+
+/// A generated multi-op workload: a single journalled mount session
+/// mixing creates, overwrites, renames, deletes and an occasional
+/// online defrag, with [`Ext4Fs::sync`] called after every operation.
+///
+/// Durability expectations cover the files live at unmount. Each
+/// expectation's `durable_after` is the earliest sealed sync (group
+/// commit) from which that exact `(name, content)` pair persisted
+/// unchanged to the end of the trace, so renames, overwrites and
+/// deletes of *other* files never invalidate it.
+pub fn generated_workload(spec: &CorpusSpec) -> Result<Workload, ToolError> {
+    use std::collections::BTreeMap;
+
+    let m = Mke2fs::from_args(&["-b", "1024", "/dev/corpus", "4096"])?;
+    let (pre, _) = m.run(MemDevice::new(1024, 4096))?;
+    let rec = RecordingDevice::new(pre.clone());
+    let opts = MountOptions { max_batch_ops: spec.max_batch_ops, ..MountOptions::default() };
+    let mut fs = Ext4Fs::mount(rec, &opts)?;
+    let root = fs.root_inode();
+
+    let mut rng = SplitMix64(spec.seed);
+    let mut live: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    // (write count, live set) at each sealed group commit
+    let mut durable_points: Vec<(usize, BTreeMap<String, Vec<u8>>)> = Vec::new();
+    let mut counter: u64 = 0;
+
+    for _ in 0..spec.ops {
+        let roll = rng.below(100);
+        if live.is_empty() || roll < 40 {
+            // create a fresh file
+            counter += 1;
+            let name = format!("f{counter}");
+            let content = corpus_content(counter, &mut rng);
+            let ino = fs.create_file(root, &name)?;
+            fs.write_file(ino, 0, &content)?;
+            live.insert(name, content);
+        } else if roll < 60 {
+            // overwrite an existing file with new contents
+            let victim = rng.below(live.len() as u64) as usize;
+            let name = match live.keys().nth(victim) {
+                Some(n) => n.clone(),
+                None => continue,
+            };
+            counter += 1;
+            let content = corpus_content(counter, &mut rng);
+            if let Some(entry) = fs.lookup(root, &name)? {
+                let ino = ext4sim::InodeNo(entry.inode);
+                fs.truncate(ino)?;
+                fs.write_file(ino, 0, &content)?;
+                live.insert(name, content);
+            }
+        } else if roll < 75 {
+            // rename to a fresh name
+            let victim = rng.below(live.len() as u64) as usize;
+            let name = match live.keys().nth(victim) {
+                Some(n) => n.clone(),
+                None => continue,
+            };
+            counter += 1;
+            let new_name = format!("r{counter}");
+            fs.rename(root, &name, root, &new_name)?;
+            if let Some(content) = live.remove(&name) {
+                live.insert(new_name, content);
+            }
+        } else if roll < 90 {
+            // delete
+            let victim = rng.below(live.len() as u64) as usize;
+            let name = match live.keys().nth(victim) {
+                Some(n) => n.clone(),
+                None => continue,
+            };
+            fs.unlink(root, &name)?;
+            live.remove(&name);
+        } else if live.len() >= 2 {
+            // online defrag across whatever is currently live
+            E4defrag::new().run(&mut fs)?;
+        }
+        if fs.sync()? {
+            durable_points.push((fs.device().trace().write_count(), live.clone()));
+        }
+    }
+
+    let rec = fs.unmount()?;
+    // unmount force-seals any pending group commit
+    durable_points.push((rec.trace().write_count(), live.clone()));
+    let (_, trace) = rec.into_parts();
+
+    // Each surviving file is durable from the earliest sealed commit at
+    // which its final contents appeared and were never changed again.
+    let final_writes = trace.write_count();
+    let mut expectations = Vec::new();
+    for (name, content) in &live {
+        let mut durable_after = final_writes;
+        for (writes, snapshot) in durable_points.iter().rev() {
+            if snapshot.get(name) == Some(content) {
+                durable_after = *writes;
+            } else {
+                break;
+            }
+        }
+        expectations.push(DurableExpectation {
+            file: name.clone(),
+            content: content.clone(),
+            durable_after,
+        });
+    }
+
+    Ok(Workload {
+        name: format!(
+            "corpus-s{}-o{}-b{}",
+            spec.seed, spec.ops, spec.max_batch_ops
+        ),
+        pre,
+        trace,
+        block_size: 1024,
+        // single block group: no backup superblocks exist
+        expectations,
+        backup_superblocks: Vec::new(),
+    })
+}
+
+/// A corpus of [`generated_workload`] entries with seeds derived from
+/// `seed` via splitmix64, all sharing `ops` and `max_batch_ops`.
+pub fn generated_corpus(
+    seed: u64,
+    count: usize,
+    ops: usize,
+    max_batch_ops: u32,
+) -> Result<Vec<Workload>, ToolError> {
+    let mut rng = SplitMix64(seed);
+    (0..count)
+        .map(|_| {
+            generated_workload(&CorpusSpec { seed: rng.next(), ops, max_batch_ops })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +381,48 @@ mod tests {
     fn defrag_workload_guards_preexisting_data() {
         let w = defrag_workload().unwrap();
         assert!(w.expectations.iter().all(|e| e.durable_after == 0));
+    }
+
+    #[test]
+    fn generated_workload_is_deterministic() {
+        let spec = CorpusSpec { seed: 7, ops: 10, max_batch_ops: 1 };
+        let a = generated_workload(&spec).unwrap();
+        let b = generated_workload(&spec).unwrap();
+        assert_eq!(a.trace.write_count(), b.trace.write_count());
+        assert_eq!(a.expectations.len(), b.expectations.len());
+        for (ea, eb) in a.expectations.iter().zip(&b.expectations) {
+            assert_eq!(ea.file, eb.file);
+            assert_eq!(ea.content, eb.content);
+            assert_eq!(ea.durable_after, eb.durable_after);
+        }
+        assert!(!a.expectations.is_empty(), "corpus left no live files");
+    }
+
+    #[test]
+    fn generated_workload_expectations_are_final_live_set() {
+        let spec = CorpusSpec { seed: 42, ops: 14, max_batch_ops: 3 };
+        let w = generated_workload(&spec).unwrap();
+        // every expectation's durable point lies inside the trace
+        let total = w.trace.write_count();
+        for e in &w.expectations {
+            assert!(e.durable_after <= total, "{} > {}", e.durable_after, total);
+            assert!(e.content.len() >= 120);
+        }
+        // names are unique
+        let mut names: Vec<_> = w.expectations.iter().map(|e| e.file.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), w.expectations.len());
+    }
+
+    #[test]
+    fn generated_corpus_varies_by_seed() {
+        let corpus = generated_corpus(1, 3, 8, 1).unwrap();
+        assert_eq!(corpus.len(), 3);
+        let counts: Vec<_> = corpus.iter().map(|w| w.trace.write_count()).collect();
+        assert!(
+            counts.windows(2).any(|p| p[0] != p[1]),
+            "all corpus entries traced identically: {counts:?}"
+        );
     }
 }

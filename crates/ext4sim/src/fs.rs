@@ -63,6 +63,16 @@ pub struct Ext4Fs<D> {
     /// subsequent operation returns [`FsError::PolicyPanic`] (the
     /// simulator's stand-in for a kernel panic — never a Rust panic).
     panicked: bool,
+    /// Journal group commit: up to this many [`Ext4Fs::sync`] points
+    /// coalesce into one commit record (jbd2 transaction batching).
+    /// `1` = commit per sync, the historical behaviour.
+    max_batch_ops: u32,
+    /// Metadata updates staged by batched syncs, awaiting their commit
+    /// record. Merged (last-wins per block) into the next seal; dropped
+    /// on a crash, exactly like an unsealed jbd2 transaction.
+    pending_txn: Option<Transaction>,
+    /// Syncs staged into `pending_txn` since the last sealed commit.
+    pending_ops: u32,
 }
 
 // ---------------------------------------------------------------------
@@ -277,6 +287,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             errors_policy: errors,
             degraded: false,
             panicked: false,
+            max_batch_ops: 1,
+            pending_txn: None,
+            pending_ops: 0,
         };
 
         fs.init_groups()?;
@@ -458,6 +471,7 @@ impl<D: BlockDevice> Ext4Fs<D> {
         // on-image default that tune2fs -e recorded (a mount→tune2fs
         // dependency the conformance campaign exercises)
         fs.errors_policy = opts.errors.unwrap_or(fs.sb.errors);
+        fs.max_batch_ops = opts.max_batch_ops.max(1);
         if opts.read_only {
             fs.fs_state = FsState::MountedRo;
         } else {
@@ -496,6 +510,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             errors_policy: errors,
             degraded: false,
             panicked: false,
+            max_batch_ops: 1,
+            pending_txn: None,
+            pending_ops: 0,
         };
         fs.read_group_descriptors()?;
         Ok(fs)
@@ -578,6 +595,9 @@ impl<D: BlockDevice> Ext4Fs<D> {
             errors_policy: errors,
             degraded: false,
             panicked: false,
+            max_batch_ops: 1,
+            pending_txn: None,
+            pending_ops: 0,
         };
         fs.read_group_descriptors_from(gdt_start)?;
         Ok(fs)
@@ -850,7 +870,10 @@ impl<D: BlockDevice> Ext4Fs<D> {
         // journal first, then checkpoint it to the home locations — so a
         // crash between the two is recoverable at the next mount
         if self.fs_state == FsState::MountedRw && self.journal.is_some() {
-            let mut txn = Transaction::new();
+            // start from the pending group-commit batch (empty when
+            // batching is off): a full flush force-seals staged updates
+            let mut txn = self.pending_txn.take().unwrap_or_default();
+            self.pending_ops = 0;
             for (block, data) in &writes {
                 txn.add(*block, data.clone());
             }
@@ -869,6 +892,79 @@ impl<D: BlockDevice> Ext4Fs<D> {
             self.dev.write_block(*block, data)?;
         }
         Ok(())
+    }
+
+    /// A durability point between operations (the explorer's stand-in
+    /// for `fsync`). Without group commit (`max_batch_ops <= 1`, or no
+    /// journal) this is exactly [`Ext4Fs::flush_metadata`]. Under group
+    /// commit on a journalled read-write mount, the current metadata
+    /// image is *staged* into a pending transaction instead — merged
+    /// last-wins per block, like updates joining an open jbd2
+    /// transaction — and only every `max_batch_ops`-th sync seals one
+    /// commit record (one flush-bracketed journal commit plus its
+    /// checkpoint) covering the whole batch.
+    ///
+    /// Returns `true` when this sync sealed a commit, `false` when it
+    /// merely joined the pending batch. A crash before the seal loses
+    /// the staged updates, exactly like an unsealed jbd2 transaction;
+    /// [`Ext4Fs::flush_metadata`] and unmount force-seal the batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ext4Fs::flush_metadata`]: device failures are filtered
+    /// through the mount's `errors=` policy.
+    pub fn sync(&mut self) -> Result<bool, FsError> {
+        let batching =
+            self.max_batch_ops > 1 && self.fs_state == FsState::MountedRw && self.journal.is_some();
+        if !batching {
+            self.flush_metadata()?;
+            return Ok(true);
+        }
+        if self.panicked {
+            return Err(FsError::PolicyPanic("file system halted".to_string()));
+        }
+        if self.degraded {
+            return Err(FsError::DegradedReadOnly);
+        }
+        // same write-back ordering as flush_metadata: home-location
+        // metadata first, then the superblock/GDT image is staged
+        self.flush_cache()?;
+        match self.stage_sync() {
+            Ok(sealed) => Ok(sealed),
+            Err(e) => Err(self.note_metadata_error(e)),
+        }
+    }
+
+    fn stage_sync(&mut self) -> Result<bool, FsError> {
+        let writes = self.metadata_writes()?;
+        let mut txn = self.pending_txn.take().unwrap_or_default();
+        for (block, data) in writes {
+            txn.add(block, data);
+        }
+        self.pending_ops += 1;
+        if self.pending_ops < self.max_batch_ops {
+            self.pending_txn = Some(txn);
+            return Ok(false);
+        }
+        self.pending_ops = 0;
+        let mut journal = match self.journal.take() {
+            Some(j) => j,
+            // unreachable (sync() checked); degrade to a direct
+            // checkpoint rather than dropping the batch
+            None => {
+                Journal::checkpoint(&mut self.dev, &txn, self.layout.block_size)?;
+                return Ok(true);
+            }
+        };
+        let commit = journal.commit(&mut self.dev, &txn);
+        self.journal = Some(journal);
+        commit?;
+        if self.crash_after_journal_commit {
+            // fault-injection hook: the "power failure" happens here
+            return Ok(true);
+        }
+        Journal::checkpoint(&mut self.dev, &txn, self.layout.block_size)?;
+        Ok(true)
     }
 
     /// The full metadata image — primary superblock, primary GDT, and
@@ -2722,5 +2818,74 @@ mod tests {
             MountOptions { errors: Some(errors_policy::REMOUNT_RO), ..MountOptions::default() };
         let fs = Ext4Fs::mount(image, &opts).unwrap();
         assert_eq!(fs.errors_policy(), errors_policy::REMOUNT_RO);
+    }
+
+    /// Runs `ops` create+write operations with a sync between each over
+    /// a recording device; returns (device, flush barriers, seals).
+    fn batched_run(dev: MemDevice, batch: u32, ops: usize) -> (MemDevice, usize, usize) {
+        let rec = blockdev::RecordingDevice::new(dev);
+        let opts = MountOptions { max_batch_ops: batch, ..MountOptions::default() };
+        let mut fs = Ext4Fs::mount(rec, &opts).unwrap();
+        let mut sealed = 0usize;
+        for i in 0..ops {
+            let f = fs.create_file(ROOT_INODE, &format!("f{i}")).unwrap();
+            fs.write_file(f, 0, &vec![i as u8 + 1; 200]).unwrap();
+            if fs.sync().unwrap() {
+                sealed += 1;
+            }
+        }
+        let rec = fs.unmount().unwrap();
+        let (dev, trace) = rec.into_parts();
+        (dev, trace.flush_count(), sealed)
+    }
+
+    #[test]
+    fn group_commit_coalesces_flush_barriers() {
+        let base = small_fs().unmount().unwrap();
+        let (dev1, flushes1, sealed1) = batched_run(base.clone(), 1, 6);
+        let (dev3, flushes3, sealed3) = batched_run(base, 3, 6);
+        // commit-per-sync seals every operation; batch=3 every third
+        assert_eq!(sealed1, 6);
+        assert_eq!(sealed3, 2);
+        assert!(
+            flushes3 < flushes1,
+            "batch=3 must need fewer barriers: {flushes3} vs {flushes1}"
+        );
+        // both schedules converge on the same files
+        for dev in [dev1, dev3] {
+            let fs = Ext4Fs::mount(dev, &MountOptions::read_only()).unwrap();
+            for i in 0..6usize {
+                let e = fs.lookup(ROOT_INODE, &format!("f{i}")).unwrap().unwrap();
+                assert_eq!(
+                    fs.read_file_to_vec(InodeNo(e.inode)).unwrap(),
+                    vec![i as u8 + 1; 200]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_stays_commit_per_sync() {
+        // 0 and 1 must both behave exactly like the historical
+        // commit-per-operation path, write-for-write
+        let base = small_fs().unmount().unwrap();
+        let rec0 = blockdev::RecordingDevice::new(base.clone());
+        let mut fs = Ext4Fs::mount(
+            rec0,
+            &MountOptions { max_batch_ops: 0, ..MountOptions::default() },
+        )
+        .unwrap();
+        let f = fs.create_file(ROOT_INODE, "x").unwrap();
+        fs.write_file(f, 0, b"abc").unwrap();
+        assert!(fs.sync().unwrap(), "batch<=1 seals every sync");
+        let (_, trace0) = fs.unmount().unwrap().into_parts();
+
+        let rec1 = blockdev::RecordingDevice::new(base);
+        let mut fs = Ext4Fs::mount(rec1, &MountOptions::default()).unwrap();
+        let f = fs.create_file(ROOT_INODE, "x").unwrap();
+        fs.write_file(f, 0, b"abc").unwrap();
+        fs.flush_metadata().unwrap();
+        let (_, trace1) = fs.unmount().unwrap().into_parts();
+        assert_eq!(trace0.events(), trace1.events());
     }
 }

@@ -59,6 +59,13 @@ pub struct MountOptions {
     /// Simulated page size of the host (DAX requires block size == page
     /// size); 4096 matches x86-64.
     pub page_size: u32,
+    /// Journal group commit: up to this many operations' metadata
+    /// updates coalesce into one commit record with a single flush
+    /// barrier (jbd2's transaction batching). `0` and `1` both mean
+    /// commit-per-operation — the historical behaviour — and values
+    /// above `1` require the image to carry a journal.
+    #[serde(default)]
+    pub max_batch_ops: u32,
 }
 
 impl Default for MountOptions {
@@ -72,6 +79,7 @@ impl Default for MountOptions {
             errors: None,
             force: false,
             page_size: 4096,
+            max_batch_ops: 1,
         }
     }
 }
@@ -123,6 +131,15 @@ impl MountOptions {
             return Err(FsError::MountRejected {
                 option: "data=journal".to_string(),
                 reason: "the file system has no journal (mke2fs -O ^has_journal)".to_string(),
+            });
+        }
+        // CCD: group commit batches journal transactions, so it needs a
+        // journal to batch into.
+        if self.max_batch_ops > 1 && !sb.features.compat.contains(CompatFeatures::HAS_JOURNAL) {
+            return Err(FsError::MountRejected {
+                option: "max_batch_ops".to_string(),
+                reason: "journal group commit requires a journal (mke2fs -O has_journal)"
+                    .to_string(),
             });
         }
         // CCD: noload without a journal is meaningless but allowed by the
@@ -265,6 +282,25 @@ mod tests {
         let opts = MountOptions { errors: Some(9), ..MountOptions::default() };
         assert!(opts.validate_against(&sb).is_err());
         let opts = MountOptions { errors: Some(2), ..MountOptions::default() };
+        opts.validate_against(&sb).unwrap();
+    }
+
+    #[test]
+    fn batching_requires_a_journal() {
+        let mut features = FeatureSet::ext4_defaults();
+        features.compat.remove(CompatFeatures::HAS_JOURNAL);
+        let sb = sb_with(0, features);
+        let opts = MountOptions { max_batch_ops: 4, ..MountOptions::default() };
+        let err = opts.validate_against(&sb).unwrap_err();
+        assert!(err.to_string().contains("max_batch_ops"), "{err}");
+        // 0 and 1 are the commit-per-op default and always fine
+        for batch in [0, 1] {
+            let opts = MountOptions { max_batch_ops: batch, ..MountOptions::default() };
+            opts.validate_against(&sb).unwrap();
+        }
+        // with a journal, batching validates
+        let sb = sb_with(0, FeatureSet::ext4_defaults());
+        let opts = MountOptions { max_batch_ops: 4, ..MountOptions::default() };
         opts.validate_against(&sb).unwrap();
     }
 

@@ -32,14 +32,12 @@
 //! enumeration order and only cache *hit counts* — reported separately
 //! in [`CampaignStats`] — depend on scheduling.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use blockdev::{
     digest_device, BlockDevice, FaultPlan, FaultyDevice, ImageDigest, IoEvent, MemDevice,
-    RecordingDevice, SharedDevice,
+    RecordingDevice, SharedDevice, VerdictStore,
 };
 use e2fstools::{E2fsck, FsckMode};
 use ext4sim::{errors_policy, Ext4Fs, FsError, InodeNo, MountOptions, ROOT_INODE};
@@ -128,7 +126,7 @@ struct RunObs {
 }
 
 /// Recovery classification of one post-fault image (the memoised part).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RecoveryOutcome {
     /// A Rust panic escaped e2fsck or the remount. Always a bug.
     pub panicked: bool,
@@ -144,33 +142,43 @@ pub struct RecoveryOutcome {
 /// of a campaign and across the campaigns of a conformance sweep (all
 /// standard workloads share one durable-file contract, so a repeated
 /// post-fault image always classifies identically).
+///
+/// A thin wrapper over [`blockdev::VerdictStore`] — the same
+/// content-addressed store crashsim uses — so a cache can optionally
+/// persist verdicts across processes via [`VerdictCache::persistent`].
 #[derive(Debug)]
 pub struct VerdictCache {
-    enabled: bool,
-    map: Mutex<HashMap<ImageDigest, RecoveryOutcome>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    store: VerdictStore<RecoveryOutcome>,
 }
 
 impl VerdictCache {
-    /// An empty cache; `enabled = false` makes every lookup a miss.
+    /// An empty in-memory cache; `enabled = false` makes every lookup a
+    /// miss.
     pub fn new(enabled: bool) -> Self {
-        VerdictCache {
-            enabled,
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-        }
+        VerdictCache { store: VerdictStore::in_memory(enabled) }
+    }
+
+    /// A cache backed by the on-disk verdict store at `path`: verdicts
+    /// recorded by earlier processes are preloaded, and fresh ones are
+    /// appended. A corrupt or unreadable store falls back to an empty
+    /// cache (see [`VerdictStore::open`]).
+    pub fn persistent(path: impl AsRef<std::path::Path>) -> Self {
+        VerdictCache { store: VerdictStore::open(path) }
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.store.hits()
     }
 
     /// Cache misses (computed classifications) so far.
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.store.misses()
+    }
+
+    /// Verdicts preloaded from disk (0 for in-memory caches).
+    pub fn preloaded(&self) -> usize {
+        self.store.preloaded()
     }
 
     fn recovery_for(
@@ -178,18 +186,10 @@ impl VerdictCache {
         digest: ImageDigest,
         compute: impl FnOnce() -> RecoveryOutcome,
     ) -> RecoveryOutcome {
-        if self.enabled {
-            if let Some(hit) = self.map.lock().expect("cache lock").get(&digest) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return *hit;
-            }
-        }
-        let outcome = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        if self.enabled {
-            self.map.lock().expect("cache lock").insert(digest, outcome);
-        }
-        outcome
+        // faultsim keys by the post-fault image alone: every standard
+        // workload shares one durable-file contract, so the context
+        // half of the store key is constant.
+        self.store.get_or_compute((digest, 0), compute)
     }
 }
 
@@ -585,6 +585,29 @@ pub fn conformance_row(report: &CampaignReport) -> ConformanceRow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persistent_cache_round_trips_recovery_outcomes() {
+        let path = std::env::temp_dir()
+            .join(format!("faultsim_vcache_{}.vstore", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let digest = ImageDigest { a: 11, b: 22 };
+        let outcome =
+            RecoveryOutcome { panicked: false, mountable: true, data_ok: true, fsck_exit: 1 };
+        {
+            let cache = VerdictCache::persistent(&path);
+            assert_eq!(cache.preloaded(), 0);
+            let got = cache.recovery_for(digest, || outcome);
+            assert_eq!(got, outcome);
+            assert_eq!(cache.misses(), 1);
+        }
+        let cache = VerdictCache::persistent(&path);
+        assert_eq!(cache.preloaded(), 1);
+        let got = cache.recovery_for(digest, || panic!("must hit the preloaded verdict"));
+        assert_eq!(got, outcome);
+        assert_eq!(cache.hits(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
 
     #[test]
     fn sample_points_keeps_endpoints_and_cap() {

@@ -4,7 +4,10 @@
 #
 #   * crash-exploration engines (repro_crashsim --bench →
 #     BENCH_crashsim.json): legacy sequential replay vs rolling CoW
-#     with parallel classification and the verdict cache;
+#     with parallel classification and the verdict cache, plus the
+#     corpus mode racing full deep-reorder enumeration against
+#     partial-order reduction with a cold and then warm persistent
+#     verdict store (--store PATH, default under $TMPDIR);
 #   * taint-analysis engines (repro_analyzer --bench →
 #     BENCH_analyzer.json): naive whole-program sweep vs def-use
 #     worklist with interned taint sets, plus the analysis cache;

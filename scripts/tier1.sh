@@ -14,8 +14,9 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
+rm -f target/tier1_corpus.vstore
 ./target/release/repro_crashsim --bench --smoke --threads 2 \
-  --out target/bench_smoke.json
+  --out target/bench_smoke.json --store target/tier1_corpus.vstore
 python3 - <<'EOF'
 import json
 with open("target/bench_smoke.json") as f:
@@ -27,7 +28,29 @@ for row in bench["rows"]:
         assert row[cfg]["wall_ms"] >= 0
         assert row[cfg]["blocks_replayed"] > 0
 assert bench["all_reports_identical"]
-print("bench smoke OK:", len(bench["rows"]), "workload(s)")
+# corpus-scale POR smoke: pruning happened, every pruned run matched
+# the exhaustive enumeration, and the warm run over the persisted
+# store classified nothing (pure cross-run cache hits)
+corpus = bench["corpus"]
+assert corpus["rows"], "corpus smoke produced no rows"
+for row in corpus["rows"]:
+    w = row["workload"]
+    assert row["reports_identical"], f"POR diverged from exhaustive on {w}"
+    assert row["verdict_counts_identical"], f"verdict counts diverged on {w}"
+    assert row["por_cold"]["schedules_pruned"] > 0, f"no pruning on {w}"
+    assert (
+        row["por_cold"]["por_classes"] + row["por_cold"]["schedules_pruned"]
+        == row["schedules_enumerated"]
+    ), f"POR class accounting off on {w}"
+    assert row["por_warm"]["images_classified"] == 0, f"warm run classified on {w}"
+    assert row["por_warm"]["blocks_replayed"] == 0, f"warm run replayed on {w}"
+    assert row["por_warm"]["store_hits"] == row["por_cold"]["por_classes"], (
+        f"store round-trip incomplete on {w}"
+    )
+assert corpus["all_reports_identical"] and corpus["warm_run_clean"]
+print("bench smoke OK:", len(bench["rows"]), "workload(s);",
+      "corpus POR OK:", corpus["totals"]["schedules_pruned"], "schedules pruned,",
+      corpus["totals"]["warm_store_hits"], "cross-run store hits")
 EOF
 
 ./target/release/repro_analyzer --bench --smoke --threads 2 \

@@ -1,0 +1,77 @@
+//! Property-based equivalence of partial-order reduction: on random
+//! generated multi-op corpora the POR engine must produce reports
+//! identical to full deep-reorder enumeration — canonical signatures
+//! and per-class verdict counts equal — while pruning schedules, and a
+//! second run over a warm verdict store must replay zero images.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use confdep_suite::crashsim::{
+    explore, generated_workload, CorpusSpec, ExploreOptions, OutcomeCore, VerdictStore,
+};
+
+proptest! {
+    // each case fully enumerates deep reorderings of a generated
+    // multi-op trace twice (exhaustively and pruned), then replays the
+    // pruned run against a warm store
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn por_agrees_with_exhaustive_on_generated_corpora(
+        seed in 0u64..u64::MAX,
+        ops in 4usize..9,
+        batch in 1u32..5,
+    ) {
+        let w = generated_workload(&CorpusSpec { seed, ops, max_batch_ops: batch }).unwrap();
+
+        let exhaustive = explore(
+            &w,
+            &ExploreOptions { deep_reorder: true, ..ExploreOptions::default() }.with_threads(2),
+        ).unwrap();
+        let por = explore(&w, &ExploreOptions::corpus().with_threads(2)).unwrap();
+
+        // identical classified outcomes and identical verdict-class totals
+        prop_assert_eq!(exhaustive.canonical_signature(), por.canonical_signature());
+        prop_assert_eq!(exhaustive.counts(), por.counts());
+        // the reduction actually reduced, and accounts for every schedule
+        prop_assert!(por.stats.schedules_pruned > 0);
+        prop_assert_eq!(
+            por.stats.por_classes + por.stats.schedules_pruned,
+            por.outcomes.len()
+        );
+
+        // a second run over the same (now warm) store replays nothing
+        let store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::in_memory(true));
+        let opts = ExploreOptions::corpus().with_threads(2).with_store(Arc::clone(&store));
+        let cold = explore(&w, &opts).unwrap();
+        let warm = explore(&w, &opts).unwrap();
+        prop_assert_eq!(cold.canonical_signature(), warm.canonical_signature());
+        prop_assert_eq!(warm.stats.images_classified, 0);
+        prop_assert_eq!(warm.stats.blocks_replayed, 0);
+        prop_assert_eq!(warm.stats.store_hits, warm.stats.por_classes);
+    }
+}
+
+#[test]
+fn warm_disk_store_replays_zero_images() {
+    let path =
+        std::env::temp_dir().join(format!("crashsim_por_equiv_{}.vstore", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let w = generated_workload(&CorpusSpec { seed: 99, ops: 8, max_batch_ops: 3 }).unwrap();
+
+    let cold_store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(&path));
+    let cold =
+        explore(&w, &ExploreOptions::corpus().with_store(Arc::clone(&cold_store))).unwrap();
+    assert!(cold.stats.images_classified > 0);
+    drop(cold_store);
+
+    let warm_store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(&path));
+    assert_eq!(warm_store.preloaded(), cold.stats.por_classes);
+    let warm =
+        explore(&w, &ExploreOptions::corpus().with_store(Arc::clone(&warm_store))).unwrap();
+    assert_eq!(warm.stats.images_classified, 0);
+    assert_eq!(warm.stats.blocks_replayed, 0);
+    assert_eq!(cold.canonical_signature(), warm.canonical_signature());
+    let _ = std::fs::remove_file(&path);
+}
