@@ -1,0 +1,271 @@
+//! Coverage-guided constraint-fuzzing benchmark.
+//!
+//! Races the three ConBugCk campaign strategies — solver-guided
+//! (coverage-seeded rounds plus pool-driven mutation), the legacy
+//! dependency-aware generator, and naive random — under the same
+//! dedup-and-memoize execution loop at several worker counts, and
+//! checks the incremental verdict store: a cold persistent campaign
+//! followed by a warm rerun that must execute nothing and reproduce
+//! every verdict bit for bit.
+//!
+//! Writes the measurements to `BENCH_fuzz.json` (`--out PATH` to
+//! redirect; `--store PATH` relocates the persistent verdict store,
+//! default `target/fuzz_verdicts.vstr`). `--smoke` shrinks the round
+//! and batch sizes for CI gates; `--threads N` replaces the default
+//! 1/4/16 ladder with a single level.
+//!
+//! Exits nonzero when the solver strategy misses any achievable
+//! polarity target, when the warm store rerun executes a config, or
+//! when warm and cold campaigns disagree on any verdict.
+
+use std::path::PathBuf;
+
+use confdep::{extract_scenario, models, ConstraintSet, ExtractOptions};
+use contools::fuzz::{fuzz_campaign, FuzzOptions, FuzzOutcome, FuzzReport, Strategy};
+use serde::Serialize;
+
+/// One strategy's measurement at one worker count.
+#[derive(Serialize)]
+struct Arm {
+    report: FuzzReport,
+    verdicts_per_sec: f64,
+}
+
+/// All three strategies at one worker count.
+#[derive(Serialize)]
+struct ThreadLevel {
+    threads: usize,
+    solver: Arm,
+    aware: Arm,
+    naive: Arm,
+    /// Solver unique-verdict throughput over the aware generator's.
+    speedup_vs_aware: f64,
+    /// ... and over the naive generator's.
+    speedup_vs_naive: f64,
+}
+
+/// The persistent-store leg: cold campaign, then a warm rerun.
+#[derive(Serialize)]
+struct StoreLeg {
+    path: String,
+    cold: FuzzReport,
+    warm: FuzzReport,
+    /// Configs the warm rerun executed (must be 0).
+    warm_executed_fresh: usize,
+    /// Whether warm and cold agreed on every verdict, bit for bit.
+    verdicts_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    description: String,
+    smoke: bool,
+    seed: u64,
+    rounds: usize,
+    batch: usize,
+    thread_levels: Vec<ThreadLevel>,
+    /// Solver coverage == universe at every thread level.
+    solver_full_coverage: bool,
+    /// Legacy-generator coverage fractions (highest thread level).
+    aware_coverage_fraction: f64,
+    naive_coverage_fraction: f64,
+    store: StoreLeg,
+}
+
+/// Runs one campaign `reps` times (the verdict stream is deterministic)
+/// and keeps the fastest wall time.
+fn measure(set: &ConstraintSet, opts: &FuzzOptions, reps: usize) -> FuzzOutcome {
+    let mut best: Option<FuzzOutcome> = None;
+    for _ in 0..reps.max(1) {
+        let outcome = fuzz_campaign(set, opts);
+        if best.as_ref().is_none_or(|b| outcome.report.wall_ms < b.report.wall_ms) {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one repetition ran")
+}
+
+fn arm(set: &ConstraintSet, opts: &FuzzOptions, reps: usize) -> (Arm, FuzzOutcome) {
+    let outcome = measure(set, opts, reps);
+    let vps = outcome.report.verdicts_per_sec();
+    (Arm { report: outcome.report.clone(), verdicts_per_sec: vps }, outcome)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut thread_override: Option<usize> = None;
+    let mut out = "BENCH_fuzz.json".to_string();
+    let mut store_path = "target/fuzz_verdicts.vstr".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {} // benchmark is the only mode
+            "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                thread_override =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs a number");
+                        std::process::exit(2);
+                    }));
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--store" => {
+                i += 1;
+                store_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--store needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let seed = 42u64;
+    let (rounds, batch) = if smoke { (2, 12) } else { (6, 64) };
+    let reps = if smoke { 1 } else { 2 };
+    let levels: Vec<usize> = match thread_override {
+        Some(n) => vec![n],
+        None if smoke => vec![1, 2],
+        None => vec![1, 4, 16],
+    };
+
+    let set = match extract_scenario(&models::all(), ExtractOptions::default()) {
+        Ok(deps) => ConstraintSet::compile(deps),
+        Err(e) => {
+            eprintln!("extraction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let opts = |strategy: Strategy, threads: usize| FuzzOptions {
+        seed,
+        rounds,
+        batch,
+        threads,
+        strategy,
+        store_path: None,
+    };
+
+    let mut thread_levels = Vec::new();
+    let mut solver_full_coverage = true;
+    let mut aware_fraction = 0.0;
+    let mut naive_fraction = 0.0;
+    for &threads in &levels {
+        eprintln!("fuzzing at {threads} thread(s): solver vs aware vs naive ...");
+        let (solver, _) = arm(&set, &opts(Strategy::Solver, threads), reps);
+        let (aware, _) = arm(&set, &opts(Strategy::Aware, threads), reps);
+        let (naive, _) = arm(&set, &opts(Strategy::Naive, threads), reps);
+        eprintln!(
+            "  solver {}/{} targets, {} verdicts in {} ms ({:.0}/s) | \
+             aware {} verdicts in {} ms ({:.0}/s) | naive {} verdicts in {} ms ({:.0}/s)",
+            solver.report.coverage_covered,
+            solver.report.coverage_universe,
+            solver.report.unique_verdicts,
+            solver.report.wall_ms,
+            solver.verdicts_per_sec,
+            aware.report.unique_verdicts,
+            aware.report.wall_ms,
+            aware.verdicts_per_sec,
+            naive.report.unique_verdicts,
+            naive.report.wall_ms,
+            naive.verdicts_per_sec,
+        );
+        solver_full_coverage &=
+            solver.report.coverage_covered == solver.report.coverage_universe;
+        aware_fraction = aware.report.coverage_fraction;
+        naive_fraction = naive.report.coverage_fraction;
+        thread_levels.push(ThreadLevel {
+            threads,
+            speedup_vs_aware: solver.verdicts_per_sec / aware.verdicts_per_sec.max(f64::EPSILON),
+            speedup_vs_naive: solver.verdicts_per_sec / naive.verdicts_per_sec.max(f64::EPSILON),
+            solver,
+            aware,
+            naive,
+        });
+    }
+
+    // store leg: cold campaign into a fresh persistent store, then a
+    // warm rerun that must re-execute nothing and agree everywhere
+    let store_threads = *levels.last().expect("at least one thread level");
+    if let Some(parent) = PathBuf::from(&store_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::remove_file(&store_path);
+    let store_opts = FuzzOptions {
+        store_path: Some(PathBuf::from(&store_path)),
+        ..opts(Strategy::Solver, store_threads)
+    };
+    eprintln!("cold campaign into {store_path} ...");
+    let cold = fuzz_campaign(&set, &store_opts);
+    eprintln!(
+        "  {} verdicts, {} executed fresh",
+        cold.report.unique_verdicts, cold.report.executed_fresh
+    );
+    eprintln!("warm rerun ...");
+    let warm = fuzz_campaign(&set, &store_opts);
+    eprintln!(
+        "  {} verdicts, {} executed fresh, {} preloaded",
+        warm.report.unique_verdicts, warm.report.executed_fresh, warm.report.store_preloaded
+    );
+    let verdicts_identical =
+        warm.verdicts == cold.verdicts && warm.report.same_verdicts(&cold.report);
+    let warm_executed_fresh = warm.report.executed_fresh;
+
+    let store = StoreLeg {
+        path: store_path,
+        cold: cold.report,
+        warm: warm.report,
+        warm_executed_fresh,
+        verdicts_identical,
+    };
+    let summary = Summary {
+        description: "coverage-guided constraint fuzzing: solver-seeded campaigns vs the \
+                      legacy dependency-aware and naive random generators under the same \
+                      dedup-and-memoize loop, plus the incremental verdict store \
+                      (cold campaign, then a warm rerun that executes nothing)"
+            .to_string(),
+        smoke,
+        seed,
+        rounds,
+        batch,
+        thread_levels,
+        solver_full_coverage,
+        aware_coverage_fraction: aware_fraction,
+        naive_coverage_fraction: naive_fraction,
+        store,
+    };
+    let json = serde_json::to_string_pretty(&summary).unwrap_or_else(|e| {
+        eprintln!("serialisation failed: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+
+    if !solver_full_coverage {
+        eprintln!("ERROR: the solver-guided campaign missed achievable polarity targets");
+        std::process::exit(1);
+    }
+    if warm_executed_fresh != 0 {
+        eprintln!("ERROR: the warm store rerun executed {warm_executed_fresh} configs");
+        std::process::exit(1);
+    }
+    if !verdicts_identical {
+        eprintln!("ERROR: warm and cold campaigns disagreed on at least one verdict");
+        std::process::exit(1);
+    }
+}

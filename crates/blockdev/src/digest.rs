@@ -85,6 +85,23 @@ pub fn zero_block_contribution(block: u64, block_size: u32) -> BlockContribution
 }
 
 impl ImageDigest {
+    /// Digests an arbitrary byte string through both streams.
+    ///
+    /// Not an image digest at all — this turns any canonical identity
+    /// (a configuration state key, a workload signature) into the same
+    /// two-stream 128-bit shape, so consumers like the ConBugCk fuzz
+    /// campaign can key a [`crate::VerdictStore`] by non-image content
+    /// without inventing a second key type.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let mut a = SEED_A;
+        let mut b = SEED_B;
+        for &byte in bytes {
+            a = (a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            b = (b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        ImageDigest { a, b }
+    }
+
     /// Adds one block's contribution.
     pub fn add(&mut self, c: BlockContribution) {
         self.a = self.a.wrapping_add(c.a);

@@ -56,6 +56,15 @@ struct KeyLine {
     x: u64,
 }
 
+/// Derives a store context discriminator from a stable tag string
+/// (FNV-1a). Subsystems sharing one store file — crash exploration,
+/// fault campaigns, configuration fuzzing — hash a versioned tag like
+/// `"conbugck/fuzz/v1"` so their verdicts never collide, and bumping
+/// the tag retires stale verdicts without touching the file.
+pub fn context(tag: &str) -> u64 {
+    checksum(tag.as_bytes())
+}
+
 fn checksum(payload: &[u8]) -> u64 {
     // FNV-1a, same constants as the digest module's first stream.
     let mut h = 0xcbf2_9ce4_8422_2325u64;

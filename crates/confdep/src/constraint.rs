@@ -12,6 +12,8 @@
 //! * [`ConstraintSet`] — the compiled collection, with the query surface
 //!   the applications need (feature-conflict and integer-range lookups).
 
+use std::collections::{HashMap, HashSet};
+
 use e2fstools::manual::{DocConstraint, ManualPage};
 use e2fstools::typed::{TypedConfig, TypedValue};
 use serde::{Deserialize, Serialize};
@@ -46,7 +48,7 @@ pub enum DocVerdict {
 /// `ParamSpec` registry (and the typed configs lowered from real CLI
 /// invocations) use the spec names. This maps the former onto the
 /// latter where they diverge.
-fn registry_name<'a>(component: &str, param: &'a str) -> &'a str {
+pub(crate) fn registry_name<'a>(component: &str, param: &'a str) -> &'a str {
     match (component, param) {
         ("resize2fs", "new_size") => "size",
         ("e2fsck", "assume_yes") => "yes",
@@ -225,17 +227,119 @@ fn cross_documented(pages: &[&ManualPage], subj_param: &str, obj_param: Option<&
 }
 
 /// A compiled collection of constraints, preserving extraction order.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `compile` also builds the lookup index the hot queries use —
+/// signature → position, the symmetric CPD-control conflict pairs, and
+/// the first value-range per parameter — so [`ConstraintSet::find`],
+/// [`ConstraintSet::conflicting`] and [`ConstraintSet::int_range`] are
+/// hash lookups instead of linear scans over the whole set. The index
+/// is derived state: it is skipped by serde and rebuilt-on-equality is
+/// irrelevant (`PartialEq` compares the constraints only), and every
+/// query falls back to the scan when the index is stale (a
+/// deserialised or `Default` set).
+#[derive(Debug, Clone, Default)]
 pub struct ConstraintSet {
     constraints: Vec<Constraint>,
+    index: SetIndex,
 }
 
-impl ConstraintSet {
-    /// Compiles each dependency into its executable form.
-    pub fn compile(deps: Vec<Dependency>) -> Self {
-        ConstraintSet {
-            constraints: deps.into_iter().map(|dependency| Constraint { dependency }).collect(),
+// The index is derived state: serialize the constraints only, and leave
+// a deserialised set unindexed (queries fall back to the linear scans).
+impl Serialize for ConstraintSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("constraints".to_string(), self.constraints.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for ConstraintSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let inner = serde::__private::map_field(value, "constraints")?;
+        let constraints = Vec::<Constraint>::from_value(inner)?;
+        Ok(ConstraintSet { constraints, index: SetIndex::default() })
+    }
+}
+
+/// Derived lookup tables over a compiled set (see [`ConstraintSet`]).
+#[derive(Debug, Clone, Default)]
+struct SetIndex {
+    /// Signature → position in `constraints`. Built over `len` entries;
+    /// `len != constraints.len()` marks the index stale.
+    by_signature: HashMap<String, usize>,
+    /// Exact unordered CPD-control parameter pairs, both orientations
+    /// (the fast path for `conflicting`).
+    conflict_pairs: HashSet<(String, String)>,
+    /// The `a~b` pair fragment of every CPD-control signature, for the
+    /// substring probe the legacy scan performs (`inode_size~x` also
+    /// conflicts with `size~x`). A handful of short strings instead of
+    /// re-rendering every signature per query.
+    conflict_fragments: Vec<String>,
+    /// `(component, param)` → first value-range constraint position.
+    ranges: HashMap<(String, String), usize>,
+    /// Number of constraints the index was built over.
+    len: usize,
+}
+
+impl SetIndex {
+    fn build(constraints: &[Constraint]) -> Self {
+        let mut index = SetIndex { len: constraints.len(), ..SetIndex::default() };
+        for (i, c) in constraints.iter().enumerate() {
+            index.by_signature.entry(c.signature()).or_insert(i);
+            let d = &c.dependency;
+            match d.kind {
+                DepKind::CpdControl => {
+                    if let Some(Endpoint::Param(o)) = &d.object {
+                        index
+                            .conflict_pairs
+                            .insert((d.subject.param.clone(), o.param.clone()));
+                        index
+                            .conflict_pairs
+                            .insert((o.param.clone(), d.subject.param.clone()));
+                        // the signature sorts the two parameters; keep
+                        // the same orientation for the substring probe
+                        let (x, y) = if d.subject.param <= o.param {
+                            (&d.subject.param, &o.param)
+                        } else {
+                            (&o.param, &d.subject.param)
+                        };
+                        index.conflict_fragments.push(format!("{x}~{y}"));
+                    }
+                }
+                DepKind::SdValueRange => {
+                    index
+                        .ranges
+                        .entry((d.subject.component.clone(), d.subject.param.clone()))
+                        .or_insert(i);
+                }
+                _ => {}
+            }
         }
+        index
+    }
+}
+
+impl PartialEq for ConstraintSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.constraints == other.constraints
+    }
+}
+
+impl Eq for ConstraintSet {}
+
+impl ConstraintSet {
+    /// Compiles each dependency into its executable form and builds the
+    /// lookup index over the result.
+    pub fn compile(deps: Vec<Dependency>) -> Self {
+        let constraints: Vec<Constraint> =
+            deps.into_iter().map(|dependency| Constraint { dependency }).collect();
+        let index = SetIndex::build(&constraints);
+        ConstraintSet { constraints, index }
+    }
+
+    /// Whether the derived index matches the constraint list (false for
+    /// deserialised or `Default` sets, whose queries fall back to the
+    /// linear scans).
+    fn indexed(&self) -> bool {
+        self.index.len == self.constraints.len()
     }
 
     /// The compiled constraints, in extraction order.
@@ -260,6 +364,9 @@ impl ConstraintSet {
 
     /// Finds the constraint with the given dependency signature.
     pub fn find(&self, signature: &str) -> Option<&Constraint> {
+        if self.indexed() {
+            return self.index.by_signature.get(signature).map(|&i| &self.constraints[i]);
+        }
         self.constraints.iter().find(|c| c.signature() == signature)
     }
 
@@ -267,6 +374,20 @@ impl ConstraintSet {
     /// parameters within one component (the query ConBugCk repairs
     /// feature sets with).
     pub fn conflicting(&self, a: &str, b: &str) -> bool {
+        if self.indexed() {
+            // exact-pair fast path first (both orientations stored),
+            // then the substring probe over the few pair fragments —
+            // the legacy scan matches `size~x` against `inode_size~x`
+            if self.index.conflict_pairs.contains(&(a.to_string(), b.to_string())) {
+                return true;
+            }
+            let (ab, ba) = (format!("{a}~{b}"), format!("{b}~{a}"));
+            return self
+                .index
+                .conflict_fragments
+                .iter()
+                .any(|frag| frag.contains(&ab) || frag.contains(&ba));
+        }
         self.constraints.iter().any(|c| {
             c.dependency.kind == DepKind::CpdControl && {
                 let s = c.signature();
@@ -279,6 +400,19 @@ impl ConstraintSet {
     /// matching value-range constraint, in extraction order (the query
     /// ConBugCk samples values with).
     pub fn int_range(&self, component: &str, param: &str) -> Option<(i64, i64)> {
+        let bounds = |c: &Constraint| {
+            (
+                c.dependency.detail.min.unwrap_or(i64::MIN),
+                c.dependency.detail.max.unwrap_or(i64::MAX),
+            )
+        };
+        if self.indexed() {
+            return self
+                .index
+                .ranges
+                .get(&(component.to_string(), param.to_string()))
+                .map(|&i| bounds(&self.constraints[i]));
+        }
         self.constraints
             .iter()
             .find(|c| {
@@ -286,12 +420,7 @@ impl ConstraintSet {
                     && c.dependency.subject.component == component
                     && c.dependency.subject.param == param
             })
-            .map(|c| {
-                (
-                    c.dependency.detail.min.unwrap_or(i64::MIN),
-                    c.dependency.detail.max.unwrap_or(i64::MAX),
-                )
-            })
+            .map(bounds)
     }
 }
 

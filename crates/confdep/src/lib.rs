@@ -41,6 +41,7 @@ pub mod model;
 pub mod models;
 pub mod report;
 pub mod scenario;
+pub mod solve;
 
 pub use cache::{AnalysisCache, CacheStats};
 pub use constraint::{Constraint, ConstraintSet, DocVerdict, Verdict};
@@ -54,6 +55,7 @@ pub use ground_truth::{is_false_positive, is_true_dependency, FALSE_POSITIVE_SIG
 pub use model::{dedup, DepKind, Dependency, Endpoint, ParamRef};
 pub use report::DependencyReport;
 pub use scenario::{paper_scenarios, Scenario};
+pub use solve::{Polarity, SolvedConfig, Solver};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,855 @@
+//! The constraint solver: from a compiled [`ConstraintSet`] to concrete
+//! `mke2fs` + `mount` configurations hitting a requested polarity.
+//!
+//! ConBugCk's original generator drew values from hard-coded arrays
+//! (`BLOCK_SIZES`, `RESERVED`, `MOUNT_SETS`), which leaves most
+//! constraint polarities uncovered: nothing in those tables can, say,
+//! violate the `journal_size` range or satisfy the
+//! `metadata_csum`/`uninit_bg` exclusion with both parameters present.
+//! The solver inverts the executable constraint layer instead. Given a
+//! target `(constraint, polarity)` it
+//!
+//! 1. **pins** the subject (and, for control pairs, object) parameters
+//!    to candidate typed values derived from the constraint itself and
+//!    the `ParamSpec` registry — range bounds, bound ± 1, matching or
+//!    mismatching data-type shapes, engage/disengage pairs;
+//! 2. **propagates** every other statically-evaluable constraint over
+//!    the partial config, repairing collateral violations through the
+//!    unpinned participants (SD ranges clamp, control pairs disengage);
+//! 3. **renders** the assignment to a concrete `mke2fs` argument vector
+//!    plus `mount -o` option string, re-parses it through the lenient
+//!    typed views, and **verifies** the target constraint actually
+//!    evaluates to the requested polarity — backtracking to the next
+//!    candidate pinning when any step fails.
+//!
+//! The achievable target universe ([`Solver::targets`]) is exactly the
+//! set of `(signature, polarity)` pairs the solver can witness this
+//! way; the coverage-guided fuzz campaign in `contools` seeds each
+//! round from the still-uncovered part of it.
+
+use e2fstools::params::{all_params, ParamSpec, ParamType};
+use e2fstools::typed::{TypedConfig, TypedValue};
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::{Constraint, ConstraintSet, Verdict};
+use crate::model::{DepKind, Endpoint};
+
+/// The requested evaluation outcome of a target constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// The constraint is engaged and holds.
+    Satisfy,
+    /// The constraint is engaged and fails.
+    Violate,
+    /// The constraint holds with the subject exactly on a finite range
+    /// bound (only meaningful for value-range constraints).
+    Boundary,
+}
+
+impl Polarity {
+    /// All polarities, in coverage-table order.
+    pub fn all() -> [Polarity; 3] {
+        [Polarity::Satisfy, Polarity::Violate, Polarity::Boundary]
+    }
+
+    /// Short lowercase label (`satisfy`/`violate`/`boundary`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Polarity::Satisfy => "satisfy",
+            Polarity::Violate => "violate",
+            Polarity::Boundary => "boundary",
+        }
+    }
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A solved whole-configuration state: the typed `mke2fs` and `mount`
+/// halves, plus the rendering into the concrete CLI surface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolvedConfig {
+    /// The `mke2fs` half.
+    pub mkfs: TypedConfig,
+    /// The `mount` half.
+    pub mount: TypedConfig,
+}
+
+/// Options the renderer can express as a valued `mke2fs` flag.
+const MKFS_VALUED: [(&str, &str); 10] = [
+    ("blocksize", "-b"),
+    ("cluster_size", "-C"),
+    ("blocks_per_group", "-g"),
+    ("number_of_groups", "-G"),
+    ("inode_ratio", "-i"),
+    ("inode_size", "-I"),
+    ("reserved_percent", "-m"),
+    ("inodes_count", "-N"),
+    ("label", "-L"),
+    ("uuid", "-U"),
+];
+
+fn mkfs_option(param: &str) -> Option<&'static str> {
+    MKFS_VALUED.iter().find(|(p, _)| *p == param).map(|(_, o)| *o)
+}
+
+impl SolvedConfig {
+    /// Renders the assignment as `(mke2fs args, mount option string)`.
+    ///
+    /// Returns `None` when some value has no CLI spelling that survives
+    /// the lenient round trip (e.g. a string value on a parameter with
+    /// no valued option) — the solver treats that as a failed candidate.
+    pub fn render(&self) -> Option<(Vec<String>, String)> {
+        let mut args: Vec<String> = Vec::new();
+        let mut features: Vec<String> = Vec::new();
+        for (name, value) in &self.mkfs.values {
+            if let Some(opt) = mkfs_option(name) {
+                let rendered = match value {
+                    TypedValue::Int(i) => i.to_string(),
+                    TypedValue::Str(s) => s.clone(),
+                    TypedValue::Bool(_) => return None,
+                };
+                args.push(opt.to_string());
+                args.push(rendered);
+                continue;
+            }
+            match (name.as_str(), value) {
+                ("journal_size", TypedValue::Int(i)) => {
+                    args.push("-J".to_string());
+                    args.push(format!("size={i}"));
+                }
+                ("journal_size", TypedValue::Str(s)) => {
+                    args.push("-J".to_string());
+                    args.push(format!("size={s}"));
+                }
+                ("resize_headroom", TypedValue::Int(i)) => {
+                    args.push("-E".to_string());
+                    args.push(format!("resize={i}"));
+                }
+                ("resize_headroom", TypedValue::Str(s)) => {
+                    args.push("-E".to_string());
+                    args.push(format!("resize={s}"));
+                }
+                (_, TypedValue::Bool(true)) => features.push(name.clone()),
+                (_, TypedValue::Bool(false)) => features.push(format!("^{name}")),
+                _ => return None, // int/str value on a feature-only parameter
+            }
+        }
+        if !features.is_empty() {
+            args.push("-O".to_string());
+            args.push(features.join(","));
+        }
+        let mut tokens: Vec<String> = Vec::new();
+        for (name, value) in &self.mount.values {
+            match value {
+                TypedValue::Bool(true) => tokens.push(name.clone()),
+                TypedValue::Bool(false) => tokens.push(format!("no{name}")),
+                TypedValue::Int(i) => tokens.push(format!("{name}={i}")),
+                TypedValue::Str(s) => tokens.push(format!("{name}={s}")),
+            }
+        }
+        Some((args, tokens.join(",")))
+    }
+}
+
+/// One pinned parameter of a candidate assignment.
+#[derive(Debug, Clone)]
+struct Pin {
+    component: &'static str, // "mke2fs" or "mount"
+    param: String,
+    value: TypedValue,
+}
+
+/// The constraint solver over one compiled set.
+#[derive(Debug)]
+pub struct Solver<'a> {
+    set: &'a ConstraintSet,
+    registry: Vec<ParamSpec>,
+}
+
+/// Components the generated configuration surface covers.
+fn in_scope(component: &str) -> Option<&'static str> {
+    match component {
+        "mke2fs" => Some("mke2fs"),
+        "mount" => Some("mount"),
+        _ => None,
+    }
+}
+
+impl<'a> Solver<'a> {
+    /// Builds a solver over `set`, loading the `ParamSpec` registry for
+    /// value domains (enum members, integer ranges) the constraints
+    /// alone do not carry.
+    pub fn new(set: &'a ConstraintSet) -> Self {
+        let registry =
+            all_params().into_iter().filter(|p| in_scope(&p.component).is_some()).collect();
+        Solver { set, registry }
+    }
+
+    /// The constraint set being solved over.
+    pub fn constraints(&self) -> &ConstraintSet {
+        self.set
+    }
+
+    fn spec(&self, component: &str, param: &str) -> Option<&ParamSpec> {
+        self.registry.iter().find(|s| s.component == component && s.name == param)
+    }
+
+    /// The achievable target universe: every `(signature, polarity)`
+    /// pair the solver can witness with a concrete configuration, in
+    /// extraction × polarity order.
+    pub fn targets(&self) -> Vec<(String, Polarity)> {
+        self.witness_targets()
+            .into_iter()
+            .map(|(i, polarity, _)| (self.set.constraints()[i].signature(), polarity))
+            .collect()
+    }
+
+    /// [`Solver::targets`] with the witnesses attached: every
+    /// achievable target as `(constraint position, polarity, solved
+    /// configuration)`. One pass computes universe and seeds together,
+    /// so campaign setup solves each target exactly once.
+    pub fn witness_targets(&self) -> Vec<(usize, Polarity, SolvedConfig)> {
+        let mut out = Vec::new();
+        for (i, c) in self.set.constraints().iter().enumerate() {
+            for polarity in Polarity::all() {
+                if let Some(solved) = self.solve(c, polarity) {
+                    out.push((i, polarity, solved));
+                }
+            }
+        }
+        out
+    }
+
+    /// Solves for a configuration whose evaluation of the constraint
+    /// with this signature yields `polarity`.
+    pub fn solve_signature(&self, signature: &str, polarity: Polarity) -> Option<SolvedConfig> {
+        self.solve(self.set.find(signature)?, polarity)
+    }
+
+    /// Solves for a configuration whose evaluation of `target` yields
+    /// `polarity`: pin candidate values, propagate and repair the other
+    /// constraints, render, and verify — backtracking over candidates.
+    pub fn solve(&self, target: &Constraint, polarity: Polarity) -> Option<SolvedConfig> {
+        for pins in self.candidates(target, polarity) {
+            let mut solved = self.base_config();
+            let mut pinned: Vec<(&'static str, String)> = Vec::new();
+            for pin in &pins {
+                let cfg = if pin.component == "mke2fs" { &mut solved.mkfs } else { &mut solved.mount };
+                cfg.values.insert(pin.param.clone(), pin.value.clone());
+                pinned.push((pin.component, pin.param.clone()));
+            }
+            self.propagate(&mut solved, &pinned);
+            let Some((args, opts)) = solved.render() else { continue };
+            // verify through the exact views the campaign will use
+            let mkfs_view = TypedConfig::from_mkfs_args_lenient(&args);
+            let mount_view = TypedConfig::from_mount_opts_lenient(&opts);
+            if self.verify(target, polarity, &mkfs_view, &mount_view) {
+                return Some(SolvedConfig { mkfs: mkfs_view, mount: mount_view });
+            }
+        }
+        None
+    }
+
+    /// Whether the rendered views hit the requested polarity — the
+    /// public form of the solver's own verification step, used by the
+    /// campaign's coverage tracker.
+    pub fn hits(
+        &self,
+        target: &Constraint,
+        polarity: Polarity,
+        mkfs: &TypedConfig,
+        mount: &TypedConfig,
+    ) -> bool {
+        self.verify(target, polarity, mkfs, mount)
+    }
+
+    /// The polarities a configuration state witnesses for `target`:
+    /// `Satisfy` or `Violate` from the evaluation verdict, plus
+    /// `Boundary` when a satisfied subject sits exactly on a finite
+    /// range bound. Empty when the constraint is not engaged.
+    pub fn observed_polarities(
+        &self,
+        target: &Constraint,
+        mkfs: &TypedConfig,
+        mount: &TypedConfig,
+    ) -> Vec<Polarity> {
+        let mut out = Vec::new();
+        match target.evaluate(&[mkfs, mount]) {
+            Verdict::Satisfied => {
+                out.push(Polarity::Satisfy);
+                if self.verify(target, Polarity::Boundary, mkfs, mount) {
+                    out.push(Polarity::Boundary);
+                }
+            }
+            Verdict::Violated => out.push(Polarity::Violate),
+            Verdict::NotApplicable => {}
+        }
+        out
+    }
+
+    /// Whether the rendered views hit the requested polarity.
+    fn verify(
+        &self,
+        target: &Constraint,
+        polarity: Polarity,
+        mkfs: &TypedConfig,
+        mount: &TypedConfig,
+    ) -> bool {
+        let verdict = target.evaluate(&[mkfs, mount]);
+        match polarity {
+            Polarity::Satisfy => verdict == Verdict::Satisfied,
+            Polarity::Violate => verdict == Verdict::Violated,
+            Polarity::Boundary => {
+                if verdict != Verdict::Satisfied {
+                    return false;
+                }
+                let d = &target.dependency;
+                let Some(scope) = in_scope(&d.subject.component) else { return false };
+                let cfg = if scope == "mke2fs" { mkfs } else { mount };
+                match cfg.get(crate::constraint::registry_name(&d.subject.component, &d.subject.param))
+                {
+                    Some(TypedValue::Int(v)) => {
+                        d.detail.min == Some(*v) || d.detail.max == Some(*v)
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// A known-good skeleton the pins are layered over: an in-range
+    /// block size and reserved percentage, the baseline feature set, and
+    /// an ordered-data mount — every value sourced from the constraint
+    /// ranges and the registry rather than hard-coded tables, so solved
+    /// *satisfy* configurations double as deep-reaching campaign seeds.
+    fn base_config(&self) -> SolvedConfig {
+        let mut mkfs = TypedConfig::new("mke2fs");
+        mkfs.set_int("blocksize", self.engage_int("mke2fs", "blocksize"));
+        mkfs.set_int("reserved_percent", self.engage_int("mke2fs", "reserved_percent"));
+        mkfs.set_bool("extent", true);
+        mkfs.set_bool("sparse_super", true);
+        mkfs.set_bool("resize_inode", true);
+        let mut mount = TypedConfig::new("mount");
+        if let Some(members) = self.enum_members("mount", "data") {
+            if let Some(first) = members.first() {
+                mount.set_str("data", first);
+            }
+        }
+        SolvedConfig { mkfs, mount }
+    }
+
+    /// An in-range integer for engaging `param`: prefers the extracted
+    /// value-range, falls back to the registry's `Int` domain, clamps
+    /// power-of-two parameters onto the lattice the utilities accept.
+    fn engage_int(&self, component: &str, param: &str) -> i64 {
+        let (min, max) = self
+            .set
+            .int_range(component, param)
+            .or_else(|| match self.spec(component, param) {
+                Some(ParamSpec { param_type: ParamType::Int { min, max }, .. }) => {
+                    Some((*min, *max))
+                }
+                _ => None,
+            })
+            .unwrap_or((i64::MIN, i64::MAX));
+        let candidate = if min == i64::MIN && max == i64::MAX {
+            16
+        } else if min == i64::MIN {
+            max.min(16).max(max.min(1))
+        } else if max == i64::MAX {
+            min.max(16.min(min).max(min))
+        } else {
+            min + (max - min) / 2
+        };
+        if param == "blocksize" {
+            // the utilities only accept powers of two, and the cost of
+            // a deep run scales with the formatted image size (block
+            // size times a fixed block count) — so take the smallest
+            // in-range power of two rather than a midpoint
+            let lo = (min.max(1) as u64).next_power_of_two();
+            return (lo as i64).clamp(min.max(1), max);
+        }
+        candidate.clamp(min.min(max), max)
+    }
+
+    fn enum_members(&self, component: &str, param: &str) -> Option<&[String]> {
+        match self.spec(component, param) {
+            Some(ParamSpec { param_type: ParamType::Enum(members), .. }) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether a pinned value on `(component, param)` has a CLI
+    /// rendering of the right shape.
+    fn renderable(component: &str, param: &str, value: &TypedValue) -> bool {
+        if component == "mount" {
+            return true;
+        }
+        if mkfs_option(param).is_some() || param == "journal_size" || param == "resize_headroom" {
+            return !matches!(value, TypedValue::Bool(_));
+        }
+        matches!(value, TypedValue::Bool(_))
+    }
+
+    /// Candidate pin sets for a `(target, polarity)` request, best
+    /// first. Empty when the target is out of scope or the polarity has
+    /// no witness (behavioural kinds, unbounded boundaries, ...).
+    fn candidates(&self, target: &Constraint, polarity: Polarity) -> Vec<Vec<Pin>> {
+        let d = &target.dependency;
+        let Some(subj_scope) = in_scope(&d.subject.component) else { return Vec::new() };
+        let subj = crate::constraint::registry_name(&d.subject.component, &d.subject.param);
+        let pin = |component: &'static str, param: &str, value: TypedValue| Pin {
+            component,
+            param: param.to_string(),
+            value,
+        };
+        let mut out: Vec<Vec<Pin>> = Vec::new();
+        match d.kind {
+            DepKind::SdValueRange => {
+                let (min, max) = (d.detail.min, d.detail.max);
+                let must_not = d
+                    .detail
+                    .relation
+                    .as_deref()
+                    .is_some_and(|r| r.contains("must not equal"));
+                let mut push_int = |v: i64| {
+                    out.push(vec![pin(subj_scope, subj, TypedValue::Int(v))]);
+                };
+                match polarity {
+                    Polarity::Satisfy => {
+                        let lo = min.unwrap_or(i64::MIN);
+                        let hi = max.unwrap_or(i64::MAX);
+                        let mid = self.engage_int(&d.subject.component, subj);
+                        for v in [mid.clamp(lo.min(hi), hi), lo.max(0).clamp(lo, hi), hi.min(1 << 20).clamp(lo, hi)]
+                        {
+                            if !(must_not && d.detail.value_set.contains(&v)) {
+                                push_int(v);
+                            }
+                        }
+                    }
+                    Polarity::Violate => {
+                        if let Some(hi) = max {
+                            if let Some(v) = hi.checked_add(1) {
+                                push_int(v);
+                            }
+                        }
+                        if let Some(lo) = min {
+                            if let Some(v) = lo.checked_sub(1) {
+                                push_int(v);
+                            }
+                        }
+                        if must_not {
+                            for v in &d.detail.value_set {
+                                push_int(*v);
+                            }
+                        }
+                    }
+                    Polarity::Boundary => {
+                        for v in [min, max].into_iter().flatten() {
+                            if !(must_not && d.detail.value_set.contains(&v)) {
+                                push_int(v);
+                            }
+                        }
+                    }
+                }
+            }
+            DepKind::SdDataType => {
+                let Some(ty) = d.detail.data_type.as_deref() else { return Vec::new() };
+                let matching: Vec<TypedValue> = match ty {
+                    "integer" | "int" | "size" => {
+                        vec![TypedValue::Int(self.engage_int(&d.subject.component, subj))]
+                    }
+                    "boolean" | "bool" | "flag" => vec![TypedValue::Bool(true)],
+                    "string" | "enum" | "path" => {
+                        let member = self
+                            .enum_members(&d.subject.component, subj)
+                            .and_then(|m| m.first().cloned())
+                            .unwrap_or_else(|| "x".to_string());
+                        vec![TypedValue::Str(member)]
+                    }
+                    _ => Vec::new(), // unknown types satisfy vacuously; no stable witness
+                };
+                let mismatching: Vec<TypedValue> = match ty {
+                    "integer" | "int" | "size" => vec![TypedValue::Str("x".to_string())],
+                    "boolean" | "bool" | "flag" => vec![TypedValue::Int(1)],
+                    "string" | "enum" | "path" => vec![TypedValue::Int(7)],
+                    _ => Vec::new(),
+                };
+                let chosen = match polarity {
+                    Polarity::Satisfy => matching,
+                    Polarity::Violate => mismatching,
+                    Polarity::Boundary => Vec::new(),
+                };
+                for value in chosen {
+                    if Self::renderable(subj_scope, subj, &value) {
+                        out.push(vec![pin(subj_scope, subj, value)]);
+                    }
+                }
+            }
+            DepKind::CpdControl | DepKind::CcdControl => {
+                let Some(Endpoint::Param(obj_ref)) = &d.object else { return Vec::new() };
+                let Some(obj_scope) = in_scope(&obj_ref.component) else { return Vec::new() };
+                let obj = crate::constraint::registry_name(&obj_ref.component, &obj_ref.param);
+                let engage = |solver: &Self, component: &str, param: &str| -> TypedValue {
+                    let is_valued = component == "mke2fs"
+                        && (mkfs_option(param).is_some()
+                            || param == "journal_size"
+                            || param == "resize_headroom");
+                    let registry_int = matches!(
+                        solver.spec(component, param),
+                        Some(ParamSpec { param_type: ParamType::Int { .. } | ParamType::Size, .. })
+                    );
+                    if is_valued || (component == "mount" && registry_int) {
+                        TypedValue::Int(solver.engage_int(component, param))
+                    } else {
+                        TypedValue::Bool(true)
+                    }
+                };
+                let disengage = TypedValue::Bool(false);
+                let requires = d.detail.relation.as_deref() == Some("requires");
+                let s_on = engage(self, &d.subject.component, subj);
+                let o_on = engage(self, &obj_ref.component, obj);
+                if requires {
+                    match polarity {
+                        Polarity::Satisfy => {
+                            out.push(vec![
+                                pin(subj_scope, subj, s_on.clone()),
+                                pin(obj_scope, obj, o_on.clone()),
+                            ]);
+                            out.push(vec![
+                                pin(subj_scope, subj, disengage.clone()),
+                                pin(obj_scope, obj, o_on),
+                            ]);
+                        }
+                        Polarity::Violate => out.push(vec![
+                            pin(subj_scope, subj, s_on),
+                            pin(obj_scope, obj, disengage),
+                        ]),
+                        Polarity::Boundary => {}
+                    }
+                } else {
+                    // mutual exclusion (the extractor's combined
+                    // "cannot be combined / requires" relation)
+                    match polarity {
+                        Polarity::Satisfy => {
+                            out.push(vec![
+                                pin(subj_scope, subj, s_on.clone()),
+                                pin(obj_scope, obj, disengage.clone()),
+                            ]);
+                            out.push(vec![
+                                pin(subj_scope, subj, disengage.clone()),
+                                pin(obj_scope, obj, o_on.clone()),
+                            ]);
+                            out.push(vec![
+                                pin(subj_scope, subj, disengage.clone()),
+                                pin(obj_scope, obj, disengage),
+                            ]);
+                        }
+                        Polarity::Violate => {
+                            out.push(vec![pin(subj_scope, subj, s_on), pin(obj_scope, obj, o_on)]);
+                        }
+                        Polarity::Boundary => {}
+                    }
+                }
+                out.retain(|pins| {
+                    pins.iter().all(|p| Self::renderable(p.component, &p.param, &p.value))
+                });
+            }
+            // value couplings and behavioural CCDs have no static
+            // predicate — nothing to witness
+            DepKind::CpdValue | DepKind::CcdValue | DepKind::CcdBehavioral => {}
+        }
+        out.retain(|pins| {
+            pins.iter().all(|p| Self::renderable(p.component, &p.param, &p.value))
+        });
+        out
+    }
+
+    /// Propagates the non-target constraints over the partial config,
+    /// repairing collateral violations through unpinned participants: SD
+    /// ranges clamp the value into range, data types coerce the shape,
+    /// control pairs disengage the unpinned side. Pinned parameters are
+    /// never touched; an unrepairable violation is left standing (it is
+    /// collateral coverage, not a solving failure).
+    fn propagate(&self, solved: &mut SolvedConfig, pinned: &[(&'static str, String)]) {
+        let is_pinned = |component: &str, param: &str| {
+            pinned.iter().any(|(c, p)| *c == component && p == param)
+        };
+        for _round in 0..4 {
+            let mut changed = false;
+            for c in self.set.constraints() {
+                let verdict = c.evaluate(&[&solved.mkfs, &solved.mount]);
+                if verdict != Verdict::Violated {
+                    continue;
+                }
+                let d = &c.dependency;
+                let subj_scope = match in_scope(&d.subject.component) {
+                    Some(s) => s,
+                    None => continue,
+                };
+                let subj =
+                    crate::constraint::registry_name(&d.subject.component, &d.subject.param);
+                match d.kind {
+                    DepKind::SdValueRange => {
+                        if is_pinned(subj_scope, subj) {
+                            continue;
+                        }
+                        let cfg =
+                            if subj_scope == "mke2fs" { &mut solved.mkfs } else { &mut solved.mount };
+                        if let Some(&TypedValue::Int(v)) = cfg.get(subj) {
+                            let clamped = v.clamp(
+                                d.detail.min.unwrap_or(i64::MIN),
+                                d.detail.max.unwrap_or(i64::MAX),
+                            );
+                            cfg.set_int(subj, clamped);
+                            changed = true;
+                        }
+                    }
+                    DepKind::SdDataType => {
+                        if is_pinned(subj_scope, subj) {
+                            continue;
+                        }
+                        let repaired = match d.detail.data_type.as_deref() {
+                            Some("integer" | "int" | "size") => {
+                                TypedValue::Int(self.engage_int(&d.subject.component, subj))
+                            }
+                            Some("string" | "enum" | "path") => TypedValue::Str(
+                                self.enum_members(&d.subject.component, subj)
+                                    .and_then(|m| m.first().cloned())
+                                    .unwrap_or_else(|| "x".to_string()),
+                            ),
+                            Some("boolean" | "bool" | "flag") => TypedValue::Bool(true),
+                            _ => continue,
+                        };
+                        if Self::renderable(subj_scope, subj, &repaired) {
+                            let cfg = if subj_scope == "mke2fs" {
+                                &mut solved.mkfs
+                            } else {
+                                &mut solved.mount
+                            };
+                            cfg.values.insert(subj.to_string(), repaired);
+                            changed = true;
+                        }
+                    }
+                    DepKind::CpdControl | DepKind::CcdControl => {
+                        let Some(Endpoint::Param(obj_ref)) = &d.object else { continue };
+                        let Some(obj_scope) = in_scope(&obj_ref.component) else { continue };
+                        let obj =
+                            crate::constraint::registry_name(&obj_ref.component, &obj_ref.param);
+                        // prefer repairing through the object, then the
+                        // subject; a participant repairs by disengaging
+                        // (booleans) or leaving the config (values)
+                        let repair_targets =
+                            [(obj_scope, obj), (subj_scope, subj)];
+                        for (scope, param) in repair_targets {
+                            if is_pinned(scope, param) {
+                                continue;
+                            }
+                            let cfg = if scope == "mke2fs" {
+                                &mut solved.mkfs
+                            } else {
+                                &mut solved.mount
+                            };
+                            match cfg.get(param) {
+                                Some(TypedValue::Bool(true)) => {
+                                    cfg.set_bool(param, false);
+                                    changed = true;
+                                    break;
+                                }
+                                Some(TypedValue::Int(_) | TypedValue::Str(_)) => {
+                                    cfg.values.remove(param);
+                                    changed = true;
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Boundary-derived integer pool for `(component, param)` — the
+    /// mutation vocabulary that replaces the hard-coded value tables:
+    /// range bounds, bounds ± 1, midpoint, and a short power-of-two
+    /// ladder from the lower bound.
+    pub fn int_pool(&self, component: &str, param: &str) -> Vec<i64> {
+        let Some((min, max)) = self.set.int_range(component, param).or_else(|| {
+            match self.spec(component, param) {
+                Some(ParamSpec { param_type: ParamType::Int { min, max }, .. }) => {
+                    Some((*min, *max))
+                }
+                _ => None,
+            }
+        }) else {
+            return vec![0, 1, 16];
+        };
+        let mut pool: Vec<i64> = Vec::new();
+        if min != i64::MIN {
+            pool.extend([min, min.saturating_sub(1), min.saturating_add(1)]);
+            let mut p = min.max(1);
+            for _ in 0..3 {
+                if let Some(next) = p.checked_mul(2) {
+                    if max == i64::MAX || next <= max {
+                        pool.push(next);
+                        p = next;
+                    }
+                }
+            }
+        }
+        if max != i64::MAX {
+            pool.extend([max, max.saturating_add(1), max.saturating_sub(1)]);
+        }
+        if min != i64::MIN && max != i64::MAX {
+            pool.push(min + (max - min) / 2);
+        }
+        if pool.is_empty() {
+            pool.extend([0, 1, 16]);
+        }
+        pool.sort_unstable();
+        pool.dedup();
+        pool
+    }
+
+    /// Every registered feature-shaped parameter of `component`, plus
+    /// the control-pair participants the extractor names that the
+    /// registry does not — the feature mutation vocabulary.
+    pub fn feature_pool(&self, component: &str) -> Vec<String> {
+        let mut pool: Vec<String> = self
+            .registry
+            .iter()
+            .filter(|s| {
+                s.component == component
+                    && matches!(s.param_type, ParamType::Feature | ParamType::Bool)
+            })
+            .map(|s| s.name.clone())
+            .collect();
+        for c in self.set.constraints() {
+            let d = &c.dependency;
+            if !matches!(d.kind, DepKind::CpdControl | DepKind::CcdControl) {
+                continue;
+            }
+            for (comp, param) in std::iter::once((&d.subject.component, &d.subject.param)).chain(
+                match &d.object {
+                    Some(Endpoint::Param(o)) => Some((&o.component, &o.param)),
+                    _ => None,
+                },
+            ) {
+                if comp == component && self.spec(comp, param).is_none() {
+                    pool.push(param.clone());
+                }
+            }
+        }
+        pool.sort_unstable();
+        pool.dedup();
+        pool
+    }
+
+    /// The enum members of a parameter, for mutation (empty when the
+    /// parameter is not enumerated).
+    pub fn enum_pool(&self, component: &str, param: &str) -> Vec<String> {
+        self.enum_members(component, param).map(<[String]>::to_vec).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract_scenario, models, ExtractOptions};
+
+    fn compiled() -> ConstraintSet {
+        ConstraintSet::compile(
+            extract_scenario(&models::all(), ExtractOptions::default()).unwrap(),
+        )
+    }
+
+    fn views(solved: &SolvedConfig) -> (TypedConfig, TypedConfig) {
+        (solved.mkfs.clone(), solved.mount.clone())
+    }
+
+    #[test]
+    fn solves_range_polarities() {
+        let set = compiled();
+        let solver = Solver::new(&set);
+        let c = set.find("SdValueRange|mke2fs:blocksize").expect("blocksize range");
+        for (polarity, want) in [
+            (Polarity::Satisfy, Verdict::Satisfied),
+            (Polarity::Violate, Verdict::Violated),
+            (Polarity::Boundary, Verdict::Satisfied),
+        ] {
+            let solved = solver.solve(c, polarity).expect("solvable");
+            let (mkfs, mount) = views(&solved);
+            assert_eq!(c.evaluate(&[&mkfs, &mount]), want, "{polarity}");
+        }
+        // boundary really sits on a bound
+        let solved = solver.solve(c, Polarity::Boundary).unwrap();
+        let v = solved.mkfs.get_int("blocksize").unwrap();
+        assert!(v == 1024 || v == 65536, "boundary picked {v}");
+    }
+
+    #[test]
+    fn solves_control_pair_polarities() {
+        let set = compiled();
+        let solver = Solver::new(&set);
+        let c = set.find("CpdControl|mke2fs|meta_bg~resize_inode").unwrap();
+        let violated = solver.solve(c, Polarity::Violate).expect("violable");
+        let (mkfs, mount) = views(&violated);
+        assert_eq!(c.evaluate(&[&mkfs, &mount]), Verdict::Violated);
+        let satisfied = solver.solve(c, Polarity::Satisfy).expect("satisfiable");
+        let (mkfs, mount) = views(&satisfied);
+        assert_eq!(c.evaluate(&[&mkfs, &mount]), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn propagation_repairs_base_conflicts() {
+        let set = compiled();
+        let solver = Solver::new(&set);
+        // pinning meta_bg on must disengage the base's resize_inode
+        let c = set.find("CpdControl|mke2fs|meta_bg~resize_inode").unwrap();
+        let solved = solver.solve(c, Polarity::Satisfy).unwrap();
+        assert_eq!(solved.mkfs.get("meta_bg"), Some(&TypedValue::Bool(true)));
+        assert_eq!(solved.mkfs.get("resize_inode"), Some(&TypedValue::Bool(false)));
+    }
+
+    #[test]
+    fn out_of_scope_constraints_are_unsolvable() {
+        let set = compiled();
+        let solver = Solver::new(&set);
+        let c = set.find("SdValueRange|resize2fs:new_size").expect("resize2fs range");
+        for polarity in Polarity::all() {
+            assert!(solver.solve(c, polarity).is_none(), "{polarity}");
+        }
+    }
+
+    #[test]
+    fn target_universe_is_substantial_and_renderable() {
+        let set = compiled();
+        let solver = Solver::new(&set);
+        let targets = solver.targets();
+        assert!(targets.len() >= 60, "only {} achievable targets", targets.len());
+        // every target renders to a concrete config hitting its polarity
+        for (sig, polarity) in &targets {
+            let solved = solver.solve_signature(sig, *polarity).expect("target solvable");
+            assert!(solved.render().is_some(), "{sig} {polarity} unrenderable");
+        }
+    }
+
+    #[test]
+    fn pools_replace_hardcoded_tables() {
+        let set = compiled();
+        let solver = Solver::new(&set);
+        let bs = solver.int_pool("mke2fs", "blocksize");
+        assert!(bs.contains(&1024) && bs.contains(&65536) && bs.contains(&65537), "{bs:?}");
+        assert!(solver.feature_pool("mke2fs").iter().any(|f| f == "meta_bg"));
+        assert!(solver.enum_pool("mount", "data").iter().any(|m| m == "journal"));
+    }
+}

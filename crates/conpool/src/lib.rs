@@ -46,6 +46,10 @@ where
     }
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let workers = threads.min(n);
+    // pull a few items per lock so short per-item work (sub-millisecond
+    // campaign probes) doesn't serialise on the queue mutex; small
+    // chunks keep the tail balanced across workers
+    let chunk = (n / (workers * 8)).clamp(1, 16);
     let mut tagged: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -53,12 +57,21 @@ where
                 let f = &f;
                 scope.spawn(move |_| {
                     let mut out = Vec::new();
+                    let mut jobs = Vec::with_capacity(chunk);
                     loop {
-                        let job = queue.lock().expect("work queue poisoned").pop_front();
-                        match job {
-                            Some((i, item)) => out.push((i, f(i, item))),
-                            None => break,
+                        {
+                            let mut q = queue.lock().expect("work queue poisoned");
+                            for _ in 0..chunk {
+                                match q.pop_front() {
+                                    Some(job) => jobs.push(job),
+                                    None => break,
+                                }
+                            }
                         }
+                        if jobs.is_empty() {
+                            break;
+                        }
+                        out.extend(jobs.drain(..).map(|(i, item)| (i, f(i, item))));
                     }
                     out
                 })

@@ -50,6 +50,44 @@ impl GeneratedConfig {
         let (mkfs, mount) = self.typed();
         format!("{}|{}", mkfs.canonical_key(), mount.canonical_key())
     }
+
+    /// Allocation-free fingerprint of [`GeneratedConfig::state_key`]:
+    /// a 64-bit FNV-1a hash streamed over the exact canonical-key
+    /// bytes, so the campaign dedup maps can key on a `u64` instead of
+    /// building a `String` per candidate. `state_key` remains the
+    /// display/serde identity.
+    pub fn state_id(&self) -> u64 {
+        use std::fmt::Write as _;
+        let (mkfs, mount) = self.typed();
+        let mut hasher = FnvWriter::new();
+        mkfs.canonical_key_into(&mut hasher).expect("hashing is infallible");
+        hasher.write_char('|').expect("hashing is infallible");
+        mount.canonical_key_into(&mut hasher).expect("hashing is infallible");
+        hasher.finish()
+    }
+}
+
+/// Streaming FNV-1a hasher behind [`std::fmt::Write`], so canonical
+/// keys hash without being materialised as strings.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> Self {
+        FnvWriter(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
 }
 
 /// How deep a configuration drove the ecosystem before something
@@ -355,11 +393,11 @@ fn tally(depths: impl IntoIterator<Item = RunDepth>) -> ConfigCampaign {
 /// configurations (same [`GeneratedConfig::state_key`]) execute once;
 /// every duplicate is tallied from the memoized result.
 pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
-    let mut memo: HashMap<String, RunDepth> = HashMap::new();
+    let mut memo: HashMap<u64, RunDepth> = HashMap::new();
     let depths: Vec<RunDepth> = configs
         .iter()
         .map(|cfg| {
-            let key = cfg.state_key();
+            let key = cfg.state_id();
             match memo.get(&key) {
                 Some(&depth) => depth,
                 None => {
@@ -381,11 +419,11 @@ pub fn campaign(configs: &[GeneratedConfig]) -> ConfigCampaign {
 /// identical to the sequential campaign's: duplicates are collapsed to
 /// their first occurrence before the fan-out and tallied afterwards.
 pub fn campaign_parallel(configs: &[GeneratedConfig], threads: usize) -> ConfigCampaign {
-    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
     let mut uniques: Vec<GeneratedConfig> = Vec::new();
     let mut slots: Vec<usize> = Vec::with_capacity(configs.len());
     for cfg in configs {
-        let idx = *seen.entry(cfg.state_key()).or_insert_with(|| {
+        let idx = *seen.entry(cfg.state_id()).or_insert_with(|| {
             uniques.push(cfg.clone());
             uniques.len() - 1
         });
@@ -450,6 +488,43 @@ mod tests {
         );
         let par = campaign_parallel(&configs, 4);
         assert_eq!(par, seq);
+        // the u64 fingerprints the campaigns dedup by must partition
+        // the runs exactly like the string state keys do
+        let ids: std::collections::HashSet<u64> =
+            configs.iter().map(GeneratedConfig::state_id).collect();
+        let keys: std::collections::HashSet<String> =
+            configs.iter().map(|c| c.state_key()).collect();
+        assert_eq!(ids.len(), keys.len(), "state_id collision changed campaign totals");
+        assert_eq!(ids.len(), uniques);
+    }
+
+    #[test]
+    fn state_id_fingerprints_state_key() {
+        let mut gen = ConBugCk::new(11).unwrap();
+        let configs = gen.generate(64);
+        let mut by_key: HashMap<String, u64> = HashMap::new();
+        for cfg in &configs {
+            let key = cfg.state_key();
+            let id = cfg.state_id();
+            // equal keys hash equal; distinct keys stay distinct
+            if let Some(&prev) = by_key.get(&key) {
+                assert_eq!(prev, id, "same state key, different state id");
+            }
+            by_key.insert(key, id);
+        }
+        let distinct_ids: std::collections::HashSet<u64> = by_key.values().copied().collect();
+        assert_eq!(distinct_ids.len(), by_key.len(), "state_id collision");
+        // argument order does not change the fingerprint
+        let a = GeneratedConfig {
+            mkfs_args: vec!["-m".into(), "5".into(), "-b".into(), "4096".into()],
+            mount_opts: "data=ordered,ro".into(),
+        };
+        let b = GeneratedConfig {
+            mkfs_args: vec!["-b".into(), "4096".into(), "-m".into(), "5".into()],
+            mount_opts: "ro,data=ordered".into(),
+        };
+        assert_eq!(a.state_id(), b.state_id());
+        assert_eq!(a.state_key(), b.state_key());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod conbugck;
 pub mod condocck;
 pub mod conhandleck;
+pub mod fuzz;
 pub mod pool;
 
 pub use conbugck::{
@@ -26,4 +27,5 @@ pub use conbugck::{
     ConfigCampaign, CoverageStats, GeneratedConfig, RunDepth,
 };
 pub use condocck::{ext4_kernel_doc, run_condocck, DocIssue, DocIssueKind};
+pub use fuzz::{fuzz_campaign, FuzzOptions, FuzzOutcome, FuzzReport, PolarityCoverage, Strategy};
 pub use conhandleck::{run_conhandleck, standard_image, Handling, ViolationCase, ViolationOutcome};

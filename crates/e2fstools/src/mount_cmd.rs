@@ -44,6 +44,12 @@ const DIRECT_BOOL_TOKENS: [&str; 25] = [
     "init_itable",
 ];
 
+/// Whether a bare mount token lowers to its own registered boolean
+/// parameter (shared with the lenient typed view in [`crate::typed`]).
+pub(crate) fn is_direct_bool_token(tok: &str) -> bool {
+    DIRECT_BOOL_TOKENS.contains(&tok)
+}
+
 /// A parsed `mount` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MountCmd {

@@ -152,21 +152,37 @@ impl TypedConfig {
     /// matter what order the CLI arguments arrived in.
     pub fn canonical_key(&self) -> String {
         let mut key = String::new();
-        key.push_str(&self.component);
-        key.push('{');
+        self.canonical_key_into(&mut key).expect("String formatting is infallible");
+        key
+    }
+
+    /// Streams the canonical identity (see [`TypedConfig::canonical_key`])
+    /// into any [`std::fmt::Write`] sink — e.g. a hasher — without
+    /// allocating the key string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the sink.
+    pub fn canonical_key_into<W: std::fmt::Write>(&self, key: &mut W) -> std::fmt::Result {
+        key.write_str(&self.component)?;
+        key.write_char('{')?;
         for (i, (name, value)) in self.values.iter().enumerate() {
             if i > 0 {
-                key.push(',');
+                key.write_char(',')?;
             }
-            key.push_str(name);
-            key.push('=');
-            key.push_str(&value.to_string());
+            key.write_str(name)?;
+            key.write_char('=')?;
+            write!(key, "{value}")?;
         }
-        key.push('}');
-        key.push('[');
-        key.push_str(&self.operands.join(","));
-        key.push(']');
-        key
+        key.write_char('}')?;
+        key.write_char('[')?;
+        for (i, op) in self.operands.iter().enumerate() {
+            if i > 0 {
+                key.write_char(',')?;
+            }
+            key.write_str(op)?;
+        }
+        key.write_char(']')
     }
 
     /// Validates every value against the registry slice: the parameter
@@ -219,20 +235,81 @@ impl TypedConfig {
         let mut cfg = TypedConfig::new("mke2fs");
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
+            // valued options lowered to their registry parameter names
+            // (the same map as `Mke2fs::parse_typed`, minus validation)
+            let valued = match arg.as_str() {
+                "-b" => Some("blocksize"),
+                "-m" => Some("reserved_percent"),
+                "-C" => Some("cluster_size"),
+                "-g" => Some("blocks_per_group"),
+                "-G" => Some("number_of_groups"),
+                "-i" => Some("inode_ratio"),
+                "-I" => Some("inode_size"),
+                "-N" => Some("inodes_count"),
+                "-L" => Some("label"),
+                "-U" => Some("uuid"),
+                _ => None,
+            };
+            if let Some(name) = valued {
+                match it.next() {
+                    Some(v) => match v.parse::<i64>() {
+                        Ok(i) => {
+                            cfg.set_int(name, i);
+                        }
+                        Err(_) => {
+                            cfg.set_str(name, v);
+                        }
+                    },
+                    None => {
+                        cfg.set_bool(name, true);
+                    }
+                }
+                continue;
+            }
             match arg.as_str() {
-                "-b" | "-m" => {
-                    let name = if arg == "-b" { "blocksize" } else { "reserved_percent" };
-                    match it.next() {
-                        Some(v) => match v.parse::<i64>() {
+                "-J" => match it.next() {
+                    Some(v) => {
+                        let raw = v.strip_prefix("size=").unwrap_or(v);
+                        match raw.parse::<i64>() {
                             Ok(i) => {
-                                cfg.set_int(name, i);
+                                cfg.set_int("journal_size", i);
                             }
                             Err(_) => {
-                                cfg.set_str(name, v);
+                                cfg.set_str("journal_size", raw);
                             }
-                        },
-                        None => {
-                            cfg.set_bool(name, true);
+                        }
+                    }
+                    None => {
+                        cfg.set_bool("journal_size", true);
+                    }
+                },
+                "-E" => {
+                    if let Some(exts) = it.next() {
+                        for opt in exts.split(',').filter(|t| !t.is_empty()) {
+                            match opt.split_once('=') {
+                                Some(("resize", v)) => match v.parse::<i64>() {
+                                    Ok(i) => {
+                                        cfg.set_int("resize_headroom", i);
+                                    }
+                                    Err(_) => {
+                                        cfg.set_str("resize_headroom", v);
+                                    }
+                                },
+                                Some(("lazy_itable_init", v)) => {
+                                    cfg.set_bool("lazy_itable_init", v != "0");
+                                }
+                                Some((k, v)) => match v.parse::<i64>() {
+                                    Ok(i) => {
+                                        cfg.set_int(k, i);
+                                    }
+                                    Err(_) => {
+                                        cfg.set_str(k, v);
+                                    }
+                                },
+                                None => {
+                                    cfg.set_bool(opt, true);
+                                }
+                            }
                         }
                     }
                 }
@@ -268,7 +345,11 @@ impl TypedConfig {
 
     /// A lenient typed view of a `mount -o` option string: bare tokens
     /// lower to booleans, `key=value` tokens to integers where possible
-    /// and strings otherwise.
+    /// and strings otherwise. A `no<param>` token where `<param>` is a
+    /// registered mount boolean lowers to `param = false` (mirroring
+    /// `MountCmd::parse_typed`), so an explicit disable is present but
+    /// disengaged rather than a distinct phantom parameter; tokens that
+    /// are themselves registered (`noload`, `norecovery`) stay as-is.
     pub fn from_mount_opts_lenient(opts: &str) -> Self {
         let mut cfg = TypedConfig::new("mount");
         for tok in opts.split(',').filter(|t| !t.is_empty()) {
@@ -282,7 +363,15 @@ impl TypedConfig {
                     }
                 },
                 None => {
-                    cfg.set_bool(tok, true);
+                    if crate::mount_cmd::is_direct_bool_token(tok) {
+                        cfg.set_bool(tok, true);
+                    } else if let Some(base) =
+                        tok.strip_prefix("no").filter(|b| crate::mount_cmd::is_direct_bool_token(b))
+                    {
+                        cfg.set_bool(base, false);
+                    } else {
+                        cfg.set_bool(tok, true);
+                    }
                 }
             }
         }

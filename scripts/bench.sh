@@ -18,7 +18,12 @@
 #   * fault-injection campaigns (repro_faultsim --bench →
 #     BENCH_faultsim.json): the single-threaded uncached sweep vs the
 #     classification worker pool and the shared image-digest recovery
-#     cache, over the errors= × journal × cache-policy grid.
+#     cache, over the errors= × journal × cache-policy grid;
+#   * coverage-guided constraint fuzzing (repro_fuzz --bench →
+#     BENCH_fuzz.json): solver-seeded campaigns vs the legacy
+#     dependency-aware and naive random generators under the same
+#     dedup-and-memoize loop, plus the incremental verdict store
+#     (cold campaign, then a warm rerun that must execute nothing).
 #
 # Usage: scripts/bench.sh [extra args passed to ALL binaries]
 #   e.g. scripts/bench.sh --threads 4
@@ -30,6 +35,7 @@ cargo build --release -p bench
 ./target/release/repro_crashsim --bench "$@"
 ./target/release/repro_analyzer --bench "$@"
 ./target/release/repro_faultsim --bench "$@"
+./target/release/repro_fuzz --bench "$@"
 # repro_fsops takes no --threads; strip it (and its value) from "$@"
 fsops_args=()
 skip=0

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, full test suite, lint-clean under clippy, a
 # crash-exploration benchmark smoke (tiny trace, 2 threads), a
-# taint-analyzer benchmark smoke, an fs-substrate smoke, and a
-# fault-injection conformance smoke — each checking the BENCH JSON is
-# well-formed and the racing engines (or cache policies) agreed — plus
-# a grep lint holding the line on unwrap/expect in ext4sim runtime
-# code.
+# taint-analyzer benchmark smoke, an fs-substrate smoke, a
+# fault-injection conformance smoke, and a constraint-fuzzing smoke
+# (solver polarity coverage plus the warm verdict store) — each
+# checking the BENCH JSON is well-formed and the racing engines (or
+# cache policies) agreed — plus a grep lint holding the line on
+# unwrap/expect in ext4sim runtime code.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -127,6 +128,39 @@ print("faultsim smoke OK:", bench["single"]["faults_explored"], "schedules,",
       bench["parallel_cached"]["cache_hits"], "cache hits")
 EOF
 
+rm -f target/tier1_fuzz.vstr
+./target/release/repro_fuzz --bench --smoke \
+  --out target/bench_fuzz_smoke.json --store target/tier1_fuzz.vstr
+python3 - <<'EOF'
+import json
+with open("target/bench_fuzz_smoke.json") as f:
+    bench = json.load(f)
+assert bench["thread_levels"], "fuzz smoke produced no thread levels"
+for lvl in bench["thread_levels"]:
+    s, a, n = (lvl[k]["report"] for k in ("solver", "aware", "naive"))
+    assert s["coverage_covered"] == s["coverage_universe"], (
+        f"solver missed polarity targets at {lvl['threads']} thread(s)"
+    )
+    assert s["coverage_covered"] > a["coverage_covered"], (
+        "solver coverage does not beat the dependency-aware generator"
+    )
+    assert s["coverage_covered"] > n["coverage_covered"], (
+        "solver coverage does not beat the naive generator"
+    )
+    for r in (s, a, n):
+        assert r["unique_verdicts"] > 0 and r["wall_ms"] >= 0
+assert bench["solver_full_coverage"], "solver coverage incomplete"
+store = bench["store"]
+assert store["warm_executed_fresh"] == 0, "warm store rerun executed configs"
+assert store["verdicts_identical"], "warm and cold campaigns disagreed"
+assert store["warm"]["store_preloaded"] == store["cold"]["unique_verdicts"], (
+    "warm rerun did not preload the cold campaign's verdicts"
+)
+print("fuzz smoke OK:", bench["thread_levels"][0]["solver"]["report"]["coverage_covered"],
+      "polarity targets covered,", store["cold"]["unique_verdicts"],
+      "verdicts replayed from the store")
+EOF
+
 # Error-handling lint: the errors= policy work routes device failures
 # through typed errors; hold the line on unwrap()/expect() in ext4sim's
 # non-test runtime code (the allowed counts are invariant-expects on
@@ -166,8 +200,9 @@ echo "component dispatch OK: 6 components"
 # check-handling exits non-zero on bad handling (exactly 1, Figure 1)
 $CLI check-docs > target/condocck.out || true
 $CLI check-handling > target/conhandleck.out || true
-$CLI fuzz --count 40 --seed 42 > target/conbugck.out
+$CLI fuzz --count 40 --seed 42 --solver --json > target/conbugck.json
 python3 - <<'EOF'
+import json
 import re
 
 with open("target/condocck.out") as f:
@@ -183,16 +218,21 @@ assert m and (int(m.group(1)), int(m.group(2))) == (12, 1), (
 )
 assert "sparse_super2" in handling
 
-with open("target/conbugck.out") as f:
-    fuzz = f.read()
-aware = re.search(r"dependency-aware: (\d+)/(\d+) deep", fuzz)
-naive = re.search(r"naive random    : (\d+)/(\d+) deep", fuzz)
-assert aware and naive, fuzz
-aware_rate = int(aware.group(1)) / int(aware.group(2))
-naive_rate = int(naive.group(1)) / int(naive.group(2))
-assert aware_rate >= 0.9, f"dependency-aware deep rate {aware_rate}"
-assert naive_rate < 0.6, f"naive deep rate suspiciously high: {naive_rate}"
-assert aware_rate > naive_rate
+with open("target/conbugck.json") as f:
+    fuzz = json.load(f)
+aware, naive = fuzz["aware"], fuzz["naive"]
+assert aware["deep_rate"] >= 0.9, f"dependency-aware deep rate {aware['deep_rate']}"
+assert naive["deep_rate"] < 0.6, f"naive deep rate suspiciously high: {naive['deep_rate']}"
+assert aware["deep_rate"] > naive["deep_rate"]
+solver = fuzz["solver"]
+assert solver is not None, "CLI --solver produced no solver campaign"
+assert solver["coverage_fraction"] == 1.0, (
+    f"solver polarity coverage incomplete: "
+    f"{solver['coverage_covered']}/{solver['coverage_universe']}"
+)
+assert solver["coverage_covered"] > aware["coverage_covered"]
+assert solver["coverage_covered"] > naive["coverage_covered"]
 print(f"ecosystem smoke OK: 12 doc issues, 1 bad handling, "
-      f"deep {aware_rate:.0%} vs naive {naive_rate:.0%}")
+      f"deep {aware['deep_rate']:.0%} vs naive {naive['deep_rate']:.0%}, "
+      f"solver coverage {solver['coverage_covered']}/{solver['coverage_universe']}")
 EOF

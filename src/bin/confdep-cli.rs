@@ -6,20 +6,27 @@
 //! confdep evaluate
 //! confdep check-docs
 //! confdep check-handling
-//! confdep fuzz [--count N] [--seed S]
+//! confdep fuzz [--count N] [--seed S] [--threads N] [--solver] [--store PATH] [--json]
 //! confdep study
 //! confdep component <name> [args...]
 //! ```
 
 use std::process::ExitCode;
 
+use std::path::PathBuf;
+
 use confdep_suite::blockdev::MemDevice;
 use confdep_suite::confdep::{
-    extract_scenario_full, models, DependencyReport, Evaluation, ExtractOptions,
+    extract_scenario, extract_scenario_full, models, ConstraintSet, DependencyReport, Evaluation,
+    ExtractOptions, Solver,
 };
 use confdep_suite::contools::conbugck::{campaign_parallel, generate_naive, ConBugCk};
+use confdep_suite::contools::fuzz::{
+    fuzz_campaign, FuzzOptions, FuzzReport, PolarityCoverage, Strategy,
+};
 use confdep_suite::contools::{run_condocck, run_conhandleck, standard_image, Handling};
 use confdep_suite::e2fstools::{component, ecosystem};
+use serde::Serialize;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -37,11 +44,37 @@ fn usage() -> ExitCode {
            fuzz            ConBugCk: dependency-aware configuration testing\n\
              --count N       configurations per strategy (default 40)\n\
              --seed S        RNG seed (default 2022)\n\
+             --solver        also run the solver-guided coverage campaign\n\
+             --store PATH    persistent verdict store for the solver campaign\n\
+             --json          emit the results as a JSON report\n\
            study           print the empirical-study summaries (Tables 1-4)\n\
            component       run one ecosystem component through the unified dispatch\n\
              <name> [args...]  e.g. `component mke2fs -b 4096 /dev/img`"
     );
     ExitCode::from(2)
+}
+
+/// One legacy-generator arm of the `fuzz` report: campaign depth plus
+/// the static polarity coverage its configurations witness.
+#[derive(Serialize)]
+struct FuzzCliArm {
+    deep: usize,
+    total: usize,
+    deep_rate: f64,
+    coverage_covered: usize,
+    coverage_universe: usize,
+    coverage_fraction: f64,
+}
+
+/// The `fuzz --json` report shape.
+#[derive(Serialize)]
+struct FuzzCliReport {
+    count: usize,
+    seed: u64,
+    threads: usize,
+    aware: FuzzCliArm,
+    naive: FuzzCliArm,
+    solver: Option<FuzzReport>,
 }
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -180,6 +213,9 @@ fn main() -> ExitCode {
             // deterministic regardless of the worker count
             let threads: usize =
                 value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let with_solver = flag(&args, "--solver");
+            let as_json = flag(&args, "--json");
+            let store_path = value(&args, "--store").map(PathBuf::from);
             let mut gen = match ConBugCk::new(seed) {
                 Ok(g) => g,
                 Err(e) => {
@@ -187,20 +223,94 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let aware = campaign_parallel(&gen.generate(count), threads);
-            let naive = campaign_parallel(&generate_naive(seed, count), threads);
+            let set = match extract_scenario(&models::all(), ExtractOptions::default()) {
+                Ok(deps) => ConstraintSet::compile(deps),
+                Err(e) => {
+                    eprintln!("extraction failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let solver = Solver::new(&set);
+            let aware_cfgs = gen.generate(count);
+            let naive_cfgs = generate_naive(seed, count);
+            let aware = campaign_parallel(&aware_cfgs, threads);
+            let naive = campaign_parallel(&naive_cfgs, threads);
+            let arm = |cfgs: &[confdep_suite::contools::GeneratedConfig],
+                       campaign: &confdep_suite::contools::ConfigCampaign| {
+                let mut cov = PolarityCoverage::new(&solver);
+                for cfg in cfgs {
+                    cov.observe(&solver, cfg);
+                }
+                FuzzCliArm {
+                    deep: campaign.deep,
+                    total: campaign.total,
+                    deep_rate: campaign.deep_rate(),
+                    coverage_covered: cov.covered(),
+                    coverage_universe: cov.universe(),
+                    coverage_fraction: cov.fraction(),
+                }
+            };
+            let report = FuzzCliReport {
+                count,
+                seed,
+                threads,
+                aware: arm(&aware_cfgs, &aware),
+                naive: arm(&naive_cfgs, &naive),
+                solver: with_solver.then(|| {
+                    fuzz_campaign(
+                        &set,
+                        &FuzzOptions {
+                            seed,
+                            rounds: 4,
+                            batch: count.div_ceil(4).max(1),
+                            threads,
+                            strategy: Strategy::Solver,
+                            store_path,
+                        },
+                    )
+                    .report
+                }),
+            };
+            if as_json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => {
+                        eprintln!("JSON encoding failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
             println!(
-                "dependency-aware: {}/{} deep ({:.0}%)",
-                aware.deep,
-                aware.total,
-                100.0 * aware.deep_rate()
+                "dependency-aware: {}/{} deep ({:.0}%), polarity coverage {}/{}",
+                report.aware.deep,
+                report.aware.total,
+                100.0 * report.aware.deep_rate,
+                report.aware.coverage_covered,
+                report.aware.coverage_universe
             );
             println!(
-                "naive random    : {}/{} deep ({:.0}%)",
-                naive.deep,
-                naive.total,
-                100.0 * naive.deep_rate()
+                "naive random    : {}/{} deep ({:.0}%), polarity coverage {}/{}",
+                report.naive.deep,
+                report.naive.total,
+                100.0 * report.naive.deep_rate,
+                report.naive.coverage_covered,
+                report.naive.coverage_universe
             );
+            if let Some(s) = &report.solver {
+                println!(
+                    "solver-guided   : {}/{} deep, polarity coverage {}/{} ({:.0}%), \
+                     {} unique verdicts ({} fresh) in {} ms",
+                    s.deep,
+                    s.unique_verdicts,
+                    s.coverage_covered,
+                    s.coverage_universe,
+                    100.0 * s.coverage_fraction,
+                    s.unique_verdicts,
+                    s.executed_fresh,
+                    s.wall_ms
+                );
+            }
             ExitCode::SUCCESS
         }
         "study" => {
