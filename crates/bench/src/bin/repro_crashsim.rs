@@ -27,8 +27,8 @@ use std::time::Instant;
 
 use crashsim::{
     defrag_workload, explore, figure1_resize_workload, format_workload, generated_corpus,
-    journaled_write_workload, CrashReport, ExploreOptions, ExploreStats, OutcomeCore, Verdict,
-    VerdictCounts, VerdictStore, Workload,
+    journaled_write_workload, CrashReport, ExploreOptions, ExploreStats, OutcomeCore,
+    StoreOpenReport, Verdict, VerdictCounts, VerdictStore, Workload,
 };
 use serde::Serialize;
 
@@ -228,6 +228,10 @@ struct CorpusTotals {
 struct CorpusSummary {
     description: String,
     store_path: String,
+    /// What the cold leg saw opening its (freshly removed) store file.
+    cold_store_open: StoreOpenReport,
+    /// What the warm leg saw reopening the persisted store.
+    warm_store_open: StoreOpenReport,
     workloads: usize,
     ops_per_workload: usize,
     max_batch_ops: u32,
@@ -254,6 +258,7 @@ fn run_corpus(smoke: bool, threads: usize, store_path: &std::path::Path) -> Corp
     let exhaustive_opts = ExploreOptions { deep_reorder: true, ..ExploreOptions::default() }
         .with_threads(threads);
     let cold_store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(store_path));
+    let cold_store_open = cold_store.open_report().clone();
     let cold_opts =
         ExploreOptions::corpus().with_threads(threads).with_store(Arc::clone(&cold_store));
 
@@ -299,6 +304,7 @@ fn run_corpus(smoke: bool, threads: usize, store_path: &std::path::Path) -> Corp
     drop(cold_opts);
     drop(cold_store);
     let warm_store: Arc<VerdictStore<OutcomeCore>> = Arc::new(VerdictStore::open(store_path));
+    let warm_store_open = warm_store.open_report().clone();
     eprintln!("warm store preloaded {} verdicts", warm_store.preloaded());
     let warm_opts =
         ExploreOptions::corpus().with_threads(threads).with_store(Arc::clone(&warm_store));
@@ -374,6 +380,8 @@ fn run_corpus(smoke: bool, threads: usize, store_path: &std::path::Path) -> Corp
                       store, on generated multi-op workloads under journal group commit"
             .to_string(),
         store_path: store_path.display().to_string(),
+        cold_store_open,
+        warm_store_open,
         workloads: count,
         ops_per_workload: ops,
         max_batch_ops: batch,

@@ -1,0 +1,349 @@
+//! Validation-service throughput benchmark.
+//!
+//! Races the three convalid serving paths — naive full-table
+//! evaluation, the indexed plan, and the indexed plan behind the
+//! sharded verdict memo — over the same query stream at several worker
+//! counts, and checks all three return bit-identical verdicts (also
+//! against direct `Constraint::evaluate` over every constraint).
+//!
+//! The query stream models a validation service's traffic: a pool of
+//! distinct whole-configuration states (solver polarity witnesses plus
+//! seeded mutations of them) sampled with repetition, so memoization
+//! has the redundancy a real service sees.
+//!
+//! Writes the measurements to `BENCH_service.json` (`--out PATH` to
+//! redirect). `--smoke` shrinks the pool and stream for CI gates;
+//! `--threads N` replaces the default 1/4/16 ladder with one level.
+//!
+//! Exits nonzero when any path disagrees on any verdict, or when the
+//! indexed path fails to evaluate strictly fewer constraints per query
+//! than the full table.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use confdep::{extract_scenario, models, ConstraintSet, ExtractOptions, Solver};
+use convalid::{
+    ConfigQuery, EngineOptions, EvalStrategy, MemoOptions, MemoStats, ValidationEngine,
+    ValidationPlan,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One serving path's measurement at one worker count.
+#[derive(Serialize, Clone)]
+struct EngineLeg {
+    strategy: String,
+    wall_ms: f64,
+    validations_per_sec: f64,
+    /// Mean constraints evaluated per query (memo hits evaluate 0).
+    evaluated_per_query: f64,
+    /// Memo counters (memoized leg only).
+    memo: Option<MemoStats>,
+}
+
+/// All three paths at one worker count.
+#[derive(Serialize)]
+struct ThreadLevel {
+    threads: usize,
+    naive: EngineLeg,
+    indexed: EngineLeg,
+    memoized: EngineLeg,
+    /// Indexed validations/sec over naive.
+    speedup_indexed: f64,
+    /// Indexed+memoized validations/sec over naive.
+    speedup_memoized: f64,
+    /// All three paths agreed on every verdict of the stream.
+    verdicts_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    description: String,
+    smoke: bool,
+    seed: u64,
+    constraints: usize,
+    /// Distinct states in the query pool.
+    pool_distinct: usize,
+    /// Queries per leg (pool sampled with repetition).
+    stream_len: usize,
+    plan_compile_ms: f64,
+    thread_levels: Vec<ThreadLevel>,
+    /// Every level's three paths agreed on every verdict.
+    all_paths_identical: bool,
+    /// The indexed path matches direct `Constraint::evaluate` over all
+    /// constraints on every distinct pool state.
+    direct_identical: bool,
+    /// Indexed+memoized speedup over naive at the highest worker count.
+    max_speedup_memoized: f64,
+    /// Indexed constraints-evaluated-per-query at the highest level
+    /// (must be strictly below `constraints`).
+    indexed_evaluated_per_query: f64,
+}
+
+/// Builds the distinct-state pool: every solver polarity witness, plus
+/// seeded mutations (blocksize/reserved/feature/mount tweaks) of them.
+fn build_pool(set: &ConstraintSet, seed: u64, target: usize) -> Vec<ConfigQuery> {
+    let solver = Solver::new(set);
+    let mut pool: Vec<ConfigQuery> = Vec::new();
+    let mut keys = std::collections::BTreeSet::new();
+    let mut push = |q: ConfigQuery, pool: &mut Vec<ConfigQuery>| {
+        if keys.insert(q.state_key()) {
+            pool.push(q);
+        }
+    };
+    let witnesses: Vec<_> = solver.witness_targets();
+    for (_, _, solved) in &witnesses {
+        push(ConfigQuery::new(vec![solved.mkfs.clone(), solved.mount.clone()]), &mut pool);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let int_pool = solver.int_pool("mke2fs", "blocksize");
+    let reserved_pool = solver.int_pool("mke2fs", "reserved_percent");
+    let features = solver.feature_pool("mke2fs");
+    let data_pool = solver.enum_pool("mount", "data");
+    while pool.len() < target && !witnesses.is_empty() {
+        let (_, _, base) = &witnesses[rng.gen_range(0..witnesses.len())];
+        let mut mkfs = base.mkfs.clone();
+        let mut mount = base.mount.clone();
+        match rng.gen_range(0..5) {
+            0 => {
+                mkfs.set_int("blocksize", int_pool[rng.gen_range(0..int_pool.len())]);
+            }
+            1 => {
+                mkfs.set_int(
+                    "reserved_percent",
+                    reserved_pool[rng.gen_range(0..reserved_pool.len())],
+                );
+            }
+            2 => {
+                let f = &features[rng.gen_range(0..features.len())];
+                mkfs.set_bool(f, rng.gen_bool(0.5));
+            }
+            3 => {
+                if !data_pool.is_empty() {
+                    let v = &data_pool[rng.gen_range(0..data_pool.len())];
+                    mount.set_str("data", v);
+                }
+            }
+            _ => {
+                mount.set_int("commit", rng.gen_range(0..120));
+            }
+        }
+        push(ConfigQuery::new(vec![mkfs, mount]), &mut pool);
+    }
+    pool
+}
+
+/// Samples the service's query stream from the pool with repetition.
+fn build_stream(pool: &[ConfigQuery], seed: u64, len: usize) -> Vec<ConfigQuery> {
+    // queries carry their identity from generation, the way the fuzz
+    // corpus's GeneratedConfig carries its state_id: fingerprint each
+    // pool state once here so every stream clone inherits it
+    for q in pool {
+        let _ = q.fingerprint();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_4f52_4b4c_4f41);
+    (0..len).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+}
+
+/// One serving path's verdict vectors, in stream order.
+type LegVerdicts = Vec<Arc<[confdep::Verdict]>>;
+
+/// Runs one serving path over the stream `reps` times, keeping the
+/// fastest wall time; returns the leg and the verdict vectors.
+fn run_leg(
+    plan: &Arc<ValidationPlan>,
+    options: EngineOptions,
+    label: &str,
+    stream: &[ConfigQuery],
+    threads: usize,
+    reps: usize,
+) -> (EngineLeg, LegVerdicts) {
+    let mut best: Option<(f64, EngineLeg, LegVerdicts)> = None;
+    for _ in 0..reps.max(1) {
+        // fresh engine per repetition: the memo starts cold every time
+        let engine = ValidationEngine::new(Arc::clone(plan), options);
+        let start = Instant::now();
+        let outcomes = engine.validate_many(stream, threads);
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let stats = engine.stats();
+        let leg = EngineLeg {
+            strategy: label.to_string(),
+            wall_ms,
+            validations_per_sec: stream.len() as f64 / (wall_ms / 1000.0).max(1e-9),
+            evaluated_per_query: stats.evaluated_per_query(),
+            memo: stats.memo,
+        };
+        let verdicts: LegVerdicts = outcomes.into_iter().map(|o| o.verdicts).collect();
+        if best.as_ref().is_none_or(|(w, _, _)| wall_ms < *w) {
+            best = Some((wall_ms, leg, verdicts));
+        }
+    }
+    let (_, leg, verdicts) = best.expect("at least one repetition ran");
+    (leg, verdicts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut thread_override: Option<usize> = None;
+    let mut out = "BENCH_service.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {} // benchmark is the only mode
+            "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                thread_override =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs a number");
+                        std::process::exit(2);
+                    }));
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let seed = 42u64;
+    let (pool_target, stream_len) = if smoke { (120, 2_000) } else { (400, 40_000) };
+    let reps = if smoke { 1 } else { 3 };
+    let levels: Vec<usize> = match thread_override {
+        Some(n) => vec![n],
+        None if smoke => vec![1, 2],
+        None => vec![1, 4, 16],
+    };
+
+    let set = match extract_scenario(&models::all(), ExtractOptions::default()) {
+        Ok(deps) => ConstraintSet::compile(deps),
+        Err(e) => {
+            eprintln!("extraction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let constraints = set.len();
+    let pool = build_pool(&set, seed, pool_target);
+    let stream = build_stream(&pool, seed, stream_len);
+    eprintln!(
+        "pool: {} distinct states, stream: {} queries over {} constraints",
+        pool.len(),
+        stream.len(),
+        constraints
+    );
+
+    let compile_start = Instant::now();
+    let plan = Arc::new(ValidationPlan::compile(set));
+    let plan_compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
+
+    // correctness first: the indexed path must match direct
+    // Constraint::evaluate over every constraint, on every pool state
+    let direct_engine = ValidationEngine::new(Arc::clone(&plan), EngineOptions::indexed());
+    let mut direct_identical = true;
+    for q in &pool {
+        let views = q.views();
+        let direct: Vec<confdep::Verdict> =
+            plan.constraints().constraints().iter().map(|c| c.evaluate(&views)).collect();
+        let indexed = direct_engine.validate(q);
+        if indexed.verdicts.as_ref() != direct.as_slice() {
+            eprintln!("MISMATCH vs direct evaluation on {}", q.state_key());
+            direct_identical = false;
+        }
+    }
+
+    let memo_options = MemoOptions::default();
+    let mut thread_levels = Vec::new();
+    let mut all_identical = true;
+    for &threads in &levels {
+        let (naive, naive_v) =
+            run_leg(&plan, EngineOptions::naive(), "naive", &stream, threads, reps);
+        let (indexed, indexed_v) =
+            run_leg(&plan, EngineOptions::indexed(), "indexed", &stream, threads, reps);
+        let memo_opts =
+            EngineOptions { strategy: EvalStrategy::Indexed, memo: Some(memo_options) };
+        let (memoized, memo_v) =
+            run_leg(&plan, memo_opts, "indexed+memo", &stream, threads, reps);
+        let identical = naive_v
+            .iter()
+            .zip(&indexed_v)
+            .zip(&memo_v)
+            .all(|((a, b), c)| a == b && b == c);
+        all_identical &= identical;
+        let level = ThreadLevel {
+            threads,
+            speedup_indexed: indexed.validations_per_sec / naive.validations_per_sec,
+            speedup_memoized: memoized.validations_per_sec / naive.validations_per_sec,
+            verdicts_identical: identical,
+            naive,
+            indexed,
+            memoized,
+        };
+        eprintln!(
+            "threads {:2}: naive {:8.0}/s | indexed {:8.0}/s ({:.2}x, {:.1} evaluated/query) \
+             | memoized {:8.0}/s ({:.2}x, {:.0}% memo hits) | identical: {}",
+            threads,
+            level.naive.validations_per_sec,
+            level.indexed.validations_per_sec,
+            level.speedup_indexed,
+            level.indexed.evaluated_per_query,
+            level.memoized.validations_per_sec,
+            level.speedup_memoized,
+            100.0 * level.memoized.memo.map_or(0.0, |m| m.hit_rate()),
+            level.verdicts_identical
+        );
+        thread_levels.push(level);
+    }
+
+    let last = thread_levels.last().expect("at least one thread level");
+    let summary = Summary {
+        description: "validation-service throughput: naive full-table evaluation vs the \
+                      indexed plan vs indexed+sharded-memo, same query stream, \
+                      bit-identical verdicts enforced"
+            .to_string(),
+        smoke,
+        seed,
+        constraints,
+        pool_distinct: pool.len(),
+        stream_len: stream.len(),
+        plan_compile_ms,
+        all_paths_identical: all_identical,
+        direct_identical,
+        max_speedup_memoized: last.speedup_memoized,
+        indexed_evaluated_per_query: last.indexed.evaluated_per_query,
+        thread_levels,
+    };
+
+    let json = serde_json::to_string_pretty(&summary).expect("summary serialises");
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if !summary.all_paths_identical || !summary.direct_identical {
+        eprintln!("ERROR: serving paths disagreed on some verdict");
+        failed = true;
+    }
+    if summary.indexed_evaluated_per_query >= constraints as f64 {
+        eprintln!(
+            "ERROR: indexed path evaluated {:.1} constraints per query (full table is {})",
+            summary.indexed_evaluated_per_query, constraints
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

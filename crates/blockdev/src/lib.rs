@@ -58,4 +58,4 @@ pub use mem::MemDevice;
 pub use recording::{IoEvent, IoTrace, RecordingDevice};
 pub use shared::SharedDevice;
 pub use stats::{IoStats, StatsDevice};
-pub use store::{context as store_context, StoreKey, VerdictStore};
+pub use store::{context as store_context, StoreKey, StoreOpenReport, VerdictStore};

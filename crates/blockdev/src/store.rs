@@ -74,6 +74,29 @@ fn checksum(payload: &[u8]) -> u64 {
     h
 }
 
+/// What happened when a store was opened — the typed form of the
+/// warnings [`VerdictStore::open`] prints, so campaign reports can
+/// surface cold starts and dropped records instead of burying them in
+/// stderr.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreOpenReport {
+    /// The store file, when one was requested (`None` for purely
+    /// in-memory stores).
+    pub path: Option<String>,
+    /// Whether an append-only log is attached (false when I/O trouble
+    /// degraded the store to memory-only).
+    pub persistent: bool,
+    /// Why the store started cold, when it did: the corruption or I/O
+    /// failure message. `None` for a clean open (including a fresh,
+    /// empty file).
+    pub cold_start: Option<String>,
+    /// Records preloaded from disk.
+    pub preloaded: usize,
+    /// Records parsed and then discarded because a later frame was
+    /// corrupt (the whole file is rejected on any framing error).
+    pub dropped: usize,
+}
+
 /// Digest-keyed verdict memo shared by crashsim and faultsim, with an
 /// optional append-only persistent log.
 pub struct VerdictStore<V> {
@@ -83,6 +106,7 @@ pub struct VerdictStore<V> {
     misses: AtomicUsize,
     preloaded: usize,
     log: Option<Mutex<File>>,
+    open_report: StoreOpenReport,
 }
 
 impl<V> fmt::Debug for VerdictStore<V> {
@@ -112,7 +136,16 @@ where
             misses: AtomicUsize::new(0),
             preloaded: 0,
             log: None,
+            open_report: StoreOpenReport::default(),
         }
+    }
+
+    /// An in-memory store carrying an explicit open report — the
+    /// degraded-persistence fallback of [`VerdictStore::open`].
+    fn degraded(report: StoreOpenReport) -> Self {
+        let mut store = Self::in_memory(true);
+        store.open_report = report;
+        store
     }
 
     /// Opens (creating if absent) a persistent store at `path`.
@@ -123,6 +156,8 @@ where
     /// abort because of store trouble.
     pub fn open(path: impl AsRef<Path>) -> Self {
         let path = path.as_ref();
+        let mut report =
+            StoreOpenReport { path: Some(path.display().to_string()), ..StoreOpenReport::default() };
         let open = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path);
         let mut file = match open {
             Ok(f) => f,
@@ -131,7 +166,8 @@ where
                     "warning: verdict store {}: {e}; continuing without persistence",
                     path.display()
                 );
-                return Self::in_memory(true);
+                report.cold_start = Some(format!("open failed: {e}"));
+                return Self::degraded(report);
             }
         };
         let mut raw = Vec::new();
@@ -140,7 +176,8 @@ where
                 "warning: verdict store {}: read failed ({e}); continuing without persistence",
                 path.display()
             );
-            return Self::in_memory(true);
+            report.cold_start = Some(format!("read failed: {e}"));
+            return Self::degraded(report);
         }
         let mut map = HashMap::new();
         let mut reset = false;
@@ -154,6 +191,8 @@ where
                         "warning: verdict store {} is corrupt ({why}); cold-starting",
                         path.display()
                     );
+                    report.dropped = map.len();
+                    report.cold_start = Some(why);
                     map.clear();
                     reset = true;
                 }
@@ -170,15 +209,19 @@ where
                     "warning: verdict store {}: reset failed ({e}); continuing without persistence",
                     path.display()
                 );
-                return Self::in_memory(true);
+                report.cold_start = Some(format!("reset failed: {e}"));
+                return Self::degraded(report);
             }
         } else if let Err(e) = file.seek(SeekFrom::End(0)) {
             eprintln!(
                 "warning: verdict store {}: seek failed ({e}); continuing without persistence",
                 path.display()
             );
-            return Self::in_memory(true);
+            report.cold_start = Some(format!("seek failed: {e}"));
+            return Self::degraded(report);
         }
+        report.persistent = true;
+        report.preloaded = map.len();
         let preloaded = map.len();
         VerdictStore {
             enabled: true,
@@ -187,6 +230,7 @@ where
             misses: AtomicUsize::new(0),
             preloaded,
             log: Some(Mutex::new(file)),
+            open_report: report,
         }
     }
 
@@ -330,6 +374,12 @@ where
         self.preloaded
     }
 
+    /// The typed record of what happened at open time (path,
+    /// persistence, cold-start reason, preloaded/dropped records).
+    pub fn open_report(&self) -> &StoreOpenReport {
+        &self.open_report
+    }
+
     /// Whether lookups can ever hit (false for the no-op cache).
     pub fn enabled(&self) -> bool {
         self.enabled
@@ -421,6 +471,41 @@ mod tests {
         let store: VerdictStore<usize> = VerdictStore::open(&path);
         assert_eq!(store.preloaded(), 1);
         assert_eq!(store.lookup(key(3)), Some(30));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_report_tracks_cold_start_and_preload() {
+        let path = temp_store("report");
+        {
+            let store: VerdictStore<usize> = VerdictStore::open(&path);
+            let r = store.open_report();
+            assert!(r.persistent);
+            assert_eq!(r.cold_start, None, "fresh file is not a cold start");
+            assert_eq!((r.preloaded, r.dropped), (0, 0));
+            store.insert(key(1), 10);
+            store.insert(key(2), 20);
+        }
+        {
+            let store: VerdictStore<usize> = VerdictStore::open(&path);
+            let r = store.open_report();
+            assert!(r.persistent && r.cold_start.is_none());
+            assert_eq!(r.preloaded, 2);
+            assert_eq!(r.path.as_deref(), Some(path.to_str().unwrap()));
+        }
+        // corrupt the second record: the first parses, then is dropped
+        let mut raw = std::fs::read(&path).unwrap();
+        let target = raw.len() - 3;
+        raw[target] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let store: VerdictStore<usize> = VerdictStore::open(&path);
+        let r = store.open_report();
+        assert!(r.persistent, "cold start still re-attaches the log");
+        assert!(r.cold_start.as_deref().unwrap().contains("checksum mismatch"));
+        assert_eq!((r.preloaded, r.dropped), (0, 1));
+        // in-memory stores carry a default report
+        let mem: VerdictStore<usize> = VerdictStore::in_memory(true);
+        assert_eq!(mem.open_report(), &StoreOpenReport::default());
         let _ = std::fs::remove_file(&path);
     }
 

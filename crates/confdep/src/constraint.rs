@@ -47,8 +47,10 @@ pub enum DocVerdict {
 /// The extractor names parameters after the modelled CIR variables; the
 /// `ParamSpec` registry (and the typed configs lowered from real CLI
 /// invocations) use the spec names. This maps the former onto the
-/// latter where they diverge.
-pub(crate) fn registry_name<'a>(component: &str, param: &'a str) -> &'a str {
+/// latter where they diverge. Public so index builders (the convalid
+/// validation plan) key constraints under the same names the typed
+/// configs carry.
+pub fn registry_name<'a>(component: &str, param: &'a str) -> &'a str {
     match (component, param) {
         ("resize2fs", "new_size") => "size",
         ("e2fsck", "assume_yes") => "yes",
@@ -59,16 +61,58 @@ pub(crate) fn registry_name<'a>(component: &str, param: &'a str) -> &'a str {
 }
 
 /// One dependency compiled into an executable predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The dependency's stable signature is computed once at construction
+/// and interned in the struct, so the hot lookup paths (`find`, the
+/// inverted indexes of the validation engine) borrow a `&str` instead
+/// of allocating a fresh `String` per call. `dependency` stays public
+/// for read access; constraints are built through [`Constraint::new`]
+/// so the interned signature can never go stale.
+#[derive(Debug, Clone)]
 pub struct Constraint {
     /// The dependency this predicate was lowered from.
     pub dependency: Dependency,
+    /// Interned [`Dependency::signature`] of `dependency`.
+    signature: String,
+}
+
+// Identity is the dependency alone: the interned signature is derived
+// state, and the wire format (below) carries only the dependency.
+impl PartialEq for Constraint {
+    fn eq(&self, other: &Self) -> bool {
+        self.dependency == other.dependency
+    }
+}
+
+impl Eq for Constraint {}
+
+// Keep the wire format of the former derive: `{"dependency": ...}`.
+// The interned signature is recomputed on deserialisation.
+impl Serialize for Constraint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("dependency".to_string(), self.dependency.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for Constraint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let inner = serde::__private::map_field(value, "dependency")?;
+        Ok(Constraint::new(Dependency::from_value(inner)?))
+    }
 }
 
 impl Constraint {
-    /// The underlying dependency's stable signature.
-    pub fn signature(&self) -> String {
-        self.dependency.signature()
+    /// Compiles a dependency into its executable form, interning its
+    /// signature.
+    pub fn new(dependency: Dependency) -> Self {
+        let signature = dependency.signature();
+        Constraint { dependency, signature }
+    }
+
+    /// The underlying dependency's stable signature (interned at
+    /// construction — no allocation per call).
+    pub fn signature(&self) -> &str {
+        &self.signature
     }
 
     /// Looks up the subject parameter's typed value among `cfgs`.
@@ -283,7 +327,7 @@ impl SetIndex {
     fn build(constraints: &[Constraint]) -> Self {
         let mut index = SetIndex { len: constraints.len(), ..SetIndex::default() };
         for (i, c) in constraints.iter().enumerate() {
-            index.by_signature.entry(c.signature()).or_insert(i);
+            index.by_signature.entry(c.signature().to_string()).or_insert(i);
             let d = &c.dependency;
             match d.kind {
                 DepKind::CpdControl => {
@@ -329,8 +373,7 @@ impl ConstraintSet {
     /// Compiles each dependency into its executable form and builds the
     /// lookup index over the result.
     pub fn compile(deps: Vec<Dependency>) -> Self {
-        let constraints: Vec<Constraint> =
-            deps.into_iter().map(|dependency| Constraint { dependency }).collect();
+        let constraints: Vec<Constraint> = deps.into_iter().map(Constraint::new).collect();
         let index = SetIndex::build(&constraints);
         ConstraintSet { constraints, index }
     }
@@ -492,15 +535,13 @@ mod tests {
 
     #[test]
     fn behavioural_constraints_are_runtime_only() {
-        let c = Constraint {
-            dependency: Dependency {
-                kind: DepKind::CcdBehavioral,
-                subject: ParamRef::new("mke2fs", "sparse_super2"),
-                object: Some(Endpoint::Component("resize2fs".to_string())),
-                detail: DepDetail::default(),
-                evidence: vec![],
-            },
-        };
+        let c = Constraint::new(Dependency {
+            kind: DepKind::CcdBehavioral,
+            subject: ParamRef::new("mke2fs", "sparse_super2"),
+            object: Some(Endpoint::Component("resize2fs".to_string())),
+            detail: DepDetail::default(),
+            evidence: vec![],
+        });
         let cfg = TypedConfig::new("mke2fs");
         assert_eq!(c.evaluate(&[&cfg]), Verdict::NotApplicable);
     }

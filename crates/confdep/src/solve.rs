@@ -204,7 +204,7 @@ impl<'a> Solver<'a> {
     pub fn targets(&self) -> Vec<(String, Polarity)> {
         self.witness_targets()
             .into_iter()
-            .map(|(i, polarity, _)| (self.set.constraints()[i].signature(), polarity))
+            .map(|(i, polarity, _)| (self.set.constraints()[i].signature().to_string(), polarity))
             .collect()
     }
 
@@ -567,6 +567,19 @@ impl<'a> Solver<'a> {
             pins.iter().all(|p| Self::renderable(p.component, &p.param, &p.value))
         });
         out
+    }
+
+    /// Repairs a whole-configuration state in place: propagates every
+    /// statically-evaluable constraint over the assignment with *no*
+    /// pinned parameters, so each violated constraint is repaired
+    /// through its participants exactly as during solving — SD ranges
+    /// clamp, data types coerce, control pairs disengage. Parameters
+    /// that engage no violated constraint are never touched, which
+    /// keeps the proposal minimal. The validation engine's `repair`
+    /// mode layers a disengage-the-leftovers pass on top for the few
+    /// violations propagation alone cannot fix.
+    pub fn repair(&self, solved: &mut SolvedConfig) {
+        self.propagate(solved, &[]);
     }
 
     /// Propagates the non-target constraints over the partial config,

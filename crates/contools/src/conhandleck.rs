@@ -128,6 +128,7 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
             .find(s)
             .unwrap_or_else(|| panic!("dependency {s} not in the compiled set"))
             .signature()
+            .to_string()
     };
     let mut out = Vec::new();
     let mut push = |id: u32, dependency: String, description: &str, handling: Handling| {

@@ -192,7 +192,7 @@ impl PolarityCoverage {
         self.witnesses
             .keys()
             .filter(|t| !self.covered.contains(t))
-            .map(|&(i, p)| (constraints[i].signature(), p))
+            .map(|&(i, p)| (constraints[i].signature().to_string(), p))
             .collect()
     }
 
@@ -259,6 +259,9 @@ pub struct FuzzReport {
     pub store_misses: usize,
     /// Verdicts preloaded from a persistent log at open.
     pub store_preloaded: usize,
+    /// What happened when the store was opened: persistence, cold-start
+    /// reason, preloaded/dropped records.
+    pub store_open: blockdev::StoreOpenReport,
     /// FNV-1a digest over the sorted `(state_id, verdict)` pairs — two
     /// campaigns with equal digests produced bit-identical verdicts.
     pub verdict_digest: u64,
@@ -399,6 +402,7 @@ pub fn fuzz_campaign(set: &ConstraintSet, opts: &FuzzOptions) -> FuzzOutcome {
         store_hits: store.hits(),
         store_misses: store.misses(),
         store_preloaded: store.preloaded(),
+        store_open: store.open_report().clone(),
         verdict_digest: verdict_digest(&verdicts),
         wall_ms,
     };

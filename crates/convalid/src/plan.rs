@@ -1,0 +1,409 @@
+//! The immutable, read-optimized validation plan compiled from a
+//! [`ConstraintSet`].
+//!
+//! Compilation happens once at startup; every query afterwards reads
+//! the plan lock-free. Each constraint is lowered into a pre-resolved
+//! [check](Check) — the kind dispatch, the registry parameter-name
+//! mapping, the `"must not equal"` relation probe, and the data-type
+//! shape string are all resolved at compile time, so the hot path does
+//! no string matching. An inverted index maps every
+//! `(component, registry parameter)` a constraint reads to the
+//! constraint's position, so a query evaluates only the constraints
+//! its touched parameters participate in; everything else is
+//! `NotApplicable` by construction (the equivalence argument is spelled
+//! out on [`ValidationPlan::evaluate_indexed`]).
+
+use std::collections::HashMap;
+
+use confdep::constraint::registry_name;
+use confdep::{ConstraintSet, DepKind, DocVerdict, Endpoint, Verdict};
+use e2fstools::typed::{TypedConfig, TypedValue};
+use serde::{Deserialize, Serialize};
+
+use crate::query::ConfigQuery;
+
+/// One precomputed control-pair row of the plan: a CPD/CCD control
+/// constraint with both ends resolved to `(component, registry
+/// parameter)` names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairEntry {
+    /// Position of the constraint in the compiled set.
+    pub position: usize,
+    /// Subject component.
+    pub s_component: String,
+    /// Subject parameter (registry name).
+    pub s_param: String,
+    /// Object component.
+    pub o_component: String,
+    /// Object parameter (registry name).
+    pub o_param: String,
+    /// `true` for a requirement, `false` for mutual exclusion.
+    pub requires: bool,
+    /// `true` when the pair spans two components (CCD).
+    pub cross_component: bool,
+}
+
+/// The required value shape of a data-type check, pre-resolved from
+/// the detail's type string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Int,
+    Bool,
+    Str,
+    /// Unknown type strings satisfy vacuously once the value exists.
+    Any,
+}
+
+impl Shape {
+    fn of(ty: &str) -> Shape {
+        match ty {
+            "integer" | "int" | "size" => Shape::Int,
+            "boolean" | "bool" | "flag" => Shape::Bool,
+            "string" | "enum" | "path" => Shape::Str,
+            _ => Shape::Any,
+        }
+    }
+
+    fn matches(self, v: &TypedValue) -> bool {
+        match self {
+            Shape::Int => matches!(v, TypedValue::Int(_)),
+            Shape::Bool => matches!(v, TypedValue::Bool(_)),
+            Shape::Str => matches!(v, TypedValue::Str(_)),
+            Shape::Any => true,
+        }
+    }
+}
+
+/// One constraint lowered to its pre-resolved executable form. The
+/// evaluation of each variant reproduces `Constraint::evaluate` for
+/// the corresponding kind exactly — same first-matching-component
+/// value lookup, same predicates, same verdicts.
+#[derive(Debug, Clone)]
+enum Check {
+    /// `SdValueRange` over an integer subject.
+    Range {
+        component: String,
+        param: String,
+        min: Option<i64>,
+        max: Option<i64>,
+        /// Non-empty only when the relation says "must not equal".
+        must_not: Vec<i64>,
+    },
+    /// `SdDataType` with a known required type.
+    Type { component: String, param: String, shape: Shape },
+    /// `CpdControl`/`CcdControl` with a parameter object.
+    Pair {
+        s_component: String,
+        s_param: String,
+        o_component: String,
+        o_param: String,
+        requires: bool,
+    },
+    /// Statically inert: value couplings, behavioural CCDs, data-type
+    /// constraints with no required type, control pairs with no
+    /// parameter object. Always `NotApplicable`.
+    Inert,
+}
+
+/// The first matching component's value — the exact lookup rule of
+/// `Constraint::evaluate` (first config whose `component` matches,
+/// then the registry-named parameter within it).
+fn lookup<'a>(views: &[&'a TypedConfig], component: &str, param: &str) -> Option<&'a TypedValue> {
+    views.iter().find(|c| c.component == component).and_then(|c| c.get(param))
+}
+
+/// Whether a typed value counts as "engaged" for control pairs —
+/// mirrors the constraint compiler's rule.
+fn engaged(v: &TypedValue) -> bool {
+    match v {
+        TypedValue::Bool(b) => *b,
+        TypedValue::Int(_) | TypedValue::Str(_) => true,
+    }
+}
+
+impl Check {
+    fn evaluate(&self, views: &[&TypedConfig]) -> Verdict {
+        match self {
+            Check::Range { component, param, min, max, must_not } => {
+                match lookup(views, component, param) {
+                    Some(TypedValue::Int(v)) => {
+                        if min.is_some_and(|m| *v < m) || max.is_some_and(|m| *v > m) {
+                            return Verdict::Violated;
+                        }
+                        if must_not.contains(v) {
+                            return Verdict::Violated;
+                        }
+                        Verdict::Satisfied
+                    }
+                    _ => Verdict::NotApplicable,
+                }
+            }
+            Check::Type { component, param, shape } => match lookup(views, component, param) {
+                Some(v) => {
+                    if shape.matches(v) {
+                        Verdict::Satisfied
+                    } else {
+                        Verdict::Violated
+                    }
+                }
+                None => Verdict::NotApplicable,
+            },
+            Check::Pair { s_component, s_param, o_component, o_param, requires } => {
+                let (Some(s), Some(o)) =
+                    (lookup(views, s_component, s_param), lookup(views, o_component, o_param))
+                else {
+                    return Verdict::NotApplicable;
+                };
+                let (s_on, o_on) = (engaged(s), engaged(o));
+                let conflict = if *requires { s_on && !o_on } else { s_on && o_on };
+                if conflict {
+                    Verdict::Violated
+                } else {
+                    Verdict::Satisfied
+                }
+            }
+            Check::Inert => Verdict::NotApplicable,
+        }
+    }
+}
+
+/// The compiled, immutable serving plan over one constraint set.
+///
+/// Build once (ideally behind an `Arc`), then serve reads from any
+/// number of threads — nothing here is interior-mutable.
+#[derive(Debug)]
+pub struct ValidationPlan {
+    set: ConstraintSet,
+    checks: Vec<Check>,
+    /// component → registry parameter → positions of the checks that
+    /// read that parameter as their *subject*. Two nested maps so the
+    /// hot lookup borrows `&str` keys without allocating.
+    by_param: HashMap<String, HashMap<String, Vec<u32>>>,
+    pairs: Vec<PairEntry>,
+    docs: Vec<DocVerdict>,
+}
+
+impl ValidationPlan {
+    /// Compiles the serving plan: lower each constraint to its check,
+    /// build the inverted parameter index and the control-pair table,
+    /// and precompute every constraint's manual-corpus verdict.
+    pub fn compile(set: ConstraintSet) -> Self {
+        let mut checks = Vec::with_capacity(set.len());
+        let mut by_param: HashMap<String, HashMap<String, Vec<u32>>> = HashMap::new();
+        let mut pairs = Vec::new();
+        let mut index = |component: &str, param: &str, pos: usize| {
+            by_param
+                .entry(component.to_string())
+                .or_default()
+                .entry(param.to_string())
+                .or_default()
+                .push(pos as u32);
+        };
+        for (i, c) in set.constraints().iter().enumerate() {
+            let d = &c.dependency;
+            let s_component = d.subject.component.clone();
+            let s_param = registry_name(&d.subject.component, &d.subject.param).to_string();
+            let check = match d.kind {
+                DepKind::SdValueRange => {
+                    let must_not = if d
+                        .detail
+                        .relation
+                        .as_deref()
+                        .is_some_and(|r| r.contains("must not equal"))
+                    {
+                        d.detail.value_set.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    index(&s_component, &s_param, i);
+                    Check::Range {
+                        component: s_component,
+                        param: s_param,
+                        min: d.detail.min,
+                        max: d.detail.max,
+                        must_not,
+                    }
+                }
+                DepKind::SdDataType => match d.detail.data_type.as_deref() {
+                    Some(ty) => {
+                        index(&s_component, &s_param, i);
+                        Check::Type {
+                            component: s_component,
+                            param: s_param,
+                            shape: Shape::of(ty),
+                        }
+                    }
+                    None => Check::Inert,
+                },
+                DepKind::CpdControl | DepKind::CcdControl => match &d.object {
+                    Some(Endpoint::Param(o)) => {
+                        let o_param = registry_name(&o.component, &o.param).to_string();
+                        let requires = d.detail.relation.as_deref() == Some("requires");
+                        // a pair engages only when *both* ends hold a
+                        // value, so indexing under the subject alone
+                        // triggers it whenever it can be non-inert
+                        index(&s_component, &s_param, i);
+                        pairs.push(PairEntry {
+                            position: i,
+                            s_component: s_component.clone(),
+                            s_param: s_param.clone(),
+                            o_component: o.component.clone(),
+                            o_param: o_param.clone(),
+                            requires,
+                            cross_component: d.kind == DepKind::CcdControl,
+                        });
+                        Check::Pair {
+                            s_component,
+                            s_param,
+                            o_component: o.component.clone(),
+                            o_param,
+                            requires,
+                        }
+                    }
+                    _ => Check::Inert,
+                },
+                DepKind::CpdValue | DepKind::CcdValue | DepKind::CcdBehavioral => Check::Inert,
+            };
+            checks.push(check);
+        }
+        let components = e2fstools::ecosystem();
+        let manuals: Vec<_> = components.iter().map(|c| c.manual_page()).collect();
+        let pages: Vec<&e2fstools::ManualPage> = manuals.iter().collect();
+        let docs = set.constraints().iter().map(|c| c.doc_verdict(&pages)).collect();
+        ValidationPlan { set, checks, by_param, pairs, docs }
+    }
+
+    /// The underlying compiled constraint set.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.set
+    }
+
+    /// Number of constraints in the plan.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True when the plan holds no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// The precomputed control-pair table.
+    pub fn pairs(&self) -> &[PairEntry] {
+        &self.pairs
+    }
+
+    /// The precomputed manual-corpus verdict of the constraint at
+    /// `position`.
+    pub fn doc_verdict(&self, position: usize) -> DocVerdict {
+        self.docs[position]
+    }
+
+    /// The baseline: evaluate every compiled constraint directly with
+    /// [`confdep::Constraint::evaluate`]. Returns the verdict vector
+    /// and the number of constraints evaluated (always the full set).
+    pub fn evaluate_naive(&self, views: &[&TypedConfig]) -> (Vec<Verdict>, usize) {
+        let verdicts: Vec<Verdict> =
+            self.set.constraints().iter().map(|c| c.evaluate(views)).collect();
+        let n = verdicts.len();
+        (verdicts, n)
+    }
+
+    /// The indexed path: evaluate only the checks whose subject
+    /// parameter the query actually sets; every other slot stays
+    /// `NotApplicable`. Returns the verdict vector and the number of
+    /// checks evaluated.
+    ///
+    /// Equivalence with [`ValidationPlan::evaluate_naive`] holds by
+    /// construction: a constraint can only evaluate to something other
+    /// than `NotApplicable` when its subject parameter has a value in
+    /// the first config matching its component (ranges and types need
+    /// the subject value; control pairs need the subject *and* object
+    /// values) — and any such query triggers the constraint through
+    /// the inverted index. Spuriously triggered checks (parameter set
+    /// on a later duplicate component, object-only pairs) evaluate
+    /// with the same first-matching-component lookup the direct path
+    /// uses, so they land on `NotApplicable` identically.
+    pub fn evaluate_indexed(&self, query: &ConfigQuery) -> (Vec<Verdict>, usize) {
+        let views = query.views();
+        let mut verdicts = vec![Verdict::NotApplicable; self.checks.len()];
+        let mut seen = vec![0u64; self.checks.len().div_ceil(64)];
+        let mut evaluated = 0usize;
+        for cfg in &query.configs {
+            let Some(params) = self.by_param.get(&cfg.component) else { continue };
+            for name in cfg.values.keys() {
+                let Some(positions) = params.get(name) else { continue };
+                for &pos in positions {
+                    let (word, bit) = ((pos / 64) as usize, pos % 64);
+                    if seen[word] & (1 << bit) != 0 {
+                        continue;
+                    }
+                    seen[word] |= 1 << bit;
+                    verdicts[pos as usize] = self.checks[pos as usize].evaluate(&views);
+                    evaluated += 1;
+                }
+            }
+        }
+        (verdicts, evaluated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confdep::{extract_scenario, models, ExtractOptions};
+
+    fn plan() -> ValidationPlan {
+        ValidationPlan::compile(ConstraintSet::compile(
+            extract_scenario(&models::all(), ExtractOptions::default()).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn compiles_full_set() {
+        let p = plan();
+        assert_eq!(p.len(), 64);
+        assert!(!p.is_empty());
+        assert!(!p.pairs().is_empty());
+        // every pair row points at a control constraint
+        for row in p.pairs() {
+            let kind = p.constraints().constraints()[row.position].dependency.kind;
+            assert!(matches!(kind, DepKind::CpdControl | DepKind::CcdControl));
+            assert_eq!(row.cross_component, kind == DepKind::CcdControl);
+        }
+    }
+
+    #[test]
+    fn indexed_matches_naive_and_skips_untouched() {
+        let p = plan();
+        let q = ConfigQuery::parse_line(
+            "-b 1024 -m 80 -O meta_bg,resize_inode | data=journal,commit=5",
+        )
+        .unwrap();
+        let (naive, full) = p.evaluate_naive(&q.views());
+        let (indexed, evaluated) = p.evaluate_indexed(&q);
+        assert_eq!(naive, indexed);
+        assert_eq!(full, 64);
+        assert!(evaluated < full, "indexed evaluated {evaluated} of {full}");
+        assert!(naive.contains(&Verdict::Violated), "query built to violate");
+    }
+
+    #[test]
+    fn empty_query_evaluates_nothing() {
+        let p = plan();
+        let q = ConfigQuery::parse_line("|").unwrap_or_else(|| ConfigQuery::from_cli(&[], ""));
+        let (indexed, evaluated) = p.evaluate_indexed(&q);
+        assert_eq!(evaluated, 0);
+        assert!(indexed.iter().all(|v| *v == Verdict::NotApplicable));
+        let (naive, _) = p.evaluate_naive(&q.views());
+        assert_eq!(naive, indexed);
+    }
+
+    #[test]
+    fn doc_verdicts_precomputed() {
+        let p = plan();
+        let any_documented =
+            (0..p.len()).any(|i| p.doc_verdict(i) == confdep::DocVerdict::Documented);
+        assert!(any_documented);
+    }
+}

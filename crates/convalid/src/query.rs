@@ -1,0 +1,165 @@
+//! The unit of work the engine serves: one whole-configuration state.
+
+use std::sync::OnceLock;
+
+use e2fstools::typed::TypedConfig;
+use serde::{Deserialize, Serialize};
+
+/// One validation query: the typed configurations of a
+/// whole-configuration state (typically the `mke2fs` invocation plus
+/// the `mount` option string, but any component set works).
+///
+/// The query carries its own canonical identity — the concatenated
+/// [`TypedConfig::canonical_key`]s — and an FNV-1a fingerprint of it,
+/// the key the sharded memo shards and indexes by. Like the fuzz
+/// corpus's `GeneratedConfig::state_id`, the fingerprint is computed
+/// once and travels with the query (clones included), so repeated
+/// serving of the same state never re-hashes it.
+#[derive(Debug, Clone)]
+pub struct ConfigQuery {
+    /// The component configurations, one per component.
+    pub configs: Vec<TypedConfig>,
+    /// Lazily-computed, clone-carried FNV fingerprint. May go stale if
+    /// `configs` is mutated after the first [`ConfigQuery::fingerprint`]
+    /// call — safe regardless, because the memo compares stored queries
+    /// structurally on every hit — but rebuild the query to keep the
+    /// memo effective.
+    fingerprint: OnceLock<u64>,
+}
+
+impl PartialEq for ConfigQuery {
+    fn eq(&self, other: &Self) -> bool {
+        self.configs == other.configs
+    }
+}
+
+impl Eq for ConfigQuery {}
+
+// Keep the wire format of the former derive: `{"configs": [...]}`.
+// The cached fingerprint is recomputed on demand after deserialisation.
+impl Serialize for ConfigQuery {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("configs".to_string(), self.configs.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for ConfigQuery {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let configs = serde::__private::map_field(value, "configs")?;
+        Ok(ConfigQuery::new(Vec::<TypedConfig>::from_value(configs)?))
+    }
+}
+
+impl ConfigQuery {
+    /// A query over pre-built typed configurations.
+    pub fn new(configs: Vec<TypedConfig>) -> Self {
+        ConfigQuery { configs, fingerprint: OnceLock::new() }
+    }
+
+    /// A query from the concrete CLI surface: raw `mke2fs` arguments
+    /// plus a `mount -o` option string, lowered through the same
+    /// lenient typed views the fuzz campaigns key states with.
+    pub fn from_cli(mkfs_args: &[String], mount_opts: &str) -> Self {
+        ConfigQuery::new(vec![
+            TypedConfig::from_mkfs_args_lenient(mkfs_args),
+            TypedConfig::from_mount_opts_lenient(mount_opts),
+        ])
+    }
+
+    /// Parses one batch-file line: `<mke2fs args> | <mount opts>`, e.g.
+    /// `-b 1024 -O meta_bg,resize_inode | data=journal,commit=5`. The
+    /// `|` separator (and the mount half) may be omitted; blank lines
+    /// and `#` comments yield `None`.
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let (mkfs_part, mount_part) = match line.split_once('|') {
+            Some((m, o)) => (m.trim(), o.trim()),
+            None => (line, ""),
+        };
+        let args: Vec<String> = mkfs_part.split_whitespace().map(str::to_string).collect();
+        Some(ConfigQuery::from_cli(&args, mount_part))
+    }
+
+    /// Borrowed views in component order — the shape
+    /// [`confdep::Constraint::evaluate`] takes.
+    pub fn views(&self) -> Vec<&TypedConfig> {
+        self.configs.iter().collect()
+    }
+
+    /// The canonical identity string: every config's canonical key,
+    /// `;`-joined in the order given. Used for display, dedup, and
+    /// debugging; the memo's hot path hashes the same byte stream via
+    /// [`ConfigQuery::fingerprint`] without rendering this string.
+    pub fn state_key(&self) -> String {
+        let mut key = String::new();
+        for (i, cfg) in self.configs.iter().enumerate() {
+            if i > 0 {
+                key.push(';');
+            }
+            cfg.canonical_key_into(&mut key).expect("String formatting is infallible");
+        }
+        key
+    }
+
+    /// FNV-1a fingerprint of [`ConfigQuery::state_key`], folded
+    /// directly over the typed structure ([`TypedConfig::canonical_fnv1a`])
+    /// — no string rendering, no `fmt` machinery — and computed at most
+    /// once per query lineage (the cache travels with clones). This is
+    /// the serving hot path: every memoized lookup starts here.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for (i, cfg) in self.configs.iter().enumerate() {
+                if i > 0 {
+                    hash ^= u64::from(b';');
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                hash = cfg.canonical_fnv1a(hash);
+            }
+            hash
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_matches_keyed_hash() {
+        let q = ConfigQuery::parse_line("-b 1024 -O extent | data=journal").unwrap();
+        let direct = q.state_key().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        assert_eq!(q.fingerprint(), direct);
+    }
+
+    #[test]
+    fn parse_line_splits_halves() {
+        let q = ConfigQuery::parse_line("-b 1024 | ro,commit=5").unwrap();
+        assert_eq!(q.configs.len(), 2);
+        assert_eq!(q.configs[0].component, "mke2fs");
+        assert_eq!(q.configs[0].get_int("blocksize"), Some(1024));
+        assert_eq!(q.configs[1].component, "mount");
+        assert_eq!(q.configs[1].get_int("commit"), Some(5));
+        // mount half optional
+        let bare = ConfigQuery::parse_line("-m 5").unwrap();
+        assert!(bare.configs[1].values.is_empty());
+        // comments and blanks skipped
+        assert!(ConfigQuery::parse_line("# comment").is_none());
+        assert!(ConfigQuery::parse_line("   ").is_none());
+    }
+
+    #[test]
+    fn state_key_is_argument_order_independent() {
+        let a = ConfigQuery::parse_line("-b 1024 -m 5 | ro").unwrap();
+        let b = ConfigQuery::parse_line("-m 5 -b 1024 | ro").unwrap();
+        assert_eq!(a.state_key(), b.state_key());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ConfigQuery::parse_line("-m 6 -b 1024 | ro").unwrap();
+        assert_ne!(a.state_key(), c.state_key());
+    }
+}

@@ -35,7 +35,7 @@ mod explore;
 mod report;
 mod workloads;
 
-pub use blockdev::{IoEvent, IoTrace, StoreKey, VerdictStore};
+pub use blockdev::{IoEvent, IoTrace, StoreKey, StoreOpenReport, VerdictStore};
 pub use explore::{explore, ExploreOptions};
 pub use report::{
     CrashKind, CrashOutcome, CrashReport, ExploreStats, OutcomeCore, Verdict, VerdictCounts,

@@ -185,6 +185,66 @@ impl TypedConfig {
         key.write_char(']')
     }
 
+    /// Folds the canonical identity's exact byte stream into an FNV-1a
+    /// state without going through the `fmt` machinery — the serving
+    /// hot path for fingerprinting queries. Always equals hashing
+    /// [`TypedConfig::canonical_key`]'s bytes into `hash` directly.
+    #[must_use]
+    #[inline]
+    pub fn canonical_fnv1a(&self, hash: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn fold(mut hash: u64, bytes: &[u8]) -> u64 {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+            hash
+        }
+        #[inline]
+        fn fold_int(hash: u64, v: i64) -> u64 {
+            // decimal render into a stack buffer; i64::MIN-safe via i128
+            let mut buf = [0u8; 20];
+            let mut n = i128::from(v).unsigned_abs();
+            let mut at = buf.len();
+            loop {
+                at -= 1;
+                buf[at] = b'0' + (n % 10) as u8;
+                n /= 10;
+                if n == 0 {
+                    break;
+                }
+            }
+            if v < 0 {
+                at -= 1;
+                buf[at] = b'-';
+            }
+            fold(hash, &buf[at..])
+        }
+        let mut hash = fold(hash, self.component.as_bytes());
+        hash = fold(hash, b"{");
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                hash = fold(hash, b",");
+            }
+            hash = fold(hash, name.as_bytes());
+            hash = fold(hash, b"=");
+            hash = match value {
+                TypedValue::Bool(b) => fold(hash, if *b { b"b:true" } else { b"b:false" }),
+                TypedValue::Int(v) => fold_int(fold(hash, b"i:"), *v),
+                TypedValue::Str(s) => fold(fold(hash, b"s:"), s.as_bytes()),
+            };
+        }
+        hash = fold(hash, b"}[");
+        for (i, op) in self.operands.iter().enumerate() {
+            if i > 0 {
+                hash = fold(hash, b",");
+            }
+            hash = fold(hash, op.as_bytes());
+        }
+        fold(hash, b"]")
+    }
+
     /// Validates every value against the registry slice: the parameter
     /// must be registered for this component, integers must sit inside
     /// `Int` ranges, and strings must be members of `Enum` domains.
@@ -395,6 +455,28 @@ mod tests {
         let mut c = a.clone();
         c.set_int("blocksize", 2048);
         assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn canonical_fnv1a_matches_keyed_bytes() {
+        let fnv = |seed: u64, s: &str| {
+            s.bytes().fold(seed, |h, b| (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3))
+        };
+        let mut cfg = TypedConfig::new("mke2fs");
+        cfg.set_int("blocksize", 1024)
+            .set_int("neg", -42)
+            .set_int("min", i64::MIN)
+            .set_bool("extent", true)
+            .set_bool("off", false)
+            .set_str("mode", "journal");
+        cfg.operands.push("/dev/sda1".to_string());
+        cfg.operands.push("4096".to_string());
+        let seed = 0xcbf2_9ce4_8422_2325;
+        assert_eq!(cfg.canonical_fnv1a(seed), fnv(seed, &cfg.canonical_key()));
+        // and from a non-default seed (mid-stream continuation)
+        assert_eq!(cfg.canonical_fnv1a(7), fnv(7, &cfg.canonical_key()));
+        let empty = TypedConfig::new("mount");
+        assert_eq!(empty.canonical_fnv1a(seed), fnv(seed, &empty.canonical_key()));
     }
 
     #[test]

@@ -23,7 +23,12 @@
 #     BENCH_fuzz.json): solver-seeded campaigns vs the legacy
 #     dependency-aware and naive random generators under the same
 #     dedup-and-memoize loop, plus the incremental verdict store
-#     (cold campaign, then a warm rerun that must execute nothing).
+#     (cold campaign, then a warm rerun that must execute nothing);
+#   * configuration-validation serving (repro_service --bench →
+#     BENCH_service.json): naive full-table evaluation vs the indexed
+#     ValidationPlan vs the indexed plan behind the sharded verdict
+#     memo, batched over the worker pool at 1/4/16 threads, with all
+#     three paths asserted bit-identical per verdict.
 #
 # Usage: scripts/bench.sh [extra args passed to ALL binaries]
 #   e.g. scripts/bench.sh --threads 4
@@ -36,6 +41,7 @@ cargo build --release -p bench
 ./target/release/repro_analyzer --bench "$@"
 ./target/release/repro_faultsim --bench "$@"
 ./target/release/repro_fuzz --bench "$@"
+./target/release/repro_service --bench "$@"
 # repro_fsops takes no --threads; strip it (and its value) from "$@"
 fsops_args=()
 skip=0

@@ -2,8 +2,9 @@
 # Tier-1 gate: build, full test suite, lint-clean under clippy, a
 # crash-exploration benchmark smoke (tiny trace, 2 threads), a
 # taint-analyzer benchmark smoke, an fs-substrate smoke, a
-# fault-injection conformance smoke, and a constraint-fuzzing smoke
-# (solver polarity coverage plus the warm verdict store) — each
+# fault-injection conformance smoke, a constraint-fuzzing smoke
+# (solver polarity coverage plus the warm verdict store), and a
+# validation-serving smoke (naive vs indexed vs memoized paths) — each
 # checking the BENCH JSON is well-formed and the racing engines (or
 # cache policies) agreed — plus a grep lint holding the line on
 # unwrap/expect in ext4sim runtime code.
@@ -159,6 +160,38 @@ assert store["warm"]["store_preloaded"] == store["cold"]["unique_verdicts"], (
 print("fuzz smoke OK:", bench["thread_levels"][0]["solver"]["report"]["coverage_covered"],
       "polarity targets covered,", store["cold"]["unique_verdicts"],
       "verdicts replayed from the store")
+EOF
+
+./target/release/repro_service --bench --smoke --threads 2 \
+  --out target/bench_service_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/bench_service_smoke.json") as f:
+    bench = json.load(f)
+assert bench["thread_levels"], "service smoke produced no thread levels"
+for lvl in bench["thread_levels"]:
+    t = lvl["threads"]
+    assert lvl["verdicts_identical"], f"serving paths disagreed at {t} thread(s)"
+    for leg in ("naive", "indexed", "memoized"):
+        assert lvl[leg]["wall_ms"] >= 0
+        assert lvl[leg]["validations_per_sec"] > 0
+    assert lvl["indexed"]["evaluated_per_query"] < bench["constraints"], (
+        f"indexed plan evaluated the whole table at {t} thread(s)"
+    )
+    assert lvl["memoized"]["memo"]["hits"] > 0, f"memo never hit at {t} thread(s)"
+    assert lvl["speedup_indexed"] >= 1.0, (
+        f"indexed slower than naive at {t} thread(s): {lvl['speedup_indexed']:.2f}x"
+    )
+    assert lvl["speedup_memoized"] >= 1.0, (
+        f"memoized slower than naive at {t} thread(s): {lvl['speedup_memoized']:.2f}x"
+    )
+assert bench["all_paths_identical"], "a serving path diverged"
+assert bench["direct_identical"], "plan diverged from direct Constraint::evaluate"
+assert bench["indexed_evaluated_per_query"] < bench["constraints"]
+print(f"service smoke OK: {bench['pool_distinct']} states, "
+      f"{bench['indexed_evaluated_per_query']:.1f}/{bench['constraints']} "
+      f"constraints/query, best memoized speedup "
+      f"{bench['max_speedup_memoized']:.2f}x")
 EOF
 
 # Error-handling lint: the errors= policy work routes device failures

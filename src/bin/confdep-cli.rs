@@ -7,6 +7,8 @@
 //! confdep check-docs
 //! confdep check-handling
 //! confdep fuzz [--count N] [--seed S] [--threads N] [--solver] [--store PATH] [--json]
+//! confdep validate '<mke2fs args> | <mount opts>' [--batch FILE] [--threads N]
+//!                  [--json] [--explain] [--repair] [--naive]
 //! confdep study
 //! confdep component <name> [args...]
 //! ```
@@ -25,6 +27,10 @@ use confdep_suite::contools::fuzz::{
     fuzz_campaign, FuzzOptions, FuzzReport, PolarityCoverage, Strategy,
 };
 use confdep_suite::contools::{run_condocck, run_conhandleck, standard_image, Handling};
+use confdep_suite::convalid::{
+    ConfigQuery, EngineOptions, EngineStats, Explanation, RepairProposal, ValidationEngine,
+    ValidationPlan,
+};
 use confdep_suite::e2fstools::{component, ecosystem};
 use serde::Serialize;
 
@@ -47,6 +53,14 @@ fn usage() -> ExitCode {
              --solver        also run the solver-guided coverage campaign\n\
              --store PATH    persistent verdict store for the solver campaign\n\
              --json          emit the results as a JSON report\n\
+           validate        validate whole configurations against the dependency table\n\
+             '<mke2fs args> | <mount opts>'  one query (quote the pipe)\n\
+             --batch FILE    one query per line (same format; # comments)\n\
+             --threads N     batch worker threads (default: one per core)\n\
+             --json          emit the results as a JSON report\n\
+             --explain       explain each violated dependency (doc verdict, evidence)\n\
+             --repair        propose a minimal satisfying assignment\n\
+             --naive         evaluate all constraints per query (no index, no memo)\n\
            study           print the empirical-study summaries (Tables 1-4)\n\
            component       run one ecosystem component through the unified dispatch\n\
              <name> [args...]  e.g. `component mke2fs -b 4096 /dev/img`"
@@ -64,6 +78,34 @@ struct FuzzCliArm {
     coverage_covered: usize,
     coverage_universe: usize,
     coverage_fraction: f64,
+}
+
+/// One query's row in the `validate` report.
+#[derive(Serialize)]
+struct ValidateRow {
+    /// Canonical state key of the query.
+    query: String,
+    ok: bool,
+    /// Constraints evaluated for this answer (0 on a memo hit).
+    evaluated: usize,
+    memo_hit: bool,
+    satisfied: usize,
+    /// Signatures of the violated constraints.
+    violations: Vec<String>,
+    explanations: Option<Vec<Explanation>>,
+    repair: Option<RepairProposal>,
+}
+
+/// The `validate --json` report shape.
+#[derive(Serialize)]
+struct ValidateCliReport {
+    queries: usize,
+    ok: usize,
+    violating: usize,
+    threads: usize,
+    strategy: String,
+    engine: EngineStats,
+    results: Vec<ValidateRow>,
 }
 
 /// The `fuzz --json` report shape.
@@ -312,6 +354,169 @@ fn main() -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }
+        "validate" => {
+            let as_json = flag(&args, "--json");
+            let with_explain = flag(&args, "--explain");
+            let with_repair = flag(&args, "--repair");
+            let naive = flag(&args, "--naive");
+            let threads: usize =
+                value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let batch_path = value(&args, "--batch");
+            // everything that is not a recognised option is query text
+            let mut words: Vec<String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--batch" | "--threads" => {
+                        it.next();
+                    }
+                    "--json" | "--explain" | "--repair" | "--naive" => {}
+                    _ => words.push(a.clone()),
+                }
+            }
+            let queries: Vec<ConfigQuery> = match &batch_path {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(text) => text.lines().filter_map(ConfigQuery::parse_line).collect(),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    let line = words.join(" ");
+                    match ConfigQuery::parse_line(&line) {
+                        Some(q) => vec![q],
+                        None => {
+                            eprintln!(
+                                "usage: confdep validate '<mke2fs args> | <mount opts>' \
+                                 [--batch FILE] [--threads N] [--json] [--explain] \
+                                 [--repair] [--naive]"
+                            );
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            };
+            if queries.is_empty() {
+                eprintln!("no queries parsed");
+                return ExitCode::from(2);
+            }
+            let set = match extract_scenario(&models::all(), ExtractOptions::default()) {
+                Ok(deps) => ConstraintSet::compile(deps),
+                Err(e) => {
+                    eprintln!("extraction failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let plan = std::sync::Arc::new(ValidationPlan::compile(set));
+            let options = if naive { EngineOptions::naive() } else { EngineOptions::serving() };
+            let engine = ValidationEngine::new(plan, options);
+            let outcomes = engine.validate_many(&queries, threads);
+            let constraints = engine.plan().constraints().constraints();
+            let results: Vec<ValidateRow> = queries
+                .iter()
+                .zip(&outcomes)
+                .map(|(q, out)| ValidateRow {
+                    query: q.state_key(),
+                    ok: out.ok(),
+                    evaluated: out.evaluated,
+                    memo_hit: out.memo_hit,
+                    satisfied: out.satisfied(),
+                    violations: out
+                        .violations()
+                        .into_iter()
+                        .map(|i| constraints[i].signature().to_string())
+                        .collect(),
+                    explanations: (with_explain && !out.ok()).then(|| engine.explain(q)),
+                    repair: (with_repair && !out.ok()).then(|| engine.repair(q)),
+                })
+                .collect();
+            let violating = results.iter().filter(|r| !r.ok).count();
+            let report = ValidateCliReport {
+                queries: results.len(),
+                ok: results.len() - violating,
+                violating,
+                threads,
+                strategy: if naive { "naive".to_string() } else { "indexed+memo".to_string() },
+                engine: engine.stats(),
+                results,
+            };
+            if as_json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => {
+                        eprintln!("JSON encoding failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                for (i, row) in report.results.iter().enumerate() {
+                    if row.ok {
+                        println!(
+                            "query {:3}: OK ({} satisfied, {} evaluated{})",
+                            i + 1,
+                            row.satisfied,
+                            row.evaluated,
+                            if row.memo_hit { ", memo hit" } else { "" }
+                        );
+                    } else {
+                        println!(
+                            "query {:3}: {} violation(s) [{}]",
+                            i + 1,
+                            row.violations.len(),
+                            row.query
+                        );
+                        for sig in &row.violations {
+                            println!("           - {sig}");
+                        }
+                    }
+                    if let Some(explanations) = &row.explanations {
+                        for e in explanations {
+                            println!("           explain: {} (doc: {:?})", e.dependency, e.doc);
+                            for ev in &e.evidence {
+                                println!("                    evidence: {ev}");
+                            }
+                        }
+                    }
+                    if let Some(repair) = &row.repair {
+                        for change in &repair.changes {
+                            println!(
+                                "           repair: {}:{} {}",
+                                change.component, change.param, change.action
+                            );
+                        }
+                        for cfg in &repair.configs {
+                            println!("           repaired: {}", cfg.canonical_key());
+                        }
+                        println!(
+                            "           repaired config validates clean: {}",
+                            repair.clean
+                        );
+                    }
+                }
+                let stats = report.engine;
+                println!(
+                    "\n{} queries: {} ok, {} violating | {:.1} constraints evaluated per \
+                     query (of {})",
+                    report.queries,
+                    report.ok,
+                    report.violating,
+                    stats.evaluated_per_query(),
+                    engine.plan().len()
+                );
+                if let Some(memo) = stats.memo {
+                    println!(
+                        "memo: {} hits, {} misses ({:.0}% hit rate), {} entries in {} shards",
+                        memo.hits,
+                        memo.misses,
+                        100.0 * memo.hit_rate(),
+                        memo.entries,
+                        memo.shards
+                    );
+                }
+            }
+            if violating == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
         }
         "study" => {
             let t3 = study::classify_corpus();

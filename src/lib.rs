@@ -7,6 +7,7 @@ pub use cir;
 pub use confdep;
 pub use conpool;
 pub use contools;
+pub use convalid;
 pub use crashsim;
 pub use e2fstools;
 pub use ext4sim;

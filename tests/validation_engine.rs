@@ -1,0 +1,182 @@
+//! Serving-path equivalence properties for the `convalid` engine: for
+//! arbitrary typed configurations, the indexed plan, the memoized
+//! serving path, and the batched fan-out must all return verdict
+//! vectors byte-identical to evaluating every compiled
+//! [`Constraint`](confdep_suite::confdep::Constraint) directly — and a
+//! repair proposal must always re-validate clean.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use confdep_suite::confdep::{
+    constraint::registry_name, extract_scenario, models, ConstraintSet, Endpoint,
+    ExtractOptions, Verdict,
+};
+use confdep_suite::convalid::{
+    ConfigQuery, EngineOptions, ValidationEngine, ValidationPlan,
+};
+use confdep_suite::e2fstools::typed::{TypedConfig, TypedValue};
+
+fn plan() -> &'static Arc<ValidationPlan> {
+    static PLAN: OnceLock<Arc<ValidationPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        Arc::new(ValidationPlan::compile(ConstraintSet::compile(
+            extract_scenario(&models::all(), ExtractOptions::default()).unwrap(),
+        )))
+    })
+}
+
+/// Engines are shared across proptest cases on purpose: the memoized
+/// engine accumulates state, so later cases exercise cross-query memo
+/// traffic (hits, collision checks, evictions) instead of always
+/// starting cold.
+fn engines() -> &'static (ValidationEngine, ValidationEngine, ValidationEngine) {
+    static ENGINES: OnceLock<(ValidationEngine, ValidationEngine, ValidationEngine)> =
+        OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let p = plan();
+        (
+            ValidationEngine::new(Arc::clone(p), EngineOptions::naive()),
+            ValidationEngine::new(Arc::clone(p), EngineOptions::indexed()),
+            ValidationEngine::new(Arc::clone(p), EngineOptions::serving()),
+        )
+    })
+}
+
+/// Every (component, registry parameter) either end of any compiled
+/// constraint touches — the parameter universe random queries draw
+/// from, so generated states actually engage the constraint table.
+fn param_universe() -> &'static Vec<(String, String)> {
+    static UNIVERSE: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    UNIVERSE.get_or_init(|| {
+        let mut seen = BTreeSet::new();
+        for c in plan().constraints().constraints() {
+            let d = &c.dependency;
+            seen.insert((
+                d.subject.component.clone(),
+                registry_name(&d.subject.component, &d.subject.param).to_string(),
+            ));
+            if let Some(Endpoint::Param(p)) = &d.object {
+                seen.insert((
+                    p.component.clone(),
+                    registry_name(&p.component, &p.param).to_string(),
+                ));
+            }
+        }
+        seen.into_iter().collect()
+    })
+}
+
+fn value_strategy() -> impl Strategy<Value = TypedValue> {
+    prop_oneof![
+        (0u8..2).prop_map(|b| TypedValue::Bool(b == 1)),
+        // spans every compiled range boundary (blocksize, commit,
+        // reserved_percent, stride, ...) plus far-out-of-range values
+        (-70_000i64..=70_000).prop_map(TypedValue::Int),
+        prop_oneof![
+            Just("journal"),
+            Just("ordered"),
+            Just("writeback"),
+            Just("remount-ro"),
+            Just("continue"),
+            Just("panic"),
+            Just("not-a-mode"),
+        ]
+        .prop_map(|s| TypedValue::Str(s.to_string())),
+    ]
+}
+
+/// A random whole-configuration state: a subset of the constraint
+/// parameter universe with arbitrary typed values, grouped into one
+/// `TypedConfig` per component (always materializing the `mke2fs` and
+/// `mount` views, as the CLI surface does).
+fn query_strategy() -> impl Strategy<Value = ConfigQuery> {
+    let universe_len = param_universe().len();
+    prop::collection::vec((0..universe_len, value_strategy()), 0..12).prop_map(|picks| {
+        let universe = param_universe();
+        let mut components: Vec<TypedConfig> =
+            vec![TypedConfig::new("mke2fs"), TypedConfig::new("mount")];
+        for (at, value) in picks {
+            let (component, param) = &universe[at];
+            let cfg = match components.iter_mut().find(|c| &c.component == component) {
+                Some(cfg) => cfg,
+                None => {
+                    components.push(TypedConfig::new(component));
+                    components.last_mut().unwrap()
+                }
+            };
+            cfg.values.insert(param.clone(), value);
+        }
+        ConfigQuery::new(components)
+    })
+}
+
+fn direct_verdicts(query: &ConfigQuery) -> Vec<Verdict> {
+    let views: Vec<&TypedConfig> = query.views();
+    plan()
+        .constraints()
+        .constraints()
+        .iter()
+        .map(|c| c.evaluate(&views))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn serving_paths_match_direct_evaluation(query in query_strategy()) {
+        let direct = direct_verdicts(&query);
+        let (naive, indexed, serving) = engines();
+
+        let n = naive.validate(&query);
+        prop_assert_eq!(&direct[..], &n.verdicts[..], "naive path diverged");
+        prop_assert_eq!(n.evaluated, direct.len(), "naive must evaluate the whole table");
+
+        let i = indexed.validate(&query);
+        prop_assert_eq!(&direct[..], &i.verdicts[..], "indexed path diverged");
+        prop_assert!(i.evaluated <= direct.len());
+
+        let s = serving.validate(&query);
+        prop_assert_eq!(&direct[..], &s.verdicts[..], "memoized path diverged");
+        // asking again must hit the memo and answer identically
+        let again = serving.validate(&query);
+        prop_assert!(again.memo_hit, "repeat of the same state missed the memo");
+        prop_assert_eq!(again.evaluated, 0);
+        prop_assert_eq!(&s.verdicts[..], &again.verdicts[..]);
+    }
+
+    #[test]
+    fn batched_fanout_matches_direct_evaluation(
+        queries in prop::collection::vec(query_strategy(), 1..8),
+        threads in 0usize..4,
+    ) {
+        let (_, _, serving) = engines();
+        let outcomes = serving.validate_many(&queries, threads);
+        prop_assert_eq!(outcomes.len(), queries.len());
+        for (query, outcome) in queries.iter().zip(&outcomes) {
+            let direct = direct_verdicts(query);
+            prop_assert_eq!(&direct[..], &outcome.verdicts[..], "batched path diverged");
+        }
+    }
+
+    #[test]
+    fn repair_always_revalidates_clean(query in query_strategy()) {
+        let (_, indexed, _) = engines();
+        let proposal = indexed.repair(&query);
+        prop_assert!(proposal.clean, "repair reported an unclean result");
+        let repaired = ConfigQuery::new(proposal.configs.clone());
+        let outcome = indexed.validate(&repaired);
+        prop_assert!(
+            outcome.ok(),
+            "repaired state still violates: {:?}",
+            outcome.violations()
+        );
+        // a state the repair left untouched was already clean
+        if proposal.changes.is_empty() {
+            prop_assert!(indexed.validate(&query).ok());
+        }
+    }
+}
