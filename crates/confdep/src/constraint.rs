@@ -115,19 +115,28 @@ impl Constraint {
         &self.signature
     }
 
-    /// Looks up the subject parameter's typed value among `cfgs`.
+    /// Looks up the subject parameter's typed value among `cfgs` — the
+    /// first config of the subject's component *that carries the
+    /// parameter*. (Stopping at the first component match was a latent
+    /// single-ecosystem assumption: a multi-ecosystem state can hold
+    /// several configs per component name, e.g. a remount.)
     fn subject_value<'a>(&self, cfgs: &[&'a TypedConfig]) -> Option<&'a TypedValue> {
         let subj = &self.dependency.subject;
         let name = registry_name(&subj.component, &subj.param);
-        cfgs.iter().find(|c| c.component == subj.component).and_then(|c| c.get(name))
+        cfgs.iter()
+            .filter(|c| c.component == subj.component)
+            .find_map(|c| c.get(name))
     }
 
-    /// Looks up the object parameter's typed value among `cfgs`.
+    /// Looks up the object parameter's typed value among `cfgs` (same
+    /// falls-through-duplicates rule as [`Constraint::subject_value`]).
     fn object_value<'a>(&self, cfgs: &[&'a TypedConfig]) -> Option<&'a TypedValue> {
         match &self.dependency.object {
             Some(Endpoint::Param(obj)) => {
                 let name = registry_name(&obj.component, &obj.param);
-                cfgs.iter().find(|c| c.component == obj.component).and_then(|c| c.get(name))
+                cfgs.iter()
+                    .filter(|c| c.component == obj.component)
+                    .find_map(|c| c.get(name))
             }
             _ => None,
         }
@@ -177,6 +186,12 @@ impl Constraint {
                 else {
                     return Verdict::NotApplicable;
                 };
+                // agreement constraints (the cross-ecosystem pass over
+                // shared mount parameters): both sides engaged must
+                // carry the same value
+                if d.detail.relation.as_deref().is_some_and(|r| r.contains("must agree")) {
+                    return if s == o { Verdict::Satisfied } else { Verdict::Violated };
+                }
                 let s_on = engaged(s);
                 let o_on = engaged(o);
                 // the extractor cannot orient a guard into "conflicts"
@@ -488,6 +503,21 @@ mod tests {
     }
 
     #[test]
+    fn registry_name_aliasing_is_scoped_per_component() {
+        // regression (multi-ecosystem rethread): the model-variable →
+        // spec-name aliases are keyed by the owning component, and
+        // component names are namespaced per ecosystem — so an ext4
+        // alias can never rewrite a same-named parameter of an f2fs
+        // component (or any other ecosystem's)
+        assert_eq!(registry_name("resize2fs", "new_size"), "size");
+        assert_eq!(registry_name("resize_f2fs", "new_size"), "new_size");
+        assert_eq!(registry_name("e2fsck", "assume_yes"), "yes");
+        assert_eq!(registry_name("fsck_f2fs", "assume_yes"), "assume_yes");
+        assert_eq!(registry_name("e2fsck", "blocksize_opt"), "blocksize");
+        assert_eq!(registry_name("mkfs_f2fs", "blocksize_opt"), "blocksize_opt");
+    }
+
+    #[test]
     fn range_lookup_matches_detail() {
         let set = compiled();
         let (min, max) = set.int_range("mke2fs", "reserved_percent").expect("range extracted");
@@ -531,6 +561,54 @@ mod tests {
         one.set_bool("meta_bg", true);
         one.set_bool("resize_inode", false);
         assert_eq!(c.evaluate(&[&one]), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn registry_name_aliases_are_scoped_per_component() {
+        // the alias table keys on (component, param): a second
+        // ecosystem reusing a parameter name must not inherit an ext4
+        // alias
+        assert_eq!(registry_name("resize2fs", "new_size"), "size");
+        assert_eq!(registry_name("resize_f2fs", "new_size"), "new_size");
+        assert_eq!(registry_name("fsck_f2fs", "assume_yes"), "assume_yes");
+    }
+
+    #[test]
+    fn lookup_falls_through_configs_missing_the_param() {
+        // two configs for the same component: the first does not carry
+        // the parameter, the second does — the lookup must not stop at
+        // the first component match
+        let set = compiled();
+        let c = set.find("SdValueRange|mke2fs:reserved_percent").unwrap();
+        let without = TypedConfig::new("mke2fs");
+        let mut with = TypedConfig::new("mke2fs");
+        with.set_int("reserved_percent", 80);
+        assert_eq!(c.evaluate(&[&without, &with]), Verdict::Violated);
+    }
+
+    #[test]
+    fn agreement_constraints_compare_values() {
+        // the cross-ecosystem "must agree" form of a control CCD
+        let c = Constraint::new(Dependency {
+            kind: DepKind::CcdControl,
+            subject: ParamRef::new("mount", "discard"),
+            object: Some(Endpoint::Param(ParamRef::new("f2fs", "discard"))),
+            detail: DepDetail {
+                relation: Some("shared mount parameters must agree".to_string()),
+                bridge_field: Some("shared:discard".to_string()),
+                ..DepDetail::default()
+            },
+            evidence: vec![],
+        });
+        let mut ext4 = TypedConfig::new("mount");
+        ext4.set_bool("discard", true);
+        let mut f2fs = TypedConfig::new("f2fs");
+        f2fs.set_bool("discard", true);
+        assert_eq!(c.evaluate(&[&ext4, &f2fs]), Verdict::Satisfied);
+        f2fs.set_bool("discard", false);
+        assert_eq!(c.evaluate(&[&ext4, &f2fs]), Verdict::Violated);
+        let alone = TypedConfig::new("mount");
+        assert_eq!(c.evaluate(&[&alone, &f2fs]), Verdict::NotApplicable);
     }
 
     #[test]

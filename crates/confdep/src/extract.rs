@@ -530,4 +530,74 @@ mod tests {
         let deps = extract_component(models::E2FSCK).unwrap();
         assert!(deps.is_empty(), "unexpected: {deps:#?}");
     }
+
+    #[test]
+    fn f2fs_scenario_extracts_all_three_levels() {
+        // the second ecosystem, with the checker pipeline unchanged:
+        // the same intra-procedural extractor pulls >= 25 dependencies
+        // spanning SD, CPD and CCD out of the four f2fs models
+        let deps = extract_scenario(&models::f2fs_all(), ExtractOptions::default()).unwrap();
+        assert!(deps.len() >= 25, "only {} f2fs deps: {deps:#?}", deps.len());
+        assert!(count_kind(&deps, "SD") >= 8, "SD: {}", count_kind(&deps, "SD"));
+        assert!(count_kind(&deps, "CPD") >= 8, "CPD: {}", count_kind(&deps, "CPD"));
+        assert!(count_kind(&deps, "CCD") >= 6, "CCD: {}", count_kind(&deps, "CCD"));
+        // the f2fs Figure-1 analog: mkfs.f2fs sectors ~ resize.f2fs
+        // target via fsb.f_sectors
+        let fig1 = deps.iter().find(|d| {
+            d.is_cross_component()
+                && d.subject == ParamRef::new("mkfs_f2fs", "sectors")
+                && matches!(&d.object, Some(Endpoint::Param(p)) if p.param == "target_sectors")
+        });
+        assert!(fig1.is_some(), "f2fs Figure-1 CCD must be extracted");
+        // active_logs value set {2, 4, 6}
+        let logs = deps
+            .iter()
+            .find(|d| d.kind == DepKind::SdValueRange && d.subject.param == "active_logs")
+            .expect("active_logs set");
+        assert_eq!(logs.detail.value_set, vec![2, 4, 6]);
+        // the geometry CPD: segs_per_sec ~ secs_per_zone
+        assert!(deps.iter().any(|d| {
+            d.kind == DepKind::CpdValue
+                && d.signature().contains("segs_per_sec")
+                && d.signature().contains("secs_per_zone")
+        }));
+        // format->mount feature CCD: compression gates compress_algorithm
+        assert!(deps.iter().any(|d| {
+            d.is_cross_component()
+                && d.subject == ParamRef::new("mkfs_f2fs", "compression")
+                && matches!(&d.object, Some(Endpoint::Param(p)) if p.param == "compress_algorithm")
+        }));
+    }
+
+    #[test]
+    fn joint_extraction_creates_no_cross_ecosystem_bridges() {
+        // feeding both ecosystems to one extraction must not invent
+        // ext4<->f2fs CCDs: the metadata structs are disjoint, so every
+        // bridge stays inside its ecosystem
+        let mut srcs = models::all();
+        srcs.extend(models::f2fs_all());
+        let deps = extract_scenario(&srcs, ExtractOptions::default()).unwrap();
+        let f2fs: &[&str] = &["mkfs_f2fs", "f2fs", "fsck_f2fs", "resize_f2fs"];
+        for d in deps.iter().filter(|d| d.is_cross_component()) {
+            if let Some(Endpoint::Param(obj)) = &d.object {
+                assert_eq!(
+                    f2fs.contains(&d.subject.component.as_str()),
+                    f2fs.contains(&obj.component.as_str()),
+                    "cross-ecosystem bridge: {}",
+                    d.signature()
+                );
+            }
+        }
+        // and the joint run must not change the ext4 result
+        let ext4_only = extract_scenario(&models::all(), ExtractOptions::default()).unwrap();
+        let mut joint_ext4: Vec<String> = deps
+            .iter()
+            .filter(|d| !f2fs.contains(&d.subject.component.as_str()))
+            .map(|d| d.signature())
+            .collect();
+        let mut expected: Vec<String> = ext4_only.iter().map(|d| d.signature()).collect();
+        joint_ext4.sort();
+        expected.sort();
+        assert_eq!(joint_ext4, expected);
+    }
 }

@@ -55,7 +55,7 @@ pub use ground_truth::{is_false_positive, is_true_dependency, FALSE_POSITIVE_SIG
 pub use model::{dedup, DepKind, Dependency, Endpoint, ParamRef};
 pub use report::DependencyReport;
 pub use scenario::{paper_scenarios, Scenario};
-pub use solve::{Polarity, SolvedConfig, Solver};
+pub use solve::{Polarity, SolvedConfig, Solver, SolverScope};
 
 use std::error::Error;
 use std::fmt;

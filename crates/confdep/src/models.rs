@@ -27,7 +27,24 @@ pub const RESIZE2FS: &str = include_str!("models/resize2fs.cir");
 /// `e2fsck` — offline checking.
 pub const E2FSCK: &str = include_str!("models/e2fsck.cir");
 
-/// All models with their component names, in the paper's order.
+/// `mkfs.f2fs` — create-stage configuration handling of the second
+/// (f2fs) ecosystem. Component names use underscores because they
+/// double as CIR identifiers.
+pub const MKFS_F2FS: &str = include_str!("models/mkfs_f2fs.cir");
+
+/// The f2fs mount path — option parsing plus the `f2fs_fill_super`
+/// checks, in one function (unlike ext4's split loader).
+pub const F2FS: &str = include_str!("models/f2fs.cir");
+
+/// `fsck.f2fs` — offline checking.
+pub const FSCK_F2FS: &str = include_str!("models/fsck_f2fs.cir");
+
+/// `resize.f2fs` — offline resize (the f2fs Figure-1 analog).
+pub const RESIZE_F2FS: &str = include_str!("models/resize_f2fs.cir");
+
+/// All Ext4-ecosystem models with their component names, in the
+/// paper's order. This set is what the paper's study analyzed; the f2fs
+/// models live in [`f2fs_all`] so every headline number stays pinned.
 pub fn all() -> Vec<(&'static str, &'static str)> {
     vec![
         ("mke2fs", MKE2FS),
@@ -39,9 +56,24 @@ pub fn all() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
-/// The model for a given component name.
+/// All f2fs-ecosystem models with their component names, in stage
+/// order.
+pub fn f2fs_all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("mkfs_f2fs", MKFS_F2FS),
+        ("f2fs", F2FS),
+        ("fsck_f2fs", FSCK_F2FS),
+        ("resize_f2fs", RESIZE_F2FS),
+    ]
+}
+
+/// The model for a given component name, across both ecosystems.
 pub fn by_name(component: &str) -> Option<&'static str> {
-    all().into_iter().find(|(n, _)| *n == component).map(|(_, src)| src)
+    all()
+        .into_iter()
+        .chain(f2fs_all())
+        .find(|(n, _)| *n == component)
+        .map(|(_, src)| src)
 }
 
 #[cfg(test)]
@@ -50,7 +82,7 @@ mod tests {
 
     #[test]
     fn all_models_compile() {
-        for (name, src) in all() {
+        for (name, src) in all().into_iter().chain(f2fs_all()) {
             let program = cir::compile(src)
                 .unwrap_or_else(|e| panic!("model {name} failed to compile: {e}"));
             assert_eq!(program.component, name);
@@ -62,7 +94,30 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("mke2fs").is_some());
         assert!(by_name("resize2fs").is_some());
+        assert!(by_name("mkfs_f2fs").is_some());
+        assert!(by_name("f2fs").is_some());
         assert!(by_name("zfs").is_none());
+    }
+
+    #[test]
+    fn ecosystem_metadata_structs_are_disjoint() {
+        // the bridge must never join ext4 and f2fs through a shared
+        // field name: the two superblocks are different on-device state
+        let ext4_fields: std::collections::BTreeSet<String> = all()
+            .into_iter()
+            .flat_map(|(_, src)| {
+                let p = cir::compile(src).unwrap();
+                p.metadata.into_iter().flat_map(|m| m.fields).collect::<Vec<_>>()
+            })
+            .collect();
+        let f2fs_fields: std::collections::BTreeSet<String> = f2fs_all()
+            .into_iter()
+            .flat_map(|(_, src)| {
+                let p = cir::compile(src).unwrap();
+                p.metadata.into_iter().flat_map(|m| m.fields).collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(ext4_fields.is_disjoint(&f2fs_fields));
     }
 
     #[test]

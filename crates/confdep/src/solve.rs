@@ -92,21 +92,113 @@ const MKFS_VALUED: [(&str, &str); 10] = [
     ("uuid", "-U"),
 ];
 
-fn mkfs_option(param: &str) -> Option<&'static str> {
-    MKFS_VALUED.iter().find(|(p, _)| *p == param).map(|(_, o)| *o)
+/// `mke2fs` options spelled `FLAG key=value` (extended attributes).
+const MKFS_KEYED: [(&str, &str, &str); 2] =
+    [("journal_size", "-J", "size"), ("resize_headroom", "-E", "resize")];
+
+/// The two-component configuration surface a [`Solver`] generates over:
+/// which components play the create and mount roles, how the create
+/// half renders to a CLI, which `ParamSpec` registry supplies value
+/// domains, and which lenient views re-parse the rendering for
+/// verification. [`SolverScope::ext4`] reproduces the original
+/// hard-coded `mke2fs`/`mount` surface exactly; other ecosystems
+/// construct their own scope (see the `ecosys` crate).
+#[derive(Debug, Clone)]
+pub struct SolverScope {
+    /// The component whose parameters render as create-tool arguments.
+    pub create_component: &'static str,
+    /// The component whose parameters render as `-o` mount options.
+    pub mount_component: &'static str,
+    /// Create-side parameters spelled as a valued flag (`-b 4096`).
+    pub valued: &'static [(&'static str, &'static str)],
+    /// Create-side parameters spelled `FLAG key=value` (`-J size=64`).
+    pub keyed: &'static [(&'static str, &'static str, &'static str)],
+    /// Create-side parameters spelled as bare trailing operands.
+    pub operand_params: &'static [&'static str],
+    /// Fixed operands every rendering carries (e.g. a device path),
+    /// emitted before the operand parameters.
+    pub fixed_operands: &'static [&'static str],
+    /// Integer parameters the base skeleton engages in-range.
+    pub base_create_ints: &'static [&'static str],
+    /// Boolean parameters the base skeleton switches on.
+    pub base_create_bools: &'static [&'static str],
+    /// Mount-side enums the base skeleton pins to their first member.
+    pub base_mount_enums: &'static [&'static str],
+    /// The `ParamSpec` registry restricted to the two components.
+    pub registry: Vec<ParamSpec>,
+    /// Lenient view re-parsing the rendered create arguments.
+    pub parse_create: fn(&[String]) -> TypedConfig,
+    /// Lenient view re-parsing the rendered mount option string.
+    pub parse_mount: fn(&str) -> TypedConfig,
+}
+
+impl SolverScope {
+    /// The original Ext4 scope: `mke2fs` + `mount`, the e2fstools
+    /// registry, and the e2fstools lenient views.
+    pub fn ext4() -> Self {
+        SolverScope {
+            create_component: "mke2fs",
+            mount_component: "mount",
+            valued: &MKFS_VALUED,
+            keyed: &MKFS_KEYED,
+            operand_params: &[],
+            fixed_operands: &[],
+            base_create_ints: &["blocksize", "reserved_percent"],
+            base_create_bools: &["extent", "sparse_super", "resize_inode"],
+            base_mount_enums: &["data"],
+            registry: all_params()
+                .into_iter()
+                .filter(|p| p.component == "mke2fs" || p.component == "mount")
+                .collect(),
+            parse_create: TypedConfig::from_mkfs_args_lenient,
+            parse_mount: TypedConfig::from_mount_opts_lenient,
+        }
+    }
+
+    /// Which role (create/mount component name) a component plays in
+    /// this scope, or `None` when it is outside the generated surface.
+    pub fn scope_of(&self, component: &str) -> Option<&'static str> {
+        if component == self.create_component {
+            Some(self.create_component)
+        } else if component == self.mount_component {
+            Some(self.mount_component)
+        } else {
+            None
+        }
+    }
+
+    fn valued_opt(&self, param: &str) -> Option<&'static str> {
+        self.valued.iter().find(|(p, _)| *p == param).map(|(_, o)| *o)
+    }
+
+    fn keyed_opt(&self, param: &str) -> Option<(&'static str, &'static str)> {
+        self.keyed.iter().find(|(p, _, _)| *p == param).map(|(_, f, k)| (*f, *k))
+    }
+
+    fn is_operand(&self, param: &str) -> bool {
+        self.operand_params.contains(&param)
+    }
 }
 
 impl SolvedConfig {
-    /// Renders the assignment as `(mke2fs args, mount option string)`.
+    /// Renders the assignment as `(mke2fs args, mount option string)`
+    /// under the original Ext4 scope — see [`SolvedConfig::render_with`].
+    pub fn render(&self) -> Option<(Vec<String>, String)> {
+        self.render_with(&SolverScope::ext4())
+    }
+
+    /// Renders the assignment as `(create-tool args, mount option
+    /// string)` under `scope`.
     ///
     /// Returns `None` when some value has no CLI spelling that survives
     /// the lenient round trip (e.g. a string value on a parameter with
     /// no valued option) — the solver treats that as a failed candidate.
-    pub fn render(&self) -> Option<(Vec<String>, String)> {
+    pub fn render_with(&self, scope: &SolverScope) -> Option<(Vec<String>, String)> {
         let mut args: Vec<String> = Vec::new();
         let mut features: Vec<String> = Vec::new();
+        let mut operands: Vec<String> = Vec::new();
         for (name, value) in &self.mkfs.values {
-            if let Some(opt) = mkfs_option(name) {
+            if let Some(opt) = scope.valued_opt(name) {
                 let rendered = match value {
                     TypedValue::Int(i) => i.to_string(),
                     TypedValue::Str(s) => s.clone(),
@@ -116,25 +208,34 @@ impl SolvedConfig {
                 args.push(rendered);
                 continue;
             }
-            match (name.as_str(), value) {
-                ("journal_size", TypedValue::Int(i)) => {
-                    args.push("-J".to_string());
-                    args.push(format!("size={i}"));
+            if let Some((flag, key)) = scope.keyed_opt(name) {
+                match value {
+                    TypedValue::Int(i) => {
+                        args.push(flag.to_string());
+                        args.push(format!("{key}={i}"));
+                        continue;
+                    }
+                    TypedValue::Str(s) => {
+                        args.push(flag.to_string());
+                        args.push(format!("{key}={s}"));
+                        continue;
+                    }
+                    // a boolean on a keyed option falls through to the
+                    // feature spelling, matching the original renderer
+                    TypedValue::Bool(_) => {}
                 }
-                ("journal_size", TypedValue::Str(s)) => {
-                    args.push("-J".to_string());
-                    args.push(format!("size={s}"));
+            }
+            if scope.is_operand(name) {
+                match value {
+                    TypedValue::Int(i) => operands.push(i.to_string()),
+                    TypedValue::Str(s) => operands.push(s.clone()),
+                    TypedValue::Bool(_) => return None,
                 }
-                ("resize_headroom", TypedValue::Int(i)) => {
-                    args.push("-E".to_string());
-                    args.push(format!("resize={i}"));
-                }
-                ("resize_headroom", TypedValue::Str(s)) => {
-                    args.push("-E".to_string());
-                    args.push(format!("resize={s}"));
-                }
-                (_, TypedValue::Bool(true)) => features.push(name.clone()),
-                (_, TypedValue::Bool(false)) => features.push(format!("^{name}")),
+                continue;
+            }
+            match value {
+                TypedValue::Bool(true) => features.push(name.clone()),
+                TypedValue::Bool(false) => features.push(format!("^{name}")),
                 _ => return None, // int/str value on a feature-only parameter
             }
         }
@@ -142,6 +243,10 @@ impl SolvedConfig {
             args.push("-O".to_string());
             args.push(features.join(","));
         }
+        for fixed in scope.fixed_operands {
+            args.push((*fixed).to_string());
+        }
+        args.extend(operands);
         let mut tokens: Vec<String> = Vec::new();
         for (name, value) in &self.mount.values {
             match value {
@@ -158,7 +263,7 @@ impl SolvedConfig {
 /// One pinned parameter of a candidate assignment.
 #[derive(Debug, Clone)]
 struct Pin {
-    component: &'static str, // "mke2fs" or "mount"
+    component: &'static str, // the scope's create or mount component
     param: String,
     value: TypedValue,
 }
@@ -167,26 +272,22 @@ struct Pin {
 #[derive(Debug)]
 pub struct Solver<'a> {
     set: &'a ConstraintSet,
-    registry: Vec<ParamSpec>,
-}
-
-/// Components the generated configuration surface covers.
-fn in_scope(component: &str) -> Option<&'static str> {
-    match component {
-        "mke2fs" => Some("mke2fs"),
-        "mount" => Some("mount"),
-        _ => None,
-    }
+    scope: SolverScope,
 }
 
 impl<'a> Solver<'a> {
-    /// Builds a solver over `set`, loading the `ParamSpec` registry for
-    /// value domains (enum members, integer ranges) the constraints
-    /// alone do not carry.
+    /// Builds a solver over `set` with the original Ext4 scope —
+    /// byte-identical to the pre-scope solver.
     pub fn new(set: &'a ConstraintSet) -> Self {
-        let registry =
-            all_params().into_iter().filter(|p| in_scope(&p.component).is_some()).collect();
-        Solver { set, registry }
+        Solver::with_scope(set, SolverScope::ext4())
+    }
+
+    /// Builds a solver over `set` generating configurations for the
+    /// components `scope` names; the scope's registry supplies value
+    /// domains (enum members, integer ranges) the constraints alone do
+    /// not carry.
+    pub fn with_scope(set: &'a ConstraintSet, scope: SolverScope) -> Self {
+        Solver { set, scope }
     }
 
     /// The constraint set being solved over.
@@ -194,8 +295,13 @@ impl<'a> Solver<'a> {
         self.set
     }
 
+    /// The configuration surface being generated over.
+    pub fn scope(&self) -> &SolverScope {
+        &self.scope
+    }
+
     fn spec(&self, component: &str, param: &str) -> Option<&ParamSpec> {
-        self.registry.iter().find(|s| s.component == component && s.name == param)
+        self.scope.registry.iter().find(|s| s.component == component && s.name == param)
     }
 
     /// The achievable target universe: every `(signature, polarity)`
@@ -238,15 +344,19 @@ impl<'a> Solver<'a> {
             let mut solved = self.base_config();
             let mut pinned: Vec<(&'static str, String)> = Vec::new();
             for pin in &pins {
-                let cfg = if pin.component == "mke2fs" { &mut solved.mkfs } else { &mut solved.mount };
+                let cfg = if pin.component == self.scope.create_component {
+                    &mut solved.mkfs
+                } else {
+                    &mut solved.mount
+                };
                 cfg.values.insert(pin.param.clone(), pin.value.clone());
                 pinned.push((pin.component, pin.param.clone()));
             }
             self.propagate(&mut solved, &pinned);
-            let Some((args, opts)) = solved.render() else { continue };
+            let Some((args, opts)) = solved.render_with(&self.scope) else { continue };
             // verify through the exact views the campaign will use
-            let mkfs_view = TypedConfig::from_mkfs_args_lenient(&args);
-            let mount_view = TypedConfig::from_mount_opts_lenient(&opts);
+            let mkfs_view = (self.scope.parse_create)(&args);
+            let mount_view = (self.scope.parse_mount)(&opts);
             if self.verify(target, polarity, &mkfs_view, &mount_view) {
                 return Some(SolvedConfig { mkfs: mkfs_view, mount: mount_view });
             }
@@ -308,8 +418,10 @@ impl<'a> Solver<'a> {
                     return false;
                 }
                 let d = &target.dependency;
-                let Some(scope) = in_scope(&d.subject.component) else { return false };
-                let cfg = if scope == "mke2fs" { mkfs } else { mount };
+                let Some(scope) = self.scope.scope_of(&d.subject.component) else {
+                    return false;
+                };
+                let cfg = if scope == self.scope.create_component { mkfs } else { mount };
                 match cfg.get(crate::constraint::registry_name(&d.subject.component, &d.subject.param))
                 {
                     Some(TypedValue::Int(v)) => {
@@ -327,16 +439,20 @@ impl<'a> Solver<'a> {
     /// ranges and the registry rather than hard-coded tables, so solved
     /// *satisfy* configurations double as deep-reaching campaign seeds.
     fn base_config(&self) -> SolvedConfig {
-        let mut mkfs = TypedConfig::new("mke2fs");
-        mkfs.set_int("blocksize", self.engage_int("mke2fs", "blocksize"));
-        mkfs.set_int("reserved_percent", self.engage_int("mke2fs", "reserved_percent"));
-        mkfs.set_bool("extent", true);
-        mkfs.set_bool("sparse_super", true);
-        mkfs.set_bool("resize_inode", true);
-        let mut mount = TypedConfig::new("mount");
-        if let Some(members) = self.enum_members("mount", "data") {
-            if let Some(first) = members.first() {
-                mount.set_str("data", first);
+        let create = self.scope.create_component;
+        let mut mkfs = TypedConfig::new(create);
+        for param in self.scope.base_create_ints {
+            mkfs.set_int(param, self.engage_int(create, param));
+        }
+        for param in self.scope.base_create_bools {
+            mkfs.set_bool(param, true);
+        }
+        let mut mount = TypedConfig::new(self.scope.mount_component);
+        for param in self.scope.base_mount_enums {
+            if let Some(members) = self.enum_members(self.scope.mount_component, param) {
+                if let Some(first) = members.first() {
+                    mount.set_str(param, first);
+                }
             }
         }
         SolvedConfig { mkfs, mount }
@@ -385,11 +501,14 @@ impl<'a> Solver<'a> {
 
     /// Whether a pinned value on `(component, param)` has a CLI
     /// rendering of the right shape.
-    fn renderable(component: &str, param: &str, value: &TypedValue) -> bool {
-        if component == "mount" {
+    fn renderable(&self, component: &str, param: &str, value: &TypedValue) -> bool {
+        if component == self.scope.mount_component {
             return true;
         }
-        if mkfs_option(param).is_some() || param == "journal_size" || param == "resize_headroom" {
+        if self.scope.valued_opt(param).is_some()
+            || self.scope.keyed_opt(param).is_some()
+            || self.scope.is_operand(param)
+        {
             return !matches!(value, TypedValue::Bool(_));
         }
         matches!(value, TypedValue::Bool(_))
@@ -400,7 +519,9 @@ impl<'a> Solver<'a> {
     /// no witness (behavioural kinds, unbounded boundaries, ...).
     fn candidates(&self, target: &Constraint, polarity: Polarity) -> Vec<Vec<Pin>> {
         let d = &target.dependency;
-        let Some(subj_scope) = in_scope(&d.subject.component) else { return Vec::new() };
+        let Some(subj_scope) = self.scope.scope_of(&d.subject.component) else {
+            return Vec::new();
+        };
         let subj = crate::constraint::registry_name(&d.subject.component, &d.subject.param);
         let pin = |component: &'static str, param: &str, value: TypedValue| Pin {
             component,
@@ -485,25 +606,27 @@ impl<'a> Solver<'a> {
                     Polarity::Boundary => Vec::new(),
                 };
                 for value in chosen {
-                    if Self::renderable(subj_scope, subj, &value) {
+                    if self.renderable(subj_scope, subj, &value) {
                         out.push(vec![pin(subj_scope, subj, value)]);
                     }
                 }
             }
             DepKind::CpdControl | DepKind::CcdControl => {
                 let Some(Endpoint::Param(obj_ref)) = &d.object else { return Vec::new() };
-                let Some(obj_scope) = in_scope(&obj_ref.component) else { return Vec::new() };
+                let Some(obj_scope) = self.scope.scope_of(&obj_ref.component) else {
+                    return Vec::new();
+                };
                 let obj = crate::constraint::registry_name(&obj_ref.component, &obj_ref.param);
                 let engage = |solver: &Self, component: &str, param: &str| -> TypedValue {
-                    let is_valued = component == "mke2fs"
-                        && (mkfs_option(param).is_some()
-                            || param == "journal_size"
-                            || param == "resize_headroom");
+                    let is_valued = component == solver.scope.create_component
+                        && (solver.scope.valued_opt(param).is_some()
+                            || solver.scope.keyed_opt(param).is_some()
+                            || solver.scope.is_operand(param));
                     let registry_int = matches!(
                         solver.spec(component, param),
                         Some(ParamSpec { param_type: ParamType::Int { .. } | ParamType::Size, .. })
                     );
-                    if is_valued || (component == "mount" && registry_int) {
+                    if is_valued || (component == solver.scope.mount_component && registry_int) {
                         TypedValue::Int(solver.engage_int(component, param))
                     } else {
                         TypedValue::Bool(true)
@@ -556,7 +679,7 @@ impl<'a> Solver<'a> {
                     }
                 }
                 out.retain(|pins| {
-                    pins.iter().all(|p| Self::renderable(p.component, &p.param, &p.value))
+                    pins.iter().all(|p| self.renderable(p.component, &p.param, &p.value))
                 });
             }
             // value couplings and behavioural CCDs have no static
@@ -564,7 +687,7 @@ impl<'a> Solver<'a> {
             DepKind::CpdValue | DepKind::CcdValue | DepKind::CcdBehavioral => {}
         }
         out.retain(|pins| {
-            pins.iter().all(|p| Self::renderable(p.component, &p.param, &p.value))
+            pins.iter().all(|p| self.renderable(p.component, &p.param, &p.value))
         });
         out
     }
@@ -600,7 +723,7 @@ impl<'a> Solver<'a> {
                     continue;
                 }
                 let d = &c.dependency;
-                let subj_scope = match in_scope(&d.subject.component) {
+                let subj_scope = match self.scope.scope_of(&d.subject.component) {
                     Some(s) => s,
                     None => continue,
                 };
@@ -611,8 +734,11 @@ impl<'a> Solver<'a> {
                         if is_pinned(subj_scope, subj) {
                             continue;
                         }
-                        let cfg =
-                            if subj_scope == "mke2fs" { &mut solved.mkfs } else { &mut solved.mount };
+                        let cfg = if subj_scope == self.scope.create_component {
+                            &mut solved.mkfs
+                        } else {
+                            &mut solved.mount
+                        };
                         if let Some(&TypedValue::Int(v)) = cfg.get(subj) {
                             let clamped = v.clamp(
                                 d.detail.min.unwrap_or(i64::MIN),
@@ -638,8 +764,8 @@ impl<'a> Solver<'a> {
                             Some("boolean" | "bool" | "flag") => TypedValue::Bool(true),
                             _ => continue,
                         };
-                        if Self::renderable(subj_scope, subj, &repaired) {
-                            let cfg = if subj_scope == "mke2fs" {
+                        if self.renderable(subj_scope, subj, &repaired) {
+                            let cfg = if subj_scope == self.scope.create_component {
                                 &mut solved.mkfs
                             } else {
                                 &mut solved.mount
@@ -650,7 +776,9 @@ impl<'a> Solver<'a> {
                     }
                     DepKind::CpdControl | DepKind::CcdControl => {
                         let Some(Endpoint::Param(obj_ref)) = &d.object else { continue };
-                        let Some(obj_scope) = in_scope(&obj_ref.component) else { continue };
+                        let Some(obj_scope) = self.scope.scope_of(&obj_ref.component) else {
+                            continue;
+                        };
                         let obj =
                             crate::constraint::registry_name(&obj_ref.component, &obj_ref.param);
                         // prefer repairing through the object, then the
@@ -662,7 +790,7 @@ impl<'a> Solver<'a> {
                             if is_pinned(scope, param) {
                                 continue;
                             }
-                            let cfg = if scope == "mke2fs" {
+                            let cfg = if scope == self.scope.create_component {
                                 &mut solved.mkfs
                             } else {
                                 &mut solved.mount
@@ -738,6 +866,7 @@ impl<'a> Solver<'a> {
     /// registry does not — the feature mutation vocabulary.
     pub fn feature_pool(&self, component: &str) -> Vec<String> {
         let mut pool: Vec<String> = self
+            .scope
             .registry
             .iter()
             .filter(|s| {
@@ -853,6 +982,21 @@ mod tests {
         for (sig, polarity) in &targets {
             let solved = solver.solve_signature(sig, *polarity).expect("target solvable");
             assert!(solved.render().is_some(), "{sig} {polarity} unrenderable");
+        }
+    }
+
+    #[test]
+    fn ext4_scope_reproduces_the_default_solver() {
+        let set = compiled();
+        let default = Solver::new(&set);
+        let scoped = Solver::with_scope(&set, SolverScope::ext4());
+        let dt = default.witness_targets();
+        let st = scoped.witness_targets();
+        assert_eq!(dt.len(), st.len());
+        for ((di, dp, ds), (si, sp, ss)) in dt.iter().zip(st.iter()) {
+            assert_eq!((di, dp), (si, sp));
+            assert_eq!(ds, ss);
+            assert_eq!(ds.render(), ss.render_with(scoped.scope()));
         }
     }
 

@@ -6,12 +6,9 @@
 //! issue. The paper found 12 such issues from the 59 true dependencies;
 //! this module reproduces them.
 
-use confdep::{
-    extract_scenario, is_true_dependency, models, ConstraintSet, Dependency, DocVerdict,
-    ExtractOptions,
-};
-use e2fstools::manual::{DocConstraint, ManualPage};
-use e2fstools::{e2fsck, e4defrag, mke2fs, mount_cmd, resize2fs};
+use confdep::{is_true_dependency, ConstraintSet, Dependency, DocVerdict};
+use e2fstools::manual::ManualPage;
+use ecosys::Ecosystem;
 use serde::{Deserialize, Serialize};
 
 /// What is wrong with the documentation.
@@ -34,49 +31,14 @@ pub struct DocIssue {
     pub kind: DocIssueKind,
 }
 
-/// The kernel-side documentation for the ext4 module knobs
-/// (Documentation/admin-guide + sysfs docs): it documents the knobs'
-/// types, and a range only for `mb_stream_req` — the
-/// `inode_readahead_blks` power-of-two/limit constraint is one of the
-/// paper's missing-documentation findings.
+/// The kernel-side documentation for the ext4 module knobs — now owned
+/// by the registry layer ([`ecosys::ext4_kernel_doc`]); re-exported
+/// here for the established call sites.
 pub fn ext4_kernel_doc() -> ManualPage {
-    ManualPage {
-        component: "ext4".to_string(),
-        synopsis: "/sys/fs/ext4/<disk>/...".to_string(),
-        description: "Tunables of the ext4 kernel module.".to_string(),
-        options: vec![
-            e2fstools::manual::ManualOption::valued(
-                "inode_readahead_blks",
-                "n",
-                "Tuning parameter which controls the maximum number of inode table blocks that ext4's inode table readahead algorithm will pre-read.",
-            )
-            .with(DocConstraint::DataType { param: "inode_readahead_blks".into(), ty: "int".into() }),
-            // GAP(paper): the power-of-two/upper-bound constraint is
-            // enforced in code but absent here.
-            e2fstools::manual::ManualOption::valued(
-                "mb_stream_req",
-                "n",
-                "Files smaller than this number of blocks use group preallocation; at most 1048576.",
-            )
-            .with(DocConstraint::DataType { param: "mb_stream_req".into(), ty: "int".into() })
-            .with(DocConstraint::ValueRange { param: "mb_stream_req".into(), min: 0, max: 1_048_576 }),
-        ],
-    }
+    ecosys::ext4_kernel_doc()
 }
 
-fn manual_for(component: &str) -> Option<ManualPage> {
-    match component {
-        "mke2fs" => Some(mke2fs::manual()),
-        "mount" => Some(mount_cmd::manual()),
-        "resize2fs" => Some(resize2fs::manual()),
-        "e2fsck" => Some(e2fsck::manual()),
-        "e4defrag" => Some(e4defrag::manual()),
-        "ext4" => Some(ext4_kernel_doc()),
-        _ => None,
-    }
-}
-
-/// Runs ConDocCk over the full ecosystem: extract dependencies, compile
+/// Runs ConDocCk over the Ext4 ecosystem: extract dependencies, compile
 /// them into constraints, keep the true ones, and report every
 /// constraint whose [`ConstraintSet`] documentation verdict is not
 /// `Documented`.
@@ -85,12 +47,25 @@ fn manual_for(component: &str) -> Option<ManualPage> {
 ///
 /// Returns [`confdep::ConfdepError`] if a model fails to compile.
 pub fn run_condocck() -> Result<Vec<DocIssue>, confdep::ConfdepError> {
-    let constraints =
-        ConstraintSet::compile(extract_scenario(&models::all(), ExtractOptions::default())?);
-    let pages: Vec<ManualPage> = ["mke2fs", "mount", "ext4", "e4defrag", "resize2fs", "e2fsck"]
-        .iter()
-        .filter_map(|c| manual_for(c))
-        .collect();
+    run_condocck_for(&ecosys::ext4())
+}
+
+/// Runs ConDocCk over any registered ecosystem: the checker logic is
+/// unchanged; the constraint set and the manual corpus come from the
+/// ecosystem descriptor.
+///
+/// # Errors
+///
+/// Returns [`confdep::ConfdepError`] if a model fails to compile.
+pub fn run_condocck_for(eco: &Ecosystem) -> Result<Vec<DocIssue>, confdep::ConfdepError> {
+    let constraints = eco.constraints()?;
+    let pages = eco.doc_corpus();
+    Ok(doc_issues(&constraints, &pages))
+}
+
+/// The shared checker core: every *true* compiled dependency whose
+/// documentation verdict over `pages` is not `Documented`.
+fn doc_issues(constraints: &ConstraintSet, pages: &[ManualPage]) -> Vec<DocIssue> {
     let page_refs: Vec<&ManualPage> = pages.iter().collect();
     let mut issues = Vec::new();
     for c in constraints.constraints() {
@@ -108,7 +83,7 @@ pub fn run_condocck() -> Result<Vec<DocIssue>, confdep::ConfdepError> {
             kind,
         });
     }
-    Ok(issues)
+    issues
 }
 
 #[cfg(test)]
@@ -171,11 +146,37 @@ mod tests {
 
     #[test]
     fn every_component_has_a_manual() {
+        let corpus = ecosys::ext4().doc_corpus();
         for c in ["mke2fs", "mount", "ext4", "e4defrag", "resize2fs", "e2fsck"] {
-            assert!(manual_for(c).is_some(), "{c} lacks a manual");
+            assert!(corpus.iter().any(|p| p.component == c), "{c} lacks a manual");
         }
-        assert!(manual_for("xfs").is_none());
         let issues = run_condocck().unwrap();
         assert!(issues.iter().all(|i| i.kind == DocIssueKind::Missing));
+    }
+
+    #[test]
+    fn f2fs_corpus_yields_documentation_issues_too() {
+        // the f2fs manuals carry deliberate gaps (the zone cap, the
+        // extra_attr prerequisites, the discard CCD, the -y/-n
+        // conflict) — the unchanged checker must surface them
+        let issues = run_condocck_for(&ecosys::f2fs()).unwrap();
+        assert!(issues.len() >= 5, "only {} f2fs issues", issues.len());
+        assert!(issues.iter().all(|i| i.kind == DocIssueKind::Missing));
+        // the casefold/encrypt conflict is enforced at format time but
+        // stated by no manual
+        assert!(issues
+            .iter()
+            .any(|i| i.dependency.signature() == "CpdControl|mkfs_f2fs|casefold~encrypt"));
+        // the documented norecovery→ro requirement must NOT be flagged
+        assert!(issues
+            .iter()
+            .all(|i| i.dependency.signature() != "CpdControl|f2fs|norecovery~ro"));
+    }
+
+    #[test]
+    fn ext4_kernel_doc_is_the_registry_layer_page() {
+        let page = ext4_kernel_doc();
+        assert_eq!(page.component, "ext4");
+        assert!(page.option("inode_readahead_blks").is_some());
     }
 }

@@ -288,6 +288,149 @@ pub fn run_conhandleck() -> Vec<ViolationOutcome> {
     out
 }
 
+/// Formats a standard 32 MiB f2fs image with the given extra
+/// `mkfs.f2fs` arguments.
+pub fn standard_f2fs_image(extra: &[&str]) -> MemDevice {
+    let mut argv: Vec<&str> = extra.to_vec();
+    argv.push("/dev/sim");
+    let m = f2fstools::MkfsF2fs::from_args(&argv).expect("valid base invocation");
+    m.run(MemDevice::new(4096, 8192)).expect("base format succeeds").0
+}
+
+/// The violation-injection cases of the F2FS ecosystem, run through the
+/// same [`Handling`] taxonomy as the ext4 cases. Every case is keyed by
+/// the compiled constraint's signature from the f2fs extraction — a
+/// missing constraint is a bug, not a silent fallback.
+pub fn run_conhandleck_f2fs() -> Vec<ViolationOutcome> {
+    use f2fstools::{F2fsMount, FsckF2fs, MkfsF2fs};
+
+    let constraints = ecosys::f2fs().constraints().expect("f2fs models compile");
+    let sig = |s: &str| -> String {
+        constraints
+            .find(s)
+            .unwrap_or_else(|| panic!("dependency {s} not in the compiled f2fs set"))
+            .signature()
+            .to_string()
+    };
+    let mut out = Vec::new();
+    let mut push = |id: u32, dependency: String, description: &str, handling: Handling| {
+        out.push(ViolationOutcome {
+            case: ViolationCase { id, dependency, description: description.to_string() },
+            handling,
+        });
+    };
+
+    // 1. SD: segments per section beyond the 1..=128 range
+    push(
+        1,
+        sig("SdValueRange|mkfs_f2fs:segs_per_sec"),
+        "mkfs.f2fs -s 129 (beyond the 128 maximum)",
+        graceful(MkfsF2fs::from_args(&["-s", "129", "/dev/sim"]).map(|_| ())),
+    );
+
+    // 2. SD: overprovision beyond 50%
+    push(
+        2,
+        sig("SdValueRange|mkfs_f2fs:overprovision"),
+        "mkfs.f2fs -o 51 (beyond the 50% maximum)",
+        graceful(MkfsF2fs::from_args(&["-o", "51", "/dev/sim"]).map(|_| ())),
+    );
+
+    // 3. CPD: the 1024-segment zone cap couples -s and -z
+    push(
+        3,
+        sig("CpdValue|mkfs_f2fs|secs_per_zone~segs_per_sec"),
+        "mkfs.f2fs -s 128 -z 16 (2048-segment zones)",
+        {
+            let m = MkfsF2fs::from_args(&["-s", "128", "-z", "16", "/dev/sim"])
+                .expect("parses at CLI level");
+            graceful(m.run(MemDevice::new(4096, 8192)).map(|_| ()))
+        },
+    );
+
+    // 4. CPD: compression requires extra_attr
+    push(
+        4,
+        sig("CpdControl|mkfs_f2fs|compression~extra_attr"),
+        "mkfs.f2fs -O compression without extra_attr",
+        {
+            let m = MkfsF2fs::from_args(&["-O", "compression", "/dev/sim"])
+                .expect("parses at CLI level");
+            graceful(m.run(MemDevice::new(4096, 8192)).map(|_| ()))
+        },
+    );
+
+    // 5. CPD: casefold conflicts with encrypt
+    push(
+        5,
+        sig("CpdControl|mkfs_f2fs|casefold~encrypt"),
+        "mkfs.f2fs -O casefold,encrypt",
+        {
+            let mut cfg = TypedConfig::new("mkfs_f2fs");
+            cfg.set_bool("casefold", true);
+            cfg.set_bool("encrypt", true);
+            assert_violates(&constraints, "CpdControl|mkfs_f2fs|casefold~encrypt", &[&cfg]);
+            let m = MkfsF2fs::from_args(&["-O", "casefold,encrypt", "/dev/sim"])
+                .expect("parses at CLI level");
+            graceful(m.run(MemDevice::new(4096, 8192)).map(|_| ()))
+        },
+    );
+
+    // 6. CCD: mount -o discard against a -t 0 image
+    push(
+        6,
+        sig("CcdValue|mkfs_f2fs:discard_policy|f2fs:discard"),
+        "mount -o discard on an image formatted with -t 0",
+        {
+            let dev = standard_f2fs_image(&["-t", "0"]);
+            let m = F2fsMount::from_option_string("discard").expect("discard parses");
+            graceful(m.run(dev).map(|_| ()))
+        },
+    );
+
+    // 7. CCD: compress_algorithm without the compression feature
+    push(
+        7,
+        sig("CcdControl|mkfs_f2fs:compression|f2fs:compress_algorithm"),
+        "mount -o compress_algorithm=lz4 on a plain image",
+        {
+            let dev = standard_f2fs_image(&[]);
+            let m = F2fsMount::from_option_string("compress_algorithm=lz4").expect("parses");
+            graceful(m.run(dev).map(|_| ()))
+        },
+    );
+
+    // 8. CPD: norecovery requires a read-only mount
+    push(
+        8,
+        sig("CpdControl|f2fs|norecovery~ro"),
+        "mount -o norecovery without ro",
+        graceful(F2fsMount::from_option_string("norecovery").map(|_| ())),
+    );
+
+    // 9. CCD: a writable mount of an -O ro image
+    push(
+        9,
+        sig("CcdControl|mkfs_f2fs:ro_feature|f2fs:ro"),
+        "writable mount of an image carrying the ro feature",
+        {
+            let dev = standard_f2fs_image(&["-O", "ro"]);
+            let m = F2fsMount::from_option_string("").expect("empty options parse");
+            graceful(m.run(dev).map(|_| ()))
+        },
+    );
+
+    // 10. CPD: fsck.f2fs -y conflicts with -n
+    push(
+        10,
+        sig("CpdControl|fsck_f2fs|dry_run~fix"),
+        "fsck.f2fs -y -n /dev/sim",
+        graceful(FsckF2fs::from_args(&["-y", "-n", "/dev/sim"]).map(|_| ())),
+    );
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +490,38 @@ mod tests {
     #[test]
     fn twelve_cases_executed() {
         assert_eq!(run_conhandleck().len(), 12);
+    }
+
+    #[test]
+    fn f2fs_violations_are_all_handled_gracefully() {
+        // the second ecosystem turns out clean: every injected
+        // violation is rejected up front with an informative error
+        let outcomes = run_conhandleck_f2fs();
+        assert_eq!(outcomes.len(), 10);
+        for o in &outcomes {
+            match &o.handling {
+                Handling::Graceful { error } => {
+                    assert!(!error.is_empty(), "case {} has an empty error", o.case.id);
+                }
+                other => panic!(
+                    "f2fs case {} ({}) was not graceful: {other:?}",
+                    o.case.id, o.case.description
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn f2fs_cases_span_the_dependency_taxonomy() {
+        let outcomes = run_conhandleck_f2fs();
+        let has = |prefix: &str| outcomes.iter().any(|o| o.case.dependency.starts_with(prefix));
+        assert!(has("Sd"), "no self dependency case");
+        assert!(has("Cpd"), "no cross-parameter case");
+        assert!(has("Ccd"), "no cross-component case");
+        // cases violate compiled constraints from both CLI tools and
+        // the mount surface
+        assert!(outcomes.iter().any(|o| o.case.dependency.contains("mkfs_f2fs")));
+        assert!(outcomes.iter().any(|o| o.case.dependency.contains("fsck_f2fs")));
+        assert!(outcomes.iter().any(|o| o.case.dependency.contains("|f2fs|")));
     }
 }

@@ -33,9 +33,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use blockdev::{store_context, ImageDigest, VerdictStore};
-use confdep::solve::{Polarity, SolvedConfig, Solver};
+use confdep::solve::{Polarity, SolvedConfig, Solver, SolverScope};
 use confdep::{ConstraintSet, Verdict};
-use e2fstools::typed::TypedValue;
+use e2fstools::typed::{TypedConfig, TypedValue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -46,6 +46,78 @@ use crate::pool::parallel_map;
 /// Store context tag: campaign semantics version. Bump on any change to
 /// the executor or the state-key format.
 const STORE_CONTEXT: &str = "conbugck/fuzz/v1";
+
+/// Everything ecosystem-specific the fuzz loop needs: how a
+/// [`GeneratedConfig`] is typed, executed, bred, and which solver scope
+/// renders candidates. The campaign itself — seeding, dedup, the
+/// verdict store, coverage accounting — is ecosystem-agnostic and runs
+/// unchanged over any harness.
+///
+/// All fields are plain function pointers so a harness is a `'static`
+/// value with no captured state; [`Harness::ext4`] reproduces the
+/// original single-ecosystem campaign bit for bit (same store context,
+/// same state fingerprints, same RNG consumption).
+pub struct Harness {
+    /// Ecosystem label (`"ext4"`, `"f2fs"`).
+    pub name: &'static str,
+    /// Verdict-store context tag; distinct per ecosystem so memoized
+    /// verdicts can never cross substrates.
+    pub store_context: &'static str,
+    /// The solver scope generating and rendering candidates.
+    pub scope: fn() -> SolverScope,
+    /// The lenient typed views of a candidate's two invocation halves.
+    pub typed: fn(&GeneratedConfig) -> (TypedConfig, TypedConfig),
+    /// The end-to-end executor (format → mount → workload → check).
+    pub execute: fn(&GeneratedConfig) -> RunDepth,
+    /// Whether a config may join the mutation corpus (cost gate).
+    pub cheap_parent: fn(&GeneratedConfig) -> bool,
+    /// One mutation step over the solver's value pools.
+    pub mutate: fn(&Solver<'_>, &mut StdRng, &GeneratedConfig) -> GeneratedConfig,
+}
+
+impl Harness {
+    /// The Ext4 harness — the original ConBugCk fuzz campaign.
+    pub fn ext4() -> Self {
+        Harness {
+            name: "ext4",
+            store_context: STORE_CONTEXT,
+            scope: SolverScope::ext4,
+            typed: ext4_typed,
+            execute,
+            cheap_parent,
+            mutate,
+        }
+    }
+
+    /// The F2FS harness (see [`crate::f2fs`]).
+    pub fn f2fs() -> Self {
+        crate::f2fs::harness()
+    }
+
+    /// Canonical whole-configuration state key under this harness's
+    /// typed views — the store/memoization identity. Equals
+    /// [`GeneratedConfig::state_key`] for the ext4 harness.
+    pub fn state_key(&self, cfg: &GeneratedConfig) -> String {
+        let (create, mount) = (self.typed)(cfg);
+        format!("{}|{}", create.canonical_key(), mount.canonical_key())
+    }
+
+    /// FNV-1a fingerprint of [`Harness::state_key`]. Byte-identical to
+    /// [`GeneratedConfig::state_id`] for the ext4 harness, so existing
+    /// persistent stores stay warm across the refactor.
+    pub fn state_id(&self, cfg: &GeneratedConfig) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in self.state_key(cfg).as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+fn ext4_typed(cfg: &GeneratedConfig) -> (TypedConfig, TypedConfig) {
+    cfg.typed()
+}
 
 /// Corpus cap: the mutation pool keeps at most this many states.
 const CORPUS_CAP: usize = 64;
@@ -141,19 +213,32 @@ impl PolarityCoverage {
     /// (the state contributed coverage). A no-op once the universe is
     /// saturated.
     pub fn observe(&mut self, solver: &Solver<'_>, config: &GeneratedConfig) -> bool {
+        let (mkfs, mount) = config.typed();
+        self.observe_views(solver, &mkfs, &mount)
+    }
+
+    /// [`PolarityCoverage::observe`] over already-computed typed views —
+    /// the harness-agnostic entry point ([`fuzz_campaign_with`] types
+    /// candidates through its [`Harness`], not through the ext4 lenient
+    /// parsers baked into [`GeneratedConfig::typed`]).
+    pub fn observe_views(
+        &mut self,
+        solver: &Solver<'_>,
+        mkfs: &TypedConfig,
+        mount: &TypedConfig,
+    ) -> bool {
         if self.complete() {
             return false;
         }
-        let (mkfs, mount) = config.typed();
         let mut contributed = false;
         for (i, c) in solver.constraints().constraints().iter().enumerate() {
-            match c.evaluate(&[&mkfs, &mount]) {
+            match c.evaluate(&[mkfs, mount]) {
                 Verdict::Satisfied => {
                     contributed |= self.cover((i, Polarity::Satisfy));
                     let boundary = (i, Polarity::Boundary);
                     if self.witnesses.contains_key(&boundary)
                         && !self.covered.contains(&boundary)
-                        && solver.hits(c, Polarity::Boundary, &mkfs, &mount)
+                        && solver.hits(c, Polarity::Boundary, mkfs, mount)
                     {
                         self.covered.insert(boundary);
                         contributed = true;
@@ -304,15 +389,30 @@ pub struct FuzzOutcome {
     pub verdicts: BTreeMap<u64, RunDepth>,
 }
 
-/// Runs one fuzz campaign over the compiled constraint set.
+/// Runs one fuzz campaign over the compiled constraint set — the
+/// original ext4 entry point, now a thin wrapper over
+/// [`fuzz_campaign_with`] and [`Harness::ext4`].
 pub fn fuzz_campaign(set: &ConstraintSet, opts: &FuzzOptions) -> FuzzOutcome {
-    let solver = Solver::new(set);
+    fuzz_campaign_with(set, opts, &Harness::ext4())
+}
+
+/// Runs one fuzz campaign over the compiled constraint set of the
+/// ecosystem the harness drives. The `Aware`/`Naive` strategies draw
+/// from the legacy ext4 value tables regardless of the harness (they
+/// exist as ablation baselines); cross-ecosystem campaigns should use
+/// [`Strategy::Solver`], which generates from the harness's scope.
+pub fn fuzz_campaign_with(
+    set: &ConstraintSet,
+    opts: &FuzzOptions,
+    harness: &Harness,
+) -> FuzzOutcome {
+    let solver = Solver::with_scope(set, (harness.scope)());
     let mut coverage = PolarityCoverage::new(&solver);
     let store: VerdictStore<RunDepth> = match &opts.store_path {
         Some(path) => VerdictStore::open(path),
         None => VerdictStore::in_memory(true),
     };
-    let ctx = store_context(STORE_CONTEXT);
+    let ctx = store_context(harness.store_context);
     let start = Instant::now();
 
     let mut verdicts: BTreeMap<u64, RunDepth> = BTreeMap::new();
@@ -328,7 +428,7 @@ pub fn fuzz_campaign(set: &ConstraintSet, opts: &FuzzOptions) -> FuzzOutcome {
     for round in 0..opts.rounds {
         let batch: Vec<GeneratedConfig> = match opts.strategy {
             Strategy::Solver => {
-                solver_round(&solver, &coverage, &corpus, &mut rng, opts.batch, round)
+                solver_round(&solver, &coverage, &corpus, &mut rng, opts.batch, round, harness)
             }
             Strategy::Aware => {
                 aware.as_mut().expect("aware generator initialised").generate(opts.batch)
@@ -344,26 +444,27 @@ pub fn fuzz_campaign(set: &ConstraintSet, opts: &FuzzOptions) -> FuzzOutcome {
         let mut fresh: Vec<(u64, GeneratedConfig)> = Vec::new();
         let mut in_batch: BTreeSet<u64> = BTreeSet::new();
         for cfg in batch {
-            let id = cfg.state_id();
+            let id = harness.state_id(&cfg);
             if !verdicts.contains_key(&id) && in_batch.insert(id) {
                 fresh.push((id, cfg));
             }
         }
 
         let results = parallel_map(fresh, opts.threads, |_, (id, cfg)| {
-            let key = (ImageDigest::of_bytes(cfg.state_key().as_bytes()), ctx);
-            let depth = store.get_or_compute(key, || execute(&cfg));
+            let key = (ImageDigest::of_bytes(harness.state_key(&cfg).as_bytes()), ctx);
+            let depth = store.get_or_compute(key, || (harness.execute)(&cfg));
             (id, cfg, depth)
         });
 
         for (id, cfg, depth) in results {
             verdicts.insert(id, depth);
-            let contributed = coverage.observe(&solver, &cfg);
+            let (create, mount) = (harness.typed)(&cfg);
+            let contributed = coverage.observe_views(&solver, &create, &mount);
             // mutants inherit every value they don't touch, so an
             // expensive parent spawns expensive descendants for the
             // rest of the campaign — only cheap configs breed
             if (depth == RunDepth::Deep || contributed)
-                && cheap_parent(&cfg)
+                && (harness.cheap_parent)(&cfg)
                 && corpus.len() < CORPUS_CAP
                 && corpus_ids.insert(id)
             {
@@ -438,10 +539,11 @@ fn solver_round(
     rng: &mut StdRng,
     batch: usize,
     round: usize,
+    harness: &Harness,
 ) -> Vec<GeneratedConfig> {
     let mut out: Vec<GeneratedConfig> = Vec::new();
     for solved in coverage.uncovered_witnesses() {
-        if let Some(cfg) = to_generated(solved) {
+        if let Some(cfg) = to_generated(solver, solved) {
             out.push(cfg);
         }
     }
@@ -450,7 +552,7 @@ fn solver_round(
         // mutation loop has something to chew on
         if let Some(first) = solver.constraints().constraints().first() {
             if let Some(solved) = solver.solve(first, Polarity::Satisfy) {
-                out.extend(to_generated(&solved));
+                out.extend(to_generated(solver, &solved));
             }
         }
     }
@@ -463,14 +565,15 @@ fn solver_round(
         } else {
             corpus[rng.gen_range(0..corpus.len())].clone()
         };
-        out.push(mutate(solver, rng, &parent));
+        out.push((harness.mutate)(solver, rng, &parent));
     }
     out
 }
 
-/// Converts a solved assignment to the generator's config shape.
-fn to_generated(solved: &SolvedConfig) -> Option<GeneratedConfig> {
-    let (mkfs_args, mount_opts) = solved.render()?;
+/// Converts a solved assignment to the generator's config shape,
+/// rendering through the solver's own scope.
+pub(crate) fn to_generated(solver: &Solver<'_>, solved: &SolvedConfig) -> Option<GeneratedConfig> {
+    let (mkfs_args, mount_opts) = solved.render_with(solver.scope())?;
     Some(GeneratedConfig { mkfs_args, mount_opts })
 }
 
@@ -567,7 +670,7 @@ fn mutate(solver: &Solver<'_>, rng: &mut StdRng, parent: &GeneratedConfig) -> Ge
             }
         }
     }
-    to_generated(&solved).unwrap_or_else(|| parent.clone())
+    to_generated(solver, &solved).unwrap_or_else(|| parent.clone())
 }
 
 #[cfg(test)]
@@ -629,6 +732,19 @@ mod tests {
             assert!(r.unique_verdicts <= r.generated);
             // the table-driven generators cannot reach every polarity
             assert!(r.coverage_covered < r.coverage_universe, "{strategy} covered everything");
+        }
+    }
+
+    #[test]
+    fn ext4_harness_state_identity_matches_generated_config() {
+        // the refactor's compatibility pin: the harness's generic state
+        // key/fingerprint must be byte-identical to the hard-coded ext4
+        // ones, so existing persistent stores stay warm
+        let h = Harness::ext4();
+        let mut gen = ConBugCk::new(11).expect("models compile");
+        for cfg in gen.generate(32) {
+            assert_eq!(h.state_key(&cfg), cfg.state_key());
+            assert_eq!(h.state_id(&cfg), cfg.state_id());
         }
     }
 

@@ -19,6 +19,7 @@
 pub mod conbugck;
 pub mod condocck;
 pub mod conhandleck;
+pub mod f2fs;
 pub mod fuzz;
 pub mod pool;
 
@@ -26,6 +27,13 @@ pub use conbugck::{
     campaign, campaign_parallel, coverage, execute, execute_with_policy, generate_naive, ConBugCk,
     ConfigCampaign, CoverageStats, GeneratedConfig, RunDepth,
 };
-pub use condocck::{ext4_kernel_doc, run_condocck, DocIssue, DocIssueKind};
-pub use fuzz::{fuzz_campaign, FuzzOptions, FuzzOutcome, FuzzReport, PolarityCoverage, Strategy};
-pub use conhandleck::{run_conhandleck, standard_image, Handling, ViolationCase, ViolationOutcome};
+pub use condocck::{ext4_kernel_doc, run_condocck, run_condocck_for, DocIssue, DocIssueKind};
+pub use conhandleck::{
+    run_conhandleck, run_conhandleck_f2fs, standard_f2fs_image, standard_image, Handling,
+    ViolationCase, ViolationOutcome,
+};
+pub use f2fs::execute_f2fs;
+pub use fuzz::{
+    fuzz_campaign, fuzz_campaign_with, FuzzOptions, FuzzOutcome, FuzzReport, Harness,
+    PolarityCoverage, Strategy,
+};

@@ -270,23 +270,30 @@ impl ValidationEngine {
     /// Proposes a minimal satisfying assignment for a violating query.
     ///
     /// Two passes: first [`Solver::repair`] propagates the compiled
-    /// constraints over the `mke2fs`/`mount` halves (SD ranges clamp,
-    /// data types coerce, control pairs disengage — touching only
-    /// parameters that engage a violated constraint), then any
-    /// still-violated constraint is disengaged by removing its subject
-    /// parameter. Removal can never create a violation (an absent
-    /// value is `NotApplicable` for every constraint kind), so the
-    /// loop converges to a clean state.
+    /// constraints over the plan ecosystem's create/mount halves (SD
+    /// ranges clamp, data types coerce, control pairs disengage —
+    /// touching only parameters that engage a violated constraint),
+    /// then any still-violated constraint is disengaged by removing
+    /// its subject parameter. Removal can never create a violation (an
+    /// absent value is `NotApplicable` for every constraint kind), so
+    /// the loop converges to a clean state.
     pub fn repair(&self, query: &ConfigQuery) -> RepairProposal {
         let mut configs = query.configs.clone();
-        let solver = Solver::new(self.plan.constraints());
-        // the solver's propagation works on the mkfs/mount state shape;
-        // splice those halves through it when the query carries them
-        let mkfs_at = configs.iter().position(|c| c.component == "mke2fs");
-        let mount_at = configs.iter().position(|c| c.component == "mount");
+        // the propagation pass runs in the plan ecosystem's solver
+        // scope: the right component names, registry, and renderers —
+        // an f2fs plan repairs mkfs_f2fs/f2fs halves, not mke2fs/mount
+        let eco = self.plan.ecosystem();
+        let solver = Solver::with_scope(self.plan.constraints(), eco.solver_scope());
+        // the solver's propagation works on the create/mount state
+        // shape; splice those halves through it when the query carries
+        // them
+        let mkfs_at = configs.iter().position(|c| c.component == eco.create_component);
+        let mount_at = configs.iter().position(|c| c.component == eco.mount_component);
         let mut solved = SolvedConfig {
-            mkfs: mkfs_at.map_or_else(|| TypedConfig::new("mke2fs"), |i| configs[i].clone()),
-            mount: mount_at.map_or_else(|| TypedConfig::new("mount"), |i| configs[i].clone()),
+            mkfs: mkfs_at
+                .map_or_else(|| TypedConfig::new(eco.create_component), |i| configs[i].clone()),
+            mount: mount_at
+                .map_or_else(|| TypedConfig::new(eco.mount_component), |i| configs[i].clone()),
         };
         solver.repair(&mut solved);
         if let Some(i) = mkfs_at {
@@ -462,5 +469,84 @@ mod tests {
         let proposal = engine.repair(&q);
         assert!(proposal.clean);
         assert!(proposal.changes.is_empty(), "{:?}", proposal.changes);
+    }
+
+    fn f2fs_engine(options: EngineOptions) -> ValidationEngine {
+        let eco = ecosys::f2fs();
+        let plan = Arc::new(ValidationPlan::compile_for(eco.constraints().unwrap(), eco));
+        ValidationEngine::new(plan, options)
+    }
+
+    #[test]
+    fn f2fs_engine_validates_explains_and_repairs() {
+        // the serving layer is ecosystem-agnostic end to end: an f2fs
+        // plan validates a tagged f2fs query, explains the violation
+        // with the f2fs manual corpus's verdict, and repairs it in the
+        // f2fs solver scope
+        let engine = f2fs_engine(EngineOptions::serving());
+        let eco = ecosys::f2fs();
+        let q = ConfigQuery::parse_line_for(&eco, "-O casefold,encrypt | ro").unwrap();
+        let outcome = engine.validate(&q);
+        assert!(!outcome.ok());
+        let explanations = engine.explain(&q);
+        let e = explanations
+            .iter()
+            .find(|e| e.signature == "CpdControl|mkfs_f2fs|casefold~encrypt")
+            .expect("casefold/encrypt conflict explained");
+        assert_eq!(e.kind, "CPD:Control");
+        // the conflict is enforced at format time but stated by no
+        // f2fs manual — the corpus verdict must say so
+        assert_eq!(e.doc, DocVerdict::Missing);
+        let proposal = engine.repair(&q);
+        assert!(proposal.clean);
+        assert!(!proposal.changes.is_empty());
+        assert!(proposal.changes.iter().all(|c| c.component.contains("f2fs")),
+            "repair touched a non-f2fs component: {:?}", proposal.changes);
+        let repaired = ConfigQuery::tagged("f2fs", proposal.configs);
+        assert!(engine.validate(&repaired).ok());
+    }
+
+    #[test]
+    fn memo_entries_never_cross_ecosystems() {
+        // two queries with byte-identical configs but different tags
+        // must occupy distinct memo slots: warming one leaves the
+        // other cold
+        let engine = f2fs_engine(EngineOptions::serving());
+        let configs = vec![TypedConfig::new("mkfs_f2fs"), TypedConfig::new("f2fs")];
+        let a = ConfigQuery::tagged("f2fs", configs.clone());
+        let b = ConfigQuery::tagged("ext4", configs.clone());
+        let untagged = ConfigQuery::new(configs);
+        assert!(!engine.validate(&a).memo_hit);
+        assert!(engine.validate(&a).memo_hit, "same tag must re-hit");
+        assert!(!engine.validate(&b).memo_hit, "different tag must miss");
+        assert!(!engine.validate(&untagged).memo_hit, "untagged must miss both");
+    }
+
+    #[test]
+    fn cross_fs_agreement_violations_are_explained() {
+        // the ≥1 cross-ecosystem CCD of the acceptance criteria, served
+        // through validate/explain: divergent errors= policies across
+        // the two mount components
+        let plan =
+            Arc::new(ValidationPlan::compile_for(ecosys::cross_fs_constraints(), ecosys::ext4()));
+        let engine = ValidationEngine::new(plan, EngineOptions::serving());
+        let mut ext4_mnt = TypedConfig::new("mount");
+        let mut f2fs_mnt = TypedConfig::new("f2fs");
+        ext4_mnt.set_str("errors", "remount-ro");
+        f2fs_mnt.set_str("errors", "panic");
+        let q = ConfigQuery::new(vec![ext4_mnt.clone(), f2fs_mnt.clone()]);
+        let outcome = engine.validate(&q);
+        assert!(!outcome.ok());
+        let explanations = engine.explain(&q);
+        let e = explanations
+            .iter()
+            .find(|e| e.signature == "CcdControl|mount:errors|f2fs:errors")
+            .expect("errors= agreement CCD explained");
+        assert_eq!(e.kind, "CCD:Control");
+        assert!(e.dependency.contains("errors"));
+        // agreeing policies validate clean
+        f2fs_mnt.set_str("errors", "remount-ro");
+        let ok = ConfigQuery::new(vec![ext4_mnt, f2fs_mnt]);
+        assert!(engine.validate(&ok).ok());
     }
 }

@@ -36,6 +36,18 @@
 //! bit-identical to evaluating every constraint directly with
 //! [`confdep::Constraint::evaluate`] — the property `repro_service` and
 //! `tests/validation_engine.rs` enforce.
+//!
+//! The engine is ecosystem-agnostic: [`ValidationPlan::compile_for`]
+//! builds a plan for any registered [`ecosys::Ecosystem`] (doc
+//! verdicts from that ecosystem's manual corpus, repair in its solver
+//! scope), and [`ConfigQuery::tagged`] / [`ConfigQuery::from_cli_for`]
+//! fold the ecosystem name into the canonical state key and FNV
+//! fingerprint, so memo entries can never collide across ecosystems.
+//! Untagged queries and [`ValidationPlan::compile`] keep the original
+//! ext4 identity bytes exactly. The cross-ecosystem agreement
+//! constraints ([`ecosys::cross_fs_constraints`]) compile into the
+//! same plan machinery — "must agree" control pairs violate when the
+//! two mount components set a shared parameter to different values.
 
 pub mod engine;
 pub mod memo;

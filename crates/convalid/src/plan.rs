@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use confdep::constraint::registry_name;
 use confdep::{ConstraintSet, DepKind, DocVerdict, Endpoint, Verdict};
 use e2fstools::typed::{TypedConfig, TypedValue};
+use ecosys::Ecosystem;
 use serde::{Deserialize, Serialize};
 
 use crate::query::ConfigQuery;
@@ -39,6 +40,10 @@ pub struct PairEntry {
     pub o_param: String,
     /// `true` for a requirement, `false` for mutual exclusion.
     pub requires: bool,
+    /// `true` for a cross-ecosystem agreement pair (the "must agree"
+    /// relation of the shared-mount-parameter CCDs): both ends engaged
+    /// must carry equal values.
+    pub agrees: bool,
     /// `true` when the pair spans two components (CCD).
     pub cross_component: bool,
 }
@@ -74,9 +79,22 @@ impl Shape {
     }
 }
 
+/// How a control pair relates its two ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairMode {
+    /// Subject engaged requires the object engaged.
+    Requires,
+    /// Subject and object engaged together is the violation.
+    Excludes,
+    /// Both ends present must carry *equal* values — the cross-
+    /// ecosystem "must agree" relation of the shared-mount-parameter
+    /// CCDs.
+    Agrees,
+}
+
 /// One constraint lowered to its pre-resolved executable form. The
 /// evaluation of each variant reproduces `Constraint::evaluate` for
-/// the corresponding kind exactly — same first-matching-component
+/// the corresponding kind exactly — same falls-through-duplicates
 /// value lookup, same predicates, same verdicts.
 #[derive(Debug, Clone)]
 enum Check {
@@ -97,7 +115,7 @@ enum Check {
         s_param: String,
         o_component: String,
         o_param: String,
-        requires: bool,
+        mode: PairMode,
     },
     /// Statically inert: value couplings, behavioural CCDs, data-type
     /// constraints with no required type, control pairs with no
@@ -105,11 +123,15 @@ enum Check {
     Inert,
 }
 
-/// The first matching component's value — the exact lookup rule of
-/// `Constraint::evaluate` (first config whose `component` matches,
-/// then the registry-named parameter within it).
+/// The exact value-lookup rule of `Constraint::evaluate`: walk every
+/// config whose `component` matches and take the first that holds the
+/// registry-named parameter. Falling through duplicate components
+/// matters once a query can carry more than one config per component
+/// (or configs from two ecosystems): stopping at the first match — the
+/// plan's original single-ecosystem shortcut — would silently diverge
+/// from the direct path.
 fn lookup<'a>(views: &[&'a TypedConfig], component: &str, param: &str) -> Option<&'a TypedValue> {
-    views.iter().find(|c| c.component == component).and_then(|c| c.get(param))
+    views.iter().filter(|c| c.component == component).find_map(|c| c.get(param))
 }
 
 /// Whether a typed value counts as "engaged" for control pairs —
@@ -148,14 +170,20 @@ impl Check {
                 }
                 None => Verdict::NotApplicable,
             },
-            Check::Pair { s_component, s_param, o_component, o_param, requires } => {
+            Check::Pair { s_component, s_param, o_component, o_param, mode } => {
                 let (Some(s), Some(o)) =
                     (lookup(views, s_component, s_param), lookup(views, o_component, o_param))
                 else {
                     return Verdict::NotApplicable;
                 };
+                if *mode == PairMode::Agrees {
+                    return if s == o { Verdict::Satisfied } else { Verdict::Violated };
+                }
                 let (s_on, o_on) = (engaged(s), engaged(o));
-                let conflict = if *requires { s_on && !o_on } else { s_on && o_on };
+                let conflict = match mode {
+                    PairMode::Requires => s_on && !o_on,
+                    _ => s_on && o_on,
+                };
                 if conflict {
                     Verdict::Violated
                 } else {
@@ -174,6 +202,10 @@ impl Check {
 #[derive(Debug)]
 pub struct ValidationPlan {
     set: ConstraintSet,
+    /// The ecosystem the plan serves: its manual corpus supplies the
+    /// precomputed documentation verdicts, and its solver scope drives
+    /// the repair propagation.
+    eco: Ecosystem,
     checks: Vec<Check>,
     /// component → registry parameter → positions of the checks that
     /// read that parameter as their *subject*. Two nested maps so the
@@ -184,10 +216,20 @@ pub struct ValidationPlan {
 }
 
 impl ValidationPlan {
-    /// Compiles the serving plan: lower each constraint to its check,
-    /// build the inverted parameter index and the control-pair table,
-    /// and precompute every constraint's manual-corpus verdict.
+    /// Compiles the serving plan over the Ext4 ecosystem — the original
+    /// single-ecosystem entry point, byte-compatible with every
+    /// established call site.
     pub fn compile(set: ConstraintSet) -> Self {
+        ValidationPlan::compile_for(set, ecosys::ext4())
+    }
+
+    /// Compiles the serving plan for one registered ecosystem: lower
+    /// each constraint to its check, build the inverted parameter index
+    /// and the control-pair table, and precompute every constraint's
+    /// verdict against the *ecosystem's* manual corpus. The constraint
+    /// set need not come from the ecosystem's own models — the
+    /// cross-ecosystem agreement set compiles here too.
+    pub fn compile_for(set: ConstraintSet, eco: Ecosystem) -> Self {
         let mut checks = Vec::with_capacity(set.len());
         let mut by_param: HashMap<String, HashMap<String, Vec<u32>>> = HashMap::new();
         let mut pairs = Vec::new();
@@ -238,7 +280,14 @@ impl ValidationPlan {
                 DepKind::CpdControl | DepKind::CcdControl => match &d.object {
                     Some(Endpoint::Param(o)) => {
                         let o_param = registry_name(&o.component, &o.param).to_string();
-                        let requires = d.detail.relation.as_deref() == Some("requires");
+                        let relation = d.detail.relation.as_deref();
+                        let mode = if relation.is_some_and(|r| r.contains("must agree")) {
+                            PairMode::Agrees
+                        } else if relation == Some("requires") {
+                            PairMode::Requires
+                        } else {
+                            PairMode::Excludes
+                        };
                         // a pair engages only when *both* ends hold a
                         // value, so indexing under the subject alone
                         // triggers it whenever it can be non-inert
@@ -249,7 +298,8 @@ impl ValidationPlan {
                             s_param: s_param.clone(),
                             o_component: o.component.clone(),
                             o_param: o_param.clone(),
-                            requires,
+                            requires: mode == PairMode::Requires,
+                            agrees: mode == PairMode::Agrees,
                             cross_component: d.kind == DepKind::CcdControl,
                         });
                         Check::Pair {
@@ -257,7 +307,7 @@ impl ValidationPlan {
                             s_param,
                             o_component: o.component.clone(),
                             o_param,
-                            requires,
+                            mode,
                         }
                     }
                     _ => Check::Inert,
@@ -266,16 +316,23 @@ impl ValidationPlan {
             };
             checks.push(check);
         }
-        let components = e2fstools::ecosystem();
-        let manuals: Vec<_> = components.iter().map(|c| c.manual_page()).collect();
+        // the ecosystem's ConDocCk corpus — the same pages the doc
+        // checker reads, so an explanation's doc verdict agrees with
+        // `run_condocck_for` over the same dependency
+        let manuals = eco.doc_corpus();
         let pages: Vec<&e2fstools::ManualPage> = manuals.iter().collect();
         let docs = set.constraints().iter().map(|c| c.doc_verdict(&pages)).collect();
-        ValidationPlan { set, checks, by_param, pairs, docs }
+        ValidationPlan { set, eco, checks, by_param, pairs, docs }
     }
 
     /// The underlying compiled constraint set.
     pub fn constraints(&self) -> &ConstraintSet {
         &self.set
+    }
+
+    /// The ecosystem the plan was compiled for.
+    pub fn ecosystem(&self) -> Ecosystem {
+        self.eco
     }
 
     /// Number of constraints in the plan.
@@ -317,13 +374,13 @@ impl ValidationPlan {
     /// Equivalence with [`ValidationPlan::evaluate_naive`] holds by
     /// construction: a constraint can only evaluate to something other
     /// than `NotApplicable` when its subject parameter has a value in
-    /// the first config matching its component (ranges and types need
-    /// the subject value; control pairs need the subject *and* object
-    /// values) — and any such query triggers the constraint through
-    /// the inverted index. Spuriously triggered checks (parameter set
-    /// on a later duplicate component, object-only pairs) evaluate
-    /// with the same first-matching-component lookup the direct path
-    /// uses, so they land on `NotApplicable` identically.
+    /// *some* config matching its component (ranges and types need the
+    /// subject value; control pairs need the subject *and* object
+    /// values). The index walk visits every config of the query —
+    /// duplicate components included — so any such query triggers the
+    /// constraint. Spuriously triggered checks (object-only pairs)
+    /// evaluate with the same falls-through-duplicates lookup the
+    /// direct path uses, so they land on `NotApplicable` identically.
     pub fn evaluate_indexed(&self, query: &ConfigQuery) -> (Vec<Verdict>, usize) {
         let views = query.views();
         let mut verdicts = vec![Verdict::NotApplicable; self.checks.len()];
@@ -405,5 +462,84 @@ mod tests {
         let any_documented =
             (0..p.len()).any(|i| p.doc_verdict(i) == confdep::DocVerdict::Documented);
         assert!(any_documented);
+    }
+
+    #[test]
+    fn doc_verdicts_use_the_ecosystem_corpus() {
+        // the plan reads the same corpus as ConDocCk, which carries the
+        // ext4 kernel page — so an ext4-subject constraint must never
+        // report NoManual
+        let p = plan();
+        for (i, c) in p.constraints().constraints().iter().enumerate() {
+            if c.dependency.subject.component == "ext4" {
+                assert_ne!(
+                    p.doc_verdict(i),
+                    DocVerdict::NoManual,
+                    "{} fell back to NoManual despite the kernel page",
+                    c.signature()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_falls_through_duplicate_components() {
+        // regression: the indexed path used to stop at the *first*
+        // config matching a constraint's component, while the direct
+        // path falls through duplicates — a query carrying an empty
+        // `mke2fs` view before a populated one diverged
+        let p = plan();
+        let empty = TypedConfig::new("mke2fs");
+        let mut populated = TypedConfig::new("mke2fs");
+        populated.set_int("blocksize", 99); // violates the 1024..=65536 range
+        let q = ConfigQuery::new(vec![empty, populated, TypedConfig::new("mount")]);
+        let (naive, _) = p.evaluate_naive(&q.views());
+        let (indexed, evaluated) = p.evaluate_indexed(&q);
+        assert_eq!(naive, indexed, "indexed diverged on duplicate components");
+        assert!(evaluated > 0);
+        assert!(naive.contains(&Verdict::Violated), "the range violation must surface");
+    }
+
+    #[test]
+    fn cross_fs_agreement_set_compiles_and_serves() {
+        // the cross-ecosystem shared-mount-parameter CCDs flow through
+        // the same plan machinery: "must agree" pairs violate exactly
+        // when both ends hold *different* values, on both eval paths
+        let p = ValidationPlan::compile_for(ecosys::cross_fs_constraints(), ecosys::ext4());
+        assert!(!p.is_empty());
+        assert!(p.pairs().iter().all(|row| row.agrees && row.cross_component));
+        let mut ext4_mnt = TypedConfig::new("mount");
+        let mut f2fs_mnt = TypedConfig::new("f2fs");
+        ext4_mnt.set_bool("discard", true);
+        f2fs_mnt.set_bool("discard", false);
+        let q = ConfigQuery::new(vec![ext4_mnt.clone(), f2fs_mnt.clone()]);
+        let (naive, _) = p.evaluate_naive(&q.views());
+        let (indexed, _) = p.evaluate_indexed(&q);
+        assert_eq!(naive, indexed, "must-agree pairs diverged between eval paths");
+        assert!(naive.contains(&Verdict::Violated), "divergent discard must violate");
+        // agreement satisfies
+        f2fs_mnt.set_bool("discard", true);
+        let q = ConfigQuery::new(vec![ext4_mnt, f2fs_mnt]);
+        let (naive, _) = p.evaluate_naive(&q.views());
+        let (indexed, _) = p.evaluate_indexed(&q);
+        assert_eq!(naive, indexed);
+        assert!(!naive.contains(&Verdict::Violated));
+        assert!(naive.contains(&Verdict::Satisfied));
+    }
+
+    #[test]
+    fn f2fs_plan_serves_the_second_ecosystem() {
+        let eco = ecosys::f2fs();
+        let p = ValidationPlan::compile_for(eco.constraints().unwrap(), eco);
+        assert!(p.len() >= 25, "only {} f2fs constraints", p.len());
+        assert_eq!(p.ecosystem().name, "f2fs");
+        // the casefold/encrypt format-time conflict must violate on
+        // both paths for a tagged f2fs query
+        let q = ConfigQuery::parse_line_for(&eco, "-O casefold,encrypt | ro").unwrap();
+        let (naive, full) = p.evaluate_naive(&q.views());
+        let (indexed, evaluated) = p.evaluate_indexed(&q);
+        assert_eq!(naive, indexed);
+        assert!(evaluated < full, "indexed evaluated {evaluated} of {full}");
+        assert!(naive.contains(&Verdict::Violated));
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::OnceLock;
 
 use e2fstools::typed::TypedConfig;
+use ecosys::Ecosystem;
 use serde::{Deserialize, Serialize};
 
 /// One validation query: the typed configurations of a
@@ -10,15 +11,27 @@ use serde::{Deserialize, Serialize};
 /// the `mount` option string, but any component set works).
 ///
 /// The query carries its own canonical identity — the concatenated
-/// [`TypedConfig::canonical_key`]s — and an FNV-1a fingerprint of it,
-/// the key the sharded memo shards and indexes by. Like the fuzz
-/// corpus's `GeneratedConfig::state_id`, the fingerprint is computed
-/// once and travels with the query (clones included), so repeated
-/// serving of the same state never re-hashes it.
+/// [`TypedConfig::canonical_key`]s, prefixed with the ecosystem tag
+/// when one is set — and an FNV-1a fingerprint of it, the key the
+/// sharded memo shards and indexes by. Like the fuzz corpus's
+/// `GeneratedConfig::state_id`, the fingerprint is computed once and
+/// travels with the query (clones included), so repeated serving of
+/// the same state never re-hashes it.
+///
+/// Untagged queries (the original single-ecosystem shape) keep their
+/// exact historical identity: the state key, the fingerprint, and the
+/// serialized wire format are byte-identical to before the ecosystem
+/// tag existed. Tagged queries fold the tag into all three, so two
+/// ecosystems whose typed views happen to render the same canonical
+/// keys can never share a memo entry.
 #[derive(Debug, Clone)]
 pub struct ConfigQuery {
     /// The component configurations, one per component.
     pub configs: Vec<TypedConfig>,
+    /// The ecosystem this state belongs to, when the caller serves more
+    /// than one (`None` preserves the original single-ecosystem
+    /// identity bytes).
+    ecosystem: Option<String>,
     /// Lazily-computed, clone-carried FNV fingerprint. May go stale if
     /// `configs` is mutated after the first [`ConfigQuery::fingerprint`]
     /// call — safe regardless, because the memo compares stored queries
@@ -29,31 +42,58 @@ pub struct ConfigQuery {
 
 impl PartialEq for ConfigQuery {
     fn eq(&self, other: &Self) -> bool {
-        self.configs == other.configs
+        self.ecosystem == other.ecosystem && self.configs == other.configs
     }
 }
 
 impl Eq for ConfigQuery {}
 
-// Keep the wire format of the former derive: `{"configs": [...]}`.
-// The cached fingerprint is recomputed on demand after deserialisation.
+// Keep the wire format of the former derive: `{"configs": [...]}`. The
+// `ecosystem` key is emitted only when a tag is set, so untagged
+// queries serialize byte-identically to the pre-tag format. The cached
+// fingerprint is recomputed on demand after deserialisation.
 impl Serialize for ConfigQuery {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Map(vec![("configs".to_string(), self.configs.to_value())])
+        let mut entries = vec![("configs".to_string(), self.configs.to_value())];
+        if let Some(eco) = &self.ecosystem {
+            entries.push(("ecosystem".to_string(), serde::Value::Str(eco.clone())));
+        }
+        serde::Value::Map(entries)
     }
 }
 
 impl<'de> Deserialize<'de> for ConfigQuery {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         let configs = serde::__private::map_field(value, "configs")?;
-        Ok(ConfigQuery::new(Vec::<TypedConfig>::from_value(configs)?))
+        let mut query = ConfigQuery::new(Vec::<TypedConfig>::from_value(configs)?);
+        if let Some(eco) = serde::__private::opt_map_field(value, "ecosystem")? {
+            query.ecosystem = Some(String::from_value(eco)?);
+        }
+        Ok(query)
     }
 }
 
 impl ConfigQuery {
-    /// A query over pre-built typed configurations.
+    /// A query over pre-built typed configurations, untagged — the
+    /// original single-ecosystem identity.
     pub fn new(configs: Vec<TypedConfig>) -> Self {
-        ConfigQuery { configs, fingerprint: OnceLock::new() }
+        ConfigQuery { configs, ecosystem: None, fingerprint: OnceLock::new() }
+    }
+
+    /// A query tagged with the ecosystem it belongs to. The tag becomes
+    /// part of the canonical state key and the FNV fingerprint, so memo
+    /// entries of different ecosystems can never collide.
+    pub fn tagged(ecosystem: &str, configs: Vec<TypedConfig>) -> Self {
+        ConfigQuery {
+            configs,
+            ecosystem: Some(ecosystem.to_string()),
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// The ecosystem tag, when one is set.
+    pub fn ecosystem(&self) -> Option<&str> {
+        self.ecosystem.as_deref()
     }
 
     /// A query from the concrete CLI surface: raw `mke2fs` arguments
@@ -66,21 +106,34 @@ impl ConfigQuery {
         ])
     }
 
+    /// [`ConfigQuery::from_cli`] for any registered ecosystem: the
+    /// create arguments and mount options are lowered through the
+    /// ecosystem's own lenient views (the same parsers its solver scope
+    /// re-keys rendered states with), and the query is tagged with the
+    /// ecosystem's name.
+    pub fn from_cli_for(eco: &Ecosystem, create_args: &[String], mount_opts: &str) -> Self {
+        let scope = eco.solver_scope();
+        ConfigQuery::tagged(
+            eco.name,
+            vec![(scope.parse_create)(create_args), (scope.parse_mount)(mount_opts)],
+        )
+    }
+
     /// Parses one batch-file line: `<mke2fs args> | <mount opts>`, e.g.
     /// `-b 1024 -O meta_bg,resize_inode | data=journal,commit=5`. The
     /// `|` separator (and the mount half) may be omitted; blank lines
     /// and `#` comments yield `None`.
     pub fn parse_line(line: &str) -> Option<Self> {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            return None;
-        }
-        let (mkfs_part, mount_part) = match line.split_once('|') {
-            Some((m, o)) => (m.trim(), o.trim()),
-            None => (line, ""),
-        };
-        let args: Vec<String> = mkfs_part.split_whitespace().map(str::to_string).collect();
+        let (args, mount_part) = split_line(line)?;
         Some(ConfigQuery::from_cli(&args, mount_part))
+    }
+
+    /// [`ConfigQuery::parse_line`] against a specific ecosystem: same
+    /// line format (`<create args> | <mount opts>`), lowered through
+    /// the ecosystem's lenient views and tagged with its name.
+    pub fn parse_line_for(eco: &Ecosystem, line: &str) -> Option<Self> {
+        let (args, mount_part) = split_line(line)?;
+        Some(ConfigQuery::from_cli_for(eco, &args, mount_part))
     }
 
     /// Borrowed views in component order — the shape
@@ -90,11 +143,16 @@ impl ConfigQuery {
     }
 
     /// The canonical identity string: every config's canonical key,
-    /// `;`-joined in the order given. Used for display, dedup, and
-    /// debugging; the memo's hot path hashes the same byte stream via
+    /// `;`-joined in the order given, prefixed `<ecosystem>#` when the
+    /// query is tagged. Used for display, dedup, and debugging; the
+    /// memo's hot path hashes the same byte stream via
     /// [`ConfigQuery::fingerprint`] without rendering this string.
     pub fn state_key(&self) -> String {
         let mut key = String::new();
+        if let Some(eco) = &self.ecosystem {
+            key.push_str(eco);
+            key.push('#');
+        }
         for (i, cfg) in self.configs.iter().enumerate() {
             if i > 0 {
                 key.push(';');
@@ -112,6 +170,12 @@ impl ConfigQuery {
     pub fn fingerprint(&self) -> u64 {
         *self.fingerprint.get_or_init(|| {
             let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            if let Some(eco) = &self.ecosystem {
+                for b in eco.bytes().chain(std::iter::once(b'#')) {
+                    hash ^= u64::from(b);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
             for (i, cfg) in self.configs.iter().enumerate() {
                 if i > 0 {
                     hash ^= u64::from(b';');
@@ -124,6 +188,21 @@ impl ConfigQuery {
     }
 }
 
+/// Splits one batch line into `(create argv, mount half)`; `None` for
+/// blanks and `#` comments.
+fn split_line(line: &str) -> Option<(Vec<String>, &str)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (create_part, mount_part) = match line.split_once('|') {
+        Some((m, o)) => (m.trim(), o.trim()),
+        None => (line, ""),
+    };
+    let args: Vec<String> = create_part.split_whitespace().map(str::to_string).collect();
+    Some((args, mount_part))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +210,18 @@ mod tests {
     #[test]
     fn fingerprint_matches_keyed_hash() {
         let q = ConfigQuery::parse_line("-b 1024 -O extent | data=journal").unwrap();
+        let direct = q.state_key().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        assert_eq!(q.fingerprint(), direct);
+    }
+
+    #[test]
+    fn tagged_fingerprint_matches_keyed_hash_too() {
+        // the fingerprint == FNV(state_key) invariant holds with the
+        // ecosystem prefix folded in
+        let q = ConfigQuery::parse_line_for(&ecosys::f2fs(), "-o 10 | discard").unwrap();
+        assert!(q.state_key().starts_with("f2fs#"));
         let direct = q.state_key().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
         });
@@ -161,5 +252,48 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         let c = ConfigQuery::parse_line("-m 6 -b 1024 | ro").unwrap();
         assert_ne!(a.state_key(), c.state_key());
+    }
+
+    #[test]
+    fn untagged_identity_and_wire_format_are_the_pre_tag_bytes() {
+        // the single-ecosystem shape is pinned: no tag in the state
+        // key, the fingerprint is the plain FNV of the joined keys, and
+        // the wire format is exactly `{"configs": [...]}`
+        let q = ConfigQuery::parse_line("-b 1024 -O extent | data=journal").unwrap();
+        assert!(q.ecosystem().is_none());
+        assert!(!q.state_key().contains('#'));
+        let serde::Value::Map(entries) = q.to_value() else { panic!("not a map") };
+        assert_eq!(entries.len(), 1, "untagged wire format grew a key: {entries:?}");
+        assert_eq!(entries[0].0, "configs");
+        let json = serde_json::to_string(&q).unwrap();
+        assert!(json.starts_with("{\"configs\":"), "{json}");
+        assert!(!json.contains("ecosystem"), "{json}");
+    }
+
+    #[test]
+    fn ecosystem_tag_changes_key_and_fingerprint() {
+        let untagged = ConfigQuery::parse_line("-b 1024 | ro").unwrap();
+        let tagged = ConfigQuery::tagged("ext4", untagged.configs.clone());
+        assert_ne!(untagged, tagged);
+        assert_ne!(untagged.state_key(), tagged.state_key());
+        assert_ne!(untagged.fingerprint(), tagged.fingerprint());
+        assert_eq!(tagged.state_key(), format!("ext4#{}", untagged.state_key()));
+        // two different tags over the same configs diverge as well
+        let other = ConfigQuery::tagged("f2fs", untagged.configs.clone());
+        assert_ne!(tagged.fingerprint(), other.fingerprint());
+        assert_ne!(tagged, other);
+    }
+
+    #[test]
+    fn tagged_queries_roundtrip_through_serde() {
+        let q = ConfigQuery::parse_line_for(&ecosys::f2fs(), "-s 2 | ro,discard").unwrap();
+        assert_eq!(q.ecosystem(), Some("f2fs"));
+        assert_eq!(q.configs[0].component, "mkfs_f2fs");
+        assert_eq!(q.configs[1].component, "f2fs");
+        let json = serde_json::to_string(&q).unwrap();
+        assert!(json.contains("\"ecosystem\":\"f2fs\""), "{json}");
+        let back: ConfigQuery = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.fingerprint(), q.fingerprint());
     }
 }

@@ -2829,7 +2829,7 @@ mod tests {
         let mut sealed = 0usize;
         for i in 0..ops {
             let f = fs.create_file(ROOT_INODE, &format!("f{i}")).unwrap();
-            fs.write_file(f, 0, &vec![i as u8 + 1; 200]).unwrap();
+            fs.write_file(f, 0, &[i as u8 + 1; 200]).unwrap();
             if fs.sync().unwrap() {
                 sealed += 1;
             }

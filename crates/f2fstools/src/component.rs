@@ -1,0 +1,398 @@
+//! The f2fs ecosystem behind the [`Component`] trait.
+//!
+//! The five utilities of the simulated `f2fs-tools` suite (plus the
+//! mount surface) plug into the *same* object-safe trait as the ext4
+//! ecosystem, so every checker upstream of the trait hosts both file
+//! systems without code changes. Component names use the underscore
+//! spellings (`mkfs_f2fs`, ...); [`component`] also resolves the dotted
+//! real-world forms (`mkfs.f2fs`).
+
+use blockdev::MemDevice;
+use e2fstools::component::{Component, RunOutcome};
+use e2fstools::manual::ManualPage;
+use e2fstools::params::ParamSpec;
+use e2fstools::typed::{TypedConfig, TypedValue};
+use e2fstools::ToolError;
+
+use crate::{dump, fsck, mkfs, mount, resize, sim};
+use crate::{DumpF2fs, F2fsMount, FsckF2fs, MkfsF2fs, ResizeF2fs};
+
+/// Renders one typed value as a raw CLI string.
+fn raw(v: &TypedValue) -> String {
+    match v {
+        TypedValue::Bool(b) => b.to_string(),
+        TypedValue::Int(i) => i.to_string(),
+        TypedValue::Str(s) => s.clone(),
+    }
+}
+
+struct MkfsF2fsComponent;
+
+impl Component for MkfsF2fsComponent {
+    fn name(&self) -> &'static str {
+        "mkfs_f2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        mkfs::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        mkfs::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        MkfsF2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        let mut features = Vec::new();
+        let mut sectors = None;
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("force", TypedValue::Bool(true)) => args.push("-f".to_string()),
+                ("quiet", TypedValue::Bool(true)) => args.push("-q".to_string()),
+                ("sector_size", v) => args.extend(["-w".to_string(), raw(v)]),
+                ("segs_per_sec", v) => args.extend(["-s".to_string(), raw(v)]),
+                ("secs_per_zone", v) => args.extend(["-z".to_string(), raw(v)]),
+                ("overprovision", v) => args.extend(["-o".to_string(), raw(v)]),
+                ("heap_alloc", v) => args.extend(["-a".to_string(), raw(v)]),
+                ("discard_policy", v) => args.extend(["-t".to_string(), raw(v)]),
+                ("debug_level", v) => args.extend(["-d".to_string(), raw(v)]),
+                ("label", v) => args.extend(["-l".to_string(), raw(v)]),
+                ("sectors", TypedValue::Int(n)) => sectors = Some(n.to_string()),
+                (feat, TypedValue::Bool(true)) if sim::FEATURES.contains(&feat) => {
+                    features.push(feat.to_string());
+                }
+                // `-O` has no `^feature` form: a disabled feature is
+                // validate-only
+                _ => return None,
+            }
+        }
+        if !features.is_empty() {
+            args.extend(["-O".to_string(), features.join(",")]);
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        args.extend(sectors);
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = MkfsF2fs::parse_typed(argv)?;
+        let (device, report) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "mkfs.f2fs: {} sectors, {} segments, overprovision {}%",
+                report.sectors, report.segment_count, report.overprovision
+            ),
+        })
+    }
+}
+
+struct F2fsMountComponent;
+
+impl Component for F2fsMountComponent {
+    fn name(&self) -> &'static str {
+        "f2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        mount::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        mount::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        F2fsMount::parse_typed(&argv.join(",")).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut tokens = Vec::new();
+        for (name, value) in &cfg.values {
+            match value {
+                TypedValue::Bool(true) => tokens.push(name.clone()),
+                // every f2fs boolean except norecovery has a real
+                // `no<name>` spelling ("nonorecovery" does not exist)
+                TypedValue::Bool(false)
+                    if name != "norecovery" && mount::is_bool_token(name) =>
+                {
+                    tokens.push(format!("no{name}"));
+                }
+                TypedValue::Int(i) if mount::INT_TOKENS.contains(&name.as_str()) => {
+                    tokens.push(format!("{name}={i}"));
+                }
+                TypedValue::Str(s)
+                    if mount::ENUM_TOKENS.iter().any(|(n, _)| n == name) =>
+                {
+                    tokens.push(format!("{name}={s}"));
+                }
+                _ => return None,
+            }
+        }
+        Some(tokens)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (cmd, _) = F2fsMount::parse_typed(&argv.join(","))?;
+        let fs = cmd.run(dev)?;
+        let readonly = fs.readonly();
+        let device = fs.unmount().map_err(|e| ToolError::Refused(e.to_string()))?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "f2fs: mounted {}, unmounted clean",
+                if readonly { "read-only" } else { "read-write" }
+            ),
+        })
+    }
+}
+
+struct FsckF2fsComponent;
+
+impl Component for FsckF2fsComponent {
+    fn name(&self) -> &'static str {
+        "fsck_f2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        fsck::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        fsck::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        FsckF2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("auto_fix", TypedValue::Bool(true)) => args.push("-a".to_string()),
+                ("force", TypedValue::Bool(true)) => args.push("-f".to_string()),
+                ("fix", TypedValue::Bool(true)) => args.push("-y".to_string()),
+                ("preen", TypedValue::Bool(true)) => args.push("-p".to_string()),
+                ("dry_run", TypedValue::Bool(true)) => args.push("-n".to_string()),
+                ("debug_level", v) => args.extend(["-d".to_string(), raw(v)]),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = FsckF2fs::parse_typed(argv)?;
+        let (device, report) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "fsck.f2fs: {} files, {}",
+                report.files,
+                if report.repaired {
+                    "repaired"
+                } else if report.clean_before {
+                    "clean"
+                } else {
+                    "dirty (unchanged)"
+                }
+            ),
+        })
+    }
+}
+
+struct ResizeF2fsComponent;
+
+impl Component for ResizeF2fsComponent {
+    fn name(&self) -> &'static str {
+        "resize_f2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        resize::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        resize::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        ResizeF2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("safe", TypedValue::Bool(true)) => args.push("-s".to_string()),
+                ("force", TypedValue::Bool(true)) => args.push("-f".to_string()),
+                ("target_sectors", v) => args.extend(["-t".to_string(), raw(v)]),
+                ("debug_level", v) => args.extend(["-d".to_string(), raw(v)]),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = ResizeF2fs::parse_typed(argv)?;
+        let (device, report) = tool.run(dev)?;
+        Ok(RunOutcome {
+            device,
+            summary: format!(
+                "resize.f2fs: {} -> {} sectors ({} segments)",
+                report.old_sectors, report.new_sectors, report.segment_count
+            ),
+        })
+    }
+}
+
+struct DumpF2fsComponent;
+
+impl Component for DumpF2fsComponent {
+    fn name(&self) -> &'static str {
+        "dump_f2fs"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        dump::param_table()
+    }
+
+    fn manual_page(&self) -> ManualPage {
+        dump::manual()
+    }
+
+    fn parse_config(&self, argv: &[&str]) -> Result<TypedConfig, ToolError> {
+        DumpF2fs::parse_typed(argv).map(|(_, cfg)| cfg)
+    }
+
+    fn render_args(&self, cfg: &TypedConfig) -> Option<Vec<String>> {
+        let mut args = Vec::new();
+        for (name, value) in &cfg.values {
+            match (name.as_str(), value) {
+                ("inspect_file", v) => args.extend(["-i".to_string(), raw(v)]),
+                ("segment", v) => args.extend(["-s".to_string(), raw(v)]),
+                ("block", v) => args.extend(["-b".to_string(), raw(v)]),
+                ("debug_level", v) => args.extend(["-d".to_string(), raw(v)]),
+                _ => return None,
+            }
+        }
+        args.push(cfg.operands.first().cloned().unwrap_or_else(|| "/dev/img".to_string()));
+        Some(args)
+    }
+
+    fn run(&self, argv: &[&str], dev: MemDevice) -> Result<RunOutcome, ToolError> {
+        let (tool, _) = DumpF2fs::parse_typed(argv)?;
+        let summary = tool.run(&dev)?;
+        Ok(RunOutcome { device: dev, summary })
+    }
+}
+
+/// All f2fs ecosystem components, in stage order (create → mount →
+/// offline).
+pub fn ecosystem() -> Vec<Box<dyn Component>> {
+    vec![
+        Box::new(MkfsF2fsComponent),
+        Box::new(F2fsMountComponent),
+        Box::new(FsckF2fsComponent),
+        Box::new(ResizeF2fsComponent),
+        Box::new(DumpF2fsComponent),
+    ]
+}
+
+/// Looks up an f2fs component by name, accepting both the underscore
+/// identifier (`mkfs_f2fs`) and the dotted real-world spelling
+/// (`mkfs.f2fs`).
+pub fn component(name: &str) -> Option<Box<dyn Component>> {
+    let canonical = name.replace('.', "_");
+    ecosystem().into_iter().find(|c| c.name() == canonical)
+}
+
+/// The full f2fs `ParamSpec` registry.
+///
+/// # Panics
+///
+/// Panics if two specs share a `(component, name)` pair — the same
+/// duplicate-registration guard as `e2fstools::registry`.
+pub fn registry() -> Vec<ParamSpec> {
+    let mut specs = Vec::new();
+    for c in ecosystem() {
+        specs.extend(c.param_specs());
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for spec in &specs {
+        assert!(
+            seen.insert((spec.component.clone(), spec.name.clone())),
+            "duplicate ParamSpec registration: {}:{}",
+            spec.component,
+            spec.name
+        );
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> MemDevice {
+        MemDevice::new(4096, 8192)
+    }
+
+    #[test]
+    fn registry_has_no_duplicates_and_covers_components() {
+        let specs = registry();
+        assert!(specs.len() >= 40);
+        for name in crate::COMPONENTS {
+            assert!(specs.iter().any(|s| s.component == name), "no specs for {name}");
+        }
+    }
+
+    #[test]
+    fn dotted_spellings_resolve() {
+        assert_eq!(component("mkfs.f2fs").unwrap().name(), "mkfs_f2fs");
+        assert_eq!(component("fsck_f2fs").unwrap().name(), "fsck_f2fs");
+        assert_eq!(component("f2fs").unwrap().name(), "f2fs");
+        assert!(component("mke2fs").is_none());
+    }
+
+    #[test]
+    fn full_lifecycle_through_the_trait() {
+        let mkfs = component("mkfs_f2fs").unwrap();
+        let out = mkfs.run(&["-O", "extra_attr", "/dev/x"], fresh()).unwrap();
+        let mount = component("f2fs").unwrap();
+        let out = mount.run(&["discard", "active_logs=4"], out.device).unwrap();
+        let fsck = component("fsck_f2fs").unwrap();
+        let out = fsck.run(&["-f", "/dev/x"], out.device).unwrap();
+        let resize = component("resize_f2fs").unwrap();
+        let out = resize.run(&["-t", "131072", "/dev/x"], out.device).unwrap();
+        let dump = component("dump_f2fs").unwrap();
+        let out = dump.run(&["/dev/x"], out.device).unwrap();
+        assert!(out.summary.contains("131072 sectors"));
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        for (name, argv) in [
+            ("mkfs_f2fs", vec!["-w", "4096", "-s", "2", "-O", "extra_attr", "/dev/x"]),
+            ("f2fs", vec!["ro", "active_logs=4", "background_gc=sync", "nobarrier"]),
+            ("fsck_f2fs", vec!["-a", "-d", "3", "/dev/x"]),
+            ("resize_f2fs", vec!["-s", "-t", "131072", "/dev/x"]),
+            ("dump_f2fs", vec!["-s", "3", "/dev/x"]),
+        ] {
+            let c = component(name).unwrap();
+            let cfg = c.parse_config(&argv).unwrap();
+            let rendered = c.render_args(&cfg).unwrap_or_else(|| panic!("{name} render"));
+            let rendered: Vec<&str> = rendered.iter().map(String::as_str).collect();
+            let reparsed = c.parse_config(&rendered).unwrap();
+            assert_eq!(cfg, reparsed, "round trip for {name}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! A simulated `dump.f2fs`: a read-only inspector for f2fs images.
+
+use blockdev::MemDevice;
+use e2fstools::cli::{self, CliError};
+use e2fstools::manual::{DocConstraint, ManualOption, ManualPage};
+use e2fstools::params::{ParamSpec, ParamType, Stage};
+use e2fstools::typed::TypedConfig;
+use e2fstools::ToolError;
+
+use crate::sim::{self, SEGMENT_BYTES};
+
+const FLAG_OPTS: [&str; 0] = [];
+const VALUE_OPTS: [&str; 4] = ["i", "s", "b", "d"];
+
+/// A parsed-and-validated `dump.f2fs` invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DumpF2fs {
+    /// `-i`: dump the named file's metadata.
+    pub inspect_file: Option<String>,
+    /// `-s`: dump one segment's summary.
+    pub segment: Option<u64>,
+    /// `-b`: dump one block.
+    pub block: Option<u64>,
+    /// `-d`: debug verbosity, 0..=10.
+    pub debug_level: u64,
+    /// The device operand.
+    pub device: String,
+}
+
+impl DumpF2fs {
+    /// Parses a `dump.f2fs` command line.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Cli`] for unknown options, bad values, and operand
+    /// problems.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let p = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
+        let mut d = DumpF2fs {
+            inspect_file: p.value("i").map(str::to_string),
+            segment: p.int_value("s")?,
+            block: p.int_value("b")?,
+            ..DumpF2fs::default()
+        };
+        if let Some(l) = p.int_value("d")? {
+            if l > 10 {
+                return Err(CliError::BadValue {
+                    option: "-d".to_string(),
+                    value: l.to_string(),
+                    expected: "between 0 and 10".to_string(),
+                }
+                .into());
+            }
+            d.debug_level = l;
+        }
+        match p.operands.len() {
+            1 => d.device = p.operands[0].clone(),
+            0 => return Err(CliError::BadOperands("device required".to_string()).into()),
+            _ => return Err(CliError::BadOperands("too many operands".to_string()).into()),
+        }
+        Ok(d)
+    }
+
+    /// [`DumpF2fs::from_args`] plus the canonical [`TypedConfig`]
+    /// lowering.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`DumpF2fs::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let d = Self::from_args(argv)?;
+        let mut cfg = TypedConfig::new("dump_f2fs");
+        if let Some(f) = &d.inspect_file {
+            cfg.set_str("inspect_file", f);
+        }
+        if let Some(s) = d.segment {
+            cfg.set_int("segment", s as i64);
+        }
+        if let Some(b) = d.block {
+            cfg.set_int("block", b as i64);
+        }
+        if d.debug_level != 0 {
+            cfg.set_int("debug_level", d.debug_level as i64);
+        }
+        cfg.operands.push(d.device.clone());
+        Ok((d, cfg))
+    }
+
+    /// Inspects the image on `dev`, never writing.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Refused`] for a missing image, a segment or block
+    /// outside the recorded geometry, or an unknown file.
+    pub fn run(&self, dev: &MemDevice) -> Result<String, ToolError> {
+        let sb = sim::read_superblock(dev).map_err(|e| ToolError::Refused(e.to_string()))?;
+        let mut out = format!(
+            "f2fs image '{}': {} sectors of {} bytes, {} segments, overprovision {}%, features [{}]",
+            sb.label,
+            sb.sectors,
+            sb.sector_size,
+            sb.segment_count,
+            sb.overprovision,
+            sb.features.join(","),
+        );
+        // geometry checks against the format-time configuration
+        if let Some(seg) = self.segment {
+            if seg >= sb.segment_count {
+                return Err(ToolError::Refused(format!(
+                    "segment {seg} is outside the image ({} segments)",
+                    sb.segment_count
+                )));
+            }
+            out.push_str(&format!("\nsegment {seg}: {SEGMENT_BYTES} bytes"));
+        }
+        if let Some(blk) = self.block {
+            let blocks = sb.segment_count * SEGMENT_BYTES / 4096;
+            if blk >= blocks {
+                return Err(ToolError::Refused(format!(
+                    "block {blk} is outside the image ({blocks} blocks)"
+                )));
+            }
+            out.push_str(&format!("\nblock {blk}: in segment {}", blk * 4096 / SEGMENT_BYTES));
+        }
+        if let Some(path) = &self.inspect_file {
+            match sb.files.get(path) {
+                Some(len) => out.push_str(&format!("\nfile {path}: {len} bytes")),
+                None => {
+                    return Err(ToolError::Refused(format!("no such file in image: {path}")));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The `dump.f2fs` parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "dump_f2fs";
+    vec![
+        ParamSpec::new(c, "inspect_file", ParamType::Str, Stage::Offline, "dump one file's metadata (-i)"),
+        ParamSpec::new(
+            c,
+            "segment",
+            ParamType::Int { min: 0, max: i64::MAX },
+            Stage::Offline,
+            "dump one segment summary (-s)",
+        ),
+        ParamSpec::new(
+            c,
+            "block",
+            ParamType::Int { min: 0, max: i64::MAX },
+            Stage::Offline,
+            "dump one block (-b)",
+        ),
+        ParamSpec::new(c, "debug_level", ParamType::Int { min: 0, max: 10 }, Stage::Offline, "debug verbosity (-d)"),
+    ]
+}
+
+/// The structured `dump.f2fs` manual page. That `-s`/`-b` must fall
+/// inside the *recorded* geometry (a cross-component fact) is a
+/// deliberate gap.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "dump_f2fs".to_string(),
+        synopsis: "dump.f2fs [-i file] [-s segment] [-b block] [-d level] device".to_string(),
+        description: "Inspect an f2fs image without modifying it.".to_string(),
+        options: vec![
+            ManualOption::valued("-i", "file", "Dump the named file's metadata."),
+            ManualOption::valued("-s", "segment", "Dump one segment's summary information.")
+                .with(DocConstraint::DataType { param: "segment".into(), ty: "integer".into() }),
+            // GAP(f2fs): -s/-b must be inside the geometry written by
+            // mkfs.f2fs — undocumented cross-component constraint.
+            ManualOption::valued("-b", "block", "Dump one block.")
+                .with(DocConstraint::DataType { param: "block".into(), ty: "integer".into() }),
+            ManualOption::valued("-d", "level", "Debug verbosity, between 0 and 10.")
+                .with(DocConstraint::DataType { param: "debug_level".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "debug_level".into(), min: 0, max: 10 }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mkfs::MkfsF2fs;
+    use crate::mount::F2fsMount;
+
+    fn image() -> MemDevice {
+        let m = MkfsF2fs::from_args(&["-l", "demo", "/dev/x"]).unwrap();
+        m.run(MemDevice::new(4096, 8192)).unwrap().0
+    }
+
+    #[test]
+    fn dumps_superblock_summary() {
+        let d = DumpF2fs::from_args(&["/dev/x"]).unwrap();
+        let out = d.run(&image()).unwrap();
+        assert!(out.contains("demo"));
+        assert!(out.contains("16 segments"));
+    }
+
+    #[test]
+    fn geometry_bounds_enforced() {
+        let dev = image();
+        assert!(DumpF2fs::from_args(&["-s", "15", "/dev/x"]).unwrap().run(&dev).is_ok());
+        assert!(DumpF2fs::from_args(&["-s", "16", "/dev/x"]).unwrap().run(&dev).is_err());
+        assert!(DumpF2fs::from_args(&["-b", "999999", "/dev/x"]).unwrap().run(&dev).is_err());
+    }
+
+    #[test]
+    fn inspects_files_written_through_mount() {
+        let mut fs = F2fsMount::from_option_string("").unwrap().run(image()).unwrap();
+        fs.create("/log").unwrap();
+        fs.write("/log", b"hello").unwrap();
+        let dev = fs.unmount().unwrap();
+        let out = DumpF2fs::from_args(&["-i", "/log", "/dev/x"]).unwrap().run(&dev).unwrap();
+        assert!(out.contains("5 bytes"));
+        assert!(DumpF2fs::from_args(&["-i", "/nope", "/dev/x"]).unwrap().run(&dev).is_err());
+    }
+
+    #[test]
+    fn typed_view_lowering() {
+        let (_, cfg) = DumpF2fs::parse_typed(&["-s", "3", "-d", "2", "/dev/x"]).unwrap();
+        assert_eq!(cfg.component, "dump_f2fs");
+        assert_eq!(cfg.get_int("segment"), Some(3));
+        assert_eq!(cfg.get_int("debug_level"), Some(2));
+    }
+}

@@ -1,0 +1,238 @@
+//! A simulated `fsck.f2fs`: the offline checker of the f2fs ecosystem.
+
+use blockdev::MemDevice;
+use e2fstools::cli::{self, CliError};
+use e2fstools::manual::{DocConstraint, ManualOption, ManualPage};
+use e2fstools::params::{ParamSpec, ParamType, Stage};
+use e2fstools::typed::TypedConfig;
+use e2fstools::ToolError;
+
+use crate::sim;
+
+const FLAG_OPTS: [&str; 5] = ["a", "f", "y", "p", "n"];
+const VALUE_OPTS: [&str; 1] = ["d"];
+
+/// A parsed-and-validated `fsck.f2fs` invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckF2fs {
+    /// `-a`: fix automatically, without prompting.
+    pub auto_fix: bool,
+    /// `-f`: check even a clean image.
+    pub force: bool,
+    /// `-y`: answer yes to every repair.
+    pub fix: bool,
+    /// `-p`: preen mode (safe fixes only).
+    pub preen: bool,
+    /// `-n`: dry run, change nothing.
+    pub dry_run: bool,
+    /// `-d`: debug verbosity, 0..=10.
+    pub debug_level: u64,
+    /// The device operand.
+    pub device: String,
+}
+
+/// What a check run concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Whether the image was clean before the run.
+    pub clean_before: bool,
+    /// Whether the run wrote a repaired superblock.
+    pub repaired: bool,
+    /// Number of files in the image.
+    pub files: u64,
+}
+
+impl FsckF2fs {
+    /// Parses a `fsck.f2fs` command line.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Cli`] for unknown options, bad values, the `-y`/`-n`
+    /// conflict, and missing/extra operands.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let p = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
+        let mut f = FsckF2fs {
+            auto_fix: p.has_flag("a"),
+            force: p.has_flag("f"),
+            fix: p.has_flag("y"),
+            preen: p.has_flag("p"),
+            dry_run: p.has_flag("n"),
+            ..FsckF2fs::default()
+        };
+        if f.fix && f.dry_run {
+            return Err(CliError::Conflict { a: "-y".to_string(), b: "-n".to_string() }.into());
+        }
+        if f.preen && f.fix {
+            return Err(CliError::Conflict { a: "-p".to_string(), b: "-y".to_string() }.into());
+        }
+        if let Some(d) = p.int_value("d")? {
+            if d > 10 {
+                return Err(CliError::BadValue {
+                    option: "-d".to_string(),
+                    value: d.to_string(),
+                    expected: "between 0 and 10".to_string(),
+                }
+                .into());
+            }
+            f.debug_level = d;
+        }
+        match p.operands.len() {
+            1 => f.device = p.operands[0].clone(),
+            0 => return Err(CliError::BadOperands("device required".to_string()).into()),
+            _ => return Err(CliError::BadOperands("too many operands".to_string()).into()),
+        }
+        Ok(f)
+    }
+
+    /// [`FsckF2fs::from_args`] plus the canonical [`TypedConfig`]
+    /// lowering.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`FsckF2fs::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let f = Self::from_args(argv)?;
+        let mut cfg = TypedConfig::new("fsck_f2fs");
+        if f.auto_fix {
+            cfg.set_bool("auto_fix", true);
+        }
+        if f.force {
+            cfg.set_bool("force", true);
+        }
+        if f.fix {
+            cfg.set_bool("fix", true);
+        }
+        if f.preen {
+            cfg.set_bool("preen", true);
+        }
+        if f.dry_run {
+            cfg.set_bool("dry_run", true);
+        }
+        if f.debug_level != 0 {
+            cfg.set_int("debug_level", f.debug_level as i64);
+        }
+        cfg.operands.push(f.device.clone());
+        Ok((f, cfg))
+    }
+
+    /// Checks (and possibly repairs) the image on `dev`.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Refused`] for a device without an f2fs image.
+    pub fn run(&self, mut dev: MemDevice) -> Result<(MemDevice, FsckReport), ToolError> {
+        let mut sb = sim::read_superblock(&dev).map_err(|e| ToolError::Refused(e.to_string()))?;
+        let clean_before = sb.clean;
+        let mut repaired = false;
+        if !clean_before {
+            if self.dry_run {
+                // report only
+            } else if self.fix || self.auto_fix || self.preen {
+                sb.clean = true;
+                sim::write_superblock(&mut dev, &sb)
+                    .map_err(|e| ToolError::Refused(e.to_string()))?;
+                repaired = true;
+            } else {
+                return Err(ToolError::Refused(
+                    "image is dirty; rerun with -a, -p or -y to repair".to_string(),
+                ));
+            }
+        }
+        let files = sb.files.len() as u64;
+        Ok((dev, FsckReport { clean_before, repaired, files }))
+    }
+}
+
+/// The `fsck.f2fs` parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "fsck_f2fs";
+    vec![
+        ParamSpec::new(c, "auto_fix", ParamType::Bool, Stage::Offline, "fix without prompting (-a)"),
+        ParamSpec::new(c, "force", ParamType::Bool, Stage::Offline, "check even a clean image (-f)"),
+        ParamSpec::new(c, "fix", ParamType::Bool, Stage::Offline, "answer yes to every repair (-y)"),
+        ParamSpec::new(c, "preen", ParamType::Bool, Stage::Offline, "preen mode, safe fixes only (-p)"),
+        ParamSpec::new(c, "dry_run", ParamType::Bool, Stage::Offline, "change nothing (-n)"),
+        ParamSpec::new(c, "debug_level", ParamType::Int { min: 0, max: 10 }, Stage::Offline, "debug verbosity (-d)"),
+    ]
+}
+
+/// The structured `fsck.f2fs` manual page. The `-p`/`-y` conflict is
+/// documented; the `-y`/`-n` conflict is a deliberate gap.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "fsck_f2fs".to_string(),
+        synopsis: "fsck.f2fs [-a | -p | -y] [-n] [-f] [-d debug-level] device".to_string(),
+        description: "Check and repair an f2fs image.".to_string(),
+        options: vec![
+            ManualOption::flag("-a", "Fix detected problems automatically without prompting."),
+            ManualOption::flag("-f", "Force a full check even when the image is clean."),
+            ManualOption::flag("-y", "Assume an answer of yes to all questions.")
+                .with(DocConstraint::Conflicts { param: "fix".into(), other: "preen".into() }),
+            ManualOption::flag("-p", "Preen mode: perform only safe repairs."),
+            // GAP(f2fs): -y and -n conflict, but the page does not say so.
+            ManualOption::flag("-n", "Dry run: report problems but change nothing."),
+            ManualOption::valued("-d", "level", "Debug verbosity, between 0 and 10.")
+                .with(DocConstraint::DataType { param: "debug_level".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "debug_level".into(), min: 0, max: 10 }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mkfs::MkfsF2fs;
+
+    fn dirty_image() -> MemDevice {
+        let m = MkfsF2fs::from_args(&["/dev/x"]).unwrap();
+        let (mut dev, _) = m.run(MemDevice::new(4096, 8192)).unwrap();
+        let mut sb = sim::read_superblock(&dev).unwrap();
+        sb.clean = false;
+        sim::write_superblock(&mut dev, &sb).unwrap();
+        dev
+    }
+
+    #[test]
+    fn parses_and_conflicts() {
+        let f = FsckF2fs::from_args(&["-a", "-f", "/dev/x"]).unwrap();
+        assert!(f.auto_fix && f.force);
+        assert!(FsckF2fs::from_args(&["-y", "-n", "/dev/x"]).is_err());
+        assert!(FsckF2fs::from_args(&["-p", "-y", "/dev/x"]).is_err());
+        assert!(FsckF2fs::from_args(&["-d", "11", "/dev/x"]).is_err());
+        assert!(FsckF2fs::from_args(&[]).is_err());
+    }
+
+    #[test]
+    fn repairs_dirty_image() {
+        let dev = dirty_image();
+        assert!(!sim::read_superblock(&dev).unwrap().clean);
+        let f = FsckF2fs::from_args(&["-y", "/dev/x"]).unwrap();
+        let (dev, report) = f.run(dev).unwrap();
+        assert!(!report.clean_before);
+        assert!(report.repaired);
+        assert!(sim::read_superblock(&dev).unwrap().clean);
+    }
+
+    #[test]
+    fn dry_run_leaves_image_dirty() {
+        let dev = dirty_image();
+        let f = FsckF2fs::from_args(&["-n", "/dev/x"]).unwrap();
+        let (dev, report) = f.run(dev).unwrap();
+        assert!(!report.repaired);
+        assert!(!sim::read_superblock(&dev).unwrap().clean);
+    }
+
+    #[test]
+    fn refuses_dirty_image_without_repair_flag() {
+        let f = FsckF2fs::from_args(&["/dev/x"]).unwrap();
+        assert!(matches!(f.run(dirty_image()), Err(ToolError::Refused(_))));
+    }
+
+    #[test]
+    fn typed_view_lowering() {
+        let (_, cfg) = FsckF2fs::parse_typed(&["-a", "-d", "3", "/dev/x"]).unwrap();
+        assert!(cfg.is_engaged("auto_fix"));
+        assert_eq!(cfg.get_int("debug_level"), Some(3));
+        assert_eq!(cfg.component, "fsck_f2fs");
+    }
+}

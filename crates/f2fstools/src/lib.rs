@@ -1,0 +1,38 @@
+//! A simulated `f2fs-tools` ecosystem: the second file-system substrate
+//! behind the [`e2fstools::Component`] trait.
+//!
+//! The crate mirrors the shape of `e2fstools` — one module per utility
+//! (`mkfs.f2fs`, `fsck.f2fs`, `resize.f2fs`, `dump.f2fs`) plus the f2fs
+//! mount surface — each with a [`e2fstools::ParamSpec`] table, a
+//! structured manual page, strict CLI parsing into the shared
+//! [`e2fstools::typed::TypedConfig`] value model, and execution against a
+//! [`blockdev::MemDevice`]. Component names use underscores
+//! (`mkfs_f2fs`, `f2fs`, ...) because they double as identifiers in the
+//! CIR dependency models; the CLI layer also accepts the dotted
+//! real-world spellings.
+//!
+//! Everything reuses `e2fstools`' shared vocabulary ([`ToolError`],
+//! `CliError`, `TypedConfig`, `ParamSpec`, `ManualPage`) so the checker
+//! layers upstream need zero new types to host a second ecosystem.
+
+pub mod component;
+pub mod dump;
+pub mod fsck;
+pub mod mkfs;
+pub mod mount;
+pub mod resize;
+pub mod sim;
+pub mod typed;
+
+pub use component::{component, ecosystem, registry};
+pub use dump::DumpF2fs;
+pub use e2fstools::ToolError;
+pub use fsck::FsckF2fs;
+pub use mkfs::MkfsF2fs;
+pub use mount::F2fsMount;
+pub use resize::ResizeF2fs;
+pub use sim::{F2fsError, F2fsSuperblock};
+
+/// The component names of the f2fs ecosystem, in stage order
+/// (create → mount → offline).
+pub const COMPONENTS: [&str; 5] = ["mkfs_f2fs", "f2fs", "fsck_f2fs", "resize_f2fs", "dump_f2fs"];

@@ -1,0 +1,416 @@
+//! The f2fs mount surface (`mount -t f2fs -o ...`).
+//!
+//! Mirrors `e2fstools::mount_cmd`: a comma-separated option string is
+//! parsed and validated against the documented option domains
+//! (utility-level checks), then [`F2fsMount::run`] re-validates against
+//! the on-device superblock (the kernel-level checks of
+//! `f2fs_fill_super`) — the two-level structure that makes the
+//! format↔mount cross-component dependencies observable.
+
+use blockdev::MemDevice;
+use e2fstools::cli::CliError;
+use e2fstools::manual::{DocConstraint, ManualOption, ManualPage};
+use e2fstools::params::{ParamSpec, ParamType, Stage};
+use e2fstools::typed::TypedConfig;
+use e2fstools::ToolError;
+
+use crate::sim::{self, F2fsFs};
+
+/// Boolean mount options (bare tokens).
+pub const BOOL_TOKENS: [&str; 16] = [
+    "ro",
+    "discard",
+    "acl",
+    "user_xattr",
+    "barrier",
+    "lazytime",
+    "flush_merge",
+    "gc_merge",
+    "atgc",
+    "norecovery",
+    "inline_xattr",
+    "inline_data",
+    "inline_dentry",
+    "data_flush",
+    "fastboot",
+    "compress_chksum",
+];
+
+/// Enumerated `name=value` mount options and their members.
+pub const ENUM_TOKENS: [(&str, &[&str]); 7] = [
+    ("background_gc", &["on", "off", "sync"]),
+    ("compress_algorithm", &["lzo", "lz4", "zstd"]),
+    ("compress_mode", &["fs", "user"]),
+    ("mode", &["adaptive", "lfs"]),
+    ("errors", &["remount-ro", "continue", "panic"]),
+    ("fsync_mode", &["posix", "strict", "nobarrier"]),
+    ("alloc_mode", &["default", "reuse"]),
+];
+
+/// Integer `name=value` mount options.
+pub const INT_TOKENS: [&str; 4] = ["active_logs", "io_bits", "reserve_root", "compress_log_size"];
+
+/// Whether `tok` is a bare boolean f2fs mount token.
+pub fn is_bool_token(tok: &str) -> bool {
+    BOOL_TOKENS.contains(&tok)
+}
+
+/// A parsed-and-validated f2fs mount invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct F2fsMount {
+    /// Bare boolean options present (negated ones store `false`).
+    pub bools: std::collections::BTreeMap<String, bool>,
+    /// Enumerated options.
+    pub enums: std::collections::BTreeMap<String, String>,
+    /// Integer options.
+    pub ints: std::collections::BTreeMap<String, i64>,
+}
+
+fn bad(option: &str, value: &str, expected: &str) -> ToolError {
+    CliError::BadValue {
+        option: option.to_string(),
+        value: value.to_string(),
+        expected: expected.to_string(),
+    }
+    .into()
+}
+
+fn conflict(a: &str, b: &str) -> ToolError {
+    CliError::Conflict { a: a.to_string(), b: b.to_string() }.into()
+}
+
+impl F2fsMount {
+    /// Whether a boolean option is on.
+    pub fn is_on(&self, name: &str) -> bool {
+        self.bools.get(name).copied().unwrap_or(false)
+    }
+
+    /// The value of an enumerated option, if set.
+    pub fn enum_value(&self, name: &str) -> Option<&str> {
+        self.enums.get(name).map(String::as_str)
+    }
+
+    /// Parses a `mount -o` option string.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Cli`] for unknown options, out-of-domain values, and
+    /// the option-level conflicts the parser enforces.
+    pub fn from_option_string(opts: &str) -> Result<Self, ToolError> {
+        let mut m = F2fsMount::default();
+        for tok in opts.split(',').filter(|t| !t.is_empty()) {
+            match tok.split_once('=') {
+                Some((k, v)) => {
+                    if let Some((_, members)) = ENUM_TOKENS.iter().find(|(name, _)| *name == k) {
+                        if !members.contains(&v) {
+                            return Err(bad(k, v, &members.join("|")));
+                        }
+                        m.enums.insert(k.to_string(), v.to_string());
+                    } else if INT_TOKENS.contains(&k) {
+                        let i: i64 =
+                            v.parse().map_err(|_| bad(k, v, "an integer"))?;
+                        match k {
+                            // man: "supports 2, 4 and 6 logs"
+                            "active_logs" if !(i == 2 || i == 4 || i == 6) => {
+                                return Err(bad(k, v, "2, 4 or 6"));
+                            }
+                            "io_bits" if !(0..=16).contains(&i) => {
+                                return Err(bad(k, v, "between 0 and 16"));
+                            }
+                            "reserve_root" if !(0..=1_000_000).contains(&i) => {
+                                return Err(bad(k, v, "between 0 and 1000000"));
+                            }
+                            "compress_log_size" if !(2..=8).contains(&i) => {
+                                return Err(bad(k, v, "between 2 and 8"));
+                            }
+                            _ => {}
+                        }
+                        m.ints.insert(k.to_string(), i);
+                    } else {
+                        return Err(CliError::UnknownOption(tok.to_string()).into());
+                    }
+                }
+                None => {
+                    if is_bool_token(tok) {
+                        m.bools.insert(tok.to_string(), true);
+                    } else if let Some(base) =
+                        tok.strip_prefix("no").filter(|b| is_bool_token(b))
+                    {
+                        m.bools.insert(base.to_string(), false);
+                    } else {
+                        return Err(CliError::UnknownOption(tok.to_string()).into());
+                    }
+                }
+            }
+        }
+        // option-level cross-parameter checks (mirrored in f2fs.cir)
+        if m.ints.contains_key("io_bits") && m.enum_value("mode") != Some("lfs") {
+            return Err(conflict("io_bits", "mode=adaptive"));
+        }
+        if m.ints.contains_key("compress_log_size") && !m.enums.contains_key("compress_algorithm")
+        {
+            return Err(conflict("compress_log_size", "no compress_algorithm"));
+        }
+        if m.is_on("norecovery") && !m.is_on("ro") {
+            return Err(conflict("norecovery", "rw"));
+        }
+        if m.is_on("gc_merge") && m.enum_value("background_gc") == Some("off") {
+            return Err(conflict("gc_merge", "background_gc=off"));
+        }
+        Ok(m)
+    }
+
+    /// [`F2fsMount::from_option_string`] plus the canonical
+    /// [`TypedConfig`] lowering.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`F2fsMount::from_option_string`].
+    pub fn parse_typed(opts: &str) -> Result<(Self, TypedConfig), ToolError> {
+        let m = Self::from_option_string(opts)?;
+        let mut cfg = TypedConfig::new("f2fs");
+        for (name, on) in &m.bools {
+            cfg.set_bool(name, *on);
+        }
+        for (name, v) in &m.enums {
+            cfg.set_str(name, v);
+        }
+        for (name, i) in &m.ints {
+            cfg.set_int(name, *i);
+        }
+        Ok((m, cfg))
+    }
+
+    /// Mounts `dev`, re-validating the options against the superblock.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Refused`] for an unformatted device or a
+    /// format↔mount dependency violation.
+    pub fn run(&self, dev: MemDevice) -> Result<F2fsFs, ToolError> {
+        let sb = sim::read_superblock(&dev).map_err(|e| ToolError::Refused(e.to_string()))?;
+        // kernel-level checks against the format-time configuration
+        // (mirrored in f2fs.cir's check_format)
+        if self.enums.contains_key("compress_algorithm") && !sb.has_feature("compression") {
+            return Err(ToolError::Refused(
+                "compress_algorithm on an image without the compression feature".to_string(),
+            ));
+        }
+        if self.is_on("discard") && sb.discard_policy == 0 {
+            return Err(ToolError::Refused(
+                "discard requested but the image was formatted with -t 0".to_string(),
+            ));
+        }
+        if sb.has_feature("ro") && !self.is_on("ro") {
+            return Err(ToolError::Refused(
+                "image carries the ro feature; a writable mount is not possible".to_string(),
+            ));
+        }
+        if self.enum_value("background_gc").is_some_and(|v| v != "off") && sb.has_feature("ro") {
+            return Err(ToolError::Refused(
+                "background_gc on a read-only image".to_string(),
+            ));
+        }
+        if let Some(rr) = self.ints.get("reserve_root") {
+            let cap = sb.sectors * sb.sector_size / 4096 / 8;
+            if *rr as u64 > cap {
+                return Err(ToolError::Refused(format!(
+                    "reserve_root={rr} exceeds an eighth of the image ({cap} blocks)"
+                )));
+            }
+        }
+        if !sb.clean && self.is_on("norecovery") {
+            // allowed — but only because norecovery already forced ro
+            debug_assert!(self.is_on("ro"));
+        }
+        F2fsFs::mount(dev, self.is_on("ro")).map_err(|e| ToolError::Refused(e.to_string()))
+    }
+}
+
+/// The `f2fs` (mount-surface) parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "f2fs";
+    let int = |min, max| ParamType::Int { min, max };
+    let en = |members: &[&str]| ParamType::Enum(members.iter().map(|m| m.to_string()).collect());
+    let mut v = vec![
+        ParamSpec::new(c, "ro", ParamType::Bool, Stage::Mount, "mount read-only"),
+        ParamSpec::new(c, "discard", ParamType::Bool, Stage::Mount, "issue discard on freed segments"),
+        ParamSpec::new(c, "acl", ParamType::Bool, Stage::Mount, "POSIX ACL support"),
+        ParamSpec::new(c, "user_xattr", ParamType::Bool, Stage::Mount, "extended user attributes"),
+        ParamSpec::new(c, "barrier", ParamType::Bool, Stage::Mount, "issue write barriers"),
+        ParamSpec::new(c, "lazytime", ParamType::Bool, Stage::Mount, "lazy timestamp updates"),
+        ParamSpec::new(c, "flush_merge", ParamType::Bool, Stage::Mount, "merge concurrent flush commands"),
+        ParamSpec::new(c, "gc_merge", ParamType::Bool, Stage::Mount, "let the GC thread serve foreground GC"),
+        ParamSpec::new(c, "atgc", ParamType::Bool, Stage::Mount, "age-threshold garbage collection"),
+        ParamSpec::new(c, "norecovery", ParamType::Bool, Stage::Mount, "skip roll-forward recovery (implies ro)"),
+        ParamSpec::new(c, "inline_xattr", ParamType::Bool, Stage::Mount, "inline xattrs in the inode"),
+        ParamSpec::new(c, "inline_data", ParamType::Bool, Stage::Mount, "inline small files in the inode"),
+        ParamSpec::new(c, "inline_dentry", ParamType::Bool, Stage::Mount, "inline dentries in the inode"),
+        ParamSpec::new(c, "data_flush", ParamType::Bool, Stage::Mount, "flush data before checkpoint"),
+        ParamSpec::new(c, "fastboot", ParamType::Bool, Stage::Mount, "prefer the latest checkpoint"),
+        ParamSpec::new(c, "compress_chksum", ParamType::Bool, Stage::Mount, "verify compressed cluster checksums"),
+        ParamSpec::new(c, "active_logs", int(2, 6), Stage::Mount, "number of active logs: 2, 4 or 6"),
+        ParamSpec::new(c, "io_bits", int(0, 16), Stage::Mount, "bits of the IO size alignment (lfs only)"),
+        ParamSpec::new(c, "reserve_root", int(0, 1_000_000), Stage::Mount, "blocks reserved for root"),
+        ParamSpec::new(c, "compress_log_size", int(2, 8), Stage::Mount, "log2 of the compress cluster size"),
+    ];
+    for (name, members) in ENUM_TOKENS {
+        let desc = match name {
+            "background_gc" => "background garbage collection: on, off or sync",
+            "compress_algorithm" => "compression algorithm: lzo, lz4 or zstd",
+            "compress_mode" => "compression mode: fs or user",
+            "mode" => "allocation mode: adaptive or lfs",
+            "errors" => "behaviour on errors: remount-ro, continue or panic",
+            "fsync_mode" => "fsync policy: posix, strict or nobarrier",
+            _ => "allocation reuse policy: default or reuse",
+        };
+        v.push(ParamSpec::new(c, name, en(members), Stage::Mount, desc));
+    }
+    v
+}
+
+/// The structured mount-option manual (the `mount.f2fs`-side view) —
+/// again with deliberate gaps: the `compress_algorithm`→`compression`
+/// feature requirement and the `io_bits`→`mode=lfs` coupling are
+/// enforced but undocumented.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "f2fs".to_string(),
+        synopsis: "mount -t f2fs [-o options] device dir".to_string(),
+        description: "Mount options of the f2fs file system.".to_string(),
+        options: vec![
+            ManualOption::valued("active_logs=", "n", "Number of active logs: 2, 4 or 6. The default is 6.")
+                .with(DocConstraint::DataType { param: "active_logs".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "active_logs".into(), min: 2, max: 6 }),
+            ManualOption::valued("background_gc=", "mode", "Turn the background garbage collector on, off, or run it synchronously.")
+                .with(DocConstraint::DataType { param: "background_gc".into(), ty: "enum".into() }),
+            ManualOption::valued("compress_algorithm=", "alg", "Select the compression algorithm: lzo, lz4 or zstd.")
+                .with(DocConstraint::DataType { param: "compress_algorithm".into(), ty: "enum".into() }),
+            // GAP(f2fs): the page does not state that compress_algorithm
+            // requires an image formatted with -O compression.
+            ManualOption::valued("compress_log_size=", "n", "Cluster size for compression, as a power of two between 2 and 8.")
+                .with(DocConstraint::DataType { param: "compress_log_size".into(), ty: "integer".into() })
+                .with(DocConstraint::ValueRange { param: "compress_log_size".into(), min: 2, max: 8 })
+                .with(DocConstraint::Requires { param: "compress_log_size".into(), other: "compress_algorithm".into() }),
+            ManualOption::valued("io_bits=", "n", "Bits of the IO size alignment.")
+                .with(DocConstraint::DataType { param: "io_bits".into(), ty: "integer".into() }),
+            // GAP(f2fs): io_bits only works in mode=lfs — undocumented.
+            ManualOption::valued("mode=", "m", "Allocation mode: adaptive or lfs.")
+                .with(DocConstraint::DataType { param: "mode".into(), ty: "enum".into() }),
+            ManualOption::valued("errors=", "behaviour", "What to do on a critical error: remount-ro, continue, or panic.")
+                .with(DocConstraint::DataType { param: "errors".into(), ty: "enum".into() }),
+            ManualOption::flag("discard", "Issue discard commands when segments are freed."),
+            // GAP(f2fs): discard fails on a -t 0 image — undocumented
+            // (cross-component, format-time parameter).
+            ManualOption::flag("norecovery", "Skip roll-forward recovery. Requires a read-only mount.")
+                .with(DocConstraint::Requires { param: "norecovery".into(), other: "ro".into() }),
+            ManualOption::flag("gc_merge", "Let the background GC thread handle foreground GC requests.")
+                .with(DocConstraint::Conflicts { param: "gc_merge".into(), other: "background_gc".into() }),
+            ManualOption::valued("reserve_root=", "blocks", "Reserve blocks for the root user.")
+                .with(DocConstraint::DataType { param: "reserve_root".into(), ty: "integer".into() }),
+            ManualOption::flag("ro", "Mount read-only."),
+            ManualOption::flag("lazytime", "Update timestamps lazily."),
+            ManualOption::flag("barrier", "Issue write barriers (default)."),
+        ],
+    }
+}
+
+/// The f2fs kernel documentation page (`Documentation/filesystems/f2fs`)
+/// — the cross-check corpus ConDocCk consults beyond the tool manuals,
+/// the f2fs analog of the ext4 kernel doc.
+pub fn kernel_doc() -> ManualPage {
+    ManualPage {
+        component: "f2fs_kernel".to_string(),
+        synopsis: "f2fs kernel documentation".to_string(),
+        description: "The mount options and on-disk feature interactions described by the kernel's f2fs documentation.".to_string(),
+        options: vec![
+            ManualOption::valued("mode=", "m", "In lfs mode all writes are sequential; io_bits requires it.")
+                .with(DocConstraint::Requires { param: "io_bits".into(), other: "mode".into() }),
+            ManualOption::valued("active_logs=", "n", "Supports 2, 4, and 6 logs.")
+                .with(DocConstraint::ValueRange { param: "active_logs".into(), min: 2, max: 6 }),
+            ManualOption::flag("norecovery", "Disables roll-forward recovery; mount becomes read-only.")
+                .with(DocConstraint::Requires { param: "norecovery".into(), other: "ro".into() }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mkfs::MkfsF2fs;
+
+    fn image(extra: &[&str]) -> MemDevice {
+        let mut argv = vec![];
+        argv.extend_from_slice(extra);
+        argv.push("/dev/x");
+        let m = MkfsF2fs::from_args(&argv).unwrap();
+        m.run(MemDevice::new(4096, 8192)).unwrap().0
+    }
+
+    #[test]
+    fn parses_and_validates_domains() {
+        let m = F2fsMount::from_option_string("ro,active_logs=4,background_gc=sync").unwrap();
+        assert!(m.is_on("ro"));
+        assert_eq!(m.ints.get("active_logs"), Some(&4));
+        assert_eq!(m.enum_value("background_gc"), Some("sync"));
+        assert!(F2fsMount::from_option_string("active_logs=3").is_err());
+        assert!(F2fsMount::from_option_string("background_gc=maybe").is_err());
+        assert!(F2fsMount::from_option_string("compress_log_size=9,compress_algorithm=lz4").is_err());
+        assert!(F2fsMount::from_option_string("warp_drive").is_err());
+    }
+
+    #[test]
+    fn negated_bool_tokens_lower_to_false() {
+        let (_, cfg) = F2fsMount::parse_typed("nobarrier,discard").unwrap();
+        assert_eq!(cfg.get("barrier"), Some(&e2fstools::typed::TypedValue::Bool(false)));
+        assert!(cfg.is_engaged("discard"));
+    }
+
+    #[test]
+    fn option_level_conflicts() {
+        assert!(F2fsMount::from_option_string("io_bits=4").is_err());
+        assert!(F2fsMount::from_option_string("io_bits=4,mode=lfs").is_ok());
+        assert!(F2fsMount::from_option_string("norecovery").is_err());
+        assert!(F2fsMount::from_option_string("norecovery,ro").is_ok());
+        assert!(F2fsMount::from_option_string("gc_merge,background_gc=off").is_err());
+        assert!(F2fsMount::from_option_string("compress_log_size=4").is_err());
+    }
+
+    #[test]
+    fn mount_level_checks_against_superblock() {
+        // compress_algorithm needs the compression feature
+        let dev = image(&[]);
+        let m = F2fsMount::from_option_string("compress_algorithm=lz4").unwrap();
+        assert!(matches!(m.run(dev), Err(ToolError::Refused(_))));
+        let dev = image(&["-O", "extra_attr,compression"]);
+        let m = F2fsMount::from_option_string("compress_algorithm=lz4").unwrap();
+        assert!(m.run(dev).is_ok());
+        // discard on a -t 0 image
+        let dev = image(&["-t", "0"]);
+        let m = F2fsMount::from_option_string("discard").unwrap();
+        assert!(matches!(m.run(dev), Err(ToolError::Refused(_))));
+        // ro feature forces a read-only mount
+        let dev = image(&["-O", "ro"]);
+        assert!(F2fsMount::from_option_string("").unwrap().run(dev.clone()).is_err());
+        assert!(F2fsMount::from_option_string("ro,background_gc=off").unwrap().run(dev).is_ok());
+    }
+
+    #[test]
+    fn mount_unmount_round_trip() {
+        let fs = F2fsMount::from_option_string("discard,active_logs=6")
+            .unwrap()
+            .run(image(&[]))
+            .unwrap();
+        let dev = fs.unmount().unwrap();
+        assert!(sim::read_superblock(&dev).unwrap().clean);
+    }
+
+    #[test]
+    fn tables_cover_the_universe() {
+        let specs = param_table();
+        assert!(specs.len() >= 25);
+        assert!(specs.iter().any(|s| s.name == "background_gc"));
+        assert!(manual().option("active_logs=").is_some());
+        assert!(!kernel_doc().options.is_empty());
+    }
+}

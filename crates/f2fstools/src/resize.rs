@@ -1,0 +1,234 @@
+//! A simulated `resize.f2fs`: online-capacity adjustment of an image.
+//!
+//! The shrink refusal is the f2fs analog of the paper's Figure 1: the
+//! requested target interacts with the *format-time* geometry recorded
+//! in the superblock, a cross-component dependency the `resize_f2fs.cir`
+//! model makes explicit.
+
+use blockdev::{BlockDevice, MemDevice};
+use e2fstools::cli::{self, CliError};
+use e2fstools::manual::{DocConstraint, ManualOption, ManualPage};
+use e2fstools::params::{ParamSpec, ParamType, Stage};
+use e2fstools::typed::TypedConfig;
+use e2fstools::ToolError;
+
+use crate::sim::{self, SEGMENT_BYTES};
+
+const FLAG_OPTS: [&str; 2] = ["s", "f"];
+const VALUE_OPTS: [&str; 2] = ["t", "d"];
+
+/// A parsed-and-validated `resize.f2fs` invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResizeF2fs {
+    /// `-t`: target size in sectors (default: the whole device).
+    pub target_sectors: Option<u64>,
+    /// `-s`: safe resize (keep the old checkpoint reachable).
+    pub safe: bool,
+    /// `-f`: proceed even if the image is dirty.
+    pub force: bool,
+    /// `-d`: debug verbosity, 0..=10.
+    pub debug_level: u64,
+    /// The device operand.
+    pub device: String,
+}
+
+/// What a resize run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResizeReport {
+    /// Sector count before.
+    pub old_sectors: u64,
+    /// Sector count after.
+    pub new_sectors: u64,
+    /// Segment count after.
+    pub segment_count: u64,
+}
+
+impl ResizeF2fs {
+    /// Parses a `resize.f2fs` command line.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Cli`] for unknown options, bad values, and operand
+    /// problems.
+    pub fn from_args(argv: &[&str]) -> Result<Self, ToolError> {
+        let p = cli::parse(argv, &FLAG_OPTS, &VALUE_OPTS)?;
+        let mut r = ResizeF2fs {
+            safe: p.has_flag("s"),
+            force: p.has_flag("f"),
+            target_sectors: p.int_value("t")?,
+            ..ResizeF2fs::default()
+        };
+        if let Some(d) = p.int_value("d")? {
+            if d > 10 {
+                return Err(CliError::BadValue {
+                    option: "-d".to_string(),
+                    value: d.to_string(),
+                    expected: "between 0 and 10".to_string(),
+                }
+                .into());
+            }
+            r.debug_level = d;
+        }
+        match p.operands.len() {
+            1 => r.device = p.operands[0].clone(),
+            0 => return Err(CliError::BadOperands("device required".to_string()).into()),
+            _ => return Err(CliError::BadOperands("too many operands".to_string()).into()),
+        }
+        Ok(r)
+    }
+
+    /// [`ResizeF2fs::from_args`] plus the canonical [`TypedConfig`]
+    /// lowering.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ResizeF2fs::from_args`].
+    pub fn parse_typed(argv: &[&str]) -> Result<(Self, TypedConfig), ToolError> {
+        let r = Self::from_args(argv)?;
+        let mut cfg = TypedConfig::new("resize_f2fs");
+        if let Some(t) = r.target_sectors {
+            cfg.set_int("target_sectors", t as i64);
+        }
+        if r.safe {
+            cfg.set_bool("safe", true);
+        }
+        if r.force {
+            cfg.set_bool("force", true);
+        }
+        if r.debug_level != 0 {
+            cfg.set_int("debug_level", r.debug_level as i64);
+        }
+        cfg.operands.push(r.device.clone());
+        Ok((r, cfg))
+    }
+
+    /// Resizes the image on `dev` to the target sector count.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolError::Refused`] for a missing image, a dirty image without
+    /// `-f`, a shrink request, or a target the geometry cannot hold.
+    pub fn run(&self, mut dev: MemDevice) -> Result<(MemDevice, ResizeReport), ToolError> {
+        let mut sb = sim::read_superblock(&dev).map_err(|e| ToolError::Refused(e.to_string()))?;
+        if !sb.clean && !self.force {
+            return Err(ToolError::Refused(
+                "image is dirty; run fsck.f2fs first or use -f".to_string(),
+            ));
+        }
+        let device_sectors = dev.size_bytes() / sb.sector_size;
+        let target = self.target_sectors.unwrap_or(device_sectors);
+        // Figure-1 analog: the target interacts with format-time state
+        if target < sb.sectors {
+            return Err(ToolError::Refused(format!(
+                "shrinking from {} to {target} sectors is not supported",
+                sb.sectors
+            )));
+        }
+        let segment_count = target * sb.sector_size / SEGMENT_BYTES;
+        let zone_segments = sb.segs_per_sec * sb.secs_per_zone;
+        if zone_segments > segment_count - sim::META_SEGMENTS {
+            return Err(ToolError::Refused(format!(
+                "zone of {zone_segments} segments does not fit {segment_count} total segments"
+            )));
+        }
+        if target > device_sectors {
+            // grow the backing device to hold the new size
+            let bytes = target * sb.sector_size;
+            let blocks = bytes.div_ceil(u64::from(dev.block_size()));
+            dev.resize(blocks);
+        }
+        let old_sectors = sb.sectors;
+        sb.sectors = target;
+        sb.segment_count = segment_count;
+        sim::write_superblock(&mut dev, &sb).map_err(|e| ToolError::Refused(e.to_string()))?;
+        Ok((dev, ResizeReport { old_sectors, new_sectors: target, segment_count }))
+    }
+}
+
+/// The `resize.f2fs` parameter table.
+pub fn param_table() -> Vec<ParamSpec> {
+    let c = "resize_f2fs";
+    vec![
+        ParamSpec::new(
+            c,
+            "target_sectors",
+            ParamType::Int { min: 0, max: i64::MAX },
+            Stage::Offline,
+            "target size in sectors (-t)",
+        ),
+        ParamSpec::new(c, "safe", ParamType::Bool, Stage::Offline, "safe resize (-s)"),
+        ParamSpec::new(c, "force", ParamType::Bool, Stage::Offline, "resize a dirty image (-f)"),
+        ParamSpec::new(c, "debug_level", ParamType::Int { min: 0, max: 10 }, Stage::Offline, "debug verbosity (-d)"),
+    ]
+}
+
+/// The structured `resize.f2fs` manual page.
+///
+/// The shrink refusal — the cross-component dependency on the recorded
+/// sector count — is a deliberate documentation gap, exactly the class
+/// of issue the paper's Figure 1 illustrates for resize2fs.
+pub fn manual() -> ManualPage {
+    ManualPage {
+        component: "resize_f2fs".to_string(),
+        synopsis: "resize.f2fs [-s] [-f] [-t target-sectors] device".to_string(),
+        description: "Resize an f2fs image to the target sector count.".to_string(),
+        options: vec![
+            ManualOption::valued("-t", "sectors", "Target size in sectors; defaults to the whole device.")
+                .with(DocConstraint::DataType { param: "target_sectors".into(), ty: "integer".into() }),
+            // GAP(f2fs): a target below the recorded sector count is
+            // refused (no shrink support) — undocumented.
+            ManualOption::flag("-s", "Safe resize: keep the previous checkpoint reachable."),
+            ManualOption::flag("-f", "Proceed even if the image is marked dirty."),
+            ManualOption::valued("-d", "level", "Debug verbosity, between 0 and 10.")
+                .with(DocConstraint::DataType { param: "debug_level".into(), ty: "integer".into() }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mkfs::MkfsF2fs;
+
+    fn image() -> MemDevice {
+        let m = MkfsF2fs::from_args(&["/dev/x"]).unwrap();
+        m.run(MemDevice::new(4096, 8192)).unwrap().0
+    }
+
+    #[test]
+    fn grows_to_target() {
+        // 32 MiB image (65536 × 512-byte sectors) grown to 64 MiB
+        let r = ResizeF2fs::from_args(&["-t", "131072", "/dev/x"]).unwrap();
+        let (dev, report) = r.run(image()).unwrap();
+        assert_eq!(report.old_sectors, 65536);
+        assert_eq!(report.new_sectors, 131072);
+        assert_eq!(sim::read_superblock(&dev).unwrap().sectors, 131072);
+    }
+
+    #[test]
+    fn shrink_is_refused() {
+        let r = ResizeF2fs::from_args(&["-t", "32768", "/dev/x"]).unwrap();
+        let err = r.run(image()).unwrap_err();
+        assert!(matches!(err, ToolError::Refused(ref m) if m.contains("shrink")));
+    }
+
+    #[test]
+    fn dirty_image_needs_force() {
+        let mut dev = image();
+        let mut sb = sim::read_superblock(&dev).unwrap();
+        sb.clean = false;
+        sim::write_superblock(&mut dev, &sb).unwrap();
+        let r = ResizeF2fs::from_args(&["-t", "131072", "/dev/x"]).unwrap();
+        assert!(r.run(dev.clone()).is_err());
+        let r = ResizeF2fs::from_args(&["-f", "-t", "131072", "/dev/x"]).unwrap();
+        assert!(r.run(dev).is_ok());
+    }
+
+    #[test]
+    fn typed_view_lowering() {
+        let (_, cfg) = ResizeF2fs::parse_typed(&["-s", "-t", "131072", "/dev/x"]).unwrap();
+        assert_eq!(cfg.component, "resize_f2fs");
+        assert_eq!(cfg.get_int("target_sectors"), Some(131072));
+        assert!(cfg.is_engaged("safe"));
+    }
+}

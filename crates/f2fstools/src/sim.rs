@@ -1,0 +1,422 @@
+//! The on-device f2fs simulation substrate.
+//!
+//! Real f2fs divides the device into 2 MiB segments, groups segments
+//! into sections and sections into zones, and reserves an
+//! overprovisioning slice for garbage collection. The simulation keeps
+//! exactly the state the configuration study needs — geometry, feature
+//! flags, the clean/dirty bit, and a file table — serialized as JSON
+//! into a reserved superblock area at the front of the device, so every
+//! utility round-trips through the same on-device bytes instead of
+//! sharing in-process state.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use blockdev::{BlockDevice, DeviceError, MemDevice};
+use serde::{Deserialize, Serialize};
+
+/// Magic string identifying a formatted image.
+pub const F2FS_MAGIC: &str = "F2FS-sim";
+/// Bytes per segment (f2fs: 512 blocks of 4 KiB).
+pub const SEGMENT_BYTES: u64 = 2 * 1024 * 1024;
+/// Blocks reserved at the front of the device for the superblock area.
+pub const SB_BLOCKS: u64 = 8;
+/// Metadata segments every layout consumes (SB, checkpoint, SIT, NAT,
+/// SSA — collapsed into one count for the simulation).
+pub const META_SEGMENTS: u64 = 6;
+/// Minimum segments a formattable device must provide.
+pub const MIN_SEGMENTS: u64 = 9;
+
+/// Feature names accepted by `mkfs.f2fs -O`.
+pub const FEATURES: [&str; 12] = [
+    "extra_attr",
+    "project_quota",
+    "inode_checksum",
+    "inode_crtime",
+    "flexible_inline_xattr",
+    "compression",
+    "encrypt",
+    "casefold",
+    "lost_found",
+    "verity",
+    "sb_checksum",
+    "ro",
+];
+
+/// Errors of the simulation layer.
+#[derive(Debug)]
+pub enum F2fsError {
+    /// The superblock area does not carry a formatted image.
+    NotF2fs,
+    /// The device cannot host the requested geometry.
+    DeviceTooSmall {
+        /// Segments the geometry needs.
+        needed: u64,
+        /// Segments the device provides.
+        available: u64,
+    },
+    /// The image is marked dirty and the operation needs a clean one.
+    Unclean,
+    /// The mount is read-only and the operation writes.
+    ReadOnly,
+    /// On-device state failed to decode.
+    Corrupt(String),
+    /// The path does not exist.
+    NotFound(String),
+    /// An underlying device error.
+    Device(DeviceError),
+}
+
+impl fmt::Display for F2fsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            F2fsError::NotF2fs => write!(f, "not an f2fs image"),
+            F2fsError::DeviceTooSmall { needed, available } => {
+                write!(f, "device too small: {needed} segments needed, {available} available")
+            }
+            F2fsError::Unclean => write!(f, "image is dirty; run fsck_f2fs first"),
+            F2fsError::ReadOnly => write!(f, "read-only file system"),
+            F2fsError::Corrupt(m) => write!(f, "corrupt image: {m}"),
+            F2fsError::NotFound(p) => write!(f, "no such file: {p}"),
+            F2fsError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for F2fsError {}
+
+impl From<DeviceError> for F2fsError {
+    fn from(e: DeviceError) -> Self {
+        F2fsError::Device(e)
+    }
+}
+
+/// The simulated f2fs superblock (plus the collapsed checkpoint state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct F2fsSuperblock {
+    /// Magic (must be [`F2FS_MAGIC`]).
+    pub magic: String,
+    /// Sector size in bytes the image was formatted with.
+    pub sector_size: u64,
+    /// Total sectors of the image.
+    pub sectors: u64,
+    /// Total 2 MiB segments.
+    pub segment_count: u64,
+    /// Segments per section.
+    pub segs_per_sec: u64,
+    /// Sections per zone.
+    pub secs_per_zone: u64,
+    /// Overprovisioning ratio in percent (resolved, never 0).
+    pub overprovision: u64,
+    /// Enabled `-O` features.
+    pub features: Vec<String>,
+    /// Volume label.
+    pub label: String,
+    /// 1 when the image honours discard, 0 when formatted `-t 0`.
+    pub discard_policy: u64,
+    /// Checkpoint clean bit.
+    pub clean: bool,
+    /// Successful mount count.
+    pub mount_count: u64,
+    /// File table: path → length (persisted at unmount).
+    pub files: BTreeMap<String, u64>,
+}
+
+impl F2fsSuperblock {
+    /// Whether feature `name` was enabled at format time.
+    pub fn has_feature(&self, name: &str) -> bool {
+        self.features.iter().any(|f| f == name)
+    }
+
+    /// Segments reserved for overprovisioning plus metadata.
+    pub fn reserved_segments(&self) -> u64 {
+        self.segment_count * self.overprovision / 100 + META_SEGMENTS
+    }
+}
+
+/// The overprovisioning ratio `mkfs.f2fs` derives when `-o` is absent:
+/// shrinks with the square root of the segment count, clamped to
+/// `1..=50` percent.
+pub fn derived_overprovision(segment_count: u64) -> u64 {
+    let mut root = 1u64;
+    while (root + 1) * (root + 1) <= segment_count {
+        root += 1;
+    }
+    (200 / root).clamp(1, 50)
+}
+
+/// Bytes the superblock area occupies on `dev`.
+fn sb_area_bytes(dev: &MemDevice) -> usize {
+    (SB_BLOCKS.min(dev.num_blocks()) * u64::from(dev.block_size())) as usize
+}
+
+/// Serializes `sb` into the reserved superblock area.
+///
+/// # Errors
+///
+/// Returns [`F2fsError::Corrupt`] when the encoded superblock does not
+/// fit the area, or a device error.
+pub fn write_superblock(dev: &mut MemDevice, sb: &F2fsSuperblock) -> Result<(), F2fsError> {
+    let area = sb_area_bytes(dev);
+    let json = serde_json::to_string(sb)
+        .map_err(|e| F2fsError::Corrupt(format!("superblock encode: {e}")))?;
+    let bytes = json.as_bytes();
+    if bytes.len() > area {
+        return Err(F2fsError::Corrupt(format!(
+            "superblock needs {} bytes, area holds {area}",
+            bytes.len()
+        )));
+    }
+    let bs = dev.block_size() as usize;
+    let mut padded = vec![0u8; area];
+    padded[..bytes.len()].copy_from_slice(bytes);
+    for (i, chunk) in padded.chunks(bs).enumerate() {
+        dev.write_block(i as u64, chunk)?;
+    }
+    Ok(())
+}
+
+/// Reads the superblock back from the reserved area.
+///
+/// # Errors
+///
+/// [`F2fsError::NotF2fs`] when the area is blank or carries a different
+/// magic; [`F2fsError::Corrupt`] when decoding fails.
+pub fn read_superblock(dev: &MemDevice) -> Result<F2fsSuperblock, F2fsError> {
+    let bs = dev.block_size() as usize;
+    let area = sb_area_bytes(dev);
+    let mut raw = vec![0u8; area];
+    for (i, chunk) in raw.chunks_mut(bs).enumerate() {
+        dev.read_block(i as u64, chunk)?;
+    }
+    let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+    if end == 0 {
+        return Err(F2fsError::NotF2fs);
+    }
+    let json = std::str::from_utf8(&raw[..end]).map_err(|_| F2fsError::NotF2fs)?;
+    let sb: F2fsSuperblock =
+        serde_json::from_str(json).map_err(|_| F2fsError::NotF2fs)?;
+    if sb.magic != F2FS_MAGIC {
+        return Err(F2fsError::NotF2fs);
+    }
+    Ok(sb)
+}
+
+/// A mounted f2fs instance: the superblock pinned in memory, file data
+/// held for the session, lengths persisted at unmount.
+#[derive(Debug)]
+pub struct F2fsFs {
+    device: MemDevice,
+    sb: F2fsSuperblock,
+    readonly: bool,
+    dirs: BTreeSet<String>,
+    data: BTreeMap<String, Vec<u8>>,
+}
+
+impl F2fsFs {
+    /// Mounts a formatted device. `readonly` skips the dirty-bit write.
+    ///
+    /// # Errors
+    ///
+    /// [`F2fsError::NotF2fs`] for an unformatted device; device errors.
+    pub fn mount(mut device: MemDevice, readonly: bool) -> Result<Self, F2fsError> {
+        let mut sb = read_superblock(&device)?;
+        let data =
+            sb.files.iter().map(|(p, len)| (p.clone(), vec![0u8; *len as usize])).collect();
+        if !readonly {
+            sb.clean = false;
+            write_superblock(&mut device, &sb)?;
+        }
+        Ok(F2fsFs { device, sb, readonly, dirs: BTreeSet::new(), data })
+    }
+
+    /// The pinned superblock.
+    pub fn superblock(&self) -> &F2fsSuperblock {
+        &self.sb
+    }
+
+    /// Whether the mount is read-only.
+    pub fn readonly(&self) -> bool {
+        self.readonly
+    }
+
+    /// Creates a directory (flat namespace; parents are not required).
+    ///
+    /// # Errors
+    ///
+    /// [`F2fsError::ReadOnly`] on a read-only mount.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), F2fsError> {
+        if self.readonly {
+            return Err(F2fsError::ReadOnly);
+        }
+        self.dirs.insert(path.to_string());
+        Ok(())
+    }
+
+    /// Creates (or truncates) a file.
+    ///
+    /// # Errors
+    ///
+    /// [`F2fsError::ReadOnly`] on a read-only mount.
+    pub fn create(&mut self, path: &str) -> Result<(), F2fsError> {
+        if self.readonly {
+            return Err(F2fsError::ReadOnly);
+        }
+        self.data.insert(path.to_string(), Vec::new());
+        Ok(())
+    }
+
+    /// Overwrites a file's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`F2fsError::ReadOnly`] on a read-only mount;
+    /// [`F2fsError::NotFound`] when the file was never created.
+    pub fn write(&mut self, path: &str, bytes: &[u8]) -> Result<(), F2fsError> {
+        if self.readonly {
+            return Err(F2fsError::ReadOnly);
+        }
+        match self.data.get_mut(path) {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(bytes);
+                Ok(())
+            }
+            None => Err(F2fsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Reads a file's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`F2fsError::NotFound`] for a missing path.
+    pub fn read(&self, path: &str) -> Result<&[u8], F2fsError> {
+        self.data
+            .get(path)
+            .map(Vec::as_slice)
+            .ok_or_else(|| F2fsError::NotFound(path.to_string()))
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// [`F2fsError::ReadOnly`] / [`F2fsError::NotFound`].
+    pub fn unlink(&mut self, path: &str) -> Result<(), F2fsError> {
+        if self.readonly {
+            return Err(F2fsError::ReadOnly);
+        }
+        self.data
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| F2fsError::NotFound(path.to_string()))
+    }
+
+    /// Unmounts: persists the file table, sets the clean bit, bumps the
+    /// mount count, and hands the device back.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from the superblock write.
+    pub fn unmount(mut self) -> Result<MemDevice, F2fsError> {
+        if !self.readonly {
+            self.sb.files =
+                self.data.iter().map(|(p, d)| (p.clone(), d.len() as u64)).collect();
+            self.sb.clean = true;
+            self.sb.mount_count += 1;
+            write_superblock(&mut self.device, &self.sb)?;
+        }
+        Ok(self.device)
+    }
+}
+
+#[cfg(test)]
+impl F2fsFs {
+    /// Test-only peek at the underlying device while mounted.
+    fn superblock_device(&self) -> &MemDevice {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn formatted() -> MemDevice {
+        let mut dev = MemDevice::new(4096, 8192); // 32 MiB
+        let sb = F2fsSuperblock {
+            magic: F2FS_MAGIC.to_string(),
+            sector_size: 512,
+            sectors: 65536,
+            segment_count: 16,
+            segs_per_sec: 1,
+            secs_per_zone: 1,
+            overprovision: derived_overprovision(16),
+            features: vec!["extra_attr".to_string()],
+            label: String::new(),
+            discard_policy: 1,
+            clean: true,
+            mount_count: 0,
+            files: BTreeMap::new(),
+        };
+        write_superblock(&mut dev, &sb).unwrap();
+        dev
+    }
+
+    #[test]
+    fn superblock_round_trips() {
+        let dev = formatted();
+        let sb = read_superblock(&dev).unwrap();
+        assert_eq!(sb.segment_count, 16);
+        assert!(sb.has_feature("extra_attr"));
+        assert!(!sb.has_feature("compression"));
+    }
+
+    #[test]
+    fn blank_device_is_not_f2fs() {
+        let dev = MemDevice::new(4096, 64);
+        assert!(matches!(read_superblock(&dev), Err(F2fsError::NotF2fs)));
+    }
+
+    #[test]
+    fn mount_workload_unmount() {
+        let fs0 = F2fsFs::mount(formatted(), false).unwrap();
+        // dirty while mounted read-write
+        assert!(!read_superblock(fs0.superblock_device()).unwrap().clean);
+        let mut fs = fs0;
+        fs.mkdir("work").unwrap();
+        fs.create("work/data.bin").unwrap();
+        fs.write("work/data.bin", &[0xC3; 4096]).unwrap();
+        assert_eq!(fs.read("work/data.bin").unwrap().len(), 4096);
+        fs.create("tiny").unwrap();
+        fs.write("tiny", b"x").unwrap();
+        fs.unlink("tiny").unwrap();
+        let dev = fs.unmount().unwrap();
+        let sb = read_superblock(&dev).unwrap();
+        assert!(sb.clean);
+        assert_eq!(sb.mount_count, 1);
+        assert_eq!(sb.files.get("work/data.bin"), Some(&4096));
+        assert!(!sb.files.contains_key("tiny"));
+    }
+
+    #[test]
+    fn readonly_mount_refuses_writes() {
+        let mut fs = F2fsFs::mount(formatted(), true).unwrap();
+        assert!(fs.readonly());
+        assert!(matches!(fs.mkdir("d"), Err(F2fsError::ReadOnly)));
+        assert!(matches!(fs.create("f"), Err(F2fsError::ReadOnly)));
+        let dev = fs.unmount().unwrap();
+        // read-only mount leaves the clean bit and count untouched
+        let sb = read_superblock(&dev).unwrap();
+        assert!(sb.clean);
+        assert_eq!(sb.mount_count, 0);
+    }
+
+    #[test]
+    fn derived_overprovision_shrinks_with_size() {
+        assert_eq!(derived_overprovision(9), 50);
+        assert!(derived_overprovision(1024) < derived_overprovision(64));
+        assert!(derived_overprovision(1 << 20) >= 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Lenient typed views of f2fs command lines — the f2fs counterparts of
+//! `TypedConfig::from_mkfs_args_lenient` / `from_mount_opts_lenient`.
+//!
+//! The fuzzers and the validation front-end need *every* generated
+//! command line to lower to a [`TypedConfig`], including deliberately
+//! invalid ones the strict parsers refuse; these views never fail.
+
+use e2fstools::typed::TypedConfig;
+
+use crate::mount;
+
+/// A lenient typed view of a `mkfs.f2fs` command line. Valued options
+/// lower to their registry parameter names, `-O` feature tokens to
+/// booleans, and anything unparsable falls back to a string value.
+pub fn from_mkfs_f2fs_args_lenient(args: &[String]) -> TypedConfig {
+    let mut cfg = TypedConfig::new("mkfs_f2fs");
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        // valued options lowered to their registry parameter names
+        // (the same map as `MkfsF2fs::parse_typed`, minus validation)
+        let valued = match arg.as_str() {
+            "-w" => Some("sector_size"),
+            "-s" => Some("segs_per_sec"),
+            "-z" => Some("secs_per_zone"),
+            "-o" => Some("overprovision"),
+            "-a" => Some("heap_alloc"),
+            "-t" => Some("discard_policy"),
+            "-d" => Some("debug_level"),
+            "-l" => Some("label"),
+            _ => None,
+        };
+        if let Some(name) = valued {
+            match it.next() {
+                Some(v) => match v.parse::<i64>() {
+                    Ok(i) => {
+                        cfg.set_int(name, i);
+                    }
+                    Err(_) => {
+                        cfg.set_str(name, v);
+                    }
+                },
+                None => {
+                    cfg.set_bool(name, true);
+                }
+            }
+            continue;
+        }
+        match arg.as_str() {
+            "-f" => {
+                cfg.set_bool("force", true);
+            }
+            "-q" => {
+                cfg.set_bool("quiet", true);
+            }
+            "-O" => {
+                if let Some(feats) = it.next() {
+                    for token in feats.split(',').filter(|t| !t.is_empty()) {
+                        match token.strip_prefix('^') {
+                            Some(name) => cfg.set_bool(name, false),
+                            None => cfg.set_bool(token, true),
+                        };
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                // unknown option: keep it (with its value, if any) so
+                // distinct invalid configs stay distinct
+                let name = other.trim_start_matches('-').to_string();
+                match it.peek() {
+                    Some(v) if !v.starts_with('-') => {
+                        let v = it.next().expect("peeked");
+                        cfg.set_str(&name, v);
+                    }
+                    _ => {
+                        cfg.set_bool(&name, true);
+                    }
+                }
+            }
+            operand => match operand.parse::<i64>() {
+                // a numeric second operand is the sector count
+                Ok(i) if !cfg.operands.is_empty() => {
+                    cfg.set_int("sectors", i);
+                }
+                _ => cfg.operands.push(operand.to_string()),
+            },
+        }
+    }
+    cfg
+}
+
+/// A lenient typed view of an f2fs `mount -o` option string: bare
+/// tokens lower to booleans, `key=value` tokens to integers where
+/// possible and strings otherwise. `no<param>` for a registered f2fs
+/// boolean lowers to `param = false` (mirroring
+/// [`mount::F2fsMount::parse_typed`]); `norecovery` itself is
+/// registered and stays as-is.
+pub fn from_f2fs_mount_opts_lenient(opts: &str) -> TypedConfig {
+    let mut cfg = TypedConfig::new("f2fs");
+    for tok in opts.split(',').filter(|t| !t.is_empty()) {
+        match tok.split_once('=') {
+            Some((k, v)) => match v.parse::<i64>() {
+                Ok(i) => {
+                    cfg.set_int(k, i);
+                }
+                Err(_) => {
+                    cfg.set_str(k, v);
+                }
+            },
+            None => {
+                if mount::is_bool_token(tok) {
+                    cfg.set_bool(tok, true);
+                } else if let Some(base) =
+                    tok.strip_prefix("no").filter(|b| mount::is_bool_token(b))
+                {
+                    cfg.set_bool(base, false);
+                } else {
+                    cfg.set_bool(tok, true);
+                }
+            }
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mkfs::MkfsF2fs;
+    use crate::mount::F2fsMount;
+    use e2fstools::typed::TypedValue;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mkfs_valid_lines_agree_with_strict_parser() {
+        let argv = ["-w", "4096", "-s", "2", "-O", "extra_attr,compression", "/dev/x"];
+        let (_, strict) = MkfsF2fs::parse_typed(&argv).unwrap();
+        let lenient = from_mkfs_f2fs_args_lenient(&strings(&argv));
+        assert_eq!(strict.values, lenient.values);
+        assert_eq!(strict.operands, lenient.operands);
+    }
+
+    #[test]
+    fn mkfs_invalid_lines_still_lower() {
+        let cfg = from_mkfs_f2fs_args_lenient(&strings(&["-w", "banana", "-Q", "/dev/x"]));
+        assert_eq!(cfg.get("sector_size"), Some(&TypedValue::Str("banana".to_string())));
+        assert!(cfg.is_engaged("Q"));
+    }
+
+    #[test]
+    fn mount_valid_lines_agree_with_strict_parser() {
+        let opts = "ro,discard,active_logs=4,background_gc=sync,nobarrier";
+        let (_, strict) = F2fsMount::parse_typed(opts).unwrap();
+        let lenient = from_f2fs_mount_opts_lenient(opts);
+        assert_eq!(strict.values, lenient.values);
+    }
+
+    #[test]
+    fn mount_invalid_lines_still_lower() {
+        let cfg = from_f2fs_mount_opts_lenient("active_logs=3,warp_drive,mode=hyper");
+        assert_eq!(cfg.get_int("active_logs"), Some(3));
+        assert!(cfg.is_engaged("warp_drive"));
+        assert_eq!(cfg.get("mode"), Some(&TypedValue::Str("hyper".to_string())));
+    }
+}

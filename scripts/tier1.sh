@@ -6,8 +6,10 @@
 # (solver polarity coverage plus the warm verdict store), and a
 # validation-serving smoke (naive vs indexed vs memoized paths) — each
 # checking the BENCH JSON is well-formed and the racing engines (or
-# cache policies) agreed — plus a grep lint holding the line on
-# unwrap/expect in ext4sim runtime code.
+# cache policies) agreed — plus a second-ecosystem (F2FS) smoke with a
+# cross-FS agreement check, a grep lint holding the line on
+# unwrap/expect in ext4sim runtime code, and a grep lint keeping the
+# checker layers ecosystem-agnostic.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -268,4 +270,86 @@ assert solver["coverage_covered"] > naive["coverage_covered"]
 print(f"ecosystem smoke OK: 12 doc issues, 1 bad handling, "
       f"deep {aware['deep_rate']:.0%} vs naive {naive['deep_rate']:.0%}, "
       f"solver coverage {solver['coverage_covered']}/{solver['coverage_universe']}")
+EOF
+
+# Second-ecosystem smoke: all five F2FS components through the unified
+# dispatch (namespaced, dotted, and bare spellings), the F2FS
+# extraction floor, the cross-FS agreement pass — and the ext4 headline
+# numbers above must have come out unchanged first (12 doc issues,
+# 12 cases / 1 bad handling, solver coverage 88/88).
+for invocation in \
+  "f2fs:mkfs -O encrypt /dev/sim" \
+  "mkfs.f2fs -O extra_attr,compression /dev/sim" \
+  "f2fs background_gc=on" \
+  "fsck.f2fs /dev/sim" \
+  "resize.f2fs -t 98304 /dev/sim" \
+  "dump.f2fs /dev/sim"; do
+  # shellcheck disable=SC2086
+  $CLI component $invocation > /dev/null
+done
+echo "f2fs component dispatch OK: 5 components (6 spellings)"
+
+$CLI extract > target/ext4_extract.out
+$CLI extract --ecosystem f2fs > target/f2fs_extract.out
+$CLI cross-fs > target/crossfs.out
+$CLI cross-fs --check 'discard,errors=remount-ro | nodiscard,errors=panic' \
+  > target/crossfs_check.out || true
+$CLI check-handling --ecosystem f2fs > target/f2fs_handling.out
+python3 - <<'EOF'
+import re
+
+with open("target/ext4_extract.out") as f:
+    ext4 = f.read()
+assert "64 dependencies" in ext4, f"ext4 extraction drifted: {ext4.splitlines()[-1]}"
+
+with open("target/f2fs_extract.out") as f:
+    f2fs = f.read()
+m = re.search(r"(\d+) dependencies \(SD (\d+), CPD (\d+), CCD (\d+)\)", f2fs)
+assert m, f"no dependency summary: {f2fs.splitlines()[-1:]}"
+total, sd, cpd, ccd = map(int, m.groups())
+assert total >= 25, f"F2FS extraction below the floor: {total}"
+assert sd > 0 and cpd > 0 and ccd > 0, f"missing a category: SD {sd} CPD {cpd} CCD {ccd}"
+
+with open("target/crossfs.out") as f:
+    cross = f.read()
+m = re.search(r"(\d+) cross-ecosystem dependencies", cross)
+assert m and int(m.group(1)) >= 1, f"no cross-FS CCDs: {cross}"
+n_cross = int(m.group(1))
+
+with open("target/crossfs_check.out") as f:
+    check = f.read()
+assert "disagreement" in check and "f2fs:discard" in check, (
+    f"cross-FS agreement check missed the discard split: {check}"
+)
+
+with open("target/f2fs_handling.out") as f:
+    handling = f.read()
+m = re.search(r"(\d+) cases, (\d+) bad handling", handling)
+assert m and int(m.group(1)) >= 10 and int(m.group(2)) == 0, (
+    f"F2FS ConHandleCk drifted: {handling.splitlines()[-1:]}"
+)
+
+print(f"f2fs smoke OK: {total} deps (SD {sd}, CPD {cpd}, CCD {ccd}), "
+      f"{n_cross} cross-FS CCDs, ext4 headline unchanged")
+EOF
+
+# Grep lint: the checker layers (contools, convalid) must stay
+# ecosystem-agnostic — they may keep today's direct e2fstools imports
+# (shared TypedConfig/ManualPage types and the legacy ext4 ablation
+# arms) but must not grow new ones; new ecosystem wiring belongs in the
+# ecosys registry layer.
+python3 - <<'EOF'
+import glob
+
+ceilings = {"crates/contools/src": 5, "crates/convalid/src": 4}
+for root, ceiling in ceilings.items():
+    n = 0
+    for path in sorted(glob.glob(f"{root}/**/*.rs", recursive=True)):
+        with open(path) as f:
+            n += sum("e2fstools::" in line for line in f)
+    assert n <= ceiling, (
+        f"{root} has {n} direct e2fstools:: references (ceiling {ceiling}): "
+        "route new ecosystem wiring through the ecosys registry layer"
+    )
+print("ecosystem-agnostic checker lint OK")
 EOF

@@ -2,15 +2,17 @@
 //! "practical open source tool" of the paper's future-work section).
 //!
 //! ```text
-//! confdep extract [--inter] [--no-bridge] [--json FILE]
+//! confdep extract [--ecosystem E] [--inter] [--no-bridge] [--json FILE]
 //! confdep evaluate
-//! confdep check-docs
-//! confdep check-handling
-//! confdep fuzz [--count N] [--seed S] [--threads N] [--solver] [--store PATH] [--json]
-//! confdep validate '<mke2fs args> | <mount opts>' [--batch FILE] [--threads N]
-//!                  [--json] [--explain] [--repair] [--naive]
+//! confdep check-docs [--ecosystem E]
+//! confdep check-handling [--ecosystem E]
+//! confdep fuzz [--ecosystem E] [--count N] [--seed S] [--threads N] [--solver]
+//!              [--store PATH] [--json]
+//! confdep validate [--ecosystem E] '<create args> | <mount opts>' [--batch FILE]
+//!                  [--threads N] [--json] [--explain] [--repair] [--naive]
 //! confdep study
 //! confdep component <name> [args...]
+//! confdep cross-fs [--check '<ext4 mount opts> | <f2fs mount opts>']
 //! ```
 
 use std::process::ExitCode;
@@ -19,19 +21,21 @@ use std::path::PathBuf;
 
 use confdep_suite::blockdev::MemDevice;
 use confdep_suite::confdep::{
-    extract_scenario, extract_scenario_full, models, ConstraintSet, DependencyReport, Evaluation,
-    ExtractOptions, Solver,
+    extract_scenario_full, DependencyReport, Evaluation, ExtractOptions, Solver,
 };
 use confdep_suite::contools::conbugck::{campaign_parallel, generate_naive, ConBugCk};
 use confdep_suite::contools::fuzz::{
-    fuzz_campaign, FuzzOptions, FuzzReport, PolarityCoverage, Strategy,
+    fuzz_campaign_with, FuzzOptions, FuzzReport, Harness, PolarityCoverage, Strategy,
 };
-use confdep_suite::contools::{run_condocck, run_conhandleck, standard_image, Handling};
+use confdep_suite::contools::{
+    run_condocck_for, run_conhandleck, run_conhandleck_f2fs, standard_f2fs_image, standard_image,
+    Handling,
+};
 use confdep_suite::convalid::{
     ConfigQuery, EngineOptions, EngineStats, Explanation, RepairProposal, ValidationEngine,
     ValidationPlan,
 };
-use confdep_suite::e2fstools::{component, ecosystem};
+use confdep_suite::ecosys;
 use serde::Serialize;
 
 fn usage() -> ExitCode {
@@ -40,21 +44,29 @@ fn usage() -> ExitCode {
          \n\
          commands:\n\
            extract         extract the multi-level configuration dependencies\n\
+             --ecosystem E   ecosystem to analyze: ext4 (default) or f2fs\n\
              --inter         enable the inter-procedural taint extension\n\
              --no-bridge     disable the shared-metadata bridge (no CCDs)\n\
              --json FILE     write the dependencies to a JSON report\n\
              --threads N     analysis workers (default: one per core)\n\
            evaluate        run the Table 5 evaluation against the ground truth\n\
            check-docs      ConDocCk: report undocumented dependencies\n\
+             --ecosystem E   manual corpus to check (default ext4)\n\
            check-handling  ConHandleCk: inject dependency violations\n\
+             --ecosystem E   ecosystem to inject into (default ext4)\n\
            fuzz            ConBugCk: dependency-aware configuration testing\n\
+             --ecosystem E   ecosystem to fuzz; non-ext4 runs the solver\n\
+                             campaign only (the aware/naive arms are the\n\
+                             paper's ext4 ablation baselines)\n\
              --count N       configurations per strategy (default 40)\n\
              --seed S        RNG seed (default 2022)\n\
              --solver        also run the solver-guided coverage campaign\n\
              --store PATH    persistent verdict store for the solver campaign\n\
              --json          emit the results as a JSON report\n\
            validate        validate whole configurations against the dependency table\n\
-             '<mke2fs args> | <mount opts>'  one query (quote the pipe)\n\
+             '<create args> | <mount opts>'  one query (quote the pipe)\n\
+             --ecosystem E   dependency table to serve (default ext4);\n\
+                             queries get namespaced `E#` state keys\n\
              --batch FILE    one query per line (same format; # comments)\n\
              --threads N     batch worker threads (default: one per core)\n\
              --json          emit the results as a JSON report\n\
@@ -62,8 +74,14 @@ fn usage() -> ExitCode {
              --repair        propose a minimal satisfying assignment\n\
              --naive         evaluate all constraints per query (no index, no memo)\n\
            study           print the empirical-study summaries (Tables 1-4)\n\
-           component       run one ecosystem component through the unified dispatch\n\
-             <name> [args...]  e.g. `component mke2fs -b 4096 /dev/img`"
+           component       run one component through the unified dispatch\n\
+             <name> [args...]  bare names resolve across every registered\n\
+                               ecosystem when unambiguous (`mke2fs`,\n\
+                               `resize.f2fs`); namespace with `eco:name`\n\
+                               otherwise, e.g. `f2fs:mkfs -O encrypt`\n\
+           cross-fs        list the cross-ecosystem shared-mount-parameter CCDs\n\
+             --check '<ext4 mount opts> | <f2fs mount opts>'\n\
+                             validate a side-by-side deployment's agreement"
     );
     ExitCode::from(2)
 }
@@ -127,11 +145,28 @@ fn value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Resolves the `--ecosystem` flag (default: ext4, the paper's study
+/// subject) against the multi-ecosystem registry.
+fn ecosystem_arg(args: &[String]) -> Result<ecosys::Ecosystem, ExitCode> {
+    match value(args, "--ecosystem") {
+        None => Ok(ecosys::ext4()),
+        Some(name) => ecosys::by_name(&name).ok_or_else(|| {
+            let known: Vec<_> = ecosys::all().iter().map(|e| e.name).collect();
+            eprintln!("unknown ecosystem: {name} (expected one of {})", known.join(", "));
+            ExitCode::from(2)
+        }),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
     match command.as_str() {
         "extract" => {
+            let eco = match ecosystem_arg(&args) {
+                Ok(eco) => eco,
+                Err(code) => return code,
+            };
             let options = ExtractOptions {
                 interprocedural: flag(&args, "--inter"),
                 disable_bridge: flag(&args, "--no-bridge"),
@@ -139,7 +174,7 @@ fn main() -> ExitCode {
             // 0 = one analysis worker per core
             let threads: usize =
                 value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
-            let extraction = match extract_scenario_full(&models::all(), options, threads) {
+            let extraction = match extract_scenario_full(&eco.models(), options, threads) {
                 Ok(x) => x,
                 Err(e) => {
                     eprintln!("extraction failed: {e}");
@@ -170,8 +205,8 @@ fn main() -> ExitCode {
                 by("CCD")
             );
             if let Some(path) = value(&args, "--json") {
-                let report =
-                    DependencyReport::new("ext4-ecosystem", options.interprocedural, deps);
+                let label = format!("{}-ecosystem", eco.name);
+                let report = DependencyReport::new(&label, options.interprocedural, deps);
                 if let Err(e) = report.save(&path) {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;
@@ -217,21 +252,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "check-docs" => match run_condocck() {
-            Ok(issues) => {
+        "check-docs" => match ecosystem_arg(&args).map(|eco| run_condocck_for(&eco)) {
+            Err(code) => code,
+            Ok(Ok(issues)) => {
                 for (i, issue) in issues.iter().enumerate() {
                     println!("{:2}. [{}] {}", i + 1, issue.manual, issue.dependency);
                 }
                 println!("\n{} documentation issues", issues.len());
                 if issues.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 eprintln!("ConDocCk failed: {e}");
                 ExitCode::FAILURE
             }
         },
         "check-handling" => {
-            let outcomes = run_conhandleck();
+            let eco = match ecosystem_arg(&args) {
+                Ok(eco) => eco,
+                Err(code) => return code,
+            };
+            let outcomes =
+                if eco.name == "f2fs" { run_conhandleck_f2fs() } else { run_conhandleck() };
             let mut bad = 0;
             for o in &outcomes {
                 let verdict = match &o.handling {
@@ -258,17 +299,60 @@ fn main() -> ExitCode {
             let with_solver = flag(&args, "--solver");
             let as_json = flag(&args, "--json");
             let store_path = value(&args, "--store").map(PathBuf::from);
+            let eco = match ecosystem_arg(&args) {
+                Ok(eco) => eco,
+                Err(code) => return code,
+            };
+            let set = match eco.constraints() {
+                Ok(set) => set,
+                Err(e) => {
+                    eprintln!("extraction failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let solver_opts = FuzzOptions {
+                seed,
+                rounds: 4,
+                batch: count.div_ceil(4).max(1),
+                threads,
+                strategy: Strategy::Solver,
+                store_path,
+            };
+            if eco.name != "ext4" {
+                // the aware/naive arms are the paper's ext4 ablation
+                // baselines; other ecosystems run the solver-guided
+                // campaign, which generates from the ecosystem's scope
+                let harness =
+                    if eco.name == "f2fs" { Harness::f2fs() } else { Harness::ext4() };
+                let report = fuzz_campaign_with(&set, &solver_opts, &harness).report;
+                if as_json {
+                    match serde_json::to_string_pretty(&report) {
+                        Ok(json) => println!("{json}"),
+                        Err(e) => {
+                            eprintln!("JSON encoding failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    println!(
+                        "solver-guided ({}): {}/{} deep, polarity coverage {}/{} ({:.0}%), \
+                         {} fresh executions in {} ms",
+                        eco.name,
+                        report.deep,
+                        report.unique_verdicts,
+                        report.coverage_covered,
+                        report.coverage_universe,
+                        100.0 * report.coverage_fraction,
+                        report.executed_fresh,
+                        report.wall_ms
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
             let mut gen = match ConBugCk::new(seed) {
                 Ok(g) => g,
                 Err(e) => {
                     eprintln!("generator failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let set = match extract_scenario(&models::all(), ExtractOptions::default()) {
-                Ok(deps) => ConstraintSet::compile(deps),
-                Err(e) => {
-                    eprintln!("extraction failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
@@ -298,20 +382,8 @@ fn main() -> ExitCode {
                 threads,
                 aware: arm(&aware_cfgs, &aware),
                 naive: arm(&naive_cfgs, &naive),
-                solver: with_solver.then(|| {
-                    fuzz_campaign(
-                        &set,
-                        &FuzzOptions {
-                            seed,
-                            rounds: 4,
-                            batch: count.div_ceil(4).max(1),
-                            threads,
-                            strategy: Strategy::Solver,
-                            store_path,
-                        },
-                    )
-                    .report
-                }),
+                solver: with_solver
+                    .then(|| fuzz_campaign_with(&set, &solver_opts, &Harness::ext4()).report),
             };
             if as_json {
                 match serde_json::to_string_pretty(&report) {
@@ -363,12 +435,27 @@ fn main() -> ExitCode {
             let threads: usize =
                 value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
             let batch_path = value(&args, "--batch");
+            let eco = match ecosystem_arg(&args) {
+                Ok(eco) => eco,
+                Err(code) => return code,
+            };
+            // an explicit --ecosystem tags queries with namespaced
+            // `eco#` state keys; the bare spelling keeps the historical
+            // untagged ext4 identity (and wire format) byte-identical
+            let tagged = value(&args, "--ecosystem").is_some();
+            let parse = |line: &str| {
+                if tagged {
+                    ConfigQuery::parse_line_for(&eco, line)
+                } else {
+                    ConfigQuery::parse_line(line)
+                }
+            };
             // everything that is not a recognised option is query text
             let mut words: Vec<String> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--batch" | "--threads" => {
+                    "--batch" | "--threads" | "--ecosystem" => {
                         it.next();
                     }
                     "--json" | "--explain" | "--repair" | "--naive" => {}
@@ -377,7 +464,7 @@ fn main() -> ExitCode {
             }
             let queries: Vec<ConfigQuery> = match &batch_path {
                 Some(path) => match std::fs::read_to_string(path) {
-                    Ok(text) => text.lines().filter_map(ConfigQuery::parse_line).collect(),
+                    Ok(text) => text.lines().filter_map(&parse).collect(),
                     Err(e) => {
                         eprintln!("cannot read {path}: {e}");
                         return ExitCode::FAILURE;
@@ -385,11 +472,12 @@ fn main() -> ExitCode {
                 },
                 None => {
                     let line = words.join(" ");
-                    match ConfigQuery::parse_line(&line) {
+                    match parse(&line) {
                         Some(q) => vec![q],
                         None => {
                             eprintln!(
-                                "usage: confdep validate '<mke2fs args> | <mount opts>' \
+                                "usage: confdep validate [--ecosystem E] \
+                                 '<create args> | <mount opts>' \
                                  [--batch FILE] [--threads N] [--json] [--explain] \
                                  [--repair] [--naive]"
                             );
@@ -402,14 +490,14 @@ fn main() -> ExitCode {
                 eprintln!("no queries parsed");
                 return ExitCode::from(2);
             }
-            let set = match extract_scenario(&models::all(), ExtractOptions::default()) {
-                Ok(deps) => ConstraintSet::compile(deps),
+            let set = match eco.constraints() {
+                Ok(set) => set,
                 Err(e) => {
                     eprintln!("extraction failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let plan = std::sync::Arc::new(ValidationPlan::compile(set));
+            let plan = std::sync::Arc::new(ValidationPlan::compile_for(set, eco));
             let options = if naive { EngineOptions::naive() } else { EngineOptions::serving() };
             let engine = ValidationEngine::new(plan, options);
             let outcomes = engine.validate_many(&queries, threads);
@@ -550,9 +638,20 @@ fn main() -> ExitCode {
                 eprintln!("usage: confdep component <name> [args...]");
                 return ExitCode::from(2);
             };
-            let Some(comp) = component(name) else {
-                let known: Vec<_> = ecosystem().iter().map(|c| c.name()).collect();
-                eprintln!("unknown component: {name} (expected one of {})", known.join(", "));
+            let Some((eco, comp)) = ecosys::resolve(name) else {
+                let known: Vec<String> = ecosys::all()
+                    .iter()
+                    .flat_map(|e| {
+                        e.components()
+                            .iter()
+                            .map(|c| format!("{}:{}", e.name, c.name()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                eprintln!(
+                    "unknown or ambiguous component: {name} (expected one of {})",
+                    known.join(", ")
+                );
                 return ExitCode::from(2);
             };
             let rest: Vec<&str> = args[2..].iter().map(String::as_str).collect();
@@ -564,12 +663,17 @@ fn main() -> ExitCode {
                 }
             };
             println!("config: {}", cfg.canonical_key());
-            // mke2fs starts from a 16 MiB blank device sized to the
-            // configured block size; every other component operates on a
-            // freshly formatted standard image
-            let dev = if name == "mke2fs" {
+            // a create-stage component starts from a blank device (mke2fs
+            // gets 16 MiB sized to the configured block size); every other
+            // component operates on its ecosystem's freshly formatted
+            // standard image
+            let dev = if comp.name() == "mke2fs" {
                 let bs = cfg.get_int("blocksize").unwrap_or(1024).clamp(1024, 65536) as u32;
                 MemDevice::new(bs, (16 << 20) / u64::from(bs))
+            } else if comp.name() == eco.create_component {
+                MemDevice::new(4096, 8192)
+            } else if eco.name == "f2fs" {
+                standard_f2fs_image(&[])
             } else {
                 standard_image("")
             };
@@ -582,6 +686,47 @@ fn main() -> ExitCode {
                     eprintln!("{name}: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "cross-fs" => {
+            let ccds = ecosys::cross_fs_ccds();
+            for d in &ccds {
+                println!("{d}");
+            }
+            println!(
+                "\n{} cross-ecosystem dependencies over shared mount parameters: {}",
+                ccds.len(),
+                ecosys::shared_mount_params().join(", ")
+            );
+            let Some(spec) = value(&args, "--check") else { return ExitCode::SUCCESS };
+            let Some((ext4_opts, f2fs_opts)) = spec.split_once('|') else {
+                eprintln!("--check expects '<ext4 mount opts> | <f2fs mount opts>'");
+                return ExitCode::from(2);
+            };
+            let ext4_cfg = (ecosys::ext4().solver_scope().parse_mount)(ext4_opts.trim());
+            let f2fs_cfg = (ecosys::f2fs().solver_scope().parse_mount)(f2fs_opts.trim());
+            let plan = std::sync::Arc::new(ValidationPlan::compile_for(
+                ecosys::cross_fs_constraints(),
+                ecosys::ext4(),
+            ));
+            let engine = ValidationEngine::new(plan, EngineOptions::serving());
+            let query = ConfigQuery::new(vec![ext4_cfg, f2fs_cfg]);
+            let outcome = engine.validate(&query);
+            if outcome.ok() {
+                println!(
+                    "agreement: OK ({} shared-parameter constraint(s) checked, none violated)",
+                    outcome.satisfied()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for e in engine.explain(&query) {
+                    println!("disagreement: {}", e.dependency);
+                    for ev in &e.evidence {
+                        println!("              evidence: {ev}");
+                    }
+                }
+                println!("\n{} agreement violation(s)", outcome.violations().len());
+                ExitCode::FAILURE
             }
         }
         _ => usage(),

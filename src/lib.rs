@@ -10,7 +10,9 @@ pub use contools;
 pub use convalid;
 pub use crashsim;
 pub use e2fstools;
+pub use ecosys;
 pub use ext4sim;
+pub use f2fstools;
 pub use faultsim;
 pub use study;
 pub use taint;

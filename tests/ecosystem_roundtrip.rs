@@ -1,17 +1,21 @@
 //! Ecosystem-wide properties of the unified [`Component`] layer and the
-//! executable constraint layer.
+//! executable constraint layer, checked over **every registered
+//! ecosystem** (Ext4 and F2FS alike).
 //!
-//! Three families of guarantees:
+//! Four families of guarantees:
 //!
-//! 1. **Registry round-trips** — every registered [`ParamSpec`] domain
-//!    survives parse → validate → render → re-parse unchanged (or is
-//!    explicitly validate-only when the value has no CLI spelling);
+//! 1. **Registry round-trips** — in each ecosystem, every registered
+//!    [`ParamSpec`] domain survives parse → validate → render →
+//!    re-parse unchanged (or is explicitly validate-only when the value
+//!    has no CLI spelling);
 //! 2. **Oracle agreement** — [`ConstraintSet`] reproduces the legacy
 //!    per-Ck interpretation logic (ConBugCk's conflict/range lookups,
 //!    ConDocCk's documentation matching) on all 64 extracted
 //!    dependencies;
 //! 3. **Table 2 universe** — the duplicate-guarded registry spans the
-//!    paper's parameter counts.
+//!    paper's parameter counts;
+//! 4. **Order invariance** — per-ecosystem checker outputs do not
+//!    depend on the order ecosystems are registered or processed in.
 
 use std::collections::BTreeSet;
 
@@ -21,10 +25,11 @@ use confdep_suite::confdep::{
     extract_scenario, models, ConstraintSet, DepKind, Dependency, DocVerdict, Endpoint,
     ExtractOptions, Verdict,
 };
-use confdep_suite::contools::ext4_kernel_doc;
+use confdep_suite::contools::{ext4_kernel_doc, run_condocck_for};
 use confdep_suite::e2fstools::manual::{DocConstraint, ManualPage};
 use confdep_suite::e2fstools::params::{ParamSpec, ParamType};
-use confdep_suite::e2fstools::{component, ecosystem, registry, TypedConfig, TypedValue};
+use confdep_suite::e2fstools::{component, registry, TypedConfig, TypedValue};
+use confdep_suite::ecosys;
 
 // ---------------------------------------------------------------------
 // 1. registry round-trips
@@ -42,6 +47,17 @@ fn candidate_values(spec: &ParamSpec) -> Vec<TypedValue> {
         (_, "label") => vec![Str("vol0".to_string())],
         // tune2fs stores its -O argument as the raw token list
         ("tune2fs", "features") => vec![Str("extent".to_string())],
+        // mkfs.f2fs sector sizes are the four powers of two
+        ("mkfs_f2fs", "sector_size") => vec![Int(512), Int(2048), Int(4096)],
+        // `-d 0` is the f2fs-tools default and is not recorded, so only
+        // non-zero levels have a CLI round trip
+        (_, "debug_level") => vec![Int(1), Int(5), Int(10)],
+        // norecovery requires ro, io_bits requires mode=lfs, and
+        // compress_log_size requires compress_algorithm, at parse time
+        // (genuine CPDs), so none has a single-parameter round trip;
+        // the pairings are exercised by the f2fs mount lifecycle tests
+        // and ConHandleCk
+        ("f2fs", "norecovery") | ("f2fs", "io_bits") | ("f2fs", "compress_log_size") => vec![],
         _ => match &spec.param_type {
             ParamType::Bool | ParamType::Feature => vec![Bool(true), Bool(false)],
             ParamType::Int { min, max } => {
@@ -67,12 +83,13 @@ fn single_param_config(component: &str, name: &str, value: &TypedValue) -> Typed
     cfg
 }
 
-#[test]
-fn every_registered_param_round_trips_or_is_validate_only() {
-    let regs = registry();
+/// Runs the parse → validate → render → re-parse round trip over one
+/// ecosystem's whole registry; returns `(rendered, validate_only)`.
+fn round_trip_ecosystem(eco: &ecosys::Ecosystem) -> (usize, usize) {
+    let regs = eco.registry();
     let mut rendered = 0usize;
     let mut validate_only = 0usize;
-    for comp in ecosystem() {
+    for comp in eco.components() {
         for spec in comp.param_specs() {
             for value in candidate_values(&spec) {
                 let cfg = single_param_config(comp.name(), &spec.name, &value);
@@ -108,16 +125,38 @@ fn every_registered_param_round_trips_or_is_validate_only() {
             }
         }
     }
-    // ext4 kernel-module knobs have no CLI component: validate-only
-    for spec in regs.iter().filter(|s| s.component == "ext4") {
+    // parameters no CLI component owns (kernel-module knobs reached via
+    // sysfs) are validate-only
+    let owned: BTreeSet<String> =
+        eco.components().iter().map(|c| c.name().to_string()).collect();
+    for spec in regs.iter().filter(|s| !owned.contains(&s.component)) {
         for value in candidate_values(spec) {
-            let cfg = single_param_config("ext4", &spec.name, &value);
-            cfg.validate(&regs)
-                .unwrap_or_else(|e| panic!("ext4:{} = {value:?} fails validation: {e}", spec.name));
+            let cfg = single_param_config(&spec.component, &spec.name, &value);
+            cfg.validate(&regs).unwrap_or_else(|e| {
+                panic!("{}:{} = {value:?} fails validation: {e}", spec.component, spec.name)
+            });
+            validate_only += 1;
         }
     }
-    assert!(rendered > 60, "only {rendered} values actually exercised the CLI inverse");
-    assert!(validate_only > 0, "expected some validate-only values");
+    (rendered, validate_only)
+}
+
+#[test]
+fn every_registered_param_round_trips_or_is_validate_only() {
+    for eco in ecosys::all() {
+        let (rendered, validate_only) = round_trip_ecosystem(&eco);
+        match eco.name {
+            "ext4" => {
+                assert!(rendered > 60, "ext4: only {rendered} values exercised the CLI inverse");
+                assert!(validate_only > 0, "ext4: expected some validate-only values");
+            }
+            _ => assert!(
+                rendered > 20,
+                "{}: only {rendered} values exercised the CLI inverse",
+                eco.name
+            ),
+        }
+    }
 }
 
 const MKE2FS_FEATURES: [&str; 11] = [
@@ -489,15 +528,71 @@ fn registry_spans_the_table2_universe() {
     assert!(count("e2fsck") > 35);
     assert!(count("resize2fs") > 15);
     assert!(count("tune2fs") >= 7, "tune2fs joins the registry via the Component trait");
-    // every component's own table is a verbatim slice of the registry
-    for comp in ecosystem() {
-        for spec in comp.param_specs() {
-            assert!(
-                specs.contains(&spec),
-                "{}:{} missing from the unified registry",
-                comp.name(),
-                spec.name
-            );
+    // every component's own table is a verbatim slice of its
+    // ecosystem's registry, in every registered ecosystem
+    for eco in ecosys::all() {
+        let eco_specs = eco.registry();
+        for comp in eco.components() {
+            for spec in comp.param_specs() {
+                assert!(
+                    eco_specs.contains(&spec),
+                    "{}:{}:{} missing from its ecosystem registry",
+                    eco.name,
+                    comp.name(),
+                    spec.name
+                );
+            }
         }
+    }
+    // and the cross-ecosystem merge stays collision-free
+    let merged = ecosys::merged_registry();
+    assert!(merged.len() > specs.len(), "merged registry spans both ecosystems");
+}
+
+// ---------------------------------------------------------------------
+// 4. checker outputs are invariant to ecosystem registration order
+// ---------------------------------------------------------------------
+
+/// Everything the checkers say about one ecosystem, computed in
+/// isolation: extracted dependency signatures, doc-issue count, and the
+/// registry size.
+type CheckerFingerprint = (Vec<String>, usize, usize);
+
+fn checker_fingerprint(eco: &ecosys::Ecosystem) -> CheckerFingerprint {
+    let deps = eco.dependencies().expect("models compile");
+    let sigs: Vec<String> = deps.iter().map(|d| d.signature().to_string()).collect();
+    let doc_issues = run_condocck_for(eco).expect("doc corpus checks").len();
+    (sigs, doc_issues, eco.registry().len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // processing the registered ecosystems in any order yields the same
+    // per-ecosystem checker outputs — no hidden shared state leaks
+    // between ecosystems through the registry or the analyzers
+    #[test]
+    fn checker_outputs_are_invariant_to_ecosystem_order(seed in 0u64..u64::MAX) {
+        let mut ecos = ecosys::all();
+        // Fisher–Yates driven by a splitmix-style LCG from the seed
+        let mut state = seed;
+        for i in (1..ecos.len()).rev() {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let j = (state >> 33) as usize % (i + 1);
+            ecos.swap(i, j);
+        }
+        let mut shuffled: Vec<(String, CheckerFingerprint)> = ecos
+            .iter()
+            .map(|e| (e.name.to_string(), checker_fingerprint(e)))
+            .collect();
+        shuffled.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut canonical: Vec<(String, CheckerFingerprint)> = ecosys::all()
+            .iter()
+            .map(|e| (e.name.to_string(), checker_fingerprint(e)))
+            .collect();
+        canonical.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(shuffled, canonical);
     }
 }

@@ -82,7 +82,7 @@ proptest! {
         let mut workload = FaultWorkload::standard(config);
         workload.durable_files = files;
         let report = campaign_guarded(&workload, &opts)
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
         prop_assert!(report.stats.faults_explored > 0);
         prop_assert_eq!(report.outcomes.len(), report.stats.faults_explored);
         for o in &report.outcomes {
@@ -127,7 +127,7 @@ proptest! {
             verdict_cache: true,
         };
         let report = campaign_guarded(&workload, &opts)
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
         // a degraded mount that dropped a durable read or accepted a
         // write would have been classified PolicyViolation, so the two
         // read-only contracts reduce to "every degraded run stayed a

@@ -89,7 +89,7 @@ fn solve_signature_covers_the_enumerated_universe() {
     for (idx, polarity, _) in solver.witness_targets() {
         let constraint = &solver.constraints().constraints()[idx];
         let solved = solver
-            .solve_signature(&constraint.signature(), polarity)
+            .solve_signature(constraint.signature(), polarity)
             .unwrap_or_else(|| {
                 panic!("{} {polarity} enumerated but not solvable", constraint.signature())
             });
